@@ -1,0 +1,185 @@
+//! Small parameterised benchmark designs shared by the baseline tests and
+//! the comparison benchmarks.
+//!
+//! These are deliberately tiny (a handful of registers) so that sweeps over
+//! the trigger-sequence length stay cheap; the structural situations they
+//! reproduce — input-sequence triggers, input-value counters, free-running
+//! timers, clean pipelines — are the ones that differentiate the baselines
+//! from the IPC flow.
+
+use htd_rtl::{Design, ValidatedDesign};
+
+/// A clean pass-through pipeline of `depth` registers with an 8-bit datapath.
+///
+/// # Panics
+///
+/// Panics if `depth` is 0.
+#[must_use]
+pub fn clean_pipeline(depth: usize) -> ValidatedDesign {
+    assert!(depth > 0, "a pipeline needs at least one stage");
+    let mut d = Design::new("clean_pipeline");
+    let input = d.add_input("in", 8).expect("fresh name");
+    let mut prev = d.signal(input);
+    for i in 0..depth {
+        let stage = d.add_register(format!("stage{i}"), 8, 0).expect("fresh name");
+        d.set_register_next(stage, prev).expect("same width");
+        prev = d.signal(stage);
+    }
+    d.add_output("out", prev).expect("fresh name");
+    d.validated().expect("well-formed")
+}
+
+/// An 8-bit pass-through stage infected with a Trojan whose trigger is the
+/// input sequence `1, 2, …, sequence_len` observed in order; once armed it
+/// stays armed and flips the LSB written into the data register
+/// (an AES-T1400-style input-sequence trigger with a ciphertext-corruption
+/// payload).
+///
+/// # Panics
+///
+/// Panics if `sequence_len` is 0 or larger than 200.
+#[must_use]
+pub fn sequence_trojan(sequence_len: u64) -> ValidatedDesign {
+    assert!((1..=200).contains(&sequence_len), "sequence length must be in 1..=200");
+    let mut d = Design::new("sequence_trojan");
+    let input = d.add_input("in", 8).expect("fresh name");
+    let data = d.add_register("data", 8, 0).expect("fresh name");
+    let progress = d.add_register("trojan_state", 8, 0).expect("fresh name");
+
+    // armed <=> progress == sequence_len (and stays there).
+    let armed = d.eq_const(d.signal(progress), u128::from(sequence_len)).expect("narrow constant");
+
+    // next progress: armed -> hold; input == progress + 1 -> progress + 1;
+    // otherwise -> 0 (the sequence must be contiguous).
+    let one = d.constant(1, 8).expect("fits");
+    let expected = d.add(d.signal(progress), one).expect("same width");
+    let advance = d.cmp_eq(d.signal(input), expected).expect("same width");
+    let zero = d.constant(0, 8).expect("fits");
+    let advanced = d.mux(advance, expected, zero).expect("same width");
+    let next_progress = d.mux(armed, d.signal(progress), advanced).expect("same width");
+    d.set_register_next(progress, next_progress).expect("same width");
+
+    // payload: flip the LSB of the latched data once armed.
+    let flip = d.zero_ext(armed, 8).expect("widening");
+    let payload = d.xor(d.signal(input), flip).expect("same width");
+    d.set_register_next(data, payload).expect("same width");
+    d.add_output("out", d.signal(data)).expect("fresh name");
+    d.validated().expect("well-formed")
+}
+
+/// An 8-bit pass-through stage infected with a Trojan armed by a free-running
+/// timer that saturates after `threshold` cycles from reset — independent of
+/// the inputs (the AES-T2500 / AES-T1900 trigger class).  Once armed it flips
+/// the LSB written into the data register.
+#[must_use]
+pub fn timer_trojan(threshold: u64) -> ValidatedDesign {
+    let mut d = Design::new("timer_trojan");
+    let input = d.add_input("in", 8).expect("fresh name");
+    let data = d.add_register("data", 8, 0).expect("fresh name");
+    let timer = d.add_register("trojan_timer", 32, 0).expect("fresh name");
+    let limit = d.constant(u128::from(threshold), 32).expect("fits");
+    let at_limit = d.cmp_eq(d.signal(timer), limit).expect("same width");
+    let one = d.constant(1, 32).expect("fits");
+    let tick = d.add(d.signal(timer), one).expect("same width");
+    let next_timer = d.mux(at_limit, d.signal(timer), tick).expect("same width");
+    d.set_register_next(timer, next_timer).expect("same width");
+    let flip = d.zero_ext(at_limit, 8).expect("widening");
+    let payload = d.xor(d.signal(input), flip).expect("same width");
+    d.set_register_next(data, payload).expect("same width");
+    d.add_output("out", d.signal(data)).expect("fresh name");
+    d.validated().expect("well-formed")
+}
+
+/// An 8-bit pass-through stage infected with a Trojan that counts occurrences
+/// of the magic input value `0xA5` and arms after `threshold` of them (the
+/// "# encryptions" / "# values" trigger class of Table I).  Once armed it
+/// flips the LSB written into the data register.
+///
+/// # Panics
+///
+/// Panics if `threshold` is 0.
+#[must_use]
+pub fn value_counter_trojan(threshold: u64) -> ValidatedDesign {
+    assert!(threshold > 0, "the counter threshold must be positive");
+    let mut d = Design::new("value_counter_trojan");
+    let input = d.add_input("in", 8).expect("fresh name");
+    let data = d.add_register("data", 8, 0).expect("fresh name");
+    let counter = d.add_register("trojan_counter", 32, 0).expect("fresh name");
+    let limit = d.constant(u128::from(threshold), 32).expect("fits");
+    let armed = d.cmp_eq(d.signal(counter), limit).expect("same width");
+    let magic = d.eq_const(d.signal(input), 0xA5).expect("fits");
+    let one = d.constant(1, 32).expect("fits");
+    let bumped = d.add(d.signal(counter), one).expect("same width");
+    let counted = d.mux(magic, bumped, d.signal(counter)).expect("same width");
+    let next_counter = d.mux(armed, d.signal(counter), counted).expect("same width");
+    d.set_register_next(counter, next_counter).expect("same width");
+    let flip = d.zero_ext(armed, 8).expect("widening");
+    let payload = d.xor(d.signal(input), flip).expect("same width");
+    d.set_register_next(data, payload).expect("same width");
+    d.add_output("out", d.signal(data)).expect("fresh name");
+    d.validated().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_rtl::sim::Simulator;
+
+    #[test]
+    fn clean_pipeline_passes_data_through() {
+        let design = clean_pipeline(3);
+        let mut sim = Simulator::new(&design);
+        for v in [7u128, 9, 11, 13] {
+            sim.set_input_by_name("in", v).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("out").unwrap(), 9);
+    }
+
+    #[test]
+    fn sequence_trojan_arms_exactly_after_the_full_sequence() {
+        let design = sequence_trojan(3);
+        let mut sim = Simulator::new(&design);
+        // A partial sequence (1, 2, 7) resets the progress.
+        for v in [1u128, 2, 7] {
+            sim.set_input_by_name("in", v).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("trojan_state").unwrap(), 0);
+        // The full sequence arms it; afterwards the payload corrupts the LSB.
+        for v in [1u128, 2, 3] {
+            sim.set_input_by_name("in", v).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("trojan_state").unwrap(), 3);
+        sim.set_input_by_name("in", 0x40).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("data").unwrap(), 0x41, "LSB flipped once armed");
+    }
+
+    #[test]
+    fn timer_trojan_arms_without_any_input_activity() {
+        let design = timer_trojan(5);
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("in", 0x10).unwrap();
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("data").unwrap(), 0x11);
+    }
+
+    #[test]
+    fn value_counter_trojan_counts_only_the_magic_value() {
+        let design = value_counter_trojan(2);
+        let mut sim = Simulator::new(&design);
+        for v in [0xA5u128, 0x00, 0xA5, 0x00] {
+            sim.set_input_by_name("in", v).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("trojan_counter").unwrap(), 2);
+        sim.set_input_by_name("in", 0x20).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("data").unwrap(), 0x21);
+    }
+}

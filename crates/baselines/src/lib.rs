@@ -1,0 +1,60 @@
+//! # htd-baselines
+//!
+//! Baseline hardware-Trojan detection techniques, implemented so the
+//! golden-free IPC flow of `htd-core` can be compared against the methods
+//! the paper's related-work section argues against (Sec. I and II of the
+//! DATE'24 paper):
+//!
+//! * [`bmc`] — 2-safety **bounded** model checking from the reset state.
+//!   Sound for Trojans whose trigger sequence fits inside the bound, but the
+//!   bound (and the runtime) must grow with the trigger length — exactly the
+//!   limitation the paper's symbolic-starting-state properties remove.
+//! * [`testing`] — random functional testing against a **golden model**.
+//!   Needs the golden design the paper's method does without, and the
+//!   probability of hitting a stealthy trigger collapses as the trigger
+//!   sequence grows.
+//! * [`uci`] — Unused Circuit Identification (Hicks et al.): flags logic
+//!   whose output always tracked one of its inputs during testing.  Cheap,
+//!   golden-free, but neither sound nor complete — and defeated by
+//!   DeTrust-style Trojans.
+//! * [`fanci`] — FANCI-style control-value analysis (Waksman et al.): flags
+//!   signals with nearly-unused control inputs by sampling their
+//!   combinational cones.  Golden-free and effective against many stealthy
+//!   triggers, but statistical rather than exhaustive.
+//!
+//! Each module returns a structured report so the benchmark harness can
+//! tabulate detection success and runtime against the IPC flow (experiment
+//! E11 of DESIGN.md).
+//!
+//! # Example
+//!
+//! A Trojan armed by a 16-value input sequence is missed by bounded search
+//! with a 2-cycle prefix but found once the unrolled bound covers the
+//! trigger sequence — at a visibly higher encoding cost.  The IPC flow in
+//! `htd-core` detects it regardless of the sequence length.
+//!
+//! ```
+//! use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
+//! use htd_baselines::designs::sequence_trojan;
+//!
+//! let design = sequence_trojan(16);
+//! let shallow = bounded_trojan_search(&design, &BmcOptions { bound: 2, ..BmcOptions::default() });
+//! assert!(!shallow.detected());
+//! let deep = bounded_trojan_search(&design, &BmcOptions { bound: 18, ..BmcOptions::default() });
+//! assert!(deep.detected());
+//! assert!(deep.cnf_vars > shallow.cnf_vars);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod designs;
+pub mod fanci;
+pub mod testing;
+pub mod uci;
+
+pub use bmc::{bounded_trojan_search, BmcOptions, BmcOutcome, BmcReport};
+pub use fanci::{control_value_analysis, FanciOptions, FanciReport, SuspiciousSignal};
+pub use testing::{random_equivalence_test, RandomTestOptions, RandomTestOutcome, RandomTestReport};
+pub use uci::{unused_circuit_identification, UciOptions, UciPair, UciReport};

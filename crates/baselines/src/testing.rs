@@ -1,0 +1,262 @@
+//! Random functional testing against a golden model.
+//!
+//! This is the conventional pre-silicon baseline the paper's introduction
+//! argues is insufficient: feed (many) random stimuli to the design under
+//! verification and to a known-good reference, and compare the outputs.
+//! Two weaknesses are reproduced here deliberately:
+//!
+//! * a **golden model is required** — precisely what the paper's method does
+//!   away with; and
+//! * the probability of randomly producing a stealthy trigger sequence
+//!   collapses exponentially with the sequence length, so Trojans with long
+//!   triggers survive practically unlimited amounts of random testing
+//!   ([`RandomTestOutcome::NoDivergence`] on the infected design is a *false
+//!   negative*, not a proof).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use htd_rtl::sim::Simulator;
+use htd_rtl::{DesignError, SignalId, ValidatedDesign};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the random equivalence test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomTestOptions {
+    /// Number of simulated clock cycles.
+    pub cycles: u64,
+    /// Seed for the stimulus generator, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RandomTestOptions {
+    fn default() -> Self {
+        RandomTestOptions { cycles: 10_000, seed: 0xD1CE }
+    }
+}
+
+/// Outcome of a random equivalence test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RandomTestOutcome {
+    /// The design under verification diverged from the golden model.
+    Diverges {
+        /// Cycle (0-based) at which the first mismatch was observed.
+        cycle: u64,
+        /// Name of the first mismatching output.
+        output: String,
+        /// Value produced by the design under verification.
+        dut_value: u128,
+        /// Value produced by the golden model.
+        golden_value: u128,
+    },
+    /// No mismatch was observed within the budget.  For an infected design
+    /// this is a false negative: the trigger was simply never produced.
+    NoDivergence,
+}
+
+/// Result of [`random_equivalence_test`].
+#[derive(Clone, Debug)]
+pub struct RandomTestReport {
+    /// The outcome.
+    pub outcome: RandomTestOutcome,
+    /// Cycles actually simulated (equals the budget unless a divergence
+    /// stopped the run early).
+    pub cycles_run: u64,
+    /// Wall-clock time of the simulation.
+    pub duration: Duration,
+}
+
+impl RandomTestReport {
+    /// `true` if a divergence from the golden model was observed.
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        matches!(self.outcome, RandomTestOutcome::Diverges { .. })
+    }
+}
+
+/// Simulates `dut` and `golden` in lock step under identical random stimuli
+/// and compares every primary output each cycle.
+///
+/// The two designs must have the same input and output port names (the usual
+/// situation: the golden model is the IP as specified, the DUT is the
+/// possibly-infected deliverable).
+///
+/// # Errors
+///
+/// Returns an error if the port lists differ or a stimulus does not fit an
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use htd_baselines::designs::{clean_pipeline, sequence_trojan};
+/// use htd_baselines::testing::{random_equivalence_test, RandomTestOptions};
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// // A Trojan with a 6-value trigger sequence survives ten thousand cycles
+/// // of random testing: the trigger is never produced by chance.
+/// let golden = clean_pipeline(1);
+/// let infected = sequence_trojan(6);
+/// let report = random_equivalence_test(&infected, &golden, &RandomTestOptions::default())?;
+/// assert!(!report.detected());
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_equivalence_test(
+    dut: &ValidatedDesign,
+    golden: &ValidatedDesign,
+    options: &RandomTestOptions,
+) -> Result<RandomTestReport, DesignError> {
+    let start = Instant::now();
+    let dut_d = dut.design();
+    let golden_d = golden.design();
+
+    let dut_inputs = named_signals(dut, &dut_d.inputs());
+    let golden_inputs = named_signals(golden, &golden_d.inputs());
+    let dut_outputs = named_signals(dut, &dut_d.outputs());
+    let golden_outputs = named_signals(golden, &golden_d.outputs());
+    for name in dut_inputs.keys() {
+        if !golden_inputs.contains_key(name) {
+            return Err(DesignError::UnknownSignal { name: name.clone() });
+        }
+    }
+    for name in dut_outputs.keys() {
+        if !golden_outputs.contains_key(name) {
+            return Err(DesignError::UnknownSignal { name: name.clone() });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut dut_sim = Simulator::new(dut);
+    let mut golden_sim = Simulator::new(golden);
+
+    for cycle in 0..options.cycles {
+        for (name, &dut_id) in &dut_inputs {
+            let width = dut_d.signal_width(dut_id);
+            let value = random_word(&mut rng, width);
+            dut_sim.set_input(dut_id, value)?;
+            golden_sim.set_input(golden_inputs[name], value)?;
+        }
+        dut_sim.step()?;
+        golden_sim.step()?;
+        for (name, &dut_id) in &dut_outputs {
+            let dut_value = dut_sim.peek(dut_id);
+            let golden_value = golden_sim.peek(golden_outputs[name]);
+            if dut_value != golden_value {
+                return Ok(RandomTestReport {
+                    outcome: RandomTestOutcome::Diverges {
+                        cycle,
+                        output: name.clone(),
+                        dut_value,
+                        golden_value,
+                    },
+                    cycles_run: cycle + 1,
+                    duration: start.elapsed(),
+                });
+            }
+        }
+    }
+    Ok(RandomTestReport {
+        outcome: RandomTestOutcome::NoDivergence,
+        cycles_run: options.cycles,
+        duration: start.elapsed(),
+    })
+}
+
+fn named_signals(design: &ValidatedDesign, ids: &[SignalId]) -> BTreeMap<String, SignalId> {
+    ids.iter().map(|&id| (design.design().signal_name(id).to_string(), id)).collect()
+}
+
+fn random_word(rng: &mut StdRng, width: u32) -> u128 {
+    let raw: u128 = rng.gen();
+    if width >= 128 {
+        raw
+    } else {
+        raw & ((1u128 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{clean_pipeline, sequence_trojan, timer_trojan, value_counter_trojan};
+
+    #[test]
+    fn identical_designs_never_diverge() {
+        let golden = clean_pipeline(2);
+        let dut = clean_pipeline(2);
+        let report = random_equivalence_test(
+            &dut,
+            &golden,
+            &RandomTestOptions { cycles: 500, seed: 1 },
+        )
+        .unwrap();
+        assert!(!report.detected());
+        assert_eq!(report.cycles_run, 500);
+    }
+
+    #[test]
+    fn short_timer_trojan_is_caught_because_time_alone_triggers_it() {
+        // A timer that arms after 50 cycles fires during any reasonably long
+        // test run — random testing does catch *cheap* triggers.
+        let golden = clean_pipeline(1);
+        let dut = timer_trojan(50);
+        let report = random_equivalence_test(
+            &dut,
+            &golden,
+            &RandomTestOptions { cycles: 500, seed: 2 },
+        )
+        .unwrap();
+        assert!(report.detected());
+        if let RandomTestOutcome::Diverges { cycle, .. } = report.outcome {
+            assert!(cycle >= 50);
+        }
+    }
+
+    #[test]
+    fn sequence_trigger_survives_random_testing() {
+        // Even a 4-value sequence has probability (1/256)^4 per window of
+        // being produced by uniform random stimuli; 20 000 cycles of testing
+        // pass without ever arming the Trojan.
+        let golden = clean_pipeline(1);
+        let dut = sequence_trojan(4);
+        let report = random_equivalence_test(
+            &dut,
+            &golden,
+            &RandomTestOptions { cycles: 20_000, seed: 3 },
+        )
+        .unwrap();
+        assert!(!report.detected(), "false positive-free run expected: {:?}", report.outcome);
+    }
+
+    #[test]
+    fn value_counter_with_large_threshold_survives_random_testing() {
+        // Each cycle hits the magic value with probability 1/256, so a
+        // threshold of 2000 occurrences needs ~512k cycles on average —
+        // far beyond this budget.
+        let golden = clean_pipeline(1);
+        let dut = value_counter_trojan(2_000);
+        let report = random_equivalence_test(
+            &dut,
+            &golden,
+            &RandomTestOptions { cycles: 30_000, seed: 4 },
+        )
+        .unwrap();
+        assert!(!report.detected());
+    }
+
+    #[test]
+    fn mismatched_port_names_are_rejected() {
+        let golden = clean_pipeline(1);
+        let mut d = htd_rtl::Design::new("other_ports");
+        let input = d.add_input("different_input", 8).unwrap();
+        let r = d.add_register("r", 8, 0).unwrap();
+        d.set_register_next(r, d.signal(input)).unwrap();
+        d.add_output("out", d.signal(r)).unwrap();
+        let dut = d.validated().unwrap();
+        let err = random_equivalence_test(&dut, &golden, &RandomTestOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, DesignError::UnknownSignal { .. }));
+    }
+}

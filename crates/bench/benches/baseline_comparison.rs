@@ -1,0 +1,123 @@
+//! Experiment E11: the golden-free IPC flow against the baseline detection
+//! techniques on a trigger-length sweep.
+//!
+//! Reproduces the qualitative claims of Sec. I/II of the paper:
+//!
+//! * `ipc_flow`: runtime is flat in the trigger-sequence length — the
+//!   symbolic starting state fast-forwards over any trigger history.
+//! * `bmc_minimal_bound`: bounded model checking must unroll at least as
+//!   many frames as the trigger sequence is long, so its runtime (and CNF
+//!   size) grows with the sequence length.
+//! * `bmc_fixed_bound`: at a fixed bound the runtime stays flat but the
+//!   Trojan is simply missed beyond that bound (the series exists to make
+//!   the miss visible in the report, not to claim a speedup).
+//! * `random_testing`: a fixed simulation budget that never produces the
+//!   stealthy trigger sequence.
+//! * `uci` / `fanci`: the statistical structural analyses, included for
+//!   runtime context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
+use htd_baselines::designs::{clean_pipeline, sequence_trojan};
+use htd_baselines::fanci::{control_value_analysis, FanciOptions};
+use htd_baselines::testing::{random_equivalence_test, RandomTestOptions};
+use htd_baselines::uci::{unused_circuit_identification, UciOptions};
+use htd_core::TrojanDetector;
+
+const TRIGGER_LENGTHS: [u64; 4] = [4, 16, 64, 128];
+
+fn ipc_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison/ipc_flow");
+    group.sample_size(20);
+    for length in TRIGGER_LENGTHS {
+        let design = sequence_trojan(length);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
+            b.iter(|| {
+                let report = TrojanDetector::new(design).unwrap().run().unwrap();
+                assert!(!report.outcome.is_secure(), "the flow must detect the Trojan");
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bmc_minimal_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison/bmc_minimal_bound");
+    group.sample_size(10);
+    for length in TRIGGER_LENGTHS {
+        let design = sequence_trojan(length);
+        // The smallest prefix that still detects the Trojan: the sequence
+        // length itself (the shared settle/window frames contribute the
+        // remaining progress).
+        let options = BmcOptions { bound: length as usize, window: 1, ..BmcOptions::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
+            b.iter(|| {
+                let report = bounded_trojan_search(design, &options);
+                assert!(report.detected(), "bound {} must cover trigger length {length}", length);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bmc_fixed_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison/bmc_fixed_bound_8");
+    group.sample_size(10);
+    for length in TRIGGER_LENGTHS {
+        let design = sequence_trojan(length);
+        let options = BmcOptions { bound: 8, window: 1, ..BmcOptions::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
+            b.iter(|| {
+                let report = bounded_trojan_search(design, &options);
+                // Bound 8 covers the short sequences and misses the long
+                // ones — exactly the gap the paper's method closes.
+                assert_eq!(report.detected(), length <= 8 + 2);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn random_testing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison/random_testing_10k");
+    group.sample_size(10);
+    let golden = clean_pipeline(1);
+    for length in TRIGGER_LENGTHS {
+        let design = sequence_trojan(length);
+        let options = RandomTestOptions { cycles: 10_000, seed: 0xBEEF };
+        group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
+            b.iter(|| {
+                let report = random_equivalence_test(design, &golden, &options).unwrap();
+                assert!(!report.detected(), "random stimuli never produce the sequence");
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn structural_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison/structural_heuristics");
+    group.sample_size(10);
+    let design = sequence_trojan(16);
+    group.bench_function("uci_4k_cycles", |b| {
+        b.iter(|| unused_circuit_identification(&design, &UciOptions::default()).unwrap())
+    });
+    group.bench_function("fanci_64_samples", |b| {
+        b.iter(|| control_value_analysis(&design, &FanciOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ipc_flow,
+    bmc_minimal_bound,
+    bmc_fixed_bound,
+    random_testing,
+    structural_heuristics
+);
+criterion_main!(benches);

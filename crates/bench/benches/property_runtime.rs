@@ -1,0 +1,42 @@
+//! Experiment E3: per-property proof runtime.
+//!
+//! Sec. VI of the paper reports 1–3 s and <1 GB per property on a commercial
+//! property checker.  This benchmark measures the runtime of individual
+//! interval properties on our engine: the init property, a shallow, a middle
+//! and the deepest fanout property of the clean AES, and the failing fanout
+//! property 21 of the AES-T2500 Trojan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htd_bench::{check_property, flow_properties, prepared_benchmark};
+use htd_trusthub::registry::Benchmark;
+
+fn property_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("property_runtime");
+    group.sample_size(10);
+
+    let (clean_aes, _) = prepared_benchmark(Benchmark::AesHtFree);
+    let clean_properties = flow_properties(&clean_aes);
+    let picks = [0usize, 1, 10, clean_properties.len() - 1];
+    for index in picks {
+        let property = &clean_properties[index];
+        group.bench_with_input(
+            BenchmarkId::new("aes_ht_free", &property.name),
+            property,
+            |b, property| b.iter(|| check_property(&clean_aes, property, true)),
+        );
+    }
+
+    let (infected, _) = prepared_benchmark(Benchmark::AesT2500);
+    let infected_properties = flow_properties(&infected);
+    let failing = infected_properties.last().expect("AES has fanout levels");
+    group.bench_with_input(
+        BenchmarkId::new("aes_t2500", &failing.name),
+        failing,
+        |b, property| b.iter(|| check_property(&infected, property, true)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, property_runtime);
+criterion_main!(benches);

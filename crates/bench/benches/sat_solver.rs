@@ -1,0 +1,78 @@
+//! Micro-benchmarks for the CDCL SAT solver backing the property checker:
+//! random 3-SAT near the satisfiability threshold and pigeonhole instances
+//! (hard UNSAT cases exercising clause learning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htd_sat::{Lit, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_3sat(num_vars: usize, ratio: f64, seed: u64) -> Vec<Vec<(usize, bool)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    (0..num_clauses)
+        .map(|_| {
+            let mut clause = Vec::new();
+            while clause.len() < 3 {
+                let v = rng.gen_range(0..num_vars);
+                if !clause.iter().any(|&(cv, _)| cv == v) {
+                    clause.push((v, rng.gen_bool(0.5)));
+                }
+            }
+            clause
+        })
+        .collect()
+}
+
+fn solve(clauses: &[Vec<(usize, bool)>], num_vars: usize) -> htd_sat::SolveResult {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|&(v, neg)| Lit::new(vars[v], neg)));
+    }
+    solver.solve()
+}
+
+fn pigeonhole(pigeons: usize) -> (Vec<Vec<(usize, bool)>>, usize) {
+    let holes = pigeons - 1;
+    let var = |p: usize, h: usize| p * holes + h;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| (var(p, h), false)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(vec![(var(p1, h), true), (var(p2, h), true)]);
+            }
+        }
+    }
+    (clauses, pigeons * holes)
+}
+
+fn sat_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(10);
+
+    for num_vars in [60usize, 100, 140] {
+        let clauses = random_3sat(num_vars, 4.26, 0xBEEF + num_vars as u64);
+        group.bench_with_input(
+            BenchmarkId::new("random_3sat_threshold", num_vars),
+            &clauses,
+            |b, clauses| b.iter(|| solve(clauses, num_vars)),
+        );
+    }
+
+    for pigeons in [6usize, 7, 8] {
+        let (clauses, num_vars) = pigeonhole(pigeons);
+        group.bench_with_input(
+            BenchmarkId::new("pigeonhole_unsat", pigeons),
+            &clauses,
+            |b, clauses| b.iter(|| solve(clauses, num_vars)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sat_solver);
+criterion_main!(benches);

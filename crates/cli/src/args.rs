@@ -1,0 +1,251 @@
+//! Hand-rolled argument parsing for the `htd` binary.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced while parsing the command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of the known ones.
+    UnknownCommand(String),
+    /// A flag is not recognised for this subcommand.
+    UnknownFlag(String),
+    /// A flag that needs a value was given without one.
+    MissingValue(String),
+    /// A required positional argument (the input file) is missing.
+    MissingInput,
+    /// A numeric flag value could not be parsed.
+    InvalidNumber(String),
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::MissingCommand => {
+                write!(f, "missing subcommand (try `htd help`)")
+            }
+            ParseArgsError::UnknownCommand(cmd) => {
+                write!(f, "unknown subcommand `{cmd}` (try `htd help`)")
+            }
+            ParseArgsError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ParseArgsError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ParseArgsError::MissingInput => write!(f, "missing input file"),
+            ParseArgsError::InvalidNumber(value) => {
+                write!(f, "`{value}` is not a valid number")
+            }
+        }
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Options of the `detect` subcommand.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetectArgs {
+    /// The RTL input file (Verilog or textual netlist).
+    pub input: PathBuf,
+    /// Explicit top module name for Verilog inputs.
+    pub top: Option<String>,
+    /// Write a GraphViz rendering of the fanout levels to this path.
+    pub dot: Option<PathBuf>,
+    /// Write counterexample waveforms to `<prefix>_instance{1,2}.vcd`.
+    pub vcd_prefix: Option<PathBuf>,
+    /// Register names to waive as benign state (Sec. V-B scenario 2).
+    pub benign: Vec<String>,
+}
+
+/// One parsed `htd` invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Run the detection flow on an RTL file.
+    Detect(DetectArgs),
+    /// Print design statistics and the fanout levels.
+    Stats {
+        /// The RTL input file.
+        input: PathBuf,
+        /// Explicit top module name for Verilog inputs.
+        top: Option<String>,
+    },
+    /// Regenerate Table I of the paper on the bundled benchmarks.
+    Table1,
+    /// Run the baseline detectors on an RTL file for comparison.
+    Baselines {
+        /// The RTL input file.
+        input: PathBuf,
+        /// Explicit top module name for Verilog inputs.
+        top: Option<String>,
+        /// Unrolling bound for the bounded-model-checking baseline.
+        bound: usize,
+    },
+    /// Print usage information.
+    Help,
+}
+
+impl Command {
+    /// Parses the command line (without the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseArgsError`] describing the first problem found.
+    pub fn parse<I, S>(args: I) -> Result<Command, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = args.into_iter().map(Into::into);
+        let command = args.next().ok_or(ParseArgsError::MissingCommand)?;
+        let rest: Vec<String> = args.collect();
+        match command.as_str() {
+            "detect" => {
+                let mut parsed = DetectArgs::default();
+                let mut input = None;
+                let mut iter = rest.into_iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--top" => parsed.top = Some(required(&mut iter, "--top")?),
+                        "--dot" => parsed.dot = Some(required(&mut iter, "--dot")?.into()),
+                        "--vcd" => {
+                            parsed.vcd_prefix = Some(required(&mut iter, "--vcd")?.into());
+                        }
+                        "--benign" => parsed.benign.push(required(&mut iter, "--benign")?),
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseArgsError::UnknownFlag(flag.to_string()))
+                        }
+                        positional => input = Some(PathBuf::from(positional)),
+                    }
+                }
+                parsed.input = input.ok_or(ParseArgsError::MissingInput)?;
+                Ok(Command::Detect(parsed))
+            }
+            "stats" => {
+                let (input, top, _) = positional_with_top(rest, None)?;
+                Ok(Command::Stats { input, top })
+            }
+            "baselines" => {
+                let (input, top, bound) = positional_with_top(rest, Some(8))?;
+                Ok(Command::Baselines { input, top, bound: bound.unwrap_or(8) })
+            }
+            "table1" => Ok(Command::Table1),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(ParseArgsError::UnknownCommand(other.to_string())),
+        }
+    }
+}
+
+fn required(
+    iter: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<String, ParseArgsError> {
+    iter.next().ok_or_else(|| ParseArgsError::MissingValue(flag.to_string()))
+}
+
+/// Parses `<input> [--top NAME] [--bound N]` argument lists.
+fn positional_with_top(
+    rest: Vec<String>,
+    default_bound: Option<usize>,
+) -> Result<(PathBuf, Option<String>, Option<usize>), ParseArgsError> {
+    let mut input = None;
+    let mut top = None;
+    let mut bound = default_bound;
+    let mut iter = rest.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => top = Some(required(&mut iter, "--top")?),
+            "--bound" if default_bound.is_some() => {
+                let value = required(&mut iter, "--bound")?;
+                bound =
+                    Some(value.parse().map_err(|_| ParseArgsError::InvalidNumber(value))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ParseArgsError::UnknownFlag(flag.to_string()))
+            }
+            positional => input = Some(PathBuf::from(positional)),
+        }
+    }
+    Ok((input.ok_or(ParseArgsError::MissingInput)?, top, bound))
+}
+
+/// The usage text printed by `htd help`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "htd — golden-free formal hardware-Trojan detection (DATE'24 reproduction)
+
+USAGE:
+    htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
+    htd stats <file> [--top NAME]
+    htd baselines <file> [--top NAME] [--bound N]
+    htd table1
+    htd help
+
+INPUTS:
+    *.v / *.sv      synthesizable-subset Verilog (single clock domain)
+    anything else   the textual netlist format of htd-rtl
+
+SUBCOMMANDS:
+    detect      run Algorithm 1 (init/fanout properties + coverage check)
+    stats       design statistics and the structural fanout levels
+    baselines   bounded model checking, random testing, UCI and FANCI
+    table1      regenerate Table I of the paper on the bundled benchmarks
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_detect_invocation() {
+        let cmd = Command::parse([
+            "detect", "design.v", "--top", "aes", "--benign", "round", "--benign", "busy",
+            "--dot", "graph.dot", "--vcd", "cex",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Detect(args) => {
+                assert_eq!(args.input, PathBuf::from("design.v"));
+                assert_eq!(args.top.as_deref(), Some("aes"));
+                assert_eq!(args.benign, vec!["round", "busy"]);
+                assert_eq!(args.dot, Some(PathBuf::from("graph.dot")));
+                assert_eq!(args.vcd_prefix, Some(PathBuf::from("cex")));
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stats_baselines_table1_and_help() {
+        assert!(matches!(Command::parse(["stats", "x.netlist"]).unwrap(), Command::Stats { .. }));
+        assert!(matches!(Command::parse(["table1"]).unwrap(), Command::Table1));
+        assert!(matches!(Command::parse(["help"]).unwrap(), Command::Help));
+        match Command::parse(["baselines", "x.v", "--bound", "16"]).unwrap() {
+            Command::Baselines { bound, .. } => assert_eq!(bound, 16),
+            other => panic!("expected baselines, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_helpful_errors() {
+        assert_eq!(Command::parse(Vec::<String>::new()).unwrap_err(), ParseArgsError::MissingCommand);
+        assert_eq!(
+            Command::parse(["frobnicate"]).unwrap_err(),
+            ParseArgsError::UnknownCommand("frobnicate".into())
+        );
+        assert_eq!(Command::parse(["detect"]).unwrap_err(), ParseArgsError::MissingInput);
+        assert_eq!(
+            Command::parse(["detect", "x.v", "--top"]).unwrap_err(),
+            ParseArgsError::MissingValue("--top".into())
+        );
+        assert_eq!(
+            Command::parse(["baselines", "x.v", "--bound", "many"]).unwrap_err(),
+            ParseArgsError::InvalidNumber("many".into())
+        );
+        assert_eq!(
+            Command::parse(["stats", "x.v", "--wrong"]).unwrap_err(),
+            ParseArgsError::UnknownFlag("--wrong".into())
+        );
+        assert!(usage().contains("htd detect"));
+    }
+}

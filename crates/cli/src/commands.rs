@@ -1,0 +1,288 @@
+//! Execution of parsed commands.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
+use htd_baselines::fanci::{control_value_analysis, FanciOptions};
+use htd_baselines::uci::{unused_circuit_identification, UciOptions};
+use htd_core::replay::replay_counterexample;
+use htd_core::{DetectionOutcome, DetectorConfig, TrojanDetector};
+use htd_rtl::export::fanout_dot;
+use htd_rtl::stats::DesignStats;
+use htd_rtl::structural::fanout_levels;
+use htd_rtl::ValidatedDesign;
+use htd_trusthub::registry::Benchmark;
+
+use crate::args::{usage, Command, DetectArgs};
+use crate::input::load_design;
+
+/// Errors reported by the command runner.
+#[derive(Clone, Debug)]
+pub enum CliError {
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying message.
+        message: String,
+    },
+    /// A front-end (Verilog or netlist) rejected the input.
+    Frontend {
+        /// The file involved.
+        path: PathBuf,
+        /// The parse or elaboration error.
+        message: String,
+    },
+    /// The detection flow itself failed (e.g. a design without inputs).
+    Flow(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Frontend { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Flow(message) => write!(f, "detection flow failed: {message}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+/// Executes a parsed command and returns the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for I/O, front-end and flow failures; argument
+/// errors are handled earlier by [`Command::parse`].
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(usage().to_string()),
+        Command::Detect(args) => detect(args),
+        Command::Stats { input, top } => {
+            let design = load_design(input, top.as_deref())?;
+            Ok(stats_text(&design))
+        }
+        Command::Baselines { input, top, bound } => {
+            let design = load_design(input, top.as_deref())?;
+            Ok(baselines_text(&design, *bound))
+        }
+        Command::Table1 => Ok(table1_text()),
+    }
+}
+
+fn detect(args: &DetectArgs) -> Result<String, CliError> {
+    let design = load_design(&args.input, args.top.as_deref())?;
+    let d = design.design();
+    let benign = args
+        .benign
+        .iter()
+        .filter_map(|name| d.lookup(name))
+        .collect::<Vec<_>>();
+    let config = DetectorConfig { benign_state: benign, ..DetectorConfig::default() };
+    let report = TrojanDetector::with_config(&design, config)
+        .map_err(|e| CliError::Flow(e.to_string()))?
+        .run()
+        .map_err(|e| CliError::Flow(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+
+    if let Some(dot_path) = &args.dot {
+        std::fs::write(dot_path, fanout_dot(&design))
+            .map_err(|e| CliError::Io { path: dot_path.clone(), message: e.to_string() })?;
+        let _ = writeln!(out, "fanout-level graph written to {}", dot_path.display());
+    }
+    if let Some(prefix) = &args.vcd_prefix {
+        if let DetectionOutcome::PropertyFailed { counterexample, .. } = &report.outcome {
+            let replay = replay_counterexample(&design, counterexample)
+                .map_err(|e| CliError::Flow(e.to_string()))?;
+            for (suffix, vcd) in
+                [("instance1", &replay.instance1_vcd), ("instance2", &replay.instance2_vcd)]
+            {
+                let path = PathBuf::from(format!("{}_{suffix}.vcd", prefix.display()));
+                std::fs::write(&path, vcd)
+                    .map_err(|e| CliError::Io { path: path.clone(), message: e.to_string() })?;
+                let _ = writeln!(out, "counterexample waveform written to {}", path.display());
+            }
+        } else {
+            let _ = writeln!(out, "no counterexample to export (no property failed)");
+        }
+    }
+    Ok(out)
+}
+
+fn stats_text(design: &ValidatedDesign) -> String {
+    let d = design.design();
+    let stats = DesignStats::of(design);
+    let mut out = String::new();
+    let _ = writeln!(out, "design `{}`", d.name());
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(out, "fanout levels (Algorithm 1 proof order):");
+    for (k, level) in fanout_levels(design).iter().enumerate() {
+        let names: Vec<&str> = level.iter().map(|&s| d.signal_name(s)).collect();
+        let _ = writeln!(out, "  fanouts_CC{:<2} {}", k + 1, names.join(", "));
+    }
+    out
+}
+
+fn baselines_text(design: &ValidatedDesign, bound: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "baseline comparison for `{}`", design.design().name());
+
+    let report = TrojanDetector::new(design)
+        .and_then(|detector| detector.run())
+        .map(|r| r.summary())
+        .unwrap_or_else(|e| format!("flow not applicable: {e}"));
+    let _ = writeln!(out, "  IPC flow (paper):       {report}");
+
+    let bmc = bounded_trojan_search(design, &BmcOptions { bound, ..BmcOptions::default() });
+    let _ = writeln!(
+        out,
+        "  BMC (bound {bound}):         {} ({} CNF vars, {:.3}s)",
+        if bmc.detected() { "divergence found" } else { "no divergence within the bound" },
+        bmc.cnf_vars,
+        bmc.duration.as_secs_f64()
+    );
+
+    match unused_circuit_identification(design, &UciOptions::default()) {
+        Ok(uci) => {
+            let _ = writeln!(
+                out,
+                "  UCI (random tests):      {} of {} signal pairs flagged",
+                uci.flagged.len(),
+                uci.pairs_examined
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  UCI (random tests):      not applicable: {e}");
+        }
+    }
+
+    let fanci = control_value_analysis(design, &FanciOptions::default());
+    let _ = writeln!(
+        out,
+        "  FANCI (control values):  {} of {} signals flagged",
+        fanci.suspicious.len(),
+        fanci.signals_analysed
+    );
+    out
+}
+
+fn table1_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:<16} {:<22} {:<22} {}",
+        "Benchmark", "Payload", "Trigger", "Paper: detected by", "Ours: detected by", "Match"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(95));
+    for benchmark in Benchmark::table1() {
+        let info = benchmark.info();
+        let design = benchmark.build().expect("bundled benchmarks build");
+        let config = DetectorConfig {
+            benign_state: benchmark.benign_state(&design),
+            ..DetectorConfig::default()
+        };
+        let report = TrojanDetector::with_config(&design, config)
+            .expect("bundled benchmarks are accepted")
+            .run()
+            .expect("flow completes");
+        let ours = match &report.outcome {
+            DetectionOutcome::PropertyFailed { detected_by, .. } => detected_by.to_string(),
+            DetectionOutcome::UncoveredSignals { .. } => "coverage check".to_string(),
+            DetectionOutcome::Secure => "NOT DETECTED".to_string(),
+        };
+        let matches = !report.outcome.is_secure();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:<16} {:<22} {:<22} {}",
+            info.name,
+            info.payload_label,
+            info.trigger_label,
+            info.paper_detected_by,
+            ours,
+            if matches { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const INFECTED: &str = "
+module leaky(input clk, input rst, input [7:0] d, output [7:0] q);
+  reg [7:0] stage;
+  reg armed;
+  always @(posedge clk or posedge rst) begin
+    if (rst) armed <= 1'b0;
+    else if (d == 8'h5A) armed <= 1'b1;
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) stage <= 8'd0;
+    else stage <= d ^ {7'd0, armed};
+  end
+  assign q = stage;
+endmodule
+";
+
+    #[test]
+    fn detect_runs_end_to_end_and_writes_artefacts() {
+        let input = write_temp("htd_cli_detect_input.v", INFECTED);
+        let dot = std::env::temp_dir().join("htd_cli_detect_graph.dot");
+        let vcd_prefix = std::env::temp_dir().join("htd_cli_detect_cex");
+        let command = Command::Detect(DetectArgs {
+            input: input.clone(),
+            top: None,
+            dot: Some(dot.clone()),
+            vcd_prefix: Some(vcd_prefix.clone()),
+            benign: vec![],
+        });
+        let output = run(&command).unwrap();
+        assert!(output.contains("TROJAN SUSPECTED"), "{output}");
+        assert!(std::fs::read_to_string(&dot).unwrap().contains("digraph"));
+        let vcd1 = PathBuf::from(format!("{}_instance1.vcd", vcd_prefix.display()));
+        assert!(std::fs::read_to_string(&vcd1).unwrap().contains("$enddefinitions"));
+        for path in [input, dot, vcd1, PathBuf::from(format!("{}_instance2.vcd", vcd_prefix.display()))] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn stats_lists_the_fanout_levels() {
+        let input = write_temp("htd_cli_stats_input.v", INFECTED);
+        let output = run(&Command::Stats { input: input.clone(), top: None }).unwrap();
+        assert!(output.contains("fanouts_CC1"), "{output}");
+        assert!(output.contains("leaky"));
+        std::fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn baselines_report_all_four_techniques() {
+        let input = write_temp("htd_cli_baselines_input.v", INFECTED);
+        let output =
+            run(&Command::Baselines { input: input.clone(), top: None, bound: 4 }).unwrap();
+        assert!(output.contains("IPC flow"));
+        assert!(output.contains("BMC (bound 4)"));
+        assert!(output.contains("UCI"));
+        assert!(output.contains("FANCI"));
+        std::fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let output = run(&Command::Help).unwrap();
+        assert!(output.contains("USAGE"));
+    }
+}

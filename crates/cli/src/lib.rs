@@ -1,0 +1,29 @@
+//! # htd-cli
+//!
+//! Command-line front-end for the golden-free hardware-Trojan detection
+//! toolkit.  The `htd` binary wraps the library crates so a verification
+//! engineer can run the flow on an RTL file without writing Rust:
+//!
+//! ```text
+//! htd detect design.v             # run Algorithm 1 on a Verilog module
+//! htd detect design.netlist       # … or on the textual netlist format
+//! htd detect design.v --dot g.dot --vcd cex   # also export analysis artefacts
+//! htd stats design.v              # design statistics and fanout levels
+//! htd table1                      # regenerate Table I of the paper
+//! htd baselines design.v          # run the baseline detectors for comparison
+//! ```
+//!
+//! Argument parsing is hand-rolled (the toolkit has no CLI dependencies);
+//! [`Command::parse`] turns `argv` into a structured command and
+//! [`run`] executes it, returning the text that `main` prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod input;
+
+pub use args::{Command, DetectArgs, ParseArgsError};
+pub use commands::{run, CliError};
+pub use input::{load_design, InputFormat};

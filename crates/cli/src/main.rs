@@ -1,0 +1,27 @@
+//! The `htd` binary: golden-free hardware-Trojan detection from the command
+//! line.  See `htd help` or the crate documentation of `htd-cli`.
+
+use std::process::ExitCode;
+
+use htd_cli::{run, Command};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match Command::parse(args) {
+        Ok(command) => command,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

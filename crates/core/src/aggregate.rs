@@ -1,0 +1,142 @@
+//! The aggregate *trojan property* (Fig. 3 of the paper) and the empirical
+//! validation of Theorem 1.
+//!
+//! The iterative flow checks one single-cycle property per fanout level.
+//! Theorem 1 states that this decomposition is sound and complete with respect
+//! to the aggregate property that checks all levels in one multi-cycle proof:
+//! *at least one decomposed property fails iff the aggregate property fails*.
+//! This module exposes the aggregate check so tests and benchmarks can compare
+//! the two formulations on the same designs (experiment E7 of DESIGN.md).
+
+use htd_ipc::{CheckerOptions, PropertyChecker, PropertyReport};
+use htd_rtl::structural::fanout_levels;
+use htd_rtl::{SignalId, ValidatedDesign};
+
+/// The fanout levels (`fanouts_CC1`, `fanouts_CC2`, …) used by both the
+/// aggregate property and the decomposed flow, computed exactly as in
+/// Algorithm 1.
+#[must_use]
+pub fn trojan_property_levels(design: &ValidatedDesign) -> Vec<Vec<SignalId>> {
+    fanout_levels(design)
+}
+
+/// Checks the aggregate trojan property of Fig. 3: assuming equal inputs at
+/// every time frame, the two instances' `fanouts_CCk` sets must be equal at
+/// `t + k` for every level `k`.
+///
+/// Returns the usual property report; a counterexample's `frame` field tells
+/// which level diverged.
+///
+/// # Example
+///
+/// ```
+/// use htd_core::aggregate::check_trojan_property;
+/// use htd_rtl::Design;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let mut d = Design::new("passthrough");
+/// let i = d.add_input("i", 4)?;
+/// let r = d.add_register("r", 4, 0)?;
+/// d.set_register_next(r, d.signal(i))?;
+/// d.add_output("o", d.signal(r))?;
+/// let design = d.validated()?;
+/// assert!(check_trojan_property(&design).holds());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn check_trojan_property(design: &ValidatedDesign) -> PropertyReport {
+    check_trojan_property_with_options(design, CheckerOptions::default())
+}
+
+/// [`check_trojan_property`] with explicit checker options.
+#[must_use]
+pub fn check_trojan_property_with_options(
+    design: &ValidatedDesign,
+    options: CheckerOptions,
+) -> PropertyReport {
+    let levels = trojan_property_levels(design);
+    let checker = PropertyChecker::with_options(design, options);
+    checker.check_aggregate(&levels, "trojan_property")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectionOutcome, TrojanDetector};
+    use htd_rtl::Design;
+
+    fn clean_design() -> ValidatedDesign {
+        let mut d = Design::new("clean");
+        let input = d.add_input("in", 4).unwrap();
+        let a = d.add_register("a", 4, 0).unwrap();
+        let b = d.add_register("b", 4, 0).unwrap();
+        d.set_register_next(a, d.signal(input)).unwrap();
+        let inc = {
+            let one = d.constant(1, 4).unwrap();
+            d.add(d.signal(a), one).unwrap()
+        };
+        d.set_register_next(b, inc).unwrap();
+        d.add_output("out", d.signal(b)).unwrap();
+        d.validated().unwrap()
+    }
+
+    fn infected_design() -> ValidatedDesign {
+        let mut d = Design::new("infected");
+        let input = d.add_input("in", 4).unwrap();
+        let a = d.add_register("a", 4, 0).unwrap();
+        let b = d.add_register("b", 4, 0).unwrap();
+        let timer = d.add_register("timer", 3, 0).unwrap();
+        let one3 = d.constant(1, 3).unwrap();
+        let t_next = d.add(d.signal(timer), one3).unwrap();
+        d.set_register_next(timer, t_next).unwrap();
+        d.set_register_next(a, d.signal(input)).unwrap();
+        let armed = d.eq_const(d.signal(timer), 7).unwrap();
+        let flip = d.zero_ext(armed, 4).unwrap();
+        let payload = d.xor(d.signal(a), flip).unwrap();
+        d.set_register_next(b, payload).unwrap();
+        d.add_output("out", d.signal(b)).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn aggregate_property_holds_on_clean_design() {
+        let design = clean_design();
+        let report = check_trojan_property(&design);
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn aggregate_property_fails_on_infected_design() {
+        let design = infected_design();
+        let report = check_trojan_property(&design);
+        assert!(!report.holds());
+        let cex = report.outcome.counterexample().unwrap();
+        // The payload manifests in register `b`, two cycles from the inputs.
+        assert!(cex.diff_names().contains(&"b") || cex.diff_names().contains(&"out"));
+        assert!(cex.frame >= 2);
+    }
+
+    #[test]
+    fn theorem_1_decomposition_agrees_with_aggregate_on_both_designs() {
+        for design in [clean_design(), infected_design()] {
+            let aggregate_fails = !check_trojan_property(&design).holds();
+            let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+            let decomposed_fails =
+                matches!(report.outcome, DetectionOutcome::PropertyFailed { .. });
+            assert_eq!(
+                aggregate_fails,
+                decomposed_fails,
+                "Theorem 1 violated on {}",
+                design.design().name()
+            );
+        }
+    }
+
+    #[test]
+    fn levels_match_structural_fixpoint() {
+        let design = clean_design();
+        let levels = trojan_property_levels(&design);
+        assert_eq!(levels.len(), 3); // a, then b, then out
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type of the detection flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::TrojanDetector`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DetectError {
+    /// The design has no primary inputs, so the input-fanout decomposition of
+    /// the flow is not applicable.
+    NoInputs,
+    /// The design has no state or output signals, so there is nothing a
+    /// Trojan payload could manifest in (and nothing to verify).
+    NoStateOrOutputs,
+    /// The iterative flow exceeded the configured iteration budget; this
+    /// indicates a configuration error, since the number of iterations is
+    /// bounded by the structural depth of the design.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Spurious-counterexample resolution exceeded its iteration budget for a
+    /// property.
+    ResolutionLimit {
+        /// The property that could not be resolved.
+        property: String,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::NoInputs => write!(f, "design has no primary inputs"),
+            DetectError::NoStateOrOutputs => {
+                write!(f, "design has no state or output signals to verify")
+            }
+            DetectError::IterationLimit { limit } => {
+                write!(f, "fanout iteration limit of {limit} exceeded")
+            }
+            DetectError::ResolutionLimit { property, limit } => write!(
+                f,
+                "spurious-counterexample resolution limit of {limit} exceeded for {property}"
+            ),
+        }
+    }
+}
+
+impl Error for DetectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(DetectError::NoInputs.to_string().contains("inputs"));
+        assert!(DetectError::IterationLimit { limit: 3 }.to_string().contains('3'));
+        assert!(DetectError::ResolutionLimit { property: "fanout_property_2".into(), limit: 5 }
+            .to_string()
+            .contains("fanout_property_2"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DetectError>();
+    }
+}

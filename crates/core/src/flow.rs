@@ -1,0 +1,499 @@
+//! The iterative detection flow (Algorithm 1 of the paper).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use htd_ipc::{CheckOutcome, CheckerOptions, IntervalProperty, PropertyChecker, PropertyReport};
+use htd_rtl::structural::{get_fanout, uncovered_signals};
+use htd_rtl::{SignalId, ValidatedDesign};
+
+use crate::diagnosis::{diagnose, Diagnosis};
+use crate::error::DetectError;
+use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+
+/// Configuration of the detection flow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Options passed to the underlying property checker.
+    pub checker: CheckerOptions,
+    /// Additionally assume equality of all signals proven by *earlier*
+    /// properties when checking a fanout property (default: `true`).
+    ///
+    /// This applies the re-verification fix of Sec. V-B, scenario (1)
+    /// proactively: a fanout property may otherwise fail only because its
+    /// antecedent does not mention a signal that another property has already
+    /// proven equal.
+    pub assume_previously_proven: bool,
+    /// Benign-state waivers (Sec. V-B, scenario (2)): registers the
+    /// verification engineer has inspected and disqualified as Trojan state
+    /// (FSM phases, busy flags, round counters, …).  When a counterexample is
+    /// fully explained by waived registers, the flow adds equality
+    /// assumptions for them and re-verifies instead of reporting a Trojan.
+    pub benign_state: Vec<SignalId>,
+    /// Maximum number of spurious-counterexample resolution rounds per
+    /// property.
+    pub max_resolution_iterations: usize,
+    /// Safety bound on the number of fanout iterations (the loop is bounded
+    /// by the structural depth of the design; this limit only guards against
+    /// configuration errors).
+    pub max_flow_iterations: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            checker: CheckerOptions::default(),
+            assume_previously_proven: true,
+            benign_state: Vec::new(),
+            max_resolution_iterations: 16,
+            max_flow_iterations: 4096,
+        }
+    }
+}
+
+/// The golden-free Trojan detector: Algorithm 1 of the paper.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct TrojanDetector<'a> {
+    design: &'a ValidatedDesign,
+    config: DetectorConfig,
+}
+
+impl<'a> TrojanDetector<'a> {
+    /// Creates a detector with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the design has no primary inputs or no state/output signals —
+    /// the flow's decomposition is not applicable to such designs.
+    pub fn new(design: &'a ValidatedDesign) -> Result<Self, DetectError> {
+        Self::with_config(design, DetectorConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_config(
+        design: &'a ValidatedDesign,
+        config: DetectorConfig,
+    ) -> Result<Self, DetectError> {
+        let d = design.design();
+        if d.inputs().is_empty() {
+            return Err(DetectError::NoInputs);
+        }
+        if d.state_and_output_signals().is_empty() {
+            return Err(DetectError::NoStateOrOutputs);
+        }
+        Ok(TrojanDetector { design, config })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs the full detection flow: init property, fanout properties until
+    /// the structural fixpoint, then the signal-coverage check.
+    ///
+    /// The flow stops at the first property that fails after
+    /// spurious-counterexample resolution, exactly as a verification engineer
+    /// would, because the counterexample already localises the potential
+    /// Trojan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::IterationLimit`] or
+    /// [`DetectError::ResolutionLimit`] when the configured safety bounds are
+    /// exceeded (which indicates a configuration problem, not a Trojan).
+    pub fn run(&self) -> Result<DetectionReport, DetectError> {
+        let start = Instant::now();
+        let d = self.design.design();
+        let checker = PropertyChecker::with_options(self.design, self.config.checker);
+        let names = |sigs: &[SignalId]| -> Vec<String> {
+            sigs.iter().map(|&s| d.signal_name(s).to_string()).collect()
+        };
+
+        let mut fanout_levels: Vec<Vec<String>> = Vec::new();
+        let mut properties: Vec<PropertyTrace> = Vec::new();
+        let mut spurious_total = 0usize;
+
+        // Step 1: fanouts_CC1 and the init property.
+        let inputs = d.inputs();
+        let fanouts_cc1 = get_fanout(self.design, &inputs);
+        fanout_levels.push(names(&fanouts_cc1));
+        let init = IntervalProperty::new("init_property", Vec::new(), fanouts_cc1.clone());
+        let (trace, failed) = self.check_with_resolution(&checker, init)?;
+        spurious_total += trace.spurious_resolved;
+        properties.push(trace);
+        if let Some(cex) = failed {
+            return Ok(self.report(
+                DetectionOutcome::PropertyFailed {
+                    detected_by: DetectedBy::InitProperty,
+                    counterexample: Box::new(cex),
+                },
+                fanout_levels,
+                properties,
+                spurious_total,
+                start,
+            ));
+        }
+
+        // Step 2: iterate fanout properties until no new signal is reached.
+        let mut fanouts_all: BTreeSet<SignalId> = BTreeSet::new();
+        let mut fanouts_cck = fanouts_cc1;
+        let mut k = 1usize;
+        loop {
+            if k > self.config.max_flow_iterations {
+                return Err(DetectError::IterationLimit {
+                    limit: self.config.max_flow_iterations,
+                });
+            }
+            fanouts_all.extend(fanouts_cck.iter().copied());
+            let fanouts_next = get_fanout(self.design, &fanouts_cck);
+            // Termination (Alg. 1, line 16): stop when the next level adds no
+            // new signal.
+            let adds_new = fanouts_next.iter().any(|s| !fanouts_all.contains(s));
+            if !adds_new {
+                break;
+            }
+            fanout_levels.push(names(&fanouts_next));
+            let mut assume = fanouts_cck.clone();
+            if self.config.assume_previously_proven {
+                for &s in &fanouts_all {
+                    if !assume.contains(&s) {
+                        assume.push(s);
+                    }
+                }
+            }
+            let property = IntervalProperty::new(
+                format!("fanout_property_{k}"),
+                assume,
+                fanouts_next.clone(),
+            );
+            let (trace, failed) = self.check_with_resolution(&checker, property)?;
+            spurious_total += trace.spurious_resolved;
+            properties.push(trace);
+            if let Some(cex) = failed {
+                return Ok(self.report(
+                    DetectionOutcome::PropertyFailed {
+                        detected_by: DetectedBy::FanoutProperty(k),
+                        counterexample: Box::new(cex),
+                    },
+                    fanout_levels,
+                    properties,
+                    spurious_total,
+                    start,
+                ));
+            }
+            fanouts_cck = fanouts_next;
+            k += 1;
+        }
+
+        // Step 3: signal-coverage check (case 2 of Sec. IV-D).
+        let covered: Vec<SignalId> = fanouts_all.iter().copied().collect();
+        let uncovered = uncovered_signals(self.design, &covered);
+        let outcome = if uncovered.is_empty() {
+            DetectionOutcome::Secure
+        } else {
+            DetectionOutcome::UncoveredSignals { signals: names(&uncovered) }
+        };
+        Ok(self.report(outcome, fanout_levels, properties, spurious_total, start))
+    }
+
+    /// Checks one property, resolving spurious counterexamples by adding
+    /// equality assumptions for waived benign state (Sec. V-B).
+    ///
+    /// Returns the property trace and, if the property still fails after
+    /// resolution, the counterexample.
+    fn check_with_resolution(
+        &self,
+        checker: &PropertyChecker<'_>,
+        property: IntervalProperty,
+    ) -> Result<(PropertyTrace, Option<htd_ipc::Counterexample>), DetectError> {
+        let d = self.design.design();
+        let proves: Vec<String> =
+            property.prove_equal.iter().map(|&s| d.signal_name(s).to_string()).collect();
+        let mut current = property;
+        let mut resolved = 0usize;
+        loop {
+            let report: PropertyReport = checker.check(&current);
+            match &report.outcome {
+                CheckOutcome::Holds => {
+                    return Ok((
+                        PropertyTrace {
+                            name: current.name.clone(),
+                            proves,
+                            report,
+                            spurious_resolved: resolved,
+                        },
+                        None,
+                    ));
+                }
+                CheckOutcome::Fails(cex) => {
+                    let diag: Diagnosis = diagnose(
+                        self.design,
+                        cex,
+                        &current.assume_equal,
+                        &self.config.benign_state,
+                    );
+                    if diag.is_spurious() {
+                        if resolved >= self.config.max_resolution_iterations {
+                            return Err(DetectError::ResolutionLimit {
+                                property: current.name.clone(),
+                                limit: self.config.max_resolution_iterations,
+                            });
+                        }
+                        resolved += 1;
+                        current = current.with_extra_assumptions(&diag.waived);
+                        continue;
+                    }
+                    let cex = (**cex).clone();
+                    return Ok((
+                        PropertyTrace {
+                            name: current.name.clone(),
+                            proves,
+                            report,
+                            spurious_resolved: resolved,
+                        },
+                        Some(cex),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn report(
+        &self,
+        outcome: DetectionOutcome,
+        fanout_levels: Vec<Vec<String>>,
+        properties: Vec<PropertyTrace>,
+        spurious_resolved: usize,
+        start: Instant,
+    ) -> DetectionReport {
+        DetectionReport {
+            design: self.design.design().name().to_string(),
+            outcome,
+            fanout_levels,
+            properties,
+            spurious_resolved,
+            total_duration: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_rtl::Design;
+
+    /// A clean 3-stage pass-through pipeline: in -> s1 -> s2 -> out.
+    fn clean_pipeline() -> ValidatedDesign {
+        let mut d = Design::new("clean_pipeline");
+        let input = d.add_input("in", 8).unwrap();
+        let s1 = d.add_register("s1", 8, 0).unwrap();
+        let s2 = d.add_register("s2", 8, 0).unwrap();
+        d.set_register_next(s1, d.signal(input)).unwrap();
+        d.set_register_next(s2, d.signal(s1)).unwrap();
+        d.add_output("out", d.signal(s2)).unwrap();
+        d.validated().unwrap()
+    }
+
+    /// The same pipeline with a sequential Trojan whose trigger is a
+    /// free-running counter (input-independent, like AES-T2500) and whose
+    /// payload flips the LSB of stage 2 once the counter saturates.
+    fn infected_pipeline() -> ValidatedDesign {
+        let mut d = Design::new("infected_pipeline");
+        let input = d.add_input("in", 8).unwrap();
+        let s1 = d.add_register("s1", 8, 0).unwrap();
+        let s2 = d.add_register("s2", 8, 0).unwrap();
+        let counter = d.add_register("trojan_counter", 2, 0).unwrap();
+        let one = d.constant(1, 2).unwrap();
+        let count_next = d.add(d.signal(counter), one).unwrap();
+        d.set_register_next(counter, count_next).unwrap();
+        d.set_register_next(s1, d.signal(input)).unwrap();
+        let armed = d.eq_const(d.signal(counter), 3).unwrap();
+        let flip = d.zero_ext(armed, 8).unwrap();
+        let payload = d.xor(d.signal(s1), flip).unwrap();
+        d.set_register_next(s2, payload).unwrap();
+        d.add_output("out", d.signal(s2)).unwrap();
+        d.validated().unwrap()
+    }
+
+    /// A design whose trigger FSM watches the input (like the plaintext-
+    /// sequence triggers of most AES Trust-Hub benchmarks): the trigger state
+    /// itself lies in `fanouts_CC1`, so the init property already fails.
+    fn input_triggered_design() -> ValidatedDesign {
+        let mut d = Design::new("input_triggered");
+        let input = d.add_input("in", 8).unwrap();
+        let trigger = d.add_register("trigger", 1, 0).unwrap();
+        let result = d.add_register("result", 8, 0).unwrap();
+        let magic = d.eq_const(d.signal(input), 0xA5).unwrap();
+        let trig_next = d.or(d.signal(trigger), magic).unwrap();
+        d.set_register_next(trigger, trig_next).unwrap();
+        let flip = d.zero_ext(d.signal(trigger), 8).unwrap();
+        let payload = d.xor(d.signal(input), flip).unwrap();
+        d.set_register_next(result, payload).unwrap();
+        d.add_output("out", d.signal(result)).unwrap();
+        d.validated().unwrap()
+    }
+
+    /// A clean pipeline plus a free-running counter disconnected from the
+    /// inputs (the AES-T1900 situation).
+    fn pipeline_with_free_counter() -> ValidatedDesign {
+        let mut d = Design::new("free_counter");
+        let input = d.add_input("in", 8).unwrap();
+        let s1 = d.add_register("s1", 8, 0).unwrap();
+        d.set_register_next(s1, d.signal(input)).unwrap();
+        d.add_output("out", d.signal(s1)).unwrap();
+        let timer = d.add_register("timer", 8, 0).unwrap();
+        let one = d.constant(1, 8).unwrap();
+        let inc = d.add(d.signal(timer), one).unwrap();
+        d.set_register_next(timer, inc).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn clean_pipeline_is_secure() {
+        let design = clean_pipeline();
+        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        assert!(report.outcome.is_secure(), "{report}");
+        assert_eq!(report.fanout_levels.len(), 3);
+        assert_eq!(report.properties_checked(), 3);
+        assert_eq!(report.spurious_resolved, 0);
+    }
+
+    #[test]
+    fn infected_pipeline_is_detected_by_fanout_property() {
+        let design = infected_pipeline();
+        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        match &report.outcome {
+            DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+                // s2 is two cycles from the inputs: the divergence appears in
+                // fanout property 1 (s1 -> s2).
+                assert_eq!(*detected_by, DetectedBy::FanoutProperty(1));
+                assert!(counterexample.diff_names().contains(&"s2"));
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_watching_trigger_is_detected_by_the_init_property() {
+        // The trigger FSM reads the input, so it (and the payload register)
+        // lie in fanouts_CC1 and the init property already fails — the
+        // situation of the plaintext-sequence-triggered AES benchmarks in
+        // Table I of the paper.
+        let design = input_triggered_design();
+        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        match &report.outcome {
+            DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+                assert_eq!(*detected_by, DetectedBy::InitProperty);
+                assert!(!counterexample.diffs.is_empty());
+            }
+            other => panic!("expected init-property detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_running_counter_is_caught_by_coverage_check() {
+        let design = pipeline_with_free_counter();
+        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        match &report.outcome {
+            DetectionOutcome::UncoveredSignals { signals } => {
+                assert_eq!(signals, &vec!["timer".to_string()]);
+                assert_eq!(report.outcome.detected_by(), Some(DetectedBy::CoverageCheck));
+            }
+            other => panic!("expected uncovered signals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benign_state_waiver_resolves_spurious_cex() {
+        // A design whose output depends on a benign mode register: without a
+        // waiver the flow reports a (false) detection, with the waiver it
+        // verifies secure and counts one resolved spurious counterexample.
+        let mut d = Design::new("mode_design");
+        let input = d.add_input("in", 8).unwrap();
+        let mode = d.add_register("mode", 1, 0).unwrap();
+        let result = d.add_register("result", 8, 0).unwrap();
+        let mode_next = d.not(d.signal(mode));
+        d.set_register_next(mode, mode_next).unwrap();
+        let m_ext = d.zero_ext(d.signal(mode), 8).unwrap();
+        let sum = d.add(d.signal(input), m_ext).unwrap();
+        d.set_register_next(result, sum).unwrap();
+        d.add_output("out", d.signal(result)).unwrap();
+        let design = d.validated().unwrap();
+        let mode_id = design.design().require("mode").unwrap();
+
+        let without = TrojanDetector::new(&design).unwrap().run().unwrap();
+        assert!(!without.outcome.is_secure());
+
+        let config = DetectorConfig { benign_state: vec![mode_id], ..DetectorConfig::default() };
+        let with = TrojanDetector::with_config(&design, config).unwrap().run().unwrap();
+        // `mode` itself is never reached from the inputs, so after resolving
+        // the spurious counterexample the coverage check still points at it —
+        // which is correct behaviour (the engineer must inspect it), but the
+        // property-based detection is gone and one spurious CEX was resolved.
+        assert!(with.spurious_resolved >= 1);
+        match with.outcome {
+            DetectionOutcome::UncoveredSignals { ref signals } => {
+                assert_eq!(signals, &vec!["mode".to_string()]);
+            }
+            ref other => panic!("expected coverage finding for `mode`, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detector_rejects_designs_without_inputs() {
+        let mut d = Design::new("no_inputs");
+        let r = d.add_register("r", 1, 0).unwrap();
+        let n = d.not(d.signal(r));
+        d.set_register_next(r, n).unwrap();
+        d.add_output("o", d.signal(r)).unwrap();
+        let design = d.validated().unwrap();
+        assert_eq!(TrojanDetector::new(&design).unwrap_err(), DetectError::NoInputs);
+    }
+
+    #[test]
+    fn detector_rejects_designs_without_state_or_outputs() {
+        let mut d = Design::new("only_inputs");
+        d.add_input("a", 1).unwrap();
+        let design = d.validated().unwrap();
+        assert_eq!(TrojanDetector::new(&design).unwrap_err(), DetectError::NoStateOrOutputs);
+    }
+
+    #[test]
+    fn report_display_lists_all_properties() {
+        let design = clean_pipeline();
+        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("init_property"));
+        assert!(text.contains("fanout_property_1"));
+        assert!(text.contains("SECURE"));
+        assert!(report.slowest_property().is_some());
+        assert!(report.summary().contains("SECURE"));
+    }
+
+    #[test]
+    fn disabling_variable_sharing_gives_the_same_verdicts() {
+        for design in [clean_pipeline(), infected_pipeline()] {
+            let config = DetectorConfig {
+                checker: CheckerOptions { share_assumed_equal: false },
+                ..DetectorConfig::default()
+            };
+            let shared = TrojanDetector::new(&design).unwrap().run().unwrap();
+            let unshared = TrojanDetector::with_config(&design, config).unwrap().run().unwrap();
+            assert_eq!(
+                shared.outcome.is_secure(),
+                unshared.outcome.is_secure(),
+                "sharing ablation changed the verdict for {}",
+                design.design().name()
+            );
+            assert_eq!(shared.outcome.detected_by(), unshared.outcome.detected_by());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Tseitin encoding of AIG cones into CNF for the SAT solver.
+//!
+//! The property checker and the baseline detectors in `htd-baselines` share
+//! this encoder: given an [`Aig`] and a set of root literals, it creates one
+//! solver variable per AIG node in the transitive fan-in of the roots and
+//! adds the three standard AND-gate clauses per node.
+
+use std::collections::{HashMap, HashSet};
+
+use htd_sat::{Lit, Solver, Var};
+
+use crate::aig::{Aig, AigLit};
+
+/// Tseitin-encodes the cone of the given roots into a fresh SAT solver.
+///
+/// Returns the solver and the node-to-variable map.  Constant roots are not
+/// encoded — callers must handle [`AigLit::TRUE`] / [`AigLit::FALSE`] roots
+/// themselves (e.g. a `FALSE` miter output means the property trivially
+/// holds).
+///
+/// # Example
+///
+/// ```
+/// use htd_ipc::aig::Aig;
+/// use htd_ipc::cnf::{encode, sat_lit};
+/// use htd_sat::SolveResult;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.new_input();
+/// let b = aig.new_input();
+/// let both = aig.and(a, b);
+/// let (mut solver, vars) = encode(&aig, &[both]);
+/// solver.add_clause([sat_lit(&vars, both)]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// ```
+#[must_use]
+pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, HashMap<u32, Var>) {
+    let mut solver = Solver::new();
+    let mut node_vars: HashMap<u32, Var> = HashMap::new();
+    let mut stack: Vec<u32> = roots.iter().filter(|l| !l.is_const()).map(|l| l.node()).collect();
+    let mut visited: HashSet<u32> = HashSet::new();
+    // First pass: collect the cone.
+    let mut cone: Vec<u32> = Vec::new();
+    while let Some(node) = stack.pop() {
+        if !visited.insert(node) {
+            continue;
+        }
+        cone.push(node);
+        if let Some((a, b)) = aig.and_inputs(node) {
+            if !a.is_const() {
+                stack.push(a.node());
+            }
+            if !b.is_const() {
+                stack.push(b.node());
+            }
+        }
+    }
+    cone.sort_unstable();
+    for &node in &cone {
+        node_vars.insert(node, solver.new_var());
+    }
+    // Second pass: clauses for AND gates.
+    for &node in &cone {
+        if let Some((a, b)) = aig.and_inputs(node) {
+            let x = Lit::pos(node_vars[&node]);
+            let la = sat_lit(&node_vars, a);
+            let lb = sat_lit(&node_vars, b);
+            solver.add_clause([!x, la]);
+            solver.add_clause([!x, lb]);
+            solver.add_clause([!la, !lb, x]);
+        }
+    }
+    (solver, node_vars)
+}
+
+/// Maps an AIG literal onto a SAT literal.
+///
+/// # Panics
+///
+/// Panics if the literal's node was not part of the cone passed to
+/// [`encode`] (or is a constant).
+#[must_use]
+pub fn sat_lit(node_vars: &HashMap<u32, Var>, lit: AigLit) -> Lit {
+    let var = node_vars[&lit.node()];
+    Lit::new(var, lit.is_inverted())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_sat::SolveResult;
+
+    #[test]
+    fn encodes_a_small_cone_and_solves_it() {
+        let mut aig = Aig::new();
+        let a = aig.new_input();
+        let b = aig.new_input();
+        let xor = aig.xor(a, b);
+        let (mut solver, vars) = encode(&aig, &[xor]);
+        solver.add_clause([sat_lit(&vars, xor)]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        // The model must disagree on a and b.
+        let va = solver.value(vars[&a.node()]).unwrap();
+        let vb = solver.value(vars[&b.node()]).unwrap();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn contradictory_and_is_folded_to_the_false_constant() {
+        // The AIG simplifies `a AND !a` away, so there is nothing to encode;
+        // callers must treat a constant-false root as trivially unsatisfiable.
+        let mut aig = Aig::new();
+        let a = aig.new_input();
+        let both = aig.and(a, a.invert());
+        assert_eq!(both, AigLit::FALSE);
+    }
+
+    #[test]
+    fn unsatisfiable_requirements_are_reported() {
+        let mut aig = Aig::new();
+        let a = aig.new_input();
+        let b = aig.new_input();
+        let both = aig.and(a, b);
+        let (mut solver, vars) = encode(&aig, &[both, a]);
+        // Require the conjunction to hold while forcing `a` to be false.
+        solver.add_clause([sat_lit(&vars, both)]);
+        solver.add_clause([sat_lit(&vars, a.invert())]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+}

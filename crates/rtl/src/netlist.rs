@@ -1,0 +1,576 @@
+//! Plain-text netlist format.
+//!
+//! The paper operates on Verilog RTL; a full Verilog front-end is out of
+//! scope for this reproduction (see DESIGN.md), so designs can instead be
+//! dumped to and parsed from a small, line-oriented netlist format.  This is
+//! the interchange point for users who want to bring their own designs to the
+//! detection flow without writing Rust code.
+//!
+//! # Format
+//!
+//! ```text
+//! design counter
+//! input en 1
+//! register count 4 0
+//! wire inc 4 = (add count (const 4 1))
+//! next count = (mux en inc count)
+//! output value 4 = count
+//! ```
+//!
+//! * One statement per line; `#` starts a comment.
+//! * Expressions are s-expressions; bare identifiers refer to signals,
+//!   `(const <width> <value>)` is a constant (decimal or `0x…`),
+//!   `(rom <width> (v0 v1 …) <index>)` is a lookup table.
+//! * Signals must be declared before they are referenced; `next` supplies a
+//!   register's next-state function after its declaration.
+
+use std::fmt::Write as _;
+
+use crate::design::{Design, SignalId, SignalKind, ValidatedDesign};
+use crate::error::DesignError;
+use crate::expr::{BinaryOp, Expr, ExprId, UnaryOp};
+
+/// Serialises a design to the textual netlist format.
+///
+/// The output round-trips through [`parse`]: `parse(&dump(d))` reconstructs a
+/// design with the same signals and behaviour.
+#[must_use]
+pub fn dump(design: &ValidatedDesign) -> String {
+    let d = design.design();
+    let mut out = String::new();
+    let _ = writeln!(out, "design {}", d.name());
+    // Declarations first (inputs, registers), then wires/outputs/next in
+    // creation order so that references are always to already-printed names.
+    for (_, s) in d.signals() {
+        match s.kind() {
+            SignalKind::Input => {
+                let _ = writeln!(out, "input {} {}", s.name(), s.width());
+            }
+            SignalKind::Register { reset } => {
+                let _ = writeln!(out, "register {} {} {:#x}", s.name(), s.width(), reset);
+            }
+            _ => {}
+        }
+    }
+    for (_, s) in d.signals() {
+        match s.kind() {
+            SignalKind::Wire => {
+                let _ = writeln!(
+                    out,
+                    "wire {} {} = {}",
+                    s.name(),
+                    s.width(),
+                    format_expr(d, s.driver().expect("validated design"))
+                );
+            }
+            SignalKind::Output => {
+                let _ = writeln!(
+                    out,
+                    "output {} {} = {}",
+                    s.name(),
+                    s.width(),
+                    format_expr(d, s.driver().expect("validated design"))
+                );
+            }
+            _ => {}
+        }
+    }
+    for (_, s) in d.signals() {
+        if s.kind().is_register() {
+            let _ = writeln!(
+                out,
+                "next {} = {}",
+                s.name(),
+                format_expr(d, s.driver().expect("validated design"))
+            );
+        }
+    }
+    out
+}
+
+/// Renders one expression as an s-expression (used by [`dump`] and by the
+/// counterexample pretty-printer in `htd-core`).
+#[must_use]
+pub fn format_expr(design: &Design, expr: ExprId) -> String {
+    match design.expr(expr) {
+        Expr::Const { value, width } => format!("(const {width} {value:#x})"),
+        Expr::Signal(s) => design.signal_name(*s).to_string(),
+        Expr::Unary { op, a } => {
+            format!("({} {})", op.mnemonic(), format_expr(design, *a))
+        }
+        Expr::Binary { op, a, b } => format!(
+            "({} {} {})",
+            op.mnemonic(),
+            format_expr(design, *a),
+            format_expr(design, *b)
+        ),
+        Expr::Mux { cond, then_e, else_e } => format!(
+            "(mux {} {} {})",
+            format_expr(design, *cond),
+            format_expr(design, *then_e),
+            format_expr(design, *else_e)
+        ),
+        Expr::Slice { a, hi, lo } => {
+            format!("(slice {} {hi} {lo})", format_expr(design, *a))
+        }
+        Expr::Concat { hi, lo } => format!(
+            "(concat {} {})",
+            format_expr(design, *hi),
+            format_expr(design, *lo)
+        ),
+        Expr::Rom { table, index, width } => {
+            let mut entries = String::new();
+            for (i, v) in table.iter().enumerate() {
+                if i > 0 {
+                    entries.push(' ');
+                }
+                let _ = write!(entries, "{v:#x}");
+            }
+            format!("(rom {width} ({entries}) {})", format_expr(design, *index))
+        }
+    }
+}
+
+/// Parses a textual netlist into a validated design.
+///
+/// # Errors
+///
+/// Returns [`DesignError::Parse`] (with a line number) for syntax errors,
+/// references to undeclared signals, or any builder error (width mismatches
+/// etc.), and the underlying validation error if the parsed design is
+/// incomplete.
+pub fn parse(text: &str) -> Result<ValidatedDesign, DesignError> {
+    let mut design: Option<Design> = None;
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let keyword = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match keyword {
+            "design" => {
+                if rest.is_empty() {
+                    return Err(parse_err(line_no, "missing design name"));
+                }
+                design = Some(Design::new(rest));
+            }
+            "input" | "register" | "wire" | "output" | "next" => {
+                let d = design
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "statement before `design` line"))?;
+                parse_statement(d, keyword, rest, line_no)?;
+            }
+            other => {
+                return Err(parse_err(line_no, &format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+    let design = design.ok_or_else(|| parse_err(0, "empty netlist"))?;
+    design.validated()
+}
+
+fn parse_err(line: usize, message: &str) -> DesignError {
+    DesignError::Parse { line, message: message.to_string() }
+}
+
+fn parse_statement(
+    d: &mut Design,
+    keyword: &str,
+    rest: &str,
+    line: usize,
+) -> Result<(), DesignError> {
+    match keyword {
+        "input" | "register" => {
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if keyword == "input" {
+                let [name, width] = tokens[..] else {
+                    return Err(parse_err(line, "expected `input <name> <width>`"));
+                };
+                let width = parse_number(width, line)? as u32;
+                d.add_input(name, width).map_err(|e| wrap(e, line))?;
+            } else {
+                let [name, width, reset] = tokens[..] else {
+                    return Err(parse_err(line, "expected `register <name> <width> <reset>`"));
+                };
+                let width = parse_number(width, line)? as u32;
+                let reset = parse_number(reset, line)?;
+                d.add_register(name, width, reset).map_err(|e| wrap(e, line))?;
+            }
+            Ok(())
+        }
+        "wire" | "output" => {
+            let (header, expr_text) = rest
+                .split_once('=')
+                .ok_or_else(|| parse_err(line, "expected `= <expr>`"))?;
+            let tokens: Vec<&str> = header.split_whitespace().collect();
+            let [name, width] = tokens[..] else {
+                return Err(parse_err(line, "expected `<name> <width> = <expr>`"));
+            };
+            let width = parse_number(width, line)? as u32;
+            let expr = parse_expr(d, expr_text.trim(), line)?;
+            let actual = d.expr_width(expr);
+            if actual != width {
+                return Err(parse_err(
+                    line,
+                    &format!("declared width {width} but expression is {actual} bits"),
+                ));
+            }
+            if keyword == "wire" {
+                d.add_wire(name, expr).map_err(|e| wrap(e, line))?;
+            } else {
+                d.add_output(name, expr).map_err(|e| wrap(e, line))?;
+            }
+            Ok(())
+        }
+        "next" => {
+            let (name, expr_text) = rest
+                .split_once('=')
+                .ok_or_else(|| parse_err(line, "expected `next <register> = <expr>`"))?;
+            let name = name.trim();
+            let reg = d.require(name).map_err(|e| wrap(e, line))?;
+            let expr = parse_expr(d, expr_text.trim(), line)?;
+            d.set_register_next(reg, expr).map_err(|e| wrap(e, line))
+        }
+        _ => unreachable!("caller filters keywords"),
+    }
+}
+
+fn wrap(err: DesignError, line: usize) -> DesignError {
+    match err {
+        DesignError::Parse { message, .. } => DesignError::Parse { line, message },
+        other => DesignError::Parse { line, message: other.to_string() },
+    }
+}
+
+fn parse_number(token: &str, line: usize) -> Result<u128, DesignError> {
+    let token = token.trim();
+    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        u128::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| parse_err(line, &format!("invalid number `{token}`")))
+}
+
+/// S-expression tokens.
+#[derive(Debug, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Atom(String),
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut atom = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | ')' => {
+                if !atom.is_empty() {
+                    tokens.push(Token::Atom(std::mem::take(&mut atom)));
+                }
+                tokens.push(if c == '(' { Token::Open } else { Token::Close });
+            }
+            c if c.is_whitespace() => {
+                if !atom.is_empty() {
+                    tokens.push(Token::Atom(std::mem::take(&mut atom)));
+                }
+            }
+            c => atom.push(c),
+        }
+    }
+    if !atom.is_empty() {
+        tokens.push(Token::Atom(atom));
+    }
+    tokens
+}
+
+/// Parses an s-expression into a design expression.
+fn parse_expr(d: &mut Design, text: &str, line: usize) -> Result<ExprId, DesignError> {
+    let tokens = tokenize(text);
+    let mut pos = 0;
+    let expr = parse_sexpr(d, &tokens, &mut pos, line)?;
+    if pos != tokens.len() {
+        return Err(parse_err(line, "trailing tokens after expression"));
+    }
+    Ok(expr)
+}
+
+fn parse_sexpr(
+    d: &mut Design,
+    tokens: &[Token],
+    pos: &mut usize,
+    line: usize,
+) -> Result<ExprId, DesignError> {
+    match tokens.get(*pos) {
+        Some(Token::Atom(name)) => {
+            *pos += 1;
+            let sig = signal_ref(d, name, line)?;
+            Ok(d.signal(sig))
+        }
+        Some(Token::Open) => {
+            *pos += 1;
+            let Some(Token::Atom(op)) = tokens.get(*pos) else {
+                return Err(parse_err(line, "expected operator after `(`"));
+            };
+            let op = op.clone();
+            *pos += 1;
+            let expr = parse_operator(d, &op, tokens, pos, line)?;
+            match tokens.get(*pos) {
+                Some(Token::Close) => {
+                    *pos += 1;
+                    Ok(expr)
+                }
+                _ => Err(parse_err(line, &format!("missing `)` after `{op}`"))),
+            }
+        }
+        _ => Err(parse_err(line, "unexpected end of expression")),
+    }
+}
+
+fn parse_operator(
+    d: &mut Design,
+    op: &str,
+    tokens: &[Token],
+    pos: &mut usize,
+    line: usize,
+) -> Result<ExprId, DesignError> {
+    let atom = |pos: &mut usize| -> Result<String, DesignError> {
+        match tokens.get(*pos) {
+            Some(Token::Atom(a)) => {
+                *pos += 1;
+                Ok(a.clone())
+            }
+            _ => Err(parse_err(line, &format!("expected literal argument for `{op}`"))),
+        }
+    };
+    match op {
+        "const" => {
+            let width = parse_number(&atom(pos)?, line)? as u32;
+            let value = parse_number(&atom(pos)?, line)?;
+            d.constant(value, width).map_err(|e| wrap(e, line))
+        }
+        "slice" => {
+            let a = parse_sexpr(d, tokens, pos, line)?;
+            let hi = parse_number(&atom(pos)?, line)? as u32;
+            let lo = parse_number(&atom(pos)?, line)? as u32;
+            d.slice(a, hi, lo).map_err(|e| wrap(e, line))
+        }
+        "rom" => {
+            let width = parse_number(&atom(pos)?, line)? as u32;
+            if tokens.get(*pos) != Some(&Token::Open) {
+                return Err(parse_err(line, "expected `(` starting the rom table"));
+            }
+            *pos += 1;
+            let mut table = Vec::new();
+            while let Some(Token::Atom(a)) = tokens.get(*pos) {
+                table.push(parse_number(a, line)?);
+                *pos += 1;
+            }
+            if tokens.get(*pos) != Some(&Token::Close) {
+                return Err(parse_err(line, "expected `)` ending the rom table"));
+            }
+            *pos += 1;
+            let index = parse_sexpr(d, tokens, pos, line)?;
+            d.rom(table, index, width).map_err(|e| wrap(e, line))
+        }
+        "mux" => {
+            let c = parse_sexpr(d, tokens, pos, line)?;
+            let t = parse_sexpr(d, tokens, pos, line)?;
+            let e = parse_sexpr(d, tokens, pos, line)?;
+            d.mux(c, t, e).map_err(|e| wrap(e, line))
+        }
+        "concat" => {
+            let hi = parse_sexpr(d, tokens, pos, line)?;
+            let lo = parse_sexpr(d, tokens, pos, line)?;
+            d.concat(hi, lo).map_err(|e| wrap(e, line))
+        }
+        "not" | "neg" | "redand" | "redor" | "redxor" => {
+            let a = parse_sexpr(d, tokens, pos, line)?;
+            let unary = match op {
+                "not" => UnaryOp::Not,
+                "neg" => UnaryOp::Neg,
+                "redand" => UnaryOp::RedAnd,
+                "redor" => UnaryOp::RedOr,
+                _ => UnaryOp::RedXor,
+            };
+            Ok(match unary {
+                UnaryOp::Not => d.not(a),
+                UnaryOp::Neg => d.neg(a),
+                UnaryOp::RedAnd => d.red_and(a),
+                UnaryOp::RedOr => d.red_or(a),
+                UnaryOp::RedXor => d.red_xor(a),
+            })
+        }
+        binop => {
+            let op_enum = match binop {
+                "and" => BinaryOp::And,
+                "or" => BinaryOp::Or,
+                "xor" => BinaryOp::Xor,
+                "add" => BinaryOp::Add,
+                "sub" => BinaryOp::Sub,
+                "mul" => BinaryOp::Mul,
+                "eq" => BinaryOp::Eq,
+                "ne" => BinaryOp::Ne,
+                "ult" => BinaryOp::Ult,
+                "ule" => BinaryOp::Ule,
+                "shl" => BinaryOp::Shl,
+                "shr" => BinaryOp::Shr,
+                other => {
+                    return Err(parse_err(line, &format!("unknown operator `{other}`")));
+                }
+            };
+            let a = parse_sexpr(d, tokens, pos, line)?;
+            let b = parse_sexpr(d, tokens, pos, line)?;
+            let built = match op_enum {
+                BinaryOp::And => d.and(a, b),
+                BinaryOp::Or => d.or(a, b),
+                BinaryOp::Xor => d.xor(a, b),
+                BinaryOp::Add => d.add(a, b),
+                BinaryOp::Sub => d.sub(a, b),
+                BinaryOp::Mul => d.mul(a, b),
+                BinaryOp::Eq => d.cmp_eq(a, b),
+                BinaryOp::Ne => d.cmp_ne(a, b),
+                BinaryOp::Ult => d.cmp_ult(a, b),
+                BinaryOp::Ule => d.cmp_ule(a, b),
+                BinaryOp::Shl => d.shl(a, b),
+                BinaryOp::Shr => d.shr(a, b),
+            };
+            built.map_err(|e| wrap(e, line))
+        }
+    }
+}
+
+fn signal_ref(d: &Design, name: &str, line: usize) -> Result<SignalId, DesignError> {
+    d.require(name).map_err(|e| wrap(e, line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::Design;
+
+    fn counter() -> ValidatedDesign {
+        let mut d = Design::new("counter");
+        let en = d.add_input("en", 1).unwrap();
+        let count = d.add_register("count", 4, 0).unwrap();
+        let one = d.constant(1, 4).unwrap();
+        let inc = d.add(d.signal(count), one).unwrap();
+        let inc_wire = d.add_wire("inc", inc).unwrap();
+        let next = d.mux(d.signal(en), d.signal(inc_wire), d.signal(count)).unwrap();
+        d.set_register_next(count, next).unwrap();
+        d.add_output("value", d.signal(count)).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn dump_contains_all_sections() {
+        let text = dump(&counter());
+        assert!(text.contains("design counter"));
+        assert!(text.contains("input en 1"));
+        assert!(text.contains("register count 4 0x0"));
+        assert!(text.contains("wire inc 4 ="));
+        assert!(text.contains("output value 4 ="));
+        assert!(text.contains("next count ="));
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let original = counter();
+        let text = dump(&original);
+        let parsed = parse(&text).unwrap();
+
+        let mut sim_a = Simulator::new(&original);
+        let mut sim_b = Simulator::new(&parsed);
+        for cycle in 0..10u128 {
+            let en = u128::from(cycle % 3 != 0);
+            sim_a.set_input_by_name("en", en).unwrap();
+            sim_b.set_input_by_name("en", en).unwrap();
+            sim_a.step().unwrap();
+            sim_b.step().unwrap();
+            assert_eq!(
+                sim_a.peek_by_name("value").unwrap(),
+                sim_b.peek_by_name("value").unwrap(),
+                "cycle {cycle}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_example_from_module_docs() {
+        let text = "\
+design counter
+input en 1
+register count 4 0
+wire inc 4 = (add count (const 4 1))
+next count = (mux en inc count)
+output value 4 = count
+";
+        let design = parse(text).unwrap();
+        assert_eq!(design.design().name(), "counter");
+        assert_eq!(design.design().registers().len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\
+# a comment
+design d
+
+input a 1          # trailing comment
+output o 1 = a
+";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn unknown_signal_reports_line_number() {
+        let text = "design d\noutput o 1 = missing\n";
+        let err = parse(text).unwrap_err();
+        match err {
+            DesignError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("missing"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_annotation_must_match_expression() {
+        let text = "design d\ninput a 4\noutput o 8 = a\n";
+        assert!(matches!(parse(text), Err(DesignError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn missing_design_line_is_rejected() {
+        assert!(matches!(parse("input a 1\n"), Err(DesignError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rom_expression_roundtrip() {
+        let mut d = Design::new("romtest");
+        let idx = d.add_input("idx", 2).unwrap();
+        let rom = d.rom(vec![5, 6, 7, 8], d.signal(idx), 8).unwrap();
+        d.add_output("o", rom).unwrap();
+        let design = d.validated().unwrap();
+        let parsed = parse(&dump(&design)).unwrap();
+        let mut sim = Simulator::new(&parsed);
+        for i in 0..4u128 {
+            sim.set_input_by_name("idx", i).unwrap();
+            assert_eq!(sim.peek_by_name("o").unwrap(), 5 + i);
+        }
+    }
+
+    #[test]
+    fn hex_and_decimal_numbers_are_accepted() {
+        let text = "design d\ninput a 8\noutput o 1 = (eq a (const 8 0xff))\n";
+        assert!(parse(text).is_ok());
+        let text2 = "design d\ninput a 8\noutput o 1 = (eq a (const 8 255))\n";
+        assert!(parse(text2).is_ok());
+    }
+}

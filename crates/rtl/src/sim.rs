@@ -1,0 +1,538 @@
+//! Two-valued cycle-accurate simulation.
+//!
+//! The simulator is not part of the detection method itself (the property
+//! checker reasons about *all* starting states symbolically); it exists to
+//!
+//! * validate the benchmark accelerators against software reference models
+//!   (e.g. the AES-128 reference in `htd-trusthub`),
+//! * demonstrate triggered-vs-dormant Trojan behaviour in examples, and
+//! * replay counterexamples produced by the property checker.
+
+use std::collections::HashMap;
+
+use crate::design::{SignalId, SignalKind, ValidatedDesign};
+use crate::error::DesignError;
+use crate::expr::{BinaryOp, Expr, ExprId, UnaryOp};
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Evaluates a single expression given a signal environment.
+///
+/// `lookup` supplies the current value of every referenced signal.  Used both
+/// by the simulator and by counterexample replay in `htd-core`.
+pub(crate) fn eval_expr(
+    design: &crate::Design,
+    root: ExprId,
+    lookup: &dyn Fn(SignalId) -> u128,
+) -> u128 {
+    // Iterative post-order evaluation with memoisation, so deep expression
+    // trees (the AES round logic) do not overflow the stack.
+    let mut cache: HashMap<ExprId, u128> = HashMap::new();
+    let mut stack: Vec<(ExprId, bool)> = vec![(root, false)];
+    while let Some((e, expanded)) = stack.pop() {
+        if cache.contains_key(&e) {
+            continue;
+        }
+        if !expanded {
+            stack.push((e, true));
+            for child in design.expr(e).children() {
+                stack.push((child, false));
+            }
+            continue;
+        }
+        let value = match design.expr(e) {
+            Expr::Const { value, .. } => *value,
+            Expr::Signal(s) => lookup(*s) & mask(design.signal_width(*s)),
+            Expr::Unary { op, a } => {
+                let va = cache[a];
+                let wa = design.expr_width(*a);
+                match op {
+                    UnaryOp::Not => !va & mask(wa),
+                    UnaryOp::Neg => va.wrapping_neg() & mask(wa),
+                    UnaryOp::RedAnd => u128::from(va == mask(wa)),
+                    UnaryOp::RedOr => u128::from(va != 0),
+                    UnaryOp::RedXor => u128::from(va.count_ones() % 2 == 1),
+                }
+            }
+            Expr::Binary { op, a, b } => {
+                let va = cache[a];
+                let vb = cache[b];
+                let wa = design.expr_width(*a);
+                match op {
+                    BinaryOp::And => va & vb,
+                    BinaryOp::Or => va | vb,
+                    BinaryOp::Xor => va ^ vb,
+                    BinaryOp::Add => va.wrapping_add(vb) & mask(wa),
+                    BinaryOp::Sub => va.wrapping_sub(vb) & mask(wa),
+                    BinaryOp::Mul => va.wrapping_mul(vb) & mask(wa),
+                    BinaryOp::Eq => u128::from(va == vb),
+                    BinaryOp::Ne => u128::from(va != vb),
+                    BinaryOp::Ult => u128::from(va < vb),
+                    BinaryOp::Ule => u128::from(va <= vb),
+                    BinaryOp::Shl => {
+                        if vb >= u128::from(wa) {
+                            0
+                        } else {
+                            (va << vb) & mask(wa)
+                        }
+                    }
+                    BinaryOp::Shr => {
+                        if vb >= u128::from(wa) {
+                            0
+                        } else {
+                            va >> vb
+                        }
+                    }
+                }
+            }
+            Expr::Mux { cond, then_e, else_e } => {
+                if cache[cond] != 0 {
+                    cache[then_e]
+                } else {
+                    cache[else_e]
+                }
+            }
+            Expr::Slice { a, hi, lo } => (cache[a] >> lo) & mask(hi - lo + 1),
+            Expr::Concat { hi, lo } => {
+                let wlo = design.expr_width(*lo);
+                (cache[hi] << wlo) | cache[lo]
+            }
+            Expr::Rom { table, index, .. } => table[cache[index] as usize],
+        };
+        cache.insert(e, value);
+    }
+    cache[&root]
+}
+
+/// Cycle-accurate simulator over a [`ValidatedDesign`].
+///
+/// # Example
+///
+/// ```
+/// use htd_rtl::Design;
+/// use htd_rtl::sim::Simulator;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let mut d = Design::new("toggler");
+/// let t = d.add_register("t", 1, 0)?;
+/// let not_t = d.not(d.signal(t));
+/// d.set_register_next(t, not_t)?;
+/// d.add_output("out", d.signal(t))?;
+/// let design = d.validated()?;
+///
+/// let mut sim = Simulator::new(&design);
+/// assert_eq!(sim.peek_by_name("out")?, 0);
+/// sim.step()?;
+/// assert_eq!(sim.peek_by_name("out")?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    design: &'a ValidatedDesign,
+    /// Current register values, indexed by signal index (non-registers hold 0).
+    state: Vec<u128>,
+    /// Current input values, indexed by signal index.
+    inputs: Vec<u128>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all registers at their reset values and all
+    /// inputs at zero.
+    #[must_use]
+    pub fn new(design: &'a ValidatedDesign) -> Self {
+        let d = design.design();
+        let mut state = vec![0u128; d.num_signals()];
+        for (id, s) in d.signals() {
+            if let SignalKind::Register { reset } = s.kind() {
+                state[id.index()] = reset;
+            }
+        }
+        Simulator { design, state, inputs: vec![0u128; d.num_signals()], cycle: 0 }
+    }
+
+    /// Number of clock cycles simulated so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Resets all registers to their reset values and the cycle counter to 0.
+    pub fn reset(&mut self) {
+        let d = self.design.design();
+        for (id, s) in d.signals() {
+            if let SignalKind::Register { reset } = s.kind() {
+                self.state[id.index()] = reset;
+            }
+        }
+        self.cycle = 0;
+    }
+
+    /// Drives a primary input for the upcoming clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not an input or the value does not fit its width.
+    pub fn set_input(&mut self, id: SignalId, value: u128) -> Result<(), DesignError> {
+        let d = self.design.design();
+        let info = d.signal_info(id);
+        if info.kind() != SignalKind::Input {
+            return Err(DesignError::InvalidSignalKind {
+                name: info.name().to_string(),
+                expected: "an input",
+            });
+        }
+        if info.width() < 128 && value >> info.width() != 0 {
+            return Err(DesignError::SimValueTooWide {
+                name: info.name().to_string(),
+                value,
+                width: info.width(),
+            });
+        }
+        self.inputs[id.index()] = value;
+        Ok(())
+    }
+
+    /// Drives a primary input, addressed by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is unknown, not an input, or the value is too wide.
+    pub fn set_input_by_name(&mut self, name: &str, value: u128) -> Result<(), DesignError> {
+        let id = self.design.design().require(name)?;
+        self.set_input(id, value)
+    }
+
+    /// Current value of any signal (combinational signals are evaluated on
+    /// demand from the current inputs and register state).
+    #[must_use]
+    pub fn peek(&self, id: SignalId) -> u128 {
+        let d = self.design.design();
+        let info = d.signal_info(id);
+        match info.kind() {
+            SignalKind::Input => self.inputs[id.index()],
+            SignalKind::Register { .. } => self.state[id.index()],
+            SignalKind::Wire | SignalKind::Output => {
+                let driver = info.driver().expect("validated design");
+                self.eval(driver)
+            }
+        }
+    }
+
+    /// Current value of a signal addressed by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is unknown.
+    pub fn peek_by_name(&self, name: &str) -> Result<u128, DesignError> {
+        Ok(self.peek(self.design.design().require(name)?))
+    }
+
+    /// Evaluates an arbitrary expression in the current cycle.
+    #[must_use]
+    pub fn eval(&self, expr: ExprId) -> u128 {
+        let d = self.design.design();
+        eval_expr(d, expr, &|sig| match d.signal_info(sig).kind() {
+            SignalKind::Input => self.inputs[sig.index()],
+            SignalKind::Register { .. } => self.state[sig.index()],
+            SignalKind::Wire | SignalKind::Output => {
+                // Wires nested below other wires are evaluated recursively;
+                // the validated design guarantees this terminates.
+                self.peek(sig)
+            }
+        })
+    }
+
+    /// Advances the design by one clock cycle: all registers simultaneously
+    /// take the value of their next-state expressions.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated designs; the `Result` is kept so
+    /// future X-propagation modes can report errors.
+    pub fn step(&mut self) -> Result<(), DesignError> {
+        let d = self.design.design();
+        let mut next_state = self.state.clone();
+        for (id, s) in d.signals() {
+            if s.kind().is_register() {
+                let driver = s.driver().expect("validated design");
+                next_state[id.index()] = self.eval(driver) & mask(s.width());
+            }
+        }
+        self.state = next_state;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs `n` clock cycles with the currently driven input values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`step`](Self::step).
+    pub fn run(&mut self, n: u64) -> Result<(), DesignError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of all register values, keyed by signal name.
+    #[must_use]
+    pub fn register_snapshot(&self) -> HashMap<String, u128> {
+        let d = self.design.design();
+        d.registers()
+            .into_iter()
+            .map(|id| (d.signal_name(id).to_string(), self.state[id.index()]))
+            .collect()
+    }
+
+    /// Overrides the current value of a register (useful for replaying the
+    /// symbolic starting states of counterexamples).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not a register or the value does not fit.
+    pub fn set_register(&mut self, id: SignalId, value: u128) -> Result<(), DesignError> {
+        let d = self.design.design();
+        let info = d.signal_info(id);
+        if !info.kind().is_register() {
+            return Err(DesignError::InvalidSignalKind {
+                name: info.name().to_string(),
+                expected: "a register",
+            });
+        }
+        if info.width() < 128 && value >> info.width() != 0 {
+            return Err(DesignError::SimValueTooWide {
+                name: info.name().to_string(),
+                value,
+                width: info.width(),
+            });
+        }
+        self.state[id.index()] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Design;
+
+    fn accumulator() -> ValidatedDesign {
+        let mut d = Design::new("acc");
+        let input = d.add_input("in", 8).unwrap();
+        let acc = d.add_register("acc", 8, 0).unwrap();
+        let sum = d.add(d.signal(acc), d.signal(input)).unwrap();
+        d.set_register_next(acc, sum).unwrap();
+        d.add_output("out", d.signal(acc)).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn accumulator_accumulates() {
+        let design = accumulator();
+        let mut sim = Simulator::new(&design);
+        for i in 1..=5u128 {
+            sim.set_input_by_name("in", i).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("acc").unwrap(), 15);
+        assert_eq!(sim.peek_by_name("out").unwrap(), 15);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn accumulator_wraps_at_width() {
+        let design = accumulator();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("in", 200).unwrap();
+        sim.step().unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("acc").unwrap(), (200 + 200) % 256);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let design = accumulator();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("in", 7).unwrap();
+        sim.step().unwrap();
+        assert_ne!(sim.peek_by_name("acc").unwrap(), 0);
+        sim.reset();
+        assert_eq!(sim.peek_by_name("acc").unwrap(), 0);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn inputs_are_validated() {
+        let design = accumulator();
+        let mut sim = Simulator::new(&design);
+        assert!(matches!(
+            sim.set_input_by_name("in", 256),
+            Err(DesignError::SimValueTooWide { .. })
+        ));
+        assert!(matches!(
+            sim.set_input_by_name("acc", 0),
+            Err(DesignError::InvalidSignalKind { .. })
+        ));
+        assert!(matches!(
+            sim.set_input_by_name("nonexistent", 0),
+            Err(DesignError::UnknownSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn register_override_is_respected() {
+        let design = accumulator();
+        let mut sim = Simulator::new(&design);
+        let acc = design.design().require("acc").unwrap();
+        sim.set_register(acc, 42).unwrap();
+        assert_eq!(sim.peek_by_name("out").unwrap(), 42);
+        sim.set_input_by_name("in", 1).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("out").unwrap(), 43);
+    }
+
+    #[test]
+    fn expression_semantics_match_reference() {
+        // Build one design exercising every operator and compare against
+        // native Rust arithmetic on a handful of values.
+        let mut d = Design::new("ops");
+        let a = d.add_input("a", 8).unwrap();
+        let b = d.add_input("b", 8).unwrap();
+        let sa = d.signal(a);
+        let sb = d.signal(b);
+        let ops: Vec<(&str, ExprId)> = vec![
+            ("and", d.and(sa, sb).unwrap()),
+            ("or", d.or(sa, sb).unwrap()),
+            ("xor", d.xor(sa, sb).unwrap()),
+            ("add", d.add(sa, sb).unwrap()),
+            ("sub", d.sub(sa, sb).unwrap()),
+            ("mul", d.mul(sa, sb).unwrap()),
+            ("eq", d.cmp_eq(sa, sb).unwrap()),
+            ("ne", d.cmp_ne(sa, sb).unwrap()),
+            ("ult", d.cmp_ult(sa, sb).unwrap()),
+            ("ule", d.cmp_ule(sa, sb).unwrap()),
+            ("shl", d.shl(sa, sb).unwrap()),
+            ("shr", d.shr(sa, sb).unwrap()),
+            ("not", d.not(sa)),
+            ("neg", d.neg(sa)),
+            ("redand", d.red_and(sa)),
+            ("redor", d.red_or(sa)),
+            ("redxor", d.red_xor(sa)),
+        ];
+        for (name, e) in &ops {
+            d.add_output(format!("out_{name}"), *e).unwrap();
+        }
+        let design = d.validated().unwrap();
+        let mut sim = Simulator::new(&design);
+
+        for &(va, vb) in &[(0u128, 0u128), (1, 2), (255, 1), (170, 85), (200, 200), (3, 9)] {
+            sim.set_input_by_name("a", va).unwrap();
+            sim.set_input_by_name("b", vb).unwrap();
+            let expect = |name: &str| -> u128 {
+                match name {
+                    "and" => va & vb,
+                    "or" => va | vb,
+                    "xor" => va ^ vb,
+                    "add" => (va + vb) & 0xff,
+                    "sub" => va.wrapping_sub(vb) & 0xff,
+                    "mul" => (va * vb) & 0xff,
+                    "eq" => u128::from(va == vb),
+                    "ne" => u128::from(va != vb),
+                    "ult" => u128::from(va < vb),
+                    "ule" => u128::from(va <= vb),
+                    "shl" => {
+                        if vb >= 8 {
+                            0
+                        } else {
+                            (va << vb) & 0xff
+                        }
+                    }
+                    "shr" => {
+                        if vb >= 8 {
+                            0
+                        } else {
+                            va >> vb
+                        }
+                    }
+                    "not" => !va & 0xff,
+                    "neg" => va.wrapping_neg() & 0xff,
+                    "redand" => u128::from(va == 0xff),
+                    "redor" => u128::from(va != 0),
+                    "redxor" => u128::from(va.count_ones() % 2 == 1),
+                    _ => unreachable!(),
+                }
+            };
+            for (name, _) in &ops {
+                assert_eq!(
+                    sim.peek_by_name(&format!("out_{name}")).unwrap(),
+                    expect(name),
+                    "operator {name} on ({va}, {vb})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rom_lookup_in_simulation() {
+        let mut d = Design::new("rom");
+        let idx = d.add_input("idx", 3).unwrap();
+        let table: Vec<u128> = (0u128..8).map(|i| i * 3 + 1).collect();
+        let looked_up = d.rom(table.clone(), d.signal(idx), 8).unwrap();
+        d.add_output("value", looked_up).unwrap();
+        let design = d.validated().unwrap();
+        let mut sim = Simulator::new(&design);
+        for i in 0..8u128 {
+            sim.set_input_by_name("idx", i).unwrap();
+            assert_eq!(sim.peek_by_name("value").unwrap(), table[i as usize]);
+        }
+    }
+
+    #[test]
+    fn slice_and_concat_in_simulation() {
+        let mut d = Design::new("sc");
+        let a = d.add_input("a", 8).unwrap();
+        let hi = d.slice(d.signal(a), 7, 4).unwrap();
+        let lo = d.slice(d.signal(a), 3, 0).unwrap();
+        let swapped = d.concat(lo, hi).unwrap();
+        d.add_output("swapped", swapped).unwrap();
+        let design = d.validated().unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("a", 0xAB).unwrap();
+        assert_eq!(sim.peek_by_name("swapped").unwrap(), 0xBA);
+    }
+
+    #[test]
+    fn wire_chains_evaluate_through_multiple_levels() {
+        let mut d = Design::new("chain");
+        let a = d.add_input("a", 4).unwrap();
+        let one = d.constant(1, 4).unwrap();
+        let w1e = d.add(d.signal(a), one).unwrap();
+        let w1 = d.add_wire("w1", w1e).unwrap();
+        let w2e = d.add(d.signal(w1), one).unwrap();
+        let w2 = d.add_wire("w2", w2e).unwrap();
+        d.add_output("out", d.signal(w2)).unwrap();
+        let design = d.validated().unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("a", 5).unwrap();
+        assert_eq!(sim.peek_by_name("out").unwrap(), 7);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_across_clones() {
+        let design = accumulator();
+        let mut sim1 = Simulator::new(&design);
+        sim1.set_input_by_name("in", 3).unwrap();
+        sim1.step().unwrap();
+        let sim2 = sim1.clone();
+        assert_eq!(sim1.register_snapshot(), sim2.register_snapshot());
+    }
+}

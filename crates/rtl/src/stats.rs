@@ -1,0 +1,128 @@
+//! Design statistics.
+//!
+//! The statistics are reported by the examples and the benchmark harness so
+//! the size of each Trust-Hub-style benchmark can be compared against the
+//! numbers implied by the paper (state bits, structural depth, …).
+
+use std::fmt;
+
+use crate::design::{SignalKind, ValidatedDesign};
+use crate::structural::structural_depth;
+
+/// Summary metrics for a design.
+///
+/// # Example
+///
+/// ```
+/// use htd_rtl::Design;
+/// use htd_rtl::stats::DesignStats;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let mut d = Design::new("reg");
+/// let i = d.add_input("i", 8)?;
+/// let r = d.add_register("r", 8, 0)?;
+/// d.set_register_next(r, d.signal(i))?;
+/// d.add_output("o", d.signal(r))?;
+/// let stats = DesignStats::of(&d.validated()?);
+/// assert_eq!(stats.registers, 1);
+/// assert_eq!(stats.state_bits, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of registers (state-holding elements).
+    pub registers: usize,
+    /// Number of named combinational wires.
+    pub wires: usize,
+    /// Total number of state bits (sum of register widths).
+    pub state_bits: u64,
+    /// Total number of input bits.
+    pub input_bits: u64,
+    /// Total number of output bits.
+    pub output_bits: u64,
+    /// Number of expression nodes in the arena.
+    pub expr_nodes: usize,
+    /// Structural depth: the number of fanout levels from the inputs until
+    /// the fixpoint (bounds the number of properties in the detection flow).
+    pub structural_depth: usize,
+}
+
+impl DesignStats {
+    /// Computes the statistics of a validated design.
+    #[must_use]
+    pub fn of(design: &ValidatedDesign) -> Self {
+        let d = design.design();
+        let mut stats = DesignStats { expr_nodes: d.num_exprs(), ..Default::default() };
+        for (_, s) in d.signals() {
+            match s.kind() {
+                SignalKind::Input => {
+                    stats.inputs += 1;
+                    stats.input_bits += u64::from(s.width());
+                }
+                SignalKind::Output => {
+                    stats.outputs += 1;
+                    stats.output_bits += u64::from(s.width());
+                }
+                SignalKind::Register { .. } => {
+                    stats.registers += 1;
+                    stats.state_bits += u64::from(s.width());
+                }
+                SignalKind::Wire => stats.wires += 1,
+            }
+        }
+        stats.structural_depth = structural_depth(design);
+        stats
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs ({} bits), {} outputs ({} bits), {} registers ({} state bits), \
+             {} wires, {} expression nodes, structural depth {}",
+            self.inputs,
+            self.input_bits,
+            self.outputs,
+            self.output_bits,
+            self.registers,
+            self.state_bits,
+            self.wires,
+            self.expr_nodes,
+            self.structural_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Design;
+
+    #[test]
+    fn stats_count_all_signal_classes() {
+        let mut d = Design::new("s");
+        let a = d.add_input("a", 4).unwrap();
+        let b = d.add_input("b", 4).unwrap();
+        let x = d.xor(d.signal(a), d.signal(b)).unwrap();
+        let w = d.add_wire("w", x).unwrap();
+        let r = d.add_register("r", 4, 0).unwrap();
+        d.set_register_next(r, d.signal(w)).unwrap();
+        d.add_output("o", d.signal(r)).unwrap();
+        let stats = DesignStats::of(&d.validated().unwrap());
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.registers, 1);
+        assert_eq!(stats.wires, 1);
+        assert_eq!(stats.state_bits, 4);
+        assert_eq!(stats.input_bits, 8);
+        assert_eq!(stats.output_bits, 4);
+        assert_eq!(stats.structural_depth, 2);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal DIMACS CNF import/export.
+//!
+//! The detection flow itself never touches DIMACS, but the format is handy for
+//! debugging individual property queries with external solvers and for
+//! regression-testing the solver against reference instances.
+
+use crate::literal::{Lit, Var};
+use crate::solver::Solver;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// A token could not be parsed as an integer literal.
+    InvalidToken(String),
+    /// A clause referenced a variable above the declared variable count.
+    VariableOutOfRange(i64),
+    /// The final clause was not terminated with a `0`.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::InvalidToken(t) => write!(f, "invalid DIMACS token `{t}`"),
+            ParseDimacsError::VariableOutOfRange(v) => {
+                write!(f, "variable {v} exceeds the declared variable count")
+            }
+            ParseDimacsError::UnterminatedClause => write!(f, "unterminated clause"),
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document into a fresh [`Solver`].
+///
+/// Comment lines (`c …`) and the problem line (`p cnf …`) are skipped; the
+/// variable count is grown on demand, so a missing or understated problem line
+/// is tolerated.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] if a token is not an integer or the last
+/// clause is not `0`-terminated.
+///
+/// # Example
+///
+/// ```
+/// use htd_sat::{parse_dimacs, SolveResult};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut solver = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs(input: &str) -> Result<Solver, ParseDimacsError> {
+    let mut solver = Solver::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    let mut in_clause = false;
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_ascii_whitespace() {
+            let value: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::InvalidToken(tok.to_string()))?;
+            if value == 0 {
+                solver.add_clause(clause.drain(..));
+                in_clause = false;
+                continue;
+            }
+            in_clause = true;
+            let var_index = value.unsigned_abs() - 1;
+            if var_index > u64::from(u32::MAX) {
+                return Err(ParseDimacsError::VariableOutOfRange(value));
+            }
+            while (solver.num_vars() as u64) <= var_index {
+                solver.new_var();
+            }
+            let var = Var::from_index(var_index as u32);
+            clause.push(Lit::new(var, value < 0));
+        }
+    }
+    if in_clause {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    Ok(solver)
+}
+
+/// Serialises a set of clauses into DIMACS CNF text.
+///
+/// `num_vars` is the declared variable count of the problem line; clauses use
+/// the 1-based DIMACS literal convention.
+///
+/// # Example
+///
+/// ```
+/// use htd_sat::{to_dimacs, Lit, Var};
+///
+/// let a = Var::from_index(0);
+/// let b = Var::from_index(1);
+/// let text = to_dimacs(2, &[vec![Lit::pos(a), Lit::neg(b)]]);
+/// assert!(text.contains("p cnf 2 1"));
+/// assert!(text.contains("1 -2 0"));
+/// ```
+#[must_use]
+pub fn to_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", num_vars, clauses.len()));
+    for clause in clauses {
+        for lit in clause {
+            out.push_str(&lit.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple_sat_instance() {
+        let mut s = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn parse_unsat_instance() {
+        let mut s = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn parse_grows_variables_beyond_header() {
+        let s = parse_dimacs("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(s.num_vars(), 5);
+    }
+
+    #[test]
+    fn unterminated_clause_is_an_error() {
+        assert_eq!(
+            parse_dimacs("p cnf 2 1\n1 2\n").err(),
+            Some(ParseDimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn invalid_token_is_an_error() {
+        assert!(matches!(
+            parse_dimacs("1 x 0\n"),
+            Err(ParseDimacsError::InvalidToken(_))
+        ));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let a = Var::from_index(0);
+        let b = Var::from_index(1);
+        let clauses = vec![
+            vec![Lit::pos(a), Lit::pos(b)],
+            vec![Lit::neg(a), Lit::pos(b)],
+            vec![Lit::neg(b)],
+        ];
+        let text = to_dimacs(2, &clauses);
+        let mut s = parse_dimacs(&text).unwrap();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,45 @@
+//! # htd-sat
+//!
+//! A conflict-driven clause-learning (CDCL) SAT solver written from scratch for
+//! the golden-free hardware-Trojan detection toolkit.
+//!
+//! The interval property checker in `htd-ipc` reduces every single-cycle
+//! 2-safety property to one propositional satisfiability query over the
+//! Tseitin encoding of the bit-blasted miter.  This crate provides the solver
+//! for those queries.  It is a classic MiniSat-style CDCL solver:
+//!
+//! * two-watched-literal unit propagation,
+//! * VSIDS variable activities with phase saving,
+//! * first-UIP conflict analysis with clause minimisation,
+//! * Luby restarts,
+//! * activity-based learnt-clause database reduction,
+//! * incremental solving under assumptions (used for the equality assumptions
+//!   of the spurious-counterexample workflow in `htd-core`).
+//!
+//! # Example
+//!
+//! ```
+//! use htd_sat::{Lit, Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! // (a | b) & (!a | b) & (a | !b)
+//! solver.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause([Lit::neg(a), Lit::pos(b)]);
+//! solver.add_clause([Lit::pos(a), Lit::neg(b)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(a), Some(true));
+//! assert_eq!(solver.value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dimacs;
+mod literal;
+mod solver;
+
+pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
+pub use literal::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

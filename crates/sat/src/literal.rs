@@ -1,0 +1,198 @@
+//! Propositional variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// Variables are created by [`crate::Solver::new_var`]; their index is used to
+/// address per-variable data inside the solver and by the Tseitin encoder in
+/// `htd-ipc`.
+///
+/// # Example
+///
+/// ```
+/// use htd_sat::{Solver, Var};
+///
+/// let mut solver = Solver::new();
+/// let v: Var = solver.new_var();
+/// assert_eq!(v.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    ///
+    /// Normally variables are obtained from [`crate::Solver::new_var`]; this
+    /// constructor exists for encoders that manage their own variable space
+    /// (e.g. DIMACS parsing).
+    #[must_use]
+    pub const fn from_index(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A literal: a propositional variable or its negation.
+///
+/// Internally encoded as `2 * var + sign` so it can index watch lists
+/// directly.
+///
+/// # Example
+///
+/// ```
+/// use htd_sat::{Lit, Var};
+///
+/// let v = Var::from_index(3);
+/// let p = Lit::pos(v);
+/// assert_eq!(!p, Lit::neg(v));
+/// assert_eq!(p.var(), v);
+/// assert!(!p.is_negated());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[must_use]
+    pub const fn pos(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[must_use]
+    pub const fn neg(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    #[must_use]
+    pub const fn new(var: Var, negated: bool) -> Self {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// The variable underlying this literal.
+    #[must_use]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a negated literal.
+    #[must_use]
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code of the literal (`2 * var + sign`), usable as an array index.
+    #[must_use]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a literal from its dense [`code`](Self::code).
+    #[must_use]
+    pub const fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Evaluates the literal under an assignment of its variable.
+    #[must_use]
+    pub const fn apply(self, var_value: bool) -> bool {
+        var_value != self.is_negated()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!v{}", self.var().index())
+        } else {
+            write!(f, "v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "-{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::neg(v).is_negated());
+        assert!(!Lit::pos(v).is_negated());
+        assert_eq!(Lit::new(v, true), Lit::neg(v));
+        assert_eq!(Lit::new(v, false), Lit::pos(v));
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let v = Var::from_index(11);
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for idx in 0..16u32 {
+            let v = Var::from_index(idx);
+            for lit in [Lit::pos(v), Lit::neg(v)] {
+                assert_eq!(Lit::from_code(lit.code()), lit);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_respects_sign() {
+        let v = Var::from_index(0);
+        assert!(Lit::pos(v).apply(true));
+        assert!(!Lit::pos(v).apply(false));
+        assert!(!Lit::neg(v).apply(true));
+        assert!(Lit::neg(v).apply(false));
+    }
+
+    #[test]
+    fn display_uses_dimacs_convention() {
+        let v = Var::from_index(4);
+        assert_eq!(Lit::pos(v).to_string(), "5");
+        assert_eq!(Lit::neg(v).to_string(), "-5");
+    }
+}

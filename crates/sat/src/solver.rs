@@ -1,0 +1,921 @@
+//! The CDCL solver core.
+
+use crate::literal::{Lit, Var};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a satisfiability query.
+///
+/// # Example
+///
+/// ```
+/// use htd_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// s.add_clause([Lit::pos(a)]);
+/// s.add_clause([Lit::neg(a)]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; it can be queried through
+    /// [`Solver::value`] or [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+}
+
+/// Aggregate counters describing the work performed by a [`Solver`].
+///
+/// Useful for the benchmark harness (property-runtime experiments) and for
+/// regression tests on solver behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses removed by database reduction.
+    pub removed_clauses: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+type ClauseRef = usize;
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+/// Max-heap entry ordering variables by activity.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.activity == other.activity && self.var == other.var
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Activities are finite, non-NaN by construction.
+        self.activity
+            .partial_cmp(&other.activity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.var.cmp(&other.var))
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate-level documentation](crate) for an overview and an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Option<bool>>,
+    phase: Vec<bool>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: BinaryHeap<HeapEntry>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    seen: Vec<bool>,
+    model: Vec<Option<bool>>,
+    ok: bool,
+    stats: SolverStats,
+    max_learnt: f64,
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables and no clauses.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            max_learnt: 2000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.model.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.push(HeapEntry { activity: 0.0, var: v });
+        v
+    }
+
+    /// Number of variables allocated so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of non-deleted clauses (problem and learnt).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Solver work counters accumulated since construction.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause (a disjunction of literals) to the formula.
+    ///
+    /// Returns `false` if the formula has become trivially unsatisfiable at
+    /// the top level (e.g. because the clause was empty after simplification),
+    /// `true` otherwise.  Duplicate literals are removed and tautological
+    /// clauses are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that has not been allocated
+    /// with [`new_var`](Self::new_var).
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(
+                (l.var().index() as usize) < self.num_vars(),
+                "literal {l:?} refers to an unallocated variable"
+            );
+        }
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / top-level simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                // p and !p both present: tautology.
+                return true;
+            }
+            match self.lit_value(l) {
+                Some(true) => return true,
+                Some(false) => {}
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// Assumptions are treated as temporary unit decisions: the result is
+    /// relative to them, and they are retracted afterwards so the solver can
+    /// be reused with different assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions);
+        if result == SolveResult::Sat {
+            self.model = self.assigns.clone();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    /// The value of `var` in the most recent satisfying assignment, or `None`
+    /// if the last call did not return [`SolveResult::Sat`] (or the variable
+    /// did not exist then).
+    #[must_use]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index() as usize).copied().flatten()
+    }
+
+    /// The most recent model as a vector indexed by variable index.
+    #[must_use]
+    pub fn model(&self) -> &[Option<bool>] {
+        &self.model
+    }
+
+    /// `true` if the formula has already been proven unsatisfiable at the top
+    /// level (no assumptions necessary).
+    #[must_use]
+    pub fn is_known_unsat(&self) -> bool {
+        !self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn var_value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index() as usize]
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.var_value(l.var()).map(|b| l.apply(b))
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cr = self.clauses.len();
+        let w0 = Watcher { clause: cr, blocker: lits[1] };
+        let w1 = Watcher { clause: cr, blocker: lits[0] };
+        self.watches[(!lits[0]).code() as usize].push(w0);
+        self.watches[(!lits[1]).code() as usize].push(w1);
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cr
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        let v = l.var().index() as usize;
+        debug_assert!(self.assigns[v].is_none());
+        self.assigns[v] = Some(!l.is_negated());
+        self.phase[v] = !l.is_negated();
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level() as u32;
+        self.trail.push(l);
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail length checked above");
+            let v = l.var();
+            let vi = v.index() as usize;
+            self.assigns[vi] = None;
+            self.reason[vi] = None;
+            self.order.push(HeapEntry { activity: self.activity[vi], var: v });
+        }
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let watchers = std::mem::take(&mut self.watches[p.code() as usize]);
+            let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
+            let mut conflict: Option<ClauseRef> = None;
+            let mut iter = watchers.into_iter();
+            while let Some(w) = iter.next() {
+                if self.clauses[w.clause].deleted {
+                    continue;
+                }
+                if self.lit_value(w.blocker) == Some(true) {
+                    kept.push(w);
+                    continue;
+                }
+                let cr = w.clause;
+                let false_lit = !p;
+                {
+                    let c = &mut self.clauses[cr];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cr].lits[0];
+                let new_watcher = Watcher { clause: cr, blocker: first };
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    kept.push(new_watcher);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..self.clauses[cr].lits.len() {
+                    let lk = self.clauses[cr].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.clauses[cr].lits.swap(1, k);
+                        let watch_on = !self.clauses[cr].lits[1];
+                        debug_assert_ne!(watch_on, p);
+                        self.watches[watch_on.code() as usize].push(new_watcher);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit under the current assignment, or conflicting.
+                kept.push(new_watcher);
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(cr);
+                    self.qhead = self.trail.len();
+                    kept.extend(iter);
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cr));
+            }
+            self.watches[p.code() as usize] = kept;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let vi = v.index() as usize;
+        self.activity[vi] += self.var_inc;
+        if self.activity[vi] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        if self.var_value(v).is_none() {
+            self.order.push(HeapEntry { activity: self.activity[vi], var: v });
+        }
+    }
+
+    fn bump_clause(&mut self, cr: ClauseRef) {
+        self.clauses[cr].activity += self.cla_inc;
+        if self.clauses[cr].activity > RESCALE_LIMIT {
+            for c in &mut self.clauses {
+                c.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLAUSE_DECAY;
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut path_count: u32 = 0;
+        let mut index = self.trail.len();
+        let asserting: Option<Lit>;
+        let current_level = self.decision_level() as u32;
+        let mut skip_var: Option<Var> = None;
+
+        loop {
+            if self.clauses[confl].learnt {
+                self.bump_clause(confl);
+            }
+            let lits = self.clauses[confl].lits.clone();
+            for q in lits {
+                if Some(q.var()) == skip_var {
+                    continue;
+                }
+                let qv = q.var().index() as usize;
+                if !self.seen[qv] && self.level[qv] > 0 {
+                    self.seen[qv] = true;
+                    self.bump_var(q.var());
+                    if self.level[qv] >= current_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next seen literal from the trail.
+            let p = loop {
+                index -= 1;
+                let cand = self.trail[index];
+                if self.seen[cand.var().index() as usize] {
+                    break cand;
+                }
+            };
+            self.seen[p.var().index() as usize] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                asserting = Some(!p);
+                break;
+            }
+            confl = self.reason[p.var().index() as usize]
+                .expect("non-UIP literal at the conflict level must have a reason");
+            skip_var = Some(p.var());
+        }
+
+        let asserting = asserting.expect("loop always terminates with an asserting literal");
+
+        // Conflict-clause minimisation: drop literals implied by the rest.
+        for &l in &learnt {
+            self.seen[l.var().index() as usize] = true;
+        }
+        let mut minimised: Vec<Lit> = Vec::with_capacity(learnt.len());
+        for &l in &learnt {
+            if !self.is_redundant(l) {
+                minimised.push(l);
+            }
+        }
+        for &l in &learnt {
+            self.seen[l.var().index() as usize] = false;
+        }
+
+        let mut clause = Vec::with_capacity(minimised.len() + 1);
+        clause.push(asserting);
+        clause.extend(minimised);
+
+        // Compute the backtrack level: the second-highest level in the clause.
+        let bt_level = if clause.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..clause.len() {
+                if self.level[clause[i].var().index() as usize]
+                    > self.level[clause[max_i].var().index() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            clause.swap(1, max_i);
+            self.level[clause[1].var().index() as usize] as usize
+        };
+
+        (clause, bt_level)
+    }
+
+    /// A learnt-clause literal is redundant if its reason clause contains only
+    /// literals that are already marked `seen` (or assigned at level 0).
+    fn is_redundant(&self, l: Lit) -> bool {
+        let vi = l.var().index() as usize;
+        let Some(cr) = self.reason[vi] else {
+            return false;
+        };
+        self.clauses[cr].lits.iter().all(|&q| {
+            let qv = q.var().index() as usize;
+            q.var() == l.var() || self.seen[qv] || self.level[qv] == 0
+        })
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(entry) = self.order.pop() {
+            if self.var_value(entry.var).is_none() {
+                return Some(entry.var);
+            }
+        }
+        // Fallback scan guarantees completeness even if the lazy heap lost an
+        // entry (e.g. stale activities after rescaling).
+        (0..self.num_vars() as u32)
+            .map(Var::from_index)
+            .find(|&v| self.var_value(v).is_none())
+    }
+
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut learnt_refs: Vec<ClauseRef> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        if learnt_refs.len() < 2 {
+            return;
+        }
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(Ordering::Equal)
+        });
+        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
+        let is_locked = |cr: ClauseRef| locked.iter().any(|&r| r == Some(cr));
+        let to_remove = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for &cr in learnt_refs.iter().take(to_remove) {
+            if is_locked(cr) {
+                continue;
+            }
+            self.clauses[cr].deleted = true;
+            removed += 1;
+        }
+        self.stats.removed_clauses += removed;
+        self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(removed);
+        self.rebuild_watches();
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cr in 0..self.clauses.len() {
+            if self.clauses[cr].deleted || self.clauses[cr].lits.len() < 2 {
+                continue;
+            }
+            let l0 = self.clauses[cr].lits[0];
+            let l1 = self.clauses[cr].lits[1];
+            self.watches[(!l0).code() as usize].push(Watcher { clause: cr, blocker: l1 });
+            self.watches[(!l1).code() as usize].push(Watcher { clause: cr, blocker: l0 });
+        }
+        // Re-run propagation over the whole trail to restore the watcher
+        // invariants with respect to the current (level-0) assignment.
+        self.qhead = 0;
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_count: u64 = 0;
+        let mut restart_limit = RESTART_BASE * Self::luby_value(restart_count);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(asserting, None);
+                } else {
+                    let cr = self.attach_clause(learnt, true);
+                    self.bump_clause(cr);
+                    self.unchecked_enqueue(asserting, Some(cr));
+                }
+                self.decay_activities();
+            } else {
+                // No conflict.
+                if conflicts_since_restart >= restart_limit {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = RESTART_BASE * Self::luby_value(restart_count);
+                    self.cancel_until(0);
+                    if self.stats.learnt_clauses as f64 > self.max_learnt {
+                        self.reduce_db();
+                        self.max_learnt *= 1.3;
+                    }
+                    continue;
+                }
+                // Apply pending assumptions, one decision level each.
+                let mut assumption_conflict = false;
+                while self.decision_level() < assumptions.len() {
+                    let a = assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            self.new_decision_level();
+                        }
+                        Some(false) => {
+                            assumption_conflict = true;
+                            break;
+                        }
+                        None => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(a, None);
+                            break;
+                        }
+                    }
+                }
+                if assumption_conflict {
+                    return SolveResult::Unsat;
+                }
+                if self.qhead < self.trail.len() {
+                    continue;
+                }
+                // Regular decision.
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let phase = self.phase[v.index() as usize];
+                        self.unchecked_enqueue(Lit::new(v, !phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `luby(i)` for the restart schedule, with a simple, clearly-correct
+    /// recursive definition (the sequence is short in practice).
+    fn luby_value(i: u64) -> u64 {
+        // Find the finite subsequence that contains index `i`, and the size of
+        // that subsequence.
+        let mut size = 1u64;
+        let mut seq = 0u64;
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut i = i;
+        let mut size = size;
+        let mut seq = seq;
+        while size - 1 != i {
+            size = (size - 1) / 2;
+            seq -= 1;
+            i %= size;
+        }
+        let _ = seq;
+        (size + 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+        if i > 0 {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    fn make_solver(num_vars: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars = (0..num_vars).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let (mut s, v) = make_solver(1);
+        s.add_clause([lit(&v, 1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let (mut s, v) = make_solver(1);
+        s.add_clause([lit(&v, 1)]);
+        assert!(!s.add_clause([lit(&v, -1)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.is_known_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (x1) & (!x1 | x2) & (!x2 | x3) forces x3.
+        let (mut s, v) = make_solver(3);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -1), lit(&v, 2)]);
+        s.add_clause([lit(&v, -2), lit(&v, 3)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole_is_unsat() {
+        // p1h1, p2h1, !(p1h1 & p2h1)
+        let (mut s, v) = make_solver(2);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, 2)]);
+        s.add_clause([lit(&v, -1), lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables p_{i,j}: pigeon i sits in hole j (i in 0..3, j in 0..2).
+        let (mut s, v) = make_solver(6);
+        let p = |i: usize, j: usize| lit(&v, (i * 2 + j + 1) as i32);
+        // Every pigeon in some hole.
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_is_sat_with_consistent_model() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 0
+        let (mut s, v) = make_solver(3);
+        let add_xor = |s: &mut Solver, a: Lit, b: Lit, val: bool| {
+            if val {
+                s.add_clause([a, b]);
+                s.add_clause([!a, !b]);
+            } else {
+                s.add_clause([!a, b]);
+                s.add_clause([a, !b]);
+            }
+        };
+        add_xor(&mut s, lit(&v, 1), lit(&v, 2), true);
+        add_xor(&mut s, lit(&v, 2), lit(&v, 3), true);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 3), false);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m1 = s.value(v[0]).unwrap();
+        let m2 = s.value(v[1]).unwrap();
+        let m3 = s.value(v[2]).unwrap();
+        assert!(m1 ^ m2);
+        assert!(m2 ^ m3);
+        assert!(!(m1 ^ m3));
+    }
+
+    #[test]
+    fn xor_chain_inconsistent_is_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is inconsistent.
+        let (mut s, v) = make_solver(3);
+        let add_xor = |s: &mut Solver, a: Lit, b: Lit, val: bool| {
+            if val {
+                s.add_clause([a, b]);
+                s.add_clause([!a, !b]);
+            } else {
+                s.add_clause([!a, b]);
+                s.add_clause([a, !b]);
+            }
+        };
+        add_xor(&mut s, lit(&v, 1), lit(&v, 2), true);
+        add_xor(&mut s, lit(&v, 2), lit(&v, 3), true);
+        add_xor(&mut s, lit(&v, 1), lit(&v, 3), true);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause([lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        // Conflicting assumptions make it unsat, but only temporarily.
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_of_already_implied_literal() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause([lit(&v, 1)]);
+        s.add_clause([lit(&v, -1), lit(&v, 2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1), lit(&v, 2)]),
+            SolveResult::Sat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        // Formula itself stays satisfiable.
+        assert!(!s.is_known_unsat());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let (mut s, v) = make_solver(2);
+        assert!(s.add_clause([lit(&v, 1), lit(&v, -1)]));
+        assert!(s.add_clause([lit(&v, 2)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduplicated() {
+        let (mut s, v) = make_solver(1);
+        assert!(s.add_clause([lit(&v, 1), lit(&v, 1), lit(&v, 1)]));
+        assert_eq!(s.num_clauses(), 0); // became a unit assignment, not a clause
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn model_assigns_every_variable() {
+        let (mut s, v) = make_solver(5);
+        s.add_clause([lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for var in &v {
+            assert!(s.value(*var).is_some(), "variable {var:?} left unassigned");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (mut s, v) = make_solver(3);
+        s.add_clause([lit(&v, 1), lit(&v, 2)]);
+        s.add_clause([lit(&v, -1), lit(&v, 3)]);
+        s.solve();
+        let st = s.stats();
+        assert!(st.decisions > 0 || st.propagations > 0);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby_value(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// At-most-one constraints plus at-least-one over n variables with a
+    /// forbidden assignment: forces the solver through real conflict analysis.
+    #[test]
+    fn exactly_one_with_forbidden_choices() {
+        let n = 8;
+        let (mut s, v) = make_solver(n);
+        let lits: Vec<Lit> = (1..=n as i32).map(|i| lit(&v, i)).collect();
+        s.add_clause(lits.clone());
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_clause([!lits[i], !lits[j]]);
+            }
+        }
+        // Forbid the first n-1 choices.
+        for l in lits.iter().take(n - 1) {
+            s.add_clause([!*l]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[n - 1]), Some(true));
+    }
+}

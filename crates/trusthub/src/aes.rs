@@ -1,0 +1,521 @@
+//! A pipelined AES-128 encryption accelerator at RTL, with optional hardware
+//! Trojans — the stand-in for the Trust-Hub AES-T benchmark family.
+//!
+//! # Microarchitecture
+//!
+//! The accelerator is a fully unrolled, two-stages-per-round pipeline that
+//! accepts a new (plaintext, key) pair every clock cycle — a *non-interfering*
+//! design in the sense of the paper: the ciphertext produced for one input is
+//! independent of any earlier or later input.
+//!
+//! | structural level | registers | contents |
+//! |---|---|---|
+//! | 1 | `state_r0`, `key_r0` | initial AddRoundKey, key capture |
+//! | 2·r | `state_sub_r{r}`, `key_r{r}` | SubBytes+ShiftRows of round *r*, round key *r* |
+//! | 2·r+1 | `state_r{r}`, `key_pipe_r{r}` | MixColumns+AddRoundKey of round *r* |
+//! | 22 | `ciphertext` (output) | combinational read of `state_r10` |
+//!
+//! The structural level is exactly the `fanouts_CCk` level of the detection
+//! flow, so a payload injected at level *k* is detected by
+//! `fanout_property_{k-1}` — a ciphertext bit flip (level 22) by
+//! `fanout_property_21`, matching the AES-T2500 row of Table I.
+//!
+//! The pipeline latency is [`PIPELINE_LATENCY`] cycles: an input accepted in
+//! cycle *t* appears as the ciphertext output in cycle *t + 21*.
+
+use htd_rtl::{Design, DesignError, ExprId, SignalId, ValidatedDesign};
+
+use crate::aes_ref::{RCON, SBOX};
+use crate::trojan::{build_trigger, Payload, TrojanSpec};
+
+/// Number of cycles between accepting an input and presenting its ciphertext.
+pub const PIPELINE_LATENCY: u64 = 21;
+
+/// Structural level of the ciphertext output (see the module docs).
+pub const OUTPUT_LEVEL: usize = 22;
+
+/// Builds the AES-128 accelerator, optionally infected with a Trojan.
+///
+/// The clean design (`trojan == None`) is the HT-free reference the paper
+/// also verifies; it is bit-exact against the software model in
+/// [`crate::aes_ref`].
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] from the RTL builder; with valid parameters the
+/// construction always succeeds.
+///
+/// # Example
+///
+/// ```
+/// use htd_trusthub::aes::{build_aes, PIPELINE_LATENCY};
+/// use htd_trusthub::aes_ref::encrypt_u128;
+/// use htd_rtl::sim::Simulator;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let design = build_aes("aes_clean", None)?;
+/// let mut sim = Simulator::new(&design);
+/// sim.set_input_by_name("plaintext", 0)?;
+/// sim.set_input_by_name("key", 0)?;
+/// sim.run(PIPELINE_LATENCY)?;
+/// assert_eq!(sim.peek_by_name("ciphertext")?, encrypt_u128(0, 0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_aes(name: &str, trojan: Option<&TrojanSpec>) -> Result<ValidatedDesign, DesignError> {
+    let mut d = Design::new(name);
+    let plaintext = d.add_input("plaintext", 128)?;
+    let key = d.add_input("key", 128)?;
+    let pt_e = d.signal(plaintext);
+    let key_e = d.signal(key);
+
+    // Trigger logic (adds its own state registers).
+    let armed = match trojan {
+        Some(spec) => Some(build_trigger(&mut d, pt_e, &spec.trigger)?),
+        None => None,
+    };
+
+    // Level 1: initial AddRoundKey and key capture.
+    let s0 = d.add_register("state_r0", 128, 0)?;
+    let mut s0_next = d.xor(pt_e, key_e)?;
+    s0_next = apply_bitflip(&mut d, trojan, armed, 1, s0_next)?;
+    d.set_register_next(s0, s0_next)?;
+    let k0 = d.add_register("key_r0", 128, 0)?;
+    d.set_register_next(k0, key_e)?;
+
+    // Rounds 1..=10, two pipeline stages each.
+    let mut prev_state = d.signal(s0);
+    let mut prev_key = d.signal(k0);
+    for round in 1..=10usize {
+        // Stage A: SubBytes + ShiftRows, and the key schedule step.
+        let substituted = sub_bytes(&mut d, prev_state)?;
+        let mut shifted = shift_rows(&mut d, substituted)?;
+        shifted = apply_bitflip(&mut d, trojan, armed, 2 * round, shifted)?;
+        let stage_a = d.add_register(format!("state_sub_r{round}"), 128, 0)?;
+        d.set_register_next(stage_a, shifted)?;
+        let round_key = key_expand(&mut d, round, prev_key)?;
+        let key_a = d.add_register(format!("key_r{round}"), 128, 0)?;
+        d.set_register_next(key_a, round_key)?;
+
+        // Stage B: MixColumns (except round 10) + AddRoundKey.
+        let stage_a_value = d.signal(stage_a);
+        let mixed = if round < 10 {
+            mix_columns(&mut d, stage_a_value)?
+        } else {
+            stage_a_value
+        };
+        let mut stage_b_next = d.xor(mixed, d.signal(key_a))?;
+        stage_b_next = apply_bitflip(&mut d, trojan, armed, 2 * round + 1, stage_b_next)?;
+        let stage_b = d.add_register(format!("state_r{round}"), 128, 0)?;
+        d.set_register_next(stage_b, stage_b_next)?;
+        let key_b = d.add_register(format!("key_pipe_r{round}"), 128, 0)?;
+        d.set_register_next(key_b, d.signal(key_a))?;
+
+        prev_state = d.signal(stage_b);
+        prev_key = d.signal(key_b);
+    }
+
+    // Ciphertext output (level 22), possibly corrupted by the payload.
+    let mut ciphertext = prev_state;
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        match spec.payload {
+            Payload::DenialOfService => {
+                let zero = d.zero(128)?;
+                ciphertext = d.mux(armed, zero, ciphertext)?;
+            }
+            Payload::CiphertextBitFlip { level } if level >= OUTPUT_LEVEL => {
+                let flip = d.zero_ext(armed, 128)?;
+                ciphertext = d.xor(ciphertext, flip)?;
+            }
+            Payload::LeakToOutput => {
+                ciphertext = d.mux(armed, key_e, ciphertext)?;
+            }
+            _ => {}
+        }
+    }
+    d.add_output("ciphertext", ciphertext)?;
+
+    // Payload side structures that are not on the ciphertext path.
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        build_payload_structures(&mut d, spec, armed, pt_e, key_e)?;
+    }
+
+    d.validated()
+}
+
+/// XORs the armed bit into the LSB of a 128-bit stage value if the payload is
+/// a bit flip at exactly this structural level.
+fn apply_bitflip(
+    d: &mut Design,
+    trojan: Option<&TrojanSpec>,
+    armed: Option<ExprId>,
+    level: usize,
+    value: ExprId,
+) -> Result<ExprId, DesignError> {
+    let (Some(spec), Some(armed)) = (trojan, armed) else {
+        return Ok(value);
+    };
+    match spec.payload {
+        Payload::CiphertextBitFlip { level: l } if l == level && l < OUTPUT_LEVEL => {
+            let flip = d.zero_ext(armed, 128)?;
+            d.xor(value, flip)
+        }
+        _ => Ok(value),
+    }
+}
+
+/// Adds the payload structures that live next to the data path (leakage
+/// registers, antenna pins, oscillators).
+fn build_payload_structures(
+    d: &mut Design,
+    spec: &TrojanSpec,
+    armed: ExprId,
+    plaintext: ExprId,
+    key: ExprId,
+) -> Result<(), DesignError> {
+    match spec.payload {
+        Payload::PowerSideChannel => {
+            // A shift register that absorbs one key/plaintext-dependent bit
+            // per cycle while armed: its switching activity is the power side
+            // channel; its RTL representation is what the flow detects.
+            let leak = d.add_register("trojan_leak_shift", 16, 0)?;
+            let key_byte = d.slice(key, 127, 120)?;
+            let key_parity = d.red_xor(key_byte);
+            let pt_bit = d.bit(plaintext, 0)?;
+            let leak_bit = d.xor(key_parity, pt_bit)?;
+            let low = d.slice(d.signal(leak), 14, 0)?;
+            let shifted = d.concat(low, leak_bit)?;
+            let next = d.mux(armed, shifted, d.signal(leak))?;
+            d.set_register_next(leak, next)?;
+        }
+        Payload::LeakageCurrent => {
+            let bank = d.add_register("trojan_lc_bank", 32, 0)?;
+            let toggled = d.not(d.signal(bank));
+            let next = d.mux(armed, toggled, d.signal(bank))?;
+            d.set_register_next(bank, next)?;
+        }
+        Payload::RfAntenna => {
+            // Key bit modulated onto an otherwise unused pin.
+            let key_bit = d.bit(key, 0)?;
+            let beacon = d.and(armed, key_bit)?;
+            d.add_output("rf_antenna", beacon)?;
+        }
+        Payload::DosOscillator => {
+            // A self-sustaining oscillator enable entirely outside the input
+            // cone (AES-T1900): only the coverage check can point at it.
+            let enable = d.add_register("trojan_osc_en", 1, 0)?;
+            let enable_next = d.or(d.signal(enable), armed)?;
+            d.set_register_next(enable, enable_next)?;
+            let osc = d.add_register("trojan_osc", 1, 0)?;
+            let inverted = d.not(d.signal(osc));
+            let osc_next = d.mux(d.signal(enable), inverted, d.signal(osc))?;
+            d.set_register_next(osc, osc_next)?;
+        }
+        Payload::DenialOfService
+        | Payload::CiphertextBitFlip { .. }
+        | Payload::LeakToOutput => {
+            // Handled on the ciphertext path in `build_aes`.
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// AES round function building blocks
+// ---------------------------------------------------------------------------
+
+fn sbox_table() -> Vec<u128> {
+    SBOX.iter().map(|&b| u128::from(b)).collect()
+}
+
+/// Byte `i` (0 = most significant) of a 128-bit expression.
+fn get_byte(d: &mut Design, value: ExprId, i: usize) -> Result<ExprId, DesignError> {
+    let hi = 127 - 8 * i as u32;
+    d.slice(value, hi, hi - 7)
+}
+
+fn from_bytes(d: &mut Design, bytes: &[ExprId]) -> Result<ExprId, DesignError> {
+    d.concat_all(bytes)
+}
+
+fn sub_bytes(d: &mut Design, state: ExprId) -> Result<ExprId, DesignError> {
+    let mut out = Vec::with_capacity(16);
+    for i in 0..16 {
+        let byte = get_byte(d, state, i)?;
+        out.push(d.rom(sbox_table(), byte, 8)?);
+    }
+    from_bytes(d, &out)
+}
+
+fn shift_rows(d: &mut Design, state: ExprId) -> Result<ExprId, DesignError> {
+    let mut bytes = Vec::with_capacity(16);
+    for i in 0..16 {
+        bytes.push(get_byte(d, state, i)?);
+    }
+    let mut shifted = bytes.clone();
+    for row in 0..4 {
+        for col in 0..4 {
+            shifted[4 * col + row] = bytes[4 * ((col + row) % 4) + row];
+        }
+    }
+    from_bytes(d, &shifted)
+}
+
+/// GF(2^8) doubling (the `xtime` operation).
+fn xtime(d: &mut Design, byte: ExprId) -> Result<ExprId, DesignError> {
+    let low7 = d.slice(byte, 6, 0)?;
+    let zero = d.zero(1)?;
+    let doubled = d.concat(low7, zero)?;
+    let poly = d.constant(0x1b, 8)?;
+    let reduced = d.xor(doubled, poly)?;
+    let msb = d.bit(byte, 7)?;
+    d.mux(msb, reduced, doubled)
+}
+
+fn mix_columns(d: &mut Design, state: ExprId) -> Result<ExprId, DesignError> {
+    let mut bytes = Vec::with_capacity(16);
+    for i in 0..16 {
+        bytes.push(get_byte(d, state, i)?);
+    }
+    let mut out = bytes.clone();
+    for col in 0..4 {
+        let a = [bytes[4 * col], bytes[4 * col + 1], bytes[4 * col + 2], bytes[4 * col + 3]];
+        let a01 = d.xor(a[0], a[1])?;
+        let a23 = d.xor(a[2], a[3])?;
+        let all = d.xor(a01, a23)?;
+        for i in 0..4 {
+            let pair = d.xor(a[i], a[(i + 1) % 4])?;
+            let doubled = xtime(d, pair)?;
+            let partial = d.xor(a[i], all)?;
+            out[4 * col + i] = d.xor(partial, doubled)?;
+        }
+    }
+    from_bytes(d, &out)
+}
+
+/// One AES-128 key-schedule step: round key `round` from round key `round-1`.
+fn key_expand(d: &mut Design, round: usize, prev_key: ExprId) -> Result<ExprId, DesignError> {
+    let w0 = d.slice(prev_key, 127, 96)?;
+    let w1 = d.slice(prev_key, 95, 64)?;
+    let w2 = d.slice(prev_key, 63, 32)?;
+    let w3 = d.slice(prev_key, 31, 0)?;
+    // RotWord: rotate left by one byte.
+    let low24 = d.slice(w3, 23, 0)?;
+    let high8 = d.slice(w3, 31, 24)?;
+    let rotated = d.concat(low24, high8)?;
+    // SubWord.
+    let mut sub_bytes_of_word = Vec::with_capacity(4);
+    for i in 0..4 {
+        let hi = 31 - 8 * i as u32;
+        let byte = d.slice(rotated, hi, hi - 7)?;
+        sub_bytes_of_word.push(d.rom(sbox_table(), byte, 8)?);
+    }
+    let substituted = d.concat_all(&sub_bytes_of_word)?;
+    let rcon = d.constant(u128::from(RCON[round - 1]) << 24, 32)?;
+    let t = d.xor(substituted, rcon)?;
+    let n0 = d.xor(w0, t)?;
+    let n1 = d.xor(n0, w1)?;
+    let n2 = d.xor(n1, w2)?;
+    let n3 = d.xor(n2, w3)?;
+    d.concat_all(&[n0, n1, n2, n3])
+}
+
+/// The benign (non-Trojan) state registers of the accelerator, useful as the
+/// waiver list when analysing *interfering* variants; the clean pipelined AES
+/// needs no waivers at all.
+#[must_use]
+pub fn benign_state(design: &ValidatedDesign) -> Vec<SignalId> {
+    let d = design.design();
+    d.registers()
+        .into_iter()
+        .filter(|&r| !d.signal_name(r).starts_with("trojan_"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes_ref::encrypt_u128;
+    use crate::trojan::Trigger;
+    use htd_rtl::sim::Simulator;
+    use htd_rtl::stats::DesignStats;
+
+    fn run_clean(plaintext: u128, key: u128) -> u128 {
+        let design = build_aes("aes_clean", None).unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("plaintext", plaintext).unwrap();
+        sim.set_input_by_name("key", key).unwrap();
+        sim.run(PIPELINE_LATENCY).unwrap();
+        sim.peek_by_name("ciphertext").unwrap()
+    }
+
+    #[test]
+    fn clean_rtl_matches_reference_on_fips_vector() {
+        let pt = 0x3243f6a8_885a308d_313198a2_e0370734u128;
+        let key = 0x2b7e1516_28aed2a6_abf71588_09cf4f3cu128;
+        assert_eq!(run_clean(pt, key), encrypt_u128(pt, key));
+    }
+
+    #[test]
+    fn clean_rtl_matches_reference_on_random_vectors() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..3 {
+            let pt: u128 = rng.gen();
+            let key: u128 = rng.gen();
+            assert_eq!(run_clean(pt, key), encrypt_u128(pt, key));
+        }
+    }
+
+    #[test]
+    fn pipeline_streams_one_block_per_cycle() {
+        let design = build_aes("aes_stream", None).unwrap();
+        let mut sim = Simulator::new(&design);
+        let inputs: Vec<(u128, u128)> =
+            (0..4).map(|i| (0x1111 * (i + 1) as u128, 0x2222 * (i + 3) as u128)).collect();
+        let mut outputs = Vec::new();
+        for cycle in 0..(inputs.len() as u64 + PIPELINE_LATENCY) {
+            let (pt, key) = inputs.get(cycle as usize).copied().unwrap_or((0, 0));
+            sim.set_input_by_name("plaintext", pt).unwrap();
+            sim.set_input_by_name("key", key).unwrap();
+            sim.step().unwrap();
+            if cycle + 1 >= PIPELINE_LATENCY {
+                outputs.push(sim.peek_by_name("ciphertext").unwrap());
+            }
+        }
+        for (i, &(pt, key)) in inputs.iter().enumerate() {
+            assert_eq!(outputs[i], encrypt_u128(pt, key), "block {i}");
+        }
+    }
+
+    #[test]
+    fn design_statistics_are_plausible() {
+        let design = build_aes("aes_stats", None).unwrap();
+        let stats = DesignStats::of(&design);
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.outputs, 1);
+        // 2 level-1 registers + 4 per round * 10 rounds.
+        assert_eq!(stats.registers, 42);
+        assert_eq!(stats.state_bits, 42 * 128);
+        assert_eq!(stats.structural_depth, OUTPUT_LEVEL);
+    }
+
+    #[test]
+    fn bit_flip_trojan_corrupts_ciphertext_only_when_armed() {
+        let spec = TrojanSpec::new(
+            Trigger::CycleCounter { threshold: 30 },
+            Payload::CiphertextBitFlip { level: OUTPUT_LEVEL },
+        );
+        let design = build_aes("aes_t2500_like", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        let pt = 0xdeadbeef_cafebabe_01234567_89abcdefu128;
+        let key = 0x0f0e0d0c_0b0a0908_07060504_03020100u128;
+        sim.set_input_by_name("plaintext", pt).unwrap();
+        sim.set_input_by_name("key", key).unwrap();
+        // Before the counter reaches its threshold the output is correct.
+        sim.run(PIPELINE_LATENCY).unwrap();
+        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), encrypt_u128(pt, key));
+        // After the trigger threshold the LSB is flipped.
+        sim.run(30).unwrap();
+        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), encrypt_u128(pt, key) ^ 1);
+    }
+
+    #[test]
+    fn plaintext_sequence_trigger_arms_in_order_only() {
+        let sequence = vec![0x11u128, 0x22, 0x33];
+        let spec = TrojanSpec::new(
+            Trigger::PlaintextSequence(sequence.clone()),
+            Payload::DenialOfService,
+        );
+        let design = build_aes("aes_t1400_like", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        let d = design.design();
+        let state = d.require("trojan_trigger_state").unwrap();
+
+        // Feeding the sequence out of order does not arm the trigger.
+        for &v in &[0x22u128, 0x11, 0x33] {
+            sim.set_input_by_name("plaintext", v).unwrap();
+            sim.set_input_by_name("key", 0).unwrap();
+            sim.step().unwrap();
+        }
+        assert_ne!(sim.peek(state), sequence.len() as u128);
+
+        // Feeding it in order arms the trigger, and it stays armed.
+        sim.reset();
+        for &v in &sequence {
+            sim.set_input_by_name("plaintext", v).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek(state), sequence.len() as u128);
+        sim.set_input_by_name("plaintext", 0x77).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek(state), sequence.len() as u128);
+    }
+
+    #[test]
+    fn dos_payload_suppresses_ciphertext_when_armed() {
+        let spec = TrojanSpec::new(
+            Trigger::PlaintextSequence(vec![0xAA]),
+            Payload::DenialOfService,
+        );
+        let design = build_aes("aes_dos", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        let pt = 0x55u128;
+        sim.set_input_by_name("plaintext", pt).unwrap();
+        sim.set_input_by_name("key", 0).unwrap();
+        sim.run(PIPELINE_LATENCY).unwrap();
+        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), encrypt_u128(pt, 0));
+        // Arm the trigger; the output is forced to zero.
+        sim.set_input_by_name("plaintext", 0xAA).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), 0);
+    }
+
+    #[test]
+    fn psc_payload_shifts_key_dependent_bits_once_armed() {
+        let spec = TrojanSpec::new(
+            Trigger::ValueCounter { value: 0x1, threshold: 2 },
+            Payload::PowerSideChannel,
+        );
+        let design = build_aes("aes_psc", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        let d = design.design();
+        let leak = d.require("trojan_leak_shift").unwrap();
+        // Not armed yet: the leak register stays at its reset value.
+        sim.set_input_by_name("plaintext", 0x1).unwrap();
+        sim.set_input_by_name("key", 0xff << 120).unwrap();
+        sim.run(2).unwrap();
+        assert_eq!(sim.peek(leak), 0);
+        // The value counter has now reached 2 -> armed; key-parity bits
+        // (parity(0xff) = 0, xor plaintext bit 1 = 1) shift in.
+        sim.run(5).unwrap();
+        assert_ne!(sim.peek(leak), 0);
+    }
+
+    #[test]
+    fn rf_antenna_emits_key_bit_when_armed() {
+        let spec =
+            TrojanSpec::new(Trigger::PlaintextSequence(vec![0x5]), Payload::RfAntenna);
+        let design = build_aes("aes_rf", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("key", 0x1).unwrap();
+        sim.set_input_by_name("plaintext", 0x5).unwrap();
+        assert_eq!(sim.peek_by_name("rf_antenna").unwrap(), 0);
+        sim.step().unwrap();
+        assert_eq!(sim.peek_by_name("rf_antenna").unwrap(), 1);
+    }
+
+    #[test]
+    fn benign_state_excludes_trojan_registers() {
+        let spec = TrojanSpec::new(
+            Trigger::CycleCounter { threshold: 10 },
+            Payload::DosOscillator,
+        );
+        let design = build_aes("aes_waivers", Some(&spec)).unwrap();
+        let benign = benign_state(&design);
+        let d = design.design();
+        assert!(benign.iter().all(|&s| !d.signal_name(s).starts_with("trojan_")));
+        assert_eq!(benign.len(), 42);
+    }
+}

@@ -1,0 +1,226 @@
+//! Software reference model of AES-128 encryption (FIPS-197).
+//!
+//! Used to validate the RTL accelerator of [`crate::aes`] cycle-by-cycle: the
+//! pipelined hardware must produce exactly these ciphertexts for the
+//! plaintext/key pairs fed into it.  The reference also exposes the S-box and
+//! round-key schedule so the RTL generator and the Trojan payloads (which leak
+//! round-key bits) can share one source of truth.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The round constants of the AES-128 key schedule.
+pub const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Converts a 128-bit value (big-endian byte order: bits `[127:120]` are byte
+/// 0) into the 16-byte block used by the byte-oriented reference.
+#[must_use]
+pub fn block_from_u128(value: u128) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = ((value >> (120 - 8 * i)) & 0xff) as u8;
+    }
+    out
+}
+
+/// Converts a 16-byte block back into a 128-bit value (inverse of
+/// [`block_from_u128`]).
+#[must_use]
+pub fn block_to_u128(block: &[u8; 16]) -> u128 {
+    block.iter().fold(0u128, |acc, &b| (acc << 8) | u128::from(b))
+}
+
+fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for row in 0..4usize {
+        for col in 0..4usize {
+            state[4 * col + row] = old[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let a = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
+        let all = a[0] ^ a[1] ^ a[2] ^ a[3];
+        let old = a;
+        for i in 0..4 {
+            state[4 * col + i] = old[i] ^ all ^ xtime(old[i] ^ old[(i + 1) % 4]);
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], round_key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(round_key) {
+        *s ^= k;
+    }
+}
+
+/// Expands a 128-bit key into the 11 round keys of AES-128.
+#[must_use]
+pub fn key_schedule(key: [u8; 16]) -> [[u8; 16]; 11] {
+    let mut round_keys = [[0u8; 16]; 11];
+    round_keys[0] = key;
+    for round in 1..=10 {
+        let prev = round_keys[round - 1];
+        let mut next = [0u8; 16];
+        // Word 0: prev word 0 ^ SubWord(RotWord(prev word 3)) ^ rcon.
+        let rot = [prev[13], prev[14], prev[15], prev[12]];
+        for i in 0..4 {
+            next[i] = prev[i] ^ SBOX[rot[i] as usize] ^ if i == 0 { RCON[round - 1] } else { 0 };
+        }
+        for word in 1..4 {
+            for i in 0..4 {
+                next[4 * word + i] = next[4 * (word - 1) + i] ^ prev[4 * word + i];
+            }
+        }
+        round_keys[round] = next;
+    }
+    round_keys
+}
+
+/// The state of one AES-128 encryption *after* `rounds` full rounds (round 0
+/// being the initial AddRoundKey).  `rounds == 10` yields the ciphertext.
+///
+/// Exposed so the RTL pipeline can be validated stage by stage, not only at
+/// the ciphertext.
+#[must_use]
+pub fn encrypt_partial(plaintext: [u8; 16], key: [u8; 16], rounds: usize) -> [u8; 16] {
+    let round_keys = key_schedule(key);
+    let mut state = plaintext;
+    add_round_key(&mut state, &round_keys[0]);
+    for round in 1..=rounds.min(10) {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        if round != 10 {
+            mix_columns(&mut state);
+        }
+        add_round_key(&mut state, &round_keys[round]);
+    }
+    state
+}
+
+/// AES-128 block encryption.
+///
+/// # Example
+///
+/// ```
+/// use htd_trusthub::aes_ref::{block_from_u128, block_to_u128, encrypt};
+///
+/// let plaintext = block_from_u128(0x3243f6a8_885a308d_313198a2_e0370734);
+/// let key = block_from_u128(0x2b7e1516_28aed2a6_abf71588_09cf4f3c);
+/// let ciphertext = encrypt(plaintext, key);
+/// assert_eq!(block_to_u128(&ciphertext), 0x3925841d_02dc09fb_dc118597_196a0b32);
+/// ```
+#[must_use]
+pub fn encrypt(plaintext: [u8; 16], key: [u8; 16], ) -> [u8; 16] {
+    encrypt_partial(plaintext, key, 10)
+}
+
+/// Convenience wrapper operating directly on 128-bit values.
+#[must_use]
+pub fn encrypt_u128(plaintext: u128, key: u128) -> u128 {
+    block_to_u128(&encrypt(block_from_u128(plaintext), block_from_u128(key)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example vector.
+    #[test]
+    fn fips_197_appendix_b_vector() {
+        let pt = 0x3243f6a8_885a308d_313198a2_e0370734u128;
+        let key = 0x2b7e1516_28aed2a6_abf71588_09cf4f3cu128;
+        assert_eq!(encrypt_u128(pt, key), 0x3925841d_02dc09fb_dc118597_196a0b32);
+    }
+
+    /// FIPS-197 Appendix C.1 (AES-128) known-answer test.
+    #[test]
+    fn fips_197_appendix_c1_vector() {
+        let pt = 0x00112233_44556677_8899aabb_ccddeeffu128;
+        let key = 0x00010203_04050607_08090a0b_0c0d0e0fu128;
+        assert_eq!(encrypt_u128(pt, key), 0x69c4e0d8_6a7b0430_d8cdb780_70b4c55a);
+    }
+
+    #[test]
+    fn all_zero_plaintext_and_key() {
+        // Well-known AES-128 vector for the all-zero block and key.
+        assert_eq!(
+            encrypt_u128(0, 0),
+            0x66e94bd4_ef8a2c3b_884cfa59_ca342b2e
+        );
+    }
+
+    #[test]
+    fn block_conversion_roundtrip() {
+        for value in [0u128, 1, u128::MAX, 0x0123456789abcdef_0fedcba987654321] {
+            assert_eq!(block_to_u128(&block_from_u128(value)), value);
+        }
+        let block = block_from_u128(0x0102030405060708_090a0b0c0d0e0f10);
+        assert_eq!(block[0], 0x01);
+        assert_eq!(block[15], 0x10);
+    }
+
+    #[test]
+    fn key_schedule_matches_fips_example() {
+        // FIPS-197 Appendix A.1: first and last round keys for the example key.
+        let keys = key_schedule(block_from_u128(0x2b7e1516_28aed2a6_abf71588_09cf4f3c));
+        assert_eq!(block_to_u128(&keys[1]), 0xa0fafe17_88542cb1_23a33939_2a6c7605);
+        assert_eq!(block_to_u128(&keys[10]), 0xd014f9a8_c9ee2589_e13f0cc8_b6630ca6);
+    }
+
+    #[test]
+    fn partial_rounds_compose() {
+        let pt = block_from_u128(0x3243f6a8_885a308d_313198a2_e0370734);
+        let key = block_from_u128(0x2b7e1516_28aed2a6_abf71588_09cf4f3c);
+        // Round 1 state from FIPS-197 Appendix B ("Start of Round 2").
+        let after_round1 = encrypt_partial(pt, key, 1);
+        assert_eq!(block_to_u128(&after_round1), 0xa49c7ff2_689f352b_6b5bea43_026a5049);
+        // Running all 10 rounds through encrypt_partial equals encrypt.
+        assert_eq!(encrypt_partial(pt, key, 10), encrypt(pt, key));
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+}

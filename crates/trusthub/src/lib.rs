@@ -1,0 +1,46 @@
+//! # htd-trusthub
+//!
+//! Trust-Hub-style accelerator benchmarks and the hardware-Trojan insertion
+//! framework used to evaluate the golden-free detection flow.
+//!
+//! The DATE'24 paper evaluates its method on the accelerator IPs of the
+//! Trust-Hub benchmark suite (25 AES variants, 3 BasicRSA variants, an RS232
+//! UART case study, plus HT-free versions).  The original Verilog sources and
+//! the commercial property checker are not available here, so this crate
+//! provides word-level RTL models with the same *structure*:
+//!
+//! * [`aes`] — a pipelined AES-128 encryption accelerator (validated against
+//!   the FIPS-197 reference in [`aes_ref`]),
+//! * [`rsa`] — a BasicRSA square-and-multiply modular exponentiator,
+//! * [`uart`] — an RS232 UART transmitter/receiver,
+//! * [`trojan`] — trigger classes (plaintext sequences, encryption counters,
+//!   cycle counters) and payload classes (power side channel, leakage
+//!   current, RF, DoS, bit flips, key leaks) matching Table I of the paper,
+//! * [`registry`] — one [`registry::Benchmark`] per Table I row plus the
+//!   HT-free references, with the expected detection mechanism attached.
+//!
+//! # Example
+//!
+//! ```
+//! use htd_trusthub::registry::{Benchmark, ExpectedDetection};
+//!
+//! # fn main() -> Result<(), htd_rtl::DesignError> {
+//! let benchmark = Benchmark::AesT2500;
+//! let info = benchmark.info();
+//! assert_eq!(info.payload_label, "bit flip");
+//! assert_eq!(info.expected, ExpectedDetection::FanoutProperty(21));
+//! let design = benchmark.build()?;
+//! assert!(design.design().num_signals() > 40);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod aes_ref;
+pub mod registry;
+pub mod rsa;
+pub mod trojan;
+pub mod uart;

@@ -1,0 +1,551 @@
+//! The benchmark registry: every accelerator row of Table I plus the HT-free
+//! reference designs.
+//!
+//! Each [`Benchmark`] knows how to build its (possibly infected) RTL design,
+//! which payload/trigger class it represents (the paper's Table I columns),
+//! and by which mechanism the detection flow is expected to catch it.
+//!
+//! ## Substitution notes (see also DESIGN.md)
+//!
+//! * The designs are our own word-level models of a pipelined AES-128, a
+//!   BasicRSA modular exponentiator and an RS232 UART — not the Trust-Hub
+//!   Verilog sources.  Trigger and payload classes are reproduced
+//!   structurally, which is all the detection method interacts with.
+//! * The Trust-Hub AES-T2600/T2800 triggers count *internal* values, which
+//!   makes them input-independent from the point of view of the structural
+//!   input-cone analysis; they are modelled here as free-running counters so
+//!   that, as in the paper, the detection happens at the intermediate fanout
+//!   property where their bit-flip payload touches the pipeline.
+//! * Exact fanout-property indices depend on the pipeline microarchitecture;
+//!   ours is built so the ciphertext sits at structural level 22, matching
+//!   the paper's "fanout property 21" for AES-T2500/T2700.
+
+use htd_rtl::{DesignError, SignalId, ValidatedDesign};
+
+use crate::trojan::{Payload, Trigger, TrojanSpec};
+use crate::{aes, rsa, uart};
+
+/// Which accelerator a benchmark is based on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseDesign {
+    /// The pipelined AES-128 encryption accelerator.
+    Aes,
+    /// The BasicRSA modular-exponentiation accelerator.
+    BasicRsa,
+    /// The RS232 UART case study.
+    Rs232,
+}
+
+/// The detection mechanism a benchmark is expected to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExpectedDetection {
+    /// The init property fails.
+    InitProperty,
+    /// The fanout property with this index fails.
+    FanoutProperty(usize),
+    /// Some fanout property fails (index depends on microarchitecture).
+    AnyFanoutProperty,
+    /// All properties hold; the coverage check reports uncovered signals.
+    CoverageCheck,
+    /// The design is Trojan-free and must verify secure.
+    Secure,
+}
+
+/// Static description of one benchmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Trust-Hub style name (e.g. `AES-T1400`).
+    pub name: &'static str,
+    /// The accelerator the Trojan is inserted into.
+    pub base: BaseDesign,
+    /// The "Payload" column of Table I.
+    pub payload_label: &'static str,
+    /// The "Trigger" column of Table I.
+    pub trigger_label: &'static str,
+    /// The "Detected by" column of Table I (the paper's result).
+    pub paper_detected_by: &'static str,
+    /// The mechanism our reproduction expects to fire.
+    pub expected: ExpectedDetection,
+    /// The Trojan inserted into the base design (`None` for HT-free designs).
+    pub trojan: Option<TrojanSpec>,
+}
+
+/// All benchmarks of the evaluation: the 28 infected Table I rows, the
+/// HT-free reference designs, and the UART case study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    AesT100,
+    AesT1000,
+    AesT1100,
+    AesT1200,
+    AesT1300,
+    AesT1400,
+    AesT1500,
+    AesT1600,
+    AesT1700,
+    AesT1800,
+    AesT1900,
+    AesT2000,
+    AesT2100,
+    AesT2500,
+    AesT2600,
+    AesT2700,
+    AesT2800,
+    AesT200,
+    AesT300,
+    AesT400,
+    AesT500,
+    AesT600,
+    AesT700,
+    AesT800,
+    AesT900,
+    BasicRsaT200,
+    BasicRsaT300,
+    BasicRsaT400,
+    Rs232T2400,
+    AesHtFree,
+    BasicRsaHtFree,
+    Rs232HtFree,
+}
+
+/// Deterministic plaintext-sequence trigger values for a benchmark.
+fn plaintext_sequence(seed: u64, length: usize) -> Vec<u128> {
+    (0..length)
+        .map(|i| {
+            let x = u128::from(seed) * 0x9e37_79b9_7f4a_7c15 + i as u128 * 0x0123_4567_89ab_cdef;
+            x | 1 // never the all-zero block, which is the reset value of the pipeline
+        })
+        .collect()
+}
+
+impl Benchmark {
+    /// The 28 infected benchmarks, in the order of Table I of the paper.
+    #[must_use]
+    pub fn table1() -> Vec<Benchmark> {
+        use Benchmark::*;
+        vec![
+            AesT100, AesT1000, AesT1100, AesT1200, AesT1300, AesT1400, AesT1500, AesT1600,
+            AesT1700, AesT1800, AesT1900, AesT2000, AesT2100, AesT2500, AesT2600, AesT2700,
+            AesT2800, AesT200, AesT300, AesT400, AesT500, AesT600, AesT700, AesT800, AesT900,
+            BasicRsaT200, BasicRsaT300, BasicRsaT400,
+        ]
+    }
+
+    /// The HT-free reference designs verified secure in Sec. VI of the paper.
+    #[must_use]
+    pub fn ht_free() -> Vec<Benchmark> {
+        vec![Benchmark::AesHtFree, Benchmark::BasicRsaHtFree, Benchmark::Rs232HtFree]
+    }
+
+    /// All benchmarks (infected, case study, and HT-free).
+    #[must_use]
+    pub fn all() -> Vec<Benchmark> {
+        let mut all = Self::table1();
+        all.push(Benchmark::Rs232T2400);
+        all.extend(Self::ht_free());
+        all
+    }
+
+    /// The Trust-Hub style name of the benchmark.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.info().name
+    }
+
+    /// Full static description (labels, Trojan specification, expected
+    /// detection mechanism).
+    #[must_use]
+    pub fn info(&self) -> BenchmarkInfo {
+        use Benchmark::*;
+        use ExpectedDetection as E;
+        use Payload as P;
+        use Trigger as T;
+
+        let psc = |name, seed, paper| aes_row(name, "PSC", "plaintext seq.", paper, E::InitProperty,
+            TrojanSpec::new(T::PlaintextSequence(plaintext_sequence(seed, 2 + (seed as usize % 3))), P::PowerSideChannel));
+        let psc_count = |name, threshold, paper| aes_row(name, "PSC", "# encryptions", paper, E::InitProperty,
+            TrojanSpec::new(T::InputChangeCounter { threshold }, P::PowerSideChannel));
+
+        match self {
+            AesT100 => psc("AES-T100", 1, "init property"),
+            AesT1000 => psc("AES-T1000", 10, "init property"),
+            AesT1100 => psc("AES-T1100", 11, "init property"),
+            AesT1200 => psc_count("AES-T1200", 128, "init property"),
+            AesT1300 => psc("AES-T1300", 13, "init property"),
+            AesT1400 => aes_row(
+                "AES-T1400",
+                "PSC",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(14, 4)),
+                    P::PowerSideChannel,
+                ),
+            ),
+            AesT1500 => psc_count("AES-T1500", 4096, "init property"),
+            AesT1600 => aes_row(
+                "AES-T1600",
+                "RF",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(T::PlaintextSequence(plaintext_sequence(16, 3)), P::RfAntenna),
+            ),
+            AesT1700 => aes_row(
+                "AES-T1700",
+                "RF",
+                "# encryptions",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(T::InputChangeCounter { threshold: 64 }, P::RfAntenna),
+            ),
+            AesT1800 => aes_row(
+                "AES-T1800",
+                "DoS",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(18, 2)),
+                    P::DenialOfService,
+                ),
+            ),
+            AesT1900 => aes_row(
+                "AES-T1900",
+                "DoS",
+                "# encryptions",
+                "coverage check",
+                E::CoverageCheck,
+                TrojanSpec::new(T::CycleCounter { threshold: 500_000 }, P::DosOscillator),
+            ),
+            AesT2000 => aes_row(
+                "AES-T2000",
+                "LC",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(20, 3)),
+                    P::LeakageCurrent,
+                ),
+            ),
+            AesT2100 => aes_row(
+                "AES-T2100",
+                "LC",
+                "# encryptions",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(T::InputChangeCounter { threshold: 256 }, P::LeakageCurrent),
+            ),
+            AesT2500 => aes_row(
+                "AES-T2500",
+                "bit flip",
+                "# clock cycles",
+                "fanout property 21",
+                E::FanoutProperty(21),
+                TrojanSpec::new(
+                    T::CycleCounter { threshold: 1_000_000 },
+                    P::CiphertextBitFlip { level: aes::OUTPUT_LEVEL },
+                ),
+            ),
+            AesT2600 => aes_row(
+                "AES-T2600",
+                "bit flip",
+                "# values",
+                "fanout property 7",
+                E::FanoutProperty(7),
+                TrojanSpec::new(
+                    T::CycleCounter { threshold: 65_536 },
+                    P::CiphertextBitFlip { level: 8 },
+                ),
+            ),
+            AesT2700 => aes_row(
+                "AES-T2700",
+                "bit flip",
+                "# clock cycles",
+                "fanout property 21",
+                E::FanoutProperty(21),
+                TrojanSpec::new(
+                    T::CycleCounter { threshold: 250_000 },
+                    P::CiphertextBitFlip { level: aes::OUTPUT_LEVEL },
+                ),
+            ),
+            AesT2800 => aes_row(
+                "AES-T2800",
+                "bit flip",
+                "# values",
+                "fanout property 11",
+                E::FanoutProperty(11),
+                TrojanSpec::new(
+                    T::CycleCounter { threshold: 131_072 },
+                    P::CiphertextBitFlip { level: 12 },
+                ),
+            ),
+            AesT200 => psc("AES-T200", 2, "init property"),
+            AesT300 => psc("AES-T300", 3, "init property"),
+            AesT400 => aes_row(
+                "AES-T400",
+                "RF",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(T::PlaintextSequence(plaintext_sequence(4, 2)), P::RfAntenna),
+            ),
+            AesT500 => aes_row(
+                "AES-T500",
+                "DoS",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(5, 3)),
+                    P::DenialOfService,
+                ),
+            ),
+            AesT600 => aes_row(
+                "AES-T600",
+                "LC",
+                "plaintext seq.",
+                "init property",
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(6, 2)),
+                    P::LeakageCurrent,
+                ),
+            ),
+            AesT700 => psc("AES-T700", 7, "init property"),
+            AesT800 => psc("AES-T800", 8, "init property"),
+            AesT900 => psc_count("AES-T900", 32, "init property"),
+            BasicRsaT200 => BenchmarkInfo {
+                name: "BasicRSA-T200",
+                base: BaseDesign::BasicRsa,
+                payload_label: "DoS",
+                trigger_label: "plaintext seq.",
+                paper_detected_by: "init property",
+                expected: E::InitProperty,
+                trojan: Some(TrojanSpec::new(
+                    T::PlaintextSequence(vec![0x2bad, 0xbeef]),
+                    P::DenialOfService,
+                )),
+            },
+            BasicRsaT300 => BenchmarkInfo {
+                name: "BasicRSA-T300",
+                base: BaseDesign::BasicRsa,
+                payload_label: "OUT",
+                trigger_label: "# encryptions",
+                paper_detected_by: "init property",
+                expected: E::InitProperty,
+                trojan: Some(TrojanSpec::new(
+                    T::InputChangeCounter { threshold: 8 },
+                    P::LeakToOutput,
+                )),
+            },
+            BasicRsaT400 => BenchmarkInfo {
+                name: "BasicRSA-T400",
+                base: BaseDesign::BasicRsa,
+                payload_label: "OUT",
+                trigger_label: "# encryptions",
+                paper_detected_by: "init property",
+                expected: E::InitProperty,
+                trojan: Some(TrojanSpec::new(
+                    T::InputChangeCounter { threshold: 16 },
+                    P::RfAntenna,
+                )),
+            },
+            Rs232T2400 => BenchmarkInfo {
+                name: "RS232-T2400",
+                base: BaseDesign::Rs232,
+                payload_label: "bit flip",
+                trigger_label: "# clock cycles",
+                paper_detected_by: "fanout property",
+                expected: E::AnyFanoutProperty,
+                trojan: Some(TrojanSpec::new(
+                    T::CycleCounter { threshold: 100_000 },
+                    P::CiphertextBitFlip { level: 1 },
+                )),
+            },
+            AesHtFree => BenchmarkInfo {
+                name: "AES (HT-free)",
+                base: BaseDesign::Aes,
+                payload_label: "-",
+                trigger_label: "-",
+                paper_detected_by: "secure",
+                expected: E::Secure,
+                trojan: None,
+            },
+            BasicRsaHtFree => BenchmarkInfo {
+                name: "BasicRSA (HT-free)",
+                base: BaseDesign::BasicRsa,
+                payload_label: "-",
+                trigger_label: "-",
+                paper_detected_by: "secure",
+                expected: E::Secure,
+                trojan: None,
+            },
+            Rs232HtFree => BenchmarkInfo {
+                name: "RS232 (HT-free)",
+                base: BaseDesign::Rs232,
+                payload_label: "-",
+                trigger_label: "-",
+                paper_detected_by: "secure",
+                expected: E::Secure,
+                trojan: None,
+            },
+        }
+    }
+
+    /// Builds the benchmark's RTL design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DesignError`] from the underlying design generators.
+    pub fn build(&self) -> Result<ValidatedDesign, DesignError> {
+        let info = self.info();
+        let rtl_name: String = info
+            .name
+            .to_ascii_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        match info.base {
+            BaseDesign::Aes => aes::build_aes(&rtl_name, info.trojan.as_ref()),
+            BaseDesign::BasicRsa => rsa::build_rsa(&rtl_name, info.trojan.as_ref()),
+            BaseDesign::Rs232 => uart::build_uart(&rtl_name, info.trojan.as_ref()),
+        }
+    }
+
+    /// The benign-state waiver list appropriate for this benchmark's base
+    /// design (the registers a verification engineer would disqualify as
+    /// Trojan candidates; see Sec. V-B of the paper).
+    #[must_use]
+    pub fn benign_state(&self, design: &ValidatedDesign) -> Vec<SignalId> {
+        match self.info().base {
+            // The pipelined AES is data-driven: no waivers are needed at all.
+            BaseDesign::Aes => Vec::new(),
+            BaseDesign::BasicRsa => rsa::benign_state(design),
+            BaseDesign::Rs232 => uart::benign_state(design),
+        }
+    }
+}
+
+fn aes_row(
+    name: &'static str,
+    payload_label: &'static str,
+    trigger_label: &'static str,
+    paper_detected_by: &'static str,
+    expected: ExpectedDetection,
+    trojan: TrojanSpec,
+) -> BenchmarkInfo {
+    BenchmarkInfo {
+        name,
+        base: BaseDesign::Aes,
+        payload_label,
+        trigger_label,
+        paper_detected_by,
+        expected,
+        trojan: Some(trojan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_28_rows_in_paper_order() {
+        let rows = Benchmark::table1();
+        assert_eq!(rows.len(), 28);
+        assert_eq!(rows.first().unwrap().name(), "AES-T100");
+        assert_eq!(rows.last().unwrap().name(), "BasicRSA-T400");
+        let aes_rows = rows.iter().filter(|b| b.info().base == BaseDesign::Aes).count();
+        let rsa_rows = rows.iter().filter(|b| b.info().base == BaseDesign::BasicRsa).count();
+        assert_eq!(aes_rows, 25);
+        assert_eq!(rsa_rows, 3);
+    }
+
+    #[test]
+    fn every_infected_benchmark_has_a_trojan_and_labels() {
+        for b in Benchmark::table1() {
+            let info = b.info();
+            assert!(info.trojan.is_some(), "{} has no trojan", info.name);
+            assert!(!info.payload_label.is_empty());
+            assert!(!info.trigger_label.is_empty());
+            assert_ne!(info.expected, ExpectedDetection::Secure);
+        }
+        for b in Benchmark::ht_free() {
+            assert!(b.info().trojan.is_none());
+            assert_eq!(b.info().expected, ExpectedDetection::Secure);
+        }
+    }
+
+    #[test]
+    fn expected_detection_matches_paper_column() {
+        for b in Benchmark::table1() {
+            let info = b.info();
+            match info.expected {
+                ExpectedDetection::InitProperty => {
+                    assert_eq!(info.paper_detected_by, "init property", "{}", info.name);
+                }
+                ExpectedDetection::FanoutProperty(k) => {
+                    assert_eq!(
+                        info.paper_detected_by,
+                        format!("fanout property {k}"),
+                        "{}",
+                        info.name
+                    );
+                }
+                ExpectedDetection::CoverageCheck => {
+                    assert_eq!(info.paper_detected_by, "coverage check", "{}", info.name);
+                }
+                ExpectedDetection::AnyFanoutProperty | ExpectedDetection::Secure => {
+                    panic!("unexpected class for a Table I row: {}", info.name)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_build_valid_designs() {
+        // Building every design exercises all trigger/payload combinations;
+        // validation (widths, combinational loops, completeness) must pass.
+        for b in Benchmark::all() {
+            let design = b.build().unwrap_or_else(|e| panic!("{} failed to build: {e}", b.name()));
+            assert!(design.design().num_signals() > 0);
+        }
+    }
+
+    #[test]
+    fn trojan_registers_are_clearly_named() {
+        for b in Benchmark::table1() {
+            let design = b.build().unwrap();
+            let d = design.design();
+            let has_trojan_reg = d
+                .registers()
+                .iter()
+                .any(|&r| d.signal_name(r).starts_with("trojan_"));
+            let corrupts_output_only = matches!(
+                b.info().trojan.as_ref().map(|t| &t.payload),
+                Some(Payload::CiphertextBitFlip { .. } | Payload::DenialOfService | Payload::LeakToOutput | Payload::RfAntenna)
+            );
+            assert!(
+                has_trojan_reg || corrupts_output_only,
+                "{} has neither trojan state nor an output-corrupting payload",
+                b.name()
+            );
+            // Waivers never include trojan state.
+            let benign = b.benign_state(&design);
+            assert!(benign.iter().all(|&s| !d.signal_name(s).starts_with("trojan_")));
+        }
+    }
+
+    #[test]
+    fn plaintext_sequences_are_deterministic_and_nonzero() {
+        let a = plaintext_sequence(14, 4);
+        let b = plaintext_sequence(14, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v != 0));
+        assert_ne!(plaintext_sequence(1, 2), plaintext_sequence(2, 2));
+    }
+}

@@ -1,0 +1,371 @@
+//! A BasicRSA-style modular-exponentiation accelerator at RTL, with optional
+//! hardware Trojans — the stand-in for the Trust-Hub BasicRSA-T benchmarks.
+//!
+//! # Microarchitecture
+//!
+//! The accelerator computes `cypher = indata ^ inexp mod inmod` over
+//! [`WORD_BITS`]-bit operands with a classic LSB-first square-and-multiply
+//! datapath: a load cycle (on the `ds` data strobe) followed by one exponent
+//! bit per cycle.  The modular multiplications are combinational
+//! (shift-and-conditional-subtract reduction), so an exponentiation takes
+//! [`LATENCY`] cycles in total.
+//!
+//! Unlike the AES pipeline, this design has *control state* (a busy flag, a
+//! bit counter) whose value legitimately depends on earlier inputs.  That is
+//! exactly the situation in which the paper reports spurious counterexamples
+//! for the RSA benchmarks (two of them, resolved by the engineer with
+//! equality assumptions); [`benign_state`] provides the corresponding waiver
+//! list.
+
+use htd_rtl::{Design, DesignError, ExprId, SignalId, ValidatedDesign};
+
+use crate::trojan::{build_trigger, Payload, TrojanSpec};
+
+/// Operand width of the accelerator in bits.
+///
+/// Real RSA uses 1024-bit and larger moduli; 16 bits keep the formal models
+/// and the simulator fast while preserving the structure (datapath, FSM,
+/// secret exponent) that the detection method interacts with.
+pub const WORD_BITS: u32 = 16;
+
+/// Cycles from asserting `ds` to `ready` (1 load cycle + one cycle per
+/// exponent bit).
+pub const LATENCY: u64 = 1 + WORD_BITS as u64;
+
+/// Software reference: `base ^ exp mod modulus` (for `modulus > 1`).
+#[must_use]
+pub fn modexp_ref(base: u64, exp: u64, modulus: u64) -> u64 {
+    if modulus <= 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    let mut b = base % modulus;
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result * b % modulus;
+        }
+        b = b * b % modulus;
+        e >>= 1;
+    }
+    result
+}
+
+/// Builds the BasicRSA accelerator, optionally infected with a Trojan.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] from the RTL builder.
+///
+/// # Example
+///
+/// ```
+/// use htd_trusthub::rsa::{build_rsa, modexp_ref, LATENCY};
+/// use htd_rtl::sim::Simulator;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let design = build_rsa("basicrsa_clean", None)?;
+/// let mut sim = Simulator::new(&design);
+/// sim.set_input_by_name("indata", 0x1234)?;
+/// sim.set_input_by_name("inexp", 0x0007)?;
+/// sim.set_input_by_name("inmod", 0xfff1)?;
+/// sim.set_input_by_name("ds", 1)?;
+/// sim.step()?;
+/// sim.set_input_by_name("ds", 0)?;
+/// sim.run(LATENCY)?;
+/// assert_eq!(sim.peek_by_name("cypher")?, u128::from(modexp_ref(0x1234, 7, 0xfff1)));
+/// assert_eq!(sim.peek_by_name("ready")?, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_rsa(name: &str, trojan: Option<&TrojanSpec>) -> Result<ValidatedDesign, DesignError> {
+    let w = WORD_BITS;
+    let mut d = Design::new(name);
+    let indata = d.add_input("indata", w)?;
+    let inexp = d.add_input("inexp", w)?;
+    let inmod = d.add_input("inmod", w)?;
+    let ds = d.add_input("ds", 1)?;
+    let indata_e = d.signal(indata);
+    let inexp_e = d.signal(inexp);
+    let inmod_e = d.signal(inmod);
+    let ds_e = d.signal(ds);
+
+    let armed = match trojan {
+        Some(spec) => Some(build_trigger(&mut d, indata_e, &spec.trigger)?),
+        None => None,
+    };
+
+    // State registers.
+    let base = d.add_register("rsa_base", w, 0)?;
+    let exp = d.add_register("rsa_exp", w, 0)?;
+    let modulus = d.add_register("rsa_mod", w, 1)?;
+    let result = d.add_register("rsa_result", w, 1)?;
+    let count = d.add_register("rsa_count", 5, 0)?;
+    let busy = d.add_register("rsa_busy", 1, 0)?;
+    let ready = d.add_register("rsa_ready", 1, 0)?;
+
+    let busy_e = d.signal(busy);
+    let not_busy = d.not(busy_e);
+    let load = d.and(ds_e, not_busy)?;
+    let last_bit = d.eq_const(d.signal(count), u128::from(w) - 1)?;
+    let done = d.and(busy_e, last_bit)?;
+
+    // busy / ready / count.
+    let one1 = d.ones(1)?;
+    let zero1 = d.zero(1)?;
+    let busy_after_done = d.mux(done, zero1, busy_e)?;
+    let busy_next = d.mux(load, one1, busy_after_done)?;
+    d.set_register_next(busy, busy_next)?;
+    let ready_after_done = d.mux(done, one1, d.signal(ready))?;
+    let ready_next = d.mux(load, zero1, ready_after_done)?;
+    d.set_register_next(ready, ready_next)?;
+    let one5 = d.constant(1, 5)?;
+    let count_inc = d.add(d.signal(count), one5)?;
+    let count_running = d.mux(busy_e, count_inc, d.signal(count))?;
+    let zero5 = d.zero(5)?;
+    let count_next = d.mux(load, zero5, count_running)?;
+    d.set_register_next(count, count_next)?;
+
+    // modulus / exponent.
+    let mod_next = d.mux(load, inmod_e, d.signal(modulus))?;
+    d.set_register_next(modulus, mod_next)?;
+    let zero_w = d.zero(w)?;
+    let exp_shifted = {
+        let hi = d.slice(d.signal(exp), w - 1, 1)?;
+        let z1 = d.zero(1)?;
+        d.concat(z1, hi)?
+    };
+    let _ = zero_w;
+    let exp_running = d.mux(busy_e, exp_shifted, d.signal(exp))?;
+    let exp_next = d.mux(load, inexp_e, exp_running)?;
+    d.set_register_next(exp, exp_next)?;
+
+    // base: loaded with indata mod inmod, squared each busy cycle.
+    let base_e = d.signal(base);
+    let result_e = d.signal(result);
+    let modulus_e = d.signal(modulus);
+    let indata_reduced = modular_reduce(&mut d, indata_e, inmod_e)?;
+    let base_squared = modmul(&mut d, base_e, base_e, modulus_e)?;
+    let base_running = d.mux(busy_e, base_squared, base_e)?;
+    let base_next = d.mux(load, indata_reduced, base_running)?;
+    d.set_register_next(base, base_next)?;
+
+    // result: starts at 1, multiplied by base when the current exponent bit
+    // is set.
+    let exp_bit = d.bit(d.signal(exp), 0)?;
+    let multiplied = modmul(&mut d, result_e, base_e, modulus_e)?;
+    let take_multiply = d.and(busy_e, exp_bit)?;
+    let result_running = d.mux(take_multiply, multiplied, d.signal(result))?;
+    let one_w = d.constant(1, w)?;
+    let mut result_next = d.mux(load, one_w, result_running)?;
+
+    // Trojan payloads on the result path.
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        match spec.payload {
+            Payload::DenialOfService => {
+                let zero = d.zero(w)?;
+                result_next = d.mux(armed, zero, result_next)?;
+            }
+            Payload::CiphertextBitFlip { .. } => {
+                let flip = d.zero_ext(armed, w)?;
+                result_next = d.xor(result_next, flip)?;
+            }
+            _ => {}
+        }
+    }
+    d.set_register_next(result, result_next)?;
+
+    // Outputs.
+    let mut cypher = d.signal(result);
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        if spec.payload == Payload::LeakToOutput {
+            // Leak the secret exponent input on the cypher port once armed —
+            // the BasicRSA-T300 behaviour.
+            cypher = d.mux(armed, inexp_e, cypher)?;
+        }
+    }
+    d.add_output("cypher", cypher)?;
+    d.add_output("ready", d.signal(ready))?;
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        if spec.payload == Payload::RfAntenna {
+            // Leak the exponent LSB on an unused pin (BasicRSA-T400 analogue).
+            let bit = d.bit(inexp_e, 0)?;
+            let beacon = d.and(armed, bit)?;
+            d.add_output("leak_pin", beacon)?;
+        }
+    }
+
+    d.validated()
+}
+
+/// `value mod modulus` for a `WORD_BITS`-bit value (combinational).
+fn modular_reduce(d: &mut Design, value: ExprId, modulus: ExprId) -> Result<ExprId, DesignError> {
+    let wide = d.zero_ext(value, 2 * WORD_BITS)?;
+    reduce_wide(d, wide, modulus)
+}
+
+/// Modular multiplication `a * b mod modulus` with `a, b < modulus`
+/// (combinational shift-and-subtract reduction).
+fn modmul(
+    d: &mut Design,
+    a: ExprId,
+    b: ExprId,
+    modulus: ExprId,
+) -> Result<ExprId, DesignError> {
+    let wa = d.zero_ext(a, 2 * WORD_BITS)?;
+    let wb = d.zero_ext(b, 2 * WORD_BITS)?;
+    let product = d.mul(wa, wb)?;
+    reduce_wide(d, product, modulus)
+}
+
+/// Reduces a `2*WORD_BITS`-bit value modulo a `WORD_BITS`-bit modulus using
+/// one conditional subtraction per bit position (restoring reduction).  The
+/// input must be smaller than `modulus << WORD_BITS`.
+fn reduce_wide(d: &mut Design, value: ExprId, modulus: ExprId) -> Result<ExprId, DesignError> {
+    let wide_mod = d.zero_ext(modulus, 2 * WORD_BITS)?;
+    let mut acc = value;
+    for shift in (0..WORD_BITS).rev() {
+        let amount = d.constant(u128::from(shift), 2 * WORD_BITS)?;
+        let shifted = d.shl(wide_mod, amount)?;
+        let fits = d.cmp_ule(shifted, acc)?;
+        let subtracted = d.sub(acc, shifted)?;
+        acc = d.mux(fits, subtracted, acc)?;
+    }
+    d.slice(acc, WORD_BITS - 1, 0)
+}
+
+/// The benign control/datapath registers of the accelerator (everything that
+/// is not Trojan state).  Handing these to the detector as waivers reproduces
+/// the engineer's counterexample triage reported for the RSA benchmarks in
+/// the paper.
+#[must_use]
+pub fn benign_state(design: &ValidatedDesign) -> Vec<SignalId> {
+    let d = design.design();
+    d.registers()
+        .into_iter()
+        .filter(|&r| !d.signal_name(r).starts_with("trojan_"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojan::Trigger;
+    use htd_rtl::sim::Simulator;
+
+    fn run_exponentiation(
+        design: &ValidatedDesign,
+        base: u64,
+        exp: u64,
+        modulus: u64,
+    ) -> (u128, u128) {
+        let mut sim = Simulator::new(design);
+        sim.set_input_by_name("indata", u128::from(base)).unwrap();
+        sim.set_input_by_name("inexp", u128::from(exp)).unwrap();
+        sim.set_input_by_name("inmod", u128::from(modulus)).unwrap();
+        sim.set_input_by_name("ds", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input_by_name("ds", 0).unwrap();
+        sim.run(LATENCY).unwrap();
+        (sim.peek_by_name("cypher").unwrap(), sim.peek_by_name("ready").unwrap())
+    }
+
+    #[test]
+    fn clean_rtl_matches_reference() {
+        let design = build_rsa("rsa_clean", None).unwrap();
+        let cases = [
+            (0x1234u64, 7u64, 0xfff1u64),
+            (2, 16, 65521),
+            (0xbeef, 0xcafe, 0xfffd),
+            (1, 1, 3),
+            (65535, 65535, 65521),
+        ];
+        for (base, exp, modulus) in cases {
+            let (cypher, ready) = run_exponentiation(&design, base, exp, modulus);
+            assert_eq!(ready, 1);
+            assert_eq!(
+                cypher,
+                u128::from(modexp_ref(base, exp, modulus)),
+                "modexp({base}, {exp}, {modulus})"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_exponentiations() {
+        let design = build_rsa("rsa_b2b", None).unwrap();
+        let mut sim = Simulator::new(&design);
+        for (base, exp, modulus) in [(11u64, 13u64, 1009u64), (200, 33, 65521)] {
+            sim.set_input_by_name("indata", u128::from(base)).unwrap();
+            sim.set_input_by_name("inexp", u128::from(exp)).unwrap();
+            sim.set_input_by_name("inmod", u128::from(modulus)).unwrap();
+            sim.set_input_by_name("ds", 1).unwrap();
+            sim.step().unwrap();
+            sim.set_input_by_name("ds", 0).unwrap();
+            sim.run(LATENCY).unwrap();
+            assert_eq!(
+                sim.peek_by_name("cypher").unwrap(),
+                u128::from(modexp_ref(base, exp, modulus))
+            );
+        }
+    }
+
+    #[test]
+    fn leak_to_output_trojan_reveals_exponent_when_armed() {
+        let spec = TrojanSpec::new(
+            Trigger::InputChangeCounter { threshold: 2 },
+            Payload::LeakToOutput,
+        );
+        let design = build_rsa("rsa_t300_like", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        let secret_exp = 0x4321u128;
+        // Three different messages arm the input-change counter.
+        for (i, msg) in [0x1111u128, 0x2222, 0x3333].iter().enumerate() {
+            sim.set_input_by_name("indata", *msg).unwrap();
+            sim.set_input_by_name("inexp", secret_exp).unwrap();
+            sim.set_input_by_name("inmod", 0xfff1).unwrap();
+            sim.set_input_by_name("ds", 1).unwrap();
+            sim.step().unwrap();
+            sim.set_input_by_name("ds", 0).unwrap();
+            sim.run(LATENCY).unwrap();
+            let cypher = sim.peek_by_name("cypher").unwrap();
+            if i < 1 {
+                assert_ne!(cypher, secret_exp, "leak before the trigger armed");
+            }
+        }
+        // Armed now: the output exposes the secret exponent directly.
+        assert_eq!(sim.peek_by_name("cypher").unwrap(), secret_exp);
+    }
+
+    #[test]
+    fn dos_trojan_zeroes_result_when_armed() {
+        let spec = TrojanSpec::new(
+            Trigger::PlaintextSequence(vec![0xDEAD]),
+            Payload::DenialOfService,
+        );
+        let design = build_rsa("rsa_t200_like", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        // Arm the trigger with the magic message.
+        sim.set_input_by_name("indata", 0xDEAD).unwrap();
+        sim.set_input_by_name("inexp", 5).unwrap();
+        sim.set_input_by_name("inmod", 0xfff1).unwrap();
+        sim.set_input_by_name("ds", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input_by_name("ds", 0).unwrap();
+        sim.run(LATENCY).unwrap();
+        assert_eq!(sim.peek_by_name("cypher").unwrap(), 0);
+    }
+
+    #[test]
+    fn benign_state_lists_only_rsa_registers() {
+        let spec = TrojanSpec::new(
+            Trigger::InputChangeCounter { threshold: 4 },
+            Payload::LeakToOutput,
+        );
+        let design = build_rsa("rsa_waivers", Some(&spec)).unwrap();
+        let d = design.design();
+        let benign = benign_state(&design);
+        assert!(!benign.is_empty());
+        assert!(benign.iter().all(|&s| d.signal_name(s).starts_with("rsa_")));
+    }
+}

@@ -1,0 +1,276 @@
+//! Hardware-Trojan building blocks: trigger and payload classes.
+//!
+//! Table I of the paper classifies the Trust-Hub accelerator Trojans by their
+//! trigger (what arms them) and their payload (what they do once armed).
+//! This module models those classes; the per-benchmark combinations live in
+//! [`crate::registry`].
+
+use htd_rtl::{Design, DesignError, ExprId};
+
+/// Trigger classes of the Trust-Hub accelerator Trojans.
+///
+/// Triggers that observe the primary inputs (plaintext sequences, input
+/// counters) leave their state in the input fan-out cone, so the detection
+/// flow catches the diverging trigger state with the **init property**.
+/// Input-independent triggers (free-running counters started at reset) are
+/// invisible to the input-cone properties; the Trojan is then caught either
+/// where its payload touches the cone (a deep **fanout property**) or by the
+/// final **coverage check**.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// An FSM that arms after observing a specific sequence of plaintext
+    /// values in order (the AES-T1400 style trigger).
+    PlaintextSequence(Vec<u128>),
+    /// A counter of processed encryptions, incremented whenever the plaintext
+    /// changes; arms at `threshold`.
+    InputChangeCounter {
+        /// Number of encryptions after which the Trojan arms.
+        threshold: u64,
+    },
+    /// A counter of occurrences of one specific plaintext value; arms at
+    /// `threshold`.
+    ValueCounter {
+        /// The plaintext value being counted.
+        value: u128,
+        /// Number of occurrences after which the Trojan arms.
+        threshold: u64,
+    },
+    /// A free-running cycle counter started by reset, independent of the
+    /// inputs (the AES-T2500 / AES-T1900 style trigger); arms at `threshold`.
+    CycleCounter {
+        /// Number of clock cycles after which the Trojan arms.
+        threshold: u64,
+    },
+}
+
+impl Trigger {
+    /// `true` if the trigger observes the primary inputs (and is therefore
+    /// reachable from them in the structural analysis).
+    #[must_use]
+    pub fn is_input_dependent(&self) -> bool {
+        !matches!(self, Trigger::CycleCounter { .. })
+    }
+
+    /// Short label matching the "Trigger" column of Table I.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Trigger::PlaintextSequence(_) => "plaintext seq.",
+            Trigger::InputChangeCounter { .. } => "# encryptions",
+            Trigger::ValueCounter { .. } => "# values",
+            Trigger::CycleCounter { .. } => "# clock cycles",
+        }
+    }
+}
+
+/// Payload classes of the Trust-Hub accelerator Trojans.
+///
+/// Every payload — including the physical side channels — has an RTL
+/// representation (Sec. IV-C of the paper): a leakage shift register, a
+/// toggling register bank, an antenna driver, a corrupted data path.  That RTL
+/// artefact is what the 2-safety properties catch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Power side channel: a shift register that, when armed, absorbs
+    /// key-dependent bits every cycle and thereby modulates the dynamic power
+    /// (the MOLES / AES-T100 family).
+    PowerSideChannel,
+    /// Leakage-current side channel: a register bank that toggles constantly
+    /// once armed.
+    LeakageCurrent,
+    /// Key bits modulated onto an otherwise unused output pin, creating an RF
+    /// beacon.
+    RfAntenna,
+    /// Denial of service: the ciphertext output is suppressed once armed.
+    DenialOfService,
+    /// Denial of service through a free-running oscillator enable that stays
+    /// entirely outside the input cone (AES-T1900); only the coverage check
+    /// can point at it.
+    DosOscillator,
+    /// Flip the least-significant bit of the pipeline register at the given
+    /// structural level (2..=21), or of the ciphertext output for level 22.
+    CiphertextBitFlip {
+        /// Structural fan-out level of the corrupted signal (see
+        /// `crate::aes` for the level map).
+        level: usize,
+    },
+    /// Leak the secret (key / exponent) to a primary output once armed.
+    LeakToOutput,
+}
+
+impl Payload {
+    /// Short label matching the "Payload" column of Table I.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::PowerSideChannel => "PSC",
+            Payload::LeakageCurrent => "LC",
+            Payload::RfAntenna => "RF",
+            Payload::DenialOfService | Payload::DosOscillator => "DoS",
+            Payload::CiphertextBitFlip { .. } => "bit flip",
+            Payload::LeakToOutput => "OUT",
+        }
+    }
+}
+
+/// A complete Trojan: a trigger plus a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrojanSpec {
+    /// What arms the Trojan.
+    pub trigger: Trigger,
+    /// What it does once armed.
+    pub payload: Payload,
+}
+
+impl TrojanSpec {
+    /// Creates a Trojan specification.
+    #[must_use]
+    pub fn new(trigger: Trigger, payload: Payload) -> Self {
+        TrojanSpec { trigger, payload }
+    }
+}
+
+/// Builds the trigger circuit inside `d` and returns the 1-bit "armed"
+/// condition.
+///
+/// `observed` is the primary-input expression the trigger watches (the
+/// plaintext for the AES benchmarks, the message word for the RSA
+/// benchmarks); input-independent triggers ignore it.  All trigger state
+/// registers are named with a `trojan_` prefix so benign-state helpers can
+/// exclude them.
+///
+/// # Errors
+///
+/// Propagates builder errors (e.g. a sequence value wider than `observed`).
+pub fn build_trigger(
+    d: &mut Design,
+    observed: ExprId,
+    trigger: &Trigger,
+) -> Result<ExprId, DesignError> {
+    match trigger {
+        Trigger::PlaintextSequence(values) => {
+            let n = values.len() as u128;
+            let width = counter_width(values.len() as u64);
+            let state = d.add_register("trojan_trigger_state", width, 0)?;
+            let state_e = d.signal(state);
+            let armed = d.eq_const(state_e, n)?;
+            // Does the observed input match the value expected next?
+            let mut match_current = d.zero(1)?;
+            for (i, &value) in values.iter().enumerate() {
+                let at_i = d.eq_const(state_e, i as u128)?;
+                let observed_is = d.eq_const(observed, value)?;
+                let both = d.and(at_i, observed_is)?;
+                match_current = d.or(match_current, both)?;
+            }
+            let one = d.constant(1, width)?;
+            let advanced = d.add(state_e, one)?;
+            let zero = d.zero(width)?;
+            let step = d.mux(match_current, advanced, zero)?;
+            let hold = d.constant(n, width)?;
+            let next = d.mux(armed, hold, step)?;
+            d.set_register_next(state, next)?;
+            Ok(armed)
+        }
+        Trigger::InputChangeCounter { threshold } => {
+            let width = d.expr_width(observed);
+            let prev = d.add_register("trojan_prev_input", width, 0)?;
+            d.set_register_next(prev, observed)?;
+            let changed = d.cmp_ne(observed, d.signal(prev))?;
+            saturating_counter(d, "trojan_enc_count", *threshold, changed)
+        }
+        Trigger::ValueCounter { value, threshold } => {
+            let hit = d.eq_const(observed, *value)?;
+            saturating_counter(d, "trojan_value_count", *threshold, hit)
+        }
+        Trigger::CycleCounter { threshold } => {
+            let always = d.ones(1)?;
+            saturating_counter(d, "trojan_cycle_count", *threshold, always)
+        }
+    }
+}
+
+/// A counter register that increments when `increment` (1 bit) is set and
+/// saturates at `threshold`; returns the 1-bit "reached threshold" condition.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn saturating_counter(
+    d: &mut Design,
+    name: &str,
+    threshold: u64,
+    increment: ExprId,
+) -> Result<ExprId, DesignError> {
+    let width = counter_width(threshold);
+    let counter = d.add_register(name, width, 0)?;
+    let counter_e = d.signal(counter);
+    let at_threshold = d.eq_const(counter_e, u128::from(threshold))?;
+    let inc = d.zero_ext(increment, width)?;
+    let bumped = d.add(counter_e, inc)?;
+    let next = d.mux(at_threshold, counter_e, bumped)?;
+    d.set_register_next(counter, next)?;
+    Ok(at_threshold)
+}
+
+/// Smallest register width that can hold `max_value`.
+#[must_use]
+pub fn counter_width(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_widths() {
+        assert_eq!(counter_width(0), 1);
+        assert_eq!(counter_width(1), 1);
+        assert_eq!(counter_width(2), 2);
+        assert_eq!(counter_width(3), 2);
+        assert_eq!(counter_width(255), 8);
+        assert_eq!(counter_width(256), 9);
+    }
+
+    #[test]
+    fn saturating_counter_arms_and_holds() {
+        use htd_rtl::sim::Simulator;
+        let mut d = Design::new("sat");
+        let en = d.add_input("en", 1).unwrap();
+        let en_e = d.signal(en);
+        let armed = saturating_counter(&mut d, "count", 3, en_e).unwrap();
+        d.add_output("armed", armed).unwrap();
+        let design = d.validated().unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("en", 1).unwrap();
+        for cycle in 0..6 {
+            let expect_armed = cycle >= 3;
+            assert_eq!(
+                sim.peek_by_name("armed").unwrap() == 1,
+                expect_armed,
+                "cycle {cycle}"
+            );
+            sim.step().unwrap();
+        }
+        // Counter saturates: stays armed even though increments continue.
+        assert_eq!(sim.peek_by_name("armed").unwrap(), 1);
+    }
+
+    #[test]
+    fn input_dependence_classification() {
+        assert!(Trigger::PlaintextSequence(vec![1, 2]).is_input_dependent());
+        assert!(Trigger::InputChangeCounter { threshold: 4 }.is_input_dependent());
+        assert!(Trigger::ValueCounter { value: 3, threshold: 2 }.is_input_dependent());
+        assert!(!Trigger::CycleCounter { threshold: 8 }.is_input_dependent());
+    }
+
+    #[test]
+    fn labels_match_table_terms() {
+        assert_eq!(Trigger::PlaintextSequence(vec![]).label(), "plaintext seq.");
+        assert_eq!(Trigger::CycleCounter { threshold: 1 }.label(), "# clock cycles");
+        assert_eq!(Payload::PowerSideChannel.label(), "PSC");
+        assert_eq!(Payload::CiphertextBitFlip { level: 22 }.label(), "bit flip");
+        assert_eq!(Payload::DosOscillator.label(), "DoS");
+        assert_eq!(Payload::LeakToOutput.label(), "OUT");
+    }
+}

@@ -1,0 +1,321 @@
+//! An RS232 UART (transmitter + receiver) at RTL, with an optional hardware
+//! Trojan — the stand-in for the Trust-Hub RS232-T2400 case study.
+//!
+//! The UART is deliberately *not* a non-interfering accelerator: its baud
+//! counters, bit counters and busy flags depend on the history of earlier
+//! inputs.  The paper uses exactly such a design to demonstrate that the
+//! method still works for IPs with more complex control behaviour, at the cost
+//! of a few spurious counterexamples that the engineer discharges with
+//! equality assumptions; [`benign_state`] provides that waiver list.
+
+use htd_rtl::{Design, DesignError, SignalId, ValidatedDesign};
+
+use crate::trojan::{build_trigger, Payload, TrojanSpec};
+
+/// Clock cycles per UART bit (kept small so simulations stay short).
+pub const BAUD_DIVISOR: u64 = 4;
+
+/// Number of bit slots in a frame: start bit, 8 data bits, stop bit.
+pub const FRAME_BITS: u64 = 10;
+
+/// Cycles needed to transmit one frame.
+pub const FRAME_CYCLES: u64 = BAUD_DIVISOR * FRAME_BITS;
+
+/// Builds the UART, optionally infected with a Trojan that corrupts the
+/// serial line once armed.
+///
+/// # Errors
+///
+/// Propagates [`DesignError`] from the RTL builder.
+///
+/// # Example
+///
+/// ```
+/// use htd_trusthub::uart::{build_uart, FRAME_CYCLES};
+/// use htd_rtl::sim::Simulator;
+///
+/// # fn main() -> Result<(), htd_rtl::DesignError> {
+/// let design = build_uart("uart_clean", None)?;
+/// let mut sim = Simulator::new(&design);
+/// // Idle line is high.
+/// assert_eq!(sim.peek_by_name("txd")?, 1);
+/// sim.set_input_by_name("tx_data", 0xA5)?;
+/// sim.set_input_by_name("tx_start", 1)?;
+/// sim.step()?;
+/// sim.set_input_by_name("tx_start", 0)?;
+/// // The start bit pulls the line low.
+/// assert_eq!(sim.peek_by_name("txd")?, 0);
+/// sim.run(FRAME_CYCLES)?;
+/// // Back to idle after the frame.
+/// assert_eq!(sim.peek_by_name("txd")?, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_uart(name: &str, trojan: Option<&TrojanSpec>) -> Result<ValidatedDesign, DesignError> {
+    let mut d = Design::new(name);
+    let tx_data = d.add_input("tx_data", 8)?;
+    let tx_start = d.add_input("tx_start", 1)?;
+    let rxd = d.add_input("rxd", 1)?;
+    let tx_data_e = d.signal(tx_data);
+    let tx_start_e = d.signal(tx_start);
+    let rxd_e = d.signal(rxd);
+
+    let armed = match trojan {
+        Some(spec) => {
+            let observed = d.zero_ext(tx_data_e, 128)?;
+            Some(build_trigger(&mut d, observed, &spec.trigger)?)
+        }
+        None => None,
+    };
+
+    // ------------------------------------------------------------------
+    // Transmitter
+    // ------------------------------------------------------------------
+    let tx_shift = d.add_register("tx_shift", 10, 0x3ff)?;
+    let tx_bits = d.add_register("tx_bits", 4, 0)?;
+    let tx_baud = d.add_register("tx_baud", 3, 0)?;
+    let tx_busy = d.add_register("tx_busy", 1, 0)?;
+
+    let busy_e = d.signal(tx_busy);
+    let idle = d.not(busy_e);
+    let load = d.and(tx_start_e, idle)?;
+    let baud_e = d.signal(tx_baud);
+    let baud_tick = d.eq_const(baud_e, BAUD_DIVISOR as u128 - 1)?;
+    let advancing = d.and(busy_e, baud_tick)?;
+    let bits_e = d.signal(tx_bits);
+    let on_last_bit = d.eq_const(bits_e, 1)?;
+    let frame_done = d.and(advancing, on_last_bit)?;
+
+    // Baud counter.
+    let one3 = d.constant(1, 3)?;
+    let baud_inc = d.add(baud_e, one3)?;
+    let zero3 = d.zero(3)?;
+    let baud_wrapped = d.mux(baud_tick, zero3, baud_inc)?;
+    let baud_running = d.mux(busy_e, baud_wrapped, zero3)?;
+    let baud_next = d.mux(load, zero3, baud_running)?;
+    d.set_register_next(tx_baud, baud_next)?;
+
+    // Bit counter.
+    let one4 = d.constant(1, 4)?;
+    let bits_dec = d.sub(bits_e, one4)?;
+    let bits_advanced = d.mux(advancing, bits_dec, bits_e)?;
+    let full_frame = d.constant(FRAME_BITS as u128, 4)?;
+    let bits_next = d.mux(load, full_frame, bits_advanced)?;
+    d.set_register_next(tx_bits, bits_next)?;
+
+    // Busy flag.
+    let one1 = d.ones(1)?;
+    let zero1 = d.zero(1)?;
+    let busy_after_done = d.mux(frame_done, zero1, busy_e)?;
+    let busy_next = d.mux(load, one1, busy_after_done)?;
+    d.set_register_next(tx_busy, busy_next)?;
+
+    // Shift register: {stop = 1, data[7:0], start = 0}, sent LSB first.
+    let shift_e = d.signal(tx_shift);
+    let frame = {
+        let stop = d.ones(1)?;
+        let start = d.zero(1)?;
+        d.concat_all(&[stop, tx_data_e, start])?
+    };
+    let shifted = {
+        let high9 = d.slice(shift_e, 9, 1)?;
+        let fill = d.ones(1)?;
+        d.concat(fill, high9)?
+    };
+    let shift_advanced = d.mux(advancing, shifted, shift_e)?;
+    let shift_next = d.mux(load, frame, shift_advanced)?;
+    d.set_register_next(tx_shift, shift_next)?;
+
+    // Serial output: shift LSB while busy, idle high otherwise; the Trojan
+    // payload corrupts this line once armed.
+    let line_bit = d.bit(shift_e, 0)?;
+    let idle_high = d.ones(1)?;
+    let mut txd = d.mux(busy_e, line_bit, idle_high)?;
+    if let (Some(spec), Some(armed)) = (trojan, armed) {
+        match spec.payload {
+            Payload::CiphertextBitFlip { .. } => {
+                txd = d.xor(txd, armed)?;
+            }
+            Payload::DenialOfService => {
+                let forced_low = d.zero(1)?;
+                txd = d.mux(armed, forced_low, txd)?;
+            }
+            _ => {}
+        }
+    }
+    d.add_output("txd", txd)?;
+
+    // ------------------------------------------------------------------
+    // Receiver (simplified sampling: one sample per baud interval)
+    // ------------------------------------------------------------------
+    let rx_busy = d.add_register("rx_busy", 1, 0)?;
+    let rx_baud = d.add_register("rx_baud", 3, 0)?;
+    let rx_bits = d.add_register("rx_bits", 4, 0)?;
+    let rx_shift = d.add_register("rx_shift", 8, 0)?;
+    let rx_data = d.add_register("rx_data", 8, 0)?;
+    let rx_valid = d.add_register("rx_valid", 1, 0)?;
+
+    let rx_busy_e = d.signal(rx_busy);
+    let rx_idle = d.not(rx_busy_e);
+    let start_edge = {
+        let low = d.not(rxd_e);
+        d.and(rx_idle, low)?
+    };
+    let rx_baud_e = d.signal(rx_baud);
+    let rx_wrap = d.eq_const(rx_baud_e, BAUD_DIVISOR as u128 - 1)?;
+    // Sample in the middle of each bit slot so the small phase offset between
+    // transmitter and receiver does not matter.
+    let rx_mid = d.eq_const(rx_baud_e, (BAUD_DIVISOR / 2) as u128 - 1)?;
+    let rx_advancing = d.and(rx_busy_e, rx_mid)?;
+    let rx_bits_e = d.signal(rx_bits);
+    let rx_last = d.eq_const(rx_bits_e, 1)?;
+    let rx_done = d.and(rx_advancing, rx_last)?;
+
+    let rx_baud_inc = d.add(rx_baud_e, one3)?;
+    let rx_baud_wrapped = d.mux(rx_wrap, zero3, rx_baud_inc)?;
+    let rx_baud_running = d.mux(rx_busy_e, rx_baud_wrapped, zero3)?;
+    let rx_baud_next = d.mux(start_edge, zero3, rx_baud_running)?;
+    d.set_register_next(rx_baud, rx_baud_next)?;
+
+    let rx_bits_dec = d.sub(rx_bits_e, one4)?;
+    let rx_bits_advanced = d.mux(rx_advancing, rx_bits_dec, rx_bits_e)?;
+    let rx_full = d.constant(FRAME_BITS as u128, 4)?;
+    let rx_bits_next = d.mux(start_edge, rx_full, rx_bits_advanced)?;
+    d.set_register_next(rx_bits, rx_bits_next)?;
+
+    let rx_busy_after_done = d.mux(rx_done, zero1, rx_busy_e)?;
+    let rx_busy_next = d.mux(start_edge, one1, rx_busy_after_done)?;
+    d.set_register_next(rx_busy, rx_busy_next)?;
+
+    // Shift the sampled line bit into the MSB (LSB arrives first).
+    let rx_shift_e = d.signal(rx_shift);
+    let rx_sampled = {
+        let high7 = d.slice(rx_shift_e, 7, 1)?;
+        d.concat(rxd_e, high7)?
+    };
+    let rx_shift_next = d.mux(rx_advancing, rx_sampled, rx_shift_e)?;
+    d.set_register_next(rx_shift, rx_shift_next)?;
+
+    let rx_data_next = d.mux(rx_done, rx_shift_e, d.signal(rx_data))?;
+    d.set_register_next(rx_data, rx_data_next)?;
+    let rx_valid_after = d.mux(start_edge, zero1, d.signal(rx_valid))?;
+    let rx_valid_next = d.mux(rx_done, one1, rx_valid_after)?;
+    d.set_register_next(rx_valid, rx_valid_next)?;
+
+    d.add_output("rx_data_out", d.signal(rx_data))?;
+    d.add_output("rx_valid_out", d.signal(rx_valid))?;
+
+    d.validated()
+}
+
+/// The benign control/datapath registers of the UART (everything that is not
+/// Trojan state) — the waiver list for the counterexample triage reported in
+/// the paper's UART case study.
+#[must_use]
+pub fn benign_state(design: &ValidatedDesign) -> Vec<SignalId> {
+    let d = design.design();
+    d.registers()
+        .into_iter()
+        .filter(|&r| !d.signal_name(r).starts_with("trojan_"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojan::Trigger;
+    use htd_rtl::sim::Simulator;
+
+    /// Collects the txd waveform while transmitting one byte.
+    fn transmit(design: &ValidatedDesign, byte: u8) -> Vec<u128> {
+        let mut sim = Simulator::new(design);
+        sim.set_input_by_name("tx_data", u128::from(byte)).unwrap();
+        sim.set_input_by_name("tx_start", 1).unwrap();
+        sim.set_input_by_name("rxd", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input_by_name("tx_start", 0).unwrap();
+        let mut wave = Vec::new();
+        for _ in 0..FRAME_CYCLES + 2 {
+            wave.push(sim.peek_by_name("txd").unwrap());
+            sim.step().unwrap();
+        }
+        wave
+    }
+
+    fn decode_frame(wave: &[u128]) -> (u128, u8, u128) {
+        // Sample the middle of each bit slot.
+        let sample = |slot: u64| wave[(slot * BAUD_DIVISOR + BAUD_DIVISOR / 2) as usize];
+        let start = sample(0);
+        let mut data = 0u8;
+        for bit in 0..8u64 {
+            data |= (sample(1 + bit) as u8) << bit;
+        }
+        let stop = sample(9);
+        (start, data, stop)
+    }
+
+    #[test]
+    fn transmitter_sends_correct_frames() {
+        let design = build_uart("uart_tx", None).unwrap();
+        for byte in [0x00u8, 0xff, 0xA5, 0x5A, 0x81] {
+            let wave = transmit(&design, byte);
+            let (start, data, stop) = decode_frame(&wave);
+            assert_eq!(start, 0, "start bit for {byte:#x}");
+            assert_eq!(data, byte, "data bits for {byte:#x}");
+            assert_eq!(stop, 1, "stop bit for {byte:#x}");
+        }
+    }
+
+    #[test]
+    fn line_idles_high_before_and_after_frames() {
+        let design = build_uart("uart_idle", None).unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("rxd", 1).unwrap();
+        assert_eq!(sim.peek_by_name("txd").unwrap(), 1);
+        sim.run(5).unwrap();
+        assert_eq!(sim.peek_by_name("txd").unwrap(), 1);
+    }
+
+    #[test]
+    fn receiver_recovers_transmitted_byte_via_loopback() {
+        let design = build_uart("uart_loop", None).unwrap();
+        let mut sim = Simulator::new(&design);
+        let byte = 0xC3u8;
+        sim.set_input_by_name("tx_data", u128::from(byte)).unwrap();
+        sim.set_input_by_name("tx_start", 1).unwrap();
+        sim.set_input_by_name("rxd", 1).unwrap();
+        sim.step().unwrap();
+        sim.set_input_by_name("tx_start", 0).unwrap();
+        // Feed txd back into rxd each cycle.
+        for _ in 0..(FRAME_CYCLES + BAUD_DIVISOR * 2) {
+            let txd = sim.peek_by_name("txd").unwrap();
+            sim.set_input_by_name("rxd", txd).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.peek_by_name("rx_valid_out").unwrap(), 1);
+        assert_eq!(sim.peek_by_name("rx_data_out").unwrap(), u128::from(byte));
+    }
+
+    #[test]
+    fn trojan_corrupts_the_line_after_the_trigger_fires() {
+        let spec = TrojanSpec::new(
+            Trigger::CycleCounter { threshold: 100 },
+            Payload::CiphertextBitFlip { level: 1 },
+        );
+        let design = build_uart("uart_t2400_like", Some(&spec)).unwrap();
+        let mut sim = Simulator::new(&design);
+        sim.set_input_by_name("rxd", 1).unwrap();
+        // Before the trigger threshold the idle line is high...
+        assert_eq!(sim.peek_by_name("txd").unwrap(), 1);
+        sim.run(101).unwrap();
+        // ...after it, the idle line reads low: the frame is corrupted.
+        assert_eq!(sim.peek_by_name("txd").unwrap(), 0);
+    }
+
+    #[test]
+    fn benign_state_covers_all_uart_registers() {
+        let design = build_uart("uart_waivers", None).unwrap();
+        let benign = benign_state(&design);
+        assert_eq!(benign.len(), design.design().registers().len());
+    }
+}

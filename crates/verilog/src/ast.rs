@@ -1,0 +1,413 @@
+//! Abstract syntax tree for the supported Verilog subset.
+//!
+//! The subset is the synthesizable core used by the Trust-Hub accelerator
+//! benchmarks: one clock domain, `assign` statements, clocked `always` blocks
+//! with nonblocking assignments, combinational `always` blocks with blocking
+//! assignments, `if`/`case` control flow, and the usual operator zoo over
+//! unsigned vectors.
+
+use crate::error::SourceLocation;
+use crate::token::Number;
+
+/// A complete source file: one or more module definitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceUnit {
+    /// The modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+/// One `module … endmodule` definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// The module name.
+    pub name: String,
+    /// Port names in header order (directions/widths come from the
+    /// declarations).
+    pub ports: Vec<String>,
+    /// Parameter and localparam definitions in declaration order.
+    pub parameters: Vec<ParameterDecl>,
+    /// Net and variable declarations.
+    pub declarations: Vec<NetDecl>,
+    /// Continuous assignments.
+    pub assigns: Vec<ContinuousAssign>,
+    /// `always` blocks.
+    pub always_blocks: Vec<AlwaysBlock>,
+    /// Where the module starts.
+    pub location: SourceLocation,
+}
+
+/// A `parameter` or `localparam` definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParameterDecl {
+    /// The parameter name.
+    pub name: String,
+    /// Its value expression (must be compile-time constant).
+    pub value: Expression,
+    /// `true` for `localparam`.
+    pub local: bool,
+    /// Where it was declared.
+    pub location: SourceLocation,
+}
+
+/// Direction of a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDirection {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout` (rejected during elaboration; kept for error reporting)
+    Inout,
+}
+
+/// The net class of a declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire` (or a bare port declaration)
+    Wire,
+    /// `reg`
+    Reg,
+    /// `integer` (treated as a 32-bit reg)
+    Integer,
+}
+
+/// One declared name: ports, wires and regs all end up here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetDecl {
+    /// The declared name.
+    pub name: String,
+    /// Port direction, if this is a port.
+    pub direction: Option<PortDirection>,
+    /// Net class.
+    pub kind: NetKind,
+    /// The `[msb:lsb]` range, if any (both bounds are constant expressions).
+    pub range: Option<(Expression, Expression)>,
+    /// Where it was declared.
+    pub location: SourceLocation,
+}
+
+/// A continuous assignment `assign target = value;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContinuousAssign {
+    /// The assignment target.
+    pub target: LValue,
+    /// The driven value.
+    pub value: Expression,
+    /// Where the assignment was written.
+    pub location: SourceLocation,
+}
+
+/// The sensitivity of an `always` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `always @(posedge clk)` or `always @(posedge clk or posedge rst)`,
+    /// listing the edge-sensitive signals.
+    Edges(Vec<EdgeEvent>),
+    /// `always @(*)`, `always @(a or b)` — combinational.
+    Combinational,
+}
+
+/// One edge event in a sensitivity list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// `true` for `posedge`, `false` for `negedge`.
+    pub posedge: bool,
+    /// The signal name.
+    pub signal: String,
+}
+
+/// An `always` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlwaysBlock {
+    /// Its sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// The statement it executes.
+    pub body: Statement,
+    /// Where the block starts.
+    pub location: SourceLocation,
+}
+
+/// An assignment target: a whole identifier, one bit, a constant part
+/// select, or a concatenation of targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// The whole declared vector.
+    Identifier {
+        /// The target name.
+        name: String,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// A single bit `name[index]` (the index may be a dynamic expression).
+    Bit {
+        /// The target name.
+        name: String,
+        /// The bit index.
+        index: Expression,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// A constant part select `name[msb:lsb]`.
+    Part {
+        /// The target name.
+        name: String,
+        /// The most-significant bit (constant).
+        msb: Expression,
+        /// The least-significant bit (constant).
+        lsb: Expression,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `{a, b, …}` concatenation of targets (assigned left-to-right, most
+    /// significant first).
+    Concat {
+        /// The concatenated targets.
+        parts: Vec<LValue>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+}
+
+impl LValue {
+    /// The source location of the target.
+    #[must_use]
+    pub fn location(&self) -> SourceLocation {
+        match self {
+            LValue::Identifier { location, .. }
+            | LValue::Bit { location, .. }
+            | LValue::Part { location, .. }
+            | LValue::Concat { location, .. } => *location,
+        }
+    }
+}
+
+/// A procedural statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// `begin … end`
+    Block(Vec<Statement>),
+    /// A blocking (`=`) or nonblocking (`<=`) assignment.
+    Assign {
+        /// The target.
+        target: LValue,
+        /// The assigned value.
+        value: Expression,
+        /// `true` for `<=`.
+        nonblocking: bool,
+        /// Where the assignment was written.
+        location: SourceLocation,
+    },
+    /// `if (cond) then_branch else else_branch`
+    If {
+        /// The condition.
+        condition: Expression,
+        /// The `then` statement.
+        then_branch: Box<Statement>,
+        /// The optional `else` statement.
+        else_branch: Option<Box<Statement>>,
+    },
+    /// `case (subject) … endcase`
+    Case {
+        /// The matched expression.
+        subject: Expression,
+        /// The arms: label expressions (empty for `default`) and the arm
+        /// body.
+        arms: Vec<CaseArm>,
+    },
+    /// The empty statement `;`.
+    Empty,
+}
+
+/// One arm of a `case` statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseArm {
+    /// The labels of this arm; empty for the `default` arm.
+    pub labels: Vec<Expression>,
+    /// The arm body.
+    pub body: Statement,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOperator {
+    /// `~` bitwise complement
+    BitNot,
+    /// `!` logical negation
+    LogicalNot,
+    /// `-` arithmetic negation
+    Negate,
+    /// `&` reduction and
+    ReduceAnd,
+    /// `|` reduction or
+    ReduceOr,
+    /// `^` reduction xor
+    ReduceXor,
+    /// `~&` reduction nand
+    ReduceNand,
+    /// `~|` reduction nor
+    ReduceNor,
+    /// `~^` reduction xnor
+    ReduceXnor,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOperator {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~^`
+    Xnor,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `<<`
+    ShiftLeft,
+    /// `>>`
+    ShiftRight,
+    /// `==`
+    Equal,
+    /// `!=`
+    NotEqual,
+    /// `<`
+    Less,
+    /// `<=`
+    LessEqual,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEqual,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expression {
+    /// A number literal.
+    Number {
+        /// The literal.
+        value: Number,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// A reference to a declared name or parameter.
+    Identifier {
+        /// The name.
+        name: String,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `expr[index]` — a single-bit select (the index may be dynamic).
+    BitSelect {
+        /// The selected name.
+        name: String,
+        /// The index expression.
+        index: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `expr[msb:lsb]` — a constant part select.
+    PartSelect {
+        /// The selected name.
+        name: String,
+        /// The most-significant bit (constant).
+        msb: Box<Expression>,
+        /// The least-significant bit (constant).
+        lsb: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOperator,
+        /// The operand.
+        operand: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOperator,
+        /// Left operand.
+        left: Box<Expression>,
+        /// Right operand.
+        right: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `cond ? then : else`
+    Conditional {
+        /// The condition.
+        condition: Box<Expression>,
+        /// Value if the condition is true.
+        then_value: Box<Expression>,
+        /// Value if the condition is false.
+        else_value: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `{a, b, …}` concatenation (most significant part first).
+    Concat {
+        /// The concatenated parts.
+        parts: Vec<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+    /// `{count{expr}}` replication.
+    Repeat {
+        /// The replication count (constant).
+        count: Box<Expression>,
+        /// The replicated expression.
+        value: Box<Expression>,
+        /// Where it was written.
+        location: SourceLocation,
+    },
+}
+
+impl Expression {
+    /// The source location of the expression.
+    #[must_use]
+    pub fn location(&self) -> SourceLocation {
+        match self {
+            Expression::Number { location, .. }
+            | Expression::Identifier { location, .. }
+            | Expression::BitSelect { location, .. }
+            | Expression::PartSelect { location, .. }
+            | Expression::Unary { location, .. }
+            | Expression::Binary { location, .. }
+            | Expression::Conditional { location, .. }
+            | Expression::Concat { location, .. }
+            | Expression::Repeat { location, .. } => *location,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_location_is_preserved() {
+        let loc = SourceLocation { line: 7, column: 9 };
+        let e = Expression::Identifier { name: "x".into(), location: loc };
+        assert_eq!(e.location(), loc);
+    }
+
+    #[test]
+    fn lvalue_location_is_preserved() {
+        let loc = SourceLocation { line: 2, column: 4 };
+        let l = LValue::Concat { parts: Vec::new(), location: loc };
+        assert_eq!(l.location(), loc);
+    }
+}

@@ -1,0 +1,214 @@
+//! Error types for the Verilog front-end.
+
+use std::error::Error;
+use std::fmt;
+
+use htd_rtl::DesignError;
+
+/// A position in the source text (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceLocation {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub column: u32,
+}
+
+impl fmt::Display for SourceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Errors produced while lexing, parsing or elaborating Verilog source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerilogError {
+    /// A character that cannot start any token.
+    UnexpectedCharacter {
+        /// The offending character.
+        character: char,
+        /// Where it was found.
+        location: SourceLocation,
+    },
+    /// A malformed number literal (bad base, digit outside the base, …).
+    InvalidNumber {
+        /// The literal text as written.
+        literal: String,
+        /// Where it was found.
+        location: SourceLocation,
+    },
+    /// A block comment or string that never terminates.
+    UnterminatedComment {
+        /// Where the comment started.
+        location: SourceLocation,
+    },
+    /// The parser found a token it cannot use at this point.
+    UnexpectedToken {
+        /// What was found (rendered as text).
+        found: String,
+        /// What the parser expected.
+        expected: String,
+        /// Where it was found.
+        location: SourceLocation,
+    },
+    /// A language feature outside the supported synthesizable subset.
+    Unsupported {
+        /// Description of the unsupported construct.
+        construct: String,
+        /// Where it was found.
+        location: SourceLocation,
+    },
+    /// An identifier was referenced but never declared.
+    UndeclaredIdentifier {
+        /// The identifier.
+        name: String,
+        /// Where it was referenced.
+        location: SourceLocation,
+    },
+    /// An identifier was declared more than once.
+    DuplicateDeclaration {
+        /// The identifier.
+        name: String,
+        /// Where the second declaration was found.
+        location: SourceLocation,
+    },
+    /// An expression that must be a compile-time constant is not.
+    NotConstant {
+        /// What the constant was needed for.
+        context: String,
+        /// Where the expression was found.
+        location: SourceLocation,
+    },
+    /// A combinational `always` block does not assign a variable on every
+    /// path, which would infer a latch.
+    InferredLatch {
+        /// The variable that is only conditionally assigned.
+        name: String,
+    },
+    /// A variable is assigned from more than one `always` block or both from
+    /// procedural and continuous assignments.
+    MultipleDrivers {
+        /// The multiply-driven variable.
+        name: String,
+    },
+    /// A procedural assignment target is not assignable (an input, a
+    /// parameter, …).
+    InvalidAssignmentTarget {
+        /// The target identifier.
+        name: String,
+        /// Where the assignment was found.
+        location: SourceLocation,
+    },
+    /// Combinational logic depends on itself.
+    CombinationalLoop {
+        /// The signal on the loop.
+        name: String,
+    },
+    /// The reset branch of a sequential block assigns a non-constant value,
+    /// so no register initial value can be derived.
+    NonConstantReset {
+        /// The register with the non-constant reset value.
+        name: String,
+    },
+    /// The requested top module does not exist in the source.
+    UnknownModule {
+        /// The module name.
+        name: String,
+    },
+    /// The source contains no module at all.
+    EmptySource,
+    /// An error raised by the RTL builder while lowering the design.
+    Design(DesignError),
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::UnexpectedCharacter { character, location } => {
+                write!(f, "unexpected character `{character}` at {location}")
+            }
+            VerilogError::InvalidNumber { literal, location } => {
+                write!(f, "invalid number literal `{literal}` at {location}")
+            }
+            VerilogError::UnterminatedComment { location } => {
+                write!(f, "unterminated block comment starting at {location}")
+            }
+            VerilogError::UnexpectedToken { found, expected, location } => {
+                write!(f, "expected {expected}, found `{found}` at {location}")
+            }
+            VerilogError::Unsupported { construct, location } => {
+                write!(f, "unsupported construct at {location}: {construct}")
+            }
+            VerilogError::UndeclaredIdentifier { name, location } => {
+                write!(f, "undeclared identifier `{name}` at {location}")
+            }
+            VerilogError::DuplicateDeclaration { name, location } => {
+                write!(f, "duplicate declaration of `{name}` at {location}")
+            }
+            VerilogError::NotConstant { context, location } => {
+                write!(f, "expression for {context} at {location} is not a compile-time constant")
+            }
+            VerilogError::InferredLatch { name } => {
+                write!(f, "combinational block infers a latch for `{name}`")
+            }
+            VerilogError::MultipleDrivers { name } => {
+                write!(f, "`{name}` is driven from more than one place")
+            }
+            VerilogError::InvalidAssignmentTarget { name, location } => {
+                write!(f, "`{name}` at {location} cannot be assigned")
+            }
+            VerilogError::CombinationalLoop { name } => {
+                write!(f, "combinational loop through `{name}`")
+            }
+            VerilogError::NonConstantReset { name } => {
+                write!(f, "reset value of `{name}` is not a constant")
+            }
+            VerilogError::UnknownModule { name } => {
+                write!(f, "module `{name}` not found in the source")
+            }
+            VerilogError::EmptySource => write!(f, "source contains no module"),
+            VerilogError::Design(e) => write!(f, "RTL lowering failed: {e}"),
+        }
+    }
+}
+
+impl Error for VerilogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerilogError::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for VerilogError {
+    fn from(e: DesignError) -> Self {
+        VerilogError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_location() {
+        let err = VerilogError::UnexpectedToken {
+            found: ";".into(),
+            expected: "an expression".into(),
+            location: SourceLocation { line: 3, column: 14 },
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("column 14"));
+        assert!(text.contains(";"));
+    }
+
+    #[test]
+    fn design_errors_are_wrapped_with_a_source() {
+        let err: VerilogError = DesignError::InvalidWidth { width: 0 }.into();
+        assert!(err.to_string().contains("RTL lowering failed"));
+        assert!(Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,57 @@
+//! # htd-verilog
+//!
+//! A front-end for a synthesizable subset of Verilog-2001 that lowers RTL
+//! source text onto the word-level [`htd_rtl`] IR used by the golden-free
+//! hardware-Trojan detection toolkit.
+//!
+//! The DATE'24 method operates on RTL designs such as the Trust-Hub
+//! accelerator benchmarks, which are distributed as Verilog.  This crate
+//! closes that gap for single-module, single-clock-domain designs:
+//!
+//! * `module` headers in ANSI or non-ANSI style, `parameter`/`localparam`,
+//! * `wire`/`reg` vectors up to 128 bits, `assign` statements,
+//! * clocked `always` blocks (sync or async reset, folded into register
+//!   initial values) with `if`/`case` control flow and bit/part-select
+//!   targets,
+//! * combinational `always` blocks with blocking assignments,
+//! * the usual unsigned operator set, concatenation, replication and
+//!   part selects.
+//!
+//! Outside the subset (module hierarchies, memories, functions, tristates,
+//! four-valued logic) the front-end fails with a located
+//! [`VerilogError::Unsupported`] instead of mis-compiling.
+//!
+//! # Example
+//!
+//! Compile a small accumulator and hand it straight to the detection flow:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = htd_verilog::compile(
+//!     "module acc(input clk, input rst, input [7:0] d, output [7:0] q);
+//!        reg [7:0] total;
+//!        always @(posedge clk) begin
+//!          if (rst) total <= 8'd0;
+//!          else     total <= total + d;
+//!        end
+//!        assign q = total;
+//!      endmodule",
+//! )?;
+//! assert_eq!(design.design().registers().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod elaborate;
+mod error;
+mod parser;
+mod token;
+
+pub use elaborate::{compile, compile_with_options, elaborate, ElaborateOptions};
+pub use error::{SourceLocation, VerilogError};
+pub use parser::parse;
+pub use token::{lex, Keyword, Number, Token, TokenKind};

@@ -1,0 +1,1026 @@
+//! Recursive-descent parser for the supported Verilog subset.
+
+use crate::ast::{
+    AlwaysBlock, BinaryOperator, CaseArm, ContinuousAssign, EdgeEvent, Expression, LValue, Module,
+    NetDecl, NetKind, ParameterDecl, PortDirection, Sensitivity, SourceUnit, Statement,
+    UnaryOperator,
+};
+use crate::error::{SourceLocation, VerilogError};
+use crate::token::{lex, Keyword, Token, TokenKind};
+
+/// Parses Verilog source text into a [`SourceUnit`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered, with its source
+/// location.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), htd_verilog::VerilogError> {
+/// let unit = htd_verilog::parse(
+///     "module inverter(input a, output y); assign y = ~a; endmodule",
+/// )?;
+/// assert_eq!(unit.modules.len(), 1);
+/// assert_eq!(unit.modules[0].name, "inverter");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<SourceUnit, VerilogError> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).source_unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn location(&self) -> SourceLocation {
+        self.peek().location
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> Result<Token, VerilogError> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<Token, VerilogError> {
+        self.expect(&TokenKind::Keyword(kw), kw.as_str())
+    }
+
+    fn unexpected(&self, expected: &str) -> VerilogError {
+        VerilogError::UnexpectedToken {
+            found: self.peek_kind().to_string(),
+            expected: expected.to_string(),
+            location: self.location(),
+        }
+    }
+
+    fn identifier(&mut self, expected: &str) -> Result<(String, SourceLocation), VerilogError> {
+        let location = self.location();
+        match self.peek_kind().clone() {
+            TokenKind::Identifier(name) => {
+                self.bump();
+                Ok((name, location))
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn source_unit(mut self) -> Result<SourceUnit, VerilogError> {
+        let mut modules = Vec::new();
+        while *self.peek_kind() != TokenKind::Eof {
+            modules.push(self.module()?);
+        }
+        if modules.is_empty() {
+            return Err(VerilogError::EmptySource);
+        }
+        Ok(SourceUnit { modules })
+    }
+
+    fn module(&mut self) -> Result<Module, VerilogError> {
+        let start = self.location();
+        self.expect_keyword(Keyword::Module)?;
+        let (name, _) = self.identifier("a module name")?;
+
+        let mut module = Module {
+            name,
+            ports: Vec::new(),
+            parameters: Vec::new(),
+            declarations: Vec::new(),
+            assigns: Vec::new(),
+            always_blocks: Vec::new(),
+            location: start,
+        };
+
+        // Optional `#(parameter …)` header.
+        if self.eat(&TokenKind::Hash) {
+            self.expect(&TokenKind::LeftParen, "(")?;
+            loop {
+                if self.eat(&TokenKind::Keyword(Keyword::Parameter)) {
+                    // fallthrough to the name below
+                }
+                let (pname, ploc) = self.identifier("a parameter name")?;
+                self.expect(&TokenKind::Assign, "=")?;
+                let value = self.expression()?;
+                module.parameters.push(ParameterDecl {
+                    name: pname,
+                    value,
+                    local: false,
+                    location: ploc,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RightParen, ")")?;
+        }
+
+        // Port header: either a plain name list or ANSI-style declarations.
+        if self.eat(&TokenKind::LeftParen) {
+            if !self.eat(&TokenKind::RightParen) {
+                let mut last_ansi: Option<(PortDirection, NetKind, Option<(Expression, Expression)>)> =
+                    None;
+                loop {
+                    self.port_header_entry(&mut module, &mut last_ansi)?;
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RightParen, ")")?;
+            }
+        }
+        self.expect(&TokenKind::Semicolon, ";")?;
+
+        // Module body.
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Keyword(Keyword::Endmodule) => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Keyword(Keyword::Input)
+                | TokenKind::Keyword(Keyword::Output)
+                | TokenKind::Keyword(Keyword::Inout)
+                | TokenKind::Keyword(Keyword::Wire)
+                | TokenKind::Keyword(Keyword::Reg)
+                | TokenKind::Keyword(Keyword::Integer) => {
+                    let decls = self.net_declaration()?;
+                    module.declarations.extend(decls);
+                }
+                TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                    let params = self.parameter_declaration()?;
+                    module.parameters.extend(params);
+                }
+                TokenKind::Keyword(Keyword::Assign) => {
+                    let assigns = self.continuous_assign()?;
+                    module.assigns.extend(assigns);
+                }
+                TokenKind::Keyword(Keyword::Always) => {
+                    let block = self.always_block()?;
+                    module.always_blocks.push(block);
+                }
+                TokenKind::Keyword(Keyword::Initial)
+                | TokenKind::Keyword(Keyword::Function)
+                | TokenKind::Keyword(Keyword::Generate)
+                | TokenKind::Keyword(Keyword::For) => {
+                    return Err(VerilogError::Unsupported {
+                        construct: format!("`{}` blocks", self.peek_kind()),
+                        location: self.location(),
+                    });
+                }
+                TokenKind::Identifier(_) => {
+                    return Err(VerilogError::Unsupported {
+                        construct: "module instantiation (flatten the hierarchy first)"
+                            .to_string(),
+                        location: self.location(),
+                    });
+                }
+                TokenKind::Eof => return Err(self.unexpected("`endmodule`")),
+                _ => return Err(self.unexpected("a module item")),
+            }
+        }
+        Ok(module)
+    }
+
+    /// One entry of an ANSI or non-ANSI port header.
+    ///
+    /// A bare identifier that follows an ANSI declaration (`input [7:0] a, b`)
+    /// inherits that declaration's direction, kind and range via `last_ansi`;
+    /// a bare identifier at the start of the header is a non-ANSI port whose
+    /// declaration appears in the module body.
+    fn port_header_entry(
+        &mut self,
+        module: &mut Module,
+        last_ansi: &mut Option<(PortDirection, NetKind, Option<(Expression, Expression)>)>,
+    ) -> Result<(), VerilogError> {
+        let direction = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Input) => Some(PortDirection::Input),
+            TokenKind::Keyword(Keyword::Output) => Some(PortDirection::Output),
+            TokenKind::Keyword(Keyword::Inout) => Some(PortDirection::Inout),
+            _ => None,
+        };
+        if let Some(direction) = direction {
+            // ANSI-style declaration in the header.
+            self.bump();
+            let mut kind = NetKind::Wire;
+            if self.eat(&TokenKind::Keyword(Keyword::Reg)) {
+                kind = NetKind::Reg;
+            } else {
+                self.eat(&TokenKind::Keyword(Keyword::Wire));
+            }
+            self.eat(&TokenKind::Keyword(Keyword::Signed));
+            let range = self.optional_range()?;
+            let (name, location) = self.identifier("a port name")?;
+            module.ports.push(name.clone());
+            module.declarations.push(NetDecl {
+                name,
+                direction: Some(direction),
+                kind,
+                range: range.clone(),
+                location,
+            });
+            *last_ansi = Some((direction, kind, range));
+            Ok(())
+        } else {
+            let (name, location) = self.identifier("a port name or direction")?;
+            module.ports.push(name.clone());
+            if let Some((direction, kind, range)) = last_ansi {
+                module.declarations.push(NetDecl {
+                    name,
+                    direction: Some(*direction),
+                    kind: *kind,
+                    range: range.clone(),
+                    location,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// `input|output|inout|wire|reg|integer [signed] [range] name {, name};`
+    fn net_declaration(&mut self) -> Result<Vec<NetDecl>, VerilogError> {
+        let mut direction = None;
+        let mut kind = NetKind::Wire;
+        match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Input) => {
+                direction = Some(PortDirection::Input);
+                self.bump();
+            }
+            TokenKind::Keyword(Keyword::Output) => {
+                direction = Some(PortDirection::Output);
+                self.bump();
+            }
+            TokenKind::Keyword(Keyword::Inout) => {
+                direction = Some(PortDirection::Inout);
+                self.bump();
+            }
+            _ => {}
+        }
+        match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Wire) => {
+                self.bump();
+            }
+            TokenKind::Keyword(Keyword::Reg) => {
+                kind = NetKind::Reg;
+                self.bump();
+            }
+            TokenKind::Keyword(Keyword::Integer) => {
+                kind = NetKind::Integer;
+                self.bump();
+            }
+            _ => {}
+        }
+        self.eat(&TokenKind::Keyword(Keyword::Signed));
+        let range = self.optional_range()?;
+
+        let mut decls = Vec::new();
+        loop {
+            let (name, location) = self.identifier("a declared name")?;
+            // Memories (`reg [7:0] mem [0:255]`) are outside the subset.
+            if *self.peek_kind() == TokenKind::LeftBracket {
+                return Err(VerilogError::Unsupported {
+                    construct: format!("memory/array declaration of `{name}`"),
+                    location: self.location(),
+                });
+            }
+            // Declaration assignment `wire x = expr;` is desugared into a
+            // declaration plus continuous assignment by the elaborator; keep
+            // the expression around via a synthetic assign.
+            decls.push(NetDecl { name, direction, kind, range: range.clone(), location });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon, ";")?;
+        Ok(decls)
+    }
+
+    /// `parameter|localparam [range] name = expr {, name = expr};`
+    fn parameter_declaration(&mut self) -> Result<Vec<ParameterDecl>, VerilogError> {
+        let local = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Localparam) => {
+                self.bump();
+                true
+            }
+            _ => {
+                self.expect_keyword(Keyword::Parameter)?;
+                false
+            }
+        };
+        self.eat(&TokenKind::Keyword(Keyword::Signed));
+        let _ = self.optional_range()?;
+        let mut params = Vec::new();
+        loop {
+            let (name, location) = self.identifier("a parameter name")?;
+            self.expect(&TokenKind::Assign, "=")?;
+            let value = self.expression()?;
+            params.push(ParameterDecl { name, value, local, location });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon, ";")?;
+        Ok(params)
+    }
+
+    fn optional_range(
+        &mut self,
+    ) -> Result<Option<(Expression, Expression)>, VerilogError> {
+        if !self.eat(&TokenKind::LeftBracket) {
+            return Ok(None);
+        }
+        let msb = self.expression()?;
+        self.expect(&TokenKind::Colon, ":")?;
+        let lsb = self.expression()?;
+        self.expect(&TokenKind::RightBracket, "]")?;
+        Ok(Some((msb, lsb)))
+    }
+
+    /// `assign target = expr {, target = expr};`
+    fn continuous_assign(&mut self) -> Result<Vec<ContinuousAssign>, VerilogError> {
+        self.expect_keyword(Keyword::Assign)?;
+        let mut assigns = Vec::new();
+        loop {
+            let location = self.location();
+            let target = self.lvalue()?;
+            self.expect(&TokenKind::Assign, "=")?;
+            let value = self.expression()?;
+            assigns.push(ContinuousAssign { target, value, location });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon, ";")?;
+        Ok(assigns)
+    }
+
+    fn always_block(&mut self) -> Result<AlwaysBlock, VerilogError> {
+        let location = self.location();
+        self.expect_keyword(Keyword::Always)?;
+        self.expect(&TokenKind::At, "@")?;
+        let sensitivity = self.sensitivity()?;
+        let body = self.statement()?;
+        Ok(AlwaysBlock { sensitivity, body, location })
+    }
+
+    fn sensitivity(&mut self) -> Result<Sensitivity, VerilogError> {
+        // `@*` without parentheses.
+        if self.eat(&TokenKind::Star) {
+            return Ok(Sensitivity::Combinational);
+        }
+        self.expect(&TokenKind::LeftParen, "(")?;
+        if self.eat(&TokenKind::Star) {
+            self.expect(&TokenKind::RightParen, ")")?;
+            return Ok(Sensitivity::Combinational);
+        }
+        let mut edges = Vec::new();
+        let mut combinational = false;
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Keyword(Keyword::Posedge) => {
+                    self.bump();
+                    let (signal, _) = self.identifier("a signal name")?;
+                    edges.push(EdgeEvent { posedge: true, signal });
+                }
+                TokenKind::Keyword(Keyword::Negedge) => {
+                    self.bump();
+                    let (signal, _) = self.identifier("a signal name")?;
+                    edges.push(EdgeEvent { posedge: false, signal });
+                }
+                TokenKind::Identifier(_) => {
+                    // A level-sensitive list (`@(a or b)`) is combinational.
+                    self.bump();
+                    combinational = true;
+                }
+                _ => return Err(self.unexpected("a sensitivity list entry")),
+            }
+            if self.eat(&TokenKind::Keyword(Keyword::Or)) || self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            break;
+        }
+        self.expect(&TokenKind::RightParen, ")")?;
+        if combinational && edges.is_empty() {
+            Ok(Sensitivity::Combinational)
+        } else if !combinational {
+            Ok(Sensitivity::Edges(edges))
+        } else {
+            Err(VerilogError::Unsupported {
+                construct: "mixed edge- and level-sensitive sensitivity list".to_string(),
+                location: self.location(),
+            })
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, VerilogError> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                // Optional block label `begin : name`.
+                if self.eat(&TokenKind::Colon) {
+                    let _ = self.identifier("a block label")?;
+                }
+                let mut body = Vec::new();
+                while *self.peek_kind() != TokenKind::Keyword(Keyword::End) {
+                    if *self.peek_kind() == TokenKind::Eof {
+                        return Err(self.unexpected("`end`"));
+                    }
+                    body.push(self.statement()?);
+                }
+                self.bump();
+                Ok(Statement::Block(body))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect(&TokenKind::LeftParen, "(")?;
+                let condition = self.expression()?;
+                self.expect(&TokenKind::RightParen, ")")?;
+                let then_branch = Box::new(self.statement()?);
+                let else_branch = if self.eat(&TokenKind::Keyword(Keyword::Else)) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Statement::If { condition, then_branch, else_branch })
+            }
+            TokenKind::Keyword(Keyword::Case) | TokenKind::Keyword(Keyword::Casez) => {
+                self.bump();
+                self.expect(&TokenKind::LeftParen, "(")?;
+                let subject = self.expression()?;
+                self.expect(&TokenKind::RightParen, ")")?;
+                let mut arms = Vec::new();
+                loop {
+                    if self.eat(&TokenKind::Keyword(Keyword::Endcase)) {
+                        break;
+                    }
+                    if *self.peek_kind() == TokenKind::Eof {
+                        return Err(self.unexpected("`endcase`"));
+                    }
+                    if self.eat(&TokenKind::Keyword(Keyword::Default)) {
+                        self.eat(&TokenKind::Colon);
+                        let body = self.statement()?;
+                        arms.push(CaseArm { labels: Vec::new(), body });
+                        continue;
+                    }
+                    let mut labels = vec![self.expression()?];
+                    while self.eat(&TokenKind::Comma) {
+                        labels.push(self.expression()?);
+                    }
+                    self.expect(&TokenKind::Colon, ":")?;
+                    let body = self.statement()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Statement::Case { subject, arms })
+            }
+            TokenKind::Semicolon => {
+                self.bump();
+                Ok(Statement::Empty)
+            }
+            TokenKind::Identifier(_) | TokenKind::LeftBrace => {
+                let location = self.location();
+                let target = self.lvalue()?;
+                let nonblocking = match self.peek_kind() {
+                    TokenKind::LessEq => {
+                        self.bump();
+                        true
+                    }
+                    TokenKind::Assign => {
+                        self.bump();
+                        false
+                    }
+                    _ => return Err(self.unexpected("`=` or `<=`")),
+                };
+                // Optional intra-assignment delay `#n` is ignored.
+                if self.eat(&TokenKind::Hash) {
+                    let _ = self.bump();
+                }
+                let value = self.expression()?;
+                self.expect(&TokenKind::Semicolon, ";")?;
+                Ok(Statement::Assign { target, value, nonblocking, location })
+            }
+            TokenKind::Hash => {
+                // A delay statement `#10 stmt;` — the delay is ignored.
+                self.bump();
+                let _ = self.bump();
+                self.statement()
+            }
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, VerilogError> {
+        let location = self.location();
+        if self.eat(&TokenKind::LeftBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RightBrace, "}")?;
+            return Ok(LValue::Concat { parts, location });
+        }
+        let (name, location) = self.identifier("an assignment target")?;
+        if self.eat(&TokenKind::LeftBracket) {
+            let first = self.expression()?;
+            if self.eat(&TokenKind::Colon) {
+                let lsb = self.expression()?;
+                self.expect(&TokenKind::RightBracket, "]")?;
+                return Ok(LValue::Part { name, msb: first, lsb, location });
+            }
+            self.expect(&TokenKind::RightBracket, "]")?;
+            return Ok(LValue::Bit { name, index: first, location });
+        }
+        Ok(LValue::Identifier { name, location })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expression, VerilogError> {
+        self.conditional()
+    }
+
+    fn conditional(&mut self) -> Result<Expression, VerilogError> {
+        let location = self.location();
+        let condition = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let then_value = self.expression()?;
+            self.expect(&TokenKind::Colon, ":")?;
+            let else_value = self.conditional()?;
+            return Ok(Expression::Conditional {
+                condition: Box::new(condition),
+                then_value: Box::new(then_value),
+                else_value: Box::new(else_value),
+                location,
+            });
+        }
+        Ok(condition)
+    }
+
+    fn logical_or(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.logical_and()?;
+        while *self.peek_kind() == TokenKind::PipePipe {
+            let location = self.location();
+            self.bump();
+            let right = self.logical_and()?;
+            left = binary(BinaryOperator::LogicalOr, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn logical_and(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.bitwise_or()?;
+        while *self.peek_kind() == TokenKind::AmpAmp {
+            let location = self.location();
+            self.bump();
+            let right = self.bitwise_or()?;
+            left = binary(BinaryOperator::LogicalAnd, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn bitwise_or(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.bitwise_xor()?;
+        while *self.peek_kind() == TokenKind::Pipe {
+            let location = self.location();
+            self.bump();
+            let right = self.bitwise_xor()?;
+            left = binary(BinaryOperator::Or, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn bitwise_xor(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.bitwise_and()?;
+        loop {
+            let location = self.location();
+            let op = match self.peek_kind() {
+                TokenKind::Caret => BinaryOperator::Xor,
+                TokenKind::Xnor => BinaryOperator::Xnor,
+                _ => break,
+            };
+            self.bump();
+            let right = self.bitwise_and()?;
+            left = binary(op, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn bitwise_and(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.equality()?;
+        while *self.peek_kind() == TokenKind::Amp {
+            let location = self.location();
+            self.bump();
+            let right = self.equality()?;
+            left = binary(BinaryOperator::And, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn equality(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.relational()?;
+        loop {
+            let location = self.location();
+            let op = match self.peek_kind() {
+                TokenKind::EqEq => BinaryOperator::Equal,
+                TokenKind::NotEq => BinaryOperator::NotEqual,
+                _ => break,
+            };
+            self.bump();
+            let right = self.relational()?;
+            left = binary(op, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn relational(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.shift()?;
+        loop {
+            let location = self.location();
+            let op = match self.peek_kind() {
+                TokenKind::Less => BinaryOperator::Less,
+                TokenKind::LessEq => BinaryOperator::LessEqual,
+                TokenKind::Greater => BinaryOperator::Greater,
+                TokenKind::GreaterEq => BinaryOperator::GreaterEqual,
+                _ => break,
+            };
+            self.bump();
+            let right = self.shift()?;
+            left = binary(op, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn shift(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.additive()?;
+        loop {
+            let location = self.location();
+            let op = match self.peek_kind() {
+                TokenKind::ShiftLeft => BinaryOperator::ShiftLeft,
+                TokenKind::ShiftRight => BinaryOperator::ShiftRight,
+                _ => break,
+            };
+            self.bump();
+            let right = self.additive()?;
+            left = binary(op, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let location = self.location();
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinaryOperator::Add,
+                TokenKind::Minus => BinaryOperator::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = binary(op, left, right, location);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expression, VerilogError> {
+        let mut left = self.unary()?;
+        loop {
+            let location = self.location();
+            match self.peek_kind() {
+                TokenKind::Star => {
+                    self.bump();
+                    let right = self.unary()?;
+                    left = binary(BinaryOperator::Mul, left, right, location);
+                }
+                TokenKind::Slash | TokenKind::Percent => {
+                    return Err(VerilogError::Unsupported {
+                        construct: "division / modulo operators".to_string(),
+                        location,
+                    });
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expression, VerilogError> {
+        let location = self.location();
+        let op = match self.peek_kind() {
+            TokenKind::Tilde => {
+                self.bump();
+                // `~&`, `~|`, `~^` reduction forms.
+                match self.peek_kind() {
+                    TokenKind::Amp => {
+                        self.bump();
+                        UnaryOperator::ReduceNand
+                    }
+                    TokenKind::Pipe => {
+                        self.bump();
+                        UnaryOperator::ReduceNor
+                    }
+                    _ => UnaryOperator::BitNot,
+                }
+            }
+            TokenKind::Bang => {
+                self.bump();
+                UnaryOperator::LogicalNot
+            }
+            TokenKind::Minus => {
+                self.bump();
+                UnaryOperator::Negate
+            }
+            TokenKind::Plus => {
+                self.bump();
+                return self.unary();
+            }
+            TokenKind::Amp => {
+                self.bump();
+                UnaryOperator::ReduceAnd
+            }
+            TokenKind::Pipe => {
+                self.bump();
+                UnaryOperator::ReduceOr
+            }
+            TokenKind::Caret => {
+                self.bump();
+                UnaryOperator::ReduceXor
+            }
+            TokenKind::Xnor => {
+                self.bump();
+                UnaryOperator::ReduceXnor
+            }
+            _ => return self.primary(),
+        };
+        let operand = self.unary()?;
+        Ok(Expression::Unary { op, operand: Box::new(operand), location })
+    }
+
+    fn primary(&mut self) -> Result<Expression, VerilogError> {
+        let location = self.location();
+        match self.peek_kind().clone() {
+            TokenKind::Number(value) => {
+                self.bump();
+                Ok(Expression::Number { value, location })
+            }
+            TokenKind::Identifier(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LeftBracket) {
+                    let first = self.expression()?;
+                    if self.eat(&TokenKind::Colon) {
+                        let lsb = self.expression()?;
+                        self.expect(&TokenKind::RightBracket, "]")?;
+                        return Ok(Expression::PartSelect {
+                            name,
+                            msb: Box::new(first),
+                            lsb: Box::new(lsb),
+                            location,
+                        });
+                    }
+                    self.expect(&TokenKind::RightBracket, "]")?;
+                    return Ok(Expression::BitSelect {
+                        name,
+                        index: Box::new(first),
+                        location,
+                    });
+                }
+                if *self.peek_kind() == TokenKind::LeftParen {
+                    return Err(VerilogError::Unsupported {
+                        construct: format!("function call `{name}(…)`"),
+                        location,
+                    });
+                }
+                Ok(Expression::Identifier { name, location })
+            }
+            TokenKind::LeftParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RightParen, ")")?;
+                Ok(inner)
+            }
+            TokenKind::LeftBrace => {
+                self.bump();
+                let first = self.expression()?;
+                // `{N{expr}}` replication: the first expression is followed by
+                // another brace group.
+                if *self.peek_kind() == TokenKind::LeftBrace {
+                    self.bump();
+                    let value = self.expression()?;
+                    self.expect(&TokenKind::RightBrace, "}")?;
+                    self.expect(&TokenKind::RightBrace, "}")?;
+                    return Ok(Expression::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                        location,
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    parts.push(self.expression()?);
+                }
+                self.expect(&TokenKind::RightBrace, "}")?;
+                Ok(Expression::Concat { parts, location })
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+fn binary(
+    op: BinaryOperator,
+    left: Expression,
+    right: Expression,
+    location: SourceLocation,
+) -> Expression {
+    Expression::Binary { op, left: Box::new(left), right: Box::new(right), location }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_module() {
+        let unit = parse("module m(input a, output y); assign y = ~a; endmodule").unwrap();
+        assert_eq!(unit.modules.len(), 1);
+        let m = &unit.modules[0];
+        assert_eq!(m.name, "m");
+        assert_eq!(m.ports, vec!["a", "y"]);
+        assert_eq!(m.declarations.len(), 2);
+        assert_eq!(m.assigns.len(), 1);
+    }
+
+    #[test]
+    fn parses_non_ansi_port_declarations() {
+        let unit = parse(
+            "module m(a, b, y);
+               input  [7:0] a, b;
+               output [7:0] y;
+               assign y = a + b;
+             endmodule",
+        )
+        .unwrap();
+        let m = &unit.modules[0];
+        assert_eq!(m.ports, vec!["a", "b", "y"]);
+        assert_eq!(m.declarations.len(), 3);
+        assert!(m.declarations.iter().all(|d| d.range.is_some()));
+    }
+
+    #[test]
+    fn parses_clocked_always_with_if_else() {
+        let unit = parse(
+            "module m(input clk, input rst, input [3:0] d, output reg [3:0] q);
+               always @(posedge clk or posedge rst) begin
+                 if (rst) q <= 4'd0;
+                 else q <= d;
+               end
+             endmodule",
+        )
+        .unwrap();
+        let m = &unit.modules[0];
+        assert_eq!(m.always_blocks.len(), 1);
+        match &m.always_blocks[0].sensitivity {
+            Sensitivity::Edges(edges) => {
+                assert_eq!(edges.len(), 2);
+                assert!(edges.iter().all(|e| e.posedge));
+            }
+            Sensitivity::Combinational => panic!("expected an edge-sensitive block"),
+        }
+    }
+
+    #[test]
+    fn parses_case_statements_and_concatenation() {
+        let unit = parse(
+            "module m(input [1:0] sel, input [3:0] a, b, output reg [7:0] y);
+               always @(*) begin
+                 case (sel)
+                   2'd0: y = {a, b};
+                   2'd1: y = {2{a}};
+                   default: y = 8'h00;
+                 endcase
+               end
+             endmodule",
+        )
+        .unwrap();
+        let m = &unit.modules[0];
+        match &m.always_blocks[0].body {
+            Statement::Block(stmts) => match &stmts[0] {
+                Statement::Case { arms, .. } => {
+                    assert_eq!(arms.len(), 3);
+                    assert!(arms[2].labels.is_empty());
+                }
+                other => panic!("expected a case statement, got {other:?}"),
+            },
+            other => panic!("expected a block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameters_and_part_selects() {
+        let unit = parse(
+            "module m #(parameter WIDTH = 8) (input [WIDTH-1:0] a, output [3:0] y);
+               localparam HALF = WIDTH >> 1;
+               assign y = a[HALF-1:0] ^ a[7:4];
+             endmodule",
+        )
+        .unwrap();
+        let m = &unit.modules[0];
+        assert_eq!(m.parameters.len(), 2);
+        assert!(m.parameters[1].local);
+    }
+
+    #[test]
+    fn operator_precedence_binds_ternary_last() {
+        let unit = parse(
+            "module m(input a, b, c, output y); assign y = a & b ? b | c : ~c; endmodule",
+        )
+        .unwrap();
+        let assign = &unit.modules[0].assigns[0];
+        assert!(matches!(assign.value, Expression::Conditional { .. }));
+    }
+
+    #[test]
+    fn rejects_module_instantiation_with_a_clear_message() {
+        let err = parse(
+            "module top(input a, output y); sub u0(.a(a), .y(y)); endmodule",
+        )
+        .unwrap_err();
+        match err {
+            VerilogError::Unsupported { construct, .. } => {
+                assert!(construct.contains("instantiation"));
+            }
+            other => panic!("expected an unsupported-construct error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unexpected_tokens_with_location() {
+        let err = parse("module m(input a); assign = a; endmodule").unwrap_err();
+        match err {
+            VerilogError::UnexpectedToken { location, .. } => {
+                assert_eq!(location.line, 1);
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_sources() {
+        assert_eq!(parse("// nothing here\n").unwrap_err(), VerilogError::EmptySource);
+    }
+
+    #[test]
+    fn parses_multiple_modules() {
+        let unit = parse(
+            "module a(input x, output y); assign y = x; endmodule
+             module b(input x, output y); assign y = ~x; endmodule",
+        )
+        .unwrap();
+        assert_eq!(unit.modules.len(), 2);
+        assert_eq!(unit.modules[1].name, "b");
+    }
+}

@@ -1,0 +1,726 @@
+//! Tokens and the lexer for the supported Verilog subset.
+
+use std::fmt;
+
+use crate::error::{SourceLocation, VerilogError};
+
+/// Verilog keywords recognised by the parser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Posedge,
+    Negedge,
+    Or,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Parameter,
+    Localparam,
+    Integer,
+    Signed,
+    Initial,
+    Function,
+    Endfunction,
+    Generate,
+    Endgenerate,
+    For,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "integer" => Keyword::Integer,
+            "signed" => Keyword::Signed,
+            "initial" => Keyword::Initial,
+            "function" => Keyword::Function,
+            "endfunction" => Keyword::Endfunction,
+            "generate" => Keyword::Generate,
+            "endgenerate" => Keyword::Endgenerate,
+            "for" => Keyword::For,
+            _ => return None,
+        })
+    }
+
+    /// The keyword as it appears in source text.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Integer => "integer",
+            Keyword::Signed => "signed",
+            Keyword::Initial => "initial",
+            Keyword::Function => "function",
+            Keyword::Endfunction => "endfunction",
+            Keyword::Generate => "generate",
+            Keyword::Endgenerate => "endgenerate",
+            Keyword::For => "for",
+        }
+    }
+}
+
+/// A number literal: optional explicit width, and the value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Number {
+    /// Explicit size in bits (`8'hFF` has `Some(8)`), `None` for plain
+    /// integers.
+    pub width: Option<u32>,
+    /// The value, zero-extended into 128 bits.
+    pub value: u128,
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (includes escaped identifiers with the backslash
+    /// stripped).
+    Identifier(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// A number literal.
+    Number(Number),
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `[`
+    LeftBracket,
+    /// `]`
+    RightBracket,
+    /// `{`
+    LeftBrace,
+    /// `}`
+    RightBrace,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Less,
+    /// `<=` — both the relational operator and the nonblocking assignment;
+    /// the parser disambiguates from context.
+    LessEq,
+    /// `>`
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `<<`
+    ShiftLeft,
+    /// `>>`
+    ShiftRight,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `~^` or `^~`
+    Xnor,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Identifier(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Number(n) => match n.width {
+                Some(w) => write!(f, "{}'d{}", w, n.value),
+                None => write!(f, "{}", n.value),
+            },
+            TokenKind::LeftParen => write!(f, "("),
+            TokenKind::RightParen => write!(f, ")"),
+            TokenKind::LeftBracket => write!(f, "["),
+            TokenKind::RightBracket => write!(f, "]"),
+            TokenKind::LeftBrace => write!(f, "{{"),
+            TokenKind::RightBrace => write!(f, "}}"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Hash => write!(f, "#"),
+            TokenKind::At => write!(f, "@"),
+            TokenKind::Question => write!(f, "?"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Less => write!(f, "<"),
+            TokenKind::LessEq => write!(f, "<="),
+            TokenKind::Greater => write!(f, ">"),
+            TokenKind::GreaterEq => write!(f, ">="),
+            TokenKind::ShiftLeft => write!(f, "<<"),
+            TokenKind::ShiftRight => write!(f, ">>"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Amp => write!(f, "&"),
+            TokenKind::AmpAmp => write!(f, "&&"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::PipePipe => write!(f, "||"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Xnor => write!(f, "~^"),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts in the source text.
+    pub location: SourceLocation,
+}
+
+/// Splits Verilog source text into [`Token`]s.
+///
+/// # Errors
+///
+/// Returns an error for characters outside the supported subset, malformed
+/// number literals and unterminated block comments.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), htd_verilog::VerilogError> {
+/// let tokens = htd_verilog::lex("assign y = a & b;")?;
+/// assert_eq!(tokens.len(), 8); // incl. the end-of-input marker
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, VerilogError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().collect(), pos: 0, line: 1, column: 1, source }
+    }
+
+    fn location(&self) -> SourceLocation {
+        SourceLocation { line: self.line, column: self.column }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, VerilogError> {
+        let _ = self.source;
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let location = self.location();
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, location });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' || c == '\\' || c == '$' {
+                self.lex_identifier()
+            } else if c.is_ascii_digit() || (c == '\'' && self.peek2().is_some()) {
+                self.lex_number(location)?
+            } else {
+                self.lex_operator(location)?
+            };
+            tokens.push(Token { kind, location });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), VerilogError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.location();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(VerilogError::UnterminatedComment { location: start })
+                            }
+                        }
+                    }
+                }
+                // Compiler directives (`timescale, `define-free sources) and
+                // attributes are skipped to the end of the line / attribute.
+                Some('`') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                // An attribute instance `(* keep = 1 *)` — but not the
+                // combinational sensitivity list `@(*)`, whose `*` is
+                // immediately followed by `)`.
+                Some('(')
+                    if self.peek2() == Some('*')
+                        && self.chars.get(self.pos + 2).copied() != Some(')') =>
+                {
+                    let start = self.location();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some(')') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(VerilogError::UnterminatedComment { location: start })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_identifier(&mut self) -> TokenKind {
+        let escaped = self.peek() == Some('\\');
+        if escaped {
+            self.bump();
+            let mut name = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                name.push(c);
+                self.bump();
+            }
+            return TokenKind::Identifier(name);
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&name) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Identifier(name),
+        }
+    }
+
+    fn lex_number(&mut self, location: SourceLocation) -> Result<TokenKind, VerilogError> {
+        // Optional decimal size before the base marker.
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                prefix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some('\'') {
+            // Plain unsized decimal.
+            let digits: String = prefix.chars().filter(|c| *c != '_').collect();
+            let value = u128::from_str_radix(&digits, 10).map_err(|_| {
+                VerilogError::InvalidNumber { literal: prefix.clone(), location }
+            })?;
+            return Ok(TokenKind::Number(Number { width: None, value }));
+        }
+        self.bump(); // the tick
+        // Optional signedness marker.
+        if matches!(self.peek(), Some('s' | 'S')) {
+            self.bump();
+        }
+        let base = self.bump().ok_or_else(|| VerilogError::InvalidNumber {
+            literal: prefix.clone(),
+            location,
+        })?;
+        let radix = match base {
+            'h' | 'H' => 16,
+            'd' | 'D' => 10,
+            'o' | 'O' => 8,
+            'b' | 'B' => 2,
+            other => {
+                return Err(VerilogError::InvalidNumber {
+                    literal: format!("{prefix}'{other}"),
+                    location,
+                })
+            }
+        };
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_hexdigit() || c == '_' || c == 'x' || c == 'X' || c == 'z' || c == 'Z' {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // x / z digits are outside the two-valued subset; they are read as 0
+        // so that benchmark sources using `'bx` placeholders still load.
+        let cleaned: String = digits
+            .chars()
+            .filter(|c| *c != '_')
+            .map(|c| if matches!(c, 'x' | 'X' | 'z' | 'Z') { '0' } else { c })
+            .collect();
+        if cleaned.is_empty() {
+            return Err(VerilogError::InvalidNumber { literal: format!("{prefix}'{base}"), location });
+        }
+        let value = u128::from_str_radix(&cleaned, radix).map_err(|_| VerilogError::InvalidNumber {
+            literal: format!("{prefix}'{base}{digits}"),
+            location,
+        })?;
+        let width = if prefix.is_empty() {
+            None
+        } else {
+            let size: String = prefix.chars().filter(|c| *c != '_').collect();
+            Some(size.parse::<u32>().map_err(|_| VerilogError::InvalidNumber {
+                literal: prefix.clone(),
+                location,
+            })?)
+        };
+        Ok(TokenKind::Number(Number { width, value }))
+    }
+
+    fn lex_operator(&mut self, location: SourceLocation) -> Result<TokenKind, VerilogError> {
+        let c = self.bump().expect("caller checked peek");
+        let kind = match c {
+            '(' => TokenKind::LeftParen,
+            ')' => TokenKind::RightParen,
+            '[' => TokenKind::LeftBracket,
+            ']' => TokenKind::RightBracket,
+            '{' => TokenKind::LeftBrace,
+            '}' => TokenKind::RightBrace,
+            ';' => TokenKind::Semicolon,
+            ':' => TokenKind::Colon,
+            ',' => TokenKind::Comma,
+            '.' => TokenKind::Dot,
+            '#' => TokenKind::Hash,
+            '@' => TokenKind::At,
+            '?' => TokenKind::Question,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    // `===` is read as `==` (two-valued subset).
+                    if self.peek() == Some('=') {
+                        self.bump();
+                    }
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                    }
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    TokenKind::LessEq
+                }
+                Some('<') => {
+                    self.bump();
+                    TokenKind::ShiftLeft
+                }
+                _ => TokenKind::Less,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    TokenKind::GreaterEq
+                }
+                Some('>') => {
+                    self.bump();
+                    TokenKind::ShiftRight
+                }
+                _ => TokenKind::Greater,
+            },
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            '^' => {
+                if self.peek() == Some('~') {
+                    self.bump();
+                    TokenKind::Xnor
+                } else {
+                    TokenKind::Caret
+                }
+            }
+            '~' => {
+                if self.peek() == Some('^') {
+                    self.bump();
+                    TokenKind::Xnor
+                } else if self.peek() == Some('&') || self.peek() == Some('|') {
+                    // ~& and ~| reduction operators: return the tilde; the
+                    // parser combines it with the following reduction.
+                    TokenKind::Tilde
+                } else {
+                    TokenKind::Tilde
+                }
+            }
+            other => {
+                return Err(VerilogError::UnexpectedCharacter { character: other, location })
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_keywords_and_operators() {
+        let toks = kinds("module m(input a); assign y = a & ~b; endmodule");
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::Module)));
+        assert!(toks.contains(&TokenKind::Identifier("y".into())));
+        assert!(toks.contains(&TokenKind::Amp));
+        assert!(toks.contains(&TokenKind::Tilde));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_sized_and_unsized_numbers() {
+        let toks = kinds("8'hFF 4'b1010 16'd255 42 12'o17 8'hx");
+        let numbers: Vec<Number> = toks
+            .into_iter()
+            .filter_map(|t| match t {
+                TokenKind::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(numbers[0], Number { width: Some(8), value: 0xFF });
+        assert_eq!(numbers[1], Number { width: Some(4), value: 0b1010 });
+        assert_eq!(numbers[2], Number { width: Some(16), value: 255 });
+        assert_eq!(numbers[3], Number { width: None, value: 42 });
+        assert_eq!(numbers[4], Number { width: Some(12), value: 0o17 });
+        // x digits are folded to zero in the two-valued subset.
+        assert_eq!(numbers[5], Number { width: Some(8), value: 0 });
+    }
+
+    #[test]
+    fn numbers_allow_underscores() {
+        let toks = kinds("32'hDEAD_BEEF 1_000");
+        assert_eq!(
+            toks[0],
+            TokenKind::Number(Number { width: Some(32), value: 0xDEAD_BEEF })
+        );
+        assert_eq!(toks[1], TokenKind::Number(Number { width: None, value: 1000 }));
+    }
+
+    #[test]
+    fn skips_comments_directives_and_attributes() {
+        let toks = kinds(
+            "`timescale 1ns/1ps\n// line comment\n/* block\ncomment */ (* keep = 1 *) wire w;",
+        );
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Wire),
+                TokenKind::Identifier("w".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_comparison_and_shift_operators() {
+        let toks = kinds("a <= b << 2 >= c >> 1 < d > e");
+        assert!(toks.contains(&TokenKind::LessEq));
+        assert!(toks.contains(&TokenKind::ShiftLeft));
+        assert!(toks.contains(&TokenKind::GreaterEq));
+        assert!(toks.contains(&TokenKind::ShiftRight));
+        assert!(toks.contains(&TokenKind::Less));
+        assert!(toks.contains(&TokenKind::Greater));
+    }
+
+    #[test]
+    fn reports_unterminated_block_comment() {
+        let err = lex("assign /* oops").unwrap_err();
+        assert!(matches!(err, VerilogError::UnterminatedComment { .. }));
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        let err = lex("assign y = \"str\";").unwrap_err();
+        assert!(matches!(err, VerilogError::UnexpectedCharacter { character: '"', .. }));
+    }
+
+    #[test]
+    fn tracks_source_locations() {
+        let tokens = lex("wire a;\n  reg b;").unwrap();
+        let reg = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Keyword(Keyword::Reg))
+            .unwrap();
+        assert_eq!(reg.location.line, 2);
+        assert_eq!(reg.location.column, 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Internal probe used while tuning the ablation benchmark: measures one
+//! shared vs. unshared property check on a few designs and prints the times.
+//! (Kept as an example so it can be run on demand; the Criterion benchmark
+//! `ablation_hashing` is the curated version.)
+
+use std::time::Instant;
+
+use golden_free_htd::ipc::{CheckerOptions, PropertyChecker};
+use golden_free_htd::rtl::structural::fanout_levels;
+use golden_free_htd::ipc::IntervalProperty;
+use golden_free_htd::trusthub::registry::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (benchmark, index) in [
+        (Benchmark::BasicRsaHtFree, 1usize),
+        (Benchmark::AesHtFree, 3),
+        (Benchmark::AesHtFree, 10),
+    ] {
+        let design = benchmark.build()?;
+        let levels = fanout_levels(&design);
+        let property = if index == 0 || index > levels.len() - 1 {
+            continue;
+        } else {
+            IntervalProperty::new(
+                format!("fanout_property_{index}"),
+                levels[index - 1].clone(),
+                levels[index].clone(),
+            )
+        };
+        for share in [true, false] {
+            let checker =
+                PropertyChecker::with_options(&design, CheckerOptions { share_assumed_equal: share });
+            let start = Instant::now();
+            let report = checker.check(&property);
+            println!(
+                "{:<20} {:<20} share={:<5} holds={:<5} aig={:>8} cnf_vars={:>8} conflicts={:>8} {:?}",
+                benchmark.name(),
+                property.name,
+                share,
+                report.holds(),
+                report.stats.aig_nodes,
+                report.stats.cnf_vars,
+                report.stats.solver.conflicts,
+                start.elapsed()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Experiment E11: compare the golden-free IPC flow against the baseline
+//! detection techniques on a trigger-length sweep (the motivating claims of
+//! Sec. I/II of the paper).
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+
+use std::error::Error;
+use std::time::Instant;
+
+use golden_free_htd::baselines::bmc::{bounded_trojan_search, BmcOptions};
+use golden_free_htd::baselines::designs::{clean_pipeline, sequence_trojan};
+use golden_free_htd::baselines::fanci::{control_value_analysis, FanciOptions};
+use golden_free_htd::baselines::testing::{random_equivalence_test, RandomTestOptions};
+use golden_free_htd::baselines::uci::{unused_circuit_identification, UciOptions};
+use golden_free_htd::detect::TrojanDetector;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Trojan: input-sequence trigger of length L, ciphertext-corruption payload");
+    println!("(detection = yes/no, time in milliseconds)\n");
+    println!(
+        "{:>4} | {:>16} | {:>22} | {:>18} | {:>20} | {:>12} | {:>12}",
+        "L",
+        "IPC flow (paper)",
+        "BMC, bound = L",
+        "BMC, bound = 8",
+        "random test (10k cyc)",
+        "UCI",
+        "FANCI"
+    );
+    println!("{}", "-".repeat(125));
+
+    let golden = clean_pipeline(1);
+    for length in [2u64, 8, 32, 128] {
+        let design = sequence_trojan(length);
+
+        let start = Instant::now();
+        let ipc = TrojanDetector::new(&design)?.run()?;
+        let ipc_cell = cell(!ipc.outcome.is_secure(), start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let bmc_exact = bounded_trojan_search(
+            &design,
+            &BmcOptions { bound: length as usize, window: 1, ..BmcOptions::default() },
+        );
+        let bmc_exact_cell = cell(bmc_exact.detected(), start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let bmc_fixed = bounded_trojan_search(
+            &design,
+            &BmcOptions { bound: 8, window: 1, ..BmcOptions::default() },
+        );
+        let bmc_fixed_cell = cell(bmc_fixed.detected(), start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let random = random_equivalence_test(
+            &design,
+            &golden,
+            &RandomTestOptions { cycles: 10_000, seed: 0xBEEF },
+        )?;
+        let random_cell = cell(random.detected(), start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let uci = unused_circuit_identification(&design, &UciOptions::default())?;
+        let uci_cell = cell(uci.flags_target("data"), start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let fanci = control_value_analysis(&design, &FanciOptions::default());
+        let fanci_cell = cell(fanci.flags_signal("data"), start.elapsed().as_secs_f64() * 1e3);
+
+        println!(
+            "{length:>4} | {ipc_cell:>16} | {bmc_exact_cell:>22} | {bmc_fixed_cell:>18} | {random_cell:>20} | {uci_cell:>12} | {fanci_cell:>12}"
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!("  * the IPC flow detects every length at near-constant cost and needs no golden model;");
+    println!("  * BMC detects only when the unrolled bound covers the trigger, at a cost that grows with it;");
+    println!("  * random testing (against a golden model) never produces the stealthy sequence;");
+    println!("  * UCI / FANCI flag the dormant payload but provide no exhaustiveness guarantee");
+    println!("    (and UCI flags benign pass-through logic of the clean design as well).");
+    Ok(())
+}
+
+fn cell(detected: bool, millis: f64) -> String {
+    format!("{} {:7.1} ms", if detected { "yes" } else { " no" }, millis)
+}

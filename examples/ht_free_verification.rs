@@ -1,0 +1,48 @@
+//! HT-free verification (experiment E2): the flow must prove the *clean*
+//! accelerators secure — the absence-of-Trojan guarantee the paper derives
+//! from the exhaustiveness argument of Sec. IV-D.
+//!
+//! The paper reports: all HT-free AES versions verify secure without spurious
+//! counterexamples; the manually cleaned RSA designs verify secure after two
+//! spurious counterexamples were discharged.  This example reports the same
+//! quantities for our models.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example ht_free_verification
+//! ```
+
+use golden_free_htd::detect::{DetectorConfig, TrojanDetector};
+use golden_free_htd::rtl::stats::DesignStats;
+use golden_free_htd::trusthub::registry::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>14} {:>10}",
+        "design", "registers", "state bits", "properties", "spurious CEX", "verdict"
+    );
+    for benchmark in Benchmark::ht_free() {
+        let design = benchmark.build()?;
+        let stats = DesignStats::of(&design);
+        let config = DetectorConfig {
+            benign_state: benchmark.benign_state(&design),
+            ..DetectorConfig::default()
+        };
+        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        println!(
+            "{:<22} {:>10} {:>12} {:>12} {:>14} {:>10}",
+            benchmark.info().name,
+            stats.registers,
+            stats.state_bits,
+            report.properties_checked(),
+            report.spurious_resolved,
+            if report.outcome.is_secure() { "SECURE" } else { "SUSPECT" }
+        );
+        if !report.outcome.is_secure() {
+            return Err(format!("{} failed to verify secure", benchmark.info().name).into());
+        }
+    }
+    println!("\nall HT-free designs verified secure (paper: same result, 0/2/3 spurious CEXs)");
+    Ok(())
+}

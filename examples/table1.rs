@@ -1,0 +1,109 @@
+//! Reproduction of **Table I** of the paper (experiment E1 in DESIGN.md):
+//! run the golden-free detection flow on every infected accelerator benchmark
+//! and report which mechanism detected the Trojan, next to the paper's
+//! "Detected by" column.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+
+use std::time::Instant;
+
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::trusthub::registry::{Benchmark, ExpectedDetection};
+
+fn detected_by_label(outcome: &DetectionOutcome) -> String {
+    match outcome.detected_by() {
+        None => "secure".to_string(),
+        Some(DetectedBy::InitProperty) => "init property".to_string(),
+        Some(DetectedBy::FanoutProperty(k)) => format!("fanout property {k}"),
+        Some(DetectedBy::CoverageCheck) => "coverage check".to_string(),
+    }
+}
+
+fn matches_expectation(outcome: &DetectionOutcome, expected: ExpectedDetection) -> bool {
+    match (expected, outcome.detected_by()) {
+        (ExpectedDetection::Secure, None) => true,
+        (ExpectedDetection::InitProperty, Some(DetectedBy::InitProperty)) => true,
+        (ExpectedDetection::FanoutProperty(k), Some(DetectedBy::FanoutProperty(j))) => j == k,
+        (ExpectedDetection::AnyFanoutProperty, Some(DetectedBy::FanoutProperty(_))) => true,
+        (ExpectedDetection::CoverageCheck, Some(DetectedBy::CoverageCheck)) => true,
+        _ => false,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<16} {:<9} {:<15} {:<22} {:<22} {:>7} {:>9}  {}",
+        "Benchmark", "Payload", "Trigger", "Paper: detected by", "Ours: detected by", "props", "time [s]", "match"
+    );
+    println!("{}", "-".repeat(112));
+
+    let start_all = Instant::now();
+    let mut mismatches = 0usize;
+    for benchmark in Benchmark::table1() {
+        let info = benchmark.info();
+        let design = benchmark.build()?;
+        let config = DetectorConfig {
+            benign_state: benchmark.benign_state(&design),
+            ..DetectorConfig::default()
+        };
+        let started = Instant::now();
+        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        let elapsed = started.elapsed();
+        let ours = detected_by_label(&report.outcome);
+        let ok = matches_expectation(&report.outcome, info.expected);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<16} {:<9} {:<15} {:<22} {:<22} {:>7} {:>9.2}  {}",
+            info.name,
+            info.payload_label,
+            info.trigger_label,
+            info.paper_detected_by,
+            ours,
+            report.properties_checked(),
+            elapsed.as_secs_f64(),
+            if ok { "yes" } else { "NO" }
+        );
+    }
+
+    println!("{}", "-".repeat(112));
+    println!("HT-free reference designs (must verify secure):");
+    for benchmark in Benchmark::ht_free() {
+        let info = benchmark.info();
+        let design = benchmark.build()?;
+        let config = DetectorConfig {
+            benign_state: benchmark.benign_state(&design),
+            ..DetectorConfig::default()
+        };
+        let started = Instant::now();
+        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        let elapsed = started.elapsed();
+        let ok = matches_expectation(&report.outcome, info.expected);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<22} -> {:<22} ({} properties, {} spurious CEX resolved, {:.2}s)  {}",
+            info.name,
+            detected_by_label(&report.outcome),
+            report.properties_checked(),
+            report.spurious_resolved,
+            elapsed.as_secs_f64(),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+
+    println!(
+        "\ntotal: {:.1}s, mismatches vs expectation: {mismatches}",
+        start_all.elapsed().as_secs_f64()
+    );
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}

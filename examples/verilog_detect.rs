@@ -1,0 +1,87 @@
+//! Golden-free Trojan detection straight from Verilog source.
+//!
+//! The paper's flow takes the RTL of a (possibly infected) accelerator — no
+//! golden model, no functional specification.  This example compiles two
+//! versions of a small streaming cipher with the `htd-verilog` front-end and
+//! runs the detection flow on both; only the infected one is reported.
+//!
+//! Run with `cargo run --release --example verilog_detect`.
+
+use std::error::Error;
+
+use golden_free_htd::detect::TrojanDetector;
+use golden_free_htd::verilog::compile;
+
+const CLEAN: &str = "
+module stream_cipher(
+  input clk,
+  input rst,
+  input  [15:0] din,
+  input  [15:0] key,
+  output [15:0] dout
+);
+  reg [15:0] whitened;
+  reg [15:0] rotated;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      whitened <= 16'h0000;
+      rotated  <= 16'h0000;
+    end else begin
+      whitened <= din ^ key;
+      rotated  <= {whitened[7:0], whitened[15:8]};
+    end
+  end
+  assign dout = rotated;
+endmodule
+";
+
+/// The same design with a sequential Trojan: a counter of occurrences of the
+/// magic plaintext 16'hCAFE; after the fourth occurrence the key is leaked to
+/// the output one nibble at a time (a BasicRSA-T300-style "leak to output"
+/// payload with a "# values" trigger).
+const INFECTED: &str = "
+module stream_cipher(
+  input clk,
+  input rst,
+  input  [15:0] din,
+  input  [15:0] key,
+  output [15:0] dout
+);
+  reg [15:0] whitened;
+  reg [15:0] rotated;
+  reg [2:0]  seen;
+  reg [1:0]  nibble;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      seen   <= 3'd0;
+      nibble <= 2'd0;
+    end else begin
+      if (din == 16'hCAFE && seen != 3'd4) seen <= seen + 3'd1;
+      if (seen == 3'd4) nibble <= nibble + 2'd1;
+    end
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      whitened <= 16'h0000;
+      rotated  <= 16'h0000;
+    end else begin
+      whitened <= din ^ key;
+      rotated  <= (seen == 3'd4)
+                  ? {12'h000, key[3:0]}
+                  : {whitened[7:0], whitened[15:8]};
+    end
+  end
+  assign dout = rotated;
+endmodule
+";
+
+fn main() -> Result<(), Box<dyn Error>> {
+    for (label, source) in [("HT-free", CLEAN), ("infected", INFECTED)] {
+        let design = compile(source)?;
+        let report = TrojanDetector::new(&design)?.run()?;
+        println!("=== {} version ({} registers) ===", label, design.design().registers().len());
+        println!("{report}");
+    }
+    println!("The infected version is reported from the RTL alone — no golden model was used.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # golden-free-htd
+//!
+//! Umbrella crate for the golden-free formal hardware-Trojan detection toolkit,
+//! a reproduction of *“A Golden-Free Formal Method for Trojan Detection in
+//! Non-Interfering Accelerators”* (DATE 2024).
+//!
+//! This crate re-exports the individual workspace crates under stable module
+//! names so that examples, integration tests and downstream users can depend on
+//! a single crate:
+//!
+//! * [`rtl`] — word-level RTL intermediate representation, simulator and
+//!   structural analysis ([`htd_rtl`]).
+//! * [`sat`] — the CDCL SAT solver backing the property checker ([`htd_sat`]).
+//! * [`ipc`] — bit-blasting and interval property checking over a 2-safety
+//!   miter ([`htd_ipc`]).
+//! * [`detect`] — the paper's contribution: the golden-free Trojan detection
+//!   flow ([`htd_core`]).
+//! * [`trusthub`] — Trust-Hub-style benchmark accelerators and the Trojan
+//!   insertion framework ([`htd_trusthub`]).
+//! * [`verilog`] — a synthesizable-subset Verilog front-end lowering RTL
+//!   source onto the IR ([`htd_verilog`]).
+//! * [`baselines`] — the baseline detection techniques (bounded model
+//!   checking, random testing, UCI, FANCI) the paper's related work argues
+//!   against ([`htd_baselines`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use golden_free_htd::detect::{DetectionOutcome, TrojanDetector};
+//! use golden_free_htd::trusthub::registry::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build an infected benchmark (a pipelined AES with a plaintext-sequence
+//! // triggered side-channel Trojan) and run the golden-free detection flow.
+//! let design = Benchmark::AesT100.build()?;
+//! let report = TrojanDetector::new(&design)?.run()?;
+//! assert!(!matches!(report.outcome, DetectionOutcome::Secure));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use htd_baselines as baselines;
+pub use htd_core as detect;
+pub use htd_ipc as ipc;
+pub use htd_rtl as rtl;
+pub use htd_sat as sat;
+pub use htd_trusthub as trusthub;
+pub use htd_verilog as verilog;

@@ -1,0 +1,233 @@
+//! Shared helpers for the cross-crate integration tests: a generator for
+//! small random RTL designs used by the property-based tests.
+
+use golden_free_htd::rtl::{Design, ExprId, SignalId, ValidatedDesign};
+use proptest::prelude::*;
+
+/// A compact, serialisable recipe for a random design; proptest shrinks this
+/// structure rather than the built design.
+#[derive(Clone, Debug)]
+pub struct DesignRecipe {
+    /// Word width of every signal in the design.
+    pub width: u32,
+    /// Number of primary inputs (at least 1).
+    pub num_inputs: usize,
+    /// One entry per register: the expression recipe for its next state.
+    pub registers: Vec<ExprRecipe>,
+    /// Expression recipe for the single primary output.
+    pub output: ExprRecipe,
+}
+
+/// A tiny expression grammar over the design's inputs and registers.
+#[derive(Clone, Debug)]
+pub enum ExprRecipe {
+    /// Reference to input `i % num_inputs`.
+    Input(u8),
+    /// Reference to register `r % num_registers`.
+    Register(u8),
+    /// A constant (masked to the design width).
+    Const(u64),
+    /// Exclusive or of two sub-expressions.
+    Xor(Box<ExprRecipe>, Box<ExprRecipe>),
+    /// Wrapping addition of two sub-expressions.
+    Add(Box<ExprRecipe>, Box<ExprRecipe>),
+    /// Bitwise and of two sub-expressions.
+    And(Box<ExprRecipe>, Box<ExprRecipe>),
+    /// Bitwise complement of a sub-expression.
+    Not(Box<ExprRecipe>),
+    /// `if a == const { b } else { c }`.
+    MuxEq(u64, Box<ExprRecipe>, Box<ExprRecipe>, Box<ExprRecipe>),
+}
+
+fn leaf() -> impl Strategy<Value = ExprRecipe> {
+    prop_oneof![
+        any::<u8>().prop_map(ExprRecipe::Input),
+        any::<u8>().prop_map(ExprRecipe::Register),
+        any::<u64>().prop_map(ExprRecipe::Const),
+    ]
+}
+
+fn expr_recipe() -> impl Strategy<Value = ExprRecipe> {
+    leaf().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprRecipe::And(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| ExprRecipe::Not(Box::new(a))),
+            (any::<u64>(), inner.clone(), inner.clone(), inner).prop_map(|(c, a, b, e)| {
+                ExprRecipe::MuxEq(c, Box::new(a), Box::new(b), Box::new(e))
+            }),
+        ]
+    })
+}
+
+/// Strategy producing random design recipes.
+pub fn design_recipe() -> impl Strategy<Value = DesignRecipe> {
+    (
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        1usize..=2,
+        prop::collection::vec(expr_recipe(), 1..=4),
+        expr_recipe(),
+    )
+        .prop_map(|(width, num_inputs, registers, output)| DesignRecipe {
+            width,
+            num_inputs,
+            registers,
+            output,
+        })
+}
+
+/// A recipe for a *layered* design: register `k` computes a combinational
+/// function of register `k - 1` only (register 0 reads the single primary
+/// input), and the output reads the last register.  Such designs satisfy the
+/// data-driven side condition of the decomposition by construction — they are
+/// the structural shape of the non-interfering, data-driven accelerators the
+/// paper targets.
+#[derive(Clone, Debug)]
+pub struct LayeredRecipe {
+    /// Word width of every signal.
+    pub width: u32,
+    /// Per-stage combinational function (applied to the previous stage).
+    pub stages: Vec<StageOp>,
+}
+
+/// The combinational function of one pipeline stage.
+#[derive(Clone, Copy, Debug)]
+pub enum StageOp {
+    /// Pass the previous stage through unchanged.
+    Pass,
+    /// Bitwise complement of the previous stage.
+    Not,
+    /// Xor the previous stage with a constant.
+    XorConst(u64),
+    /// Add a constant to the previous stage (wrapping).
+    AddConst(u64),
+}
+
+/// Strategy producing layered pipeline recipes.
+pub fn layered_recipe() -> impl Strategy<Value = LayeredRecipe> {
+    let stage = prop_oneof![
+        Just(StageOp::Pass),
+        Just(StageOp::Not),
+        any::<u64>().prop_map(StageOp::XorConst),
+        any::<u64>().prop_map(StageOp::AddConst),
+    ];
+    (prop_oneof![Just(1u32), Just(4), Just(8)], prop::collection::vec(stage, 1..=6))
+        .prop_map(|(width, stages)| LayeredRecipe { width, stages })
+}
+
+impl LayeredRecipe {
+    fn stage_expr(&self, d: &mut Design, op: StageOp, prev: ExprId) -> ExprId {
+        match op {
+            StageOp::Pass => prev,
+            StageOp::Not => d.not(prev),
+            StageOp::XorConst(c) => {
+                let k = d.constant(mask(self.width, c), self.width).expect("masked constant");
+                d.xor(prev, k).expect("same width")
+            }
+            StageOp::AddConst(c) => {
+                let k = d.constant(mask(self.width, c), self.width).expect("masked constant");
+                d.add(prev, k).expect("same width")
+            }
+        }
+    }
+}
+
+/// Trait for recipes that can be materialised into a validated design, so the
+/// tests can share one `build_design` entry point across recipe kinds.
+pub trait BuildDesign {
+    /// Builds the design described by the recipe.
+    fn build(&self) -> ValidatedDesign;
+}
+
+impl BuildDesign for DesignRecipe {
+    fn build(&self) -> ValidatedDesign {
+        build_random_design(self)
+    }
+}
+
+impl BuildDesign for LayeredRecipe {
+    fn build(&self) -> ValidatedDesign {
+        let mut d = Design::new("layered_design");
+        let input = d.add_input("in", self.width).expect("fresh input name");
+        let mut prev = d.signal(input);
+        for (i, &op) in self.stages.iter().enumerate() {
+            let reg = d.add_register(format!("stage{i}"), self.width, 0).expect("fresh name");
+            let next = self.stage_expr(&mut d, op, prev);
+            d.set_register_next(reg, next).expect("same width");
+            prev = d.signal(reg);
+        }
+        d.add_output("out", prev).expect("fresh output name");
+        d.validated().expect("layered recipes are always well-formed")
+    }
+}
+
+/// Materialises any recipe into a validated design.
+pub fn build_design<R: BuildDesign>(recipe: &R) -> ValidatedDesign {
+    recipe.build()
+}
+
+fn mask(width: u32, value: u64) -> u128 {
+    u128::from(value) & ((1u128 << width) - 1)
+}
+
+fn build_expr(
+    d: &mut Design,
+    recipe: &ExprRecipe,
+    width: u32,
+    inputs: &[SignalId],
+    registers: &[SignalId],
+) -> ExprId {
+    match recipe {
+        ExprRecipe::Input(i) => d.signal(inputs[*i as usize % inputs.len()]),
+        ExprRecipe::Register(r) => d.signal(registers[*r as usize % registers.len()]),
+        ExprRecipe::Const(v) => d.constant(mask(width, *v), width).expect("masked constant fits"),
+        ExprRecipe::Xor(a, b) => {
+            let ea = build_expr(d, a, width, inputs, registers);
+            let eb = build_expr(d, b, width, inputs, registers);
+            d.xor(ea, eb).expect("same width")
+        }
+        ExprRecipe::Add(a, b) => {
+            let ea = build_expr(d, a, width, inputs, registers);
+            let eb = build_expr(d, b, width, inputs, registers);
+            d.add(ea, eb).expect("same width")
+        }
+        ExprRecipe::And(a, b) => {
+            let ea = build_expr(d, a, width, inputs, registers);
+            let eb = build_expr(d, b, width, inputs, registers);
+            d.and(ea, eb).expect("same width")
+        }
+        ExprRecipe::Not(a) => {
+            let ea = build_expr(d, a, width, inputs, registers);
+            d.not(ea)
+        }
+        ExprRecipe::MuxEq(c, a, b, e) => {
+            let ea = build_expr(d, a, width, inputs, registers);
+            let eb = build_expr(d, b, width, inputs, registers);
+            let ee = build_expr(d, e, width, inputs, registers);
+            let cond = d.eq_const(ea, mask(width, *c)).expect("masked constant fits");
+            d.mux(cond, eb, ee).expect("same width")
+        }
+    }
+}
+
+/// Materialises a random-design recipe into a validated design.
+fn build_random_design(recipe: &DesignRecipe) -> ValidatedDesign {
+    let mut d = Design::new("random_design");
+    let inputs: Vec<SignalId> = (0..recipe.num_inputs)
+        .map(|i| d.add_input(format!("in{i}"), recipe.width).expect("fresh input name"))
+        .collect();
+    let registers: Vec<SignalId> = (0..recipe.registers.len())
+        .map(|i| d.add_register(format!("r{i}"), recipe.width, 0).expect("fresh register name"))
+        .collect();
+    for (reg, expr_recipe) in registers.iter().zip(&recipe.registers) {
+        let next = build_expr(&mut d, expr_recipe, recipe.width, &inputs, &registers);
+        d.set_register_next(*reg, next).expect("same width");
+    }
+    let out = build_expr(&mut d, &recipe.output, recipe.width, &inputs, &registers);
+    d.add_output("out", out).expect("fresh output name");
+    d.validated().expect("recipe designs are always well-formed")
+}

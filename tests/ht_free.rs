@@ -1,0 +1,55 @@
+//! Integration test for experiment E2: the HT-free reference designs must
+//! verify secure, with spurious counterexamples only where the paper reports
+//! them (none for the data-driven AES, a few for the control-heavy RSA and
+//! UART designs).
+
+use golden_free_htd::detect::{DetectorConfig, TrojanDetector};
+use golden_free_htd::trusthub::registry::Benchmark;
+
+fn verify(benchmark: Benchmark) -> (bool, usize, usize) {
+    let design = benchmark.build().expect("design builds");
+    let config = DetectorConfig {
+        benign_state: benchmark.benign_state(&design),
+        ..DetectorConfig::default()
+    };
+    let report = TrojanDetector::with_config(&design, config)
+        .expect("detector accepts the design")
+        .run()
+        .expect("flow completes");
+    (report.outcome.is_secure(), report.spurious_resolved, report.properties_checked())
+}
+
+#[test]
+fn ht_free_aes_verifies_secure_without_spurious_counterexamples() {
+    let (secure, spurious, properties) = verify(Benchmark::AesHtFree);
+    assert!(secure);
+    assert_eq!(spurious, 0, "the data-driven AES pipeline needs no waivers");
+    // init property + one fanout property per remaining structural level.
+    assert_eq!(properties, 22);
+}
+
+#[test]
+fn ht_free_rsa_verifies_secure_after_spurious_cex_resolution() {
+    let (secure, spurious, _) = verify(Benchmark::BasicRsaHtFree);
+    assert!(secure);
+    // The paper resolved 2 spurious counterexamples for the RSA designs; the
+    // exact count depends on the microarchitecture, but there must be at
+    // least one (the design has interfering control state) and few.
+    assert!(spurious >= 1 && spurious <= 4, "unexpected spurious count {spurious}");
+}
+
+#[test]
+fn ht_free_uart_verifies_secure_after_spurious_cex_resolution() {
+    let (secure, spurious, _) = verify(Benchmark::Rs232HtFree);
+    assert!(secure);
+    assert!(spurious >= 1 && spurious <= 5, "unexpected spurious count {spurious}");
+}
+
+#[test]
+fn ht_free_verification_fails_without_waivers_for_interfering_designs() {
+    // Without the engineer-supplied waivers the control state of the RSA
+    // design produces a (false) detection — the situation Sec. V-B describes.
+    let design = Benchmark::BasicRsaHtFree.build().unwrap();
+    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    assert!(!report.outcome.is_secure());
+}
