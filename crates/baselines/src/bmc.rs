@@ -51,7 +51,11 @@ pub struct BmcOptions {
 
 impl Default for BmcOptions {
     fn default() -> Self {
-        BmcOptions { bound: 8, settle: None, window: 2 }
+        BmcOptions {
+            bound: 8,
+            settle: None,
+            window: 2,
+        }
     }
 }
 
@@ -123,24 +127,24 @@ pub fn bounded_trojan_search(design: &ValidatedDesign, options: &BmcOptions) -> 
     for r in d.registers() {
         let width = d.signal_width(r);
         let init = reset_value(design, r);
-        for inst in 0..2 {
-            state[inst].insert(r, const_bits(init, width));
+        for frame in &mut state {
+            frame.insert(r, const_bits(init, width));
         }
     }
 
     // Prefix: per-instance free inputs.
     for _ in 0..options.bound {
-        for inst in 0..2 {
+        for frame in &mut state {
             let inputs = fresh_inputs(&mut aig, design);
-            state[inst] = step(design, &mut aig, &state[inst], &inputs);
+            *frame = step(design, &mut aig, frame, &inputs);
         }
     }
 
     // Settle: shared inputs, no comparison yet.
     for _ in 0..settle {
         let shared = fresh_inputs(&mut aig, design);
-        for inst in 0..2 {
-            state[inst] = step(design, &mut aig, &state[inst], &shared);
+        for frame in &mut state {
+            *frame = step(design, &mut aig, frame, &shared);
         }
     }
 
@@ -189,9 +193,9 @@ pub fn bounded_trojan_search(design: &ValidatedDesign, options: &BmcOptions) -> 
             }
             let values = aig.eval_all(&env);
             let word = |bits: &BitVec| -> u128 {
-                bits.iter()
-                    .enumerate()
-                    .fold(0u128, |acc, (i, &b)| acc | (u128::from(aig.lit_value(&values, b)) << i))
+                bits.iter().enumerate().fold(0u128, |acc, (i, &b)| {
+                    acc | (u128::from(aig.lit_value(&values, b)) << i)
+                })
             };
             let mut signals = Vec::new();
             let mut diverging_frame = 0;
@@ -208,7 +212,10 @@ pub fn bounded_trojan_search(design: &ValidatedDesign, options: &BmcOptions) -> 
                     }
                 }
             }
-            BmcOutcome::Diverges { signals, frame: diverging_frame }
+            BmcOutcome::Diverges {
+                signals,
+                frame: diverging_frame,
+            }
         }
     };
     BmcReport {
@@ -293,7 +300,13 @@ mod tests {
     #[test]
     fn clean_designs_never_diverge() {
         let design = clean_pipeline(2);
-        let report = bounded_trojan_search(&design, &BmcOptions { bound: 5, ..BmcOptions::default() });
+        let report = bounded_trojan_search(
+            &design,
+            &BmcOptions {
+                bound: 5,
+                ..BmcOptions::default()
+            },
+        );
         assert!(!report.detected());
         assert_eq!(report.outcome, BmcOutcome::BoundExhausted);
     }
@@ -301,8 +314,13 @@ mod tests {
     #[test]
     fn sequence_trojan_within_the_bound_is_found() {
         let design = sequence_trojan(3);
-        let report =
-            bounded_trojan_search(&design, &BmcOptions { bound: 4, ..BmcOptions::default() });
+        let report = bounded_trojan_search(
+            &design,
+            &BmcOptions {
+                bound: 4,
+                ..BmcOptions::default()
+            },
+        );
         match report.outcome {
             BmcOutcome::Diverges { ref signals, .. } => {
                 assert!(signals.iter().any(|s| s == "out"), "{signals:?}");
@@ -317,21 +335,42 @@ mod tests {
         // same solver, but the trigger sequence does not fit in the bound
         // (plus the small shared window).
         let design = sequence_trojan(12);
-        let report =
-            bounded_trojan_search(&design, &BmcOptions { bound: 2, window: 1, ..BmcOptions::default() });
+        let report = bounded_trojan_search(
+            &design,
+            &BmcOptions {
+                bound: 2,
+                window: 1,
+                ..BmcOptions::default()
+            },
+        );
         assert!(!report.detected());
     }
 
     #[test]
     fn growing_the_bound_recovers_detection_at_higher_cost() {
         let design = sequence_trojan(6);
-        let missed =
-            bounded_trojan_search(&design, &BmcOptions { bound: 1, window: 1, ..BmcOptions::default() });
-        let found =
-            bounded_trojan_search(&design, &BmcOptions { bound: 8, window: 1, ..BmcOptions::default() });
+        let missed = bounded_trojan_search(
+            &design,
+            &BmcOptions {
+                bound: 1,
+                window: 1,
+                ..BmcOptions::default()
+            },
+        );
+        let found = bounded_trojan_search(
+            &design,
+            &BmcOptions {
+                bound: 8,
+                window: 1,
+                ..BmcOptions::default()
+            },
+        );
         assert!(!missed.detected());
         assert!(found.detected());
-        assert!(found.cnf_vars > missed.cnf_vars, "deeper unrolling costs more CNF");
+        assert!(
+            found.cnf_vars > missed.cnf_vars,
+            "deeper unrolling costs more CNF"
+        );
         assert!(found.unrolled_frames > missed.unrolled_frames);
     }
 
@@ -343,8 +382,13 @@ mod tests {
         // check of the paper's flow.
         let design = timer_trojan(4);
         for bound in [0, 2, 8, 16] {
-            let report =
-                bounded_trojan_search(&design, &BmcOptions { bound, ..BmcOptions::default() });
+            let report = bounded_trojan_search(
+                &design,
+                &BmcOptions {
+                    bound,
+                    ..BmcOptions::default()
+                },
+            );
             assert!(!report.detected(), "unexpected detection at bound {bound}");
         }
     }
@@ -354,7 +398,11 @@ mod tests {
         let design = sequence_trojan(2);
         let report = bounded_trojan_search(
             &design,
-            &BmcOptions { bound: 4, settle: Some(0), window: 0 },
+            &BmcOptions {
+                bound: 4,
+                settle: Some(0),
+                window: 0,
+            },
         );
         assert!(!report.detected());
     }

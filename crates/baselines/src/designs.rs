@@ -21,7 +21,9 @@ pub fn clean_pipeline(depth: usize) -> ValidatedDesign {
     let input = d.add_input("in", 8).expect("fresh name");
     let mut prev = d.signal(input);
     for i in 0..depth {
-        let stage = d.add_register(format!("stage{i}"), 8, 0).expect("fresh name");
+        let stage = d
+            .add_register(format!("stage{i}"), 8, 0)
+            .expect("fresh name");
         d.set_register_next(stage, prev).expect("same width");
         prev = d.signal(stage);
     }
@@ -40,14 +42,19 @@ pub fn clean_pipeline(depth: usize) -> ValidatedDesign {
 /// Panics if `sequence_len` is 0 or larger than 200.
 #[must_use]
 pub fn sequence_trojan(sequence_len: u64) -> ValidatedDesign {
-    assert!((1..=200).contains(&sequence_len), "sequence length must be in 1..=200");
+    assert!(
+        (1..=200).contains(&sequence_len),
+        "sequence length must be in 1..=200"
+    );
     let mut d = Design::new("sequence_trojan");
     let input = d.add_input("in", 8).expect("fresh name");
     let data = d.add_register("data", 8, 0).expect("fresh name");
     let progress = d.add_register("trojan_state", 8, 0).expect("fresh name");
 
     // armed <=> progress == sequence_len (and stays there).
-    let armed = d.eq_const(d.signal(progress), u128::from(sequence_len)).expect("narrow constant");
+    let armed = d
+        .eq_const(d.signal(progress), u128::from(sequence_len))
+        .expect("narrow constant");
 
     // next progress: armed -> hold; input == progress + 1 -> progress + 1;
     // otherwise -> 0 (the sequence must be contiguous).
@@ -56,8 +63,11 @@ pub fn sequence_trojan(sequence_len: u64) -> ValidatedDesign {
     let advance = d.cmp_eq(d.signal(input), expected).expect("same width");
     let zero = d.constant(0, 8).expect("fits");
     let advanced = d.mux(advance, expected, zero).expect("same width");
-    let next_progress = d.mux(armed, d.signal(progress), advanced).expect("same width");
-    d.set_register_next(progress, next_progress).expect("same width");
+    let next_progress = d
+        .mux(armed, d.signal(progress), advanced)
+        .expect("same width");
+    d.set_register_next(progress, next_progress)
+        .expect("same width");
 
     // payload: flip the LSB of the latched data once armed.
     let flip = d.zero_ext(armed, 8).expect("widening");
@@ -111,8 +121,11 @@ pub fn value_counter_trojan(threshold: u64) -> ValidatedDesign {
     let one = d.constant(1, 32).expect("fits");
     let bumped = d.add(d.signal(counter), one).expect("same width");
     let counted = d.mux(magic, bumped, d.signal(counter)).expect("same width");
-    let next_counter = d.mux(armed, d.signal(counter), counted).expect("same width");
-    d.set_register_next(counter, next_counter).expect("same width");
+    let next_counter = d
+        .mux(armed, d.signal(counter), counted)
+        .expect("same width");
+    d.set_register_next(counter, next_counter)
+        .expect("same width");
     let flip = d.zero_ext(armed, 8).expect("widening");
     let payload = d.xor(d.signal(input), flip).expect("same width");
     d.set_register_next(data, payload).expect("same width");
@@ -154,7 +167,11 @@ mod tests {
         assert_eq!(sim.peek_by_name("trojan_state").unwrap(), 3);
         sim.set_input_by_name("in", 0x40).unwrap();
         sim.step().unwrap();
-        assert_eq!(sim.peek_by_name("data").unwrap(), 0x41, "LSB flipped once armed");
+        assert_eq!(
+            sim.peek_by_name("data").unwrap(),
+            0x41,
+            "LSB flipped once armed"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct FanciOptions {
 
 impl Default for FanciOptions {
     fn default() -> Self {
-        FanciOptions { samples: 64, threshold: 0.01, seed: 0xFA_C1 }
+        FanciOptions {
+            samples: 64,
+            threshold: 0.01,
+            seed: 0xFA_C1,
+        }
     }
 }
 
@@ -164,14 +168,18 @@ pub fn control_value_analysis(design: &ValidatedDesign, options: &FanciOptions) 
         }
     }
 
-    FanciReport { suspicious, signals_analysed: targets.len(), duration: start.elapsed() }
+    FanciReport {
+        suspicious,
+        signals_analysed: targets.len(),
+        duration: start.elapsed(),
+    }
 }
 
 fn evaluate(aig: &Aig, env: &HashMap<u32, bool>, bits: &[AigLit]) -> u128 {
     let values = aig.eval_all(env);
-    bits.iter()
-        .enumerate()
-        .fold(0u128, |acc, (i, &b)| acc | (u128::from(aig.lit_value(&values, b)) << i))
+    bits.iter().enumerate().fold(0u128, |acc, (i, &b)| {
+        acc | (u128::from(aig.lit_value(&values, b)) << i)
+    })
 }
 
 #[cfg(test)]
@@ -183,8 +191,11 @@ mod tests {
     fn trigger_gated_payload_is_flagged() {
         let report = control_value_analysis(&sequence_trojan(6), &FanciOptions::default());
         assert!(report.flags_signal("data"), "{:?}", report.suspicious);
-        let finding =
-            report.suspicious.iter().find(|s| s.signal == "data").expect("flagged above");
+        let finding = report
+            .suspicious
+            .iter()
+            .find(|s| s.signal == "data")
+            .expect("flagged above");
         assert!(finding.weak_source.contains("trojan"));
         assert!(finding.control_value < 0.01);
     }
@@ -198,8 +209,7 @@ mod tests {
 
     #[test]
     fn counter_gated_payload_is_flagged_too() {
-        let report =
-            control_value_analysis(&value_counter_trojan(1_000), &FanciOptions::default());
+        let report = control_value_analysis(&value_counter_trojan(1_000), &FanciOptions::default());
         assert!(report.flags_signal("data"));
     }
 
@@ -208,7 +218,10 @@ mod tests {
         // Control values are compared strictly against the threshold, so a
         // zero threshold disables the analysis — the knob that trades false
         // positives against false negatives has no analogue in the IPC flow.
-        let options = FanciOptions { threshold: 0.0, ..FanciOptions::default() };
+        let options = FanciOptions {
+            threshold: 0.0,
+            ..FanciOptions::default()
+        };
         let report = control_value_analysis(&sequence_trojan(6), &options);
         assert!(report.suspicious.is_empty());
     }

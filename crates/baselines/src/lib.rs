@@ -56,5 +56,7 @@ pub mod uci;
 
 pub use bmc::{bounded_trojan_search, BmcOptions, BmcOutcome, BmcReport};
 pub use fanci::{control_value_analysis, FanciOptions, FanciReport, SuspiciousSignal};
-pub use testing::{random_equivalence_test, RandomTestOptions, RandomTestOutcome, RandomTestReport};
+pub use testing::{
+    random_equivalence_test, RandomTestOptions, RandomTestOutcome, RandomTestReport,
+};
 pub use uci::{unused_circuit_identification, UciOptions, UciPair, UciReport};

@@ -32,7 +32,10 @@ pub struct RandomTestOptions {
 
 impl Default for RandomTestOptions {
     fn default() -> Self {
-        RandomTestOptions { cycles: 10_000, seed: 0xD1CE }
+        RandomTestOptions {
+            cycles: 10_000,
+            seed: 0xD1CE,
+        }
     }
 }
 
@@ -165,7 +168,9 @@ pub fn random_equivalence_test(
 }
 
 fn named_signals(design: &ValidatedDesign, ids: &[SignalId]) -> BTreeMap<String, SignalId> {
-    ids.iter().map(|&id| (design.design().signal_name(id).to_string(), id)).collect()
+    ids.iter()
+        .map(|&id| (design.design().signal_name(id).to_string(), id))
+        .collect()
 }
 
 fn random_word(rng: &mut StdRng, width: u32) -> u128 {
@@ -189,7 +194,10 @@ mod tests {
         let report = random_equivalence_test(
             &dut,
             &golden,
-            &RandomTestOptions { cycles: 500, seed: 1 },
+            &RandomTestOptions {
+                cycles: 500,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(!report.detected());
@@ -205,7 +213,10 @@ mod tests {
         let report = random_equivalence_test(
             &dut,
             &golden,
-            &RandomTestOptions { cycles: 500, seed: 2 },
+            &RandomTestOptions {
+                cycles: 500,
+                seed: 2,
+            },
         )
         .unwrap();
         assert!(report.detected());
@@ -224,10 +235,17 @@ mod tests {
         let report = random_equivalence_test(
             &dut,
             &golden,
-            &RandomTestOptions { cycles: 20_000, seed: 3 },
+            &RandomTestOptions {
+                cycles: 20_000,
+                seed: 3,
+            },
         )
         .unwrap();
-        assert!(!report.detected(), "false positive-free run expected: {:?}", report.outcome);
+        assert!(
+            !report.detected(),
+            "false positive-free run expected: {:?}",
+            report.outcome
+        );
     }
 
     #[test]
@@ -240,7 +258,10 @@ mod tests {
         let report = random_equivalence_test(
             &dut,
             &golden,
-            &RandomTestOptions { cycles: 30_000, seed: 4 },
+            &RandomTestOptions {
+                cycles: 30_000,
+                seed: 4,
+            },
         )
         .unwrap();
         assert!(!report.detected());
@@ -255,8 +276,8 @@ mod tests {
         d.set_register_next(r, d.signal(input)).unwrap();
         d.add_output("out", d.signal(r)).unwrap();
         let dut = d.validated().unwrap();
-        let err = random_equivalence_test(&dut, &golden, &RandomTestOptions::default())
-            .unwrap_err();
+        let err =
+            random_equivalence_test(&dut, &golden, &RandomTestOptions::default()).unwrap_err();
         assert!(matches!(err, DesignError::UnknownSignal { .. }));
     }
 }

@@ -37,7 +37,10 @@ pub struct UciOptions {
 
 impl Default for UciOptions {
     fn default() -> Self {
-        UciOptions { cycles: 4_096, seed: 0x0C1 }
+        UciOptions {
+            cycles: 4_096,
+            seed: 0x0C1,
+        }
     }
 }
 
@@ -169,9 +172,14 @@ mod tests {
     #[test]
     fn dormant_payload_logic_is_flagged() {
         let design = sequence_trojan(4);
-        let report =
-            unused_circuit_identification(&design, &UciOptions { cycles: 2_000, seed: 7 })
-                .unwrap();
+        let report = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 2_000,
+                seed: 7,
+            },
+        )
+        .unwrap();
         // The payload XOR never fired, so `data` tracked `in` exactly.
         assert!(report.flags_target("data"));
         assert!(report.pairs_examined >= 2);
@@ -189,9 +197,14 @@ mod tests {
         d.set_register_next(acc, sum).unwrap();
         d.add_output("out", d.signal(acc)).unwrap();
         let design = d.validated().unwrap();
-        let report =
-            unused_circuit_identification(&design, &UciOptions { cycles: 1_000, seed: 8 })
-                .unwrap();
+        let report = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 1_000,
+                seed: 8,
+            },
+        )
+        .unwrap();
         assert!(!report.flags_target("acc"));
     }
 
@@ -202,9 +215,14 @@ mod tests {
         // although it is perfectly benign — the imprecision that motivates
         // formal approaches.
         let design = crate::designs::clean_pipeline(2);
-        let report =
-            unused_circuit_identification(&design, &UciOptions { cycles: 500, seed: 9 })
-                .unwrap();
+        let report = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 500,
+                seed: 9,
+            },
+        )
+        .unwrap();
         assert!(report.flags_target("stage0"));
     }
 
@@ -214,19 +232,36 @@ mod tests {
         // trigger sequence is — as long as the payload stays dormant during
         // the tests its pass-through behaviour is flagged.
         let design = timer_trojan(1_000_000);
-        let report =
-            unused_circuit_identification(&design, &UciOptions { cycles: 500, seed: 9 })
-                .unwrap();
+        let report = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 500,
+                seed: 9,
+            },
+        )
+        .unwrap();
         assert!(report.flags_target("data"));
     }
 
     #[test]
     fn reports_are_deterministic_for_a_fixed_seed() {
         let design = sequence_trojan(3);
-        let a = unused_circuit_identification(&design, &UciOptions { cycles: 300, seed: 42 })
-            .unwrap();
-        let b = unused_circuit_identification(&design, &UciOptions { cycles: 300, seed: 42 })
-            .unwrap();
+        let a = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 300,
+                seed: 42,
+            },
+        )
+        .unwrap();
+        let b = unused_circuit_identification(
+            &design,
+            &UciOptions {
+                cycles: 300,
+                seed: 42,
+            },
+        )
+        .unwrap();
         assert_eq!(a.flagged, b.flagged);
     }
 }

@@ -17,11 +17,15 @@ use htd_baselines::designs::{clean_pipeline, sequence_trojan, timer_trojan, valu
 use htd_baselines::fanci::{control_value_analysis, FanciOptions};
 use htd_baselines::testing::{random_equivalence_test, RandomTestOptions};
 use htd_baselines::uci::{unused_circuit_identification, UciOptions};
-use htd_core::{DetectionOutcome, TrojanDetector};
+use htd_core::{DetectionOutcome, SessionBuilder};
 use htd_rtl::ValidatedDesign;
 
 fn ipc_detects(design: &ValidatedDesign) -> bool {
-    let report = TrojanDetector::new(design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     !matches!(report.outcome, DetectionOutcome::Secure)
 }
 
@@ -29,7 +33,10 @@ fn ipc_detects(design: &ValidatedDesign) -> bool {
 fn ipc_flow_detects_every_trojan_class_and_passes_the_clean_design() {
     assert!(!ipc_detects(&clean_pipeline(3)));
     for length in [2, 8, 32] {
-        assert!(ipc_detects(&sequence_trojan(length)), "sequence length {length}");
+        assert!(
+            ipc_detects(&sequence_trojan(length)),
+            "sequence length {length}"
+        );
     }
     assert!(ipc_detects(&timer_trojan(1_000_000)));
     assert!(ipc_detects(&value_counter_trojan(100_000)));
@@ -39,8 +46,16 @@ fn ipc_flow_detects_every_trojan_class_and_passes_the_clean_design() {
 fn ipc_detection_is_independent_of_the_trigger_length() {
     // The number of properties checked (and therefore the work) depends on
     // the structural depth only, not on how long the trigger sequence is.
-    let short = TrojanDetector::new(&sequence_trojan(2)).unwrap().run().unwrap();
-    let long = TrojanDetector::new(&sequence_trojan(64)).unwrap().run().unwrap();
+    let short = SessionBuilder::new(sequence_trojan(2))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let long = SessionBuilder::new(sequence_trojan(64))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(short.properties_checked(), long.properties_checked());
     assert!(!short.outcome.is_secure());
     assert!(!long.outcome.is_secure());
@@ -49,11 +64,26 @@ fn ipc_detection_is_independent_of_the_trigger_length() {
 #[test]
 fn bmc_needs_a_bound_matching_the_trigger_length() {
     let design = sequence_trojan(10);
-    let shallow =
-        bounded_trojan_search(&design, &BmcOptions { bound: 2, window: 1, ..BmcOptions::default() });
-    let deep =
-        bounded_trojan_search(&design, &BmcOptions { bound: 12, window: 1, ..BmcOptions::default() });
-    assert!(!shallow.detected(), "a 2-cycle prefix cannot arm a 10-value sequence");
+    let shallow = bounded_trojan_search(
+        &design,
+        &BmcOptions {
+            bound: 2,
+            window: 1,
+            ..BmcOptions::default()
+        },
+    );
+    let deep = bounded_trojan_search(
+        &design,
+        &BmcOptions {
+            bound: 12,
+            window: 1,
+            ..BmcOptions::default()
+        },
+    );
+    assert!(
+        !shallow.detected(),
+        "a 2-cycle prefix cannot arm a 10-value sequence"
+    );
     assert!(deep.detected());
     assert!(deep.cnf_clauses > shallow.cnf_clauses);
     // The IPC flow detects the same design with no bound at all.
@@ -63,8 +93,17 @@ fn bmc_needs_a_bound_matching_the_trigger_length() {
 #[test]
 fn bmc_never_sees_input_independent_triggers_that_ipc_catches() {
     let design = timer_trojan(20);
-    let bmc = bounded_trojan_search(&design, &BmcOptions { bound: 30, ..BmcOptions::default() });
-    assert!(!bmc.detected(), "the self-miter from reset cannot diverge on a timer Trojan");
+    let bmc = bounded_trojan_search(
+        &design,
+        &BmcOptions {
+            bound: 30,
+            ..BmcOptions::default()
+        },
+    );
+    assert!(
+        !bmc.detected(),
+        "the self-miter from reset cannot diverge on a timer Trojan"
+    );
     assert!(ipc_detects(&design));
 }
 
@@ -75,10 +114,16 @@ fn random_testing_needs_a_golden_model_and_still_misses_stealthy_triggers() {
     let report = random_equivalence_test(
         &stealthy,
         &golden,
-        &RandomTestOptions { cycles: 20_000, seed: 11 },
+        &RandomTestOptions {
+            cycles: 20_000,
+            seed: 11,
+        },
     )
     .unwrap();
-    assert!(!report.detected(), "the 6-value sequence is never produced by chance");
+    assert!(
+        !report.detected(),
+        "the 6-value sequence is never produced by chance"
+    );
     assert!(ipc_detects(&stealthy));
 }
 
@@ -87,12 +132,27 @@ fn structural_heuristics_flag_the_payload_but_also_benign_logic() {
     let infected = sequence_trojan(8);
     let clean = clean_pipeline(2);
 
-    let uci_infected =
-        unused_circuit_identification(&infected, &UciOptions { cycles: 1_000, seed: 5 }).unwrap();
-    let uci_clean =
-        unused_circuit_identification(&clean, &UciOptions { cycles: 1_000, seed: 5 }).unwrap();
+    let uci_infected = unused_circuit_identification(
+        &infected,
+        &UciOptions {
+            cycles: 1_000,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    let uci_clean = unused_circuit_identification(
+        &clean,
+        &UciOptions {
+            cycles: 1_000,
+            seed: 5,
+        },
+    )
+    .unwrap();
     assert!(uci_infected.flags_target("data"), "dormant payload flagged");
-    assert!(!uci_clean.flagged.is_empty(), "benign pass-through logic flagged as well");
+    assert!(
+        !uci_clean.flagged.is_empty(),
+        "benign pass-through logic flagged as well"
+    );
 
     let fanci_infected = control_value_analysis(&infected, &FanciOptions::default());
     let fanci_clean = control_value_analysis(&clean, &FanciOptions::default());

@@ -22,7 +22,7 @@ use htd_baselines::designs::{clean_pipeline, sequence_trojan};
 use htd_baselines::fanci::{control_value_analysis, FanciOptions};
 use htd_baselines::testing::{random_equivalence_test, RandomTestOptions};
 use htd_baselines::uci::{unused_circuit_identification, UciOptions};
-use htd_core::TrojanDetector;
+use htd_core::SessionBuilder;
 
 const TRIGGER_LENGTHS: [u64; 4] = [4, 16, 64, 128];
 
@@ -33,8 +33,15 @@ fn ipc_flow(c: &mut Criterion) {
         let design = sequence_trojan(length);
         group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
             b.iter(|| {
-                let report = TrojanDetector::new(design).unwrap().run().unwrap();
-                assert!(!report.outcome.is_secure(), "the flow must detect the Trojan");
+                let report = SessionBuilder::new(design.clone())
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                assert!(
+                    !report.outcome.is_secure(),
+                    "the flow must detect the Trojan"
+                );
                 report
             });
         });
@@ -50,11 +57,19 @@ fn bmc_minimal_bound(c: &mut Criterion) {
         // The smallest prefix that still detects the Trojan: the sequence
         // length itself (the shared settle/window frames contribute the
         // remaining progress).
-        let options = BmcOptions { bound: length as usize, window: 1, ..BmcOptions::default() };
+        let options = BmcOptions {
+            bound: length as usize,
+            window: 1,
+            ..BmcOptions::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
             b.iter(|| {
                 let report = bounded_trojan_search(design, &options);
-                assert!(report.detected(), "bound {} must cover trigger length {length}", length);
+                assert!(
+                    report.detected(),
+                    "bound {} must cover trigger length {length}",
+                    length
+                );
                 report
             });
         });
@@ -67,7 +82,11 @@ fn bmc_fixed_bound(c: &mut Criterion) {
     group.sample_size(10);
     for length in TRIGGER_LENGTHS {
         let design = sequence_trojan(length);
-        let options = BmcOptions { bound: 8, window: 1, ..BmcOptions::default() };
+        let options = BmcOptions {
+            bound: 8,
+            window: 1,
+            ..BmcOptions::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
             b.iter(|| {
                 let report = bounded_trojan_search(design, &options);
@@ -87,11 +106,17 @@ fn random_testing(c: &mut Criterion) {
     let golden = clean_pipeline(1);
     for length in TRIGGER_LENGTHS {
         let design = sequence_trojan(length);
-        let options = RandomTestOptions { cycles: 10_000, seed: 0xBEEF };
+        let options = RandomTestOptions {
+            cycles: 10_000,
+            seed: 0xBEEF,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(length), &design, |b, design| {
             b.iter(|| {
                 let report = random_equivalence_test(design, &golden, &options).unwrap();
-                assert!(!report.detected(), "random stimuli never produce the sequence");
+                assert!(
+                    !report.detected(),
+                    "random stimuli never produce the sequence"
+                );
                 report
             });
         });

@@ -16,15 +16,15 @@ fn table1_detection(c: &mut Criterion) {
     // takes minutes under Criterion's repetition; the `table1` example covers
     // the full sweep in a single pass).
     let representatives = [
-        Benchmark::AesT100,   // PSC, plaintext sequence -> init property
-        Benchmark::AesT900,   // PSC, # encryptions      -> init property
-        Benchmark::AesT1600,  // RF                      -> init property
-        Benchmark::AesT1800,  // DoS                     -> init property
-        Benchmark::AesT1900,  // DoS oscillator          -> coverage check
-        Benchmark::AesT2500,  // bit flip at the output  -> fanout property 21
-        Benchmark::AesT2600,  // bit flip mid-pipeline   -> fanout property 7
+        Benchmark::AesT100,      // PSC, plaintext sequence -> init property
+        Benchmark::AesT900,      // PSC, # encryptions      -> init property
+        Benchmark::AesT1600,     // RF                      -> init property
+        Benchmark::AesT1800,     // DoS                     -> init property
+        Benchmark::AesT1900,     // DoS oscillator          -> coverage check
+        Benchmark::AesT2500,     // bit flip at the output  -> fanout property 21
+        Benchmark::AesT2600,     // bit flip mid-pipeline   -> fanout property 7
         Benchmark::BasicRsaT300, // key leak to output   -> init property
-        Benchmark::AesHtFree, // clean design            -> secure
+        Benchmark::AesHtFree,    // clean design            -> secure
         Benchmark::BasicRsaHtFree,
         Benchmark::Rs232T2400,
     ];

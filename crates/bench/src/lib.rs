@@ -7,7 +7,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use htd_core::{DetectionReport, DetectorConfig, TrojanDetector};
+use std::time::Duration;
+
+#[allow(deprecated)] // the legacy detector is kept as the re-encode reference path
+use htd_core::TrojanDetector;
+use htd_core::{BackendChoice, DetectionReport, DetectorConfig, FlowEvent, SessionBuilder};
 use htd_ipc::{CheckerOptions, IntervalProperty, PropertyChecker, PropertyReport};
 use htd_rtl::structural::{fanout_levels, get_fanout};
 use htd_rtl::{Design, DesignError, ValidatedDesign};
@@ -30,18 +34,88 @@ pub fn prepared_benchmark(benchmark: Benchmark) -> (ValidatedDesign, DetectorCon
     (design, config)
 }
 
-/// Runs the full detection flow on a prepared benchmark.
+/// Runs the full detection flow through the **legacy re-encode path**: one
+/// fresh AIG + CNF + solver per property.
+///
+/// This is the baseline the `property_runtime` benchmark compares
+/// [`run_session_detection`] against; new measurements should use the
+/// session path.
 ///
 /// # Panics
 ///
 /// Panics if the flow rejects the design (it never does for the registry
 /// benchmarks).
 #[must_use]
+#[allow(deprecated)]
 pub fn run_detection(design: &ValidatedDesign, config: &DetectorConfig) -> DetectionReport {
     TrojanDetector::with_config(design, config.clone())
         .expect("benchmark designs are accepted by the detector")
         .run()
         .expect("detection flow completes")
+}
+
+/// Runs the full detection flow through an incremental [`DetectionSession`]
+/// (one bit-blast, one live solver for the whole flow).
+///
+/// [`DetectionSession`]: htd_core::DetectionSession
+///
+/// # Panics
+///
+/// Panics if the flow rejects the design (it never does for the registry
+/// benchmarks).
+#[must_use]
+pub fn run_session_detection(design: &ValidatedDesign, config: &DetectorConfig) -> DetectionReport {
+    run_session_detection_with_backend(design, config, BackendChoice::Builtin)
+}
+
+/// [`run_session_detection`] with an explicit SAT backend.
+///
+/// # Panics
+///
+/// Panics if the flow rejects the design.
+#[must_use]
+pub fn run_session_detection_with_backend(
+    design: &ValidatedDesign,
+    config: &DetectorConfig,
+    backend: BackendChoice,
+) -> DetectionReport {
+    SessionBuilder::new(design.clone())
+        .config(config.clone())
+        .backend(backend)
+        .build()
+        .expect("benchmark designs are accepted by the session builder")
+        .run()
+        .expect("detection flow completes")
+}
+
+/// Runs one session flow and returns the per-property wall-clock times, in
+/// flow order, collected from the streaming [`FlowEvent`] API — no second
+/// run and no instrumentation of the flow needed.
+///
+/// # Panics
+///
+/// Panics if the flow rejects the design.
+#[must_use]
+pub fn session_property_timings(
+    design: &ValidatedDesign,
+    config: &DetectorConfig,
+) -> Vec<(String, Duration)> {
+    let mut session = SessionBuilder::new(design.clone())
+        .config(config.clone())
+        .build()
+        .expect("benchmark designs are accepted by the session builder");
+    let mut timings: Vec<(String, Duration)> = Vec::new();
+    session
+        .run_with_observer(&mut |event| {
+            if let FlowEvent::PropertyProved {
+                property, duration, ..
+            } = event
+            {
+                timings.push((property.clone(), *duration));
+            }
+        })
+        .expect("detection flow completes");
+    timings
 }
 
 /// The decomposed properties of a design in flow order: the init property
@@ -52,7 +126,10 @@ pub fn flow_properties(design: &ValidatedDesign) -> Vec<IntervalProperty> {
     let levels = fanout_levels(design);
     let mut properties = Vec::with_capacity(levels.len());
     let inputs = d.inputs();
-    let first = levels.first().cloned().unwrap_or_else(|| get_fanout(design, &inputs));
+    let first = levels
+        .first()
+        .cloned()
+        .unwrap_or_else(|| get_fanout(design, &inputs));
     properties.push(IntervalProperty::new("init_property", Vec::new(), first));
     // The antecedent accumulates the earlier levels, matching the detection
     // flow's default (`DetectorConfig::assume_previously_proven`): a level-k+1
@@ -81,7 +158,13 @@ pub fn check_property(
     property: &IntervalProperty,
     share_assumed_equal: bool,
 ) -> PropertyReport {
-    PropertyChecker::with_options(design, CheckerOptions { share_assumed_equal }).check(property)
+    PropertyChecker::with_options(
+        design,
+        CheckerOptions {
+            share_assumed_equal,
+        },
+    )
+    .check(property)
 }
 
 /// A synthetic non-interfering pipeline of the given depth: `width`-bit data
@@ -97,7 +180,10 @@ pub fn xor_pipeline(depth: usize, width: u32) -> Result<ValidatedDesign, DesignE
     let input = d.add_input("in", width)?;
     let mut previous = d.signal(input);
     for stage in 0..depth {
-        let constant = d.constant(u128::from(stage as u32 + 1) & ((1 << width.min(32)) - 1), width)?;
+        let constant = d.constant(
+            u128::from(stage as u32 + 1) & ((1 << width.min(32)) - 1),
+            width,
+        )?;
         let mixed = d.xor(previous, constant)?;
         let reg = d.add_register(format!("stage{stage}"), width, 0)?;
         d.set_register_next(reg, mixed)?;
@@ -163,6 +249,25 @@ mod tests {
         let (design, config) = prepared_benchmark(Benchmark::AesT100);
         let report = run_detection(&design, &config);
         assert!(!report.outcome.is_secure());
+    }
+
+    #[test]
+    fn session_and_legacy_helpers_agree() {
+        let design = xor_pipeline(5, 16).unwrap();
+        let config = DetectorConfig::default();
+        let legacy = run_detection(&design, &config);
+        let session = run_session_detection(&design, &config);
+        assert_eq!(legacy.outcome.is_secure(), session.outcome.is_secure());
+        assert_eq!(legacy.properties_checked(), session.properties_checked());
+    }
+
+    #[test]
+    fn property_timings_cover_every_proved_property() {
+        let design = xor_pipeline(4, 8).unwrap();
+        let timings = session_property_timings(&design, &DetectorConfig::default());
+        let names: Vec<&str> = timings.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names.first(), Some(&"init_property"));
+        assert_eq!(names.len(), 5); // 4 register levels + the output level
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
 
+use htd_core::BackendChoice;
+
 /// Errors produced while parsing the command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParseArgsError {
@@ -19,6 +21,8 @@ pub enum ParseArgsError {
     MissingInput,
     /// A numeric flag value could not be parsed.
     InvalidNumber(String),
+    /// The `--backend` value is not `builtin` or `dimacs:PATH`.
+    InvalidBackend(String),
 }
 
 impl fmt::Display for ParseArgsError {
@@ -36,6 +40,7 @@ impl fmt::Display for ParseArgsError {
             ParseArgsError::InvalidNumber(value) => {
                 write!(f, "`{value}` is not a valid number")
             }
+            ParseArgsError::InvalidBackend(message) => write!(f, "{message}"),
         }
     }
 }
@@ -43,7 +48,7 @@ impl fmt::Display for ParseArgsError {
 impl Error for ParseArgsError {}
 
 /// Options of the `detect` subcommand.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetectArgs {
     /// The RTL input file (Verilog or textual netlist).
     pub input: PathBuf,
@@ -55,6 +60,24 @@ pub struct DetectArgs {
     pub vcd_prefix: Option<PathBuf>,
     /// Register names to waive as benign state (Sec. V-B scenario 2).
     pub benign: Vec<String>,
+    /// The SAT backend to solve with (`builtin` or `dimacs:PATH`).
+    pub backend: BackendChoice,
+    /// Stream per-property progress to stderr while the flow runs.
+    pub progress: bool,
+}
+
+impl Default for DetectArgs {
+    fn default() -> Self {
+        DetectArgs {
+            input: PathBuf::new(),
+            top: None,
+            dot: None,
+            vcd_prefix: None,
+            benign: Vec::new(),
+            backend: BackendChoice::Builtin,
+            progress: false,
+        }
+    }
 }
 
 /// One parsed `htd` invocation.
@@ -71,6 +94,16 @@ pub enum Command {
     },
     /// Regenerate Table I of the paper on the bundled benchmarks.
     Table1,
+    /// Solve a DIMACS CNF file and print the result in SAT-competition
+    /// format (`s SATISFIABLE` / `s UNSATISFIABLE` plus `v` model lines).
+    ///
+    /// Exists so `--backend dimacs:…` can be pointed at the `htd` binary
+    /// itself — the process-backend plumbing is testable without any
+    /// third-party solver installed.
+    Sat {
+        /// The DIMACS CNF input file.
+        input: PathBuf,
+    },
     /// Run the baseline detectors on an RTL file for comparison.
     Baselines {
         /// The RTL input file.
@@ -111,6 +144,12 @@ impl Command {
                             parsed.vcd_prefix = Some(required(&mut iter, "--vcd")?.into());
                         }
                         "--benign" => parsed.benign.push(required(&mut iter, "--benign")?),
+                        "--backend" => {
+                            let value = required(&mut iter, "--backend")?;
+                            parsed.backend =
+                                value.parse().map_err(ParseArgsError::InvalidBackend)?;
+                        }
+                        "--progress" => parsed.progress = true,
                         flag if flag.starts_with("--") => {
                             return Err(ParseArgsError::UnknownFlag(flag.to_string()))
                         }
@@ -120,13 +159,29 @@ impl Command {
                 parsed.input = input.ok_or(ParseArgsError::MissingInput)?;
                 Ok(Command::Detect(parsed))
             }
+            "sat" => {
+                let mut input = None;
+                for arg in rest {
+                    if arg.starts_with("--") {
+                        return Err(ParseArgsError::UnknownFlag(arg));
+                    }
+                    input = Some(PathBuf::from(arg));
+                }
+                Ok(Command::Sat {
+                    input: input.ok_or(ParseArgsError::MissingInput)?,
+                })
+            }
             "stats" => {
                 let (input, top, _) = positional_with_top(rest, None)?;
                 Ok(Command::Stats { input, top })
             }
             "baselines" => {
                 let (input, top, bound) = positional_with_top(rest, Some(8))?;
-                Ok(Command::Baselines { input, top, bound: bound.unwrap_or(8) })
+                Ok(Command::Baselines {
+                    input,
+                    top,
+                    bound: bound.unwrap_or(8),
+                })
             }
             "table1" => Ok(Command::Table1),
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -135,11 +190,9 @@ impl Command {
     }
 }
 
-fn required(
-    iter: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> Result<String, ParseArgsError> {
-    iter.next().ok_or_else(|| ParseArgsError::MissingValue(flag.to_string()))
+fn required(iter: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, ParseArgsError> {
+    iter.next()
+        .ok_or_else(|| ParseArgsError::MissingValue(flag.to_string()))
 }
 
 /// Parses `<input> [--top NAME] [--bound N]` argument lists.
@@ -156,8 +209,11 @@ fn positional_with_top(
             "--top" => top = Some(required(&mut iter, "--top")?),
             "--bound" if default_bound.is_some() => {
                 let value = required(&mut iter, "--bound")?;
-                bound =
-                    Some(value.parse().map_err(|_| ParseArgsError::InvalidNumber(value))?);
+                bound = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ParseArgsError::InvalidNumber(value))?,
+                );
             }
             flag if flag.starts_with("--") => {
                 return Err(ParseArgsError::UnknownFlag(flag.to_string()))
@@ -175,9 +231,11 @@ pub fn usage() -> &'static str {
 
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
+                      [--backend builtin|dimacs:PATH] [--progress]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
+    htd sat <file.cnf>
     htd help
 
 INPUTS:
@@ -189,6 +247,12 @@ SUBCOMMANDS:
     stats       design statistics and the structural fanout levels
     baselines   bounded model checking, random testing, UCI and FANCI
     table1      regenerate Table I of the paper on the bundled benchmarks
+    sat         solve a DIMACS CNF file (SAT-competition output format)
+
+DETECT FLAGS:
+    --backend builtin        solve with the bundled incremental CDCL solver (default)
+    --backend dimacs:PATH    shell out to a DIMACS-speaking solver binary per query
+    --progress               stream per-property progress to stderr while running
 "
 }
 
@@ -199,8 +263,21 @@ mod tests {
     #[test]
     fn parses_a_full_detect_invocation() {
         let cmd = Command::parse([
-            "detect", "design.v", "--top", "aes", "--benign", "round", "--benign", "busy",
-            "--dot", "graph.dot", "--vcd", "cex",
+            "detect",
+            "design.v",
+            "--top",
+            "aes",
+            "--benign",
+            "round",
+            "--benign",
+            "busy",
+            "--dot",
+            "graph.dot",
+            "--vcd",
+            "cex",
+            "--backend",
+            "dimacs:/usr/bin/kissat",
+            "--progress",
         ])
         .unwrap();
         match cmd {
@@ -210,15 +287,58 @@ mod tests {
                 assert_eq!(args.benign, vec!["round", "busy"]);
                 assert_eq!(args.dot, Some(PathBuf::from("graph.dot")));
                 assert_eq!(args.vcd_prefix, Some(PathBuf::from("cex")));
+                assert_eq!(args.backend, BackendChoice::dimacs("/usr/bin/kissat"));
+                assert!(args.progress);
             }
             other => panic!("expected detect, got {other:?}"),
         }
     }
 
     #[test]
+    fn detect_defaults_to_the_builtin_backend_without_progress() {
+        match Command::parse(["detect", "design.v"]).unwrap() {
+            Command::Detect(args) => {
+                assert_eq!(args.backend, BackendChoice::Builtin);
+                assert!(!args.progress);
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_sat_subcommand() {
+        match Command::parse(["sat", "query.cnf"]).unwrap() {
+            Command::Sat { input } => assert_eq!(input, PathBuf::from("query.cnf")),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(
+            Command::parse(["sat"]).unwrap_err(),
+            ParseArgsError::MissingInput
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_backend_values() {
+        assert!(matches!(
+            Command::parse(["detect", "x.v", "--backend", "z3"]).unwrap_err(),
+            ParseArgsError::InvalidBackend(_)
+        ));
+        assert!(matches!(
+            Command::parse(["detect", "x.v", "--backend", "dimacs:"]).unwrap_err(),
+            ParseArgsError::InvalidBackend(_)
+        ));
+    }
+
+    #[test]
     fn parses_stats_baselines_table1_and_help() {
-        assert!(matches!(Command::parse(["stats", "x.netlist"]).unwrap(), Command::Stats { .. }));
-        assert!(matches!(Command::parse(["table1"]).unwrap(), Command::Table1));
+        assert!(matches!(
+            Command::parse(["stats", "x.netlist"]).unwrap(),
+            Command::Stats { .. }
+        ));
+        assert!(matches!(
+            Command::parse(["table1"]).unwrap(),
+            Command::Table1
+        ));
         assert!(matches!(Command::parse(["help"]).unwrap(), Command::Help));
         match Command::parse(["baselines", "x.v", "--bound", "16"]).unwrap() {
             Command::Baselines { bound, .. } => assert_eq!(bound, 16),
@@ -228,12 +348,18 @@ mod tests {
 
     #[test]
     fn reports_helpful_errors() {
-        assert_eq!(Command::parse(Vec::<String>::new()).unwrap_err(), ParseArgsError::MissingCommand);
+        assert_eq!(
+            Command::parse(Vec::<String>::new()).unwrap_err(),
+            ParseArgsError::MissingCommand
+        );
         assert_eq!(
             Command::parse(["frobnicate"]).unwrap_err(),
             ParseArgsError::UnknownCommand("frobnicate".into())
         );
-        assert_eq!(Command::parse(["detect"]).unwrap_err(), ParseArgsError::MissingInput);
+        assert_eq!(
+            Command::parse(["detect"]).unwrap_err(),
+            ParseArgsError::MissingInput
+        );
         assert_eq!(
             Command::parse(["detect", "x.v", "--top"]).unwrap_err(),
             ParseArgsError::MissingValue("--top".into())

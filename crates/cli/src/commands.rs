@@ -9,11 +9,14 @@ use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
 use htd_baselines::fanci::{control_value_analysis, FanciOptions};
 use htd_baselines::uci::{unused_circuit_identification, UciOptions};
 use htd_core::replay::replay_counterexample;
-use htd_core::{DetectionOutcome, DetectorConfig, TrojanDetector};
+use htd_core::{
+    DetectError, DetectionOutcome, DetectionReport, DetectorConfig, FlowEvent, SessionBuilder,
+};
 use htd_rtl::export::fanout_dot;
 use htd_rtl::stats::DesignStats;
 use htd_rtl::structural::fanout_levels;
 use htd_rtl::ValidatedDesign;
+use htd_sat::{parse_dimacs, SolveResult, Var};
 use htd_trusthub::registry::Benchmark;
 
 use crate::args::{usage, Command, DetectArgs};
@@ -29,15 +32,22 @@ pub enum CliError {
         /// The underlying message.
         message: String,
     },
-    /// A front-end (Verilog or netlist) rejected the input.
+    /// A front-end (Verilog, netlist or DIMACS) rejected the input.
     Frontend {
         /// The file involved.
         path: PathBuf,
         /// The parse or elaboration error.
         message: String,
     },
-    /// The detection flow itself failed (e.g. a design without inputs).
-    Flow(String),
+    /// The detection flow itself failed.  The underlying [`DetectError`]
+    /// variant is preserved so callers (and exit-code logic) can distinguish
+    /// a configuration problem from a backend failure.
+    Flow(DetectError),
+    /// Replaying a counterexample through the simulator failed.
+    Replay {
+        /// The underlying message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -45,12 +55,28 @@ impl fmt::Display for CliError {
         match self {
             CliError::Io { path, message } => write!(f, "{}: {message}", path.display()),
             CliError::Frontend { path, message } => write!(f, "{}: {message}", path.display()),
-            CliError::Flow(message) => write!(f, "detection flow failed: {message}"),
+            CliError::Flow(error) => write!(f, "detection flow failed: {error}"),
+            CliError::Replay { message } => {
+                write!(f, "counterexample replay failed: {message}")
+            }
         }
     }
 }
 
-impl Error for CliError {}
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Flow(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<DetectError> for CliError {
+    fn from(error: DetectError) -> Self {
+        CliError::Flow(error)
+    }
+}
 
 /// Executes a parsed command and returns the text to print on stdout.
 ///
@@ -71,6 +97,55 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(baselines_text(&design, *bound))
         }
         Command::Table1 => Ok(table1_text()),
+        Command::Sat { input } => sat(input),
+    }
+}
+
+/// Renders one [`FlowEvent`] as a human-readable progress line.
+fn render_event(event: &FlowEvent) -> Option<String> {
+    match event {
+        FlowEvent::LevelStarted { level, signals } => {
+            Some(format!("level {level}: {} signals to prove", signals.len()))
+        }
+        FlowEvent::PropertyProved {
+            property,
+            duration,
+            spurious_resolved,
+        } => {
+            let note = if *spurious_resolved > 0 {
+                format!(" ({spurious_resolved} spurious CEX resolved)")
+            } else {
+                String::new()
+            };
+            Some(format!(
+                "  proved {property} in {:.3}s{note}",
+                duration.as_secs_f64()
+            ))
+        }
+        FlowEvent::CounterexampleFound {
+            property,
+            diffs,
+            spurious,
+        } => Some(format!(
+            "  counterexample for {property} (diverging: {}){}",
+            diffs.join(", "),
+            if *spurious { " — spurious" } else { "" }
+        )),
+        FlowEvent::ResolutionRound {
+            property,
+            round,
+            waived,
+        } => Some(format!(
+            "  re-verifying {property}, round {round} (waived: {})",
+            waived.join(", ")
+        )),
+        FlowEvent::Coverage { covered, uncovered } => Some(if uncovered.is_empty() {
+            format!("coverage check: all {covered} state/output signals covered")
+        } else {
+            format!("coverage check: {} uncovered signal(s)", uncovered.len())
+        }),
+        // Forward compatibility: FlowEvent is non-exhaustive.
+        _ => None,
     }
 }
 
@@ -82,34 +157,100 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
         .iter()
         .filter_map(|name| d.lookup(name))
         .collect::<Vec<_>>();
-    let config = DetectorConfig { benign_state: benign, ..DetectorConfig::default() };
-    let report = TrojanDetector::with_config(&design, config)
-        .map_err(|e| CliError::Flow(e.to_string()))?
-        .run()
-        .map_err(|e| CliError::Flow(e.to_string()))?;
+    let config = DetectorConfig {
+        benign_state: benign,
+        ..DetectorConfig::default()
+    };
+    let mut session = SessionBuilder::new(design.clone())
+        .config(config)
+        .backend(args.backend.clone())
+        .build()?;
+    let report: DetectionReport = if args.progress {
+        eprintln!(
+            "running the detection flow with the `{}` backend",
+            args.backend
+        );
+        session.run_with_observer(&mut |event| {
+            if let Some(line) = render_event(event) {
+                eprintln!("{line}");
+            }
+        })?
+    } else {
+        session.run()?
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "{report}");
+    if args.progress {
+        let stats = session.session_stats();
+        let _ = writeln!(
+            out,
+            "session: {} bit-blast(s), {} properties, {} AIG nodes encoded, {} SAT queries, \
+             {} signals proved structurally",
+            stats.bit_blasts,
+            stats.properties_checked,
+            stats.nodes_encoded,
+            stats.queries,
+            stats.structurally_proved
+        );
+    }
 
     if let Some(dot_path) = &args.dot {
-        std::fs::write(dot_path, fanout_dot(&design))
-            .map_err(|e| CliError::Io { path: dot_path.clone(), message: e.to_string() })?;
+        std::fs::write(dot_path, fanout_dot(&design)).map_err(|e| CliError::Io {
+            path: dot_path.clone(),
+            message: e.to_string(),
+        })?;
         let _ = writeln!(out, "fanout-level graph written to {}", dot_path.display());
     }
     if let Some(prefix) = &args.vcd_prefix {
         if let DetectionOutcome::PropertyFailed { counterexample, .. } = &report.outcome {
-            let replay = replay_counterexample(&design, counterexample)
-                .map_err(|e| CliError::Flow(e.to_string()))?;
-            for (suffix, vcd) in
-                [("instance1", &replay.instance1_vcd), ("instance2", &replay.instance2_vcd)]
-            {
+            let replay =
+                replay_counterexample(&design, counterexample).map_err(|e| CliError::Replay {
+                    message: e.to_string(),
+                })?;
+            for (suffix, vcd) in [
+                ("instance1", &replay.instance1_vcd),
+                ("instance2", &replay.instance2_vcd),
+            ] {
                 let path = PathBuf::from(format!("{}_{suffix}.vcd", prefix.display()));
-                std::fs::write(&path, vcd)
-                    .map_err(|e| CliError::Io { path: path.clone(), message: e.to_string() })?;
+                std::fs::write(&path, vcd).map_err(|e| CliError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
                 let _ = writeln!(out, "counterexample waveform written to {}", path.display());
             }
         } else {
             let _ = writeln!(out, "no counterexample to export (no property failed)");
+        }
+    }
+    Ok(out)
+}
+
+/// `htd sat`: solve a DIMACS file and answer in SAT-competition format, so
+/// `--backend dimacs:` can be pointed at the `htd` binary itself.
+fn sat(input: &PathBuf) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(input).map_err(|e| CliError::Io {
+        path: input.clone(),
+        message: e.to_string(),
+    })?;
+    let mut solver = parse_dimacs(&text).map_err(|e| CliError::Frontend {
+        path: input.clone(),
+        message: e.to_string(),
+    })?;
+    let mut out = String::new();
+    match solver.solve() {
+        SolveResult::Sat => {
+            let _ = writeln!(out, "s SATISFIABLE");
+            let _ = write!(out, "v");
+            for index in 0..solver.num_vars() {
+                let var = Var::from_index(index as u32);
+                let value = solver.value(var).unwrap_or(false);
+                let _ = write!(out, " {}{}", if value { "" } else { "-" }, index + 1);
+            }
+            let _ = writeln!(out, " 0");
+        }
+        SolveResult::Unsat => {
+            let _ = writeln!(out, "s UNSATISFIABLE");
         }
     }
     Ok(out)
@@ -129,21 +270,33 @@ fn stats_text(design: &ValidatedDesign) -> String {
     out
 }
 
+fn run_flow_summary(design: &ValidatedDesign) -> Result<String, DetectError> {
+    let mut session = SessionBuilder::new(design.clone()).build()?;
+    Ok(session.run()?.summary())
+}
+
 fn baselines_text(design: &ValidatedDesign, bound: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "baseline comparison for `{}`", design.design().name());
 
-    let report = TrojanDetector::new(design)
-        .and_then(|detector| detector.run())
-        .map(|r| r.summary())
-        .unwrap_or_else(|e| format!("flow not applicable: {e}"));
+    let report = run_flow_summary(design).unwrap_or_else(|e| format!("flow not applicable: {e}"));
     let _ = writeln!(out, "  IPC flow (paper):       {report}");
 
-    let bmc = bounded_trojan_search(design, &BmcOptions { bound, ..BmcOptions::default() });
+    let bmc = bounded_trojan_search(
+        design,
+        &BmcOptions {
+            bound,
+            ..BmcOptions::default()
+        },
+    );
     let _ = writeln!(
         out,
         "  BMC (bound {bound}):         {} ({} CNF vars, {:.3}s)",
-        if bmc.detected() { "divergence found" } else { "no divergence within the bound" },
+        if bmc.detected() {
+            "divergence found"
+        } else {
+            "no divergence within the bound"
+        },
         bmc.cnf_vars,
         bmc.duration.as_secs_f64()
     );
@@ -176,8 +329,8 @@ fn table1_text() -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<16} {:<10} {:<16} {:<22} {:<22} {}",
-        "Benchmark", "Payload", "Trigger", "Paper: detected by", "Ours: detected by", "Match"
+        "{:<16} {:<10} {:<16} {:<22} {:<22} Match",
+        "Benchmark", "Payload", "Trigger", "Paper: detected by", "Ours: detected by"
     );
     let _ = writeln!(out, "{}", "-".repeat(95));
     for benchmark in Benchmark::table1() {
@@ -187,7 +340,9 @@ fn table1_text() -> String {
             benign_state: benchmark.benign_state(&design),
             ..DetectorConfig::default()
         };
-        let report = TrojanDetector::with_config(&design, config)
+        let report = SessionBuilder::new(design)
+            .config(config)
+            .build()
             .expect("bundled benchmarks are accepted")
             .run()
             .expect("flow completes");
@@ -248,21 +403,82 @@ endmodule
             dot: Some(dot.clone()),
             vcd_prefix: Some(vcd_prefix.clone()),
             benign: vec![],
+            ..DetectArgs::default()
         });
         let output = run(&command).unwrap();
         assert!(output.contains("TROJAN SUSPECTED"), "{output}");
         assert!(std::fs::read_to_string(&dot).unwrap().contains("digraph"));
         let vcd1 = PathBuf::from(format!("{}_instance1.vcd", vcd_prefix.display()));
-        assert!(std::fs::read_to_string(&vcd1).unwrap().contains("$enddefinitions"));
-        for path in [input, dot, vcd1, PathBuf::from(format!("{}_instance2.vcd", vcd_prefix.display()))] {
+        assert!(std::fs::read_to_string(&vcd1)
+            .unwrap()
+            .contains("$enddefinitions"));
+        for path in [
+            input,
+            dot,
+            vcd1,
+            PathBuf::from(format!("{}_instance2.vcd", vcd_prefix.display())),
+        ] {
             std::fs::remove_file(path).ok();
         }
     }
 
     #[test]
+    fn detect_with_progress_reports_session_statistics() {
+        let input = write_temp("htd_cli_detect_progress_input.v", INFECTED);
+        let command = Command::Detect(DetectArgs {
+            input: input.clone(),
+            progress: true,
+            ..DetectArgs::default()
+        });
+        let output = run(&command).unwrap();
+        assert!(output.contains("session: 1 bit-blast(s)"), "{output}");
+        std::fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn missing_dimacs_backend_preserves_the_detect_error_variant() {
+        let input = write_temp("htd_cli_detect_backend_input.v", INFECTED);
+        let command = Command::Detect(DetectArgs {
+            input: input.clone(),
+            backend: htd_core::BackendChoice::dimacs("/nonexistent/solver"),
+            ..DetectArgs::default()
+        });
+        let err = run(&command).unwrap_err();
+        match err {
+            CliError::Flow(DetectError::Backend { .. }) => {}
+            other => panic!("expected Flow(Backend), got {other:?}"),
+        }
+        std::fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn sat_subcommand_answers_in_competition_format() {
+        let sat_file = write_temp("htd_cli_sat.cnf", "p cnf 2 2\n1 2 0\n-1 0\n");
+        let output = run(&Command::Sat {
+            input: sat_file.clone(),
+        })
+        .unwrap();
+        assert!(output.starts_with("s SATISFIABLE"), "{output}");
+        assert!(output.contains("v "), "{output}");
+        std::fs::remove_file(sat_file).ok();
+
+        let unsat_file = write_temp("htd_cli_unsat.cnf", "p cnf 1 2\n1 0\n-1 0\n");
+        let output = run(&Command::Sat {
+            input: unsat_file.clone(),
+        })
+        .unwrap();
+        assert_eq!(output.trim(), "s UNSATISFIABLE");
+        std::fs::remove_file(unsat_file).ok();
+    }
+
+    #[test]
     fn stats_lists_the_fanout_levels() {
         let input = write_temp("htd_cli_stats_input.v", INFECTED);
-        let output = run(&Command::Stats { input: input.clone(), top: None }).unwrap();
+        let output = run(&Command::Stats {
+            input: input.clone(),
+            top: None,
+        })
+        .unwrap();
         assert!(output.contains("fanouts_CC1"), "{output}");
         assert!(output.contains("leaky"));
         std::fs::remove_file(input).ok();
@@ -271,8 +487,12 @@ endmodule
     #[test]
     fn baselines_report_all_four_techniques() {
         let input = write_temp("htd_cli_baselines_input.v", INFECTED);
-        let output =
-            run(&Command::Baselines { input: input.clone(), top: None, bound: 4 }).unwrap();
+        let output = run(&Command::Baselines {
+            input: input.clone(),
+            top: None,
+            bound: 4,
+        })
+        .unwrap();
         assert!(output.contains("IPC flow"));
         assert!(output.contains("BMC (bound 4)"));
         assert!(output.contains("UCI"));
@@ -284,5 +504,6 @@ endmodule
     fn help_prints_usage() {
         let output = run(&Command::Help).unwrap();
         assert!(output.contains("USAGE"));
+        assert!(output.contains("--backend"));
     }
 }

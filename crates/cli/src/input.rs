@@ -22,7 +22,12 @@ impl InputFormat {
     /// Chooses the format from a file extension.
     #[must_use]
     pub fn from_path(path: &Path) -> InputFormat {
-        match path.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref() {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(str::to_ascii_lowercase)
+            .as_deref()
+        {
             Some("v" | "sv" | "vh") => InputFormat::Verilog,
             _ => InputFormat::Netlist,
         }
@@ -45,19 +50,25 @@ impl fmt::Display for InputFormat {
 /// Returns a [`CliError`] for I/O problems and for parse or elaboration
 /// errors of the selected front-end.
 pub fn load_design(path: &Path, top: Option<&str>) -> Result<ValidatedDesign, CliError> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io { path: path.to_path_buf(), message: e.to_string() })?;
+    let source = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
     match InputFormat::from_path(path) {
         InputFormat::Verilog => {
             let options = ElaborateOptions {
                 top: top.map(str::to_string),
                 ..ElaborateOptions::default()
             };
-            htd_verilog::compile_with_options(&source, &options)
-                .map_err(|e| CliError::Frontend { path: path.to_path_buf(), message: e.to_string() })
+            htd_verilog::compile_with_options(&source, &options).map_err(|e| CliError::Frontend {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })
         }
-        InputFormat::Netlist => netlist::parse(&source)
-            .map_err(|e| CliError::Frontend { path: path.to_path_buf(), message: e.to_string() }),
+        InputFormat::Netlist => netlist::parse(&source).map_err(|e| CliError::Frontend {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }),
     }
 }
 
@@ -68,9 +79,18 @@ mod tests {
 
     #[test]
     fn formats_are_selected_by_extension() {
-        assert_eq!(InputFormat::from_path(Path::new("a.v")), InputFormat::Verilog);
-        assert_eq!(InputFormat::from_path(Path::new("a.SV")), InputFormat::Verilog);
-        assert_eq!(InputFormat::from_path(Path::new("a.netlist")), InputFormat::Netlist);
+        assert_eq!(
+            InputFormat::from_path(Path::new("a.v")),
+            InputFormat::Verilog
+        );
+        assert_eq!(
+            InputFormat::from_path(Path::new("a.SV")),
+            InputFormat::Verilog
+        );
+        assert_eq!(
+            InputFormat::from_path(Path::new("a.netlist")),
+            InputFormat::Netlist
+        );
         assert_eq!(InputFormat::from_path(Path::new("a")), InputFormat::Netlist);
         assert_eq!(InputFormat::Verilog.to_string(), "Verilog");
     }
@@ -105,7 +125,10 @@ mod tests {
         let netlist_path = dir.join("htd_cli_test_adder.netlist");
         std::fs::write(&netlist_path, htd_rtl::netlist::dump(&design)).unwrap();
         let reloaded = load_design(&netlist_path, None).unwrap();
-        assert_eq!(reloaded.design().registers().len(), design.design().registers().len());
+        assert_eq!(
+            reloaded.design().registers().len(),
+            design.design().registers().len()
+        );
 
         std::fs::remove_file(v_path).ok();
         std::fs::remove_file(netlist_path).ok();

@@ -8,10 +8,17 @@
 //! htd detect design.v             # run Algorithm 1 on a Verilog module
 //! htd detect design.netlist       # … or on the textual netlist format
 //! htd detect design.v --dot g.dot --vcd cex   # also export analysis artefacts
+//! htd detect design.v --progress  # stream per-property progress to stderr
+//! htd detect design.v --backend dimacs:/usr/bin/kissat   # external SAT solver
 //! htd stats design.v              # design statistics and fanout levels
 //! htd table1                      # regenerate Table I of the paper
 //! htd baselines design.v          # run the baseline detectors for comparison
+//! htd sat query.cnf               # solve a DIMACS file (competition output)
 //! ```
+//!
+//! `detect` runs through a [`htd_core::DetectionSession`]: one incremental
+//! miter encoding serves every property of the flow, and `--progress` taps
+//! the session's streaming [`htd_core::FlowEvent`] API.
 //!
 //! Argument parsing is hand-rolled (the toolkit has no CLI dependencies);
 //! [`Command::parse`] turns `argv` into a structured command and

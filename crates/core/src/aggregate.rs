@@ -63,7 +63,7 @@ pub fn check_trojan_property_with_options(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DetectionOutcome, TrojanDetector};
+    use crate::{DetectionOutcome, SessionBuilder};
     use htd_rtl::Design;
 
     fn clean_design() -> ValidatedDesign {
@@ -121,7 +121,11 @@ mod tests {
     fn theorem_1_decomposition_agrees_with_aggregate_on_both_designs() {
         for design in [clean_design(), infected_design()] {
             let aggregate_fails = !check_trojan_property(&design).holds();
-            let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+            let report = SessionBuilder::new(design.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
             let decomposed_fails =
                 matches!(report.outcome, DetectionOutcome::PropertyFailed { .. });
             assert_eq!(

@@ -66,8 +66,7 @@ pub fn diagnose(
     let waiver_set: BTreeSet<SignalId> = waivers.iter().copied().collect();
 
     // Registers whose starting state differs between the instances.
-    let differing: BTreeSet<SignalId> =
-        cex.differing_state().iter().map(|p| p.signal).collect();
+    let differing: BTreeSet<SignalId> = cex.differing_state().iter().map(|p| p.signal).collect();
 
     // Fanin cone (up to two sequential levels, to also cover outputs proven
     // at t+1 whose value depends on registers updated at t+1) of the
@@ -75,7 +74,9 @@ pub fn diagnose(
     let mut fanin: BTreeSet<SignalId> = BTreeSet::new();
     for diff in &cex.diffs {
         let info = d.signal_info(diff.signal);
-        let Some(driver) = info.driver() else { continue };
+        let Some(driver) = info.driver() else {
+            continue;
+        };
         let direct = combinational_support(design, driver);
         for &sig in &direct {
             fanin.insert(sig);
@@ -93,10 +94,16 @@ pub fn diagnose(
         .copied()
         .filter(|s| fanin.contains(s) && !assumed.contains(s))
         .collect();
-    let (waived, unwaived): (Vec<SignalId>, Vec<SignalId>) =
-        candidates.iter().copied().partition(|s| waiver_set.contains(s));
+    let (waived, unwaived): (Vec<SignalId>, Vec<SignalId>) = candidates
+        .iter()
+        .copied()
+        .partition(|s| waiver_set.contains(s));
 
-    Diagnosis { candidates, waived, unwaived }
+    Diagnosis {
+        candidates,
+        waived,
+        unwaived,
+    }
 }
 
 /// Renders a diagnosis as a short human-readable explanation.
@@ -104,7 +111,10 @@ pub fn diagnose(
 pub fn explain(design: &ValidatedDesign, diagnosis: &Diagnosis) -> String {
     let d = design.design();
     let names = |sigs: &[SignalId]| -> String {
-        sigs.iter().map(|&s| d.signal_name(s)).collect::<Vec<_>>().join(", ")
+        sigs.iter()
+            .map(|&s| d.signal_name(s))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     if diagnosis.candidates.is_empty() {
         "no differing starting-state register explains the divergence; the payload logic \
@@ -167,7 +177,11 @@ mod tests {
         let checker = PropertyChecker::new(&design);
         let prop = IntervalProperty::new("init_property", vec![], vec![result]);
         let report = checker.check(&prop);
-        let cex = report.outcome.counterexample().expect("property must fail").clone();
+        let cex = report
+            .outcome
+            .counterexample()
+            .expect("property must fail")
+            .clone();
         let diag = diagnose(&design, &cex, &prop.assume_equal, &[]);
         // The diverging `result` can be explained by `mode` and/or `trigger`
         // (whichever the solver chose to make different).
@@ -185,7 +199,11 @@ mod tests {
         let checker = PropertyChecker::new(&design);
         let prop = IntervalProperty::new("init_property", vec![], vec![result]);
         let report = checker.check(&prop);
-        let cex = report.outcome.counterexample().expect("property must fail").clone();
+        let cex = report
+            .outcome
+            .counterexample()
+            .expect("property must fail")
+            .clone();
         let diag = diagnose(&design, &cex, &prop.assume_equal, &[mode, trigger]);
         assert!(diag.is_spurious());
         assert!(diag.unwaived.is_empty());
@@ -200,7 +218,11 @@ mod tests {
         // explained by the trigger alone.
         let prop = IntervalProperty::new("fanout_property_1", vec![mode], vec![result]);
         let report = checker.check(&prop);
-        let cex = report.outcome.counterexample().expect("property must fail").clone();
+        let cex = report
+            .outcome
+            .counterexample()
+            .expect("property must fail")
+            .clone();
         let diag = diagnose(&design, &cex, &prop.assume_equal, &[]);
         assert_eq!(diag.candidates, vec![trigger]);
     }

@@ -28,6 +28,21 @@ pub enum DetectError {
         /// The configured limit.
         limit: usize,
     },
+    /// The detector configuration is self-contradictory (e.g. a zero
+    /// iteration budget, which would make every run die with
+    /// [`IterationLimit`](Self::IterationLimit) or
+    /// [`ResolutionLimit`](Self::ResolutionLimit)).
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// The SAT backend failed (only process backends can fail — e.g. the
+    /// external solver binary is missing or speaks a different output
+    /// format).
+    Backend {
+        /// The underlying backend error.
+        message: String,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -44,6 +59,10 @@ impl fmt::Display for DetectError {
                 f,
                 "spurious-counterexample resolution limit of {limit} exceeded for {property}"
             ),
+            DetectError::InvalidConfig { reason } => {
+                write!(f, "invalid detector configuration: {reason}")
+            }
+            DetectError::Backend { message } => write!(f, "SAT backend failed: {message}"),
         }
     }
 }
@@ -57,10 +76,15 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         assert!(DetectError::NoInputs.to_string().contains("inputs"));
-        assert!(DetectError::IterationLimit { limit: 3 }.to_string().contains('3'));
-        assert!(DetectError::ResolutionLimit { property: "fanout_property_2".into(), limit: 5 }
+        assert!(DetectError::IterationLimit { limit: 3 }
             .to_string()
-            .contains("fanout_property_2"));
+            .contains('3'));
+        assert!(DetectError::ResolutionLimit {
+            property: "fanout_property_2".into(),
+            limit: 5
+        }
+        .to_string()
+        .contains("fanout_property_2"));
     }
 
     #[test]

@@ -1,15 +1,20 @@
-//! The iterative detection flow (Algorithm 1 of the paper).
+//! Detector configuration and the legacy borrow-tied detector shim.
+//!
+//! The flow itself (Algorithm 1 of the paper) lives in
+//! [`crate::session::run_flow`] and is shared between the incremental
+//! [`DetectionSession`](crate::DetectionSession) — the primary entry point —
+//! and the deprecated [`TrojanDetector`] kept here for backward
+//! compatibility and as the *fresh-solve reference path*: it rebuilds the
+//! AIG, the CNF and the SAT solver for every property, which the
+//! equivalence tests and the `property_runtime` benchmark compare the
+//! session path against.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
-
-use htd_ipc::{CheckOutcome, CheckerOptions, IntervalProperty, PropertyChecker, PropertyReport};
-use htd_rtl::structural::{get_fanout, uncovered_signals};
+use htd_ipc::{CheckerOptions, IntervalProperty, PropertyChecker, PropertyReport};
 use htd_rtl::{SignalId, ValidatedDesign};
 
-use crate::diagnosis::{diagnose, Diagnosis};
 use crate::error::DetectError;
-use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+use crate::report::DetectionReport;
+use crate::session::{run_flow, validate_config, validate_design, PropertyEngine};
 
 /// Configuration of the detection flow.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,11 +36,11 @@ pub struct DetectorConfig {
     /// assumptions for them and re-verifies instead of reporting a Trojan.
     pub benign_state: Vec<SignalId>,
     /// Maximum number of spurious-counterexample resolution rounds per
-    /// property.
+    /// property.  Must be at least 1.
     pub max_resolution_iterations: usize,
     /// Safety bound on the number of fanout iterations (the loop is bounded
     /// by the structural depth of the design; this limit only guards against
-    /// configuration errors).
+    /// configuration errors).  Must be at least 1.
     pub max_flow_iterations: usize,
 }
 
@@ -51,15 +56,49 @@ impl Default for DetectorConfig {
     }
 }
 
-/// The golden-free Trojan detector: Algorithm 1 of the paper.
+/// The legacy fresh-solve engine: one `PropertyChecker` encoding (AIG + CNF +
+/// solver) per property check.
+pub(crate) struct LegacyEngine {
+    options: CheckerOptions,
+}
+
+impl LegacyEngine {
+    pub(crate) fn new(options: CheckerOptions) -> Self {
+        LegacyEngine { options }
+    }
+}
+
+impl PropertyEngine for LegacyEngine {
+    fn check(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+    ) -> Result<PropertyReport, DetectError> {
+        Ok(PropertyChecker::with_options(design, self.options).check(property))
+    }
+}
+
+/// The golden-free Trojan detector: Algorithm 1 of the paper, re-encoding the
+/// miter for every property.
 ///
-/// See the [crate-level documentation](crate) for an end-to-end example.
+/// Deprecated: [`SessionBuilder`](crate::SessionBuilder) /
+/// [`DetectionSession`](crate::DetectionSession) run the same flow against
+/// one live incremental miter encoding (one bit-blast per run instead of one
+/// per property), own their design, support pluggable SAT backends and
+/// stream [`FlowEvent`](crate::FlowEvent)s.  This type remains as the
+/// fresh-solve reference path for equivalence tests and benchmarks.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SessionBuilder`/`DetectionSession`; the session path bit-blasts once per run \
+            instead of once per property"
+)]
 #[derive(Debug)]
 pub struct TrojanDetector<'a> {
     design: &'a ValidatedDesign,
     config: DetectorConfig,
 }
 
+#[allow(deprecated)]
 impl<'a> TrojanDetector<'a> {
     /// Creates a detector with the default configuration.
     ///
@@ -75,18 +114,14 @@ impl<'a> TrojanDetector<'a> {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`new`](Self::new).
+    /// Same conditions as [`new`](Self::new), plus
+    /// [`DetectError::InvalidConfig`] for zero iteration budgets.
     pub fn with_config(
         design: &'a ValidatedDesign,
         config: DetectorConfig,
     ) -> Result<Self, DetectError> {
-        let d = design.design();
-        if d.inputs().is_empty() {
-            return Err(DetectError::NoInputs);
-        }
-        if d.state_and_output_signals().is_empty() {
-            return Err(DetectError::NoStateOrOutputs);
-        }
+        validate_design(design)?;
+        validate_config(&config)?;
         Ok(TrojanDetector { design, config })
     }
 
@@ -110,184 +145,16 @@ impl<'a> TrojanDetector<'a> {
     /// [`DetectError::ResolutionLimit`] when the configured safety bounds are
     /// exceeded (which indicates a configuration problem, not a Trojan).
     pub fn run(&self) -> Result<DetectionReport, DetectError> {
-        let start = Instant::now();
-        let d = self.design.design();
-        let checker = PropertyChecker::with_options(self.design, self.config.checker);
-        let names = |sigs: &[SignalId]| -> Vec<String> {
-            sigs.iter().map(|&s| d.signal_name(s).to_string()).collect()
-        };
-
-        let mut fanout_levels: Vec<Vec<String>> = Vec::new();
-        let mut properties: Vec<PropertyTrace> = Vec::new();
-        let mut spurious_total = 0usize;
-
-        // Step 1: fanouts_CC1 and the init property.
-        let inputs = d.inputs();
-        let fanouts_cc1 = get_fanout(self.design, &inputs);
-        fanout_levels.push(names(&fanouts_cc1));
-        let init = IntervalProperty::new("init_property", Vec::new(), fanouts_cc1.clone());
-        let (trace, failed) = self.check_with_resolution(&checker, init)?;
-        spurious_total += trace.spurious_resolved;
-        properties.push(trace);
-        if let Some(cex) = failed {
-            return Ok(self.report(
-                DetectionOutcome::PropertyFailed {
-                    detected_by: DetectedBy::InitProperty,
-                    counterexample: Box::new(cex),
-                },
-                fanout_levels,
-                properties,
-                spurious_total,
-                start,
-            ));
-        }
-
-        // Step 2: iterate fanout properties until no new signal is reached.
-        let mut fanouts_all: BTreeSet<SignalId> = BTreeSet::new();
-        let mut fanouts_cck = fanouts_cc1;
-        let mut k = 1usize;
-        loop {
-            if k > self.config.max_flow_iterations {
-                return Err(DetectError::IterationLimit {
-                    limit: self.config.max_flow_iterations,
-                });
-            }
-            fanouts_all.extend(fanouts_cck.iter().copied());
-            let fanouts_next = get_fanout(self.design, &fanouts_cck);
-            // Termination (Alg. 1, line 16): stop when the next level adds no
-            // new signal.
-            let adds_new = fanouts_next.iter().any(|s| !fanouts_all.contains(s));
-            if !adds_new {
-                break;
-            }
-            fanout_levels.push(names(&fanouts_next));
-            let mut assume = fanouts_cck.clone();
-            if self.config.assume_previously_proven {
-                for &s in &fanouts_all {
-                    if !assume.contains(&s) {
-                        assume.push(s);
-                    }
-                }
-            }
-            let property = IntervalProperty::new(
-                format!("fanout_property_{k}"),
-                assume,
-                fanouts_next.clone(),
-            );
-            let (trace, failed) = self.check_with_resolution(&checker, property)?;
-            spurious_total += trace.spurious_resolved;
-            properties.push(trace);
-            if let Some(cex) = failed {
-                return Ok(self.report(
-                    DetectionOutcome::PropertyFailed {
-                        detected_by: DetectedBy::FanoutProperty(k),
-                        counterexample: Box::new(cex),
-                    },
-                    fanout_levels,
-                    properties,
-                    spurious_total,
-                    start,
-                ));
-            }
-            fanouts_cck = fanouts_next;
-            k += 1;
-        }
-
-        // Step 3: signal-coverage check (case 2 of Sec. IV-D).
-        let covered: Vec<SignalId> = fanouts_all.iter().copied().collect();
-        let uncovered = uncovered_signals(self.design, &covered);
-        let outcome = if uncovered.is_empty() {
-            DetectionOutcome::Secure
-        } else {
-            DetectionOutcome::UncoveredSignals { signals: names(&uncovered) }
-        };
-        Ok(self.report(outcome, fanout_levels, properties, spurious_total, start))
-    }
-
-    /// Checks one property, resolving spurious counterexamples by adding
-    /// equality assumptions for waived benign state (Sec. V-B).
-    ///
-    /// Returns the property trace and, if the property still fails after
-    /// resolution, the counterexample.
-    fn check_with_resolution(
-        &self,
-        checker: &PropertyChecker<'_>,
-        property: IntervalProperty,
-    ) -> Result<(PropertyTrace, Option<htd_ipc::Counterexample>), DetectError> {
-        let d = self.design.design();
-        let proves: Vec<String> =
-            property.prove_equal.iter().map(|&s| d.signal_name(s).to_string()).collect();
-        let mut current = property;
-        let mut resolved = 0usize;
-        loop {
-            let report: PropertyReport = checker.check(&current);
-            match &report.outcome {
-                CheckOutcome::Holds => {
-                    return Ok((
-                        PropertyTrace {
-                            name: current.name.clone(),
-                            proves,
-                            report,
-                            spurious_resolved: resolved,
-                        },
-                        None,
-                    ));
-                }
-                CheckOutcome::Fails(cex) => {
-                    let diag: Diagnosis = diagnose(
-                        self.design,
-                        cex,
-                        &current.assume_equal,
-                        &self.config.benign_state,
-                    );
-                    if diag.is_spurious() {
-                        if resolved >= self.config.max_resolution_iterations {
-                            return Err(DetectError::ResolutionLimit {
-                                property: current.name.clone(),
-                                limit: self.config.max_resolution_iterations,
-                            });
-                        }
-                        resolved += 1;
-                        current = current.with_extra_assumptions(&diag.waived);
-                        continue;
-                    }
-                    let cex = (**cex).clone();
-                    return Ok((
-                        PropertyTrace {
-                            name: current.name.clone(),
-                            proves,
-                            report,
-                            spurious_resolved: resolved,
-                        },
-                        Some(cex),
-                    ));
-                }
-            }
-        }
-    }
-
-    fn report(
-        &self,
-        outcome: DetectionOutcome,
-        fanout_levels: Vec<Vec<String>>,
-        properties: Vec<PropertyTrace>,
-        spurious_resolved: usize,
-        start: Instant,
-    ) -> DetectionReport {
-        DetectionReport {
-            design: self.design.design().name().to_string(),
-            outcome,
-            fanout_levels,
-            properties,
-            spurious_resolved,
-            total_duration: start.elapsed(),
-        }
+        let mut engine = LegacyEngine::new(self.config.checker);
+        run_flow(self.design, &self.config, &mut engine, &mut |_| {})
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::report::{DetectedBy, DetectionOutcome};
     use htd_rtl::Design;
 
     /// A clean 3-stage pass-through pipeline: in -> s1 -> s2 -> out.
@@ -371,7 +238,10 @@ mod tests {
         let design = infected_pipeline();
         let report = TrojanDetector::new(&design).unwrap().run().unwrap();
         match &report.outcome {
-            DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+            DetectionOutcome::PropertyFailed {
+                detected_by,
+                counterexample,
+            } => {
                 // s2 is two cycles from the inputs: the divergence appears in
                 // fanout property 1 (s1 -> s2).
                 assert_eq!(*detected_by, DetectedBy::FanoutProperty(1));
@@ -390,7 +260,10 @@ mod tests {
         let design = input_triggered_design();
         let report = TrojanDetector::new(&design).unwrap().run().unwrap();
         match &report.outcome {
-            DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+            DetectionOutcome::PropertyFailed {
+                detected_by,
+                counterexample,
+            } => {
                 assert_eq!(*detected_by, DetectedBy::InitProperty);
                 assert!(!counterexample.diffs.is_empty());
             }
@@ -405,7 +278,10 @@ mod tests {
         match &report.outcome {
             DetectionOutcome::UncoveredSignals { signals } => {
                 assert_eq!(signals, &vec!["timer".to_string()]);
-                assert_eq!(report.outcome.detected_by(), Some(DetectedBy::CoverageCheck));
+                assert_eq!(
+                    report.outcome.detected_by(),
+                    Some(DetectedBy::CoverageCheck)
+                );
             }
             other => panic!("expected uncovered signals, got {other:?}"),
         }
@@ -432,8 +308,14 @@ mod tests {
         let without = TrojanDetector::new(&design).unwrap().run().unwrap();
         assert!(!without.outcome.is_secure());
 
-        let config = DetectorConfig { benign_state: vec![mode_id], ..DetectorConfig::default() };
-        let with = TrojanDetector::with_config(&design, config).unwrap().run().unwrap();
+        let config = DetectorConfig {
+            benign_state: vec![mode_id],
+            ..DetectorConfig::default()
+        };
+        let with = TrojanDetector::with_config(&design, config)
+            .unwrap()
+            .run()
+            .unwrap();
         // `mode` itself is never reached from the inputs, so after resolving
         // the spurious counterexample the coverage check still points at it —
         // which is correct behaviour (the engineer must inspect it), but the
@@ -455,7 +337,10 @@ mod tests {
         d.set_register_next(r, n).unwrap();
         d.add_output("o", d.signal(r)).unwrap();
         let design = d.validated().unwrap();
-        assert_eq!(TrojanDetector::new(&design).unwrap_err(), DetectError::NoInputs);
+        assert_eq!(
+            TrojanDetector::new(&design).unwrap_err(),
+            DetectError::NoInputs
+        );
     }
 
     #[test]
@@ -463,7 +348,27 @@ mod tests {
         let mut d = Design::new("only_inputs");
         d.add_input("a", 1).unwrap();
         let design = d.validated().unwrap();
-        assert_eq!(TrojanDetector::new(&design).unwrap_err(), DetectError::NoStateOrOutputs);
+        assert_eq!(
+            TrojanDetector::new(&design).unwrap_err(),
+            DetectError::NoStateOrOutputs
+        );
+    }
+
+    #[test]
+    fn detector_rejects_zero_iteration_budgets() {
+        let design = clean_pipeline();
+        for (resolution, flow) in [(0usize, 4096usize), (16, 0)] {
+            let config = DetectorConfig {
+                max_resolution_iterations: resolution,
+                max_flow_iterations: flow,
+                ..DetectorConfig::default()
+            };
+            let err = TrojanDetector::with_config(&design, config).unwrap_err();
+            assert!(
+                matches!(err, DetectError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -482,11 +387,16 @@ mod tests {
     fn disabling_variable_sharing_gives_the_same_verdicts() {
         for design in [clean_pipeline(), infected_pipeline()] {
             let config = DetectorConfig {
-                checker: CheckerOptions { share_assumed_equal: false },
+                checker: CheckerOptions {
+                    share_assumed_equal: false,
+                },
                 ..DetectorConfig::default()
             };
             let shared = TrojanDetector::new(&design).unwrap().run().unwrap();
-            let unshared = TrojanDetector::with_config(&design, config).unwrap().run().unwrap();
+            let unshared = TrojanDetector::with_config(&design, config)
+                .unwrap()
+                .run()
+                .unwrap();
             assert_eq!(
                 shared.outcome.is_secure(),
                 unshared.outcome.is_secure(),

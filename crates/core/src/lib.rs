@@ -25,10 +25,32 @@
 //! in any state or output signal (Sec. IV-D), which includes the RTL artefacts
 //! of physical side channels.
 //!
+//! # Architecture
+//!
+//! The primary entry point is the **session API**:
+//!
+//! * [`SessionBuilder`] — configures a run: an owned design, a
+//!   [`DetectorConfig`] and a [`BackendChoice`] (bundled CDCL solver or an
+//!   external DIMACS-speaking binary).
+//! * [`DetectionSession`] — owns one live, incremental miter encoding
+//!   ([`htd_ipc::MiterSession`]) and runs Algorithm 1 against it: the whole
+//!   init/fanout/coverage sequence performs **one** bit-blast, expresses each
+//!   property's antecedent through solver assumptions and starting-state
+//!   variable sharing, and keeps the backend's learnt clauses alive across
+//!   properties and re-verification rounds.
+//! * [`FlowEvent`] — the streaming observer API: per-level, per-property and
+//!   per-counterexample progress while the flow runs (ordering contract
+//!   documented on the type); consumed by the CLI for live output and by the
+//!   benchmark harness for per-property timing.
+//!
+//! The deprecated [`TrojanDetector`] remains as the borrow-tied, re-encode-
+//! per-property reference path; it runs the exact same flow skeleton, so the
+//! equivalence suite can compare the two.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use htd_core::{DetectionOutcome, TrojanDetector};
+//! use htd_core::{DetectionOutcome, FlowEvent, SessionBuilder};
 //! use htd_rtl::Design;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,9 +68,15 @@
 //! let payload = d.xor(d.signal(data_in), flip)?;
 //! d.set_register_next(result, payload)?;
 //! d.add_output("data_out", d.signal(result))?;
-//! let design = d.validated()?;
 //!
-//! let report = TrojanDetector::new(&design)?.run()?;
+//! let mut session = SessionBuilder::new(d.validated()?).build()?;
+//! // Optional: watch the flow as it runs.
+//! session.on_event(|event| {
+//!     if let FlowEvent::CounterexampleFound { property, .. } = event {
+//!         eprintln!("divergence found by {property}");
+//!     }
+//! });
+//! let report = session.run()?;
 //! match report.outcome {
 //!     DetectionOutcome::PropertyFailed { ref detected_by, .. } => {
 //!         // The divergence shows up one cycle after the inputs: init property.
@@ -56,6 +84,8 @@
 //!     }
 //!     ref other => panic!("expected a detection, got {other:?}"),
 //! }
+//! // One bit-blast served the whole flow.
+//! assert_eq!(session.session_stats().bit_blasts, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -69,7 +99,11 @@ mod error;
 mod flow;
 pub mod replay;
 mod report;
+mod session;
 
 pub use error::DetectError;
-pub use flow::{DetectorConfig, TrojanDetector};
+pub use flow::DetectorConfig;
+#[allow(deprecated)]
+pub use flow::TrojanDetector;
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+pub use session::{BackendChoice, DetectionSession, FlowEvent, SessionBuilder};

@@ -83,7 +83,11 @@ pub fn replay_counterexample(
     for instance in 0..2 {
         let mut sim = Simulator::new(design);
         for state in &cex.starting_state {
-            let value = if instance == 0 { state.instance1 } else { state.instance2 };
+            let value = if instance == 0 {
+                state.instance1
+            } else {
+                state.instance2
+            };
             sim.set_register(state.signal, value)?;
         }
         let mut recorder = TraceRecorder::all_signals(design);
@@ -95,8 +99,13 @@ pub fn replay_counterexample(
             sim.step()?;
         }
         recorder.record(&sim);
-        final_values
-            .push(recorder.signals().iter().map(|&s| sim.peek(s)).collect::<Vec<u128>>());
+        final_values.push(
+            recorder
+                .signals()
+                .iter()
+                .map(|&s| sim.peek(s))
+                .collect::<Vec<u128>>(),
+        );
         recorders.push(recorder);
     }
 
@@ -110,13 +119,17 @@ pub fn replay_counterexample(
 
     let instance2_vcd = recorders.pop().expect("two instances").to_vcd("instance2");
     let instance1_vcd = recorders.pop().expect("two instances").to_vcd("instance1");
-    Ok(ReplayedCounterexample { instance1_vcd, instance2_vcd, diverging_signals })
+    Ok(ReplayedCounterexample {
+        instance1_vcd,
+        instance2_vcd,
+        diverging_signals,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DetectionOutcome, TrojanDetector};
+    use crate::{DetectionOutcome, SessionBuilder};
     use htd_rtl::Design;
 
     fn infected_design() -> ValidatedDesign {
@@ -137,7 +150,11 @@ mod tests {
     #[test]
     fn replay_confirms_the_divergence_the_prover_reported() {
         let design = infected_design();
-        let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+        let report = SessionBuilder::new(design.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         let DetectionOutcome::PropertyFailed { counterexample, .. } = &report.outcome else {
             panic!("expected a detection, got {:?}", report.outcome);
         };

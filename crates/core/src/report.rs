@@ -123,7 +123,10 @@ impl DetectionReport {
     pub fn summary(&self) -> String {
         match &self.outcome {
             DetectionOutcome::Secure => format!("{}: SECURE", self.design),
-            DetectionOutcome::PropertyFailed { detected_by, counterexample } => format!(
+            DetectionOutcome::PropertyFailed {
+                detected_by,
+                counterexample,
+            } => format!(
                 "{}: trojan suspected ({}; diverging: {})",
                 self.design,
                 detected_by,
@@ -157,12 +160,19 @@ impl fmt::Display for DetectionReport {
                 trace.proves.len(),
                 trace.report.stats.aig_nodes,
                 trace.report.stats.duration.as_secs_f64(),
-                if trace.report.holds() { "holds" } else { "FAILS" }
+                if trace.report.holds() {
+                    "holds"
+                } else {
+                    "FAILS"
+                }
             )?;
         }
         match &self.outcome {
             DetectionOutcome::Secure => writeln!(f, "  verdict: SECURE")?,
-            DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+            DetectionOutcome::PropertyFailed {
+                detected_by,
+                counterexample,
+            } => {
                 writeln!(f, "  verdict: TROJAN SUSPECTED (detected by {detected_by})")?;
                 write!(f, "{counterexample}")?;
             }
@@ -182,7 +192,10 @@ mod tests {
     #[test]
     fn detected_by_display_matches_table_terms() {
         assert_eq!(DetectedBy::InitProperty.to_string(), "init_property");
-        assert_eq!(DetectedBy::FanoutProperty(21).to_string(), "fanout_property_21");
+        assert_eq!(
+            DetectedBy::FanoutProperty(21).to_string(),
+            "fanout_property_21"
+        );
         assert_eq!(DetectedBy::CoverageCheck.to_string(), "coverage_check");
     }
 
@@ -190,7 +203,9 @@ mod tests {
     fn outcome_helpers() {
         assert!(DetectionOutcome::Secure.is_secure());
         assert_eq!(DetectionOutcome::Secure.detected_by(), None);
-        let uncovered = DetectionOutcome::UncoveredSignals { signals: vec!["timer".into()] };
+        let uncovered = DetectionOutcome::UncoveredSignals {
+            signals: vec!["timer".into()],
+        };
         assert!(!uncovered.is_secure());
         assert_eq!(uncovered.detected_by(), Some(DetectedBy::CoverageCheck));
     }

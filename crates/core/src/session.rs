@@ -1,0 +1,794 @@
+//! The session-based detection engine: the primary entry point of the flow.
+//!
+//! A [`DetectionSession`] owns the design, the configuration and one live
+//! incremental miter encoding ([`MiterSession`]) and runs Algorithm 1 against
+//! it: the whole init/fanout/coverage sequence performs **one** bit-blast and
+//! reuses one SAT backend across every property and every spurious-
+//! counterexample re-verification round.  Sessions are built with
+//! [`SessionBuilder`], which also selects the SAT backend
+//! ([`BackendChoice`]): the bundled CDCL solver or any external
+//! DIMACS-speaking solver binary.
+//!
+//! Progress is observable while the flow runs through the streaming
+//! [`FlowEvent`] API: register an observer with
+//! [`DetectionSession::on_event`] (or pass one to
+//! [`DetectionSession::run_with_observer`]) and receive one event per fanout
+//! level, proved property, counterexample, resolution round and coverage
+//! verdict.  The CLI renders these live; the benchmark harness uses them for
+//! per-property timing without instrumenting the flow.
+//!
+//! # Event contract
+//!
+//! For one [`run`](DetectionSession::run) the observer sees, in order:
+//!
+//! 1. [`FlowEvent::LevelStarted`] for level `k` (1-based; level 1 is
+//!    `fanouts_CC1`, proved by the init property), followed by the events of
+//!    the property that proves the level:
+//!    * zero or more [`FlowEvent::CounterexampleFound`] with
+//!      `spurious: true`, each followed by a [`FlowEvent::ResolutionRound`]
+//!      — unless the resolution budget is exhausted, in which case the run
+//!      aborts with [`DetectError::ResolutionLimit`] right after the
+//!      counterexample event,
+//!    * then exactly one of [`FlowEvent::PropertyProved`] or a final
+//!      [`FlowEvent::CounterexampleFound`] with `spurious: false` (which ends
+//!      the run).
+//! 2. If every property holds, one [`FlowEvent::Coverage`] event with the
+//!    uncovered-signal verdict.
+//!
+//! Observers are `FnMut` callbacks; they must not assume any events beyond
+//! this contract (future versions may add variants — match with a wildcard
+//! arm).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+use htd_ipc::{
+    CheckOutcome, Counterexample, IntervalProperty, MiterSession, PropertyReport, SessionStats,
+};
+use htd_rtl::structural::{get_fanout, uncovered_signals};
+use htd_rtl::{SignalId, ValidatedDesign};
+use htd_sat::{DimacsProcessBackend, SatBackend, Solver};
+
+use crate::diagnosis::{diagnose, Diagnosis};
+use crate::error::DetectError;
+use crate::flow::DetectorConfig;
+use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+
+/// Which SAT backend a session solves with.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The bundled CDCL solver (default; incremental, learnt clauses persist
+    /// across properties).
+    #[default]
+    Builtin,
+    /// An external DIMACS-speaking solver binary, invoked once per query:
+    /// the program plus fixed arguments inserted before the CNF file path
+    /// (e.g. `htd` + `["sat"]`, or a solver's quiet flag).
+    DimacsProcess(PathBuf, Vec<String>),
+}
+
+impl BackendChoice {
+    /// An external solver invoked as `program <file.cnf>`.
+    #[must_use]
+    pub fn dimacs(program: impl Into<PathBuf>) -> Self {
+        BackendChoice::DimacsProcess(program.into(), Vec::new())
+    }
+
+    fn instantiate(&self) -> Box<dyn SatBackend> {
+        match self {
+            BackendChoice::Builtin => Box::new(Solver::new()),
+            BackendChoice::DimacsProcess(path, args) => {
+                Box::new(DimacsProcessBackend::new(path).with_args(args.clone()))
+            }
+        }
+    }
+}
+
+impl FromStr for BackendChoice {
+    type Err = String;
+
+    /// Parses the CLI syntax: `builtin` or `dimacs:CMD`, where `CMD` is a
+    /// whitespace-separated program plus fixed arguments (the CNF file path
+    /// is appended per query), e.g. `dimacs:/usr/bin/kissat` or
+    /// `dimacs:htd sat`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "builtin" {
+            return Ok(BackendChoice::Builtin);
+        }
+        if let Some(command) = s.strip_prefix("dimacs:") {
+            let mut words = command.split_whitespace();
+            let Some(program) = words.next() else {
+                return Err(
+                    "`dimacs:` needs a solver command, e.g. `dimacs:/usr/bin/kissat`".into(),
+                );
+            };
+            return Ok(BackendChoice::DimacsProcess(
+                PathBuf::from(program),
+                words.map(ToString::to_string).collect(),
+            ));
+        }
+        Err(format!(
+            "unknown backend `{s}` (expected `builtin` or `dimacs:CMD`)"
+        ))
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Builtin => write!(f, "builtin"),
+            BackendChoice::DimacsProcess(path, args) => {
+                write!(f, "dimacs:{}", path.display())?;
+                for arg in args {
+                    write!(f, " {arg}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A boxed observer registered with [`DetectionSession::on_event`].
+type EventObserver = Box<dyn FnMut(&FlowEvent)>;
+
+/// A progress event streamed while the detection flow runs.
+///
+/// See the [module docs](self) for the ordering contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowEvent {
+    /// The flow starts working on fanout level `level` (1-based).
+    LevelStarted {
+        /// The 1-based level index (`fanouts_CCk`).
+        level: usize,
+        /// Names of the signals in the level.
+        signals: Vec<String>,
+    },
+    /// A property was proved (after `spurious_resolved` resolution rounds).
+    PropertyProved {
+        /// The property name.
+        property: String,
+        /// Wall-clock time of the final (successful) check.
+        duration: Duration,
+        /// Spurious counterexamples discharged on the way.
+        spurious_resolved: usize,
+    },
+    /// The checker found a counterexample to a property.
+    CounterexampleFound {
+        /// The property name.
+        property: String,
+        /// Names of the diverging signals.
+        diffs: Vec<String>,
+        /// `true` if the diagnosis classified it as spurious (fully explained
+        /// by waived benign state) — a resolution round follows; `false`
+        /// means the flow stops and reports a suspected Trojan.
+        spurious: bool,
+    },
+    /// A spurious counterexample is being discharged by assuming the waived
+    /// registers equal and re-verifying.
+    ResolutionRound {
+        /// The property name.
+        property: String,
+        /// The 1-based resolution round.
+        round: usize,
+        /// Names of the newly assumed (waived) registers.
+        waived: Vec<String>,
+    },
+    /// The final signal-coverage check ran (only reached when every property
+    /// holds).
+    Coverage {
+        /// Number of state/output signals covered by some fanout level.
+        covered: usize,
+        /// Names of the uncovered signals (empty means the design is
+        /// verified secure).
+        uncovered: Vec<String>,
+    },
+}
+
+/// The property-checking engine a flow run drives: either the legacy
+/// fresh-solve checker or an incremental miter session.
+pub(crate) trait PropertyEngine {
+    fn check(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+    ) -> Result<PropertyReport, DetectError>;
+}
+
+/// Engine over a [`MiterSession`] (the incremental path).
+struct SessionEngine<'a> {
+    miter: &'a mut MiterSession,
+}
+
+impl PropertyEngine for SessionEngine<'_> {
+    fn check(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+    ) -> Result<PropertyReport, DetectError> {
+        self.miter
+            .check(design, property)
+            .map_err(|e| DetectError::Backend {
+                message: e.to_string(),
+            })
+    }
+}
+
+/// Validates a detector configuration.
+pub(crate) fn validate_config(config: &DetectorConfig) -> Result<(), DetectError> {
+    if config.max_resolution_iterations == 0 {
+        return Err(DetectError::InvalidConfig {
+            reason: "max_resolution_iterations must be at least 1 (a zero budget makes every \
+                     spurious counterexample fatal)"
+                .to_string(),
+        });
+    }
+    if config.max_flow_iterations == 0 {
+        return Err(DetectError::InvalidConfig {
+            reason: "max_flow_iterations must be at least 1 (a zero budget aborts the flow \
+                     before the first fanout property)"
+                .to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates that the flow's decomposition applies to the design.
+pub(crate) fn validate_design(design: &ValidatedDesign) -> Result<(), DetectError> {
+    let d = design.design();
+    if d.inputs().is_empty() {
+        return Err(DetectError::NoInputs);
+    }
+    if d.state_and_output_signals().is_empty() {
+        return Err(DetectError::NoStateOrOutputs);
+    }
+    Ok(())
+}
+
+/// Builder for [`DetectionSession`].
+///
+/// # Example
+///
+/// ```
+/// use htd_core::{DetectionOutcome, SessionBuilder};
+/// use htd_rtl::Design;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Design::new("latch");
+/// let input = d.add_input("in", 8)?;
+/// let r = d.add_register("r", 8, 0)?;
+/// d.set_register_next(r, d.signal(input))?;
+/// d.add_output("out", d.signal(r))?;
+///
+/// let mut session = SessionBuilder::new(d.validated()?).build()?;
+/// let report = session.run()?;
+/// assert!(matches!(report.outcome, DetectionOutcome::Secure));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    design: ValidatedDesign,
+    config: DetectorConfig,
+    backend: BackendChoice,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for the given design with the default configuration
+    /// and the builtin backend.
+    #[must_use]
+    pub fn new(design: ValidatedDesign) -> Self {
+        SessionBuilder {
+            design,
+            config: DetectorConfig::default(),
+            backend: BackendChoice::Builtin,
+        }
+    }
+
+    /// Sets the detector configuration.
+    #[must_use]
+    pub fn config(mut self, config: DetectorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the SAT backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the session: validates the design and the configuration and
+    /// performs the session's single bit-blast.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::NoInputs`] / [`DetectError::NoStateOrOutputs`] if the
+    /// flow's decomposition does not apply to the design, and
+    /// [`DetectError::InvalidConfig`] for zero iteration budgets.
+    pub fn build(self) -> Result<DetectionSession, DetectError> {
+        validate_design(&self.design)?;
+        validate_config(&self.config)?;
+        let miter = MiterSession::with_options(
+            &self.design,
+            self.config.checker,
+            self.backend.instantiate(),
+        );
+        Ok(DetectionSession {
+            design: self.design,
+            config: self.config,
+            backend: self.backend,
+            miter,
+            observers: Vec::new(),
+        })
+    }
+}
+
+/// An owning, reusable detection engine bound to one design.
+///
+/// The session is the primary entry point of the toolkit (the borrow-tied
+/// [`TrojanDetector`](crate::TrojanDetector) remains as a deprecated shim).
+/// It keeps one live miter encoding across the whole flow: each property's
+/// antecedent is expressed through solver assumptions and starting-state
+/// variable sharing instead of re-encoding, so an N-property flow performs
+/// one bit-blast instead of N.  See [`SessionBuilder`] for construction and
+/// the [module docs](self) for the [`FlowEvent`] contract.
+pub struct DetectionSession {
+    design: ValidatedDesign,
+    config: DetectorConfig,
+    backend: BackendChoice,
+    miter: MiterSession,
+    observers: Vec<EventObserver>,
+}
+
+impl std::fmt::Debug for DetectionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionSession")
+            .field("design", &self.design.design().name())
+            .field("backend", &self.backend)
+            .field("config", &self.config)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DetectionSession {
+    /// The design under analysis.
+    #[must_use]
+    pub fn design(&self) -> &ValidatedDesign {
+        &self.design
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The chosen backend.
+    #[must_use]
+    pub fn backend(&self) -> &BackendChoice {
+        &self.backend
+    }
+
+    /// Counters of the underlying miter session (bit-blasts performed,
+    /// properties checked, nodes encoded, queries issued).
+    #[must_use]
+    pub fn session_stats(&self) -> SessionStats {
+        self.miter.stats()
+    }
+
+    /// Registers a streaming observer receiving every [`FlowEvent`] of
+    /// subsequent [`run`](Self::run) calls.
+    pub fn on_event(&mut self, observer: impl FnMut(&FlowEvent) + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Runs the full detection flow: init property, fanout properties until
+    /// the structural fixpoint, then the signal-coverage check.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::IterationLimit`] / [`DetectError::ResolutionLimit`]
+    /// when the configured safety bounds are exceeded, and
+    /// [`DetectError::Backend`] if an external solver backend fails.
+    pub fn run(&mut self) -> Result<DetectionReport, DetectError> {
+        self.run_with_observer(&mut |_| {})
+    }
+
+    /// Like [`run`](Self::run), but additionally streams events to the given
+    /// borrowed observer (handy when the observer captures short-lived
+    /// state, which [`on_event`](Self::on_event)'s `'static` bound forbids).
+    pub fn run_with_observer(
+        &mut self,
+        observer: &mut dyn FnMut(&FlowEvent),
+    ) -> Result<DetectionReport, DetectError> {
+        let DetectionSession {
+            design,
+            config,
+            miter,
+            observers,
+            ..
+        } = self;
+        let mut engine = SessionEngine { miter };
+        let mut emit = |event: &FlowEvent| {
+            for registered in observers.iter_mut() {
+                registered(event);
+            }
+            observer(event);
+        };
+        run_flow(design, config, &mut engine, &mut emit)
+    }
+}
+
+/// Algorithm 1 of the paper, generic over the property-checking engine.
+///
+/// Shared by [`DetectionSession`] (incremental engine) and the legacy
+/// [`TrojanDetector`](crate::TrojanDetector) (fresh-solve engine), so the two
+/// paths cannot drift apart.
+pub(crate) fn run_flow(
+    design: &ValidatedDesign,
+    config: &DetectorConfig,
+    engine: &mut dyn PropertyEngine,
+    emit: &mut dyn FnMut(&FlowEvent),
+) -> Result<DetectionReport, DetectError> {
+    let start = Instant::now();
+    let d = design.design();
+    let names = |sigs: &[SignalId]| -> Vec<String> {
+        sigs.iter().map(|&s| d.signal_name(s).to_string()).collect()
+    };
+
+    let mut fanout_levels: Vec<Vec<String>> = Vec::new();
+    let mut properties: Vec<PropertyTrace> = Vec::new();
+    let mut spurious_total = 0usize;
+
+    let report = |outcome: DetectionOutcome,
+                  fanout_levels: Vec<Vec<String>>,
+                  properties: Vec<PropertyTrace>,
+                  spurious_resolved: usize| DetectionReport {
+        design: d.name().to_string(),
+        outcome,
+        fanout_levels,
+        properties,
+        spurious_resolved,
+        total_duration: start.elapsed(),
+    };
+
+    // Step 1: fanouts_CC1 and the init property.
+    let inputs = d.inputs();
+    let fanouts_cc1 = get_fanout(design, &inputs);
+    fanout_levels.push(names(&fanouts_cc1));
+    emit(&FlowEvent::LevelStarted {
+        level: 1,
+        signals: names(&fanouts_cc1),
+    });
+    let init = IntervalProperty::new("init_property", Vec::new(), fanouts_cc1.clone());
+    let (trace, failed) = check_with_resolution(design, config, engine, init, emit)?;
+    spurious_total += trace.spurious_resolved;
+    properties.push(trace);
+    if let Some(cex) = failed {
+        return Ok(report(
+            DetectionOutcome::PropertyFailed {
+                detected_by: DetectedBy::InitProperty,
+                counterexample: Box::new(cex),
+            },
+            fanout_levels,
+            properties,
+            spurious_total,
+        ));
+    }
+
+    // Step 2: iterate fanout properties until no new signal is reached.
+    let mut fanouts_all: BTreeSet<SignalId> = BTreeSet::new();
+    let mut fanouts_cck = fanouts_cc1;
+    let mut k = 1usize;
+    loop {
+        if k > config.max_flow_iterations {
+            return Err(DetectError::IterationLimit {
+                limit: config.max_flow_iterations,
+            });
+        }
+        fanouts_all.extend(fanouts_cck.iter().copied());
+        let fanouts_next = get_fanout(design, &fanouts_cck);
+        // Termination (Alg. 1, line 16): stop when the next level adds no new
+        // signal.
+        let adds_new = fanouts_next.iter().any(|s| !fanouts_all.contains(s));
+        if !adds_new {
+            break;
+        }
+        fanout_levels.push(names(&fanouts_next));
+        emit(&FlowEvent::LevelStarted {
+            level: k + 1,
+            signals: names(&fanouts_next),
+        });
+        let mut assume = fanouts_cck.clone();
+        if config.assume_previously_proven {
+            for &s in &fanouts_all {
+                if !assume.contains(&s) {
+                    assume.push(s);
+                }
+            }
+        }
+        let property =
+            IntervalProperty::new(format!("fanout_property_{k}"), assume, fanouts_next.clone());
+        let (trace, failed) = check_with_resolution(design, config, engine, property, emit)?;
+        spurious_total += trace.spurious_resolved;
+        properties.push(trace);
+        if let Some(cex) = failed {
+            return Ok(report(
+                DetectionOutcome::PropertyFailed {
+                    detected_by: DetectedBy::FanoutProperty(k),
+                    counterexample: Box::new(cex),
+                },
+                fanout_levels,
+                properties,
+                spurious_total,
+            ));
+        }
+        fanouts_cck = fanouts_next;
+        k += 1;
+    }
+
+    // Step 3: signal-coverage check (case 2 of Sec. IV-D).
+    let covered: Vec<SignalId> = fanouts_all.iter().copied().collect();
+    let uncovered = uncovered_signals(design, &covered);
+    emit(&FlowEvent::Coverage {
+        covered: covered.len(),
+        uncovered: names(&uncovered),
+    });
+    let outcome = if uncovered.is_empty() {
+        DetectionOutcome::Secure
+    } else {
+        DetectionOutcome::UncoveredSignals {
+            signals: names(&uncovered),
+        }
+    };
+    Ok(report(outcome, fanout_levels, properties, spurious_total))
+}
+
+/// Checks one property, resolving spurious counterexamples by adding
+/// equality assumptions for waived benign state (Sec. V-B).
+fn check_with_resolution(
+    design: &ValidatedDesign,
+    config: &DetectorConfig,
+    engine: &mut dyn PropertyEngine,
+    property: IntervalProperty,
+    emit: &mut dyn FnMut(&FlowEvent),
+) -> Result<(PropertyTrace, Option<Counterexample>), DetectError> {
+    let d = design.design();
+    let proves: Vec<String> = property
+        .prove_equal
+        .iter()
+        .map(|&s| d.signal_name(s).to_string())
+        .collect();
+    let mut current = property;
+    let mut resolved = 0usize;
+    loop {
+        let report: PropertyReport = engine.check(design, &current)?;
+        match &report.outcome {
+            CheckOutcome::Holds => {
+                emit(&FlowEvent::PropertyProved {
+                    property: current.name.clone(),
+                    duration: report.stats.duration,
+                    spurious_resolved: resolved,
+                });
+                return Ok((
+                    PropertyTrace {
+                        name: current.name.clone(),
+                        proves,
+                        report,
+                        spurious_resolved: resolved,
+                    },
+                    None,
+                ));
+            }
+            CheckOutcome::Fails(cex) => {
+                let diag: Diagnosis =
+                    diagnose(design, cex, &current.assume_equal, &config.benign_state);
+                let spurious = diag.is_spurious();
+                emit(&FlowEvent::CounterexampleFound {
+                    property: current.name.clone(),
+                    diffs: cex.diff_names().iter().map(ToString::to_string).collect(),
+                    spurious,
+                });
+                if spurious {
+                    if resolved >= config.max_resolution_iterations {
+                        return Err(DetectError::ResolutionLimit {
+                            property: current.name.clone(),
+                            limit: config.max_resolution_iterations,
+                        });
+                    }
+                    resolved += 1;
+                    emit(&FlowEvent::ResolutionRound {
+                        property: current.name.clone(),
+                        round: resolved,
+                        waived: diag
+                            .waived
+                            .iter()
+                            .map(|&s| d.signal_name(s).to_string())
+                            .collect(),
+                    });
+                    current = current.with_extra_assumptions(&diag.waived);
+                    continue;
+                }
+                let cex = (**cex).clone();
+                return Ok((
+                    PropertyTrace {
+                        name: current.name.clone(),
+                        proves,
+                        report,
+                        spurious_resolved: resolved,
+                    },
+                    Some(cex),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htd_rtl::Design;
+
+    fn infected_design() -> ValidatedDesign {
+        let mut d = Design::new("infected");
+        let input = d.add_input("in", 8).unwrap();
+        let trigger = d.add_register("trigger", 1, 0).unwrap();
+        let result = d.add_register("result", 8, 0).unwrap();
+        let magic = d.eq_const(d.signal(input), 0xA5).unwrap();
+        let trig_next = d.or(d.signal(trigger), magic).unwrap();
+        d.set_register_next(trigger, trig_next).unwrap();
+        let flip = d.zero_ext(d.signal(trigger), 8).unwrap();
+        let payload = d.xor(d.signal(input), flip).unwrap();
+        d.set_register_next(result, payload).unwrap();
+        d.add_output("out", d.signal(result)).unwrap();
+        d.validated().unwrap()
+    }
+
+    fn clean_pipeline() -> ValidatedDesign {
+        let mut d = Design::new("clean");
+        let input = d.add_input("in", 8).unwrap();
+        let s1 = d.add_register("s1", 8, 0).unwrap();
+        let s2 = d.add_register("s2", 8, 0).unwrap();
+        d.set_register_next(s1, d.signal(input)).unwrap();
+        d.set_register_next(s2, d.signal(s1)).unwrap();
+        d.add_output("out", d.signal(s2)).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn session_detects_the_trojan_with_one_bit_blast() {
+        let mut session = SessionBuilder::new(infected_design()).build().unwrap();
+        let report = session.run().unwrap();
+        match &report.outcome {
+            DetectionOutcome::PropertyFailed { detected_by, .. } => {
+                assert_eq!(*detected_by, DetectedBy::InitProperty);
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+        assert_eq!(session.session_stats().bit_blasts, 1);
+    }
+
+    #[test]
+    fn session_verifies_a_clean_design_secure() {
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        let report = session.run().unwrap();
+        assert!(report.outcome.is_secure(), "{report}");
+        assert_eq!(report.properties_checked(), 3);
+        let stats = session.session_stats();
+        assert_eq!(stats.bit_blasts, 1);
+        assert_eq!(stats.properties_checked, 3);
+    }
+
+    #[test]
+    fn events_follow_the_documented_contract() {
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        let mut events: Vec<FlowEvent> = Vec::new();
+        let report = session
+            .run_with_observer(&mut |e| events.push(e.clone()))
+            .unwrap();
+        assert!(report.outcome.is_secure());
+
+        let levels: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::LevelStarted { level, .. } => Some(*level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(levels, vec![1, 2, 3]);
+        let proved = events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::PropertyProved { .. }))
+            .count();
+        assert_eq!(proved, 3);
+        assert!(
+            matches!(events.last(), Some(FlowEvent::Coverage { uncovered, .. }) if uncovered.is_empty())
+        );
+    }
+
+    #[test]
+    fn registered_observers_see_every_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let counter = Rc::new(RefCell::new(0usize));
+        let seen = Rc::clone(&counter);
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        session.on_event(move |_| *seen.borrow_mut() += 1);
+        session.run().unwrap();
+        let after_first = *counter.borrow();
+        assert!(after_first > 0);
+        session.run().unwrap();
+        assert!(*counter.borrow() > after_first);
+    }
+
+    #[test]
+    fn builder_rejects_zero_iteration_budgets() {
+        for (resolution, flow) in [(0usize, 4096usize), (16, 0)] {
+            let config = DetectorConfig {
+                max_resolution_iterations: resolution,
+                max_flow_iterations: flow,
+                ..DetectorConfig::default()
+            };
+            let err = SessionBuilder::new(clean_pipeline())
+                .config(config)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, DetectError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_inapplicable_designs() {
+        let mut d = Design::new("no_inputs");
+        let r = d.add_register("r", 1, 0).unwrap();
+        let n = d.not(d.signal(r));
+        d.set_register_next(r, n).unwrap();
+        d.add_output("o", d.signal(r)).unwrap();
+        let err = SessionBuilder::new(d.validated().unwrap())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DetectError::NoInputs);
+    }
+
+    #[test]
+    fn missing_dimacs_solver_surfaces_as_a_backend_error() {
+        let mut session = SessionBuilder::new(infected_design())
+            .backend(BackendChoice::dimacs("/nonexistent/solver"))
+            .build()
+            .unwrap();
+        let err = session.run().unwrap_err();
+        assert!(matches!(err, DetectError::Backend { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn backend_choice_parses_the_cli_syntax() {
+        assert_eq!(
+            "builtin".parse::<BackendChoice>().unwrap(),
+            BackendChoice::Builtin
+        );
+        assert_eq!(
+            "dimacs:/usr/bin/kissat".parse::<BackendChoice>().unwrap(),
+            BackendChoice::dimacs("/usr/bin/kissat")
+        );
+        assert_eq!(
+            "dimacs:htd sat".parse::<BackendChoice>().unwrap(),
+            BackendChoice::DimacsProcess("htd".into(), vec!["sat".to_string()])
+        );
+        assert!("dimacs:".parse::<BackendChoice>().is_err());
+        assert!("z3".parse::<BackendChoice>().is_err());
+        assert_eq!(BackendChoice::default().to_string(), "builtin");
+        assert_eq!(
+            BackendChoice::DimacsProcess("htd".into(), vec!["sat".into()]).to_string(),
+            "dimacs:htd sat"
+        );
+    }
+}

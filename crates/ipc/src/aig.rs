@@ -117,7 +117,12 @@ impl Aig {
     /// Creates an empty graph containing only the constant node.
     #[must_use]
     pub fn new() -> Self {
-        Aig { nodes: vec![Node::ConstFalse], strash: HashMap::new(), num_inputs: 0, strash_hits: 0 }
+        Aig {
+            nodes: vec![Node::ConstFalse],
+            strash: HashMap::new(),
+            num_inputs: 0,
+            strash_hits: 0,
+        }
     }
 
     /// Allocates a fresh primary input (a free Boolean variable).
@@ -305,8 +310,7 @@ impl Aig {
                     let vb = cache[b.node() as usize];
                     match (va, vb) {
                         (Some(va), Some(vb)) => {
-                            let value =
-                                (va ^ a.is_inverted()) && (vb ^ b.is_inverted());
+                            let value = (va ^ a.is_inverted()) && (vb ^ b.is_inverted());
                             cache[node as usize] = Some(value);
                             stack.pop();
                         }
@@ -379,8 +383,9 @@ mod tests {
         for va in [false, true] {
             for vb in [false, true] {
                 for vc in [false, true] {
-                    let env: HashMap<u32, bool> =
-                        [(a.node(), va), (b.node(), vb), (c.node(), vc)].into_iter().collect();
+                    let env: HashMap<u32, bool> = [(a.node(), va), (b.node(), vb), (c.node(), vc)]
+                        .into_iter()
+                        .collect();
                     for (name, lit) in gates {
                         let expected = match name {
                             "and" => va && vb,
@@ -407,8 +412,9 @@ mod tests {
         for va in [false, true] {
             for vb in [false, true] {
                 for vc in [false, true] {
-                    let env: HashMap<u32, bool> =
-                        [(a.node(), va), (b.node(), vb), (c.node(), vc)].into_iter().collect();
+                    let env: HashMap<u32, bool> = [(a.node(), va), (b.node(), vb), (c.node(), vc)]
+                        .into_iter()
+                        .collect();
                     let total = u8::from(va) + u8::from(vb) + u8::from(vc);
                     assert_eq!(aig.eval(sum, &env), total % 2 == 1);
                     assert_eq!(aig.eval(cout, &env), total >= 2);
@@ -424,8 +430,11 @@ mod tests {
         let conj = aig.and_all(&inputs);
         let disj = aig.or_all(&inputs);
         let all_true: HashMap<u32, bool> = inputs.iter().map(|l| (l.node(), true)).collect();
-        let one_false: HashMap<u32, bool> =
-            inputs.iter().enumerate().map(|(i, l)| (l.node(), i != 2)).collect();
+        let one_false: HashMap<u32, bool> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.node(), i != 2))
+            .collect();
         let all_false: HashMap<u32, bool> = inputs.iter().map(|l| (l.node(), false)).collect();
         assert!(aig.eval(conj, &all_true));
         assert!(!aig.eval(conj, &one_false));

@@ -18,7 +18,13 @@ pub type BitVec = Vec<AigLit>;
 #[must_use]
 pub fn const_bits(value: u128, width: u32) -> BitVec {
     (0..width)
-        .map(|i| if (value >> i) & 1 == 1 { AigLit::TRUE } else { AigLit::FALSE })
+        .map(|i| {
+            if (value >> i) & 1 == 1 {
+                AigLit::TRUE
+            } else {
+                AigLit::FALSE
+            }
+        })
         .collect()
 }
 
@@ -147,7 +153,11 @@ impl BlastContext {
                 let vb = self.expr(design, aig, b);
                 lower_binary(aig, op, &va, &vb)
             }
-            Expr::Mux { cond, then_e, else_e } => {
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let vc = self.expr(design, aig, cond);
                 let vt = self.expr(design, aig, then_e);
                 let ve = self.expr(design, aig, else_e);
@@ -163,7 +173,11 @@ impl BlastContext {
                 bits.extend(vhi);
                 bits
             }
-            Expr::Rom { table, index, width } => {
+            Expr::Rom {
+                table,
+                index,
+                width,
+            } => {
                 let vi = self.expr(design, aig, index);
                 lower_rom(aig, &table, &vi, width)
             }
@@ -214,7 +228,10 @@ fn lower_binary(aig: &mut Aig, op: BinaryOp, a: &[AigLit], b: &[AigLit]) -> BitV
 }
 
 fn lower_mux(aig: &mut Aig, cond: AigLit, t: &[AigLit], e: &[AigLit]) -> BitVec {
-    t.iter().zip(e).map(|(&x, &y)| aig.mux(cond, x, y)).collect()
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| aig.mux(cond, x, y))
+        .collect()
 }
 
 /// Ripple-carry addition; returns `(sum, carry_out)`.
@@ -281,10 +298,14 @@ fn lower_shift(aig: &mut Aig, a: &[AigLit], amount: &[AigLit], left: bool) -> Bi
         let mut shifted = const_bits(0, width as u32);
         if shift < width as u128 {
             let s = shift as usize;
-            for i in 0..width {
-                let src = if left { i.checked_sub(s) } else { i.checked_add(s).filter(|&x| x < width) };
+            for (i, bit) in shifted.iter_mut().enumerate() {
+                let src = if left {
+                    i.checked_sub(s)
+                } else {
+                    i.checked_add(s).filter(|&x| x < width)
+                };
                 if let Some(src) = src {
-                    shifted[i] = current[src];
+                    *bit = current[src];
                 }
             }
         }
@@ -333,7 +354,11 @@ mod tests {
                 input_nodes.insert(id, bits.iter().map(|l| l.node()).collect());
                 ctx.bind(id, bits);
             }
-            Harness { aig, ctx, input_nodes }
+            Harness {
+                aig,
+                ctx,
+                input_nodes,
+            }
         }
 
         fn eval(&mut self, design: &Design, expr: ExprId, inputs: &[(SignalId, u128)]) -> u128 {
@@ -399,7 +424,15 @@ mod tests {
             ("redxor", d.red_xor(sa)),
         ];
         let mut harness = Harness::new(&d);
-        let samples = [(0u128, 0u128), (1, 2), (255, 1), (170, 85), (200, 200), (13, 3), (3, 13)];
+        let samples = [
+            (0u128, 0u128),
+            (1, 2),
+            (255, 1),
+            (170, 85),
+            (200, 200),
+            (13, 3),
+            (3, 13),
+        ];
         for &(va, vb) in &samples {
             for (name, e) in &exprs {
                 let got = harness.eval(&d, *e, &[(a, va), (b, vb)]);
@@ -455,7 +488,11 @@ mod tests {
         let mut harness = Harness::new(&d);
         for &(va, vc) in &[(0xABu128, 0u128), (0xAB, 1), (0x5C, 1), (0x00, 0)] {
             let got_mux = harness.eval(&d, muxed, &[(a, va), (c, vc)]);
-            let expected_mux = if vc == 1 { ((va & 0xf) << 4) | (va >> 4) } else { va };
+            let expected_mux = if vc == 1 {
+                ((va & 0xf) << 4) | (va >> 4)
+            } else {
+                va
+            };
             assert_eq!(got_mux, expected_mux);
             let got_rom = harness.eval(&d, looked, &[(a, va), (c, vc)]);
             assert_eq!(got_rom, table[(va & 0xf) as usize]);
@@ -511,6 +548,9 @@ mod tests {
         let mut harness = Harness::new(&d);
         let va = u128::MAX - 5;
         let vb = 7u128;
-        assert_eq!(harness.eval(&d, sum, &[(a, va), (b, vb)]), va.wrapping_add(vb));
+        assert_eq!(
+            harness.eval(&d, sum, &[(a, va), (b, vb)]),
+            va.wrapping_add(vb)
+        );
     }
 }

@@ -48,7 +48,9 @@ pub struct CheckerOptions {
 
 impl Default for CheckerOptions {
     fn default() -> Self {
-        CheckerOptions { share_assumed_equal: true }
+        CheckerOptions {
+            share_assumed_equal: true,
+        }
     }
 }
 
@@ -86,7 +88,10 @@ impl<'a> PropertyChecker<'a> {
     /// Creates a checker with default options.
     #[must_use]
     pub fn new(design: &'a ValidatedDesign) -> Self {
-        PropertyChecker { design, options: CheckerOptions::default() }
+        PropertyChecker {
+            design,
+            options: CheckerOptions::default(),
+        }
     }
 
     /// Creates a checker with explicit options.
@@ -109,8 +114,9 @@ impl<'a> PropertyChecker<'a> {
         let mut aig = Aig::new();
 
         // Shared primary inputs for frames 0 (time t) and 1 (time t+1).
-        let inputs: Vec<HashMap<SignalId, BitVec>> =
-            (0..2).map(|_| fresh_words(&mut aig, d, &d.inputs())).collect();
+        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..2)
+            .map(|_| fresh_words(&mut aig, d, &d.inputs()))
+            .collect();
 
         // Starting-state variables.
         let assume_regs: HashSet<SignalId> = property
@@ -183,8 +189,14 @@ impl<'a> PropertyChecker<'a> {
                             ctx_t1[inst] = Some(next_ctx);
                         }
                     }
-                    let b1 = ctx_t1[0].as_mut().expect("built above").signal(d, &mut aig, sig);
-                    let b2 = ctx_t1[1].as_mut().expect("built above").signal(d, &mut aig, sig);
+                    let b1 = ctx_t1[0]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut aig, sig);
+                    let b2 = ctx_t1[1]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut aig, sig);
                     prove_values.push((sig, b1, b2));
                 }
                 SignalKind::Input => {
@@ -193,7 +205,7 @@ impl<'a> PropertyChecker<'a> {
             }
         }
 
-        let report = self.solve_miter(
+        self.solve_miter(
             &property.name,
             &mut aig,
             &assumption_lits,
@@ -201,8 +213,7 @@ impl<'a> PropertyChecker<'a> {
             &inputs,
             &regs,
             start,
-        );
-        report
+        )
     }
 
     /// Checks the aggregate *trojan property* of Fig. 3: inputs equal at `t`,
@@ -219,8 +230,9 @@ impl<'a> PropertyChecker<'a> {
         let frames = levels.len();
 
         // Shared inputs for frames 0..=frames.
-        let inputs: Vec<HashMap<SignalId, BitVec>> =
-            (0..=frames).map(|_| fresh_words(&mut aig, d, &d.inputs())).collect();
+        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..=frames)
+            .map(|_| fresh_words(&mut aig, d, &d.inputs()))
+            .collect();
 
         // Fully unconstrained, per-instance starting state.
         let mut regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
@@ -266,9 +278,7 @@ impl<'a> PropertyChecker<'a> {
             for &sig in level {
                 let info = d.signal_info(sig);
                 let (b1, b2) = match info.kind() {
-                    SignalKind::Register { .. } => {
-                        (next[0][&sig].clone(), next[1][&sig].clone())
-                    }
+                    SignalKind::Register { .. } => (next[0][&sig].clone(), next[1][&sig].clone()),
                     SignalKind::Output | SignalKind::Wire => (
                         ctx_next[0].signal(d, &mut aig, sig),
                         ctx_next[1].signal(d, &mut aig, sig),
@@ -281,7 +291,15 @@ impl<'a> PropertyChecker<'a> {
             current = next;
         }
 
-        self.solve_miter(name, &mut aig, &[], &prove_values_by_frame, &inputs, &regs, start)
+        self.solve_miter(
+            name,
+            &mut aig,
+            &[],
+            &prove_values_by_frame,
+            &inputs,
+            &regs,
+            start,
+        )
     }
 
     /// Shared back end: build the miter output, encode to CNF, solve, and
@@ -325,7 +343,11 @@ impl<'a> PropertyChecker<'a> {
             solver.add_clause([lit]);
         }
 
-        let result = if trivially_unsat { SolveResult::Unsat } else { solver.solve() };
+        let result = if trivially_unsat {
+            SolveResult::Unsat
+        } else {
+            solver.solve()
+        };
 
         let outcome = match result {
             SolveResult::Unsat => CheckOutcome::Holds,
@@ -337,70 +359,15 @@ impl<'a> PropertyChecker<'a> {
                         env.insert(node, solver.value(var).unwrap_or(false));
                     }
                 }
-                let values = aig.eval_all(&env);
-                let word = |bits: &BitVec| -> u128 {
-                    bits.iter()
-                        .enumerate()
-                        .fold(0u128, |acc, (i, &b)| acc | (u128::from(aig.lit_value(&values, b)) << i))
-                };
-
-                let mut diffs = Vec::new();
-                let mut failing_frame = 1;
-                'outer: for (j, frame_values) in prove_values_by_frame.iter().enumerate() {
-                    for (sig, b1, b2) in frame_values {
-                        let v1 = word(b1);
-                        let v2 = word(b2);
-                        if v1 != v2 {
-                            failing_frame = j + 1;
-                            for (sig2, c1, c2) in frame_values {
-                                let w1 = word(c1);
-                                let w2 = word(c2);
-                                if w1 != w2 {
-                                    diffs.push(SignalValuePair {
-                                        signal: *sig2,
-                                        name: d.signal_name(*sig2).to_string(),
-                                        width: d.signal_width(*sig2),
-                                        instance1: w1,
-                                        instance2: w2,
-                                    });
-                                }
-                            }
-                            let _ = sig;
-                            let _ = (v1, v2);
-                            break 'outer;
-                        }
-                    }
-                }
-
-                let starting_state: Vec<SignalValuePair> = d
-                    .registers()
-                    .into_iter()
-                    .map(|r| SignalValuePair {
-                        signal: r,
-                        name: d.signal_name(r).to_string(),
-                        width: d.signal_width(r),
-                        instance1: word(&regs[0][&r]),
-                        instance2: word(&regs[1][&r]),
-                    })
-                    .collect();
-
-                let input_frames: Vec<Vec<(String, u128)>> = inputs
-                    .iter()
-                    .map(|frame| {
-                        d.inputs()
-                            .into_iter()
-                            .map(|i| (d.signal_name(i).to_string(), word(&frame[&i])))
-                            .collect()
-                    })
-                    .collect();
-
-                CheckOutcome::Fails(Box::new(Counterexample {
-                    property: name.to_string(),
-                    frame: failing_frame,
-                    diffs,
-                    starting_state,
-                    inputs: input_frames,
-                }))
+                CheckOutcome::Fails(Box::new(reconstruct_counterexample(
+                    d,
+                    aig,
+                    &env,
+                    name,
+                    prove_values_by_frame,
+                    inputs,
+                    regs,
+                )))
             }
         };
 
@@ -413,7 +380,90 @@ impl<'a> PropertyChecker<'a> {
             solver: solver.stats(),
             duration: start.elapsed(),
         };
-        PropertyReport { property: name.to_string(), outcome, stats }
+        PropertyReport {
+            property: name.to_string(),
+            outcome,
+            stats,
+        }
+    }
+}
+
+/// Rebuilds a concrete [`Counterexample`] from an assignment of the AIG's
+/// input nodes (`env`; missing inputs read as `false`).
+///
+/// Shared by the one-shot [`PropertyChecker`] and the incremental
+/// [`MiterSession`](crate::MiterSession) so the two paths cannot drift: the
+/// failing frame is the first with a diverging prove-signal, `diffs` lists
+/// every diverging signal of that frame, and the starting state and input
+/// frames are decoded from the given words.
+pub(crate) fn reconstruct_counterexample(
+    d: &htd_rtl::Design,
+    aig: &Aig,
+    env: &HashMap<u32, bool>,
+    name: &str,
+    prove_values_by_frame: &[Vec<(SignalId, BitVec, BitVec)>],
+    inputs: &[HashMap<SignalId, BitVec>],
+    regs: &[HashMap<SignalId, BitVec>; 2],
+) -> Counterexample {
+    let values = aig.eval_all(env);
+    let word = |bits: &BitVec| -> u128 {
+        bits.iter().enumerate().fold(0u128, |acc, (i, &b)| {
+            acc | (u128::from(aig.lit_value(&values, b)) << i)
+        })
+    };
+
+    let mut diffs = Vec::new();
+    let mut failing_frame = 1;
+    'outer: for (j, frame_values) in prove_values_by_frame.iter().enumerate() {
+        for (_, b1, b2) in frame_values {
+            if word(b1) != word(b2) {
+                failing_frame = j + 1;
+                for (sig, c1, c2) in frame_values {
+                    let w1 = word(c1);
+                    let w2 = word(c2);
+                    if w1 != w2 {
+                        diffs.push(SignalValuePair {
+                            signal: *sig,
+                            name: d.signal_name(*sig).to_string(),
+                            width: d.signal_width(*sig),
+                            instance1: w1,
+                            instance2: w2,
+                        });
+                    }
+                }
+                break 'outer;
+            }
+        }
+    }
+
+    let starting_state: Vec<SignalValuePair> = d
+        .registers()
+        .into_iter()
+        .map(|r| SignalValuePair {
+            signal: r,
+            name: d.signal_name(r).to_string(),
+            width: d.signal_width(r),
+            instance1: word(&regs[0][&r]),
+            instance2: word(&regs[1][&r]),
+        })
+        .collect();
+
+    let input_frames: Vec<Vec<(String, u128)>> = inputs
+        .iter()
+        .map(|frame| {
+            d.inputs()
+                .into_iter()
+                .map(|i| (d.signal_name(i).to_string(), word(&frame[&i])))
+                .collect()
+        })
+        .collect();
+
+    Counterexample {
+        property: name.to_string(),
+        frame: failing_frame,
+        diffs,
+        starting_state,
+        inputs: input_frames,
     }
 }
 
@@ -433,4 +483,3 @@ fn fresh_words(
         .map(|&s| (s, fresh_word(aig, d.signal_width(s))))
         .collect()
 }
-

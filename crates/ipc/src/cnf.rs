@@ -4,10 +4,19 @@
 //! this encoder: given an [`Aig`] and a set of root literals, it creates one
 //! solver variable per AIG node in the transitive fan-in of the roots and
 //! adds the three standard AND-gate clauses per node.
+//!
+//! Two entry points exist:
+//!
+//! * [`encode`] — the one-shot path: a fresh [`Solver`] per query (used by
+//!   the legacy [`PropertyChecker`](crate::PropertyChecker) and the
+//!   baselines).
+//! * [`IncrementalEncoder`] — the session path: encodes cones *into an
+//!   existing [`SatBackend`]*, skipping nodes that already have variables, so
+//!   a growing AIG can be mirrored into one live solver across many queries.
 
 use std::collections::{HashMap, HashSet};
 
-use htd_sat::{Lit, Solver, Var};
+use htd_sat::{Lit, SatBackend, Solver, Var};
 
 use crate::aig::{Aig, AigLit};
 
@@ -37,7 +46,11 @@ use crate::aig::{Aig, AigLit};
 pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, HashMap<u32, Var>) {
     let mut solver = Solver::new();
     let mut node_vars: HashMap<u32, Var> = HashMap::new();
-    let mut stack: Vec<u32> = roots.iter().filter(|l| !l.is_const()).map(|l| l.node()).collect();
+    let mut stack: Vec<u32> = roots
+        .iter()
+        .filter(|l| !l.is_const())
+        .map(|l| l.node())
+        .collect();
     let mut visited: HashSet<u32> = HashSet::new();
     // First pass: collect the cone.
     let mut cone: Vec<u32> = Vec::new();
@@ -83,6 +96,156 @@ pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, HashMap<u32, Var>) {
 pub fn sat_lit(node_vars: &HashMap<u32, Var>, lit: AigLit) -> Lit {
     let var = node_vars[&lit.node()];
     Lit::new(var, lit.is_inverted())
+}
+
+/// Incremental Tseitin encoder: mirrors a growing [`Aig`] into one live
+/// [`SatBackend`].
+///
+/// Each [`encode`](Self::encode) call extends the backend with clauses for
+/// exactly the cone nodes that have not been encoded by an earlier call, so
+/// the total encoding work over a whole detection flow is proportional to the
+/// final AIG size — one bit-blast, not one per property.
+///
+/// # Example
+///
+/// ```
+/// use htd_ipc::aig::Aig;
+/// use htd_ipc::cnf::IncrementalEncoder;
+/// use htd_sat::{SatBackend, SolveResult, Solver};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.new_input();
+/// let b = aig.new_input();
+/// let both = aig.and(a, b);
+///
+/// let mut backend = Solver::new();
+/// let mut encoder = IncrementalEncoder::new();
+/// let fresh = encoder.encode(&mut backend, &aig, &[both]);
+/// assert_eq!(fresh, 3); // a, b, and the AND node
+/// // Re-encoding the same cone is free.
+/// assert_eq!(encoder.encode(&mut backend, &aig, &[both]), 0);
+///
+/// backend.add_clause([encoder.lit(both)]);
+/// assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
+/// ```
+#[derive(Debug, Default)]
+pub struct IncrementalEncoder {
+    node_vars: HashMap<u32, Var>,
+}
+
+impl IncrementalEncoder {
+    /// Creates an encoder with no nodes encoded yet.
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalEncoder::default()
+    }
+
+    /// Ensures every non-constant node in the cone of `roots` has a backend
+    /// variable and its AND-gate clauses.  Returns the number of *newly*
+    /// encoded nodes.
+    pub fn encode(&mut self, backend: &mut dyn SatBackend, aig: &Aig, roots: &[AigLit]) -> usize {
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .filter(|l| !l.is_const() && !self.node_vars.contains_key(&l.node()))
+            .map(|l| l.node())
+            .collect();
+        let mut fresh: Vec<u32> = Vec::new();
+        let mut visited: HashSet<u32> = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if self.node_vars.contains_key(&node) || !visited.insert(node) {
+                continue;
+            }
+            fresh.push(node);
+            if let Some((a, b)) = aig.and_inputs(node) {
+                if !a.is_const() {
+                    stack.push(a.node());
+                }
+                if !b.is_const() {
+                    stack.push(b.node());
+                }
+            }
+        }
+        // Allocate in node order so the variable numbering is deterministic.
+        fresh.sort_unstable();
+        for &node in &fresh {
+            let var = backend.new_var();
+            self.node_vars.insert(node, var);
+        }
+        for &node in &fresh {
+            if let Some((a, b)) = aig.and_inputs(node) {
+                let x = Lit::pos(self.node_vars[&node]);
+                let la = self.lit(a);
+                let lb = self.lit(b);
+                backend.add_clause(&[!x, la]);
+                backend.add_clause(&[!x, lb]);
+                backend.add_clause(&[!la, !lb, x]);
+            }
+        }
+        fresh.len()
+    }
+
+    /// The backend variables of every node in the cone of `roots`
+    /// (constants excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone has not been fully encoded by a prior
+    /// [`encode`](Self::encode) call over (a superset of) the same roots.
+    #[must_use]
+    pub fn cone_vars(&self, aig: &Aig, roots: &[AigLit]) -> HashSet<Var> {
+        let mut vars: HashSet<Var> = HashSet::new();
+        let mut visited: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = roots
+            .iter()
+            .filter(|l| !l.is_const())
+            .map(|l| l.node())
+            .collect();
+        while let Some(node) = stack.pop() {
+            if !visited.insert(node) {
+                continue;
+            }
+            vars.insert(self.node_vars[&node]);
+            if let Some((a, b)) = aig.and_inputs(node) {
+                if !a.is_const() {
+                    stack.push(a.node());
+                }
+                if !b.is_const() {
+                    stack.push(b.node());
+                }
+            }
+        }
+        vars
+    }
+
+    /// The SAT literal of an already-encoded AIG literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics for constants and for nodes no [`encode`](Self::encode) call
+    /// has covered.
+    #[must_use]
+    pub fn lit(&self, lit: AigLit) -> Lit {
+        sat_lit(&self.node_vars, lit)
+    }
+
+    /// `true` if the literal's node has been encoded (constants are never
+    /// encoded).
+    #[must_use]
+    pub fn is_encoded(&self, lit: AigLit) -> bool {
+        !lit.is_const() && self.node_vars.contains_key(&lit.node())
+    }
+
+    /// Number of encoded nodes.
+    #[must_use]
+    pub fn num_encoded(&self) -> usize {
+        self.node_vars.len()
+    }
+
+    /// The node-to-variable map (used for counterexample reconstruction).
+    #[must_use]
+    pub fn node_vars(&self) -> &HashMap<u32, Var> {
+        &self.node_vars
+    }
 }
 
 #[cfg(test)]

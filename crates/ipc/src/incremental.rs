@@ -1,0 +1,641 @@
+//! The incremental miter session: one bit-blast, many property queries.
+//!
+//! The legacy [`PropertyChecker`](crate::PropertyChecker) rebuilds the AIG,
+//! the CNF and the SAT solver for every single property.  The detection flow,
+//! however, checks a *sequence* of closely related properties over the same
+//! miter — init, one fanout property per structural level, plus
+//! re-verification rounds — and [`MiterSession`] exploits that:
+//!
+//! * **One AIG, one backend.**  The session allocates the symbolic starting
+//!   state and the shared input words once, lowers each property's cones into
+//!   the same structurally-hashed AIG, and mirrors only the *new* nodes into
+//!   one live [`SatBackend`] through the
+//!   [`IncrementalEncoder`](crate::cnf::IncrementalEncoder).  Cones whose
+//!   bindings repeat across properties strash onto existing nodes and cost no
+//!   new clauses, and the solver's learnt clauses persist across the whole
+//!   flow.
+//! * **Antecedents as assumptions.**  Equality assumptions on combinational
+//!   signals become solver *assumptions* instead of baked-in unit clauses, so
+//!   the same encoding serves every antecedent the flow tries.
+//! * **Per-property miters behind activation literals.**  Each property's
+//!   "some proved signal differs" disjunction is guarded by a fresh
+//!   activation literal; once the property is decided the literal is retired
+//!   with a unit clause, permanently simplifying the clause away.
+//!
+//! Register starting-state variables follow the same sharing discipline as
+//! the legacy checker (see
+//! [`CheckerOptions::share_assumed_equal`](crate::CheckerOptions)): registers
+//! assumed equal by the property under check are bound to one canonical
+//! shared word in both instances, which lets structural hashing collapse the
+//! identical cones — the property-checking cliff documented in the
+//! `ablation_hashing` benchmark applies unchanged to the incremental path.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use htd_rtl::{SignalId, SignalKind, ValidatedDesign};
+use htd_sat::{BackendError, Lit, SatBackend, SolveResult, Var};
+
+use crate::aig::{Aig, AigLit};
+use crate::bitblast::{equal, BitVec, BlastContext};
+use crate::checker::CheckerOptions;
+use crate::cnf::IncrementalEncoder;
+use crate::property::{CheckOutcome, CheckStats, Counterexample, IntervalProperty, PropertyReport};
+
+/// Counters describing a whole [`MiterSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Number of miter encodings built from scratch.  A session builds its
+    /// encoding exactly once, at construction — this counter existing (and
+    /// staying at 1) is the point of the session API, and the equivalence
+    /// tests assert it.
+    pub bit_blasts: u64,
+    /// Properties checked so far.
+    pub properties_checked: u64,
+    /// AIG nodes mirrored into the backend so far (cumulative over all
+    /// properties; nodes shared between properties are counted once).
+    pub nodes_encoded: u64,
+    /// SAT queries issued (trivially decided properties issue none).
+    pub queries: u64,
+    /// Prove signals discharged by the structural fast path: their cone
+    /// reduced to shared variables, so equality held by construction with no
+    /// lowering and no solver work.
+    pub structurally_proved: u64,
+}
+
+/// An incremental property-checking session over one design's 2-safety miter.
+///
+/// Construct it with a design, checker options and a boxed [`SatBackend`];
+/// then call [`check`](Self::check) for every property of the flow.  All
+/// queries share one encoding; see the [module docs](self) for how.
+///
+/// # Example
+///
+/// ```
+/// use htd_ipc::{IntervalProperty, MiterSession};
+/// use htd_rtl::Design;
+/// use htd_sat::Solver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = Design::new("latch");
+/// let input = d.add_input("in", 8)?;
+/// let r = d.add_register("r", 8, 0)?;
+/// d.set_register_next(r, d.signal(input))?;
+/// d.add_output("out", d.signal(r))?;
+/// let design = d.validated()?;
+///
+/// let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+/// let init = IntervalProperty::new("init_property", vec![], vec![r]);
+/// assert!(session.check(&design, &init)?.holds());
+/// assert_eq!(session.stats().bit_blasts, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MiterSession {
+    aig: Aig,
+    backend: Box<dyn SatBackend>,
+    encoder: IncrementalEncoder,
+    options: CheckerOptions,
+    design_name: String,
+    /// Shared input words for frames `t` and `t + 1`.
+    inputs: Vec<HashMap<SignalId, BitVec>>,
+    /// Per-instance starting-state words (used while a register is *not*
+    /// assumed equal).
+    split_regs: [HashMap<SignalId, BitVec>; 2],
+    /// Canonical shared starting-state words (used by both instances while a
+    /// register *is* assumed equal), allocated lazily.
+    shared_regs: HashMap<SignalId, BitVec>,
+    /// Variables currently eligible for branching: the cone of the most
+    /// recent query.  Everything else in the backend belongs to retired
+    /// queries and is purely definitional — masking it keeps the search
+    /// inside the live cone.
+    active_vars: HashSet<Var>,
+    /// Register-only combinational support of each signal's driver, computed
+    /// lazily and kept for the whole session (the structure never changes).
+    support_cache: HashMap<SignalId, Vec<SignalId>>,
+    stats: SessionStats,
+}
+
+impl std::fmt::Debug for MiterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiterSession")
+            .field("design", &self.design_name)
+            .field("backend", &self.backend.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MiterSession {
+    /// Creates a session with default checker options.
+    #[must_use]
+    pub fn new(design: &ValidatedDesign, backend: Box<dyn SatBackend>) -> Self {
+        Self::with_options(design, CheckerOptions::default(), backend)
+    }
+
+    /// Creates a session with explicit checker options.
+    ///
+    /// This is the session's single bit-blast: the shared input words and the
+    /// per-instance starting-state words are allocated here, once.
+    #[must_use]
+    pub fn with_options(
+        design: &ValidatedDesign,
+        options: CheckerOptions,
+        backend: Box<dyn SatBackend>,
+    ) -> Self {
+        let d = design.design();
+        let mut aig = Aig::new();
+        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..2)
+            .map(|_| {
+                d.inputs()
+                    .into_iter()
+                    .map(|s| (s, fresh_word(&mut aig, d.signal_width(s))))
+                    .collect()
+            })
+            .collect();
+        let mut split_regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+        for r in d.registers() {
+            let width = d.signal_width(r);
+            split_regs[0].insert(r, fresh_word(&mut aig, width));
+            split_regs[1].insert(r, fresh_word(&mut aig, width));
+        }
+        MiterSession {
+            aig,
+            backend,
+            encoder: IncrementalEncoder::new(),
+            options,
+            design_name: d.name().to_string(),
+            inputs,
+            split_regs,
+            shared_regs: HashMap::new(),
+            active_vars: HashSet::new(),
+            support_cache: HashMap::new(),
+            stats: SessionStats {
+                bit_blasts: 1,
+                ..SessionStats::default()
+            },
+        }
+    }
+
+    /// The options in effect.
+    #[must_use]
+    pub fn options(&self) -> CheckerOptions {
+        self.options
+    }
+
+    /// The backend's report name (`builtin-cdcl`, `dimacs:…`).
+    #[must_use]
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// Session-level counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.backend.stats().queries,
+            ..self.stats
+        }
+    }
+
+    /// Checks a single-cycle interval property against the live miter.
+    ///
+    /// Must be called with the same design the session was built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the backend infrastructure fails (only
+    /// possible for process backends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not the session's design.
+    pub fn check(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+    ) -> Result<PropertyReport, BackendError> {
+        let start = Instant::now();
+        let d = design.design();
+        assert_eq!(d.name(), self.design_name, "session is bound to one design");
+        self.stats.properties_checked += 1;
+        // Snapshots so the per-property report carries deltas, not
+        // session-cumulative totals.
+        let aig_nodes_before = self.aig.num_nodes();
+        let aig_ands_before = self.aig.num_ands();
+        let strash_before = self.aig.strash_hits();
+        let backend_before = self.backend.stats();
+
+        let share = self.options.share_assumed_equal;
+        let assume_regs: HashSet<SignalId> = property
+            .assume_equal
+            .iter()
+            .copied()
+            .filter(|s| d.signal_info(*s).kind().is_register())
+            .collect();
+
+        // Frame-0 contexts with the property's sharing discipline.
+        let mut ctx_t: [BlastContext; 2] = [BlastContext::new(), BlastContext::new()];
+        for ctx in &mut ctx_t {
+            for (s, bits) in &self.inputs[0] {
+                ctx.bind(*s, bits.clone());
+            }
+        }
+        let mut regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+        for r in d.registers() {
+            if share && assume_regs.contains(&r) {
+                let width = d.signal_width(r);
+                let bits = self
+                    .shared_regs
+                    .entry(r)
+                    .or_insert_with(|| (0..width).map(|_| self.aig.new_input()).collect())
+                    .clone();
+                for inst in 0..2 {
+                    ctx_t[inst].bind(r, bits.clone());
+                    regs[inst].insert(r, bits.clone());
+                }
+            } else {
+                for inst in 0..2 {
+                    let bits = self.split_regs[inst][&r].clone();
+                    ctx_t[inst].bind(r, bits.clone());
+                    regs[inst].insert(r, bits);
+                }
+            }
+        }
+
+        // Antecedent: equality assumptions not discharged by variable
+        // sharing, expressed as solver assumptions.
+        let mut assumption_aig: Vec<AigLit> = Vec::new();
+        for &sig in &property.assume_equal {
+            let kind = d.signal_info(sig).kind();
+            let merged = kind.is_register() && share;
+            if merged || kind == SignalKind::Input {
+                continue;
+            }
+            // A wire/output whose cone reduces to shared variables is equal
+            // by construction; lowering it would only produce a constant.
+            if share && self.driver_is_merged(design, sig, &assume_regs) {
+                continue;
+            }
+            let b1 = ctx_t[0].signal(d, &mut self.aig, sig);
+            let b2 = ctx_t[1].signal(d, &mut self.aig, sig);
+            assumption_aig.push(equal(&mut self.aig, &b1, &b2));
+        }
+
+        // Consequent: values of the proved signals at time t+1 per instance.
+        let mut ctx_t1: [Option<BlastContext>; 2] = [None, None];
+        let mut prove_values: Vec<(SignalId, BitVec, BitVec)> = Vec::new();
+        for &sig in &property.prove_equal {
+            // Structural fast path: once the antecedent registers are merged,
+            // a prove signal whose whole cone reduces to shared variables is
+            // equal in every model — it contributes no miter input, no AIG
+            // nodes and no solver work.  This is where the incremental
+            // session beats the re-encode path: proven levels make the next
+            // level's equality structural.
+            if share && self.structurally_equal_next(design, sig, &assume_regs) {
+                self.stats.structurally_proved += 1;
+                continue;
+            }
+            let info = d.signal_info(sig);
+            match info.kind() {
+                SignalKind::Register { .. } => {
+                    let next = info.driver().expect("validated design");
+                    let b1 = ctx_t[0].expr(d, &mut self.aig, next);
+                    let b2 = ctx_t[1].expr(d, &mut self.aig, next);
+                    prove_values.push((sig, b1, b2));
+                }
+                SignalKind::Output | SignalKind::Wire => {
+                    for inst in 0..2 {
+                        if ctx_t1[inst].is_none() {
+                            let mut next_ctx = BlastContext::new();
+                            for (s, bits) in &self.inputs[1] {
+                                next_ctx.bind(*s, bits.clone());
+                            }
+                            for r in d.registers() {
+                                let next = d.signal_info(r).driver().expect("validated design");
+                                let bits = ctx_t[inst].expr(d, &mut self.aig, next);
+                                next_ctx.bind(r, bits);
+                            }
+                            ctx_t1[inst] = Some(next_ctx);
+                        }
+                    }
+                    let b1 = ctx_t1[0]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut self.aig, sig);
+                    let b2 = ctx_t1[1]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut self.aig, sig);
+                    prove_values.push((sig, b1, b2));
+                }
+                SignalKind::Input => {
+                    // Inputs are shared by construction; nothing to prove.
+                }
+            }
+        }
+
+        // Miter: some proved signal differs.
+        let mut diff_lits: Vec<AigLit> = Vec::new();
+        for (_, b1, b2) in &prove_values {
+            diff_lits.push(equal(&mut self.aig, b1, b2).invert());
+        }
+        let miter = self.aig.or_all(&diff_lits);
+
+        // Mirror the new cones into the backend.
+        let mut roots: Vec<AigLit> = assumption_aig.clone();
+        roots.push(miter);
+        let fresh = self
+            .encoder
+            .encode(self.backend.as_mut(), &self.aig, &roots);
+        self.stats.nodes_encoded += fresh as u64;
+
+        let mut assumptions: Vec<Lit> = Vec::new();
+        let mut vacuous = false;
+        for &a in &assumption_aig {
+            if a == AigLit::TRUE {
+                continue;
+            }
+            if a == AigLit::FALSE {
+                // The antecedent is structurally unsatisfiable; the property
+                // holds vacuously.
+                vacuous = true;
+                break;
+            }
+            assumptions.push(self.encoder.lit(a));
+        }
+
+        let result = if vacuous || miter == AigLit::FALSE {
+            // No query needed — but any cones this property *did* encode must
+            // still leave the decision-eligible set, or later searches could
+            // wander into them.
+            if fresh > 0 {
+                self.focus_search(&roots, None);
+            }
+            SolveResult::Unsat
+        } else if miter == AigLit::TRUE {
+            // Some proved signal differs structurally for every assignment;
+            // a query is still needed to find a model of the antecedent.
+            self.focus_search(&roots, None);
+            self.backend.solve_under(&assumptions)?
+        } else {
+            let act = self.backend.new_var();
+            self.focus_search(&roots, Some(act));
+            let miter_lit = self.encoder.lit(miter);
+            self.backend.add_clause(&[Lit::neg(act), miter_lit]);
+            assumptions.push(Lit::pos(act));
+            let result = self.backend.solve_under(&assumptions)?;
+            // Retire the activation literal: the property's miter clause is
+            // permanently disabled and can never pollute later queries.
+            self.backend.add_clause(&[Lit::neg(act)]);
+            result
+        };
+
+        let outcome = match result {
+            SolveResult::Unsat => CheckOutcome::Holds,
+            SolveResult::Sat => CheckOutcome::Fails(Box::new(self.reconstruct(
+                d,
+                &property.name,
+                &prove_values,
+                &regs,
+            ))),
+        };
+
+        // Report deltas against the start-of-check snapshots: `CheckStats`
+        // describes one property check, not the whole session.
+        let backend_after = self.backend.stats();
+        let solver_delta = htd_sat::SolverStats {
+            decisions: backend_after.solver.decisions - backend_before.solver.decisions,
+            propagations: backend_after.solver.propagations - backend_before.solver.propagations,
+            conflicts: backend_after.solver.conflicts - backend_before.solver.conflicts,
+            restarts: backend_after.solver.restarts - backend_before.solver.restarts,
+            learnt_clauses: backend_after.solver.learnt_clauses,
+            removed_clauses: backend_after.solver.removed_clauses
+                - backend_before.solver.removed_clauses,
+            solves: backend_after.solver.solves - backend_before.solver.solves,
+        };
+        let stats = CheckStats {
+            aig_nodes: self.aig.num_nodes() - aig_nodes_before,
+            aig_ands: self.aig.num_ands() - aig_ands_before,
+            strash_hits: self.aig.strash_hits() - strash_before,
+            cnf_vars: backend_after.vars - backend_before.vars,
+            cnf_clauses: backend_after.clauses.saturating_sub(backend_before.clauses),
+            solver: solver_delta,
+            duration: start.elapsed(),
+        };
+        Ok(PropertyReport {
+            property: property.name.clone(),
+            outcome,
+            stats,
+        })
+    }
+
+    /// The registers in the combinational support of `sig`'s driver
+    /// (transitively through wires), cached for the session's lifetime.
+    fn driver_reg_support(&mut self, design: &ValidatedDesign, sig: SignalId) -> Vec<SignalId> {
+        if let Some(cached) = self.support_cache.get(&sig) {
+            return cached.clone();
+        }
+        let d = design.design();
+        let driver = d.signal_info(sig).driver().expect("validated design");
+        let regs: Vec<SignalId> = htd_rtl::structural::combinational_support(design, driver)
+            .into_iter()
+            .filter(|s| d.signal_info(*s).kind().is_register())
+            .collect();
+        self.support_cache.insert(sig, regs.clone());
+        regs
+    }
+
+    /// `true` if the *next* value of register (or the *current* value of
+    /// wire/output) `sig` is the same function of shared variables in both
+    /// instances: every register its driver reads is bound to a shared word.
+    fn driver_is_merged(
+        &mut self,
+        design: &ValidatedDesign,
+        sig: SignalId,
+        assume_regs: &HashSet<SignalId>,
+    ) -> bool {
+        self.driver_reg_support(design, sig)
+            .iter()
+            .all(|r| assume_regs.contains(r))
+    }
+
+    /// `true` if `sig`'s value one cycle after `t` is provably identical in
+    /// both instances *by construction* under the current sharing: the whole
+    /// cone reduces to shared variables, so no lowering and no SAT query is
+    /// needed — the incremental flow's structural fast path.
+    fn structurally_equal_next(
+        &mut self,
+        design: &ValidatedDesign,
+        sig: SignalId,
+        assume_regs: &HashSet<SignalId>,
+    ) -> bool {
+        let d = design.design();
+        match d.signal_info(sig).kind() {
+            SignalKind::Register { .. } => self.driver_is_merged(design, sig, assume_regs),
+            SignalKind::Output | SignalKind::Wire => {
+                // Value at t+1 = comb function of inputs@t+1 (shared) and the
+                // next-state of the registers the driver reads.
+                self.driver_reg_support(design, sig)
+                    .iter()
+                    .all(|&r| self.driver_is_merged(design, r, assume_regs))
+            }
+            SignalKind::Input => true,
+        }
+    }
+
+    /// Points the backend's search at the current query: resets the decision
+    /// heuristics (activities and phases tuned for the previous property's
+    /// conflict structure routinely mislead the next query) and confines
+    /// branching to the cone of `roots` plus the activation literal.
+    /// Variables of retired queries are purely definitional, so masking them
+    /// is sound — see [`htd_sat::Solver::set_decision_var`].
+    fn focus_search(&mut self, roots: &[AigLit], act: Option<Var>) {
+        self.backend.begin_new_query();
+        let mut cone = self.encoder.cone_vars(&self.aig, roots);
+        cone.extend(act);
+        for &var in self.active_vars.difference(&cone) {
+            self.backend.set_decision_var(var, false);
+        }
+        for &var in cone.difference(&self.active_vars) {
+            self.backend.set_decision_var(var, true);
+        }
+        self.active_vars = cone;
+    }
+
+    /// Rebuilds a concrete counterexample from the backend's model via the
+    /// reconstruction shared with the one-shot checker.
+    fn reconstruct(
+        &self,
+        d: &htd_rtl::Design,
+        name: &str,
+        prove_values: &[(SignalId, BitVec, BitVec)],
+        regs: &[HashMap<SignalId, BitVec>; 2],
+    ) -> Counterexample {
+        let mut env: HashMap<u32, bool> = HashMap::new();
+        for (&node, &var) in self.encoder.node_vars() {
+            if self.aig.is_input(AigLit::positive(node)) {
+                env.insert(node, self.backend.model_value(var).unwrap_or(false));
+            }
+        }
+        crate::checker::reconstruct_counterexample(
+            d,
+            &self.aig,
+            &env,
+            name,
+            &[prove_values.to_vec()],
+            &self.inputs,
+            regs,
+        )
+    }
+}
+
+/// Allocates fresh AIG variables for one word.
+fn fresh_word(aig: &mut Aig, width: u32) -> BitVec {
+    (0..width).map(|_| aig.new_input()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PropertyChecker;
+    use htd_rtl::Design;
+    use htd_sat::Solver;
+
+    fn trojan_design() -> ValidatedDesign {
+        let mut d = Design::new("tiny_trojan");
+        let input = d.add_input("in", 1).unwrap();
+        let trigger = d.add_register("trigger", 1, 0).unwrap();
+        let data = d.add_register("data", 1, 0).unwrap();
+        let trig_next = d.or(d.signal(trigger), d.signal(input)).unwrap();
+        d.set_register_next(trigger, trig_next).unwrap();
+        let payload = d.xor(d.signal(input), d.signal(trigger)).unwrap();
+        d.set_register_next(data, payload).unwrap();
+        d.add_output("out", d.signal(data)).unwrap();
+        d.validated().unwrap()
+    }
+
+    fn pipeline() -> ValidatedDesign {
+        let mut d = Design::new("pipeline");
+        let input = d.add_input("in", 8).unwrap();
+        let s1 = d.add_register("s1", 8, 0).unwrap();
+        let s2 = d.add_register("s2", 8, 0).unwrap();
+        d.set_register_next(s1, d.signal(input)).unwrap();
+        d.set_register_next(s2, d.signal(s1)).unwrap();
+        d.add_output("out", d.signal(s2)).unwrap();
+        d.validated().unwrap()
+    }
+
+    #[test]
+    fn session_and_legacy_checker_agree_on_a_trojan() {
+        let design = trojan_design();
+        let d = design.design();
+        let data = d.require("data").unwrap();
+        let property = IntervalProperty::new("init_property", vec![], vec![data]);
+
+        let legacy = PropertyChecker::new(&design).check(&property);
+        let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+        let incremental = session.check(&design, &property).unwrap();
+
+        assert!(!legacy.holds());
+        assert!(!incremental.holds());
+        let cex = incremental.outcome.counterexample().unwrap();
+        assert_eq!(cex.diff_names(), vec!["data"]);
+    }
+
+    #[test]
+    fn session_checks_a_whole_flow_with_one_bit_blast() {
+        let design = pipeline();
+        let d = design.design();
+        let s1 = d.require("s1").unwrap();
+        let s2 = d.require("s2").unwrap();
+        let out = d.require("out").unwrap();
+
+        let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+        let properties = [
+            IntervalProperty::new("init_property", vec![], vec![s1]),
+            IntervalProperty::new("fanout_property_1", vec![s1], vec![s2]),
+            IntervalProperty::new("fanout_property_2", vec![s1, s2], vec![out]),
+        ];
+        for property in &properties {
+            let report = session.check(&design, property).unwrap();
+            assert!(report.holds(), "{} should hold", property.name);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.bit_blasts, 1);
+        assert_eq!(stats.properties_checked, 3);
+    }
+
+    #[test]
+    fn re_checking_the_same_property_encodes_nothing_new() {
+        let design = pipeline();
+        let d = design.design();
+        let s1 = d.require("s1").unwrap();
+        let property = IntervalProperty::new("init_property", vec![], vec![s1]);
+
+        let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+        session.check(&design, &property).unwrap();
+        let encoded_once = session.stats().nodes_encoded;
+        session.check(&design, &property).unwrap();
+        assert_eq!(session.stats().nodes_encoded, encoded_once);
+    }
+
+    #[test]
+    fn unshared_options_still_give_the_same_verdicts() {
+        let design = trojan_design();
+        let d = design.design();
+        let trigger = d.require("trigger").unwrap();
+        let data = d.require("data").unwrap();
+        for share in [true, false] {
+            let options = CheckerOptions {
+                share_assumed_equal: share,
+            };
+            let mut session = MiterSession::with_options(&design, options, Box::new(Solver::new()));
+            let failing = IntervalProperty::new("init_property", vec![], vec![data]);
+            assert!(!session.check(&design, &failing).unwrap().holds());
+            // Assuming the trigger state equal discharges the divergence.
+            let resolved = IntervalProperty::new("resolved", vec![trigger], vec![data]);
+            assert!(session.check(&design, &resolved).unwrap().holds());
+        }
+    }
+}

@@ -65,9 +65,11 @@ pub mod aig;
 pub mod bitblast;
 mod checker;
 pub mod cnf;
+mod incremental;
 mod property;
 
 pub use checker::{CheckerOptions, PropertyChecker};
+pub use incremental::{MiterSession, SessionStats};
 pub use property::{
     CheckOutcome, CheckStats, Counterexample, IntervalProperty, PropertyReport, SignalValuePair,
 };

@@ -43,7 +43,11 @@ impl IntervalProperty {
         assume_equal: Vec<SignalId>,
         prove_equal: Vec<SignalId>,
     ) -> Self {
-        IntervalProperty { name: name.into(), assume_equal, prove_equal }
+        IntervalProperty {
+            name: name.into(),
+            assume_equal,
+            prove_equal,
+        }
     }
 
     /// Returns a copy of this property with additional equality assumptions —
@@ -57,7 +61,11 @@ impl IntervalProperty {
                 assume.push(sig);
             }
         }
-        IntervalProperty { name: self.name.clone(), assume_equal: assume, prove_equal: self.prove_equal.clone() }
+        IntervalProperty {
+            name: self.name.clone(),
+            assume_equal: assume,
+            prove_equal: self.prove_equal.clone(),
+        }
     }
 }
 
@@ -129,7 +137,11 @@ impl Counterexample {
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counterexample for {} at t+{}:", self.property, self.frame)?;
+        writeln!(
+            f,
+            "counterexample for {} at t+{}:",
+            self.property, self.frame
+        )?;
         for d in &self.diffs {
             writeln!(f, "  differs  {d}")?;
         }
@@ -233,8 +245,20 @@ mod tests {
     #[test]
     fn signal_value_pair_reports_difference() {
         let s = sig(0);
-        let same = SignalValuePair { signal: s, name: "x".into(), width: 8, instance1: 3, instance2: 3 };
-        let diff = SignalValuePair { signal: s, name: "x".into(), width: 8, instance1: 3, instance2: 4 };
+        let same = SignalValuePair {
+            signal: s,
+            name: "x".into(),
+            width: 8,
+            instance1: 3,
+            instance2: 3,
+        };
+        let diff = SignalValuePair {
+            signal: s,
+            name: "x".into(),
+            width: 8,
+            instance1: 3,
+            instance2: 4,
+        };
         assert!(!same.differs());
         assert!(diff.differs());
         assert!(diff.to_string().contains("0x3"));
@@ -255,8 +279,20 @@ mod tests {
                 instance2: 0xff,
             }],
             starting_state: vec![
-                SignalValuePair { signal: s0, name: "trigger".into(), width: 1, instance1: 1, instance2: 0 },
-                SignalValuePair { signal: s1, name: "leak_reg".into(), width: 8, instance1: 5, instance2: 5 },
+                SignalValuePair {
+                    signal: s0,
+                    name: "trigger".into(),
+                    width: 1,
+                    instance1: 1,
+                    instance2: 0,
+                },
+                SignalValuePair {
+                    signal: s1,
+                    name: "leak_reg".into(),
+                    width: 8,
+                    instance1: 5,
+                    instance2: 5,
+                },
             ],
             inputs: vec![vec![("pt".into(), 0x42)]],
         };

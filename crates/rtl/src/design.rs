@@ -170,12 +170,21 @@ impl Design {
         }
         if let SignalKind::Register { reset } = kind {
             if width < 128 && reset >> width != 0 {
-                return Err(DesignError::ConstantTooWide { value: reset, width });
+                return Err(DesignError::ConstantTooWide {
+                    value: reset,
+                    width,
+                });
             }
         }
         let id = SignalId(self.signals.len() as u32);
         let expr = self.intern(Expr::Signal(id), width);
-        self.signals.push(Signal { name: name.clone(), width, kind, driver, expr });
+        self.signals.push(Signal {
+            name: name.clone(),
+            width,
+            kind,
+            driver,
+            expr,
+        });
         self.names.insert(name, id);
         Ok(id)
     }
@@ -281,8 +290,9 @@ impl Design {
     ///
     /// Returns [`DesignError::UnknownSignal`] if no signal has that name.
     pub fn require(&self, name: &str) -> Result<SignalId, DesignError> {
-        self.lookup(name)
-            .ok_or_else(|| DesignError::UnknownSignal { name: name.to_string() })
+        self.lookup(name).ok_or_else(|| DesignError::UnknownSignal {
+            name: name.to_string(),
+        })
     }
 
     /// The signal record for `id`.
@@ -322,7 +332,10 @@ impl Design {
 
     /// Iterates over all signals with their ids.
     pub fn signals(&self) -> impl Iterator<Item = (SignalId, &Signal)> + '_ {
-        self.signals.iter().enumerate().map(|(i, s)| (SignalId(i as u32), s))
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId(i as u32), s))
     }
 
     /// All primary inputs.
@@ -425,7 +438,11 @@ impl Design {
         if width == 0 || width > MAX_WIDTH {
             return Err(DesignError::InvalidWidth { width });
         }
-        let value = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let value = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
         self.constant(value, width)
     }
 
@@ -614,9 +631,20 @@ impl Design {
         let wt = self.expr_width(then_e);
         let we = self.expr_width(else_e);
         if wt != we {
-            return Err(DesignError::WidthMismatch { left: wt, right: we, context: "mux" });
+            return Err(DesignError::WidthMismatch {
+                left: wt,
+                right: we,
+                context: "mux",
+            });
         }
-        Ok(self.intern(Expr::Mux { cond, then_e, else_e }, wt))
+        Ok(self.intern(
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            },
+            wt,
+        ))
     }
 
     /// Bit slice `a[hi:lo]` (inclusive).
@@ -735,7 +763,14 @@ impl Design {
                 });
             }
         }
-        Ok(self.intern(Expr::Rom { table: Arc::new(table), index, width }, width))
+        Ok(self.intern(
+            Expr::Rom {
+                table: Arc::new(table),
+                index,
+                width,
+            },
+            width,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -754,7 +789,9 @@ impl Design {
                 SignalKind::Input => {}
                 SignalKind::Register { .. } | SignalKind::Wire | SignalKind::Output => {
                     let Some(driver) = s.driver else {
-                        return Err(DesignError::RegisterWithoutNext { name: s.name.clone() });
+                        return Err(DesignError::RegisterWithoutNext {
+                            name: s.name.clone(),
+                        });
                     };
                     let dw = self.expr_width(driver);
                     if dw != s.width {
@@ -819,7 +856,9 @@ impl Design {
             }
             // Iterative DFS with an explicit stack of (signal, next child idx).
             let mut stack: Vec<(SignalId, Vec<SignalId>, usize)> = Vec::new();
-            let push_node = |sig: SignalId, marks: &mut Vec<Mark>| -> Option<(SignalId, Vec<SignalId>, usize)> {
+            let push_node = |sig: SignalId,
+                             marks: &mut Vec<Mark>|
+             -> Option<(SignalId, Vec<SignalId>, usize)> {
                 let s = &self.signals[sig.index()];
                 let combinational = matches!(s.kind, SignalKind::Wire | SignalKind::Output);
                 marks[sig.index()] = Mark::Grey;
@@ -862,7 +901,9 @@ impl Design {
 
 fn reg_check(design: &Design, reg: SignalId) -> Result<SignalId, DesignError> {
     if reg.index() >= design.num_signals() {
-        return Err(DesignError::UnknownSignal { name: format!("{reg:?}") });
+        return Err(DesignError::UnknownSignal {
+            name: format!("{reg:?}"),
+        });
     }
     Ok(reg)
 }
@@ -937,15 +978,24 @@ mod tests {
     #[test]
     fn invalid_widths_are_rejected() {
         let mut d = Design::new("w");
-        assert!(matches!(d.add_input("z", 0), Err(DesignError::InvalidWidth { .. })));
-        assert!(matches!(d.add_input("big", 129), Err(DesignError::InvalidWidth { .. })));
+        assert!(matches!(
+            d.add_input("z", 0),
+            Err(DesignError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            d.add_input("big", 129),
+            Err(DesignError::InvalidWidth { .. })
+        ));
         assert!(d.add_input("ok", 128).is_ok());
     }
 
     #[test]
     fn constant_too_wide_is_rejected() {
         let mut d = Design::new("c");
-        assert!(matches!(d.constant(4, 2), Err(DesignError::ConstantTooWide { .. })));
+        assert!(matches!(
+            d.constant(4, 2),
+            Err(DesignError::ConstantTooWide { .. })
+        ));
         assert!(d.constant(3, 2).is_ok());
         assert!(d.constant(u128::MAX, 128).is_ok());
     }
@@ -977,8 +1027,14 @@ mod tests {
     fn slice_bounds_are_checked() {
         let mut d = Design::new("s");
         let a = d.add_input("a", 8).unwrap();
-        assert!(matches!(d.slice(d.signal(a), 8, 0), Err(DesignError::InvalidSlice { .. })));
-        assert!(matches!(d.slice(d.signal(a), 2, 3), Err(DesignError::InvalidSlice { .. })));
+        assert!(matches!(
+            d.slice(d.signal(a), 8, 0),
+            Err(DesignError::InvalidSlice { .. })
+        ));
+        assert!(matches!(
+            d.slice(d.signal(a), 2, 3),
+            Err(DesignError::InvalidSlice { .. })
+        ));
         let s = d.slice(d.signal(a), 7, 4).unwrap();
         assert_eq!(d.expr_width(s), 4);
     }
@@ -1078,6 +1134,9 @@ mod tests {
     #[test]
     fn require_reports_unknown_signals() {
         let d = Design::new("q");
-        assert!(matches!(d.require("nope"), Err(DesignError::UnknownSignal { .. })));
+        assert!(matches!(
+            d.require("nope"),
+            Err(DesignError::UnknownSignal { .. })
+        ));
     }
 }

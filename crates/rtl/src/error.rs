@@ -111,7 +111,11 @@ impl fmt::Display for DesignError {
             DesignError::InvalidWidth { width } => {
                 write!(f, "invalid signal width {width} (must be 1..=128)")
             }
-            DesignError::WidthMismatch { left, right, context } => {
+            DesignError::WidthMismatch {
+                left,
+                right,
+                context,
+            } => {
                 write!(f, "width mismatch in {context}: {left} vs {right}")
             }
             DesignError::ConstantTooWide { value, width } => {
@@ -130,7 +134,11 @@ impl fmt::Display for DesignError {
             DesignError::RegisterWithoutNext { name } => {
                 write!(f, "register `{name}` has no next-state expression")
             }
-            DesignError::SignalWidthMismatch { name, declared, driver } => write!(
+            DesignError::SignalWidthMismatch {
+                name,
+                declared,
+                driver,
+            } => write!(
                 f,
                 "signal `{name}` is {declared} bits but its driver is {driver} bits"
             ),
@@ -162,7 +170,11 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<DesignError> = vec![
             DesignError::InvalidWidth { width: 0 },
-            DesignError::WidthMismatch { left: 4, right: 8, context: "and" },
+            DesignError::WidthMismatch {
+                left: 4,
+                right: 8,
+                context: "and",
+            },
             DesignError::DuplicateName { name: "clk".into() },
             DesignError::CombinationalLoop { signal: "w".into() },
         ];

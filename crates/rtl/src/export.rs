@@ -61,7 +61,11 @@ impl<'a> TraceRecorder<'a> {
     /// Creates a recorder for an explicit set of signals.
     #[must_use]
     pub fn new(design: &'a ValidatedDesign, signals: Vec<SignalId>) -> Self {
-        TraceRecorder { design, signals, samples: Vec::new() }
+        TraceRecorder {
+            design,
+            signals,
+            samples: Vec::new(),
+        }
     }
 
     /// Creates a recorder covering every input, register and output of the
@@ -95,7 +99,8 @@ impl<'a> TraceRecorder<'a> {
 
     /// Takes one sample of all recorded signals from the simulator.
     pub fn record(&mut self, sim: &Simulator<'_>) {
-        self.samples.push(self.signals.iter().map(|&s| sim.peek(s)).collect());
+        self.samples
+            .push(self.signals.iter().map(|&s| sim.peek(s)).collect());
     }
 
     /// Appends a pre-computed sample (one value per recorded signal, in
@@ -107,7 +112,11 @@ impl<'a> TraceRecorder<'a> {
     /// Panics if the number of values does not match the number of recorded
     /// signals.
     pub fn push_sample(&mut self, values: Vec<u128>) {
-        assert_eq!(values.len(), self.signals.len(), "one value per recorded signal");
+        assert_eq!(
+            values.len(),
+            self.signals.len(),
+            "one value per recorded signal"
+        );
         self.samples.push(values);
     }
 
@@ -254,12 +263,16 @@ fn vcd_identifier(mut index: usize) -> String {
 /// VCD reference names may not contain whitespace; DOT identifiers are kept
 /// alphanumeric.
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 fn node_name(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
     format!("\"{cleaned}\"")
 }
 
@@ -309,14 +322,17 @@ mod tests {
     #[test]
     fn unchanged_values_are_not_re_emitted() {
         let design = demo_design();
-        let mut sim = Simulator::new(&design);
+        let sim = Simulator::new(&design);
         let mut recorder =
             TraceRecorder::new(&design, vec![design.design().require("timer").unwrap()]);
         recorder.record(&sim);
         recorder.record(&sim); // no step in between: identical sample
         let vcd = recorder.to_vcd("demo");
         let changes = vcd.matches("b0 !").count() + vcd.matches("0!").count();
-        assert_eq!(changes, 1, "the second, identical sample emits nothing:\n{vcd}");
+        assert_eq!(
+            changes, 1,
+            "the second, identical sample emits nothing:\n{vcd}"
+        );
     }
 
     #[test]

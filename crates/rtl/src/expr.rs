@@ -111,7 +111,10 @@ impl BinaryOp {
     /// width.
     #[must_use]
     pub const fn is_comparison(self) -> bool {
-        matches!(self, BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Ule)
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Ult | BinaryOp::Ule
+        )
     }
 }
 
@@ -210,7 +213,11 @@ impl Expr {
             Expr::Unary { a, .. } | Expr::Slice { a, .. } => vec![*a],
             Expr::Binary { a, b, .. } => vec![*a, *b],
             Expr::Concat { hi, lo } => vec![*hi, *lo],
-            Expr::Mux { cond, then_e, else_e } => vec![*cond, *then_e, *else_e],
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => vec![*cond, *then_e, *else_e],
             Expr::Rom { index, .. } => vec![*index],
         }
     }
@@ -228,9 +235,17 @@ mod tests {
 
     #[test]
     fn children_order_is_stable() {
-        let m = Expr::Mux { cond: ExprId(1), then_e: ExprId(2), else_e: ExprId(3) };
+        let m = Expr::Mux {
+            cond: ExprId(1),
+            then_e: ExprId(2),
+            else_e: ExprId(3),
+        };
         assert_eq!(m.children(), vec![ExprId(1), ExprId(2), ExprId(3)]);
-        let b = Expr::Binary { op: BinaryOp::Add, a: ExprId(4), b: ExprId(5) };
+        let b = Expr::Binary {
+            op: BinaryOp::Add,
+            a: ExprId(4),
+            b: ExprId(5),
+        };
         assert_eq!(b.children(), vec![ExprId(4), ExprId(5)]);
     }
 
@@ -245,7 +260,13 @@ mod tests {
     #[test]
     fn mnemonics_are_unique() {
         use std::collections::HashSet;
-        let unary = [UnaryOp::Not, UnaryOp::Neg, UnaryOp::RedAnd, UnaryOp::RedOr, UnaryOp::RedXor];
+        let unary = [
+            UnaryOp::Not,
+            UnaryOp::Neg,
+            UnaryOp::RedAnd,
+            UnaryOp::RedOr,
+            UnaryOp::RedXor,
+        ];
         let binary = [
             BinaryOp::And,
             BinaryOp::Or,

@@ -52,8 +52,8 @@
 
 mod design;
 mod error;
-mod expr;
 pub mod export;
+mod expr;
 pub mod netlist;
 pub mod sim;
 pub mod stats;

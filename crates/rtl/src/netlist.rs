@@ -104,7 +104,11 @@ pub fn format_expr(design: &Design, expr: ExprId) -> String {
             format_expr(design, *a),
             format_expr(design, *b)
         ),
-        Expr::Mux { cond, then_e, else_e } => format!(
+        Expr::Mux {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
             "(mux {} {} {})",
             format_expr(design, *cond),
             format_expr(design, *then_e),
@@ -118,7 +122,11 @@ pub fn format_expr(design: &Design, expr: ExprId) -> String {
             format_expr(design, *hi),
             format_expr(design, *lo)
         ),
-        Expr::Rom { table, index, width } => {
+        Expr::Rom {
+            table,
+            index,
+            width,
+        } => {
             let mut entries = String::new();
             for (i, v) in table.iter().enumerate() {
                 if i > 0 {
@@ -173,7 +181,10 @@ pub fn parse(text: &str) -> Result<ValidatedDesign, DesignError> {
 }
 
 fn parse_err(line: usize, message: &str) -> DesignError {
-    DesignError::Parse { line, message: message.to_string() }
+    DesignError::Parse {
+        line,
+        message: message.to_string(),
+    }
 }
 
 fn parse_statement(
@@ -193,11 +204,15 @@ fn parse_statement(
                 d.add_input(name, width).map_err(|e| wrap(e, line))?;
             } else {
                 let [name, width, reset] = tokens[..] else {
-                    return Err(parse_err(line, "expected `register <name> <width> <reset>`"));
+                    return Err(parse_err(
+                        line,
+                        "expected `register <name> <width> <reset>`",
+                    ));
                 };
                 let width = parse_number(width, line)? as u32;
                 let reset = parse_number(reset, line)?;
-                d.add_register(name, width, reset).map_err(|e| wrap(e, line))?;
+                d.add_register(name, width, reset)
+                    .map_err(|e| wrap(e, line))?;
             }
             Ok(())
         }
@@ -241,13 +256,19 @@ fn parse_statement(
 fn wrap(err: DesignError, line: usize) -> DesignError {
     match err {
         DesignError::Parse { message, .. } => DesignError::Parse { line, message },
-        other => DesignError::Parse { line, message: other.to_string() },
+        other => DesignError::Parse {
+            line,
+            message: other.to_string(),
+        },
     }
 }
 
 fn parse_number(token: &str, line: usize) -> Result<u128, DesignError> {
     let token = token.trim();
-    let parsed = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+    let parsed = if let Some(hex) = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+    {
         u128::from_str_radix(hex, 16)
     } else {
         token.parse()
@@ -344,7 +365,10 @@ fn parse_operator(
                 *pos += 1;
                 Ok(a.clone())
             }
-            _ => Err(parse_err(line, &format!("expected literal argument for `{op}`"))),
+            _ => Err(parse_err(
+                line,
+                &format!("expected literal argument for `{op}`"),
+            )),
         }
     };
     match op {
@@ -461,7 +485,9 @@ mod tests {
         let one = d.constant(1, 4).unwrap();
         let inc = d.add(d.signal(count), one).unwrap();
         let inc_wire = d.add_wire("inc", inc).unwrap();
-        let next = d.mux(d.signal(en), d.signal(inc_wire), d.signal(count)).unwrap();
+        let next = d
+            .mux(d.signal(en), d.signal(inc_wire), d.signal(count))
+            .unwrap();
         d.set_register_next(count, next).unwrap();
         d.add_output("value", d.signal(count)).unwrap();
         d.validated().unwrap()
@@ -543,12 +569,18 @@ output o 1 = a
     #[test]
     fn width_annotation_must_match_expression() {
         let text = "design d\ninput a 4\noutput o 8 = a\n";
-        assert!(matches!(parse(text), Err(DesignError::Parse { line: 3, .. })));
+        assert!(matches!(
+            parse(text),
+            Err(DesignError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]
     fn missing_design_line_is_rejected() {
-        assert!(matches!(parse("input a 1\n"), Err(DesignError::Parse { line: 1, .. })));
+        assert!(matches!(
+            parse("input a 1\n"),
+            Err(DesignError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -91,7 +91,11 @@ pub(crate) fn eval_expr(
                     }
                 }
             }
-            Expr::Mux { cond, then_e, else_e } => {
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 if cache[cond] != 0 {
                     cache[then_e]
                 } else {
@@ -155,7 +159,12 @@ impl<'a> Simulator<'a> {
                 state[id.index()] = reset;
             }
         }
-        Simulator { design, state, inputs: vec![0u128; d.num_signals()], cycle: 0 }
+        Simulator {
+            design,
+            state,
+            inputs: vec![0u128; d.num_signals()],
+            cycle: 0,
+        }
     }
 
     /// Number of clock cycles simulated so far.
@@ -434,7 +443,14 @@ mod tests {
         let design = d.validated().unwrap();
         let mut sim = Simulator::new(&design);
 
-        for &(va, vb) in &[(0u128, 0u128), (1, 2), (255, 1), (170, 85), (200, 200), (3, 9)] {
+        for &(va, vb) in &[
+            (0u128, 0u128),
+            (1, 2),
+            (255, 1),
+            (170, 85),
+            (200, 200),
+            (3, 9),
+        ] {
             sim.set_input_by_name("a", va).unwrap();
             sim.set_input_by_name("b", vb).unwrap();
             let expect = |name: &str| -> u128 {

@@ -57,7 +57,10 @@ impl DesignStats {
     #[must_use]
     pub fn of(design: &ValidatedDesign) -> Self {
         let d = design.design();
-        let mut stats = DesignStats { expr_nodes: d.num_exprs(), ..Default::default() };
+        let mut stats = DesignStats {
+            expr_nodes: d.num_exprs(),
+            ..Default::default()
+        };
         for (_, s) in d.signals() {
             match s.kind() {
                 SignalKind::Input => {

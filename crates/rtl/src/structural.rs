@@ -115,8 +115,11 @@ pub fn fanout_levels(design: &ValidatedDesign) -> Vec<Vec<SignalId>> {
     let mut all: HashSet<SignalId> = HashSet::new();
     let mut frontier = get_fanout(design, &inputs);
     loop {
-        let new_signals: Vec<SignalId> =
-            frontier.iter().copied().filter(|s| !all.contains(s)).collect();
+        let new_signals: Vec<SignalId> = frontier
+            .iter()
+            .copied()
+            .filter(|s| !all.contains(s))
+            .collect();
         if new_signals.is_empty() {
             break;
         }
@@ -223,12 +226,12 @@ pub fn data_driven_violations(
     // The registers whose one-step value is fully determined by `allowed`
     // (given that primary inputs are always shared between the instances).
     let check_register = |d: &Design,
-                              cache: &mut HashMap<SignalId, BTreeSet<SignalId>>,
-                              property_index: usize,
-                              proven_signal: SignalId,
-                              reg: SignalId,
-                              allowed: &HashSet<SignalId>,
-                              violations: &mut Vec<DataDrivenViolation>| {
+                          cache: &mut HashMap<SignalId, BTreeSet<SignalId>>,
+                          property_index: usize,
+                          proven_signal: SignalId,
+                          reg: SignalId,
+                          allowed: &HashSet<SignalId>,
+                          violations: &mut Vec<DataDrivenViolation>| {
         let driver = d.signal_info(reg).driver().expect("validated design");
         for dep in expr_support(d, driver, cache) {
             if !inputs.contains(&dep) && !allowed.contains(&dep) {

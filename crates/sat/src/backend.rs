@@ -1,0 +1,493 @@
+//! Pluggable SAT backends for the property checker.
+//!
+//! The detection flow in `htd-core` issues a *sequence* of closely related
+//! queries against one growing CNF.  [`SatBackend`] is the minimal incremental
+//! interface that sequence needs: allocate variables, add clauses, solve under
+//! assumptions, read the model.  Two implementations ship with the toolkit:
+//!
+//! * the bundled CDCL [`Solver`] (zero-copy, learnt clauses persist across
+//!   queries), and
+//! * [`DimacsProcessBackend`], which shells out to any solver binary speaking
+//!   the DIMACS CNF format and the SAT-competition output convention
+//!   (`s SATISFIABLE` / `s UNSATISFIABLE` plus `v` model lines, or exit codes
+//!   10/20).  It keeps the ablation benchmarks honest: the flow can be timed
+//!   against a reference solver without touching the encoder.
+//!
+//! # Example
+//!
+//! ```
+//! use htd_sat::{Lit, SatBackend, SolveResult, Solver};
+//!
+//! let mut backend: Box<dyn SatBackend> = Box::new(Solver::new());
+//! let a = backend.new_var();
+//! let b = backend.new_var();
+//! backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! let result = backend.solve_under(&[Lit::neg(a)]).unwrap();
+//! assert_eq!(result, SolveResult::Sat);
+//! assert_eq!(backend.model_value(b), Some(true));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use crate::literal::{Lit, Var};
+use crate::solver::{SolveResult, Solver, SolverStats};
+
+/// A failure inside a SAT backend (today: only process backends can fail —
+/// the bundled solver is total).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl BackendError {
+    fn new(message: impl Into<String>) -> Self {
+        BackendError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SAT backend error: {}", self.message)
+    }
+}
+
+impl Error for BackendError {}
+
+/// Aggregate counters for a backend, rendered into the per-property
+/// statistics of the flow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Variables allocated so far.
+    pub vars: usize,
+    /// Clauses currently held (for the bundled solver: non-deleted clauses).
+    pub clauses: usize,
+    /// Satisfiability queries answered.
+    pub queries: u64,
+    /// Detailed work counters (all-zero for process backends, which do not
+    /// report internals).
+    pub solver: SolverStats,
+}
+
+/// An incremental SAT solving interface.
+///
+/// Implementations must keep added clauses across queries and treat
+/// `assumptions` as per-query unit constraints that do not persist.
+pub trait SatBackend {
+    /// A short, stable name for reports (`"builtin-cdcl"`, `"dimacs:..."`).
+    fn name(&self) -> String;
+
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause over already-allocated variables.  Returns `false` if
+    /// the formula became trivially unsatisfiable at the top level.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Solves the current formula under the given assumption literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the backend infrastructure fails (e.g. the
+    /// external solver binary cannot be spawned); never for a mere UNSAT
+    /// answer.
+    fn solve_under(&mut self, assumptions: &[Lit]) -> Result<SolveResult, BackendError>;
+
+    /// The value of `var` in the most recent satisfying assignment, `None`
+    /// if the last query was not SAT or did not mention the variable.
+    fn model_value(&self, var: Var) -> Option<bool>;
+
+    /// Work counters accumulated so far.
+    fn stats(&self) -> BackendStats;
+
+    /// Hint that the next query targets a *different* objective than the
+    /// previous one: backends may reset search heuristics tuned to the old
+    /// query (keeping the clause database).  Default: no-op.
+    fn begin_new_query(&mut self) {}
+
+    /// Marks a variable as eligible (default) or ineligible for branching.
+    ///
+    /// Incremental clients mask variables belonging to retired queries so
+    /// the search stays inside the live cone; see
+    /// [`Solver::set_decision_var`] for the soundness contract.  Backends
+    /// without decision-variable support (e.g. process backends that re-read
+    /// the whole CNF per query) ignore the hint, which is always sound.
+    fn set_decision_var(&mut self, _var: Var, _eligible: bool) {}
+}
+
+impl SatBackend for Solver {
+    fn name(&self) -> String {
+        "builtin-cdcl".to_string()
+    }
+
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits.iter().copied())
+    }
+
+    fn solve_under(&mut self, assumptions: &[Lit]) -> Result<SolveResult, BackendError> {
+        Ok(self.solve_with_assumptions(assumptions))
+    }
+
+    fn model_value(&self, var: Var) -> Option<bool> {
+        self.value(var)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            vars: self.num_vars(),
+            clauses: self.num_clauses(),
+            queries: Solver::stats(self).solves,
+            solver: Solver::stats(self),
+        }
+    }
+
+    fn begin_new_query(&mut self) {
+        self.reset_decision_heuristics();
+    }
+
+    fn set_decision_var(&mut self, var: Var, eligible: bool) {
+        Solver::set_decision_var(self, var, eligible);
+    }
+}
+
+/// A backend that shells out to an external DIMACS-speaking solver binary for
+/// every query.
+///
+/// The clause database is kept in memory; each [`solve_under`] call writes
+/// the full formula (with the assumptions appended as unit clauses) to a
+/// temporary file, runs the binary on it, and interprets the result:
+///
+/// * exit status 10, or a `s SATISFIABLE` line, means SAT (the model is read
+///   from `v` lines if present);
+/// * exit status 20, or a `s UNSATISFIABLE` line, means UNSAT.
+///
+/// This convention covers the SAT-competition solvers (CaDiCaL, Kissat, …)
+/// as well as the bundled `htd sat` subcommand, which exists so the process
+/// path can be exercised without any third-party software installed.  A
+/// solver that answers SAT *without* printing a model (e.g. MiniSat's
+/// file-output mode) is rejected with a [`BackendError`] rather than
+/// silently treated as an all-false model — counterexample reconstruction
+/// needs real model values.
+///
+/// [`solve_under`]: SatBackend::solve_under
+#[derive(Debug)]
+pub struct DimacsProcessBackend {
+    solver_path: PathBuf,
+    extra_args: Vec<String>,
+    /// Distinguishes concurrently-live backends within one process so their
+    /// temporary CNF files cannot collide.
+    instance: u64,
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    model: Vec<Option<bool>>,
+    queries: u64,
+    known_unsat: bool,
+}
+
+/// Monotonic id source for [`DimacsProcessBackend::instance`].
+static NEXT_BACKEND_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl DimacsProcessBackend {
+    /// Creates a backend running the given solver binary.
+    #[must_use]
+    pub fn new(solver_path: impl Into<PathBuf>) -> Self {
+        DimacsProcessBackend {
+            solver_path: solver_path.into(),
+            extra_args: Vec::new(),
+            instance: NEXT_BACKEND_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            num_vars: 0,
+            clauses: Vec::new(),
+            model: Vec::new(),
+            queries: 0,
+            known_unsat: false,
+        }
+    }
+
+    /// Adds fixed arguments passed before the CNF file path (e.g. a solver's
+    /// quiet flag).
+    #[must_use]
+    pub fn with_args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.extra_args = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The solver binary this backend runs.
+    #[must_use]
+    pub fn solver_path(&self) -> &Path {
+        &self.solver_path
+    }
+
+    fn write_query(&self, assumptions: &[Lit]) -> Result<PathBuf, BackendError> {
+        let path = std::env::temp_dir().join(format!(
+            "htd-dimacs-{}-{}-{}.cnf",
+            std::process::id(),
+            self.instance,
+            self.queries
+        ));
+        let mut text = String::new();
+        text.push_str(&format!(
+            "p cnf {} {}\n",
+            self.num_vars,
+            self.clauses.len() + assumptions.len()
+        ));
+        for clause in &self.clauses {
+            for lit in clause {
+                text.push_str(&lit.to_string());
+                text.push(' ');
+            }
+            text.push_str("0\n");
+        }
+        for lit in assumptions {
+            text.push_str(&lit.to_string());
+            text.push_str(" 0\n");
+        }
+        std::fs::write(&path, text)
+            .map_err(|e| BackendError::new(format!("writing {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    fn parse_answer(
+        &mut self,
+        stdout: &str,
+        status: Option<i32>,
+    ) -> Result<SolveResult, BackendError> {
+        let mut verdict = match status {
+            Some(10) => Some(SolveResult::Sat),
+            Some(20) => Some(SolveResult::Unsat),
+            _ => None,
+        };
+        self.model = vec![None; self.num_vars as usize];
+        let mut saw_model_line = false;
+        for line in stdout.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("s ") {
+                verdict = match rest.trim() {
+                    "SATISFIABLE" => Some(SolveResult::Sat),
+                    "UNSATISFIABLE" => Some(SolveResult::Unsat),
+                    other => {
+                        return Err(BackendError::new(format!(
+                            "solver `{}` reported unknown status `{other}`",
+                            self.solver_path.display()
+                        )))
+                    }
+                };
+            } else if let Some(rest) = line.strip_prefix("v ").or_else(|| line.strip_prefix("V ")) {
+                saw_model_line = true;
+                for tok in rest.split_ascii_whitespace() {
+                    let value: i64 = tok
+                        .parse()
+                        .map_err(|_| BackendError::new(format!("invalid model token `{tok}`")))?;
+                    if value == 0 {
+                        continue;
+                    }
+                    let index = (value.unsigned_abs() - 1) as usize;
+                    if index < self.model.len() {
+                        self.model[index] = Some(value > 0);
+                    }
+                }
+            }
+        }
+        let verdict = verdict.ok_or_else(|| {
+            BackendError::new(format!(
+                "solver `{}` produced neither an `s` line nor exit code 10/20",
+                self.solver_path.display()
+            ))
+        })?;
+        if verdict == SolveResult::Sat && !saw_model_line && self.num_vars > 0 {
+            // Accepting a model-less SAT would make every variable read as
+            // `false` and fabricate meaningless counterexamples downstream.
+            return Err(BackendError::new(format!(
+                "solver `{}` answered SAT without `v` model lines; configure it to print the \
+                 model (e.g. use a SAT-competition output mode)",
+                self.solver_path.display()
+            )));
+        }
+        Ok(verdict)
+    }
+}
+
+impl SatBackend for DimacsProcessBackend {
+    fn name(&self) -> String {
+        format!("dimacs:{}", self.solver_path.display())
+    }
+
+    fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        for lit in lits {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "literal {lit:?} refers to an unallocated variable"
+            );
+        }
+        if self.known_unsat {
+            return false;
+        }
+        if lits.is_empty() {
+            self.known_unsat = true;
+            return false;
+        }
+        self.clauses.push(lits.to_vec());
+        true
+    }
+
+    fn solve_under(&mut self, assumptions: &[Lit]) -> Result<SolveResult, BackendError> {
+        self.queries += 1;
+        if self.known_unsat {
+            return Ok(SolveResult::Unsat);
+        }
+        let path = self.write_query(assumptions)?;
+        let output = Command::new(&self.solver_path)
+            .args(&self.extra_args)
+            .arg(&path)
+            .output();
+        let result = match output {
+            Ok(output) => {
+                let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+                self.parse_answer(&stdout, output.status.code())
+            }
+            Err(e) => Err(BackendError::new(format!(
+                "spawning solver `{}`: {e}",
+                self.solver_path.display()
+            ))),
+        };
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+
+    fn model_value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index() as usize).copied().flatten()
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            vars: self.num_vars as usize,
+            clauses: self.clauses.len(),
+            queries: self.queries,
+            solver: SolverStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_var_backend(backend: &mut dyn SatBackend) -> (Var, Var) {
+        let a = backend.new_var();
+        let b = backend.new_var();
+        backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        backend.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        (a, b)
+    }
+
+    #[test]
+    fn solver_implements_the_backend_interface() {
+        let mut solver = Solver::new();
+        let (a, b) = two_var_backend(&mut solver);
+        assert_eq!(
+            SatBackend::solve_under(&mut solver, &[]).unwrap(),
+            SolveResult::Sat
+        );
+        assert_eq!(
+            SatBackend::solve_under(&mut solver, &[Lit::neg(b)]).unwrap(),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            SatBackend::solve_under(&mut solver, &[]).unwrap(),
+            SolveResult::Sat
+        );
+        let _ = a;
+        let stats = SatBackend::stats(&solver);
+        assert_eq!(stats.vars, 2);
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn missing_binary_is_a_backend_error_not_a_panic() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        let a = backend.new_var();
+        backend.add_clause(&[Lit::pos(a)]);
+        let err = backend.solve_under(&[]).unwrap_err();
+        assert!(err.message.contains("spawning"), "{err}");
+    }
+
+    #[test]
+    fn empty_clause_makes_the_process_backend_known_unsat() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        assert!(!backend.add_clause(&[]));
+        // No process is spawned for a known-unsat formula.
+        assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Unsat);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sat_without_model_lines_is_rejected() {
+        use std::os::unix::fs::PermissionsExt;
+
+        let dir = std::env::temp_dir();
+        let script = dir.join(format!("htd-fake-modelless-{}.sh", std::process::id()));
+        std::fs::write(&script, "#!/bin/sh\necho 's SATISFIABLE'\nexit 10\n").unwrap();
+        let mut perms = std::fs::metadata(&script).unwrap().permissions();
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&script, perms).unwrap();
+
+        let mut backend = DimacsProcessBackend::new(&script);
+        let a = backend.new_var();
+        backend.add_clause(&[Lit::pos(a)]);
+        let err = backend.solve_under(&[]).unwrap_err();
+        assert!(err.message.contains("without `v` model lines"), "{err}");
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn concurrent_backends_use_distinct_temp_files() {
+        let a = DimacsProcessBackend::new("/bin/true");
+        let b = DimacsProcessBackend::new("/bin/true");
+        assert_ne!(a.instance, b.instance);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn process_backend_parses_competition_output() {
+        use std::os::unix::fs::PermissionsExt;
+
+        let dir = std::env::temp_dir();
+        let script = dir.join(format!("htd-fake-solver-{}.sh", std::process::id()));
+        std::fs::write(
+            &script,
+            "#!/bin/sh\necho 'c fake solver'\necho 's SATISFIABLE'\necho 'v 1 -2 0'\nexit 10\n",
+        )
+        .unwrap();
+        let mut perms = std::fs::metadata(&script).unwrap().permissions();
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&script, perms).unwrap();
+
+        let mut backend = DimacsProcessBackend::new(&script);
+        let a = backend.new_var();
+        let b = backend.new_var();
+        backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
+        assert_eq!(backend.model_value(a), Some(true));
+        assert_eq!(backend.model_value(b), Some(false));
+        assert_eq!(backend.stats().queries, 1);
+        std::fs::remove_file(&script).ok();
+    }
+}

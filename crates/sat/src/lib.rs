@@ -13,8 +13,15 @@
 //! * first-UIP conflict analysis with clause minimisation,
 //! * Luby restarts,
 //! * activity-based learnt-clause database reduction,
-//! * incremental solving under assumptions (used for the equality assumptions
-//!   of the spurious-counterexample workflow in `htd-core`).
+//! * incremental solving under assumptions (used for the antecedent
+//!   assumptions and per-property activation literals of the incremental
+//!   detection session in `htd-core`).
+//!
+//! The crate also defines the [`SatBackend`] trait — the minimal incremental
+//! interface the detection flow drives (allocate variables, add clauses,
+//! solve under assumptions, read the model) — implemented by [`Solver`] and
+//! by [`DimacsProcessBackend`], which shells out to any DIMACS-speaking
+//! solver binary so the flow can be benchmarked against reference solvers.
 //!
 //! # Example
 //!
@@ -36,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod dimacs;
 mod literal;
 mod solver;
 
+pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use literal::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

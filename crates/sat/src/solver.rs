@@ -44,6 +44,9 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of learnt clauses removed by database reduction.
     pub removed_clauses: u64,
+    /// Number of satisfiability queries answered (with or without
+    /// assumptions).
+    pub solves: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -115,6 +118,7 @@ pub struct Solver {
     qhead: usize,
     seen: Vec<bool>,
     model: Vec<Option<bool>>,
+    decision: Vec<bool>,
     ok: bool,
     stats: SolverStats,
     max_learnt: f64,
@@ -143,9 +147,13 @@ impl Solver {
         self.activity.push(0.0);
         self.seen.push(false);
         self.model.push(None);
+        self.decision.push(true);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.push(HeapEntry { activity: 0.0, var: v });
+        self.order.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
         v
     }
 
@@ -165,6 +173,71 @@ impl Solver {
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Marks a variable as eligible (`true`, the default) or ineligible
+    /// (`false`) for branching decisions.
+    ///
+    /// Incremental clients use this to confine the search to the cone of the
+    /// current query: variables belonging to *retired* queries are purely
+    /// definitional (acyclic Tseitin gate definitions whose guard literals
+    /// have been forced off), so any partial model extends over them and the
+    /// solver must not waste decisions — and conflicts — guessing their
+    /// values.
+    ///
+    /// **Soundness caveat**: when the solver answers [`SolveResult::Sat`]
+    /// with masked variables, those variables may be left unassigned
+    /// ([`value`](Self::value) returns `None`).  The caller asserts, by
+    /// masking, that every total assignment of the decision variables
+    /// extends to the masked ones; this holds for definitional clauses but
+    /// not for arbitrary CNF.
+    pub fn set_decision_var(&mut self, var: Var, eligible: bool) {
+        let vi = var.index() as usize;
+        let was = self.decision[vi];
+        self.decision[vi] = eligible;
+        if eligible && !was && self.assigns[vi].is_none() {
+            self.order.push(HeapEntry {
+                activity: self.activity[vi],
+                var,
+            });
+        }
+    }
+
+    /// Whether a variable is currently eligible for branching decisions.
+    #[must_use]
+    pub fn is_decision_var(&self, var: Var) -> bool {
+        self.decision[var.index() as usize]
+    }
+
+    /// Resets the decision heuristics — VSIDS activities, saved phases and
+    /// the variable order — to their initial state, keeping the clause
+    /// database (including learnt clauses) intact.
+    ///
+    /// Incremental clients solving a *sequence of different queries* over one
+    /// growing formula call this between queries: activities and phases tuned
+    /// for the previous query's conflict structure can steer the next search
+    /// into an irrelevant subspace (measured 5–10x slowdowns on the
+    /// spurious-counterexample re-verification queries of the detection
+    /// flow), while the learnt clauses remain useful.
+    pub fn reset_decision_heuristics(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.var_inc = 1.0;
+        for a in &mut self.activity {
+            *a = 0.0;
+        }
+        for p in &mut self.phase {
+            *p = false;
+        }
+        self.order.clear();
+        for index in 0..self.num_vars() as u32 {
+            let v = Var::from_index(index);
+            if self.var_value(v).is_none() {
+                self.order.push(HeapEntry {
+                    activity: 0.0,
+                    var: v,
+                });
+            }
+        }
     }
 
     /// Adds a clause (a disjunction of literals) to the formula.
@@ -238,6 +311,7 @@ impl Solver {
     /// relative to them, and they are retracted afterwards so the solver can
     /// be reused with different assumptions.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -289,11 +363,22 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cr = self.clauses.len();
-        let w0 = Watcher { clause: cr, blocker: lits[1] };
-        let w1 = Watcher { clause: cr, blocker: lits[0] };
+        let w0 = Watcher {
+            clause: cr,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cr,
+            blocker: lits[0],
+        };
         self.watches[(!lits[0]).code() as usize].push(w0);
         self.watches[(!lits[1]).code() as usize].push(w1);
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
         if learnt {
             self.stats.learnt_clauses += 1;
         }
@@ -325,7 +410,10 @@ impl Solver {
             let vi = v.index() as usize;
             self.assigns[vi] = None;
             self.reason[vi] = None;
-            self.order.push(HeapEntry { activity: self.activity[vi], var: v });
+            self.order.push(HeapEntry {
+                activity: self.activity[vi],
+                var: v,
+            });
         }
         self.trail_lim.truncate(level);
         self.qhead = self.trail.len();
@@ -358,7 +446,10 @@ impl Solver {
                     debug_assert_eq!(c.lits[1], false_lit);
                 }
                 let first = self.clauses[cr].lits[0];
-                let new_watcher = Watcher { clause: cr, blocker: first };
+                let new_watcher = Watcher {
+                    clause: cr,
+                    blocker: first,
+                };
                 if first != w.blocker && self.lit_value(first) == Some(true) {
                     kept.push(new_watcher);
                     continue;
@@ -407,7 +498,10 @@ impl Solver {
             self.var_inc *= 1.0 / RESCALE_LIMIT;
         }
         if self.var_value(v).is_none() {
-            self.order.push(HeapEntry { activity: self.activity[vi], var: v });
+            self.order.push(HeapEntry {
+                activity: self.activity[vi],
+                var: v,
+            });
         }
     }
 
@@ -529,7 +623,7 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(entry) = self.order.pop() {
-            if self.var_value(entry.var).is_none() {
+            if self.var_value(entry.var).is_none() && self.decision[entry.var.index() as usize] {
                 return Some(entry.var);
             }
         }
@@ -537,7 +631,7 @@ impl Solver {
         // entry (e.g. stale activities after rescaling).
         (0..self.num_vars() as u32)
             .map(Var::from_index)
-            .find(|&v| self.var_value(v).is_none())
+            .find(|&v| self.var_value(v).is_none() && self.decision[v.index() as usize])
     }
 
     fn reduce_db(&mut self) {
@@ -559,7 +653,7 @@ impl Solver {
                 .unwrap_or(Ordering::Equal)
         });
         let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cr: ClauseRef| locked.iter().any(|&r| r == Some(cr));
+        let is_locked = |cr: ClauseRef| locked.contains(&Some(cr));
         let to_remove = learnt_refs.len() / 2;
         let mut removed = 0;
         for &cr in learnt_refs.iter().take(to_remove) {
@@ -584,8 +678,14 @@ impl Solver {
             }
             let l0 = self.clauses[cr].lits[0];
             let l1 = self.clauses[cr].lits[1];
-            self.watches[(!l0).code() as usize].push(Watcher { clause: cr, blocker: l1 });
-            self.watches[(!l1).code() as usize].push(Watcher { clause: cr, blocker: l0 });
+            self.watches[(!l0).code() as usize].push(Watcher {
+                clause: cr,
+                blocker: l1,
+            });
+            self.watches[(!l1).code() as usize].push(Watcher {
+                clause: cr,
+                blocker: l0,
+            });
         }
         // Re-run propagation over the whole trail to restore the watcher
         // invariants with respect to the current (level-0) assignment.
@@ -671,25 +771,18 @@ impl Solver {
 
     /// `luby(i)` for the restart schedule, with a simple, clearly-correct
     /// recursive definition (the sequence is short in practice).
-    fn luby_value(i: u64) -> u64 {
+    fn luby_value(mut i: u64) -> u64 {
         // Find the finite subsequence that contains index `i`, and the size of
         // that subsequence.
         let mut size = 1u64;
-        let mut seq = 0u64;
         while size < i + 1 {
-            seq += 1;
             size = 2 * size + 1;
         }
-        let mut i = i;
-        let mut size = size;
-        let mut seq = seq;
         while size - 1 != i {
             size = (size - 1) / 2;
-            seq -= 1;
             i %= size;
         }
-        let _ = seq;
-        (size + 1) / 2
+        size.div_ceil(2)
     }
 }
 
@@ -843,10 +936,7 @@ mod tests {
             s.solve_with_assumptions(&[lit(&v, 1), lit(&v, 2)]),
             SolveResult::Sat
         );
-        assert_eq!(
-            s.solve_with_assumptions(&[lit(&v, -2)]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -2)]), SolveResult::Unsat);
         // Formula itself stays satisfiable.
         assert!(!s.is_known_unsat());
         assert_eq!(s.solve(), SolveResult::Sat);

@@ -22,11 +22,10 @@ fn brute_force_sat(num_vars: u8, clauses: &[RawClause]) -> bool {
     let n = num_vars as u32;
     for assignment in 0u32..(1 << n) {
         let value = |v: u8| assignment & (1 << v) != 0;
-        if clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|&(v, negated)| value(v) != negated)
-        }) {
+        if clauses
+            .iter()
+            .all(|clause| clause.iter().any(|&(v, negated)| value(v) != negated))
+        {
             return true;
         }
     }

@@ -1,0 +1,233 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion` API
+//! this workspace's benchmarks use.
+//!
+//! The container building this repository has no network access, so the real
+//! crates.io `criterion` cannot be fetched.  The shim keeps the bench sources
+//! unchanged (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`) and prints a simple min/mean/max
+//! wall-clock summary per benchmark instead of criterion's full statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    #[must_use]
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups benchmarking one function).
+    #[must_use]
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure repeatedly.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` `sample_size` times (after one warm-up), recording the
+    /// wall-clock time of each run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, not recorded
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of recorded runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Benchmarks a routine without an input value.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.into()), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (required by the criterion API; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+        };
+        routine(&mut bencher);
+        self.report(&id.into(), &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        let mut line = String::new();
+        if samples.is_empty() {
+            let _ = write!(line, "{id:<60} (no samples)");
+        } else {
+            let min = samples.iter().min().expect("non-empty");
+            let max = samples.iter().max().expect("non-empty");
+            let total: Duration = samples.iter().sum();
+            let mean = total / samples.len() as u32;
+            let _ = write!(
+                line,
+                "{id:<60} [{} {} {}] ({} samples)",
+                format_duration(*min),
+                format_duration(mean),
+                format_duration(*max),
+                samples.len()
+            );
+        }
+        println!("{line}");
+        self.lines.push(line);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_record_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+                b.iter(|| n * n)
+            });
+            group.bench_function("noop", |b| b.iter(|| ()));
+            group.finish();
+        }
+        assert_eq!(c.lines.len(), 2);
+        assert!(c.lines[0].contains("demo/square/7"));
+    }
+
+    #[test]
+    fn format_duration_picks_sensible_units() {
+        assert!(format_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

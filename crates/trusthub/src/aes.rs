@@ -211,9 +211,7 @@ fn build_payload_structures(
             let osc_next = d.mux(d.signal(enable), inverted, d.signal(osc))?;
             d.set_register_next(osc, osc_next)?;
         }
-        Payload::DenialOfService
-        | Payload::CiphertextBitFlip { .. }
-        | Payload::LeakToOutput => {
+        Payload::DenialOfService | Payload::CiphertextBitFlip { .. } | Payload::LeakToOutput => {
             // Handled on the ciphertext path in `build_aes`.
         }
     }
@@ -279,7 +277,12 @@ fn mix_columns(d: &mut Design, state: ExprId) -> Result<ExprId, DesignError> {
     }
     let mut out = bytes.clone();
     for col in 0..4 {
-        let a = [bytes[4 * col], bytes[4 * col + 1], bytes[4 * col + 2], bytes[4 * col + 3]];
+        let a = [
+            bytes[4 * col],
+            bytes[4 * col + 1],
+            bytes[4 * col + 2],
+            bytes[4 * col + 3],
+        ];
         let a01 = d.xor(a[0], a[1])?;
         let a23 = d.xor(a[2], a[3])?;
         let all = d.xor(a01, a23)?;
@@ -372,8 +375,9 @@ mod tests {
     fn pipeline_streams_one_block_per_cycle() {
         let design = build_aes("aes_stream", None).unwrap();
         let mut sim = Simulator::new(&design);
-        let inputs: Vec<(u128, u128)> =
-            (0..4).map(|i| (0x1111 * (i + 1) as u128, 0x2222 * (i + 3) as u128)).collect();
+        let inputs: Vec<(u128, u128)> = (0..4)
+            .map(|i| (0x1111 * (i + 1) as u128, 0x2222 * (i + 3) as u128))
+            .collect();
         let mut outputs = Vec::new();
         for cycle in 0..(inputs.len() as u64 + PIPELINE_LATENCY) {
             let (pt, key) = inputs.get(cycle as usize).copied().unwrap_or((0, 0));
@@ -405,7 +409,9 @@ mod tests {
     fn bit_flip_trojan_corrupts_ciphertext_only_when_armed() {
         let spec = TrojanSpec::new(
             Trigger::CycleCounter { threshold: 30 },
-            Payload::CiphertextBitFlip { level: OUTPUT_LEVEL },
+            Payload::CiphertextBitFlip {
+                level: OUTPUT_LEVEL,
+            },
         );
         let design = build_aes("aes_t2500_like", Some(&spec)).unwrap();
         let mut sim = Simulator::new(&design);
@@ -415,10 +421,16 @@ mod tests {
         sim.set_input_by_name("key", key).unwrap();
         // Before the counter reaches its threshold the output is correct.
         sim.run(PIPELINE_LATENCY).unwrap();
-        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), encrypt_u128(pt, key));
+        assert_eq!(
+            sim.peek_by_name("ciphertext").unwrap(),
+            encrypt_u128(pt, key)
+        );
         // After the trigger threshold the LSB is flipped.
         sim.run(30).unwrap();
-        assert_eq!(sim.peek_by_name("ciphertext").unwrap(), encrypt_u128(pt, key) ^ 1);
+        assert_eq!(
+            sim.peek_by_name("ciphertext").unwrap(),
+            encrypt_u128(pt, key) ^ 1
+        );
     }
 
     #[test]
@@ -475,7 +487,10 @@ mod tests {
     #[test]
     fn psc_payload_shifts_key_dependent_bits_once_armed() {
         let spec = TrojanSpec::new(
-            Trigger::ValueCounter { value: 0x1, threshold: 2 },
+            Trigger::ValueCounter {
+                value: 0x1,
+                threshold: 2,
+            },
             Payload::PowerSideChannel,
         );
         let design = build_aes("aes_psc", Some(&spec)).unwrap();
@@ -495,8 +510,7 @@ mod tests {
 
     #[test]
     fn rf_antenna_emits_key_bit_when_armed() {
-        let spec =
-            TrojanSpec::new(Trigger::PlaintextSequence(vec![0x5]), Payload::RfAntenna);
+        let spec = TrojanSpec::new(Trigger::PlaintextSequence(vec![0x5]), Payload::RfAntenna);
         let design = build_aes("aes_rf", Some(&spec)).unwrap();
         let mut sim = Simulator::new(&design);
         sim.set_input_by_name("key", 0x1).unwrap();
@@ -515,7 +529,9 @@ mod tests {
         let design = build_aes("aes_waivers", Some(&spec)).unwrap();
         let benign = benign_state(&design);
         let d = design.design();
-        assert!(benign.iter().all(|&s| !d.signal_name(s).starts_with("trojan_")));
+        assert!(benign
+            .iter()
+            .all(|&s| !d.signal_name(s).starts_with("trojan_")));
         assert_eq!(benign.len(), 42);
     }
 }

@@ -125,17 +125,45 @@ impl Benchmark {
     pub fn table1() -> Vec<Benchmark> {
         use Benchmark::*;
         vec![
-            AesT100, AesT1000, AesT1100, AesT1200, AesT1300, AesT1400, AesT1500, AesT1600,
-            AesT1700, AesT1800, AesT1900, AesT2000, AesT2100, AesT2500, AesT2600, AesT2700,
-            AesT2800, AesT200, AesT300, AesT400, AesT500, AesT600, AesT700, AesT800, AesT900,
-            BasicRsaT200, BasicRsaT300, BasicRsaT400,
+            AesT100,
+            AesT1000,
+            AesT1100,
+            AesT1200,
+            AesT1300,
+            AesT1400,
+            AesT1500,
+            AesT1600,
+            AesT1700,
+            AesT1800,
+            AesT1900,
+            AesT2000,
+            AesT2100,
+            AesT2500,
+            AesT2600,
+            AesT2700,
+            AesT2800,
+            AesT200,
+            AesT300,
+            AesT400,
+            AesT500,
+            AesT600,
+            AesT700,
+            AesT800,
+            AesT900,
+            BasicRsaT200,
+            BasicRsaT300,
+            BasicRsaT400,
         ]
     }
 
     /// The HT-free reference designs verified secure in Sec. VI of the paper.
     #[must_use]
     pub fn ht_free() -> Vec<Benchmark> {
-        vec![Benchmark::AesHtFree, Benchmark::BasicRsaHtFree, Benchmark::Rs232HtFree]
+        vec![
+            Benchmark::AesHtFree,
+            Benchmark::BasicRsaHtFree,
+            Benchmark::Rs232HtFree,
+        ]
     }
 
     /// All benchmarks (infected, case study, and HT-free).
@@ -162,10 +190,29 @@ impl Benchmark {
         use Payload as P;
         use Trigger as T;
 
-        let psc = |name, seed, paper| aes_row(name, "PSC", "plaintext seq.", paper, E::InitProperty,
-            TrojanSpec::new(T::PlaintextSequence(plaintext_sequence(seed, 2 + (seed as usize % 3))), P::PowerSideChannel));
-        let psc_count = |name, threshold, paper| aes_row(name, "PSC", "# encryptions", paper, E::InitProperty,
-            TrojanSpec::new(T::InputChangeCounter { threshold }, P::PowerSideChannel));
+        let psc = |name, seed, paper| {
+            aes_row(
+                name,
+                "PSC",
+                "plaintext seq.",
+                paper,
+                E::InitProperty,
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(seed, 2 + (seed as usize % 3))),
+                    P::PowerSideChannel,
+                ),
+            )
+        };
+        let psc_count = |name, threshold, paper| {
+            aes_row(
+                name,
+                "PSC",
+                "# encryptions",
+                paper,
+                E::InitProperty,
+                TrojanSpec::new(T::InputChangeCounter { threshold }, P::PowerSideChannel),
+            )
+        };
 
         match self {
             AesT100 => psc("AES-T100", 1, "init property"),
@@ -191,7 +238,10 @@ impl Benchmark {
                 "plaintext seq.",
                 "init property",
                 E::InitProperty,
-                TrojanSpec::new(T::PlaintextSequence(plaintext_sequence(16, 3)), P::RfAntenna),
+                TrojanSpec::new(
+                    T::PlaintextSequence(plaintext_sequence(16, 3)),
+                    P::RfAntenna,
+                ),
             ),
             AesT1700 => aes_row(
                 "AES-T1700",
@@ -246,8 +296,12 @@ impl Benchmark {
                 "fanout property 21",
                 E::FanoutProperty(21),
                 TrojanSpec::new(
-                    T::CycleCounter { threshold: 1_000_000 },
-                    P::CiphertextBitFlip { level: aes::OUTPUT_LEVEL },
+                    T::CycleCounter {
+                        threshold: 1_000_000,
+                    },
+                    P::CiphertextBitFlip {
+                        level: aes::OUTPUT_LEVEL,
+                    },
                 ),
             ),
             AesT2600 => aes_row(
@@ -269,7 +323,9 @@ impl Benchmark {
                 E::FanoutProperty(21),
                 TrojanSpec::new(
                     T::CycleCounter { threshold: 250_000 },
-                    P::CiphertextBitFlip { level: aes::OUTPUT_LEVEL },
+                    P::CiphertextBitFlip {
+                        level: aes::OUTPUT_LEVEL,
+                    },
                 ),
             ),
             AesT2800 => aes_row(
@@ -459,8 +515,14 @@ mod tests {
         assert_eq!(rows.len(), 28);
         assert_eq!(rows.first().unwrap().name(), "AES-T100");
         assert_eq!(rows.last().unwrap().name(), "BasicRSA-T400");
-        let aes_rows = rows.iter().filter(|b| b.info().base == BaseDesign::Aes).count();
-        let rsa_rows = rows.iter().filter(|b| b.info().base == BaseDesign::BasicRsa).count();
+        let aes_rows = rows
+            .iter()
+            .filter(|b| b.info().base == BaseDesign::Aes)
+            .count();
+        let rsa_rows = rows
+            .iter()
+            .filter(|b| b.info().base == BaseDesign::BasicRsa)
+            .count();
         assert_eq!(aes_rows, 25);
         assert_eq!(rsa_rows, 3);
     }
@@ -511,7 +573,9 @@ mod tests {
         // Building every design exercises all trigger/payload combinations;
         // validation (widths, combinational loops, completeness) must pass.
         for b in Benchmark::all() {
-            let design = b.build().unwrap_or_else(|e| panic!("{} failed to build: {e}", b.name()));
+            let design = b
+                .build()
+                .unwrap_or_else(|e| panic!("{} failed to build: {e}", b.name()));
             assert!(design.design().num_signals() > 0);
         }
     }
@@ -527,7 +591,12 @@ mod tests {
                 .any(|&r| d.signal_name(r).starts_with("trojan_"));
             let corrupts_output_only = matches!(
                 b.info().trojan.as_ref().map(|t| &t.payload),
-                Some(Payload::CiphertextBitFlip { .. } | Payload::DenialOfService | Payload::LeakToOutput | Payload::RfAntenna)
+                Some(
+                    Payload::CiphertextBitFlip { .. }
+                        | Payload::DenialOfService
+                        | Payload::LeakToOutput
+                        | Payload::RfAntenna
+                )
             );
             assert!(
                 has_trojan_reg || corrupts_output_only,
@@ -536,7 +605,9 @@ mod tests {
             );
             // Waivers never include trojan state.
             let benign = b.benign_state(&design);
-            assert!(benign.iter().all(|&s| !d.signal_name(s).starts_with("trojan_")));
+            assert!(benign
+                .iter()
+                .all(|&s| !d.signal_name(s).starts_with("trojan_")));
         }
     }
 

@@ -206,12 +206,7 @@ fn modular_reduce(d: &mut Design, value: ExprId, modulus: ExprId) -> Result<Expr
 
 /// Modular multiplication `a * b mod modulus` with `a, b < modulus`
 /// (combinational shift-and-subtract reduction).
-fn modmul(
-    d: &mut Design,
-    a: ExprId,
-    b: ExprId,
-    modulus: ExprId,
-) -> Result<ExprId, DesignError> {
+fn modmul(d: &mut Design, a: ExprId, b: ExprId, modulus: ExprId) -> Result<ExprId, DesignError> {
     let wa = d.zero_ext(a, 2 * WORD_BITS)?;
     let wb = d.zero_ext(b, 2 * WORD_BITS)?;
     let product = d.mul(wa, wb)?;
@@ -267,7 +262,10 @@ mod tests {
         sim.step().unwrap();
         sim.set_input_by_name("ds", 0).unwrap();
         sim.run(LATENCY).unwrap();
-        (sim.peek_by_name("cypher").unwrap(), sim.peek_by_name("ready").unwrap())
+        (
+            sim.peek_by_name("cypher").unwrap(),
+            sim.peek_by_name("ready").unwrap(),
+        )
     }
 
     #[test]

@@ -260,14 +260,21 @@ mod tests {
     fn input_dependence_classification() {
         assert!(Trigger::PlaintextSequence(vec![1, 2]).is_input_dependent());
         assert!(Trigger::InputChangeCounter { threshold: 4 }.is_input_dependent());
-        assert!(Trigger::ValueCounter { value: 3, threshold: 2 }.is_input_dependent());
+        assert!(Trigger::ValueCounter {
+            value: 3,
+            threshold: 2
+        }
+        .is_input_dependent());
         assert!(!Trigger::CycleCounter { threshold: 8 }.is_input_dependent());
     }
 
     #[test]
     fn labels_match_table_terms() {
         assert_eq!(Trigger::PlaintextSequence(vec![]).label(), "plaintext seq.");
-        assert_eq!(Trigger::CycleCounter { threshold: 1 }.label(), "# clock cycles");
+        assert_eq!(
+            Trigger::CycleCounter { threshold: 1 }.label(),
+            "# clock cycles"
+        );
         assert_eq!(Payload::PowerSideChannel.label(), "PSC");
         assert_eq!(Payload::CiphertextBitFlip { level: 22 }.label(), "bit flip");
         assert_eq!(Payload::DosOscillator.label(), "DoS");

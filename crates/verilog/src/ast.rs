@@ -400,14 +400,20 @@ mod tests {
     #[test]
     fn expression_location_is_preserved() {
         let loc = SourceLocation { line: 7, column: 9 };
-        let e = Expression::Identifier { name: "x".into(), location: loc };
+        let e = Expression::Identifier {
+            name: "x".into(),
+            location: loc,
+        };
         assert_eq!(e.location(), loc);
     }
 
     #[test]
     fn lvalue_location_is_preserved() {
         let loc = SourceLocation { line: 2, column: 4 };
-        let l = LValue::Concat { parts: Vec::new(), location: loc };
+        let l = LValue::Concat {
+            parts: Vec::new(),
+            location: loc,
+        };
         assert_eq!(l.location(), loc);
     }
 }

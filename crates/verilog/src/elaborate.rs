@@ -23,8 +23,8 @@ use std::collections::{HashMap, HashSet};
 use htd_rtl::{Design, ExprId, SignalId, ValidatedDesign};
 
 use crate::ast::{
-    AlwaysBlock, BinaryOperator, Expression, LValue, Module, NetDecl,
-    NetKind, PortDirection, Sensitivity, SourceUnit, Statement, UnaryOperator,
+    AlwaysBlock, BinaryOperator, Expression, LValue, Module, NetDecl, NetKind, PortDirection,
+    Sensitivity, SourceUnit, Statement, UnaryOperator,
 };
 use crate::error::{SourceLocation, VerilogError};
 use crate::parser::parse;
@@ -261,7 +261,10 @@ impl<'a> Elaborator<'a> {
                         location: decl.location,
                     });
                 }
-                VectorShape { width: msb - lsb + 1, lsb }
+                VectorShape {
+                    width: msb - lsb + 1,
+                    lsb,
+                }
             }
             None => match decl.kind {
                 NetKind::Integer => VectorShape { width: 32, lsb: 0 },
@@ -308,7 +311,9 @@ impl<'a> Elaborator<'a> {
 
     fn classify_clocks_and_resets(&mut self) -> Result<(), VerilogError> {
         for block in &self.module.always_blocks {
-            let Sensitivity::Edges(edges) = &block.sensitivity else { continue };
+            let Sensitivity::Edges(edges) = &block.sensitivity else {
+                continue;
+            };
             if edges.is_empty() {
                 continue;
             }
@@ -316,7 +321,10 @@ impl<'a> Elaborator<'a> {
             let mut reset_name: Option<String> = None;
             if let Some(analysis) = analyze_reset(block) {
                 let is_edge = edges.iter().any(|e| e.signal == analysis.name);
-                let in_list = self.options.reset_ports.contains(&analysis.name.to_lowercase());
+                let in_list = self
+                    .options
+                    .reset_ports
+                    .contains(&analysis.name.to_lowercase());
                 if is_edge || in_list {
                     let deasserted = if analysis.active_low { 1 } else { 0 };
                     self.reset_signals.insert(analysis.name.clone(), deasserted);
@@ -409,14 +417,32 @@ impl<'a> Elaborator<'a> {
                     *location,
                 )
             }
-            LValue::Bit { name, index, location } => {
+            LValue::Bit {
+                name,
+                index,
+                location,
+            } => {
                 let bit = u32::try_from(self.const_eval(index, "a bit-select target index")?)
                     .unwrap_or(u32::MAX);
-                self.push_continuous(name, bit, bit, value.clone(), context_width.unwrap_or(1), *location)
+                self.push_continuous(
+                    name,
+                    bit,
+                    bit,
+                    value.clone(),
+                    context_width.unwrap_or(1),
+                    *location,
+                )
             }
-            LValue::Part { name, msb, lsb, location } => {
-                let msb = u32::try_from(self.const_eval(msb, "a part-select bound")?).unwrap_or(u32::MAX);
-                let lsb = u32::try_from(self.const_eval(lsb, "a part-select bound")?).unwrap_or(u32::MAX);
+            LValue::Part {
+                name,
+                msb,
+                lsb,
+                location,
+            } => {
+                let msb =
+                    u32::try_from(self.const_eval(msb, "a part-select bound")?).unwrap_or(u32::MAX);
+                let lsb =
+                    u32::try_from(self.const_eval(lsb, "a part-select bound")?).unwrap_or(u32::MAX);
                 let ctx = context_width.unwrap_or(msb.saturating_sub(lsb) + 1);
                 self.push_continuous(name, msb, lsb, value.clone(), ctx, *location)
             }
@@ -454,20 +480,35 @@ impl<'a> Elaborator<'a> {
         location: SourceLocation,
     ) -> Result<(), VerilogError> {
         if !self.declared.contains(name) {
-            return Err(VerilogError::UndeclaredIdentifier { name: name.to_string(), location });
+            return Err(VerilogError::UndeclaredIdentifier {
+                name: name.to_string(),
+                location,
+            });
         }
         match self.drivers.get(name) {
             None => {
-                self.drivers.insert(name.to_string(), DriverKind::Continuous);
+                self.drivers
+                    .insert(name.to_string(), DriverKind::Continuous);
             }
             Some(DriverKind::Continuous) => {}
-            Some(_) => return Err(VerilogError::MultipleDrivers { name: name.to_string() }),
+            Some(_) => {
+                return Err(VerilogError::MultipleDrivers {
+                    name: name.to_string(),
+                })
+            }
         }
         let entry = self.continuous.entry(name.to_string()).or_default();
         if entry.iter().any(|p| msb >= p.lsb && p.msb >= lsb) {
-            return Err(VerilogError::MultipleDrivers { name: name.to_string() });
+            return Err(VerilogError::MultipleDrivers {
+                name: name.to_string(),
+            });
         }
-        entry.push(PartialDrive { msb, lsb, value, context_width });
+        entry.push(PartialDrive {
+            msb,
+            lsb,
+            value,
+            context_width,
+        });
         Ok(())
     }
 
@@ -659,7 +700,11 @@ impl<'a> Elaborator<'a> {
                 let rhs = self.expression(value, env, ctx)?;
                 self.assign_lvalue(target, rhs, env)
             }
-            Statement::If { condition, then_branch, else_branch } => {
+            Statement::If {
+                condition,
+                then_branch,
+                else_branch,
+            } => {
                 let cond = self.boolean_expr(condition, env)?;
                 let mut then_env = env.clone();
                 self.execute_statement(then_branch, &mut then_env)?;
@@ -767,12 +812,21 @@ impl<'a> Elaborator<'a> {
                 env.insert(name.clone(), value);
                 Ok(())
             }
-            LValue::Bit { name, index, location } => {
+            LValue::Bit {
+                name,
+                index,
+                location,
+            } => {
                 let bit = self.const_eval(index, "a procedural bit-select index")?;
                 let bit = u32::try_from(bit).unwrap_or(u32::MAX);
                 self.assign_slice(name, bit, bit, rhs, env, *location)
             }
-            LValue::Part { name, msb, lsb, location } => {
+            LValue::Part {
+                name,
+                msb,
+                lsb,
+                location,
+            } => {
                 let msb = u32::try_from(self.const_eval(msb, "a part-select bound")?).unwrap_or(0);
                 let lsb = u32::try_from(self.const_eval(lsb, "a part-select bound")?).unwrap_or(0);
                 self.assign_slice(name, msb, lsb, rhs, env, *location)
@@ -809,17 +863,19 @@ impl<'a> Elaborator<'a> {
         location: SourceLocation,
     ) -> Result<(), VerilogError> {
         let shape = self.shape_of(name, location)?;
-        let current = *env.get(name).ok_or_else(|| VerilogError::InvalidAssignmentTarget {
-            name: name.to_string(),
-            location,
-        })?;
+        let current = *env
+            .get(name)
+            .ok_or_else(|| VerilogError::InvalidAssignmentTarget {
+                name: name.to_string(),
+                location,
+            })?;
         let hi = msb.saturating_sub(shape.lsb);
         let lo = lsb.saturating_sub(shape.lsb);
         let width = hi - lo + 1;
         let part = self.coerce(rhs, width)?;
         // Rebuild the word from (above | part | below).
         let mut pieces: Vec<ExprId> = Vec::new();
-        if hi + 1 <= shape.width - 1 {
+        if hi < shape.width - 1 {
             pieces.push(self.design.slice(current, shape.width - 1, hi + 1)?);
         }
         pieces.push(part);
@@ -876,10 +932,15 @@ impl<'a> Elaborator<'a> {
             return Ok(cached);
         }
         if !self.declared.contains(name) {
-            return Err(VerilogError::UndeclaredIdentifier { name: name.to_string(), location });
+            return Err(VerilogError::UndeclaredIdentifier {
+                name: name.to_string(),
+                location,
+            });
         }
         if self.in_progress.iter().any(|n| n == name) {
-            return Err(VerilogError::CombinationalLoop { name: name.to_string() });
+            return Err(VerilogError::CombinationalLoop {
+                name: name.to_string(),
+            });
         }
         self.in_progress.push(name.to_string());
         let result = self.resolve_combinational(name, location);
@@ -939,13 +1000,18 @@ impl<'a> Elaborator<'a> {
                             self.comb_values.insert(target.clone(), value);
                         }
                         None => {
-                            return Err(VerilogError::InferredLatch { name: target.clone() })
+                            return Err(VerilogError::InferredLatch {
+                                name: target.clone(),
+                            })
                         }
                     }
                 }
-                self.comb_values.get(name).copied().ok_or_else(|| VerilogError::InferredLatch {
-                    name: name.to_string(),
-                })
+                self.comb_values
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| VerilogError::InferredLatch {
+                        name: name.to_string(),
+                    })
             }
             Some(DriverKind::Input) | Some(DriverKind::Register { .. }) | None => {
                 Err(VerilogError::Unsupported {
@@ -976,11 +1042,19 @@ impl<'a> Elaborator<'a> {
     ) -> Result<ExprId, VerilogError> {
         match expr {
             Expression::Number { value, location: _ } => {
-                let width = value.width.unwrap_or_else(|| bits_needed(value.value).max(32));
-                Ok(self.design.constant(value.value & mask_bits(width), width)?)
+                let width = value
+                    .width
+                    .unwrap_or_else(|| bits_needed(value.value).max(32));
+                Ok(self
+                    .design
+                    .constant(value.value & mask_bits(width), width)?)
             }
             Expression::Identifier { name, location } => self.read_name(name, env, *location),
-            Expression::BitSelect { name, index, location } => {
+            Expression::BitSelect {
+                name,
+                index,
+                location,
+            } => {
                 let base = self.read_name(name, env, *location)?;
                 let shape = self.shape_of_or_value(name, base, *location);
                 match self.const_eval(index, "a bit-select index") {
@@ -1005,7 +1079,12 @@ impl<'a> Elaborator<'a> {
                     }
                 }
             }
-            Expression::PartSelect { name, msb, lsb, location } => {
+            Expression::PartSelect {
+                name,
+                msb,
+                lsb,
+                location,
+            } => {
                 let base = self.read_name(name, env, *location)?;
                 let shape = self.shape_of_or_value(name, base, *location);
                 let msb = u32::try_from(self.const_eval(msb, "a part-select bound")?).unwrap_or(0);
@@ -1014,7 +1093,11 @@ impl<'a> Elaborator<'a> {
                 let lo = lsb.saturating_sub(shape.lsb);
                 Ok(self.design.slice(base, hi, lo)?)
             }
-            Expression::Unary { op, operand, location: _ } => {
+            Expression::Unary {
+                op,
+                operand,
+                location: _,
+            } => {
                 let operand_ctx = match op {
                     UnaryOperator::BitNot | UnaryOperator::Negate => ctx,
                     _ => None,
@@ -1051,7 +1134,12 @@ impl<'a> Elaborator<'a> {
                     }
                 })
             }
-            Expression::Binary { op, left, right, location: _ } => {
+            Expression::Binary {
+                op,
+                left,
+                right,
+                location: _,
+            } => {
                 use BinaryOperator as B;
                 match op {
                     B::And | B::Or | B::Xor | B::Xnor | B::Add | B::Sub | B::Mul => {
@@ -1080,7 +1168,12 @@ impl<'a> Elaborator<'a> {
                     }
                 }
             }
-            Expression::Conditional { condition, then_value, else_value, location: _ } => {
+            Expression::Conditional {
+                condition,
+                then_value,
+                else_value,
+                location: _,
+            } => {
                 let cond = self.boolean_expr(condition, env)?;
                 let t = self.expression(then_value, env, ctx)?;
                 let e = self.expression(else_value, env, ctx)?;
@@ -1094,7 +1187,11 @@ impl<'a> Elaborator<'a> {
                 }
                 Ok(self.design.concat_all(&ids)?)
             }
-            Expression::Repeat { count, value, location } => {
+            Expression::Repeat {
+                count,
+                value,
+                location,
+            } => {
                 let n = self.const_eval(count, "a replication count")?;
                 if n == 0 || n > 128 {
                     return Err(VerilogError::NotConstant {
@@ -1220,15 +1317,25 @@ impl<'a> Elaborator<'a> {
     // ------------------------------------------------------------------
 
     fn shape_of(&self, name: &str, location: SourceLocation) -> Result<VectorShape, VerilogError> {
-        self.shapes.get(name).copied().ok_or_else(|| VerilogError::UndeclaredIdentifier {
-            name: name.to_string(),
-            location,
-        })
+        self.shapes
+            .get(name)
+            .copied()
+            .ok_or_else(|| VerilogError::UndeclaredIdentifier {
+                name: name.to_string(),
+                location,
+            })
     }
 
-    fn shape_of_or_value(&self, name: &str, value: ExprId, location: SourceLocation) -> VectorShape {
-        self.shape_of(name, location)
-            .unwrap_or(VectorShape { width: self.design.expr_width(value), lsb: 0 })
+    fn shape_of_or_value(
+        &self,
+        name: &str,
+        value: ExprId,
+        location: SourceLocation,
+    ) -> VectorShape {
+        self.shape_of(name, location).unwrap_or(VectorShape {
+            width: self.design.expr_width(value),
+            lsb: 0,
+        })
     }
 
     fn coerce(&mut self, expr: ExprId, width: u32) -> Result<ExprId, VerilogError> {
@@ -1252,13 +1359,22 @@ impl<'a> Elaborator<'a> {
     /// Evaluates a compile-time constant expression over the parameter
     /// environment.
     fn const_eval(&self, expr: &Expression, context: &str) -> Result<u128, VerilogError> {
-        let err = |location| VerilogError::NotConstant { context: context.to_string(), location };
+        let err = |location| VerilogError::NotConstant {
+            context: context.to_string(),
+            location,
+        };
         match expr {
             Expression::Number { value, .. } => Ok(value.value),
-            Expression::Identifier { name, location } => {
-                self.parameters.get(name).copied().ok_or_else(|| err(*location))
-            }
-            Expression::Unary { op, operand, location } => {
+            Expression::Identifier { name, location } => self
+                .parameters
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(*location)),
+            Expression::Unary {
+                op,
+                operand,
+                location,
+            } => {
                 let v = self.const_eval(operand, context)?;
                 Ok(match op {
                     UnaryOperator::BitNot => !v,
@@ -1267,7 +1383,12 @@ impl<'a> Elaborator<'a> {
                     _ => return Err(err(*location)),
                 })
             }
-            Expression::Binary { op, left, right, location: _ } => {
+            Expression::Binary {
+                op,
+                left,
+                right,
+                location: _,
+            } => {
                 let l = self.const_eval(left, context)?;
                 let r = self.const_eval(right, context)?;
                 Ok(match op {
@@ -1290,7 +1411,12 @@ impl<'a> Elaborator<'a> {
                     BinaryOperator::LogicalOr => u128::from(l != 0 || r != 0),
                 })
             }
-            Expression::Conditional { condition, then_value, else_value, .. } => {
+            Expression::Conditional {
+                condition,
+                then_value,
+                else_value,
+                ..
+            } => {
                 let c = self.const_eval(condition, context)?;
                 if c != 0 {
                     self.const_eval(then_value, context)
@@ -1347,7 +1473,11 @@ fn collect_assigned_names(stmt: &Statement, out: &mut Vec<String>) {
             }
         }
         Statement::Assign { target, .. } => lvalue_names(target, out),
-        Statement::If { then_branch, else_branch, .. } => {
+        Statement::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_assigned_names(then_branch, out);
             if let Some(e) = else_branch {
                 collect_assigned_names(e, out);
@@ -1378,9 +1508,13 @@ struct ResetAnalysis {
 /// sensitivity list when the signal is edge-sensitive (async reset) and from
 /// the shape of the condition otherwise (sync reset).
 fn analyze_reset(block: &AlwaysBlock) -> Option<ResetAnalysis> {
-    let Sensitivity::Edges(edges) = &block.sensitivity else { return None };
+    let Sensitivity::Edges(edges) = &block.sensitivity else {
+        return None;
+    };
     let stmt = unwrap_single_block(&block.body);
-    let Statement::If { condition, .. } = stmt else { return None };
+    let Statement::If { condition, .. } = stmt else {
+        return None;
+    };
     let (name, cond_true_means_high) = reset_condition(condition)?;
     let negedge = edges.iter().any(|e| e.signal == name && !e.posedge);
     let posedge = edges.iter().any(|e| e.signal == name && e.posedge);
@@ -1400,9 +1534,17 @@ fn analyze_reset(block: &AlwaysBlock) -> Option<ResetAnalysis> {
 
 /// Splits the (possibly block-wrapped) outer reset `if` into (reset branch,
 /// functional branch) given which side holds the reset assignments.
-fn split_reset_branches(stmt: &Statement, reset_branch_is_then: bool) -> (&Statement, Option<&Statement>) {
+fn split_reset_branches(
+    stmt: &Statement,
+    reset_branch_is_then: bool,
+) -> (&Statement, Option<&Statement>) {
     let stmt = unwrap_single_block(stmt);
-    let Statement::If { then_branch, else_branch, .. } = stmt else {
+    let Statement::If {
+        then_branch,
+        else_branch,
+        ..
+    } = stmt
+    else {
         return (stmt, None);
     };
     if reset_branch_is_then {
@@ -1428,15 +1570,17 @@ fn unwrap_single_block(stmt: &Statement) -> &Statement {
 fn reset_condition(expr: &Expression) -> Option<(String, bool)> {
     match expr {
         Expression::Identifier { name, .. } => Some((name.clone(), true)),
-        Expression::Unary { op, operand, .. }
-            if matches!(op, UnaryOperator::LogicalNot | UnaryOperator::BitNot) =>
-        {
-            match operand.as_ref() {
-                Expression::Identifier { name, .. } => Some((name.clone(), false)),
-                _ => None,
-            }
-        }
-        Expression::Binary { op, left, right, .. } => {
+        Expression::Unary {
+            op: UnaryOperator::LogicalNot | UnaryOperator::BitNot,
+            operand,
+            ..
+        } => match operand.as_ref() {
+            Expression::Identifier { name, .. } => Some((name.clone(), false)),
+            _ => None,
+        },
+        Expression::Binary {
+            op, left, right, ..
+        } => {
             let (name, value) = match (left.as_ref(), right.as_ref()) {
                 (Expression::Identifier { name, .. }, Expression::Number { value, .. }) => {
                     (name.clone(), value.value)
@@ -1669,12 +1813,16 @@ mod tests {
         let source = "module a(input x, output y); assign y = x; endmodule
                       module b(input x, output y); assign y = ~x; endmodule";
         let unit = parse(source).unwrap();
-        let opts =
-            ElaborateOptions { top: Some("b".to_string()), ..ElaborateOptions::default() };
+        let opts = ElaborateOptions {
+            top: Some("b".to_string()),
+            ..ElaborateOptions::default()
+        };
         let design = elaborate(&unit, &opts).unwrap();
         assert_eq!(design.design().name(), "b");
-        let missing =
-            ElaborateOptions { top: Some("zzz".to_string()), ..ElaborateOptions::default() };
+        let missing = ElaborateOptions {
+            top: Some("zzz".to_string()),
+            ..ElaborateOptions::default()
+        };
         assert!(matches!(
             elaborate(&unit, &missing).unwrap_err(),
             VerilogError::UnknownModule { .. }

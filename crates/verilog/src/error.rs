@@ -125,7 +125,10 @@ pub enum VerilogError {
 impl fmt::Display for VerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerilogError::UnexpectedCharacter { character, location } => {
+            VerilogError::UnexpectedCharacter {
+                character,
+                location,
+            } => {
                 write!(f, "unexpected character `{character}` at {location}")
             }
             VerilogError::InvalidNumber { literal, location } => {
@@ -134,10 +137,17 @@ impl fmt::Display for VerilogError {
             VerilogError::UnterminatedComment { location } => {
                 write!(f, "unterminated block comment starting at {location}")
             }
-            VerilogError::UnexpectedToken { found, expected, location } => {
+            VerilogError::UnexpectedToken {
+                found,
+                expected,
+                location,
+            } => {
                 write!(f, "expected {expected}, found `{found}` at {location}")
             }
-            VerilogError::Unsupported { construct, location } => {
+            VerilogError::Unsupported {
+                construct,
+                location,
+            } => {
                 write!(f, "unsupported construct at {location}: {construct}")
             }
             VerilogError::UndeclaredIdentifier { name, location } => {
@@ -147,7 +157,10 @@ impl fmt::Display for VerilogError {
                 write!(f, "duplicate declaration of `{name}` at {location}")
             }
             VerilogError::NotConstant { context, location } => {
-                write!(f, "expression for {context} at {location} is not a compile-time constant")
+                write!(
+                    f,
+                    "expression for {context} at {location} is not a compile-time constant"
+                )
             }
             VerilogError::InferredLatch { name } => {
                 write!(f, "combinational block infers a latch for `{name}`")
@@ -197,7 +210,10 @@ mod tests {
         let err = VerilogError::UnexpectedToken {
             found: ";".into(),
             expected: "an expression".into(),
-            location: SourceLocation { line: 3, column: 14 },
+            location: SourceLocation {
+                line: 3,
+                column: 14,
+            },
         };
         let text = err.to_string();
         assert!(text.contains("line 3"));

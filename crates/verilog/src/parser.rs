@@ -37,6 +37,10 @@ struct Parser {
     pos: usize,
 }
 
+/// Direction, kind and optional range of the most recent ANSI port
+/// declaration, inherited by following bare identifiers in the header.
+type AnsiPortHeader = (PortDirection, NetKind, Option<(Expression, Expression)>);
+
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
         Parser { tokens, pos: 0 }
@@ -156,18 +160,15 @@ impl Parser {
         }
 
         // Port header: either a plain name list or ANSI-style declarations.
-        if self.eat(&TokenKind::LeftParen) {
-            if !self.eat(&TokenKind::RightParen) {
-                let mut last_ansi: Option<(PortDirection, NetKind, Option<(Expression, Expression)>)> =
-                    None;
-                loop {
-                    self.port_header_entry(&mut module, &mut last_ansi)?;
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LeftParen) && !self.eat(&TokenKind::RightParen) {
+            let mut last_ansi: Option<AnsiPortHeader> = None;
+            loop {
+                self.port_header_entry(&mut module, &mut last_ansi)?;
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RightParen, ")")?;
             }
+            self.expect(&TokenKind::RightParen, ")")?;
         }
         self.expect(&TokenKind::Semicolon, ";")?;
 
@@ -187,7 +188,8 @@ impl Parser {
                     let decls = self.net_declaration()?;
                     module.declarations.extend(decls);
                 }
-                TokenKind::Keyword(Keyword::Parameter) | TokenKind::Keyword(Keyword::Localparam) => {
+                TokenKind::Keyword(Keyword::Parameter)
+                | TokenKind::Keyword(Keyword::Localparam) => {
                     let params = self.parameter_declaration()?;
                     module.parameters.extend(params);
                 }
@@ -210,8 +212,7 @@ impl Parser {
                 }
                 TokenKind::Identifier(_) => {
                     return Err(VerilogError::Unsupported {
-                        construct: "module instantiation (flatten the hierarchy first)"
-                            .to_string(),
+                        construct: "module instantiation (flatten the hierarchy first)".to_string(),
                         location: self.location(),
                     });
                 }
@@ -231,7 +232,7 @@ impl Parser {
     fn port_header_entry(
         &mut self,
         module: &mut Module,
-        last_ansi: &mut Option<(PortDirection, NetKind, Option<(Expression, Expression)>)>,
+        last_ansi: &mut Option<AnsiPortHeader>,
     ) -> Result<(), VerilogError> {
         let direction = match self.peek_kind() {
             TokenKind::Keyword(Keyword::Input) => Some(PortDirection::Input),
@@ -326,7 +327,13 @@ impl Parser {
             // Declaration assignment `wire x = expr;` is desugared into a
             // declaration plus continuous assignment by the elaborator; keep
             // the expression around via a synthetic assign.
-            decls.push(NetDecl { name, direction, kind, range: range.clone(), location });
+            decls.push(NetDecl {
+                name,
+                direction,
+                kind,
+                range: range.clone(),
+                location,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -354,7 +361,12 @@ impl Parser {
             let (name, location) = self.identifier("a parameter name")?;
             self.expect(&TokenKind::Assign, "=")?;
             let value = self.expression()?;
-            params.push(ParameterDecl { name, value, local, location });
+            params.push(ParameterDecl {
+                name,
+                value,
+                local,
+                location,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -363,9 +375,7 @@ impl Parser {
         Ok(params)
     }
 
-    fn optional_range(
-        &mut self,
-    ) -> Result<Option<(Expression, Expression)>, VerilogError> {
+    fn optional_range(&mut self) -> Result<Option<(Expression, Expression)>, VerilogError> {
         if !self.eat(&TokenKind::LeftBracket) {
             return Ok(None);
         }
@@ -385,7 +395,11 @@ impl Parser {
             let target = self.lvalue()?;
             self.expect(&TokenKind::Assign, "=")?;
             let value = self.expression()?;
-            assigns.push(ContinuousAssign { target, value, location });
+            assigns.push(ContinuousAssign {
+                target,
+                value,
+                location,
+            });
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -400,7 +414,11 @@ impl Parser {
         self.expect(&TokenKind::At, "@")?;
         let sensitivity = self.sensitivity()?;
         let body = self.statement()?;
-        Ok(AlwaysBlock { sensitivity, body, location })
+        Ok(AlwaysBlock {
+            sensitivity,
+            body,
+            location,
+        })
     }
 
     fn sensitivity(&mut self) -> Result<Sensitivity, VerilogError> {
@@ -420,12 +438,18 @@ impl Parser {
                 TokenKind::Keyword(Keyword::Posedge) => {
                     self.bump();
                     let (signal, _) = self.identifier("a signal name")?;
-                    edges.push(EdgeEvent { posedge: true, signal });
+                    edges.push(EdgeEvent {
+                        posedge: true,
+                        signal,
+                    });
                 }
                 TokenKind::Keyword(Keyword::Negedge) => {
                     self.bump();
                     let (signal, _) = self.identifier("a signal name")?;
-                    edges.push(EdgeEvent { posedge: false, signal });
+                    edges.push(EdgeEvent {
+                        posedge: false,
+                        signal,
+                    });
                 }
                 TokenKind::Identifier(_) => {
                     // A level-sensitive list (`@(a or b)`) is combinational.
@@ -481,7 +505,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Statement::If { condition, then_branch, else_branch })
+                Ok(Statement::If {
+                    condition,
+                    then_branch,
+                    else_branch,
+                })
             }
             TokenKind::Keyword(Keyword::Case) | TokenKind::Keyword(Keyword::Casez) => {
                 self.bump();
@@ -499,7 +527,10 @@ impl Parser {
                     if self.eat(&TokenKind::Keyword(Keyword::Default)) {
                         self.eat(&TokenKind::Colon);
                         let body = self.statement()?;
-                        arms.push(CaseArm { labels: Vec::new(), body });
+                        arms.push(CaseArm {
+                            labels: Vec::new(),
+                            body,
+                        });
                         continue;
                     }
                     let mut labels = vec![self.expression()?];
@@ -536,7 +567,12 @@ impl Parser {
                 }
                 let value = self.expression()?;
                 self.expect(&TokenKind::Semicolon, ";")?;
-                Ok(Statement::Assign { target, value, nonblocking, location })
+                Ok(Statement::Assign {
+                    target,
+                    value,
+                    nonblocking,
+                    location,
+                })
             }
             TokenKind::Hash => {
                 // A delay statement `#10 stmt;` — the delay is ignored.
@@ -567,10 +603,19 @@ impl Parser {
             if self.eat(&TokenKind::Colon) {
                 let lsb = self.expression()?;
                 self.expect(&TokenKind::RightBracket, "]")?;
-                return Ok(LValue::Part { name, msb: first, lsb, location });
+                return Ok(LValue::Part {
+                    name,
+                    msb: first,
+                    lsb,
+                    location,
+                });
             }
             self.expect(&TokenKind::RightBracket, "]")?;
-            return Ok(LValue::Bit { name, index: first, location });
+            return Ok(LValue::Bit {
+                name,
+                index: first,
+                location,
+            });
         }
         Ok(LValue::Identifier { name, location })
     }
@@ -797,7 +842,11 @@ impl Parser {
             _ => return self.primary(),
         };
         let operand = self.unary()?;
-        Ok(Expression::Unary { op, operand: Box::new(operand), location })
+        Ok(Expression::Unary {
+            op,
+            operand: Box::new(operand),
+            location,
+        })
     }
 
     fn primary(&mut self) -> Result<Expression, VerilogError> {
@@ -876,7 +925,12 @@ fn binary(
     right: Expression,
     location: SourceLocation,
 ) -> Expression {
-    Expression::Binary { op, left: Box::new(left), right: Box::new(right), location }
+    Expression::Binary {
+        op,
+        left: Box::new(left),
+        right: Box::new(right),
+        location,
+    }
 }
 
 #[cfg(test)]
@@ -975,20 +1029,17 @@ mod tests {
 
     #[test]
     fn operator_precedence_binds_ternary_last() {
-        let unit = parse(
-            "module m(input a, b, c, output y); assign y = a & b ? b | c : ~c; endmodule",
-        )
-        .unwrap();
+        let unit =
+            parse("module m(input a, b, c, output y); assign y = a & b ? b | c : ~c; endmodule")
+                .unwrap();
         let assign = &unit.modules[0].assigns[0];
         assert!(matches!(assign.value, Expression::Conditional { .. }));
     }
 
     #[test]
     fn rejects_module_instantiation_with_a_clear_message() {
-        let err = parse(
-            "module top(input a, output y); sub u0(.a(a), .y(y)); endmodule",
-        )
-        .unwrap_err();
+        let err =
+            parse("module top(input a, output y); sub u0(.a(a), .y(y)); endmodule").unwrap_err();
         match err {
             VerilogError::Unsupported { construct, .. } => {
                 assert!(construct.contains("instantiation"));
@@ -1010,7 +1061,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_sources() {
-        assert_eq!(parse("// nothing here\n").unwrap_err(), VerilogError::EmptySource);
+        assert_eq!(
+            parse("// nothing here\n").unwrap_err(),
+            VerilogError::EmptySource
+        );
     }
 
     #[test]

@@ -298,11 +298,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { chars: source.chars().collect(), pos: 0, line: 1, column: 1, source }
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            source,
+        }
     }
 
     fn location(&self) -> SourceLocation {
-        SourceLocation { line: self.line, column: self.column }
+        SourceLocation {
+            line: self.line,
+            column: self.column,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -332,7 +341,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let location = self.location();
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, location });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    location,
+                });
                 return Ok(tokens);
             };
             let kind = if c.is_ascii_alphabetic() || c == '_' || c == '\\' || c == '$' {
@@ -456,13 +468,16 @@ impl<'a> Lexer<'a> {
         if self.peek() != Some('\'') {
             // Plain unsized decimal.
             let digits: String = prefix.chars().filter(|c| *c != '_').collect();
-            let value = u128::from_str_radix(&digits, 10).map_err(|_| {
-                VerilogError::InvalidNumber { literal: prefix.clone(), location }
-            })?;
+            let value = digits
+                .parse::<u128>()
+                .map_err(|_| VerilogError::InvalidNumber {
+                    literal: prefix.clone(),
+                    location,
+                })?;
             return Ok(TokenKind::Number(Number { width: None, value }));
         }
         self.bump(); // the tick
-        // Optional signedness marker.
+                     // Optional signedness marker.
         if matches!(self.peek(), Some('s' | 'S')) {
             self.bump();
         }
@@ -496,23 +511,36 @@ impl<'a> Lexer<'a> {
         let cleaned: String = digits
             .chars()
             .filter(|c| *c != '_')
-            .map(|c| if matches!(c, 'x' | 'X' | 'z' | 'Z') { '0' } else { c })
+            .map(|c| {
+                if matches!(c, 'x' | 'X' | 'z' | 'Z') {
+                    '0'
+                } else {
+                    c
+                }
+            })
             .collect();
         if cleaned.is_empty() {
-            return Err(VerilogError::InvalidNumber { literal: format!("{prefix}'{base}"), location });
+            return Err(VerilogError::InvalidNumber {
+                literal: format!("{prefix}'{base}"),
+                location,
+            });
         }
-        let value = u128::from_str_radix(&cleaned, radix).map_err(|_| VerilogError::InvalidNumber {
-            literal: format!("{prefix}'{base}{digits}"),
-            location,
-        })?;
+        let value =
+            u128::from_str_radix(&cleaned, radix).map_err(|_| VerilogError::InvalidNumber {
+                literal: format!("{prefix}'{base}{digits}"),
+                location,
+            })?;
         let width = if prefix.is_empty() {
             None
         } else {
             let size: String = prefix.chars().filter(|c| *c != '_').collect();
-            Some(size.parse::<u32>().map_err(|_| VerilogError::InvalidNumber {
-                literal: prefix.clone(),
-                location,
-            })?)
+            Some(
+                size.parse::<u32>()
+                    .map_err(|_| VerilogError::InvalidNumber {
+                        literal: prefix.clone(),
+                        location,
+                    })?,
+            )
         };
         Ok(TokenKind::Number(Number { width, value }))
     }
@@ -620,7 +648,10 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(VerilogError::UnexpectedCharacter { character: other, location })
+                return Err(VerilogError::UnexpectedCharacter {
+                    character: other,
+                    location,
+                })
             }
         };
         Ok(kind)
@@ -655,13 +686,49 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(numbers[0], Number { width: Some(8), value: 0xFF });
-        assert_eq!(numbers[1], Number { width: Some(4), value: 0b1010 });
-        assert_eq!(numbers[2], Number { width: Some(16), value: 255 });
-        assert_eq!(numbers[3], Number { width: None, value: 42 });
-        assert_eq!(numbers[4], Number { width: Some(12), value: 0o17 });
+        assert_eq!(
+            numbers[0],
+            Number {
+                width: Some(8),
+                value: 0xFF
+            }
+        );
+        assert_eq!(
+            numbers[1],
+            Number {
+                width: Some(4),
+                value: 0b1010
+            }
+        );
+        assert_eq!(
+            numbers[2],
+            Number {
+                width: Some(16),
+                value: 255
+            }
+        );
+        assert_eq!(
+            numbers[3],
+            Number {
+                width: None,
+                value: 42
+            }
+        );
+        assert_eq!(
+            numbers[4],
+            Number {
+                width: Some(12),
+                value: 0o17
+            }
+        );
         // x digits are folded to zero in the two-valued subset.
-        assert_eq!(numbers[5], Number { width: Some(8), value: 0 });
+        assert_eq!(
+            numbers[5],
+            Number {
+                width: Some(8),
+                value: 0
+            }
+        );
     }
 
     #[test]
@@ -669,9 +736,18 @@ mod tests {
         let toks = kinds("32'hDEAD_BEEF 1_000");
         assert_eq!(
             toks[0],
-            TokenKind::Number(Number { width: Some(32), value: 0xDEAD_BEEF })
+            TokenKind::Number(Number {
+                width: Some(32),
+                value: 0xDEAD_BEEF
+            })
         );
-        assert_eq!(toks[1], TokenKind::Number(Number { width: None, value: 1000 }));
+        assert_eq!(
+            toks[1],
+            TokenKind::Number(Number {
+                width: None,
+                value: 1000
+            })
+        );
     }
 
     #[test]
@@ -710,7 +786,10 @@ mod tests {
     #[test]
     fn reports_unexpected_character() {
         let err = lex("assign y = \"str\";").unwrap_err();
-        assert!(matches!(err, VerilogError::UnexpectedCharacter { character: '"', .. }));
+        assert!(matches!(
+            err,
+            VerilogError::UnexpectedCharacter { character: '"', .. }
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the RTL of a (possibly infected) accelerator, no golden model and no
 //! functional specification.
 
-use htd_core::{DetectedBy, DetectionOutcome, TrojanDetector};
+use htd_core::{DetectedBy, DetectionOutcome, SessionBuilder};
 use htd_verilog::compile;
 
 /// A toy streaming cipher: the "key add" stage xors the latched data word
@@ -106,7 +106,11 @@ endmodule
 #[test]
 fn clean_verilog_cipher_verifies_secure() {
     let design = compile(CLEAN_CIPHER).expect("clean cipher compiles");
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(report.outcome.is_secure(), "{report}");
     assert_eq!(report.spurious_resolved, 0);
 }
@@ -114,9 +118,16 @@ fn clean_verilog_cipher_verifies_secure() {
 #[test]
 fn plaintext_triggered_trojan_in_verilog_is_detected() {
     let design = compile(INFECTED_CIPHER).expect("infected cipher compiles");
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     match &report.outcome {
-        DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+        DetectionOutcome::PropertyFailed {
+            detected_by,
+            counterexample,
+        } => {
             // The trigger FSM watches the plaintext, so either the trigger
             // register itself (init property) or the payload divergence (a
             // fanout property) is reported; the counterexample must point at
@@ -127,7 +138,9 @@ fn plaintext_triggered_trojan_in_verilog_is_detected() {
             ));
             let names = counterexample.diff_names();
             assert!(
-                names.iter().any(|n| n.contains("armed") || n.contains("stage2")),
+                names
+                    .iter()
+                    .any(|n| n.contains("armed") || n.contains("stage2")),
                 "unexpected counterexample signals: {names:?}"
             );
         }
@@ -138,7 +151,11 @@ fn plaintext_triggered_trojan_in_verilog_is_detected() {
 #[test]
 fn counter_triggered_side_channel_trojan_is_caught_by_coverage_check() {
     let design = compile(COUNTER_TROJAN).expect("counter trojan compiles");
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     match &report.outcome {
         DetectionOutcome::UncoveredSignals { signals } => {
             assert!(signals.iter().any(|s| s.contains("heartbeat")));
@@ -154,8 +171,16 @@ fn infected_and_clean_designs_differ_only_in_the_verdict() {
     // no reference design was needed to tell them apart.
     let clean = compile(CLEAN_CIPHER).unwrap();
     let infected = compile(INFECTED_CIPHER).unwrap();
-    let clean_report = TrojanDetector::new(&clean).unwrap().run().unwrap();
-    let infected_report = TrojanDetector::new(&infected).unwrap().run().unwrap();
+    let clean_report = SessionBuilder::new(clean.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let infected_report = SessionBuilder::new(infected.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(clean_report.outcome.is_secure());
     assert!(!infected_report.outcome.is_secure());
 }
@@ -214,6 +239,10 @@ endmodule
     // The design is interfering (the FSM state persists across frames), so
     // the plain flow may or may not raise spurious counterexamples — what
     // matters here is that the whole pipeline runs and produces a report.
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(report.properties_checked() >= 1);
 }

@@ -5,9 +5,9 @@
 
 use std::time::Instant;
 
+use golden_free_htd::ipc::IntervalProperty;
 use golden_free_htd::ipc::{CheckerOptions, PropertyChecker};
 use golden_free_htd::rtl::structural::fanout_levels;
-use golden_free_htd::ipc::IntervalProperty;
 use golden_free_htd::trusthub::registry::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,8 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         };
         for share in [true, false] {
-            let checker =
-                PropertyChecker::with_options(&design, CheckerOptions { share_assumed_equal: share });
+            let checker = PropertyChecker::with_options(
+                &design,
+                CheckerOptions {
+                    share_assumed_equal: share,
+                },
+            );
             let start = Instant::now();
             let report = checker.check(&property);
             println!(

@@ -12,7 +12,7 @@ use golden_free_htd::baselines::designs::{clean_pipeline, sequence_trojan};
 use golden_free_htd::baselines::fanci::{control_value_analysis, FanciOptions};
 use golden_free_htd::baselines::testing::{random_equivalence_test, RandomTestOptions};
 use golden_free_htd::baselines::uci::{unused_circuit_identification, UciOptions};
-use golden_free_htd::detect::TrojanDetector;
+use golden_free_htd::detect::SessionBuilder;
 
 fn main() -> Result<(), Box<dyn Error>> {
     println!("Trojan: input-sequence trigger of length L, ciphertext-corruption payload");
@@ -34,20 +34,31 @@ fn main() -> Result<(), Box<dyn Error>> {
         let design = sequence_trojan(length);
 
         let start = Instant::now();
-        let ipc = TrojanDetector::new(&design)?.run()?;
-        let ipc_cell = cell(!ipc.outcome.is_secure(), start.elapsed().as_secs_f64() * 1e3);
+        let ipc = SessionBuilder::new(design.clone()).build()?.run()?;
+        let ipc_cell = cell(
+            !ipc.outcome.is_secure(),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
 
         let start = Instant::now();
         let bmc_exact = bounded_trojan_search(
             &design,
-            &BmcOptions { bound: length as usize, window: 1, ..BmcOptions::default() },
+            &BmcOptions {
+                bound: length as usize,
+                window: 1,
+                ..BmcOptions::default()
+            },
         );
         let bmc_exact_cell = cell(bmc_exact.detected(), start.elapsed().as_secs_f64() * 1e3);
 
         let start = Instant::now();
         let bmc_fixed = bounded_trojan_search(
             &design,
-            &BmcOptions { bound: 8, window: 1, ..BmcOptions::default() },
+            &BmcOptions {
+                bound: 8,
+                window: 1,
+                ..BmcOptions::default()
+            },
         );
         let bmc_fixed_cell = cell(bmc_fixed.detected(), start.elapsed().as_secs_f64() * 1e3);
 
@@ -55,17 +66,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         let random = random_equivalence_test(
             &design,
             &golden,
-            &RandomTestOptions { cycles: 10_000, seed: 0xBEEF },
+            &RandomTestOptions {
+                cycles: 10_000,
+                seed: 0xBEEF,
+            },
         )?;
         let random_cell = cell(random.detected(), start.elapsed().as_secs_f64() * 1e3);
 
         let start = Instant::now();
         let uci = unused_circuit_identification(&design, &UciOptions::default())?;
-        let uci_cell = cell(uci.flags_target("data"), start.elapsed().as_secs_f64() * 1e3);
+        let uci_cell = cell(
+            uci.flags_target("data"),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
 
         let start = Instant::now();
         let fanci = control_value_analysis(&design, &FanciOptions::default());
-        let fanci_cell = cell(fanci.flags_signal("data"), start.elapsed().as_secs_f64() * 1e3);
+        let fanci_cell = cell(
+            fanci.flags_signal("data"),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
 
         println!(
             "{length:>4} | {ipc_cell:>16} | {bmc_exact_cell:>22} | {bmc_fixed_cell:>18} | {random_cell:>20} | {uci_cell:>12} | {fanci_cell:>12}"
@@ -74,7 +94,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!();
     println!("Reading the table:");
-    println!("  * the IPC flow detects every length at near-constant cost and needs no golden model;");
+    println!(
+        "  * the IPC flow detects every length at near-constant cost and needs no golden model;"
+    );
     println!("  * BMC detects only when the unrolled bound covers the trigger, at a cost that grows with it;");
     println!("  * random testing (against a golden model) never produces the stealthy sequence;");
     println!("  * UCI / FANCI flag the dormant payload but provide no exhaustiveness guarantee");

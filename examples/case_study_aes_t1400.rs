@@ -12,7 +12,7 @@
 //! cargo run --release --example case_study_aes_t1400
 //! ```
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, SessionBuilder};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,17 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let design = benchmark.build()?;
-    let report = TrojanDetector::new(&design)?.run()?;
+    let report = SessionBuilder::new(design.clone()).build()?.run()?;
     println!("{report}");
 
     match &report.outcome {
-        DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+        DetectionOutcome::PropertyFailed {
+            detected_by,
+            counterexample,
+        } => {
             assert_eq!(
                 *detected_by,
                 DetectedBy::InitProperty,
                 "AES-T1400 must be caught by the init property"
             );
-            println!("diverging signals at t+1: {}", counterexample.diff_names().join(", "));
+            println!(
+                "diverging signals at t+1: {}",
+                counterexample.diff_names().join(", ")
+            );
             println!("registers with different starting state (trigger / payload candidates):");
             for state in counterexample.differing_state() {
                 println!("  {state}");
@@ -45,9 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let touches_trojan_state = counterexample
                 .diffs
                 .iter()
-                .chain(counterexample.differing_state().into_iter())
+                .chain(counterexample.differing_state())
                 .any(|p| p.name.starts_with("trojan_"));
-            assert!(touches_trojan_state, "counterexample should localise the trojan state");
+            assert!(
+                touches_trojan_state,
+                "counterexample should localise the trojan state"
+            );
             println!("\ncounterexample localises the Trojan, as reported in the paper");
             Ok(())
         }

@@ -13,7 +13,7 @@
 //! cargo run --release --example case_study_aes_t2500
 //! ```
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, SessionBuilder};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,11 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let design = benchmark.build()?;
-    let report = TrojanDetector::new(&design)?.run()?;
+    let report = SessionBuilder::new(design.clone()).build()?.run()?;
     println!("{report}");
 
     match &report.outcome {
-        DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+        DetectionOutcome::PropertyFailed {
+            detected_by,
+            counterexample,
+        } => {
             assert_eq!(
                 *detected_by,
                 DetectedBy::FanoutProperty(21),
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 xor.trailing_zeros()
             );
             assert_eq!(xor, 1, "exactly the LSB must be flipped");
-            println!("\nall {} earlier properties hold; only the last one fails —", 21);
+            println!(
+                "\nall {} earlier properties hold; only the last one fails —",
+                21
+            );
             println!("the payload is caught exactly where it meets the input fan-out cone.");
             Ok(())
         }

@@ -13,7 +13,7 @@
 //! cargo run --release --example case_study_uart
 //! ```
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, SessionBuilder};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 fn run(benchmark: Benchmark) -> Result<(), Box<dyn std::error::Error>> {
@@ -23,7 +23,10 @@ fn run(benchmark: Benchmark) -> Result<(), Box<dyn std::error::Error>> {
         benign_state: benchmark.benign_state(&design),
         ..DetectorConfig::default()
     };
-    let report = TrojanDetector::with_config(&design, config)?.run()?;
+    let report = SessionBuilder::new(design.clone())
+        .config(config)
+        .build()?
+        .run()?;
     println!("=== {} ===", info.name);
     println!("{report}");
     match (&report.outcome, info.expected) {
@@ -35,7 +38,13 @@ fn run(benchmark: Benchmark) -> Result<(), Box<dyn std::error::Error>> {
             );
             Ok(())
         }
-        (DetectionOutcome::PropertyFailed { detected_by, counterexample }, _) => {
+        (
+            DetectionOutcome::PropertyFailed {
+                detected_by,
+                counterexample,
+            },
+            _,
+        ) => {
             match detected_by {
                 DetectedBy::FanoutProperty(k) => {
                     println!("trojan detected by fanout property {k}");

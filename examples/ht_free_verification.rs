@@ -13,7 +13,7 @@
 //! cargo run --release --example ht_free_verification
 //! ```
 
-use golden_free_htd::detect::{DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectorConfig, SessionBuilder};
 use golden_free_htd::rtl::stats::DesignStats;
 use golden_free_htd::trusthub::registry::Benchmark;
 
@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             benign_state: benchmark.benign_state(&design),
             ..DetectorConfig::default()
         };
-        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        let report = SessionBuilder::new(design.clone())
+            .config(config)
+            .build()?
+            .run()?;
         println!(
             "{:<22} {:>10} {:>12} {:>12} {:>14} {:>10}",
             benchmark.info().name,
@@ -37,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.state_bits,
             report.properties_checked(),
             report.spurious_resolved,
-            if report.outcome.is_secure() { "SECURE" } else { "SUSPECT" }
+            if report.outcome.is_secure() {
+                "SECURE"
+            } else {
+                "SUSPECT"
+            }
         );
         if !report.outcome.is_secure() {
             return Err(format!("{} failed to verify secure", benchmark.info().name).into());

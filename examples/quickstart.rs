@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use golden_free_htd::detect::{DetectionOutcome, TrojanDetector};
+use golden_free_htd::detect::{DetectionOutcome, FlowEvent, SessionBuilder};
 use golden_free_htd::rtl::sim::Simulator;
 use golden_free_htd::rtl::Design;
 
@@ -57,8 +57,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- The formal flow finds this divergence exhaustively, without knowing
-    // --- the trigger sequence and without a golden model.
-    let report = TrojanDetector::new(&design)?.run()?;
+    // --- the trigger sequence and without a golden model.  The session keeps
+    // --- one live miter encoding across the whole flow and streams progress
+    // --- events while it runs.
+    println!("\nrunning the detection flow");
+    let mut session = SessionBuilder::new(design.clone()).build()?;
+    let report = session.run_with_observer(&mut |event| match event {
+        FlowEvent::LevelStarted { level, signals } => {
+            println!("  level {level}: proving {} signal(s) equal", signals.len());
+        }
+        FlowEvent::CounterexampleFound {
+            property, diffs, ..
+        } => {
+            println!("  {property} fails — diverging: {}", diffs.join(", "));
+        }
+        _ => {}
+    })?;
+    let stats = session.session_stats();
+    println!(
+        "  ({} bit-blast, {} SAT queries for the whole flow)",
+        stats.bit_blasts, stats.queries
+    );
     println!("\n{report}");
     match report.outcome {
         DetectionOutcome::PropertyFailed { .. } | DetectionOutcome::UncoveredSignals { .. } => {

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, SessionBuilder};
 use golden_free_htd::trusthub::registry::{Benchmark, ExpectedDetection};
 
 fn detected_by_label(outcome: &DetectionOutcome) -> String {
@@ -36,8 +36,14 @@ fn matches_expectation(outcome: &DetectionOutcome, expected: ExpectedDetection) 
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{:<16} {:<9} {:<15} {:<22} {:<22} {:>7} {:>9}  {}",
-        "Benchmark", "Payload", "Trigger", "Paper: detected by", "Ours: detected by", "props", "time [s]", "match"
+        "{:<16} {:<9} {:<15} {:<22} {:<22} {:>7} {:>9}  match",
+        "Benchmark",
+        "Payload",
+        "Trigger",
+        "Paper: detected by",
+        "Ours: detected by",
+        "props",
+        "time [s]"
     );
     println!("{}", "-".repeat(112));
 
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..DetectorConfig::default()
         };
         let started = Instant::now();
-        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        let report = SessionBuilder::new(design.clone())
+            .config(config)
+            .build()?
+            .run()?;
         let elapsed = started.elapsed();
         let ours = detected_by_label(&report.outcome);
         let ok = matches_expectation(&report.outcome, info.expected);
@@ -81,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..DetectorConfig::default()
         };
         let started = Instant::now();
-        let report = TrojanDetector::with_config(&design, config)?.run()?;
+        let report = SessionBuilder::new(design.clone())
+            .config(config)
+            .build()?
+            .run()?;
         let elapsed = started.elapsed();
         let ok = matches_expectation(&report.outcome, info.expected);
         if !ok {

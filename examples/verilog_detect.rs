@@ -9,7 +9,7 @@
 
 use std::error::Error;
 
-use golden_free_htd::detect::TrojanDetector;
+use golden_free_htd::detect::SessionBuilder;
 use golden_free_htd::verilog::compile;
 
 const CLEAN: &str = "
@@ -78,8 +78,12 @@ endmodule
 fn main() -> Result<(), Box<dyn Error>> {
     for (label, source) in [("HT-free", CLEAN), ("infected", INFECTED)] {
         let design = compile(source)?;
-        let report = TrojanDetector::new(&design)?.run()?;
-        println!("=== {} version ({} registers) ===", label, design.design().registers().len());
+        let report = SessionBuilder::new(design.clone()).build()?.run()?;
+        println!(
+            "=== {} version ({} registers) ===",
+            label,
+            design.design().registers().len()
+        );
         println!("{report}");
     }
     println!("The infected version is reported from the RTL alone — no golden model was used.");

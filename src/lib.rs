@@ -10,11 +10,13 @@
 //!
 //! * [`rtl`] — word-level RTL intermediate representation, simulator and
 //!   structural analysis ([`htd_rtl`]).
-//! * [`sat`] — the CDCL SAT solver backing the property checker ([`htd_sat`]).
+//! * [`sat`] — the CDCL SAT solver and the pluggable [`sat::SatBackend`]
+//!   abstraction behind the property checker ([`htd_sat`]).
 //! * [`ipc`] — bit-blasting and interval property checking over a 2-safety
-//!   miter ([`htd_ipc`]).
+//!   miter, one-shot ([`ipc::PropertyChecker`]) or incremental
+//!   ([`ipc::MiterSession`]) ([`htd_ipc`]).
 //! * [`detect`] — the paper's contribution: the golden-free Trojan detection
-//!   flow ([`htd_core`]).
+//!   flow, driven through a [`detect::DetectionSession`] ([`htd_core`]).
 //! * [`trusthub`] — Trust-Hub-style benchmark accelerators and the Trojan
 //!   insertion framework ([`htd_trusthub`]).
 //! * [`verilog`] — a synthesizable-subset Verilog front-end lowering RTL
@@ -25,18 +27,73 @@
 //!
 //! # Quickstart
 //!
+//! Detection runs inside a [`detect::DetectionSession`], built with
+//! [`detect::SessionBuilder`] from an owned design, a
+//! [`detect::DetectorConfig`] and a [`detect::BackendChoice`].  The session
+//! keeps **one** live miter encoding for the whole flow — every property of
+//! Algorithm 1 (init, one fanout property per structural level, spurious-
+//! counterexample re-verification rounds) reuses the same bit-blast and the
+//! same incremental SAT backend:
+//!
 //! ```
-//! use golden_free_htd::detect::{DetectionOutcome, TrojanDetector};
+//! use golden_free_htd::detect::{DetectionOutcome, SessionBuilder};
 //! use golden_free_htd::trusthub::registry::Benchmark;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Build an infected benchmark (a pipelined AES with a plaintext-sequence
 //! // triggered side-channel Trojan) and run the golden-free detection flow.
 //! let design = Benchmark::AesT100.build()?;
-//! let report = TrojanDetector::new(&design)?.run()?;
+//! let mut session = SessionBuilder::new(design).build()?;
+//! let report = session.run()?;
 //! assert!(!matches!(report.outcome, DetectionOutcome::Secure));
+//! // The whole multi-property flow used a single bit-blast.
+//! assert_eq!(session.session_stats().bit_blasts, 1);
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! # Streaming progress
+//!
+//! Sessions stream [`detect::FlowEvent`]s while the flow runs — one event per
+//! fanout level, proved property, counterexample, resolution round and
+//! coverage verdict (the exact ordering contract is documented on
+//! [`detect::FlowEvent`]):
+//!
+//! ```
+//! use golden_free_htd::detect::{FlowEvent, SessionBuilder};
+//! use golden_free_htd::trusthub::registry::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Verifying the HT-free UART needs its benign-state waivers (FSM phase
+//! // and counter registers the engineer has inspected, Sec. V-B).
+//! let benchmark = Benchmark::Rs232HtFree;
+//! let design = benchmark.build()?;
+//! let config = golden_free_htd::detect::DetectorConfig {
+//!     benign_state: benchmark.benign_state(&design),
+//!     ..Default::default()
+//! };
+//! let mut session = SessionBuilder::new(design).config(config).build()?;
+//! let mut proved = Vec::new();
+//! session.run_with_observer(&mut |event| {
+//!     if let FlowEvent::PropertyProved { property, .. } = event {
+//!         proved.push(property.clone());
+//!     }
+//! })?;
+//! assert_eq!(proved.first().map(String::as_str), Some("init_property"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Choosing a SAT backend
+//!
+//! The solver behind a session is pluggable ([`sat::SatBackend`]): the
+//! default is the bundled incremental CDCL solver, and
+//! [`detect::BackendChoice::DimacsProcess`] shells out to any solver binary
+//! speaking DIMACS with SAT-competition output (MiniSat, CaDiCaL, Kissat, or
+//! the `htd sat` subcommand itself).  From the command line:
+//!
+//! ```text
+//! htd detect design.v --progress --backend dimacs:/usr/bin/kissat
 //! ```
 
 pub use htd_baselines as baselines;

@@ -32,8 +32,12 @@ fn replay(design: &ValidatedDesign, cex: &Counterexample) {
     let mut instance1 = Simulator::new(design);
     let mut instance2 = Simulator::new(design);
     for state in &cex.starting_state {
-        instance1.set_register(state.signal, state.instance1).unwrap();
-        instance2.set_register(state.signal, state.instance2).unwrap();
+        instance1
+            .set_register(state.signal, state.instance1)
+            .unwrap();
+        instance2
+            .set_register(state.signal, state.instance2)
+            .unwrap();
     }
     let input_frames: Vec<HashMap<&str, u128>> = cex
         .inputs
@@ -55,8 +59,16 @@ fn replay(design: &ValidatedDesign, cex: &Counterexample) {
     for diff in &cex.diffs {
         let v1 = instance1.peek(diff.signal);
         let v2 = instance2.peek(diff.signal);
-        assert_eq!(v1, diff.instance1, "instance 1 value of {} in replay", diff.name);
-        assert_eq!(v2, diff.instance2, "instance 2 value of {} in replay", diff.name);
+        assert_eq!(
+            v1, diff.instance1,
+            "instance 1 value of {} in replay",
+            diff.name
+        );
+        assert_eq!(
+            v2, diff.instance2,
+            "instance 2 value of {} in replay",
+            diff.name
+        );
         assert_ne!(v1, v2, "{} was reported as diverging", diff.name);
     }
 }

@@ -1,6 +1,10 @@
 //! Shared helpers for the cross-crate integration tests: a generator for
 //! small random RTL designs used by the property-based tests.
 
+// Each integration-test binary compiles this module separately and uses a
+// different subset of it.
+#![allow(dead_code)]
+
 use golden_free_htd::rtl::{Design, ExprId, SignalId, ValidatedDesign};
 use proptest::prelude::*;
 
@@ -115,7 +119,10 @@ pub fn layered_recipe() -> impl Strategy<Value = LayeredRecipe> {
         any::<u64>().prop_map(StageOp::XorConst),
         any::<u64>().prop_map(StageOp::AddConst),
     ];
-    (prop_oneof![Just(1u32), Just(4), Just(8)], prop::collection::vec(stage, 1..=6))
+    (
+        prop_oneof![Just(1u32), Just(4), Just(8)],
+        prop::collection::vec(stage, 1..=6),
+    )
         .prop_map(|(width, stages)| LayeredRecipe { width, stages })
 }
 
@@ -125,11 +132,15 @@ impl LayeredRecipe {
             StageOp::Pass => prev,
             StageOp::Not => d.not(prev),
             StageOp::XorConst(c) => {
-                let k = d.constant(mask(self.width, c), self.width).expect("masked constant");
+                let k = d
+                    .constant(mask(self.width, c), self.width)
+                    .expect("masked constant");
                 d.xor(prev, k).expect("same width")
             }
             StageOp::AddConst(c) => {
-                let k = d.constant(mask(self.width, c), self.width).expect("masked constant");
+                let k = d
+                    .constant(mask(self.width, c), self.width)
+                    .expect("masked constant");
                 d.add(prev, k).expect("same width")
             }
         }
@@ -155,13 +166,16 @@ impl BuildDesign for LayeredRecipe {
         let input = d.add_input("in", self.width).expect("fresh input name");
         let mut prev = d.signal(input);
         for (i, &op) in self.stages.iter().enumerate() {
-            let reg = d.add_register(format!("stage{i}"), self.width, 0).expect("fresh name");
+            let reg = d
+                .add_register(format!("stage{i}"), self.width, 0)
+                .expect("fresh name");
             let next = self.stage_expr(&mut d, op, prev);
             d.set_register_next(reg, next).expect("same width");
             prev = d.signal(reg);
         }
         d.add_output("out", prev).expect("fresh output name");
-        d.validated().expect("layered recipes are always well-formed")
+        d.validated()
+            .expect("layered recipes are always well-formed")
     }
 }
 
@@ -184,7 +198,9 @@ fn build_expr(
     match recipe {
         ExprRecipe::Input(i) => d.signal(inputs[*i as usize % inputs.len()]),
         ExprRecipe::Register(r) => d.signal(registers[*r as usize % registers.len()]),
-        ExprRecipe::Const(v) => d.constant(mask(width, *v), width).expect("masked constant fits"),
+        ExprRecipe::Const(v) => d
+            .constant(mask(width, *v), width)
+            .expect("masked constant fits"),
         ExprRecipe::Xor(a, b) => {
             let ea = build_expr(d, a, width, inputs, registers);
             let eb = build_expr(d, b, width, inputs, registers);
@@ -208,7 +224,9 @@ fn build_expr(
             let ea = build_expr(d, a, width, inputs, registers);
             let eb = build_expr(d, b, width, inputs, registers);
             let ee = build_expr(d, e, width, inputs, registers);
-            let cond = d.eq_const(ea, mask(width, *c)).expect("masked constant fits");
+            let cond = d
+                .eq_const(ea, mask(width, *c))
+                .expect("masked constant fits");
             d.mux(cond, eb, ee).expect("same width")
         }
     }
@@ -218,10 +236,16 @@ fn build_expr(
 fn build_random_design(recipe: &DesignRecipe) -> ValidatedDesign {
     let mut d = Design::new("random_design");
     let inputs: Vec<SignalId> = (0..recipe.num_inputs)
-        .map(|i| d.add_input(format!("in{i}"), recipe.width).expect("fresh input name"))
+        .map(|i| {
+            d.add_input(format!("in{i}"), recipe.width)
+                .expect("fresh input name")
+        })
         .collect();
     let registers: Vec<SignalId> = (0..recipe.registers.len())
-        .map(|i| d.add_register(format!("r{i}"), recipe.width, 0).expect("fresh register name"))
+        .map(|i| {
+            d.add_register(format!("r{i}"), recipe.width, 0)
+                .expect("fresh register name")
+        })
         .collect();
     for (reg, expr_recipe) in registers.iter().zip(&recipe.registers) {
         let next = build_expr(&mut d, expr_recipe, recipe.width, &inputs, &registers);
@@ -229,5 +253,6 @@ fn build_random_design(recipe: &DesignRecipe) -> ValidatedDesign {
     }
     let out = build_expr(&mut d, &recipe.output, recipe.width, &inputs, &registers);
     d.add_output("out", out).expect("fresh output name");
-    d.validated().expect("recipe designs are always well-formed")
+    d.validated()
+        .expect("recipe designs are always well-formed")
 }

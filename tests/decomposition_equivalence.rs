@@ -23,7 +23,7 @@ mod common;
 
 use common::{build_design, design_recipe, layered_recipe};
 use golden_free_htd::detect::aggregate::check_trojan_property;
-use golden_free_htd::detect::{DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectionOutcome, DetectorConfig, SessionBuilder};
 use golden_free_htd::rtl::structural::{data_driven_violations, is_data_driven};
 use golden_free_htd::trusthub::registry::Benchmark;
 use proptest::prelude::*;
@@ -31,8 +31,13 @@ use proptest::prelude::*;
 /// Runs the decomposed flow in its plain Algorithm-1 form (no extra
 /// assumptions, no waivers) and reports whether any property failed.
 fn decomposed_fails(design: &golden_free_htd::rtl::ValidatedDesign) -> bool {
-    let config = DetectorConfig { assume_previously_proven: false, ..DetectorConfig::default() };
-    let report = TrojanDetector::with_config(design, config)
+    let config = DetectorConfig {
+        assume_previously_proven: false,
+        ..DetectorConfig::default()
+    };
+    let report = SessionBuilder::new(design.clone())
+        .config(config)
+        .build()
         .expect("random designs have inputs and state")
         .run()
         .expect("flow completes");
@@ -81,7 +86,8 @@ proptest! {
             "layered recipes satisfy the cumulative side condition"
         );
         let aggregate_fails = !check_trojan_property(&design).holds();
-        let report = TrojanDetector::new(&design)
+        let report = SessionBuilder::new(design.clone())
+            .build()
             .expect("layered designs have inputs and state")
             .run()
             .expect("flow completes");
@@ -103,7 +109,11 @@ fn decomposition_agrees_with_aggregate_on_the_rsa_benchmark() {
         let aggregate_fails = !check_trojan_property(&design).holds();
         let decomposed = decomposed_fails(&design);
         assert_eq!(decomposed, aggregate_fails, "{}", benchmark.name());
-        assert!(aggregate_fails, "{}: expected a 2-safety violation", benchmark.name());
+        assert!(
+            aggregate_fails,
+            "{}: expected a 2-safety violation",
+            benchmark.name()
+        );
     }
 }
 

@@ -3,7 +3,7 @@
 //! them (none for the data-driven AES, a few for the control-heavy RSA and
 //! UART designs).
 
-use golden_free_htd::detect::{DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectorConfig, SessionBuilder};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 fn verify(benchmark: Benchmark) -> (bool, usize, usize) {
@@ -12,11 +12,17 @@ fn verify(benchmark: Benchmark) -> (bool, usize, usize) {
         benign_state: benchmark.benign_state(&design),
         ..DetectorConfig::default()
     };
-    let report = TrojanDetector::with_config(&design, config)
+    let report = SessionBuilder::new(design.clone())
+        .config(config)
+        .build()
         .expect("detector accepts the design")
         .run()
         .expect("flow completes");
-    (report.outcome.is_secure(), report.spurious_resolved, report.properties_checked())
+    (
+        report.outcome.is_secure(),
+        report.spurious_resolved,
+        report.properties_checked(),
+    )
 }
 
 #[test]
@@ -35,14 +41,20 @@ fn ht_free_rsa_verifies_secure_after_spurious_cex_resolution() {
     // The paper resolved 2 spurious counterexamples for the RSA designs; the
     // exact count depends on the microarchitecture, but there must be at
     // least one (the design has interfering control state) and few.
-    assert!(spurious >= 1 && spurious <= 4, "unexpected spurious count {spurious}");
+    assert!(
+        (1..=4).contains(&spurious),
+        "unexpected spurious count {spurious}"
+    );
 }
 
 #[test]
 fn ht_free_uart_verifies_secure_after_spurious_cex_resolution() {
     let (secure, spurious, _) = verify(Benchmark::Rs232HtFree);
     assert!(secure);
-    assert!(spurious >= 1 && spurious <= 5, "unexpected spurious count {spurious}");
+    assert!(
+        (1..=5).contains(&spurious),
+        "unexpected spurious count {spurious}"
+    );
 }
 
 #[test]
@@ -50,6 +62,10 @@ fn ht_free_verification_fails_without_waivers_for_interfering_designs() {
     // Without the engineer-supplied waivers the control state of the RSA
     // design produces a (false) detection — the situation Sec. V-B describes.
     let design = Benchmark::BasicRsaHtFree.build().unwrap();
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(!report.outcome.is_secure());
 }

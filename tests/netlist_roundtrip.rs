@@ -2,7 +2,7 @@
 //! dumping a benchmark and parsing it back must preserve both simulation
 //! behaviour and the detection verdict.
 
-use golden_free_htd::detect::{DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectorConfig, SessionBuilder};
 use golden_free_htd::rtl::netlist;
 use golden_free_htd::rtl::sim::Simulator;
 use golden_free_htd::rtl::Design;
@@ -25,7 +25,10 @@ fn rsa_benchmark_roundtrips_through_the_netlist_format() {
     let parsed = netlist::parse(&text).unwrap();
 
     // Same signals.
-    assert_eq!(original.design().num_signals(), parsed.design().num_signals());
+    assert_eq!(
+        original.design().num_signals(),
+        parsed.design().num_signals()
+    );
 
     // Same simulation behaviour.
     let mut sim = Simulator::new(&parsed);
@@ -36,7 +39,10 @@ fn rsa_benchmark_roundtrips_through_the_netlist_format() {
     sim.step().unwrap();
     sim.set_input_by_name("ds", 0).unwrap();
     sim.run(LATENCY).unwrap();
-    assert_eq!(sim.peek_by_name("cypher").unwrap(), u128::from(modexp_ref(0x321, 0x11, 0xfff1)));
+    assert_eq!(
+        sim.peek_by_name("cypher").unwrap(),
+        u128::from(modexp_ref(0x321, 0x11, 0xfff1))
+    );
 }
 
 #[test]
@@ -56,7 +62,10 @@ fn arithmetic_accumulator_roundtrips_through_the_netlist_format() {
 
     let text = netlist::dump(&original);
     let parsed = netlist::parse(&text).unwrap();
-    assert_eq!(original.design().num_signals(), parsed.design().num_signals());
+    assert_eq!(
+        original.design().num_signals(),
+        parsed.design().num_signals()
+    );
 
     // Same simulation behaviour on both variants.
     let stimuli = [(3u128, 5u128), (7, 11), (250, 301), (65_535, 2)];
@@ -87,8 +96,16 @@ fn infected_uart_keeps_its_detection_verdict_after_a_roundtrip() {
             benign_state: benchmark.benign_state(design),
             ..DetectorConfig::default()
         };
-        let report = TrojanDetector::with_config(design, config).unwrap().run().unwrap();
-        assert!(!report.outcome.is_secure(), "trojan must be detected in both variants");
+        let report = SessionBuilder::new(design.clone())
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            !report.outcome.is_secure(),
+            "trojan must be detected in both variants"
+        );
     }
 }
 
@@ -102,7 +119,12 @@ fn clean_uart_keeps_its_secure_verdict_after_a_roundtrip() {
         benign_state: benchmark.benign_state(&parsed),
         ..DetectorConfig::default()
     };
-    let report = TrojanDetector::with_config(&parsed, config).unwrap().run().unwrap();
+    let report = SessionBuilder::new(parsed.clone())
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(report.outcome.is_secure());
 }
 

@@ -1,0 +1,160 @@
+//! Backend-equivalence suite for the session redesign: the incremental
+//! `DetectionSession` path must reach the same verdicts as the legacy
+//! per-property re-encode path (`TrojanDetector`) on every bundled
+//! benchmark, while performing exactly one bit-blast per flow run.
+
+#![allow(deprecated)] // the legacy TrojanDetector is the reference path here
+
+use golden_free_htd::detect::{
+    DetectionOutcome, DetectionReport, DetectorConfig, SessionBuilder, TrojanDetector,
+};
+use golden_free_htd::trusthub::registry::Benchmark;
+
+fn legacy_run(benchmark: Benchmark) -> DetectionReport {
+    let design = benchmark.build().expect("benchmark builds");
+    let config = DetectorConfig {
+        benign_state: benchmark.benign_state(&design),
+        ..DetectorConfig::default()
+    };
+    TrojanDetector::with_config(&design, config)
+        .expect("legacy detector accepts the design")
+        .run()
+        .expect("legacy flow completes")
+}
+
+fn session_run(benchmark: Benchmark) -> (DetectionReport, u64) {
+    let design = benchmark.build().expect("benchmark builds");
+    let config = DetectorConfig {
+        benign_state: benchmark.benign_state(&design),
+        ..DetectorConfig::default()
+    };
+    let mut session = SessionBuilder::new(design)
+        .config(config)
+        .build()
+        .expect("session builder accepts the design");
+    let report = session.run().expect("session flow completes");
+    (report, session.session_stats().bit_blasts)
+}
+
+fn diff_set(outcome: &DetectionOutcome) -> Option<Vec<String>> {
+    match outcome {
+        DetectionOutcome::PropertyFailed { counterexample, .. } => {
+            let mut names: Vec<String> = counterexample
+                .diff_names()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            names.sort();
+            Some(names)
+        }
+        _ => None,
+    }
+}
+
+fn assert_equivalent(benchmark: Benchmark) {
+    let legacy = legacy_run(benchmark);
+    let (session, bit_blasts) = session_run(benchmark);
+    let name = benchmark.name();
+
+    assert_eq!(
+        bit_blasts, 1,
+        "{name}: the session must bit-blast exactly once"
+    );
+    assert_eq!(
+        legacy.outcome.is_secure(),
+        session.outcome.is_secure(),
+        "{name}: verdict mismatch\nlegacy: {legacy}\nsession: {session}"
+    );
+    assert_eq!(
+        legacy.outcome.detected_by(),
+        session.outcome.detected_by(),
+        "{name}: detection mechanism mismatch"
+    );
+    assert_eq!(
+        legacy.properties_checked(),
+        session.properties_checked(),
+        "{name}: different number of properties checked"
+    );
+    assert_eq!(
+        legacy.fanout_levels, session.fanout_levels,
+        "{name}: structural levels must be identical"
+    );
+    // The diverging signals of the failing property.  Both paths stop at the
+    // same property, but the solver is free to return different models — a
+    // counterexample may flip one payload signal or several at once — so the
+    // reported sets are compared up to overlap, not equality.
+    match (diff_set(&legacy.outcome), diff_set(&session.outcome)) {
+        (None, None) => {}
+        (Some(legacy_diffs), Some(session_diffs)) => {
+            assert!(
+                !legacy_diffs.is_empty(),
+                "{name}: legacy counterexample has no diffs"
+            );
+            assert!(
+                !session_diffs.is_empty(),
+                "{name}: session counterexample has no diffs"
+            );
+            assert!(
+                legacy_diffs.iter().any(|s| session_diffs.contains(s)),
+                "{name}: counterexamples point at disjoint divergences \
+                 (legacy: {legacy_diffs:?}, session: {session_diffs:?})"
+            );
+        }
+        (legacy_diffs, session_diffs) => panic!(
+            "{name}: one path found a counterexample and the other did not \
+             (legacy: {legacy_diffs:?}, session: {session_diffs:?})"
+        ),
+    }
+    if let (
+        DetectionOutcome::UncoveredSignals {
+            signals: legacy_signals,
+        },
+        DetectionOutcome::UncoveredSignals {
+            signals: session_signals,
+        },
+    ) = (&legacy.outcome, &session.outcome)
+    {
+        assert_eq!(
+            legacy_signals, session_signals,
+            "{name}: uncovered-signal mismatch"
+        );
+    }
+}
+
+#[test]
+fn table1_benchmarks_agree_between_session_and_legacy_paths() {
+    for benchmark in Benchmark::table1() {
+        assert_equivalent(benchmark);
+    }
+}
+
+#[test]
+fn ht_free_and_case_study_benchmarks_agree_between_paths() {
+    for benchmark in [
+        Benchmark::AesHtFree,
+        Benchmark::BasicRsaHtFree,
+        Benchmark::Rs232HtFree,
+        Benchmark::Rs232T2400,
+    ] {
+        assert_equivalent(benchmark);
+    }
+}
+
+#[test]
+fn session_path_reuses_its_encoding_across_properties() {
+    // On a clean design the session proves N properties; re-running the same
+    // session must not re-encode anything (the AIG is already mirrored).
+    let design = Benchmark::Rs232HtFree.build().expect("benchmark builds");
+    let mut session = SessionBuilder::new(design).build().expect("session builds");
+    session.run().expect("first run completes");
+    let stats_first = session.session_stats();
+    session.run().expect("second run completes");
+    let stats_second = session.session_stats();
+    assert_eq!(stats_first.bit_blasts, 1);
+    assert_eq!(stats_second.bit_blasts, 1);
+    assert_eq!(
+        stats_first.nodes_encoded, stats_second.nodes_encoded,
+        "a repeated run must not grow the encoding"
+    );
+    assert!(stats_second.properties_checked > stats_first.properties_checked);
+}

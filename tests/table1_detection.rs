@@ -6,7 +6,7 @@
 //! build of the AES pipeline properties is slow, and it is also exercised by
 //! the release-mode `table1` example and benchmark.
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, SessionBuilder};
 use golden_free_htd::trusthub::registry::{Benchmark, ExpectedDetection};
 
 fn run_benchmark(benchmark: Benchmark) -> (DetectionOutcome, usize) {
@@ -15,7 +15,9 @@ fn run_benchmark(benchmark: Benchmark) -> (DetectionOutcome, usize) {
         benign_state: benchmark.benign_state(&design),
         ..DetectorConfig::default()
     };
-    let report = TrojanDetector::with_config(&design, config)
+    let report = SessionBuilder::new(design.clone())
+        .config(config)
+        .build()
         .expect("detector accepts the design")
         .run()
         .expect("flow completes");
@@ -89,21 +91,30 @@ fn rsa_dos_is_caught_by_init_property() {
 
 #[test]
 fn counterexamples_localise_trojan_state_or_corrupted_outputs() {
-    for benchmark in [Benchmark::AesT1400, Benchmark::AesT2500, Benchmark::BasicRsaT300] {
+    for benchmark in [
+        Benchmark::AesT1400,
+        Benchmark::AesT2500,
+        Benchmark::BasicRsaT300,
+    ] {
         let (outcome, _) = run_benchmark(benchmark);
         match outcome {
             DetectionOutcome::PropertyFailed { counterexample, .. } => {
-                let touches_trojan = counterexample
-                    .diffs
+                let touches_trojan = counterexample.diffs.iter().any(|d| {
+                    d.name.starts_with("trojan_") || d.name == "ciphertext" || d.name == "cypher"
+                }) || counterexample
+                    .differing_state()
                     .iter()
-                    .any(|d| d.name.starts_with("trojan_") || d.name == "ciphertext" || d.name == "cypher")
-                    || counterexample
-                        .differing_state()
-                        .iter()
-                        .any(|d| d.name.starts_with("trojan_"));
-                assert!(touches_trojan, "{}: counterexample does not localise the trojan", benchmark.name());
+                    .any(|d| d.name.starts_with("trojan_"));
+                assert!(
+                    touches_trojan,
+                    "{}: counterexample does not localise the trojan",
+                    benchmark.name()
+                );
             }
-            other => panic!("{}: expected a property failure, got {other:?}", benchmark.name()),
+            other => panic!(
+                "{}: expected a property failure, got {other:?}",
+                benchmark.name()
+            ),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! infected UART is detected by a failed fanout property; the clean UART
 //! verifies secure once the benign control state is waived.
 
-use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, TrojanDetector};
+use golden_free_htd::detect::{DetectedBy, DetectionOutcome, DetectorConfig, SessionBuilder};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 #[test]
@@ -13,9 +13,17 @@ fn infected_uart_is_detected_by_a_fanout_property() {
         benign_state: benchmark.benign_state(&design),
         ..DetectorConfig::default()
     };
-    let report = TrojanDetector::with_config(&design, config).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     match &report.outcome {
-        DetectionOutcome::PropertyFailed { detected_by, counterexample } => {
+        DetectionOutcome::PropertyFailed {
+            detected_by,
+            counterexample,
+        } => {
             assert!(
                 matches!(detected_by, DetectedBy::FanoutProperty(_)),
                 "expected a fanout property, got {detected_by}"
@@ -38,7 +46,11 @@ fn infected_uart_without_waivers_is_still_detected() {
     // Waivers only suppress *spurious* counterexamples; with none supplied
     // the flow still ends in a detection (possibly at an earlier property).
     let design = Benchmark::Rs232T2400.build().unwrap();
-    let report = TrojanDetector::new(&design).unwrap().run().unwrap();
+    let report = SessionBuilder::new(design.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(!report.outcome.is_secure());
 }
 
