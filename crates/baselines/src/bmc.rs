@@ -182,6 +182,7 @@ pub fn bounded_trojan_search(design: &ValidatedDesign, options: &BmcOptions) -> 
     let result = solver.solve();
     let outcome = match result {
         SolveResult::Unsat => BmcOutcome::BoundExhausted,
+        SolveResult::Interrupted => unreachable!("no interrupt check installed"),
         SolveResult::Sat => {
             // Evaluate the AIG under the model to recover the diverging
             // outputs of the earliest diverging frame.

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 use std::time::Duration;
 
 #[allow(deprecated)] // the legacy detector is kept as the re-encode reference path

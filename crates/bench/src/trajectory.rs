@@ -1,0 +1,286 @@
+//! The perf-trajectory harness behind `htd bench --json`.
+//!
+//! Runs the bundled benchmark set through both property-checking engines —
+//! the sequential single-miter reference path and the sharded
+//! [`PropertyScheduler`](htd_core::PropertyScheduler) — and collects one
+//! [`TrajectoryRecord`] per design: wall-clock for each engine, verdict, and
+//! the solver work counters (conflicts, propagations, restarts, clause-GC
+//! and LBD totals).  [`to_json`] renders the records as a self-contained
+//! `BENCH_*.json` file so future changes have a baseline to diff against.
+//!
+//! Wall-clocks are the best of [`MEASURE_RUNS`] runs: the designs are small
+//! enough that scheduler noise would otherwise dominate single-digit
+//! millisecond flows.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use htd_core::{DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
+use htd_trusthub::registry::Benchmark;
+
+/// How many times each (design, engine) pair is run; the fastest run is
+/// recorded.
+pub const MEASURE_RUNS: usize = 3;
+
+/// One benchmark's measurements for the perf-trajectory file.
+#[derive(Clone, Debug)]
+pub struct TrajectoryRecord {
+    /// Benchmark name (`AES-T100`, `BasicRSA (HT-free)`, …).
+    pub name: String,
+    /// One-line verdict (`secure`, or the detection mechanism).
+    pub verdict: String,
+    /// Properties checked by the flow (scheduler engine).
+    pub properties_checked: usize,
+    /// Spurious counterexamples resolved (scheduler engine).
+    pub spurious_resolved: usize,
+    /// Best wall-clock of the sharded scheduler engine, in seconds.
+    pub wall_secs: f64,
+    /// Best wall-clock of the sequential single-miter engine, in seconds.
+    pub sequential_secs: f64,
+    /// Solver conflicts across the whole flow (scheduler engine).
+    pub conflicts: u64,
+    /// Solver propagations across the whole flow (scheduler engine).
+    pub propagations: u64,
+    /// Solver restarts across the whole flow (scheduler engine).
+    pub restarts: u64,
+    /// Solver decisions across the whole flow (scheduler engine).
+    pub decisions: u64,
+    /// Clause garbage collections across the whole flow.
+    pub gc_runs: u64,
+    /// Clauses physically collected by garbage collection.
+    pub clauses_collected: u64,
+    /// Sum of learnt-clause LBD values (divide by `conflicts` for the
+    /// average glue).
+    pub learnt_lbd_sum: u64,
+    /// SAT queries consumed by the flow.
+    pub queries: u64,
+    /// Per-signal solve tasks dispatched by the scheduler.
+    pub parallel_tasks: u64,
+    /// Prove signals discharged structurally (no solver work).
+    pub structurally_proved: u64,
+}
+
+impl TrajectoryRecord {
+    /// Sequential wall-clock divided by scheduler wall-clock.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sequential_secs / self.wall_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The smoke subset used by CI: the cheapest representative of each base
+/// design class plus the two designs with the hardest properties.
+#[must_use]
+pub fn smoke_set() -> Vec<Benchmark> {
+    vec![
+        Benchmark::AesT100,
+        Benchmark::AesT1600,
+        Benchmark::AesT2500,
+        Benchmark::BasicRsaT200,
+        Benchmark::Rs232T2400,
+        Benchmark::Rs232HtFree,
+    ]
+}
+
+fn run_once(
+    benchmark: Benchmark,
+    engine: EngineChoice,
+) -> (f64, htd_core::DetectionReport, u64, u64) {
+    let design = benchmark.build().expect("bundled benchmarks build");
+    let config = DetectorConfig {
+        benign_state: benchmark.benign_state(&design),
+        ..DetectorConfig::default()
+    };
+    let mut session = SessionBuilder::new(design)
+        .config(config)
+        .engine(engine)
+        .build()
+        .expect("bundled benchmarks are accepted");
+    let start = Instant::now();
+    let report = session.run().expect("detection flow completes");
+    let secs = start.elapsed().as_secs_f64();
+    let stats = session.session_stats();
+    (
+        secs,
+        report,
+        stats.parallel_tasks,
+        stats.structurally_proved,
+    )
+}
+
+/// Measures one benchmark with both engines (scheduler at `jobs` workers).
+#[must_use]
+pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize) -> TrajectoryRecord {
+    let scheduled = EngineChoice::Scheduled(PropertyScheduler::new(jobs));
+    let mut wall_secs = f64::INFINITY;
+    let mut sequential_secs = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..MEASURE_RUNS {
+        let (secs, report, tasks, structural) = run_once(benchmark, scheduled);
+        if secs < wall_secs {
+            wall_secs = secs;
+        }
+        measured = Some((report, tasks, structural));
+        let (secs, _, _, _) = run_once(benchmark, EngineChoice::Sequential);
+        if secs < sequential_secs {
+            sequential_secs = secs;
+        }
+    }
+    let (report, parallel_tasks, structurally_proved) = measured.expect("at least one run");
+    let verdict = match report.outcome.detected_by() {
+        None => "secure".to_string(),
+        Some(mechanism) => mechanism.to_string(),
+    };
+    let totals = report.solver_totals;
+    TrajectoryRecord {
+        name: benchmark.name().to_string(),
+        verdict,
+        properties_checked: report.properties_checked(),
+        spurious_resolved: report.spurious_resolved,
+        wall_secs,
+        sequential_secs,
+        conflicts: totals.conflicts,
+        propagations: totals.propagations,
+        restarts: totals.restarts,
+        decisions: totals.decisions,
+        gc_runs: totals.gc_runs,
+        clauses_collected: totals.clauses_collected,
+        learnt_lbd_sum: totals.learnt_lbd_sum,
+        queries: totals.solves,
+        parallel_tasks,
+        structurally_proved,
+    }
+}
+
+/// Measures every given benchmark; see [`measure`].
+#[must_use]
+pub fn run_trajectory(benchmarks: &[Benchmark], jobs: NonZeroUsize) -> Vec<TrajectoryRecord> {
+    benchmarks.iter().map(|&b| measure(b, jobs)).collect()
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders trajectory records as a pretty-printed JSON document.
+///
+/// The schema is flat on purpose — every field is a number or a string — so
+/// future PRs can diff two `BENCH_*.json` files with standard tooling.
+#[must_use]
+pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v1\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", jobs.get()));
+    let total_wall: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let total_seq: f64 = records.iter().map(|r| r.sequential_secs).sum();
+    out.push_str(&format!("  \"total_wall_secs\": {total_wall:.6},\n"));
+    out.push_str(&format!("  \"total_sequential_secs\": {total_seq:.6},\n"));
+    out.push_str(&format!(
+        "  \"total_speedup\": {:.3},\n",
+        if total_wall > 0.0 {
+            total_seq / total_wall
+        } else {
+            1.0
+        }
+    ));
+    out.push_str("  \"designs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+        out.push_str(&format!(
+            "      \"verdict\": \"{}\",\n",
+            json_escape(&r.verdict)
+        ));
+        out.push_str(&format!(
+            "      \"properties_checked\": {},\n",
+            r.properties_checked
+        ));
+        out.push_str(&format!(
+            "      \"spurious_resolved\": {},\n",
+            r.spurious_resolved
+        ));
+        out.push_str(&format!("      \"wall_secs\": {:.6},\n", r.wall_secs));
+        out.push_str(&format!(
+            "      \"sequential_secs\": {:.6},\n",
+            r.sequential_secs
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup()));
+        out.push_str(&format!("      \"conflicts\": {},\n", r.conflicts));
+        out.push_str(&format!("      \"propagations\": {},\n", r.propagations));
+        out.push_str(&format!("      \"restarts\": {},\n", r.restarts));
+        out.push_str(&format!("      \"decisions\": {},\n", r.decisions));
+        out.push_str(&format!("      \"gc_runs\": {},\n", r.gc_runs));
+        out.push_str(&format!(
+            "      \"clauses_collected\": {},\n",
+            r.clauses_collected
+        ));
+        out.push_str(&format!(
+            "      \"learnt_lbd_sum\": {},\n",
+            r.learnt_lbd_sum
+        ));
+        out.push_str(&format!("      \"queries\": {},\n", r.queries));
+        out.push_str(&format!(
+            "      \"parallel_tasks\": {},\n",
+            r.parallel_tasks
+        ));
+        out.push_str(&format!(
+            "      \"structurally_proved\": {}\n",
+            r.structurally_proved
+        ));
+        out.push_str(if i + 1 < records.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_set_measures_and_serialises() {
+        let jobs = NonZeroUsize::new(2).unwrap();
+        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].verdict, "fanout_property_1");
+        assert!(records[0].wall_secs > 0.0);
+        let json = to_json(&records, jobs);
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v1\""));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("RS232-T2400"));
+        assert!(json.contains("\"speedup\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+    }
+
+    #[test]
+    fn smoke_set_is_small_but_covers_all_bases() {
+        let set = smoke_set();
+        assert!(set.len() <= 8, "smoke set must stay cheap");
+        assert!(set.contains(&Benchmark::BasicRsaT200));
+        assert!(set.contains(&Benchmark::AesT1600));
+    }
+}

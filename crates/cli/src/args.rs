@@ -64,6 +64,9 @@ pub struct DetectArgs {
     pub backend: BackendChoice,
     /// Stream per-property progress to stderr while the flow runs.
     pub progress: bool,
+    /// Worker shards per fanout level (`None` = the machine's available
+    /// parallelism).  Reports are identical for every value.
+    pub jobs: Option<usize>,
 }
 
 impl Default for DetectArgs {
@@ -76,6 +79,7 @@ impl Default for DetectArgs {
             benign: Vec::new(),
             backend: BackendChoice::Builtin,
             progress: false,
+            jobs: None,
         }
     }
 }
@@ -94,6 +98,17 @@ pub enum Command {
     },
     /// Regenerate Table I of the paper on the bundled benchmarks.
     Table1,
+    /// Run the perf-trajectory benchmark harness: the Table-I set (or a
+    /// smoke subset) through the sequential and sharded engines, printing a
+    /// comparison table and optionally writing a `BENCH_*.json` file.
+    Bench {
+        /// Write the JSON trajectory to this path.
+        json: Option<PathBuf>,
+        /// Worker shards (`None` = available parallelism).
+        jobs: Option<usize>,
+        /// Run only the cheap smoke subset (used by CI).
+        smoke: bool,
+    },
     /// Solve a DIMACS CNF file and print the result in SAT-competition
     /// format (`s SATISFIABLE` / `s UNSATISFIABLE` plus `v` model lines).
     ///
@@ -150,6 +165,16 @@ impl Command {
                                 value.parse().map_err(ParseArgsError::InvalidBackend)?;
                         }
                         "--progress" => parsed.progress = true,
+                        "--jobs" => {
+                            let value = required(&mut iter, "--jobs")?;
+                            let jobs: usize = value
+                                .parse()
+                                .map_err(|_| ParseArgsError::InvalidNumber(value.clone()))?;
+                            if jobs == 0 {
+                                return Err(ParseArgsError::InvalidNumber(value));
+                            }
+                            parsed.jobs = Some(jobs);
+                        }
                         flag if flag.starts_with("--") => {
                             return Err(ParseArgsError::UnknownFlag(flag.to_string()))
                         }
@@ -184,6 +209,30 @@ impl Command {
                 })
             }
             "table1" => Ok(Command::Table1),
+            "bench" => {
+                let mut json = None;
+                let mut jobs = None;
+                let mut smoke = false;
+                let mut iter = rest.into_iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--json" => json = Some(PathBuf::from(required(&mut iter, "--json")?)),
+                        "--jobs" => {
+                            let value = required(&mut iter, "--jobs")?;
+                            let parsed: usize = value
+                                .parse()
+                                .map_err(|_| ParseArgsError::InvalidNumber(value.clone()))?;
+                            if parsed == 0 {
+                                return Err(ParseArgsError::InvalidNumber(value));
+                            }
+                            jobs = Some(parsed);
+                        }
+                        "--smoke" => smoke = true,
+                        other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
+                    }
+                }
+                Ok(Command::Bench { json, jobs, smoke })
+            }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(ParseArgsError::UnknownCommand(other.to_string())),
         }
@@ -231,10 +280,11 @@ pub fn usage() -> &'static str {
 
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
-                      [--backend builtin|dimacs:PATH] [--progress]
+                      [--backend builtin|dimacs:PATH] [--progress] [--jobs N]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
+    htd bench [--json FILE] [--jobs N] [--smoke]
     htd sat <file.cnf>
     htd help
 
@@ -247,12 +297,20 @@ SUBCOMMANDS:
     stats       design statistics and the structural fanout levels
     baselines   bounded model checking, random testing, UCI and FANCI
     table1      regenerate Table I of the paper on the bundled benchmarks
+    bench       perf-trajectory harness (sequential vs sharded engine timings)
     sat         solve a DIMACS CNF file (SAT-competition output format)
 
 DETECT FLAGS:
     --backend builtin        solve with the bundled incremental CDCL solver (default)
     --backend dimacs:PATH    shell out to a DIMACS-speaking solver binary per query
     --progress               stream per-property progress to stderr while running
+    --jobs N                 worker shards per fanout level (default: available
+                             parallelism; reports are identical for every N)
+
+BENCH FLAGS:
+    --json FILE              write the BENCH_*.json perf-trajectory file
+    --jobs N                 worker shards for the sharded engine
+    --smoke                  run only the cheap CI smoke subset
 "
 }
 
@@ -344,6 +402,39 @@ mod tests {
             Command::Baselines { bound, .. } => assert_eq!(bound, 16),
             other => panic!("expected baselines, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_jobs_and_bench() {
+        match Command::parse(["detect", "design.v", "--jobs", "8"]).unwrap() {
+            Command::Detect(args) => assert_eq!(args.jobs, Some(8)),
+            other => panic!("expected detect, got {other:?}"),
+        }
+        assert_eq!(
+            Command::parse(["detect", "design.v", "--jobs", "0"]).unwrap_err(),
+            ParseArgsError::InvalidNumber("0".into())
+        );
+        match Command::parse(["bench", "--json", "BENCH.json", "--jobs", "4", "--smoke"]).unwrap() {
+            Command::Bench { json, jobs, smoke } => {
+                assert_eq!(json, Some(PathBuf::from("BENCH.json")));
+                assert_eq!(jobs, Some(4));
+                assert!(smoke);
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        match Command::parse(["bench"]).unwrap() {
+            Command::Bench { json, jobs, smoke } => {
+                assert_eq!(json, None);
+                assert_eq!(jobs, None);
+                assert!(!smoke);
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(["bench", "--wrong"]).unwrap_err(),
+            ParseArgsError::UnknownFlag(_)
+        ));
+        assert!(usage().contains("htd bench"));
     }
 
     #[test]

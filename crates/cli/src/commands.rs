@@ -3,14 +3,17 @@
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
 
 use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
 use htd_baselines::fanci::{control_value_analysis, FanciOptions};
 use htd_baselines::uci::{unused_circuit_identification, UciOptions};
+use htd_bench::trajectory;
 use htd_core::replay::replay_counterexample;
 use htd_core::{
-    DetectError, DetectionOutcome, DetectionReport, DetectorConfig, FlowEvent, SessionBuilder,
+    DetectError, DetectionOutcome, DetectionReport, DetectorConfig, FlowEvent, PropertyScheduler,
+    SessionBuilder,
 };
 use htd_rtl::export::fanout_dot;
 use htd_rtl::stats::DesignStats;
@@ -97,6 +100,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(baselines_text(&design, *bound))
         }
         Command::Table1 => Ok(table1_text()),
+        Command::Bench { json, jobs, smoke } => bench(json.as_deref(), *jobs, *smoke),
         Command::Sat { input } => sat(input),
     }
 }
@@ -111,6 +115,7 @@ fn render_event(event: &FlowEvent) -> Option<String> {
             property,
             duration,
             spurious_resolved,
+            solver,
         } => {
             let note = if *spurious_resolved > 0 {
                 format!(" ({spurious_resolved} spurious CEX resolved)")
@@ -118,14 +123,17 @@ fn render_event(event: &FlowEvent) -> Option<String> {
                 String::new()
             };
             Some(format!(
-                "  proved {property} in {:.3}s{note}",
-                duration.as_secs_f64()
+                "  proved {property} in {:.3}s{note} ({} conflicts, {} propagations)",
+                duration.as_secs_f64(),
+                solver.conflicts,
+                solver.propagations
             ))
         }
         FlowEvent::CounterexampleFound {
             property,
             diffs,
             spurious,
+            ..
         } => Some(format!(
             "  counterexample for {property} (diverging: {}){}",
             diffs.join(", "),
@@ -161,9 +169,14 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
         benign_state: benign,
         ..DetectorConfig::default()
     };
+    let jobs = args
+        .jobs
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(PropertyScheduler::available_parallelism);
     let mut session = SessionBuilder::new(design.clone())
         .config(config)
         .backend(args.backend.clone())
+        .jobs(jobs)
         .build()?;
     let report: DetectionReport = if args.progress {
         eprintln!(
@@ -226,6 +239,63 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `htd bench`: the perf-trajectory harness — run the benchmark set through
+/// the sequential and sharded engines, print a comparison table, and write
+/// the `BENCH_*.json` file when requested.
+fn bench(json: Option<&Path>, jobs: Option<usize>, smoke: bool) -> Result<String, CliError> {
+    let jobs = jobs
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(PropertyScheduler::available_parallelism);
+    let benchmarks = if smoke {
+        trajectory::smoke_set()
+    } else {
+        Benchmark::all()
+    };
+    let records = trajectory::run_trajectory(&benchmarks, jobs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:<20} {:>10} {:>12} {:>8}  {:>9} {:>6} {:>9}",
+        "Benchmark", "Verdict", "wall (s)", "seq (s)", "speedup", "conflicts", "GC", "collected"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(98));
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<20} {:>10.4} {:>12.4} {:>7.2}x  {:>9} {:>6} {:>9}",
+            r.name,
+            r.verdict,
+            r.wall_secs,
+            r.sequential_secs,
+            r.speedup(),
+            r.conflicts,
+            r.gc_runs,
+            r.clauses_collected
+        );
+    }
+    let total_wall: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let total_seq: f64 = records.iter().map(|r| r.sequential_secs).sum();
+    let _ = writeln!(
+        out,
+        "total: {total_wall:.3}s sharded ({} jobs) vs {total_seq:.3}s sequential ({:.2}x)",
+        jobs.get(),
+        if total_wall > 0.0 {
+            total_seq / total_wall
+        } else {
+            1.0
+        }
+    );
+    if let Some(path) = json {
+        std::fs::write(path, trajectory::to_json(&records, jobs)).map_err(|e| CliError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let _ = writeln!(out, "trajectory written to {}", path.display());
+    }
+    Ok(out)
+}
+
 /// `htd sat`: solve a DIMACS file and answer in SAT-competition format, so
 /// `--backend dimacs:` can be pointed at the `htd` binary itself.
 fn sat(input: &PathBuf) -> Result<String, CliError> {
@@ -251,6 +321,9 @@ fn sat(input: &PathBuf) -> Result<String, CliError> {
         }
         SolveResult::Unsat => {
             let _ = writeln!(out, "s UNSATISFIABLE");
+        }
+        SolveResult::Interrupted => {
+            let _ = writeln!(out, "s UNKNOWN");
         }
     }
     Ok(out)

@@ -48,6 +48,48 @@ impl Diagnosis {
     }
 }
 
+/// Every waiver-listed register in the (one- or two-cycle) fanin of the
+/// given signals, minus the already-assumed ones.
+///
+/// This is the waiver set a spurious counterexample applies at once: when a
+/// level's property fails through benign state, every engineer-disqualified
+/// register feeding the level is assumed equal in one resolution round,
+/// instead of surfacing one register (or one diverging signal's fanin) per
+/// round — which matters with fine-grained per-signal counterexamples.
+#[must_use]
+pub fn benign_fanin_of(
+    design: &ValidatedDesign,
+    signals: &[SignalId],
+    assumed_equal: &[SignalId],
+    waivers: &[SignalId],
+) -> Vec<SignalId> {
+    let d = design.design();
+    let assumed: BTreeSet<SignalId> = assumed_equal.iter().copied().collect();
+    let waiver_set: BTreeSet<SignalId> = waivers.iter().copied().collect();
+    let mut fanin: BTreeSet<SignalId> = BTreeSet::new();
+    for &signal in signals {
+        let info = d.signal_info(signal);
+        let Some(driver) = info.driver() else {
+            continue;
+        };
+        for sig in combinational_support(design, driver) {
+            fanin.insert(sig);
+            if info.kind() == SignalKind::Output {
+                // One more sequential level for outputs proven at t+1.
+                if let Some(inner) = d.signal_info(sig).driver() {
+                    fanin.extend(combinational_support(design, inner));
+                }
+            }
+        }
+    }
+    fanin
+        .into_iter()
+        .filter(|s| {
+            waiver_set.contains(s) && !assumed.contains(s) && d.signal_info(*s).kind().is_register()
+        })
+        .collect()
+}
+
 /// Analyses a counterexample: which differing starting-state registers can
 /// explain the observed divergence?
 ///

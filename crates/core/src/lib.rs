@@ -99,6 +99,7 @@ mod error;
 mod flow;
 pub mod replay;
 mod report;
+mod scheduler;
 mod session;
 
 pub use error::DetectError;
@@ -106,4 +107,5 @@ pub use flow::DetectorConfig;
 #[allow(deprecated)]
 pub use flow::TrojanDetector;
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
-pub use session::{BackendChoice, DetectionSession, FlowEvent, SessionBuilder};
+pub use scheduler::{PropertyScheduler, JOBS_ENV_VAR};
+pub use session::{BackendChoice, DetectionSession, EngineChoice, FlowEvent, SessionBuilder};

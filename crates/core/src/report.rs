@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use htd_ipc::{Counterexample, PropertyReport};
+use htd_sat::SolverStats;
 
 /// Which mechanism of the flow detected (or would detect) the Trojan —
 /// matching the "Detected by" column of Table I in the paper.
@@ -98,6 +99,10 @@ pub struct DetectionReport {
     pub properties: Vec<PropertyTrace>,
     /// Total number of spurious counterexamples resolved across the run.
     pub spurious_resolved: usize,
+    /// Aggregate solver work across every check of the run, including
+    /// resolution rounds: conflicts, propagations, restarts, clause-GC runs,
+    /// clauses collected and learnt-LBD totals.
+    pub solver_totals: SolverStats,
     /// Wall-clock duration of the whole flow.
     pub total_duration: Duration,
 }
@@ -116,6 +121,24 @@ impl DetectionReport {
             .iter()
             .map(|p| (p.name.as_str(), p.report.stats.duration))
             .max_by_key(|(_, d)| *d)
+    }
+
+    /// A copy of this report with every wall-clock duration zeroed (the
+    /// flow total and each property's check time).
+    ///
+    /// Two detection runs over the same design are *deterministic* up to
+    /// wall-clock time: the sharded scheduler guarantees identical verdicts,
+    /// counterexamples and work counters for any worker count, so
+    /// `a.normalized() == b.normalized()` compares entire reports
+    /// byte-for-byte.  The determinism suite relies on this.
+    #[must_use]
+    pub fn normalized(&self) -> DetectionReport {
+        let mut report = self.clone();
+        report.total_duration = Duration::ZERO;
+        for trace in &mut report.properties {
+            trace.report.stats.duration = Duration::ZERO;
+        }
+        report
     }
 
     /// Short, single-line summary (used by the Table-I harness).
@@ -151,6 +174,16 @@ impl fmt::Display for DetectionReport {
             self.properties.len(),
             self.spurious_resolved,
             self.total_duration.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "  solver: {} conflicts, {} propagations, {} restarts, {} GC runs collecting {} \
+             clauses",
+            self.solver_totals.conflicts,
+            self.solver_totals.propagations,
+            self.solver_totals.restarts,
+            self.solver_totals.gc_runs,
+            self.solver_totals.clauses_collected
         )?;
         for trace in &self.properties {
             writeln!(

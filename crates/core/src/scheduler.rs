@@ -1,0 +1,125 @@
+//! The parallel property scheduler: sharded, deterministic level checking.
+//!
+//! Algorithm 1 proves each fanout level with one interval property whose
+//! consequent covers every signal of the level.  [`PropertyScheduler`]
+//! partitions that consequent into per-signal *pending properties* and solves
+//! them on worker shards: each shard forks its own solver off the session's
+//! frozen master encoding ([`htd_sat::SatBackend::fork`]), so workers never
+//! contend on one solver and one hard sub-property cannot serialise a whole
+//! level.
+//!
+//! # Determinism guarantee
+//!
+//! Every shard solves from the *same* master snapshot, so a sub-property's
+//! verdict, counterexample and solver-work counters are independent of which
+//! worker ran it and of the worker count.  Results merge in sub-property id
+//! order (first counterexample wins), and only the consumed prefix of tasks
+//! contributes statistics.  A flow run with `jobs = 1` and with `jobs = N`
+//! therefore produces identical [`DetectionReport`](crate::DetectionReport)s
+//! — byte-for-byte, once wall-clock durations are normalised away
+//! ([`DetectionReport::normalized`](crate::DetectionReport::normalized)).
+//!
+//! # When to tune `jobs`
+//!
+//! Parallelism pays off when a level has several non-structural sub-properties
+//! (RSA-class accelerators, infected AES levels).  Flows dominated by the
+//! structural fast path (clean pipelines) dispatch few or no solve tasks, so
+//! extra workers are harmless but idle.  The CLI defaults to the machine's
+//! available parallelism; the library defaults to one worker (set the
+//! `HTD_JOBS` environment variable or call [`SessionBuilder::jobs`] to
+//! change it).
+//!
+//! [`SessionBuilder::jobs`]: crate::SessionBuilder::jobs
+
+use std::num::NonZeroUsize;
+
+use htd_ipc::{IntervalProperty, MiterSession, PropertyReport};
+use htd_rtl::ValidatedDesign;
+
+use crate::error::DetectError;
+use crate::session::PropertyEngine;
+
+/// Environment variable overriding the default worker count of new sessions.
+pub const JOBS_ENV_VAR: &str = "HTD_JOBS";
+
+/// Policy object selecting how many worker shards check each fanout level.
+///
+/// See the [module docs](self) for the sharding model and the determinism
+/// guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropertyScheduler {
+    jobs: NonZeroUsize,
+}
+
+impl PropertyScheduler {
+    /// A scheduler running up to `jobs` worker shards per level.
+    #[must_use]
+    pub fn new(jobs: NonZeroUsize) -> Self {
+        PropertyScheduler { jobs }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> NonZeroUsize {
+        self.jobs
+    }
+
+    /// The machine's available parallelism (1 if it cannot be determined).
+    #[must_use]
+    pub fn available_parallelism() -> NonZeroUsize {
+        std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+    }
+
+    /// The default worker count for new sessions: the `HTD_JOBS` environment
+    /// variable when set to a positive integer, otherwise 1.
+    #[must_use]
+    pub fn default_jobs() -> NonZeroUsize {
+        std::env::var(JOBS_ENV_VAR)
+            .ok()
+            .and_then(|v| v.parse::<NonZeroUsize>().ok())
+            .unwrap_or(NonZeroUsize::MIN)
+    }
+}
+
+impl Default for PropertyScheduler {
+    fn default() -> Self {
+        PropertyScheduler::new(Self::default_jobs())
+    }
+}
+
+/// Engine over a [`MiterSession`] driven by the sharded scheduler.
+pub(crate) struct SchedulerEngine<'a> {
+    pub(crate) miter: &'a mut MiterSession,
+    pub(crate) jobs: NonZeroUsize,
+}
+
+impl PropertyEngine for SchedulerEngine<'_> {
+    fn check(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+    ) -> Result<PropertyReport, DetectError> {
+        self.miter
+            .check_level(design, property, self.jobs)
+            .map_err(|e| DetectError::Backend {
+                message: e.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_defaults_to_at_least_one_worker() {
+        assert!(PropertyScheduler::default().jobs().get() >= 1);
+        assert!(PropertyScheduler::available_parallelism().get() >= 1);
+    }
+
+    #[test]
+    fn scheduler_carries_its_worker_count() {
+        let jobs = NonZeroUsize::new(7).unwrap();
+        assert_eq!(PropertyScheduler::new(jobs).jobs(), jobs);
+    }
+}

@@ -40,6 +40,7 @@
 //! arm).
 
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
@@ -49,12 +50,13 @@ use htd_ipc::{
 };
 use htd_rtl::structural::{get_fanout, uncovered_signals};
 use htd_rtl::{SignalId, ValidatedDesign};
-use htd_sat::{DimacsProcessBackend, SatBackend, Solver};
+use htd_sat::{DimacsProcessBackend, SatBackend, Solver, SolverStats};
 
 use crate::diagnosis::{diagnose, Diagnosis};
 use crate::error::DetectError;
 use crate::flow::DetectorConfig;
 use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+use crate::scheduler::{PropertyScheduler, SchedulerEngine};
 
 /// Which SAT backend a session solves with.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -130,6 +132,25 @@ impl std::fmt::Display for BackendChoice {
     }
 }
 
+/// Which property-checking engine a session drives the flow with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The single-miter incremental engine: each level is one disjunctive
+    /// miter solved on the session's master solver.  Kept as the sequential
+    /// reference path for perf-trajectory benchmarks.
+    Sequential,
+    /// The sharded [`PropertyScheduler`] (default): each level is split into
+    /// per-signal sub-properties solved on forked solver shards, with a
+    /// deterministic merge.  Reports are identical for any worker count.
+    Scheduled(PropertyScheduler),
+}
+
+impl Default for EngineChoice {
+    fn default() -> Self {
+        EngineChoice::Scheduled(PropertyScheduler::default())
+    }
+}
+
 /// A boxed observer registered with [`DetectionSession::on_event`].
 type EventObserver = Box<dyn FnMut(&FlowEvent)>;
 
@@ -154,6 +175,9 @@ pub enum FlowEvent {
         duration: Duration,
         /// Spurious counterexamples discharged on the way.
         spurious_resolved: usize,
+        /// Solver work of the final (successful) check: conflicts,
+        /// propagations, restarts, clause-GC and LBD counters.
+        solver: SolverStats,
     },
     /// The checker found a counterexample to a property.
     CounterexampleFound {
@@ -165,6 +189,8 @@ pub enum FlowEvent {
         /// by waived benign state) — a resolution round follows; `false`
         /// means the flow stops and reports a suspected Trojan.
         spurious: bool,
+        /// Solver work of the check that produced the counterexample.
+        solver: SolverStats,
     },
     /// A spurious counterexample is being discharged by assuming the waived
     /// registers equal and re-verifying.
@@ -273,17 +299,20 @@ pub struct SessionBuilder {
     design: ValidatedDesign,
     config: DetectorConfig,
     backend: BackendChoice,
+    engine: EngineChoice,
 }
 
 impl SessionBuilder {
-    /// Starts a builder for the given design with the default configuration
-    /// and the builtin backend.
+    /// Starts a builder for the given design with the default configuration,
+    /// the builtin backend and the sharded scheduler at its default worker
+    /// count (the `HTD_JOBS` environment variable, or 1).
     #[must_use]
     pub fn new(design: ValidatedDesign) -> Self {
         SessionBuilder {
             design,
             config: DetectorConfig::default(),
             backend: BackendChoice::Builtin,
+            engine: EngineChoice::default(),
         }
     }
 
@@ -299,6 +328,21 @@ impl SessionBuilder {
     pub fn backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Selects the property-checking engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Shorthand: the sharded scheduler with up to `jobs` worker shards per
+    /// fanout level.  The resulting reports are identical for every `jobs`
+    /// value (see [`PropertyScheduler`]).
+    #[must_use]
+    pub fn jobs(self, jobs: NonZeroUsize) -> Self {
+        self.engine(EngineChoice::Scheduled(PropertyScheduler::new(jobs)))
     }
 
     /// Builds the session: validates the design and the configuration and
@@ -321,6 +365,7 @@ impl SessionBuilder {
             design: self.design,
             config: self.config,
             backend: self.backend,
+            engine: self.engine,
             miter,
             observers: Vec::new(),
         })
@@ -340,6 +385,7 @@ pub struct DetectionSession {
     design: ValidatedDesign,
     config: DetectorConfig,
     backend: BackendChoice,
+    engine: EngineChoice,
     miter: MiterSession,
     observers: Vec<EventObserver>,
 }
@@ -349,6 +395,7 @@ impl std::fmt::Debug for DetectionSession {
         f.debug_struct("DetectionSession")
             .field("design", &self.design.design().name())
             .field("backend", &self.backend)
+            .field("engine", &self.engine)
             .field("config", &self.config)
             .field("observers", &self.observers.len())
             .finish_non_exhaustive()
@@ -372,6 +419,12 @@ impl DetectionSession {
     #[must_use]
     pub fn backend(&self) -> &BackendChoice {
         &self.backend
+    }
+
+    /// The chosen property-checking engine.
+    #[must_use]
+    pub fn engine(&self) -> &EngineChoice {
+        &self.engine
     }
 
     /// Counters of the underlying miter session (bit-blasts performed,
@@ -409,18 +462,30 @@ impl DetectionSession {
         let DetectionSession {
             design,
             config,
+            engine: engine_choice,
             miter,
             observers,
             ..
         } = self;
-        let mut engine = SessionEngine { miter };
         let mut emit = |event: &FlowEvent| {
             for registered in observers.iter_mut() {
                 registered(event);
             }
             observer(event);
         };
-        run_flow(design, config, &mut engine, &mut emit)
+        match engine_choice {
+            EngineChoice::Sequential => {
+                let mut engine = SessionEngine { miter };
+                run_flow(design, config, &mut engine, &mut emit)
+            }
+            EngineChoice::Scheduled(scheduler) => {
+                let mut engine = SchedulerEngine {
+                    miter,
+                    jobs: scheduler.jobs(),
+                };
+                run_flow(design, config, &mut engine, &mut emit)
+            }
+        }
     }
 }
 
@@ -444,16 +509,19 @@ pub(crate) fn run_flow(
     let mut fanout_levels: Vec<Vec<String>> = Vec::new();
     let mut properties: Vec<PropertyTrace> = Vec::new();
     let mut spurious_total = 0usize;
+    let mut solver_totals = SolverStats::default();
 
     let report = |outcome: DetectionOutcome,
                   fanout_levels: Vec<Vec<String>>,
                   properties: Vec<PropertyTrace>,
-                  spurious_resolved: usize| DetectionReport {
+                  spurious_resolved: usize,
+                  solver_totals: SolverStats| DetectionReport {
         design: d.name().to_string(),
         outcome,
         fanout_levels,
         properties,
         spurious_resolved,
+        solver_totals,
         total_duration: start.elapsed(),
     };
 
@@ -466,7 +534,8 @@ pub(crate) fn run_flow(
         signals: names(&fanouts_cc1),
     });
     let init = IntervalProperty::new("init_property", Vec::new(), fanouts_cc1.clone());
-    let (trace, failed) = check_with_resolution(design, config, engine, init, emit)?;
+    let (trace, failed) =
+        check_with_resolution(design, config, engine, init, emit, &mut solver_totals)?;
     spurious_total += trace.spurious_resolved;
     properties.push(trace);
     if let Some(cex) = failed {
@@ -478,6 +547,7 @@ pub(crate) fn run_flow(
             fanout_levels,
             properties,
             spurious_total,
+            solver_totals,
         ));
     }
 
@@ -514,7 +584,8 @@ pub(crate) fn run_flow(
         }
         let property =
             IntervalProperty::new(format!("fanout_property_{k}"), assume, fanouts_next.clone());
-        let (trace, failed) = check_with_resolution(design, config, engine, property, emit)?;
+        let (trace, failed) =
+            check_with_resolution(design, config, engine, property, emit, &mut solver_totals)?;
         spurious_total += trace.spurious_resolved;
         properties.push(trace);
         if let Some(cex) = failed {
@@ -526,6 +597,7 @@ pub(crate) fn run_flow(
                 fanout_levels,
                 properties,
                 spurious_total,
+                solver_totals,
             ));
         }
         fanouts_cck = fanouts_next;
@@ -546,7 +618,13 @@ pub(crate) fn run_flow(
             signals: names(&uncovered),
         }
     };
-    Ok(report(outcome, fanout_levels, properties, spurious_total))
+    Ok(report(
+        outcome,
+        fanout_levels,
+        properties,
+        spurious_total,
+        solver_totals,
+    ))
 }
 
 /// Checks one property, resolving spurious counterexamples by adding
@@ -557,6 +635,7 @@ fn check_with_resolution(
     engine: &mut dyn PropertyEngine,
     property: IntervalProperty,
     emit: &mut dyn FnMut(&FlowEvent),
+    solver_totals: &mut SolverStats,
 ) -> Result<(PropertyTrace, Option<Counterexample>), DetectError> {
     let d = design.design();
     let proves: Vec<String> = property
@@ -568,12 +647,15 @@ fn check_with_resolution(
     let mut resolved = 0usize;
     loop {
         let report: PropertyReport = engine.check(design, &current)?;
+        // Totals include every resolution round, not just the final check.
+        solver_totals.accumulate(&report.stats.solver);
         match &report.outcome {
             CheckOutcome::Holds => {
                 emit(&FlowEvent::PropertyProved {
                     property: current.name.clone(),
                     duration: report.stats.duration,
                     spurious_resolved: resolved,
+                    solver: report.stats.solver,
                 });
                 return Ok((
                     PropertyTrace {
@@ -593,6 +675,7 @@ fn check_with_resolution(
                     property: current.name.clone(),
                     diffs: cex.diff_names().iter().map(ToString::to_string).collect(),
                     spurious,
+                    solver: report.stats.solver,
                 });
                 if spurious {
                     if resolved >= config.max_resolution_iterations {
@@ -602,16 +685,26 @@ fn check_with_resolution(
                         });
                     }
                     resolved += 1;
+                    // Assume the benign fanin of the whole level equal, not
+                    // only the registers this model happened to flip: the
+                    // engineer has disqualified all of it, and waiving it
+                    // register-by-register would just replay the same
+                    // divergence with a different benign cause next round.
+                    let waived = crate::diagnosis::benign_fanin_of(
+                        design,
+                        &current.prove_equal,
+                        &current.assume_equal,
+                        &config.benign_state,
+                    );
                     emit(&FlowEvent::ResolutionRound {
                         property: current.name.clone(),
                         round: resolved,
-                        waived: diag
-                            .waived
+                        waived: waived
                             .iter()
                             .map(|&s| d.signal_name(s).to_string())
                             .collect(),
                     });
-                    current = current.with_extra_assumptions(&diag.waived);
+                    current = current.with_extra_assumptions(&waived);
                     continue;
                 }
                 let cex = (**cex).clone();
@@ -725,6 +818,53 @@ mod tests {
         assert!(after_first > 0);
         session.run().unwrap();
         assert!(*counter.borrow() > after_first);
+    }
+
+    #[test]
+    fn builder_selects_engines_and_reports_are_engine_invariant_on_verdicts() {
+        let jobs = NonZeroUsize::new(3).unwrap();
+        let mut sharded = SessionBuilder::new(infected_design())
+            .jobs(jobs)
+            .build()
+            .unwrap();
+        assert_eq!(
+            *sharded.engine(),
+            EngineChoice::Scheduled(PropertyScheduler::new(jobs))
+        );
+        let mut sequential = SessionBuilder::new(infected_design())
+            .engine(EngineChoice::Sequential)
+            .build()
+            .unwrap();
+        let a = sharded.run().unwrap();
+        let b = sequential.run().unwrap();
+        assert_eq!(a.outcome.detected_by(), b.outcome.detected_by());
+    }
+
+    #[test]
+    fn proved_events_carry_solver_work_counters() {
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        let mut saw_proved = false;
+        session
+            .run_with_observer(&mut |event| {
+                if let FlowEvent::PropertyProved { solver, .. } = event {
+                    saw_proved = true;
+                    // Counters are per-check deltas; they must not explode to
+                    // session-cumulative values on a trivial design.
+                    assert!(solver.conflicts < 1000);
+                }
+            })
+            .unwrap();
+        assert!(saw_proved);
+    }
+
+    #[test]
+    fn normalized_reports_compare_equal_across_runs() {
+        let mut first = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        let mut second = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        assert_eq!(
+            first.run().unwrap().normalized(),
+            second.run().unwrap().normalized()
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! must live — survives into the CNF.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
+
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// A literal in the AIG: a node index plus an inversion flag.
@@ -59,6 +62,13 @@ impl AigLit {
     pub const fn is_const(self) -> bool {
         self.node() == 0
     }
+
+    /// The raw encoding (node index shifted, LSB = inversion flag); a
+    /// compact, stable key for tables over literals.
+    #[must_use]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Debug for AigLit {
@@ -106,7 +116,7 @@ enum Node {
 #[derive(Clone, Debug, Default)]
 pub struct Aig {
     nodes: Vec<Node>,
-    strash: HashMap<(AigLit, AigLit), u32>,
+    strash: FxHashMap<u64, u32>,
     num_inputs: usize,
     /// Counts AND nodes that were requested but already present (a measure of
     /// how much sharing the structural hash achieved).
@@ -119,7 +129,7 @@ impl Aig {
     pub fn new() -> Self {
         Aig {
             nodes: vec![Node::ConstFalse],
-            strash: HashMap::new(),
+            strash: FxHashMap::with_capacity_and_hasher(1 << 16, Default::default()),
             num_inputs: 0,
             strash_hits: 0,
         }
@@ -176,15 +186,17 @@ impl Aig {
         if b == AigLit::TRUE || a == b {
             return a;
         }
-        // Canonical operand order for hashing.
+        // Canonical operand order, packed into one word so the structural
+        // hash costs a single probe of a u64 key.
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&node) = self.strash.get(&(lo, hi)) {
+        let key = u64::from(lo.code()) << 32 | u64::from(hi.code());
+        if let Some(&node) = self.strash.get(&key) {
             self.strash_hits += 1;
             return AigLit::new(node, false);
         }
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node::And(lo, hi));
-        self.strash.insert((lo, hi), idx);
+        self.strash.insert(key, idx);
         AigLit::new(idx, false)
     }
 
@@ -259,7 +271,7 @@ impl Aig {
     /// when many literals must be evaluated under the same assignment, e.g.
     /// when reconstructing a counterexample.
     #[must_use]
-    pub fn eval_all(&self, input_values: &HashMap<u32, bool>) -> Vec<bool> {
+    pub fn eval_all<S: BuildHasher>(&self, input_values: &HashMap<u32, bool, S>) -> Vec<bool> {
         let mut values = vec![false; self.nodes.len()];
         for (idx, node) in self.nodes.iter().enumerate() {
             values[idx] = match *node {
@@ -287,7 +299,7 @@ impl Aig {
     /// inputs default to `false`.  Mainly used in tests and for
     /// counterexample replay.
     #[must_use]
-    pub fn eval(&self, lit: AigLit, input_values: &HashMap<u32, bool>) -> bool {
+    pub fn eval<S: BuildHasher>(&self, lit: AigLit, input_values: &HashMap<u32, bool, S>) -> bool {
         let mut cache: Vec<Option<bool>> = vec![None; self.nodes.len()];
         cache[0] = Some(false);
         let mut stack = vec![lit.node()];

@@ -5,7 +5,7 @@
 //! already-lowered signals and sub-expressions so shared logic is only built
 //! once and structural hashing in the [`Aig`] can take full effect.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use htd_rtl::{BinaryOp, Design, Expr, ExprId, SignalId, SignalKind, UnaryOp};
 
@@ -76,8 +76,8 @@ pub fn bits_to_const(bits: &[AigLit]) -> Option<u128> {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct BlastContext {
-    signal_values: HashMap<SignalId, BitVec>,
-    expr_cache: HashMap<ExprId, BitVec>,
+    signal_values: FxHashMap<SignalId, BitVec>,
+    expr_cache: FxHashMap<ExprId, BitVec>,
 }
 
 impl BlastContext {

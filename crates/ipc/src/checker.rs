@@ -17,7 +17,7 @@
 //!   (property holds for **all** starting states) or returns a
 //!   counterexample.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use std::time::Instant;
 
 use htd_rtl::{SignalId, SignalKind, ValidatedDesign};
@@ -114,18 +114,19 @@ impl<'a> PropertyChecker<'a> {
         let mut aig = Aig::new();
 
         // Shared primary inputs for frames 0 (time t) and 1 (time t+1).
-        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..2)
+        let inputs: Vec<FxHashMap<SignalId, BitVec>> = (0..2)
             .map(|_| fresh_words(&mut aig, d, &d.inputs()))
             .collect();
 
         // Starting-state variables.
-        let assume_regs: HashSet<SignalId> = property
+        let assume_regs: FxHashSet<SignalId> = property
             .assume_equal
             .iter()
             .copied()
             .filter(|s| d.signal_info(*s).kind().is_register())
             .collect();
-        let mut regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+        let mut regs: [FxHashMap<SignalId, BitVec>; 2] =
+            [FxHashMap::default(), FxHashMap::default()];
         for r in d.registers() {
             let width = d.signal_width(r);
             if self.options.share_assumed_equal && assume_regs.contains(&r) {
@@ -230,12 +231,13 @@ impl<'a> PropertyChecker<'a> {
         let frames = levels.len();
 
         // Shared inputs for frames 0..=frames.
-        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..=frames)
+        let inputs: Vec<FxHashMap<SignalId, BitVec>> = (0..=frames)
             .map(|_| fresh_words(&mut aig, d, &d.inputs()))
             .collect();
 
         // Fully unconstrained, per-instance starting state.
-        let mut regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+        let mut regs: [FxHashMap<SignalId, BitVec>; 2] =
+            [FxHashMap::default(), FxHashMap::default()];
         for r in d.registers() {
             let width = d.signal_width(r);
             regs[0].insert(r, fresh_word(&mut aig, width));
@@ -243,7 +245,7 @@ impl<'a> PropertyChecker<'a> {
         }
 
         let mut prove_values_by_frame: Vec<Vec<(SignalId, BitVec, BitVec)>> = Vec::new();
-        let mut current: [HashMap<SignalId, BitVec>; 2] = [regs[0].clone(), regs[1].clone()];
+        let mut current: [FxHashMap<SignalId, BitVec>; 2] = [regs[0].clone(), regs[1].clone()];
         for (j, level) in levels.iter().enumerate() {
             // Frame-j contexts.
             let mut ctx: [BlastContext; 2] = [BlastContext::new(), BlastContext::new()];
@@ -256,7 +258,8 @@ impl<'a> PropertyChecker<'a> {
                 }
             }
             // Next state per instance.
-            let mut next: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+            let mut next: [FxHashMap<SignalId, BitVec>; 2] =
+                [FxHashMap::default(), FxHashMap::default()];
             for r in d.registers() {
                 let driver = d.signal_info(r).driver().expect("validated design");
                 for inst in 0..2 {
@@ -311,8 +314,8 @@ impl<'a> PropertyChecker<'a> {
         aig: &mut Aig,
         assumption_lits: &[AigLit],
         prove_values_by_frame: &[Vec<(SignalId, BitVec, BitVec)>],
-        inputs: &[HashMap<SignalId, BitVec>],
-        regs: &[HashMap<SignalId, BitVec>; 2],
+        inputs: &[FxHashMap<SignalId, BitVec>],
+        regs: &[FxHashMap<SignalId, BitVec>; 2],
         start: Instant,
     ) -> PropertyReport {
         let d = self.design.design();
@@ -351,9 +354,10 @@ impl<'a> PropertyChecker<'a> {
 
         let outcome = match result {
             SolveResult::Unsat => CheckOutcome::Holds,
+            SolveResult::Interrupted => unreachable!("no interrupt check installed"),
             SolveResult::Sat => {
                 // Reconstruct concrete values from the model.
-                let mut env: HashMap<u32, bool> = HashMap::new();
+                let mut env: FxHashMap<u32, bool> = FxHashMap::default();
                 for (&node, &var) in &node_vars {
                     if aig.is_input(AigLit::positive(node)) {
                         env.insert(node, solver.value(var).unwrap_or(false));
@@ -399,11 +403,11 @@ impl<'a> PropertyChecker<'a> {
 pub(crate) fn reconstruct_counterexample(
     d: &htd_rtl::Design,
     aig: &Aig,
-    env: &HashMap<u32, bool>,
+    env: &FxHashMap<u32, bool>,
     name: &str,
     prove_values_by_frame: &[Vec<(SignalId, BitVec, BitVec)>],
-    inputs: &[HashMap<SignalId, BitVec>],
-    regs: &[HashMap<SignalId, BitVec>; 2],
+    inputs: &[FxHashMap<SignalId, BitVec>],
+    regs: &[FxHashMap<SignalId, BitVec>; 2],
 ) -> Counterexample {
     let values = aig.eval_all(env);
     let word = |bits: &BitVec| -> u128 {
@@ -477,7 +481,7 @@ fn fresh_words(
     aig: &mut Aig,
     d: &htd_rtl::Design,
     signals: &[SignalId],
-) -> HashMap<SignalId, BitVec> {
+) -> FxHashMap<SignalId, BitVec> {
     signals
         .iter()
         .map(|&s| (s, fresh_word(aig, d.signal_width(s))))

@@ -15,6 +15,9 @@
 //!   a growing AIG can be mirrored into one live solver across many queries.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
+
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 use htd_sat::{Lit, SatBackend, Solver, Var};
 
@@ -43,9 +46,9 @@ use crate::aig::{Aig, AigLit};
 /// assert_eq!(solver.solve(), SolveResult::Sat);
 /// ```
 #[must_use]
-pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, HashMap<u32, Var>) {
+pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, FxHashMap<u32, Var>) {
     let mut solver = Solver::new();
-    let mut node_vars: HashMap<u32, Var> = HashMap::new();
+    let mut node_vars: FxHashMap<u32, Var> = FxHashMap::default();
     let mut stack: Vec<u32> = roots
         .iter()
         .filter(|l| !l.is_const())
@@ -93,7 +96,7 @@ pub fn encode(aig: &Aig, roots: &[AigLit]) -> (Solver, HashMap<u32, Var>) {
 /// Panics if the literal's node was not part of the cone passed to
 /// [`encode`] (or is a constant).
 #[must_use]
-pub fn sat_lit(node_vars: &HashMap<u32, Var>, lit: AigLit) -> Lit {
+pub fn sat_lit<S: BuildHasher>(node_vars: &HashMap<u32, Var, S>, lit: AigLit) -> Lit {
     let var = node_vars[&lit.node()];
     Lit::new(var, lit.is_inverted())
 }
@@ -130,7 +133,13 @@ pub fn sat_lit(node_vars: &HashMap<u32, Var>, lit: AigLit) -> Lit {
 /// ```
 #[derive(Debug, Default)]
 pub struct IncrementalEncoder {
-    node_vars: HashMap<u32, Var>,
+    node_vars: FxHashMap<u32, Var>,
+    /// Per-root memo of [`cone_vars`](Self::cone_vars): AIG nodes are
+    /// immutable once created, so the variable cone under a root never
+    /// changes and queries sharing roots (the per-signal sub-properties of
+    /// one fanout level, or re-verification rounds of one property) pay for
+    /// each root's traversal once.
+    cone_cache: FxHashMap<u32, Vec<Var>>,
 }
 
 impl IncrementalEncoder {
@@ -192,27 +201,33 @@ impl IncrementalEncoder {
     /// Panics if the cone has not been fully encoded by a prior
     /// [`encode`](Self::encode) call over (a superset of) the same roots.
     #[must_use]
-    pub fn cone_vars(&self, aig: &Aig, roots: &[AigLit]) -> HashSet<Var> {
-        let mut vars: HashSet<Var> = HashSet::new();
-        let mut visited: HashSet<u32> = HashSet::new();
-        let mut stack: Vec<u32> = roots
-            .iter()
-            .filter(|l| !l.is_const())
-            .map(|l| l.node())
-            .collect();
-        while let Some(node) = stack.pop() {
-            if !visited.insert(node) {
+    pub fn cone_vars(&mut self, aig: &Aig, roots: &[AigLit]) -> FxHashSet<Var> {
+        let mut vars: FxHashSet<Var> = FxHashSet::default();
+        for root in roots.iter().filter(|l| !l.is_const()) {
+            let node = root.node();
+            if let Some(cached) = self.cone_cache.get(&node) {
+                vars.extend(cached.iter().copied());
                 continue;
             }
-            vars.insert(self.node_vars[&node]);
-            if let Some((a, b)) = aig.and_inputs(node) {
-                if !a.is_const() {
-                    stack.push(a.node());
+            let mut cone: Vec<Var> = Vec::new();
+            let mut visited: HashSet<u32> = HashSet::new();
+            let mut stack: Vec<u32> = vec![node];
+            while let Some(node) = stack.pop() {
+                if !visited.insert(node) {
+                    continue;
                 }
-                if !b.is_const() {
-                    stack.push(b.node());
+                cone.push(self.node_vars[&node]);
+                if let Some((a, b)) = aig.and_inputs(node) {
+                    if !a.is_const() {
+                        stack.push(a.node());
+                    }
+                    if !b.is_const() {
+                        stack.push(b.node());
+                    }
                 }
             }
+            vars.extend(cone.iter().copied());
+            self.cone_cache.insert(node, cone);
         }
         vars
     }
@@ -243,7 +258,7 @@ impl IncrementalEncoder {
 
     /// The node-to-variable map (used for counterexample reconstruction).
     #[must_use]
-    pub fn node_vars(&self) -> &HashMap<u32, Var> {
+    pub fn node_vars(&self) -> &FxHashMap<u32, Var> {
         &self.node_vars
     }
 }

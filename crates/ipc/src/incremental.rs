@@ -30,11 +30,14 @@
 //! identical cones — the property-checking cliff documented in the
 //! `ablation_hashing` benchmark applies unchanged to the incremental path.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use htd_rtl::{SignalId, SignalKind, ValidatedDesign};
-use htd_sat::{BackendError, Lit, SatBackend, SolveResult, Var};
+use htd_sat::{BackendError, Lit, SatBackend, SolveResult, SolverStats, Var};
 
 use crate::aig::{Aig, AigLit};
 use crate::bitblast::{equal, BitVec, BlastContext};
@@ -61,6 +64,17 @@ pub struct SessionStats {
     /// reduced to shared variables, so equality held by construction with no
     /// lowering and no solver work.
     pub structurally_proved: u64,
+    /// Number of binding epochs built: a new epoch starts whenever a property
+    /// arrives with a different set of merged (assumed-equal) registers.
+    /// Properties within one epoch share their lowering contexts, so word-
+    /// level nodes common to several properties are bit-blasted once per
+    /// epoch instead of once per property.
+    pub epoch_rebinds: u64,
+    /// Per-signal solve tasks dispatched by [`MiterSession::check_level`].
+    pub parallel_tasks: u64,
+    /// Tasks skipped because an earlier (lower-id) task had already produced
+    /// the level's counterexample.
+    pub tasks_skipped: u64,
 }
 
 /// An incremental property-checking session over one design's 2-safety miter.
@@ -98,22 +112,71 @@ pub struct MiterSession {
     options: CheckerOptions,
     design_name: String,
     /// Shared input words for frames `t` and `t + 1`.
-    inputs: Vec<HashMap<SignalId, BitVec>>,
+    inputs: Vec<FxHashMap<SignalId, BitVec>>,
     /// Per-instance starting-state words (used while a register is *not*
     /// assumed equal).
-    split_regs: [HashMap<SignalId, BitVec>; 2],
+    split_regs: [FxHashMap<SignalId, BitVec>; 2],
     /// Canonical shared starting-state words (used by both instances while a
     /// register *is* assumed equal), allocated lazily.
-    shared_regs: HashMap<SignalId, BitVec>,
+    shared_regs: FxHashMap<SignalId, BitVec>,
     /// Variables currently eligible for branching: the cone of the most
     /// recent query.  Everything else in the backend belongs to retired
     /// queries and is purely definitional — masking it keeps the search
     /// inside the live cone.
-    active_vars: HashSet<Var>,
+    active_vars: FxHashSet<Var>,
     /// Register-only combinational support of each signal's driver, computed
     /// lazily and kept for the whole session (the structure never changes).
-    support_cache: HashMap<SignalId, Vec<SignalId>>,
+    support_cache: FxHashMap<SignalId, Vec<SignalId>>,
+    /// The cross-property lowering cache: the bound contexts of the current
+    /// binding epoch (keyed by the merged-register set).  Checks whose
+    /// antecedent merges the same registers reuse these contexts, so shared
+    /// word-level cones are lowered once per epoch, not once per property.
+    epoch: Option<EpochCtx>,
     stats: SessionStats,
+}
+
+/// One per-signal sub-property of a level check: prove that `sig`'s
+/// next-cycle value is equal in both instances under the level's antecedent.
+struct LevelTask {
+    sig: SignalId,
+    b1: BitVec,
+    b2: BitVec,
+    /// Activation literal guarding this sub-property's miter clause (`None`
+    /// when the miter is structurally true and no guard clause exists).
+    act: Option<Var>,
+    /// Base antecedent assumptions plus this task's activation literal.
+    assumptions: Vec<Lit>,
+    /// Decision-eligible variables: the cone of the antecedent and the miter.
+    cone: Vec<Var>,
+}
+
+/// What one solve task produced, recorded by whichever worker ran it.
+enum TaskOutcome {
+    /// The sub-property holds; per-task solver work and query count.
+    Unsat(SolverStats, u64),
+    /// A counterexample was found on a forked shard (the shard is kept alive
+    /// so its model can be read during reconstruction).
+    Sat(SolverStats, u64, Box<dyn SatBackend>),
+    /// A counterexample was found on the master (non-forkable fallback);
+    /// deltas are zero because the master's own before/after snapshot
+    /// already accounts for the work.
+    MasterSat(SolverStats, u64),
+    /// Cancelled: a lower-id task had already failed.
+    Skipped,
+    /// The backend infrastructure failed.
+    Error(BackendError),
+}
+
+/// The lowering contexts of one binding epoch (one merged-register set).
+struct EpochCtx {
+    /// Sorted merged-register set this epoch was built for.
+    key: Vec<SignalId>,
+    /// Frame-`t` contexts of the two instances.
+    ctx_t: [BlastContext; 2],
+    /// Frame-`t+1` contexts, built lazily when a wire/output is proved.
+    ctx_t1: [Option<BlastContext>; 2],
+    /// Per-instance starting-state words under this epoch's sharing.
+    regs: [FxHashMap<SignalId, BitVec>; 2],
 }
 
 impl std::fmt::Debug for MiterSession {
@@ -145,7 +208,7 @@ impl MiterSession {
     ) -> Self {
         let d = design.design();
         let mut aig = Aig::new();
-        let inputs: Vec<HashMap<SignalId, BitVec>> = (0..2)
+        let inputs: Vec<FxHashMap<SignalId, BitVec>> = (0..2)
             .map(|_| {
                 d.inputs()
                     .into_iter()
@@ -153,7 +216,8 @@ impl MiterSession {
                     .collect()
             })
             .collect();
-        let mut split_regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
+        let mut split_regs: [FxHashMap<SignalId, BitVec>; 2] =
+            [FxHashMap::default(), FxHashMap::default()];
         for r in d.registers() {
             let width = d.signal_width(r);
             split_regs[0].insert(r, fresh_word(&mut aig, width));
@@ -167,9 +231,10 @@ impl MiterSession {
             design_name: d.name().to_string(),
             inputs,
             split_regs,
-            shared_regs: HashMap::new(),
-            active_vars: HashSet::new(),
-            support_cache: HashMap::new(),
+            shared_regs: FxHashMap::default(),
+            active_vars: FxHashSet::default(),
+            support_cache: FxHashMap::default(),
+            epoch: None,
             stats: SessionStats {
                 bit_blasts: 1,
                 ..SessionStats::default()
@@ -193,7 +258,9 @@ impl MiterSession {
     #[must_use]
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            queries: self.backend.stats().queries,
+            // Queries solved on the master backend plus queries solved on
+            // forked per-task solvers (accumulated in `self.stats.queries`).
+            queries: self.backend.stats().queries + self.stats.queries,
             ..self.stats
         }
     }
@@ -227,63 +294,21 @@ impl MiterSession {
         let backend_before = self.backend.stats();
 
         let share = self.options.share_assumed_equal;
-        let assume_regs: HashSet<SignalId> = property
+        let assume_regs: FxHashSet<SignalId> = property
             .assume_equal
             .iter()
             .copied()
             .filter(|s| d.signal_info(*s).kind().is_register())
             .collect();
 
-        // Frame-0 contexts with the property's sharing discipline.
-        let mut ctx_t: [BlastContext; 2] = [BlastContext::new(), BlastContext::new()];
-        for ctx in &mut ctx_t {
-            for (s, bits) in &self.inputs[0] {
-                ctx.bind(*s, bits.clone());
-            }
-        }
-        let mut regs: [HashMap<SignalId, BitVec>; 2] = [HashMap::new(), HashMap::new()];
-        for r in d.registers() {
-            if share && assume_regs.contains(&r) {
-                let width = d.signal_width(r);
-                let bits = self
-                    .shared_regs
-                    .entry(r)
-                    .or_insert_with(|| (0..width).map(|_| self.aig.new_input()).collect())
-                    .clone();
-                for inst in 0..2 {
-                    ctx_t[inst].bind(r, bits.clone());
-                    regs[inst].insert(r, bits.clone());
-                }
-            } else {
-                for inst in 0..2 {
-                    let bits = self.split_regs[inst][&r].clone();
-                    ctx_t[inst].bind(r, bits.clone());
-                    regs[inst].insert(r, bits);
-                }
-            }
-        }
+        // Reuse (or build) the lowering contexts of this binding epoch.
+        let mut epoch = self.take_epoch(design, &assume_regs);
 
         // Antecedent: equality assumptions not discharged by variable
         // sharing, expressed as solver assumptions.
-        let mut assumption_aig: Vec<AigLit> = Vec::new();
-        for &sig in &property.assume_equal {
-            let kind = d.signal_info(sig).kind();
-            let merged = kind.is_register() && share;
-            if merged || kind == SignalKind::Input {
-                continue;
-            }
-            // A wire/output whose cone reduces to shared variables is equal
-            // by construction; lowering it would only produce a constant.
-            if share && self.driver_is_merged(design, sig, &assume_regs) {
-                continue;
-            }
-            let b1 = ctx_t[0].signal(d, &mut self.aig, sig);
-            let b2 = ctx_t[1].signal(d, &mut self.aig, sig);
-            assumption_aig.push(equal(&mut self.aig, &b1, &b2));
-        }
+        let assumption_aig = self.lower_assumptions(design, property, &assume_regs, &mut epoch);
 
         // Consequent: values of the proved signals at time t+1 per instance.
-        let mut ctx_t1: [Option<BlastContext>; 2] = [None, None];
         let mut prove_values: Vec<(SignalId, BitVec, BitVec)> = Vec::new();
         for &sig in &property.prove_equal {
             // Structural fast path: once the antecedent registers are merged,
@@ -296,42 +321,8 @@ impl MiterSession {
                 self.stats.structurally_proved += 1;
                 continue;
             }
-            let info = d.signal_info(sig);
-            match info.kind() {
-                SignalKind::Register { .. } => {
-                    let next = info.driver().expect("validated design");
-                    let b1 = ctx_t[0].expr(d, &mut self.aig, next);
-                    let b2 = ctx_t[1].expr(d, &mut self.aig, next);
-                    prove_values.push((sig, b1, b2));
-                }
-                SignalKind::Output | SignalKind::Wire => {
-                    for inst in 0..2 {
-                        if ctx_t1[inst].is_none() {
-                            let mut next_ctx = BlastContext::new();
-                            for (s, bits) in &self.inputs[1] {
-                                next_ctx.bind(*s, bits.clone());
-                            }
-                            for r in d.registers() {
-                                let next = d.signal_info(r).driver().expect("validated design");
-                                let bits = ctx_t[inst].expr(d, &mut self.aig, next);
-                                next_ctx.bind(r, bits);
-                            }
-                            ctx_t1[inst] = Some(next_ctx);
-                        }
-                    }
-                    let b1 = ctx_t1[0]
-                        .as_mut()
-                        .expect("built above")
-                        .signal(d, &mut self.aig, sig);
-                    let b2 = ctx_t1[1]
-                        .as_mut()
-                        .expect("built above")
-                        .signal(d, &mut self.aig, sig);
-                    prove_values.push((sig, b1, b2));
-                }
-                SignalKind::Input => {
-                    // Inputs are shared by construction; nothing to prove.
-                }
+            if let Some((b1, b2)) = self.lower_prove_signal(design, &mut epoch, sig) {
+                prove_values.push((sig, b1, b2));
             }
         }
 
@@ -386,33 +377,34 @@ impl MiterSession {
             assumptions.push(Lit::pos(act));
             let result = self.backend.solve_under(&assumptions)?;
             // Retire the activation literal: the property's miter clause is
-            // permanently disabled and can never pollute later queries.
+            // permanently disabled and can never pollute later queries.  Let
+            // the backend compact once enough retired cones and stale learnt
+            // clauses have piled up.
             self.backend.add_clause(&[Lit::neg(act)]);
+            let _ = self.backend.collect_garbage();
             result
         };
 
         let outcome = match result {
+            SolveResult::Interrupted => unreachable!("no interrupt check installed"),
             SolveResult::Unsat => CheckOutcome::Holds,
-            SolveResult::Sat => CheckOutcome::Fails(Box::new(self.reconstruct(
+            SolveResult::Sat => CheckOutcome::Fails(Box::new(self.reconstruct_with(
+                self.backend.as_ref(),
                 d,
                 &property.name,
                 &prove_values,
-                &regs,
+                &epoch.regs,
             ))),
         };
+        self.epoch = Some(epoch);
 
         // Report deltas against the start-of-check snapshots: `CheckStats`
         // describes one property check, not the whole session.
         let backend_after = self.backend.stats();
-        let solver_delta = htd_sat::SolverStats {
-            decisions: backend_after.solver.decisions - backend_before.solver.decisions,
-            propagations: backend_after.solver.propagations - backend_before.solver.propagations,
-            conflicts: backend_after.solver.conflicts - backend_before.solver.conflicts,
-            restarts: backend_after.solver.restarts - backend_before.solver.restarts,
+        let solver_delta = SolverStats {
+            // The learnt-clause gauge reports the database size, not a delta.
             learnt_clauses: backend_after.solver.learnt_clauses,
-            removed_clauses: backend_after.solver.removed_clauses
-                - backend_before.solver.removed_clauses,
-            solves: backend_after.solver.solves - backend_before.solver.solves,
+            ..backend_after.solver.delta_since(&backend_before.solver)
         };
         let stats = CheckStats {
             aig_nodes: self.aig.num_nodes() - aig_nodes_before,
@@ -428,6 +420,393 @@ impl MiterSession {
             outcome,
             stats,
         })
+    }
+
+    /// Checks one property by partitioning it into per-signal sub-properties
+    /// ("one pending property per prove signal") solved on sharded solvers.
+    ///
+    /// The master session lowers and encodes every sub-property's cone once
+    /// (sharing this level's binding epoch), then freezes: each sub-property
+    /// is solved on a [`fork`](SatBackend::fork) of the master backend, so
+    /// workers never contend on one solver and a hard sub-property cannot
+    /// serialise the rest of the level.  Up to `jobs` worker threads pull
+    /// tasks from a shared queue.
+    ///
+    /// **Determinism**: every fork starts from the *same* frozen snapshot, so
+    /// a task's result does not depend on which worker ran it or on how many
+    /// workers there are.  Results merge in sub-property id order (the prove-
+    /// list order) and the first counterexample wins; tasks after a known
+    /// failure are cancelled, and the merged [`CheckStats`] sum only the
+    /// consumed tasks.  `check_level(p, 1)` and `check_level(p, n)` therefore
+    /// return identical reports (up to wall-clock durations).
+    ///
+    /// Backends that cannot fork are handled by solving the sub-properties
+    /// in id order on the master (still deterministic, never parallel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the backend infrastructure fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not the session's design.
+    pub fn check_level(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+        jobs: NonZeroUsize,
+    ) -> Result<PropertyReport, BackendError> {
+        let start = Instant::now();
+        let d = design.design();
+        assert_eq!(d.name(), self.design_name, "session is bound to one design");
+        self.stats.properties_checked += 1;
+        let aig_nodes_before = self.aig.num_nodes();
+        let aig_ands_before = self.aig.num_ands();
+        let strash_before = self.aig.strash_hits();
+        let backend_before = self.backend.stats();
+
+        let share = self.options.share_assumed_equal;
+        let assume_regs: FxHashSet<SignalId> = property
+            .assume_equal
+            .iter()
+            .copied()
+            .filter(|s| d.signal_info(*s).kind().is_register())
+            .collect();
+        let mut epoch = self.take_epoch(design, &assume_regs);
+        let assumption_aig = self.lower_assumptions(design, property, &assume_regs, &mut epoch);
+
+        // Per-signal proof obligations in prove-list order — the property id
+        // order of the deterministic merge.
+        let mut specs: Vec<(SignalId, BitVec, BitVec, AigLit)> = Vec::new();
+        for &sig in &property.prove_equal {
+            if share && self.structurally_equal_next(design, sig, &assume_regs) {
+                self.stats.structurally_proved += 1;
+                continue;
+            }
+            let Some((b1, b2)) = self.lower_prove_signal(design, &mut epoch, sig) else {
+                continue;
+            };
+            let diff = equal(&mut self.aig, &b1, &b2).invert();
+            if diff == AigLit::FALSE {
+                // Equal by construction under this epoch's sharing.
+                continue;
+            }
+            specs.push((sig, b1, b2, diff));
+        }
+
+        // A structurally unsatisfiable antecedent makes the whole level hold
+        // vacuously; no signal to check makes it hold trivially.
+        if assumption_aig.contains(&AigLit::FALSE) || specs.is_empty() {
+            self.epoch = Some(epoch);
+            return Ok(self.level_report(
+                property,
+                CheckOutcome::Holds,
+                start,
+                aig_nodes_before,
+                aig_ands_before,
+                strash_before,
+                &backend_before,
+                SolverStats::default(),
+            ));
+        }
+
+        // Mirror every cone this level needs into the master backend, then
+        // guard each sub-property's miter behind its own activation literal.
+        let mut roots: Vec<AigLit> = assumption_aig.clone();
+        roots.extend(specs.iter().map(|s| s.3));
+        let fresh = self
+            .encoder
+            .encode(self.backend.as_mut(), &self.aig, &roots);
+        self.stats.nodes_encoded += fresh as u64;
+
+        let base_assumptions: Vec<Lit> = assumption_aig
+            .iter()
+            .filter(|&&a| a != AigLit::TRUE)
+            .map(|&a| self.encoder.lit(a))
+            .collect();
+        let assumption_roots: Vec<AigLit> = assumption_aig
+            .iter()
+            .copied()
+            .filter(|a| !a.is_const())
+            .collect();
+
+        let mut tasks: Vec<LevelTask> = Vec::with_capacity(specs.len());
+        for (sig, b1, b2, diff) in specs {
+            let mut assumptions = base_assumptions.clone();
+            let mut cone_roots = assumption_roots.clone();
+            let act = if diff == AigLit::TRUE {
+                // The miter holds structurally for every assignment; the
+                // query only needs a model of the antecedent.
+                None
+            } else {
+                cone_roots.push(diff);
+                let act = self.backend.new_var();
+                let miter_lit = self.encoder.lit(diff);
+                self.backend.add_clause(&[Lit::neg(act), miter_lit]);
+                assumptions.push(Lit::pos(act));
+                Some(act)
+            };
+            let mut cone: Vec<Var> = self
+                .encoder
+                .cone_vars(&self.aig, &cone_roots)
+                .into_iter()
+                .collect();
+            cone.extend(act);
+            tasks.push(LevelTask {
+                sig,
+                b1,
+                b2,
+                act,
+                assumptions,
+                cone,
+            });
+        }
+        self.stats.parallel_tasks += tasks.len() as u64;
+
+        // Solve phase: the master is frozen from here until the merge.
+        let outcomes: Vec<Option<TaskOutcome>> = if self.backend.can_fork() {
+            let master: &dyn SatBackend = self.backend.as_ref();
+            let next = AtomicUsize::new(0);
+            let min_failed = Arc::new(AtomicUsize::new(usize::MAX));
+            let results: Vec<OnceLock<TaskOutcome>> =
+                (0..tasks.len()).map(|_| OnceLock::new()).collect();
+            let worker = || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    if i > min_failed.load(Ordering::SeqCst) {
+                        // A lower-id task already produced the level's
+                        // counterexample; this task's result cannot be
+                        // consumed by the deterministic merge.
+                        let _ = results[i].set(TaskOutcome::Skipped);
+                        continue;
+                    }
+                    let task = &tasks[i];
+                    let outcome = match master.fork() {
+                        Some(mut shard) => {
+                            shard.mask_all_decisions();
+                            for &v in &task.cone {
+                                shard.set_decision_var(v, true);
+                            }
+                            // Cancel mid-solve once a lower-id task has
+                            // failed: this task's result can no longer be
+                            // consumed by the deterministic merge.
+                            let doomed = Arc::clone(&min_failed);
+                            shard
+                                .set_interrupt(Arc::new(move || doomed.load(Ordering::SeqCst) < i));
+                            let before = shard.stats();
+                            match shard.solve_under(&task.assumptions) {
+                                Err(e) => {
+                                    min_failed.fetch_min(i, Ordering::SeqCst);
+                                    TaskOutcome::Error(e)
+                                }
+                                Ok(SolveResult::Interrupted) => TaskOutcome::Skipped,
+                                Ok(SolveResult::Unsat) => {
+                                    let after = shard.stats();
+                                    TaskOutcome::Unsat(
+                                        after.solver.delta_since(&before.solver),
+                                        after.queries - before.queries,
+                                    )
+                                }
+                                Ok(SolveResult::Sat) => {
+                                    min_failed.fetch_min(i, Ordering::SeqCst);
+                                    let after = shard.stats();
+                                    TaskOutcome::Sat(
+                                        after.solver.delta_since(&before.solver),
+                                        after.queries - before.queries,
+                                        shard,
+                                    )
+                                }
+                            }
+                        }
+                        None => TaskOutcome::Error(BackendError {
+                            message: "backend advertised can_fork but fork() returned None"
+                                .to_string(),
+                        }),
+                    };
+                    let _ = results[i].set(outcome);
+                }
+            };
+            // CPU-bound solver shards gain nothing from oversubscription:
+            // cap the thread count at the machine's parallelism (results are
+            // worker-count-independent either way).
+            let hardware = std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1);
+            let workers = jobs.get().min(tasks.len()).min(hardware);
+            if workers <= 1 {
+                worker();
+            } else {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(worker);
+                    }
+                });
+            }
+            results.into_iter().map(OnceLock::into_inner).collect()
+        } else {
+            // Non-forkable backend: solve in id order on the master, stopping
+            // at the first counterexample (identical merge semantics).
+            let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(tasks.len());
+            let mut stop = false;
+            for task in &tasks {
+                if stop {
+                    outcomes.push(Some(TaskOutcome::Skipped));
+                    continue;
+                }
+                self.backend.begin_new_query();
+                let cone: FxHashSet<Var> = task.cone.iter().copied().collect();
+                for &var in self.active_vars.difference(&cone) {
+                    self.backend.set_decision_var(var, false);
+                }
+                for &var in cone.difference(&self.active_vars) {
+                    self.backend.set_decision_var(var, true);
+                }
+                self.active_vars = cone;
+                // Work solved on the master is already covered by the
+                // level's before/after backend delta (and the master's own
+                // query counter), so these outcomes carry zero deltas — the
+                // merge must not count the same work twice.
+                let outcome = match self.backend.solve_under(&task.assumptions) {
+                    Err(e) => {
+                        stop = true;
+                        TaskOutcome::Error(e)
+                    }
+                    Ok(SolveResult::Interrupted) => {
+                        unreachable!("no interrupt check installed on the master")
+                    }
+                    Ok(SolveResult::Unsat) => TaskOutcome::Unsat(SolverStats::default(), 0),
+                    Ok(SolveResult::Sat) => {
+                        stop = true;
+                        TaskOutcome::MasterSat(SolverStats::default(), 0)
+                    }
+                };
+                outcomes.push(Some(outcome));
+            }
+            outcomes
+        };
+
+        // Deterministic merge: scan in sub-property id order, first
+        // counterexample wins, and only the consumed tasks contribute stats.
+        let mut level_delta = SolverStats::default();
+        let mut fork_queries = 0u64;
+        let mut winner: Option<(usize, Option<Box<dyn SatBackend>>)> = None;
+        let mut first_error: Option<BackendError> = None;
+        let mut skipped = 0u64;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            if winner.is_some() || first_error.is_some() {
+                skipped += 1;
+                continue;
+            }
+            match outcome {
+                Some(TaskOutcome::Unsat(delta, queries)) => {
+                    level_delta.accumulate(&delta);
+                    fork_queries += queries;
+                }
+                Some(TaskOutcome::Sat(delta, queries, shard)) => {
+                    level_delta.accumulate(&delta);
+                    fork_queries += queries;
+                    winner = Some((i, Some(shard)));
+                }
+                Some(TaskOutcome::MasterSat(delta, queries)) => {
+                    level_delta.accumulate(&delta);
+                    fork_queries += queries;
+                    winner = Some((i, None));
+                }
+                Some(TaskOutcome::Error(e)) => first_error = Some(e),
+                Some(TaskOutcome::Skipped) | None => {
+                    // A skipped task before any failure cannot happen (tasks
+                    // are only skipped behind a lower-id failure); treat a
+                    // lost result as an infrastructure error.
+                    first_error = Some(BackendError {
+                        message: format!("level sub-property {i} produced no result"),
+                    });
+                }
+            }
+        }
+        self.stats.tasks_skipped += skipped;
+        self.stats.queries += fork_queries;
+        if let Some(e) = first_error {
+            self.epoch = Some(epoch);
+            return Err(e);
+        }
+
+        // Reconstruct the counterexample (if any) from the model of the
+        // winning task's solver before the master mutates again.
+        let outcome = match &winner {
+            None => CheckOutcome::Holds,
+            Some((i, shard)) => {
+                let task = &tasks[*i];
+                let model_source: &dyn SatBackend = match shard {
+                    Some(shard) => shard.as_ref(),
+                    None => self.backend.as_ref(),
+                };
+                let prove_values = vec![(task.sig, task.b1.clone(), task.b2.clone())];
+                CheckOutcome::Fails(Box::new(self.reconstruct_with(
+                    model_source,
+                    d,
+                    &property.name,
+                    &prove_values,
+                    &epoch.regs,
+                )))
+            }
+        };
+
+        // Retire every activation literal — including those of skipped tasks
+        // — so the level's miter clauses are permanently disabled, then let
+        // the backend compact the clauses that just died.
+        for task in &tasks {
+            if let Some(act) = task.act {
+                self.backend.add_clause(&[Lit::neg(act)]);
+            }
+        }
+        let _ = self.backend.collect_garbage();
+
+        self.epoch = Some(epoch);
+        Ok(self.level_report(
+            property,
+            outcome,
+            start,
+            aig_nodes_before,
+            aig_ands_before,
+            strash_before,
+            &backend_before,
+            level_delta,
+        ))
+    }
+
+    /// Assembles the [`PropertyReport`] of one level check from the master
+    /// deltas plus the accumulated per-task solver work.
+    #[allow(clippy::too_many_arguments)]
+    fn level_report(
+        &self,
+        property: &IntervalProperty,
+        outcome: CheckOutcome,
+        start: Instant,
+        aig_nodes_before: usize,
+        aig_ands_before: usize,
+        strash_before: u64,
+        backend_before: &htd_sat::BackendStats,
+        task_delta: SolverStats,
+    ) -> PropertyReport {
+        let backend_after = self.backend.stats();
+        let mut solver = backend_after.solver.delta_since(&backend_before.solver);
+        solver.accumulate(&task_delta);
+        PropertyReport {
+            property: property.name.clone(),
+            outcome,
+            stats: CheckStats {
+                aig_nodes: self.aig.num_nodes() - aig_nodes_before,
+                aig_ands: self.aig.num_ands() - aig_ands_before,
+                strash_hits: self.aig.strash_hits() - strash_before,
+                cnf_vars: backend_after.vars - backend_before.vars,
+                cnf_clauses: backend_after.clauses.saturating_sub(backend_before.clauses),
+                solver,
+                duration: start.elapsed(),
+            },
+        }
     }
 
     /// The registers in the combinational support of `sig`'s driver
@@ -453,7 +832,7 @@ impl MiterSession {
         &mut self,
         design: &ValidatedDesign,
         sig: SignalId,
-        assume_regs: &HashSet<SignalId>,
+        assume_regs: &FxHashSet<SignalId>,
     ) -> bool {
         self.driver_reg_support(design, sig)
             .iter()
@@ -468,7 +847,7 @@ impl MiterSession {
         &mut self,
         design: &ValidatedDesign,
         sig: SignalId,
-        assume_regs: &HashSet<SignalId>,
+        assume_regs: &FxHashSet<SignalId>,
     ) -> bool {
         let d = design.design();
         match d.signal_info(sig).kind() {
@@ -481,6 +860,145 @@ impl MiterSession {
                     .all(|&r| self.driver_is_merged(design, r, assume_regs))
             }
             SignalKind::Input => true,
+        }
+    }
+
+    /// Returns the lowering contexts for the given merged-register set,
+    /// reusing the cached epoch when the key matches (the cross-property
+    /// lowering cache) and rebinding otherwise.
+    fn take_epoch(
+        &mut self,
+        design: &ValidatedDesign,
+        assume_regs: &FxHashSet<SignalId>,
+    ) -> EpochCtx {
+        let share = self.options.share_assumed_equal;
+        let mut key: Vec<SignalId> = if share {
+            assume_regs.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        key.sort_unstable();
+        if let Some(epoch) = self.epoch.take() {
+            if epoch.key == key {
+                return epoch;
+            }
+        }
+        self.stats.epoch_rebinds += 1;
+        let d = design.design();
+        let mut ctx_t: [BlastContext; 2] = [BlastContext::new(), BlastContext::new()];
+        for ctx in &mut ctx_t {
+            for (s, bits) in &self.inputs[0] {
+                ctx.bind(*s, bits.clone());
+            }
+        }
+        let mut regs: [FxHashMap<SignalId, BitVec>; 2] =
+            [FxHashMap::default(), FxHashMap::default()];
+        for r in d.registers() {
+            if share && assume_regs.contains(&r) {
+                let width = d.signal_width(r);
+                let aig = &mut self.aig;
+                let bits = self
+                    .shared_regs
+                    .entry(r)
+                    .or_insert_with(|| (0..width).map(|_| aig.new_input()).collect())
+                    .clone();
+                for inst in 0..2 {
+                    ctx_t[inst].bind(r, bits.clone());
+                    regs[inst].insert(r, bits.clone());
+                }
+            } else {
+                for inst in 0..2 {
+                    let bits = self.split_regs[inst][&r].clone();
+                    ctx_t[inst].bind(r, bits.clone());
+                    regs[inst].insert(r, bits);
+                }
+            }
+        }
+        EpochCtx {
+            key,
+            ctx_t,
+            ctx_t1: [None, None],
+            regs,
+        }
+    }
+
+    /// Lowers the antecedent equalities not already discharged by variable
+    /// sharing into AIG literals (one per assumed signal).
+    fn lower_assumptions(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+        assume_regs: &FxHashSet<SignalId>,
+        epoch: &mut EpochCtx,
+    ) -> Vec<AigLit> {
+        let d = design.design();
+        let share = self.options.share_assumed_equal;
+        let mut assumption_aig: Vec<AigLit> = Vec::new();
+        for &sig in &property.assume_equal {
+            let kind = d.signal_info(sig).kind();
+            let merged = kind.is_register() && share;
+            if merged || kind == SignalKind::Input {
+                continue;
+            }
+            // A wire/output whose cone reduces to shared variables is equal
+            // by construction; lowering it would only produce a constant.
+            if share && self.driver_is_merged(design, sig, assume_regs) {
+                continue;
+            }
+            let b1 = epoch.ctx_t[0].signal(d, &mut self.aig, sig);
+            let b2 = epoch.ctx_t[1].signal(d, &mut self.aig, sig);
+            assumption_aig.push(equal(&mut self.aig, &b1, &b2));
+        }
+        assumption_aig
+    }
+
+    /// Lowers one prove signal's next-cycle value in both instances.
+    /// Registers are proved through their drivers at `t`; wires and outputs
+    /// through the (lazily built) frame-`t+1` contexts.  Inputs are shared by
+    /// construction — nothing to prove, `None`.
+    fn lower_prove_signal(
+        &mut self,
+        design: &ValidatedDesign,
+        epoch: &mut EpochCtx,
+        sig: SignalId,
+    ) -> Option<(BitVec, BitVec)> {
+        let d = design.design();
+        let info = d.signal_info(sig);
+        match info.kind() {
+            SignalKind::Register { .. } => {
+                let next = info.driver().expect("validated design");
+                let b1 = epoch.ctx_t[0].expr(d, &mut self.aig, next);
+                let b2 = epoch.ctx_t[1].expr(d, &mut self.aig, next);
+                Some((b1, b2))
+            }
+            SignalKind::Output | SignalKind::Wire => {
+                for inst in 0..2 {
+                    if epoch.ctx_t1[inst].is_none() {
+                        let mut next_ctx = BlastContext::new();
+                        for (s, bits) in &self.inputs[1] {
+                            next_ctx.bind(*s, bits.clone());
+                        }
+                        for r in d.registers() {
+                            let next = d.signal_info(r).driver().expect("validated design");
+                            let bits = epoch.ctx_t[inst].expr(d, &mut self.aig, next);
+                            next_ctx.bind(r, bits);
+                        }
+                        epoch.ctx_t1[inst] = Some(next_ctx);
+                    }
+                }
+                let b1 =
+                    epoch.ctx_t1[0]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut self.aig, sig);
+                let b2 =
+                    epoch.ctx_t1[1]
+                        .as_mut()
+                        .expect("built above")
+                        .signal(d, &mut self.aig, sig);
+                Some((b1, b2))
+            }
+            SignalKind::Input => None,
         }
     }
 
@@ -503,19 +1021,22 @@ impl MiterSession {
         self.active_vars = cone;
     }
 
-    /// Rebuilds a concrete counterexample from the backend's model via the
-    /// reconstruction shared with the one-shot checker.
-    fn reconstruct(
+    /// Rebuilds a concrete counterexample from the given backend's model via
+    /// the reconstruction shared with the one-shot checker.  The model source
+    /// is a parameter because a parallel level check reads it from the forked
+    /// per-task solver that found the counterexample.
+    fn reconstruct_with(
         &self,
+        model_source: &dyn SatBackend,
         d: &htd_rtl::Design,
         name: &str,
         prove_values: &[(SignalId, BitVec, BitVec)],
-        regs: &[HashMap<SignalId, BitVec>; 2],
+        regs: &[FxHashMap<SignalId, BitVec>; 2],
     ) -> Counterexample {
-        let mut env: HashMap<u32, bool> = HashMap::new();
+        let mut env: FxHashMap<u32, bool> = FxHashMap::default();
         for (&node, &var) in self.encoder.node_vars() {
             if self.aig.is_input(AigLit::positive(node)) {
-                env.insert(node, self.backend.model_value(var).unwrap_or(false));
+                env.insert(node, model_source.model_value(var).unwrap_or(false));
             }
         }
         crate::checker::reconstruct_counterexample(
@@ -618,6 +1139,83 @@ mod tests {
         let encoded_once = session.stats().nodes_encoded;
         session.check(&design, &property).unwrap();
         assert_eq!(session.stats().nodes_encoded, encoded_once);
+    }
+
+    #[test]
+    fn check_level_matches_check_on_holding_and_failing_properties() {
+        let jobs = NonZeroUsize::new(2).unwrap();
+        // Failing property on the trojan design.
+        let design = trojan_design();
+        let d = design.design();
+        let data = d.require("data").unwrap();
+        let trigger = d.require("trigger").unwrap();
+        let failing = IntervalProperty::new("init_property", vec![], vec![trigger, data]);
+        let mut plain = MiterSession::new(&design, Box::new(Solver::new()));
+        let mut sharded = MiterSession::new(&design, Box::new(Solver::new()));
+        let plain_report = plain.check(&design, &failing).unwrap();
+        let sharded_report = sharded.check_level(&design, &failing, jobs).unwrap();
+        assert!(!plain_report.holds());
+        assert!(!sharded_report.holds());
+        // First-counterexample-wins: the lowest-id failing prove signal.
+        let cex = sharded_report.outcome.counterexample().unwrap();
+        assert_eq!(cex.diff_names(), vec!["trigger"]);
+
+        // Holding properties on the clean pipeline.
+        let design = pipeline();
+        let d = design.design();
+        let s1 = d.require("s1").unwrap();
+        let s2 = d.require("s2").unwrap();
+        let out = d.require("out").unwrap();
+        let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+        for property in [
+            IntervalProperty::new("init_property", vec![], vec![s1]),
+            IntervalProperty::new("fanout_property_1", vec![s1], vec![s2, out]),
+        ] {
+            let report = session.check_level(&design, &property, jobs).unwrap();
+            assert!(report.holds(), "{} should hold", property.name);
+        }
+        assert_eq!(session.stats().bit_blasts, 1);
+    }
+
+    #[test]
+    fn check_level_is_worker_count_invariant() {
+        let design = trojan_design();
+        let d = design.design();
+        let trigger = d.require("trigger").unwrap();
+        let data = d.require("data").unwrap();
+        let property = IntervalProperty::new("init_property", vec![], vec![trigger, data]);
+        let mut reports = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+            let mut report = session
+                .check_level(&design, &property, NonZeroUsize::new(jobs).unwrap())
+                .unwrap();
+            report.stats.duration = std::time::Duration::ZERO;
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn properties_sharing_an_antecedent_share_one_binding_epoch() {
+        let design = pipeline();
+        let d = design.design();
+        let s1 = d.require("s1").unwrap();
+        let s2 = d.require("s2").unwrap();
+        let out = d.require("out").unwrap();
+        let jobs = NonZeroUsize::MIN;
+        let mut session = MiterSession::new(&design, Box::new(Solver::new()));
+        // Same antecedent twice: one epoch.
+        let p1 = IntervalProperty::new("a", vec![s1], vec![s2]);
+        let p2 = IntervalProperty::new("b", vec![s1], vec![out]);
+        session.check_level(&design, &p1, jobs).unwrap();
+        session.check_level(&design, &p2, jobs).unwrap();
+        assert_eq!(session.stats().epoch_rebinds, 1);
+        // A different antecedent rebinds.
+        let p3 = IntervalProperty::new("c", vec![s1, s2], vec![out]);
+        session.check_level(&design, &p3, jobs).unwrap();
+        assert_eq!(session.stats().epoch_rebinds, 2);
     }
 
     #[test]

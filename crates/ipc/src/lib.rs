@@ -65,6 +65,7 @@ pub mod aig;
 pub mod bitblast;
 mod checker;
 pub mod cnf;
+pub mod fxhash;
 mod incremental;
 mod property;
 

@@ -31,6 +31,7 @@ use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::Arc;
 
 use crate::literal::{Lit, Var};
 use crate::solver::{SolveResult, Solver, SolverStats};
@@ -78,7 +79,11 @@ pub struct BackendStats {
 ///
 /// Implementations must keep added clauses across queries and treat
 /// `assumptions` as per-query unit constraints that do not persist.
-pub trait SatBackend {
+///
+/// Backends are `Send + Sync` so one master backend can be shared read-only
+/// across worker threads that [`fork`](Self::fork) per-query solvers off it —
+/// the sharding model of the parallel property scheduler.
+pub trait SatBackend: Send + Sync {
     /// A short, stable name for reports (`"builtin-cdcl"`, `"dimacs:..."`).
     fn name(&self) -> String;
 
@@ -118,6 +123,44 @@ pub trait SatBackend {
     /// without decision-variable support (e.g. process backends that re-read
     /// the whole CNF per query) ignore the hint, which is always sound.
     fn set_decision_var(&mut self, _var: Var, _eligible: bool) {}
+
+    /// Marks *every* variable ineligible for branching (the bulk counterpart
+    /// of [`set_decision_var`](Self::set_decision_var)); forked per-query
+    /// solvers call this and then re-enable exactly the query's cone.
+    /// Backends without decision-variable support ignore it.
+    fn mask_all_decisions(&mut self) {}
+
+    /// `true` if [`fork`](Self::fork) returns `Some` — checked up front so
+    /// schedulers can pick an execution strategy without paying for a probe
+    /// clone.
+    fn can_fork(&self) -> bool {
+        false
+    }
+
+    /// Creates an independent snapshot of this backend: same variables, same
+    /// clause database, no shared mutable state, ready to solve a different
+    /// query concurrently.  Returns `None` if the backend cannot fork (the
+    /// parallel scheduler then falls back to sequential solving on the
+    /// master).  Work counters carry over; callers attribute per-fork work by
+    /// differencing against the snapshot's [`stats`](Self::stats).
+    fn fork(&self) -> Option<Box<dyn SatBackend>> {
+        None
+    }
+
+    /// Opportunistically compacts the clause database, dropping clauses that
+    /// can no longer participate in any future query (e.g. miter clauses
+    /// behind retired activation literals).  Returns the number of clauses
+    /// collected; backends without garbage collection return 0.
+    fn collect_garbage(&mut self) -> u64 {
+        0
+    }
+
+    /// Installs a predicate polled during solving; when it returns `true`
+    /// the query is abandoned with [`SolveResult::Interrupted`].  Parallel
+    /// schedulers cancel speculative queries this way.  Backends that cannot
+    /// interrupt (e.g. process backends) ignore it, which only costs wasted
+    /// work, never wrong answers.
+    fn set_interrupt(&mut self, _check: Arc<dyn Fn() -> bool + Send + Sync>) {}
 }
 
 impl SatBackend for Solver {
@@ -156,6 +199,28 @@ impl SatBackend for Solver {
 
     fn set_decision_var(&mut self, var: Var, eligible: bool) {
         Solver::set_decision_var(self, var, eligible);
+    }
+
+    fn mask_all_decisions(&mut self) {
+        Solver::mask_all_decisions(self);
+    }
+
+    fn can_fork(&self) -> bool {
+        true
+    }
+
+    fn fork(&self) -> Option<Box<dyn SatBackend>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn collect_garbage(&mut self) -> u64 {
+        // Compact once a quarter of the database is dead; below that the
+        // propagation savings do not pay for the watch rebuild.
+        self.collect_garbage_if(0.25)
+    }
+
+    fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
+        Solver::set_interrupt(self, check);
     }
 }
 
@@ -383,6 +448,23 @@ impl SatBackend for DimacsProcessBackend {
             queries: self.queries,
             solver: SolverStats::default(),
         }
+    }
+
+    fn can_fork(&self) -> bool {
+        true
+    }
+
+    fn fork(&self) -> Option<Box<dyn SatBackend>> {
+        Some(Box::new(DimacsProcessBackend {
+            solver_path: self.solver_path.clone(),
+            extra_args: self.extra_args.clone(),
+            instance: NEXT_BACKEND_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            num_vars: self.num_vars,
+            clauses: self.clauses.clone(),
+            model: Vec::new(),
+            queries: 0,
+            known_unsat: self.known_unsat,
+        }))
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::literal::{Lit, Var};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Result of a satisfiability query.
 ///
@@ -24,6 +25,10 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions, if any) is unsatisfiable.
     Unsat,
+    /// The search was abandoned because an installed interrupt check fired
+    /// (see [`Solver::set_interrupt`]); the query is undecided.  Never
+    /// returned unless an interrupt check is installed.
+    Interrupted,
 }
 
 /// Aggregate counters describing the work performed by a [`Solver`].
@@ -47,6 +52,55 @@ pub struct SolverStats {
     /// Number of satisfiability queries answered (with or without
     /// assumptions).
     pub solves: u64,
+    /// Number of clause garbage collections performed (arena compactions
+    /// removing clauses retired by top-level units).
+    pub gc_runs: u64,
+    /// Total clauses physically removed by garbage collection (satisfied at
+    /// the top level — e.g. behind retired activation literals — or already
+    /// marked deleted by database reduction).
+    pub clauses_collected: u64,
+    /// Sum of the LBD ("glue") values of all clauses learnt so far; divide by
+    /// the number of conflicts for the average glue, a quality measure of the
+    /// learnt database.
+    pub learnt_lbd_sum: u64,
+}
+
+impl SolverStats {
+    /// Adds another stats record counter-by-counter (used to aggregate the
+    /// work of several solver instances, e.g. the per-shard solvers of a
+    /// parallel property check).  `learnt_clauses` is a gauge, not a counter;
+    /// summed values are only meaningful for per-query deltas.
+    pub fn accumulate(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.removed_clauses += other.removed_clauses;
+        self.solves += other.solves;
+        self.gc_runs += other.gc_runs;
+        self.clauses_collected += other.clauses_collected;
+        self.learnt_lbd_sum += other.learnt_lbd_sum;
+    }
+
+    /// The counter-wise difference `self - earlier` (used to attribute work
+    /// to one query given snapshots before and after).  The `learnt_clauses`
+    /// gauge is also differenced, saturating at zero.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            conflicts: self.conflicts - earlier.conflicts,
+            restarts: self.restarts - earlier.restarts,
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            removed_clauses: self.removed_clauses - earlier.removed_clauses,
+            solves: self.solves - earlier.solves,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            clauses_collected: self.clauses_collected - earlier.clauses_collected,
+            learnt_lbd_sum: self.learnt_lbd_sum - earlier.learnt_lbd_sum,
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -55,6 +109,11 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+    /// Literal-block distance ("glue"): the number of distinct decision
+    /// levels in the clause when it was learnt.  Low-LBD clauses connect few
+    /// decision levels and are empirically the most reusable, so database
+    /// reduction keeps them regardless of activity.  Problem clauses carry 0.
+    lbd: u32,
 }
 
 type ClauseRef = usize;
@@ -97,11 +156,33 @@ const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 100;
+/// Learnt clauses with an LBD at or below this are kept by database
+/// reduction regardless of activity ("glue clauses").
+const GLUE_LBD: u32 = 2;
+
+/// A shared predicate polled during search; `true` means "abandon the
+/// query".  Clones of a solver share the same check through the `Arc`.
+#[derive(Clone, Default)]
+struct InterruptCheck(Option<Arc<dyn Fn() -> bool + Send + Sync>>);
+
+impl std::fmt::Debug for InterruptCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "InterruptCheck(set)"
+        } else {
+            "InterruptCheck(unset)"
+        })
+    }
+}
 
 /// A conflict-driven clause-learning SAT solver.
 ///
+/// The solver is `Clone`: a clone is an independent snapshot sharing no
+/// state, which incremental clients use to fork per-query solvers off one
+/// master clause database (see `SatBackend::fork` in this crate).
+///
 /// See the [crate-level documentation](crate) for an overview and an example.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watcher>>,
@@ -122,6 +203,7 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     max_learnt: f64,
+    interrupt: InterruptCheck,
 }
 
 impl Solver {
@@ -173,6 +255,37 @@ impl Solver {
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Sets the learnt-clause count above which the solver halves its learnt
+    /// database at the next restart (default 2000; the limit grows by 1.3x
+    /// after every reduction).  Exposed as a tuning knob and so tests can
+    /// force database reduction on small formulas.
+    pub fn set_learnt_limit(&mut self, limit: f64) {
+        self.max_learnt = limit;
+    }
+
+    /// Installs an interrupt check polled during search (every conflict and
+    /// every 1024 decisions).  When it returns `true` the current query is
+    /// abandoned with [`SolveResult::Interrupted`]; the formula and all
+    /// learnt clauses remain valid and the solver can be queried again.
+    ///
+    /// Parallel schedulers use this to cancel speculative queries whose
+    /// results can no longer be consumed (e.g. sub-properties after a
+    /// counterexample with a lower merge id).
+    pub fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
+        self.interrupt = InterruptCheck(Some(check));
+    }
+
+    /// Removes the interrupt check installed by
+    /// [`set_interrupt`](Self::set_interrupt).
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = InterruptCheck(None);
+    }
+
+    /// `true` if the installed interrupt check (if any) fires.
+    fn interrupted(&self) -> bool {
+        self.interrupt.0.as_ref().is_some_and(|check| check())
     }
 
     /// Marks a variable as eligible (`true`, the default) or ineligible
@@ -378,6 +491,7 @@ impl Solver {
             learnt,
             activity: 0.0,
             deleted: false,
+            lbd: 0,
         });
         if learnt {
             self.stats.learnt_clauses += 1;
@@ -634,38 +748,187 @@ impl Solver {
             .find(|&v| self.var_value(v).is_none() && self.decision[v.index() as usize])
     }
 
+    /// Halves the learnt-clause database, keeping the clauses most likely to
+    /// be useful again: glue clauses (LBD ≤ [`GLUE_LBD`]) are always kept,
+    /// and the rest are ranked by LBD first and activity second.
+    ///
+    /// Removal detaches exactly the watchers of the dropped clauses — work
+    /// proportional to the number of collected clauses — instead of
+    /// rebuilding every watch list and re-propagating the whole trail.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
+        let locked: std::collections::HashSet<ClauseRef> =
+            self.reason.iter().filter_map(|r| *r).collect();
         let mut learnt_refs: Vec<ClauseRef> = self
             .clauses
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .filter(|(i, c)| {
+                c.learnt
+                    && !c.deleted
+                    && c.lits.len() > 2
+                    && c.lbd > GLUE_LBD
+                    && !locked.contains(i)
+            })
             .map(|(i, _)| i)
             .collect();
         if learnt_refs.len() < 2 {
             return;
         }
+        // Worst first: high LBD, then low activity (ties broken by index so
+        // the order — and therefore the search — is deterministic).
         learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(Ordering::Equal)
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then_with(|| {
+                    ca.activity
+                        .partial_cmp(&cb.activity)
+                        .unwrap_or(Ordering::Equal)
+                })
+                .then_with(|| a.cmp(&b))
         });
-        let locked: Vec<Option<ClauseRef>> = self.reason.clone();
-        let is_locked = |cr: ClauseRef| locked.contains(&Some(cr));
         let to_remove = learnt_refs.len() / 2;
         let mut removed = 0;
         for &cr in learnt_refs.iter().take(to_remove) {
-            if is_locked(cr) {
-                continue;
-            }
             self.clauses[cr].deleted = true;
+            self.detach_watchers(cr);
             removed += 1;
         }
         self.stats.removed_clauses += removed;
         self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(removed);
+    }
+
+    /// Removes the two watcher entries of a clause (watchers live on the
+    /// negations of the first two literals — the invariant `propagate`
+    /// maintains).
+    fn detach_watchers(&mut self, cr: ClauseRef) {
+        let l0 = self.clauses[cr].lits[0];
+        let l1 = self.clauses[cr].lits[1];
+        self.watches[(!l0).code() as usize].retain(|w| w.clause != cr);
+        self.watches[(!l1).code() as usize].retain(|w| w.clause != cr);
+    }
+
+    /// Physically removes dead clauses from the arena: clauses marked deleted
+    /// by database reduction and clauses satisfied at the top level — most
+    /// importantly the per-property miter clauses of incremental clients,
+    /// which are disabled forever once their activation literal is retired by
+    /// a top-level unit.  Literals falsified at the top level (e.g. positive
+    /// occurrences of retired activation literals inside learnt clauses) are
+    /// stripped from the surviving clauses.
+    ///
+    /// Watches are rebuilt from the compacted arena.  Must be called at
+    /// decision level 0 (between queries).  Returns the number of clauses
+    /// collected.
+    pub fn collect_garbage(&mut self) -> u64 {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        let mut kept: Vec<Clause> = Vec::with_capacity(old.len());
+        let mut collected = 0u64;
+        let mut learnt_removed = 0u64;
+        let mut units: Vec<Lit> = Vec::new();
+        for mut clause in old {
+            if clause.deleted || clause.lits.iter().any(|&l| self.lit_value(l) == Some(true)) {
+                collected += 1;
+                if clause.learnt && !clause.deleted {
+                    learnt_removed += 1;
+                }
+                continue;
+            }
+            clause.lits.retain(|&l| self.lit_value(l).is_none());
+            match clause.lits.len() {
+                0 => {
+                    // All literals false at the top level: the formula is
+                    // unsatisfiable (cannot normally happen after complete
+                    // propagation, but stay sound).
+                    self.ok = false;
+                    collected += 1;
+                }
+                1 => {
+                    units.push(clause.lits[0]);
+                    collected += 1;
+                    if clause.learnt {
+                        learnt_removed += 1;
+                    }
+                }
+                _ => kept.push(clause),
+            }
+        }
+        self.clauses = kept;
+        // Old clause references are invalid now.  At level 0 no reason is
+        // ever inspected (conflict analysis skips level-0 literals), so they
+        // are simply dropped.
+        for r in &mut self.reason {
+            *r = None;
+        }
         self.rebuild_watches();
+        // Surviving clauses contain no assigned literals, so re-propagating
+        // the trail only walks empty watch lists; any units uncovered by
+        // stripping are enqueued and propagated now.
+        for u in units {
+            match self.lit_value(u) {
+                Some(false) => {
+                    self.ok = false;
+                }
+                Some(true) => {}
+                None => self.unchecked_enqueue(u, None),
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+        }
+        self.stats.gc_runs += 1;
+        self.stats.clauses_collected += collected;
+        self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(learnt_removed);
+        collected
+    }
+
+    /// Runs [`collect_garbage`](Self::collect_garbage) only when at least
+    /// `min_fraction` of the (non-trivial) clause database is dead — deleted
+    /// or satisfied at the top level.  Returns the number of clauses
+    /// collected (0 when below the threshold).
+    pub fn collect_garbage_if(&mut self, min_fraction: f64) -> u64 {
+        let total = self.clauses.len();
+        if total < 128 || !self.ok || self.decision_level() != 0 {
+            return 0;
+        }
+        let dead = self
+            .clauses
+            .iter()
+            .filter(|c| c.deleted || c.lits.iter().any(|&l| self.lit_value(l) == Some(true)))
+            .count();
+        if (dead as f64) < min_fraction * total as f64 {
+            return 0;
+        }
+        self.collect_garbage()
+    }
+
+    /// Marks every variable ineligible for branching in one sweep.
+    ///
+    /// Incremental clients forking a per-query solver call this and then
+    /// re-enable exactly the cone of the query with
+    /// [`set_decision_var`](Self::set_decision_var); the same soundness
+    /// contract applies.
+    pub fn mask_all_decisions(&mut self) {
+        for d in &mut self.decision {
+            *d = false;
+        }
+        self.order.clear();
+    }
+
+    /// The literal-block distance of a clause whose literals are currently
+    /// assigned: the number of distinct decision levels it touches.
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     fn rebuild_watches(&mut self) {
@@ -693,6 +956,9 @@ impl Solver {
     }
 
     fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.interrupted() {
+            return SolveResult::Interrupted;
+        }
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_count: u64 = 0;
         let mut restart_limit = RESTART_BASE * Self::luby_value(restart_count);
@@ -701,17 +967,26 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                if self.interrupted() {
+                    self.cancel_until(0);
+                    return SolveResult::Interrupted;
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
+                // LBD must be computed while the clause's literals are still
+                // assigned (before backtracking).
+                let lbd = self.clause_lbd(&learnt);
+                self.stats.learnt_lbd_sum += u64::from(lbd);
                 self.cancel_until(bt_level);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(asserting, None);
                 } else {
                     let cr = self.attach_clause(learnt, true);
+                    self.clauses[cr].lbd = lbd;
                     self.bump_clause(cr);
                     self.unchecked_enqueue(asserting, Some(cr));
                 }
@@ -760,6 +1035,10 @@ impl Solver {
                     None => return SolveResult::Sat,
                     Some(v) => {
                         self.stats.decisions += 1;
+                        if self.stats.decisions & 1023 == 0 && self.interrupted() {
+                            self.cancel_until(0);
+                            return SolveResult::Interrupted;
+                        }
                         self.new_decision_level();
                         let phase = self.phase[v.index() as usize];
                         self.unchecked_enqueue(Lit::new(v, !phase), None);

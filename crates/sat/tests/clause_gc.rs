@@ -1,0 +1,188 @@
+//! Property-based tests for clause garbage collection: compacting the clause
+//! arena — dropping clauses satisfied at the top level, stripping falsified
+//! literals, rebuilding watches — must never change any SAT/UNSAT answer,
+//! under arbitrary assumption sequences and arbitrary top-level unit
+//! retirements (the activation-literal pattern of the incremental miter).
+
+use htd_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A clause is a list of (variable index, negated) pairs.
+type RawClause = Vec<(u8, bool)>;
+
+fn clause_strategy(num_vars: u8) -> impl Strategy<Value = RawClause> {
+    prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
+}
+
+/// One scripted step: an optional literal retirement (a top-level unit
+/// clause) followed by a query under assumptions.
+type ScriptStep = (Option<(u8, bool)>, RawClause);
+
+/// A formula plus a script of queries; each query optionally retires one
+/// literal with a top-level unit clause first, then solves under assumptions.
+fn script_strategy() -> impl Strategy<Value = (u8, Vec<RawClause>, Vec<ScriptStep>)> {
+    (4u8..=8).prop_flat_map(|nv| {
+        (
+            Just(nv),
+            prop::collection::vec(clause_strategy(nv), 4..=32),
+            prop::collection::vec(
+                (
+                    (any::<bool>(), 0..nv, any::<bool>())
+                        .prop_map(|(retire, v, neg)| retire.then_some((v, neg))),
+                    prop::collection::vec((0..nv, any::<bool>()), 0..=3),
+                ),
+                1..=6,
+            ),
+        )
+    })
+}
+
+fn lits(vars: &[Var], raw: &[(u8, bool)]) -> Vec<Lit> {
+    raw.iter()
+        .map(|&(v, negated)| Lit::new(vars[v as usize], negated))
+        .collect()
+}
+
+fn build(num_vars: u8, clauses: &[RawClause]) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(lits(&vars, clause));
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Twin solvers over the same formula and script: one garbage-collects
+    /// after every step, the other never does.  Answers must agree at every
+    /// step.
+    #[test]
+    fn gc_never_changes_answers((num_vars, clauses, script) in script_strategy()) {
+        let (mut plain, plain_vars) = build(num_vars, &clauses);
+        let (mut gced, gc_vars) = build(num_vars, &clauses);
+
+        for (retire, assumptions) in &script {
+            if let Some((v, negated)) = retire {
+                // Retire a literal with a top-level unit — the activation-
+                // literal pattern that creates permanently dead clauses.
+                plain.add_clause([Lit::new(plain_vars[*v as usize], *negated)]);
+                gced.add_clause([Lit::new(gc_vars[*v as usize], *negated)]);
+            }
+            gced.collect_garbage();
+
+            let expected = plain.solve_with_assumptions(&lits(&plain_vars, assumptions));
+            let actual = gced.solve_with_assumptions(&lits(&gc_vars, assumptions));
+            prop_assert_eq!(expected, actual);
+            prop_assert_eq!(plain.is_known_unsat(), gced.is_known_unsat());
+        }
+    }
+
+    /// Models returned after garbage collection still satisfy the original
+    /// formula (compaction must not lose constraints).
+    #[test]
+    fn models_after_gc_satisfy_the_original_formula((num_vars, clauses, script) in script_strategy()) {
+        let (mut solver, vars) = build(num_vars, &clauses);
+        let mut retired: Vec<Lit> = Vec::new();
+        for (retire, assumptions) in &script {
+            if let Some((v, negated)) = retire {
+                let unit = Lit::new(vars[*v as usize], *negated);
+                solver.add_clause([unit]);
+                retired.push(unit);
+            }
+            solver.collect_garbage();
+            if solver.solve_with_assumptions(&lits(&vars, assumptions)) == SolveResult::Sat {
+                let value = |l: Lit| {
+                    solver
+                        .value(l.var())
+                        .map(|b| if l.is_negated() { !b } else { b })
+                };
+                for clause in &clauses {
+                    let satisfied = lits(&vars, clause)
+                        .iter()
+                        .any(|&l| value(l).unwrap_or(false));
+                    prop_assert!(satisfied, "model violates original clause {clause:?}");
+                }
+                for &unit in &retired {
+                    prop_assert_eq!(value(unit), Some(true), "model violates retired unit");
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic regression: collection reports its work through the stats
+/// counters and physically shrinks the database.
+#[test]
+fn gc_counters_and_shrinkage() {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| solver.new_var()).collect();
+    // An activation literal guarding a block of clauses.
+    let act = solver.new_var();
+    for w in vars.windows(2) {
+        solver.add_clause([Lit::neg(act), Lit::pos(w[0]), Lit::pos(w[1])]);
+    }
+    let clauses_before = solver.num_clauses();
+    assert!(clauses_before >= 7);
+    // Retire the activation literal: every guarded clause dies.
+    solver.add_clause([Lit::neg(act)]);
+    let collected = solver.collect_garbage();
+    assert_eq!(collected, clauses_before as u64);
+    assert_eq!(solver.num_clauses(), 0);
+    let stats = solver.stats();
+    assert_eq!(stats.gc_runs, 1);
+    assert_eq!(stats.clauses_collected, collected);
+    assert_eq!(solver.solve(), SolveResult::Sat);
+}
+
+/// Database reduction with LBD scoring stays correct when forced on a small,
+/// conflict-heavy formula, and the proportional watcher detach keeps the
+/// solver consistent across further queries.
+#[test]
+fn forced_reduce_db_keeps_answers_correct() {
+    // Pigeonhole PHP(5,4): 5 pigeons, 4 holes — UNSAT with real conflict
+    // work, enough learnt clauses to trigger a forced reduction.
+    let pigeons = 5usize;
+    let holes = 4usize;
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..pigeons * holes).map(|_| solver.new_var()).collect();
+    let lit = |p: usize, h: usize| Lit::pos(vars[p * holes + h]);
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| lit(p, h)).collect();
+        solver.add_clause(clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                solver.add_clause([!lit(p1, h), !lit(p2, h)]);
+            }
+        }
+    }
+    // Force learnt-database reduction at the very first restart.
+    solver.set_learnt_limit(1.0);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let stats = solver.stats();
+    assert!(stats.conflicts > 0);
+    assert!(
+        stats.learnt_lbd_sum > 0,
+        "learnt clauses must carry LBD scores"
+    );
+}
+
+/// An interrupt check that always fires abandons the query without corrupting
+/// the solver; clearing it restores normal solving.
+#[test]
+fn interrupts_abandon_queries_cleanly() {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..12).map(|_| solver.new_var()).collect();
+    // xor chain forcing real search.
+    for w in vars.windows(2) {
+        solver.add_clause([Lit::pos(w[0]), Lit::pos(w[1])]);
+        solver.add_clause([Lit::neg(w[0]), Lit::neg(w[1])]);
+    }
+    solver.set_interrupt(std::sync::Arc::new(|| true));
+    assert_eq!(solver.solve(), SolveResult::Interrupted);
+    solver.clear_interrupt();
+    assert_eq!(solver.solve(), SolveResult::Sat);
+}

@@ -1,0 +1,76 @@
+//! Determinism suite for the sharded property scheduler: a flow run must
+//! produce the same `DetectionReport` — verdicts, counterexamples, coverage
+//! *and* work counters — for every worker count.
+//!
+//! The guarantee comes from the sharding model: every per-signal sub-property
+//! is solved on a fork of the same frozen master snapshot, results merge in
+//! sub-property id order (first counterexample wins), and only the consumed
+//! prefix of tasks contributes statistics.  Wall-clock durations are the only
+//! nondeterministic fields, so reports are compared after
+//! [`DetectionReport::normalized`] zeroes them.
+
+use std::num::NonZeroUsize;
+
+use golden_free_htd::detect::{DetectionReport, DetectorConfig, SessionBuilder};
+use golden_free_htd::trusthub::registry::Benchmark;
+
+fn run_with_jobs(benchmark: Benchmark, jobs: usize) -> DetectionReport {
+    let design = benchmark.build().expect("benchmark builds");
+    let config = DetectorConfig {
+        benign_state: benchmark.benign_state(&design),
+        ..DetectorConfig::default()
+    };
+    SessionBuilder::new(design)
+        .config(config)
+        .jobs(NonZeroUsize::new(jobs).expect("positive jobs"))
+        .build()
+        .expect("session builder accepts the design")
+        .run()
+        .expect("flow completes")
+}
+
+fn assert_jobs_invariant(benchmark: Benchmark) {
+    let baseline = run_with_jobs(benchmark, 1).normalized();
+    for jobs in [2usize, 4] {
+        let parallel = run_with_jobs(benchmark, jobs).normalized();
+        assert_eq!(
+            baseline,
+            parallel,
+            "{}: --jobs 1 and --jobs {jobs} reports differ",
+            benchmark.name()
+        );
+        // Belt and braces: the rendered reports must be byte-identical too
+        // (the Debug form covers every field, including counterexamples).
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{parallel:?}"),
+            "{}: rendered reports differ at --jobs {jobs}",
+            benchmark.name()
+        );
+    }
+}
+
+/// Every bundled benchmark — the 28 infected Table-I rows, the HT-free
+/// references and the UART case study — must report identically for 1, 2
+/// and 4 worker shards.
+#[test]
+fn all_bundled_benchmarks_report_identically_for_any_worker_count() {
+    for benchmark in Benchmark::all() {
+        assert_jobs_invariant(benchmark);
+    }
+}
+
+/// Repeated runs with the same worker count are also bit-stable (no hidden
+/// dependence on thread scheduling or hash-map iteration order).
+#[test]
+fn repeated_runs_are_bit_stable() {
+    for benchmark in [
+        Benchmark::AesT1600,
+        Benchmark::BasicRsaT200,
+        Benchmark::Rs232HtFree,
+    ] {
+        let first = run_with_jobs(benchmark, 4).normalized();
+        let second = run_with_jobs(benchmark, 4).normalized();
+        assert_eq!(first, second, "{}: unstable report", benchmark.name());
+    }
+}
