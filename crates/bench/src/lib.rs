@@ -164,6 +164,7 @@ pub fn check_property(
         design,
         CheckerOptions {
             share_assumed_equal,
+            ..CheckerOptions::default()
         },
     )
     .check(property)

@@ -16,6 +16,7 @@ use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use htd_core::{DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
+
 use htd_trusthub::registry::Benchmark;
 
 /// How many times each (design, engine) pair is run; the fastest run is
@@ -112,10 +113,13 @@ fn run_once(
     )
 }
 
-/// Measures one benchmark with both engines (scheduler at `jobs` workers).
+/// Measures one benchmark with both engines (the flow-graph executor at
+/// `jobs` workers with `pipeline` controlling level pipelining, and the
+/// sequential single-miter reference).
 #[must_use]
-pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize) -> TrajectoryRecord {
-    let scheduled = EngineChoice::Scheduled(PropertyScheduler::new(jobs));
+pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize, pipeline: bool) -> TrajectoryRecord {
+    let scheduled =
+        EngineChoice::Scheduled(PropertyScheduler::new(jobs).with_level_pipelining(pipeline));
     let mut wall_secs = f64::INFINITY;
     let mut sequential_secs = f64::INFINITY;
     let mut measured = None;
@@ -158,8 +162,15 @@ pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize) -> TrajectoryRecord {
 
 /// Measures every given benchmark; see [`measure`].
 #[must_use]
-pub fn run_trajectory(benchmarks: &[Benchmark], jobs: NonZeroUsize) -> Vec<TrajectoryRecord> {
-    benchmarks.iter().map(|&b| measure(b, jobs)).collect()
+pub fn run_trajectory(
+    benchmarks: &[Benchmark],
+    jobs: NonZeroUsize,
+    pipeline: bool,
+) -> Vec<TrajectoryRecord> {
+    benchmarks
+        .iter()
+        .map(|&b| measure(b, jobs, pipeline))
+        .collect()
 }
 
 fn json_escape(text: &str) -> String {
@@ -181,11 +192,21 @@ fn json_escape(text: &str) -> String {
 /// The schema is flat on purpose — every field is a number or a string — so
 /// future PRs can diff two `BENCH_*.json` files with standard tooling.
 #[must_use]
-pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize) -> String {
+pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize, pipeline: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"htd-bench-trajectory-v1\",\n");
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v2\",\n");
+    out.push_str("  \"engine\": \"flowgraph\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", jobs.get()));
+    // Host context: wall-clocks are only comparable between BENCH_*.json
+    // files recorded on comparable machines, so the header says how many
+    // hardware threads the run had (the executor caps its worker count at
+    // this) and which scheduling mode was measured.
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        PropertyScheduler::available_parallelism().get()
+    ));
+    out.push_str(&format!("  \"level_pipeline\": {pipeline},\n"));
     let total_wall: f64 = records.iter().map(|r| r.wall_secs).sum();
     let total_seq: f64 = records.iter().map(|r| r.sequential_secs).sum();
     out.push_str(&format!("  \"total_wall_secs\": {total_wall:.6},\n"));
@@ -259,12 +280,15 @@ mod tests {
     #[test]
     fn smoke_set_measures_and_serialises() {
         let jobs = NonZeroUsize::new(2).unwrap();
-        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs);
+        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs, true);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].verdict, "fanout_property_1");
         assert!(records[0].wall_secs > 0.0);
-        let json = to_json(&records, jobs);
-        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v1\""));
+        let json = to_json(&records, jobs, true);
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v2\""));
+        assert!(json.contains("\"engine\": \"flowgraph\""));
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"level_pipeline\": true"));
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("RS232-T2400"));
         assert!(json.contains("\"speedup\""));

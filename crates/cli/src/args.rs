@@ -67,6 +67,9 @@ pub struct DetectArgs {
     /// Worker shards per fanout level (`None` = the machine's available
     /// parallelism).  Reports are identical for every value.
     pub jobs: Option<usize>,
+    /// Disable cross-level pipelining (prepare each level only after the
+    /// previous one merged).  Reports are identical either way.
+    pub no_pipeline: bool,
 }
 
 impl Default for DetectArgs {
@@ -80,6 +83,7 @@ impl Default for DetectArgs {
             backend: BackendChoice::Builtin,
             progress: false,
             jobs: None,
+            no_pipeline: false,
         }
     }
 }
@@ -108,6 +112,8 @@ pub enum Command {
         jobs: Option<usize>,
         /// Run only the cheap smoke subset (used by CI).
         smoke: bool,
+        /// Disable cross-level pipelining in the scheduled engine.
+        no_pipeline: bool,
     },
     /// Solve a DIMACS CNF file and print the result in SAT-competition
     /// format (`s SATISFIABLE` / `s UNSATISFIABLE` plus `v` model lines).
@@ -175,6 +181,7 @@ impl Command {
                             }
                             parsed.jobs = Some(jobs);
                         }
+                        "--no-pipeline" => parsed.no_pipeline = true,
                         flag if flag.starts_with("--") => {
                             return Err(ParseArgsError::UnknownFlag(flag.to_string()))
                         }
@@ -213,6 +220,7 @@ impl Command {
                 let mut json = None;
                 let mut jobs = None;
                 let mut smoke = false;
+                let mut no_pipeline = false;
                 let mut iter = rest.into_iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -228,10 +236,16 @@ impl Command {
                             jobs = Some(parsed);
                         }
                         "--smoke" => smoke = true,
+                        "--no-pipeline" => no_pipeline = true,
                         other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
                     }
                 }
-                Ok(Command::Bench { json, jobs, smoke })
+                Ok(Command::Bench {
+                    json,
+                    jobs,
+                    smoke,
+                    no_pipeline,
+                })
             }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(ParseArgsError::UnknownCommand(other.to_string())),
@@ -281,10 +295,11 @@ pub fn usage() -> &'static str {
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
                       [--backend builtin|dimacs:PATH] [--progress] [--jobs N]
+                      [--no-pipeline]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
-    htd bench [--json FILE] [--jobs N] [--smoke]
+    htd bench [--json FILE] [--jobs N] [--smoke] [--no-pipeline]
     htd sat <file.cnf>
     htd help
 
@@ -306,11 +321,14 @@ DETECT FLAGS:
     --progress               stream per-property progress to stderr while running
     --jobs N                 worker shards per fanout level (default: available
                              parallelism; reports are identical for every N)
+    --no-pipeline            solve one level at a time instead of pipelining
+                             levels (reports are identical either way)
 
 BENCH FLAGS:
     --json FILE              write the BENCH_*.json perf-trajectory file
     --jobs N                 worker shards for the sharded engine
     --smoke                  run only the cheap CI smoke subset
+    --no-pipeline            disable cross-level pipelining in the scheduled engine
 "
 }
 
@@ -406,27 +424,52 @@ mod tests {
 
     #[test]
     fn parses_jobs_and_bench() {
-        match Command::parse(["detect", "design.v", "--jobs", "8"]).unwrap() {
-            Command::Detect(args) => assert_eq!(args.jobs, Some(8)),
+        match Command::parse(["detect", "design.v", "--jobs", "8", "--no-pipeline"]).unwrap() {
+            Command::Detect(args) => {
+                assert_eq!(args.jobs, Some(8));
+                assert!(args.no_pipeline);
+            }
             other => panic!("expected detect, got {other:?}"),
         }
         assert_eq!(
             Command::parse(["detect", "design.v", "--jobs", "0"]).unwrap_err(),
             ParseArgsError::InvalidNumber("0".into())
         );
-        match Command::parse(["bench", "--json", "BENCH.json", "--jobs", "4", "--smoke"]).unwrap() {
-            Command::Bench { json, jobs, smoke } => {
+        match Command::parse([
+            "bench",
+            "--json",
+            "BENCH.json",
+            "--jobs",
+            "4",
+            "--smoke",
+            "--no-pipeline",
+        ])
+        .unwrap()
+        {
+            Command::Bench {
+                json,
+                jobs,
+                smoke,
+                no_pipeline,
+            } => {
                 assert_eq!(json, Some(PathBuf::from("BENCH.json")));
                 assert_eq!(jobs, Some(4));
                 assert!(smoke);
+                assert!(no_pipeline);
             }
             other => panic!("expected bench, got {other:?}"),
         }
         match Command::parse(["bench"]).unwrap() {
-            Command::Bench { json, jobs, smoke } => {
+            Command::Bench {
+                json,
+                jobs,
+                smoke,
+                no_pipeline,
+            } => {
                 assert_eq!(json, None);
                 assert_eq!(jobs, None);
                 assert!(!smoke);
+                assert!(!no_pipeline);
             }
             other => panic!("expected bench, got {other:?}"),
         }

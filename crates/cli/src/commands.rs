@@ -12,8 +12,8 @@ use htd_baselines::uci::{unused_circuit_identification, UciOptions};
 use htd_bench::trajectory;
 use htd_core::replay::replay_counterexample;
 use htd_core::{
-    DetectError, DetectionOutcome, DetectionReport, DetectorConfig, FlowEvent, PropertyScheduler,
-    SessionBuilder,
+    DetectError, DetectionOutcome, DetectionReport, DetectorConfig, EngineChoice, FlowEvent,
+    PropertyScheduler, SessionBuilder,
 };
 use htd_rtl::export::fanout_dot;
 use htd_rtl::stats::DesignStats;
@@ -100,7 +100,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             Ok(baselines_text(&design, *bound))
         }
         Command::Table1 => Ok(table1_text()),
-        Command::Bench { json, jobs, smoke } => bench(json.as_deref(), *jobs, *smoke),
+        Command::Bench {
+            json,
+            jobs,
+            smoke,
+            no_pipeline,
+        } => bench(json.as_deref(), *jobs, *smoke, !*no_pipeline),
         Command::Sat { input } => sat(input),
     }
 }
@@ -108,14 +113,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
 /// Renders one [`FlowEvent`] as a human-readable progress line.
 fn render_event(event: &FlowEvent) -> Option<String> {
     match event {
-        FlowEvent::LevelStarted { level, signals } => {
-            Some(format!("level {level}: {} signals to prove", signals.len()))
-        }
+        FlowEvent::LevelStarted {
+            level,
+            signals,
+            dep_signals,
+            ..
+        } => Some(if dep_signals.is_empty() {
+            format!("level {level}: {} signals to prove", signals.len())
+        } else {
+            format!(
+                "level {level}: {} signals to prove (fed by {} signal(s) of the previous level)",
+                signals.len(),
+                dep_signals.len()
+            )
+        }),
         FlowEvent::PropertyProved {
             property,
             duration,
             spurious_resolved,
             solver,
+            ..
         } => {
             let note = if *spurious_resolved > 0 {
                 format!(" ({spurious_resolved} spurious CEX resolved)")
@@ -143,11 +160,14 @@ fn render_event(event: &FlowEvent) -> Option<String> {
             property,
             round,
             waived,
+            ..
         } => Some(format!(
             "  re-verifying {property}, round {round} (waived: {})",
             waived.join(", ")
         )),
-        FlowEvent::Coverage { covered, uncovered } => Some(if uncovered.is_empty() {
+        FlowEvent::Coverage {
+            covered, uncovered, ..
+        } => Some(if uncovered.is_empty() {
             format!("coverage check: all {covered} state/output signals covered")
         } else {
             format!("coverage check: {} uncovered signal(s)", uncovered.len())
@@ -173,10 +193,11 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
         .jobs
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(PropertyScheduler::available_parallelism);
+    let scheduler = PropertyScheduler::new(jobs).with_level_pipelining(!args.no_pipeline);
     let mut session = SessionBuilder::new(design.clone())
         .config(config)
         .backend(args.backend.clone())
-        .jobs(jobs)
+        .engine(EngineChoice::Scheduled(scheduler))
         .build()?;
     let report: DetectionReport = if args.progress {
         eprintln!(
@@ -242,7 +263,12 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
 /// `htd bench`: the perf-trajectory harness — run the benchmark set through
 /// the sequential and sharded engines, print a comparison table, and write
 /// the `BENCH_*.json` file when requested.
-fn bench(json: Option<&Path>, jobs: Option<usize>, smoke: bool) -> Result<String, CliError> {
+fn bench(
+    json: Option<&Path>,
+    jobs: Option<usize>,
+    smoke: bool,
+    pipeline: bool,
+) -> Result<String, CliError> {
     let jobs = jobs
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(PropertyScheduler::available_parallelism);
@@ -251,7 +277,7 @@ fn bench(json: Option<&Path>, jobs: Option<usize>, smoke: bool) -> Result<String
     } else {
         Benchmark::all()
     };
-    let records = trajectory::run_trajectory(&benchmarks, jobs);
+    let records = trajectory::run_trajectory(&benchmarks, jobs, pipeline);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -287,9 +313,11 @@ fn bench(json: Option<&Path>, jobs: Option<usize>, smoke: bool) -> Result<String
         }
     );
     if let Some(path) = json {
-        std::fs::write(path, trajectory::to_json(&records, jobs)).map_err(|e| CliError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
+        std::fs::write(path, trajectory::to_json(&records, jobs, pipeline)).map_err(|e| {
+            CliError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            }
         })?;
         let _ = writeln!(out, "trajectory written to {}", path.display());
     }

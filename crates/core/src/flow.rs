@@ -389,6 +389,7 @@ mod tests {
             let config = DetectorConfig {
                 checker: CheckerOptions {
                     share_assumed_equal: false,
+                    ..CheckerOptions::default()
                 },
                 ..DetectorConfig::default()
             };

@@ -97,6 +97,7 @@ pub mod aggregate;
 pub mod diagnosis;
 mod error;
 mod flow;
+mod flowgraph;
 pub mod replay;
 mod report;
 mod scheduler;
@@ -106,6 +107,7 @@ pub use error::DetectError;
 pub use flow::DetectorConfig;
 #[allow(deprecated)]
 pub use flow::TrojanDetector;
+pub use flowgraph::{FlowGraph, FlowNode, FlowNodeKind};
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
-pub use scheduler::{PropertyScheduler, JOBS_ENV_VAR};
+pub use scheduler::{PipelineStats, PropertyScheduler, JOBS_ENV_VAR, LEVEL_PIPELINE_ENV_VAR};
 pub use session::{BackendChoice, DetectionSession, EngineChoice, FlowEvent, SessionBuilder};

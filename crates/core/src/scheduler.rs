@@ -1,67 +1,148 @@
-//! The parallel property scheduler: sharded, deterministic level checking.
+//! The flow-graph executor: a generic ready-queue over [`FlowGraph`] nodes.
 //!
-//! Algorithm 1 proves each fanout level with one interval property whose
-//! consequent covers every signal of the level.  [`PropertyScheduler`]
-//! partitions that consequent into per-signal *pending properties* and solves
-//! them on worker shards: each shard forks its own solver off the session's
-//! frozen master encoding ([`htd_sat::SatBackend::fork`]), so workers never
-//! contend on one solver and one hard sub-property cannot serialise a whole
-//! level.
+//! PR 2's scheduler parallelised *within* one fanout level: the level's
+//! per-signal sub-properties solved on forked solver shards, but whole levels
+//! and resolution rounds still serialised.  The executor in this module
+//! lifts the same shard model to the whole graph: the coordinator thread
+//! prepares generations (lowering + Tseitin encoding + a frozen snapshot per
+//! level, see [`MiterSession::prepare_level`]) ahead of the merge frontier,
+//! one shared worker pool pulls *(generation, sub-property)* tasks from a
+//! ready queue, and results merge strictly in node order.  Independent
+//! sub-properties from **different levels** therefore solve concurrently —
+//! the master encodes level `k + 1` while level `k`'s forks are still
+//! solving.
 //!
 //! # Determinism guarantee
 //!
-//! Every shard solves from the *same* master snapshot, so a sub-property's
-//! verdict, counterexample and solver-work counters are independent of which
-//! worker ran it and of the worker count.  Results merge in sub-property id
-//! order (first counterexample wins), and only the consumed prefix of tasks
-//! contributes statistics.  A flow run with `jobs = 1` and with `jobs = N`
-//! therefore produces identical [`DetectionReport`](crate::DetectionReport)s
-//! — byte-for-byte, once wall-clock durations are normalised away
-//! ([`DetectionReport::normalized`](crate::DetectionReport::normalized)).
+//! Reports are byte-identical for every worker count *and* with level
+//! pipelining on or off, because nothing a worker does can influence what
+//! another task sees:
+//!
+//! * every task solves on a fork of its generation's frozen snapshot, and
+//!   the master mutation stream (retire previous generation's activation
+//!   literals → encode → clause-GC → snapshot) is a pure function of the
+//!   prepare *order*, which is always ascending node order;
+//! * results merge in node order, first counterexample wins, and only the
+//!   consumed prefix of tasks contributes statistics — speculative work
+//!   behind a failure is cancelled mid-solve and discarded;
+//! * a resolution round is a re-enqueued graph node; before it is encoded
+//!   the coordinator completes every remaining level prepare, so the master
+//!   state under any resolution encode is the same whether the flow
+//!   pipelined or not.
+//!
+//! Speculation is demand-driven: the coordinator only prepares the next
+//! level when fewer unfinished tasks than workers remain, so fail-fast flows
+//! (most infected benchmarks die on the init property) pay nothing for the
+//! pipeline.  Whether a generation gets *prepared* may depend on timing;
+//! whether its results are *reported* never does.
 //!
 //! # When to tune `jobs`
 //!
-//! Parallelism pays off when a level has several non-structural sub-properties
-//! (RSA-class accelerators, infected AES levels).  Flows dominated by the
-//! structural fast path (clean pipelines) dispatch few or no solve tasks, so
+//! Parallelism pays off when consecutive levels carry non-structural
+//! sub-properties (RSA-class accelerators, infected AES levels).  Flows
+//! dominated by the structural fast path dispatch few or no solve tasks, so
 //! extra workers are harmless but idle.  The CLI defaults to the machine's
 //! available parallelism; the library defaults to one worker (set the
 //! `HTD_JOBS` environment variable or call [`SessionBuilder::jobs`] to
-//! change it).
+//! change it).  Level pipelining is on by default; set `HTD_LEVEL_PIPELINE=0`
+//! or use [`PropertyScheduler::with_level_pipelining`] to fall back to
+//! merge-gated solving.
 //!
 //! [`SessionBuilder::jobs`]: crate::SessionBuilder::jobs
+//! [`MiterSession::prepare_level`]: htd_ipc::MiterSession::prepare_level
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use htd_ipc::{IntervalProperty, MiterSession, PropertyReport};
-use htd_rtl::ValidatedDesign;
+use htd_ipc::{
+    CheckOutcome, IntervalProperty, MiterSession, PreparedLevel, PropertyReport, TaskOutcome,
+};
+use htd_rtl::{SignalId, ValidatedDesign};
+use htd_sat::SolverStats;
 
+use crate::diagnosis::{benign_fanin_of, diagnose, Diagnosis};
 use crate::error::DetectError;
-use crate::session::PropertyEngine;
+use crate::flow::DetectorConfig;
+use crate::flowgraph::FlowGraph;
+use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
+use crate::session::{FlowEvent, PropertyEngine};
 
 /// Environment variable overriding the default worker count of new sessions.
 pub const JOBS_ENV_VAR: &str = "HTD_JOBS";
 
-/// Policy object selecting how many worker shards check each fanout level.
+/// Environment variable disabling level pipelining when set to `0`.
+pub const LEVEL_PIPELINE_ENV_VAR: &str = "HTD_LEVEL_PIPELINE";
+
+/// Policy object selecting how the flow-graph executor schedules work: the
+/// worker count and whether sub-properties of different levels may solve
+/// concurrently.
 ///
-/// See the [module docs](self) for the sharding model and the determinism
+/// See the [module docs](self) for the execution model and the determinism
 /// guarantee.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PropertyScheduler {
     jobs: NonZeroUsize,
+    pipeline_levels: bool,
+    oversubscribe: bool,
 }
 
 impl PropertyScheduler {
-    /// A scheduler running up to `jobs` worker shards per level.
+    /// A scheduler running up to `jobs` worker shards, with level pipelining
+    /// at its default (on, unless `HTD_LEVEL_PIPELINE=0`).
     #[must_use]
     pub fn new(jobs: NonZeroUsize) -> Self {
-        PropertyScheduler { jobs }
+        PropertyScheduler {
+            jobs,
+            pipeline_levels: Self::default_level_pipelining(),
+            oversubscribe: false,
+        }
+    }
+
+    /// Allows more worker threads than the machine has hardware threads.
+    /// CPU-bound solver shards gain nothing from oversubscription, so by
+    /// default the effective worker count is `min(jobs, available
+    /// parallelism)` — this switch exists for tests that must exercise
+    /// multi-worker schedules on single-core hosts.
+    #[must_use]
+    pub fn with_oversubscription(mut self, enabled: bool) -> Self {
+        self.oversubscribe = enabled;
+        self
+    }
+
+    /// The worker count the executor will actually run: `jobs`, capped at
+    /// the machine's available parallelism unless
+    /// [`with_oversubscription`](Self::with_oversubscription) lifted the cap.
+    #[must_use]
+    pub fn effective_workers(&self) -> NonZeroUsize {
+        if self.oversubscribe {
+            self.jobs
+        } else {
+            self.jobs.min(Self::available_parallelism())
+        }
+    }
+
+    /// Enables or disables level pipelining: when disabled, the executor
+    /// gates every prepare behind the previous level's merge (the PR-2
+    /// schedule).  Reports are identical either way.
+    #[must_use]
+    pub fn with_level_pipelining(mut self, enabled: bool) -> Self {
+        self.pipeline_levels = enabled;
+        self
     }
 
     /// The configured worker count.
     #[must_use]
     pub fn jobs(&self) -> NonZeroUsize {
         self.jobs
+    }
+
+    /// `true` if sub-properties of different levels may solve concurrently.
+    #[must_use]
+    pub fn pipelines_levels(&self) -> bool {
+        self.pipeline_levels
     }
 
     /// The machine's available parallelism (1 if it cannot be determined).
@@ -79,6 +160,13 @@ impl PropertyScheduler {
             .and_then(|v| v.parse::<NonZeroUsize>().ok())
             .unwrap_or(NonZeroUsize::MIN)
     }
+
+    /// The default level-pipelining mode: on, unless the
+    /// `HTD_LEVEL_PIPELINE` environment variable is set to `0`.
+    #[must_use]
+    pub fn default_level_pipelining() -> bool {
+        std::env::var(LEVEL_PIPELINE_ENV_VAR).map_or(true, |v| v != "0")
+    }
 }
 
 impl Default for PropertyScheduler {
@@ -87,7 +175,34 @@ impl Default for PropertyScheduler {
     }
 }
 
-/// Engine over a [`MiterSession`] driven by the sharded scheduler.
+/// Counters describing one pipelined flow run, exposed through
+/// [`DetectionSession::pipeline_stats`](crate::DetectionSession::pipeline_stats).
+///
+/// Unlike the [`DetectionReport`], which is deterministic by construction,
+/// these counters describe the *schedule* the executor happened to take and
+/// may vary between runs (speculation is demand-driven).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Generations (levels and resolution rounds) prepared on the master,
+    /// including speculative ones whose results were discarded.
+    pub generations_prepared: u64,
+    /// Sub-property tasks enqueued on the worker pool.
+    pub tasks_dispatched: u64,
+    /// Generations the master encoded while another generation's solver
+    /// tasks were still unfinished — the epoch-scoped encode/solve overlap
+    /// that the flow graph adds (meaningful even on a single hardware
+    /// thread).
+    pub pipelined_prepares: u64,
+    /// Tasks that started solving while a task of a *different* generation
+    /// was still unfinished — true cross-level solve concurrency (needs
+    /// hardware threads, or long-running tasks, to show up).
+    pub cross_level_solves: u64,
+}
+
+/// Engine over a [`MiterSession`] driven level-at-a-time — the fallback for
+/// backends that cannot fork snapshots (the pipelined executor requires
+/// forks; this path is merely sharded within each level, sequential on the
+/// master).
 pub(crate) struct SchedulerEngine<'a> {
     pub(crate) miter: &'a mut MiterSession,
     pub(crate) jobs: NonZeroUsize,
@@ -105,6 +220,520 @@ impl PropertyEngine for SchedulerEngine<'_> {
                 message: e.to_string(),
             })
     }
+
+    fn finish(&mut self) -> SolverStats {
+        self.miter.finish_level_flow()
+    }
+}
+
+/// One prepared generation in flight: the frozen sub-property tasks plus the
+/// slots their results land in.
+struct GenJob {
+    /// Flow-graph node id of the generation.
+    node: usize,
+    prepared: PreparedLevel,
+    results: Vec<Mutex<Option<TaskOutcome>>>,
+    /// Lowest failed sub-property id of this generation (cancels higher-id
+    /// tasks, see [`PreparedLevel::solve_task`]).
+    doomed: Arc<AtomicUsize>,
+    /// Unfinished tasks of this generation.
+    remaining: AtomicUsize,
+}
+
+impl GenJob {
+    fn new(node: usize, prepared: PreparedLevel) -> Self {
+        let n = prepared.num_tasks();
+        GenJob {
+            node,
+            prepared,
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            doomed: Arc::new(AtomicUsize::new(usize::MAX)),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    /// `true` once the deterministic merge can run: every task is finished,
+    /// or every task up to (and including) the lowest failed id is — results
+    /// behind the first counterexample can never be consumed, so the merge
+    /// need not wait for them.
+    fn merge_ready(&self) -> bool {
+        if self.remaining.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        let doomed = self.doomed.load(Ordering::SeqCst);
+        if doomed == usize::MAX {
+            return false;
+        }
+        self.results[..=doomed.min(self.results.len() - 1)]
+            .iter()
+            .all(|slot| slot.lock().expect("no poisoned locks").is_some())
+    }
+
+    fn take_outcomes(&self) -> Vec<Option<TaskOutcome>> {
+        self.results
+            .iter()
+            .map(|slot| slot.lock().expect("no poisoned locks").take())
+            .collect()
+    }
+}
+
+/// The shared ready queue workers pull from.
+struct WorkQueue {
+    queue: VecDeque<(Arc<GenJob>, usize)>,
+    shutdown: bool,
+}
+
+/// Runs the full flow on the pipelined graph executor.  Requires a backend
+/// that can fork ([`MiterSession::backend_can_fork`]).
+pub(crate) fn run_pipelined(
+    design: &ValidatedDesign,
+    config: &DetectorConfig,
+    miter: &mut MiterSession,
+    scheduler: &PropertyScheduler,
+    emit: &mut dyn FnMut(&FlowEvent),
+) -> Result<(DetectionReport, PipelineStats), DetectError> {
+    let workers = scheduler.effective_workers();
+    let pipeline = scheduler.pipelines_levels();
+    // With a single effective worker no two tasks can ever solve
+    // concurrently, so the coordinator solves everything itself: no worker
+    // threads, no condvar hand-offs, and generations at the merge frontier
+    // skip their snapshot clone (tasks fork straight off the unmutated
+    // master instead — identical content, identical reports).
+    let inline = workers.get() == 1;
+    let mut graph = FlowGraph::plan(design, config)?;
+    let start = Instant::now();
+    let d = design.design();
+    let names = |sigs: &[SignalId]| -> Vec<String> {
+        sigs.iter().map(|&s| d.signal_name(s).to_string()).collect()
+    };
+
+    let work = Mutex::new(WorkQueue {
+        queue: VecDeque::new(),
+        shutdown: false,
+    });
+    let work_cv = Condvar::new();
+    // Completed-task counter; workers bump it under the lock before
+    // notifying, so a coordinator that re-checks `remaining` after acquiring
+    // the lock can never miss a wake-up.
+    let progress = Mutex::new(0u64);
+    let progress_cv = Condvar::new();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let outstanding = AtomicUsize::new(0);
+    // Every generation dispatched so far; workers consult it to detect tasks
+    // of *other* generations still unfinished when they pick up work.
+    let active_gens: Mutex<Vec<Arc<GenJob>>> = Mutex::new(Vec::new());
+    let cross_level = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let worker = || loop {
+            let item = {
+                let mut w = work.lock().expect("no poisoned locks");
+                loop {
+                    if let Some(item) = w.queue.pop_front() {
+                        break Some(item);
+                    }
+                    if w.shutdown {
+                        break None;
+                    }
+                    w = work_cv.wait(w).expect("no poisoned locks");
+                }
+            };
+            let Some((job, index)) = item else { return };
+            {
+                let gens = active_gens.lock().expect("no poisoned locks");
+                if gens
+                    .iter()
+                    .any(|g| g.node != job.node && g.remaining.load(Ordering::SeqCst) > 0)
+                {
+                    cross_level.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let outcome = job.prepared.solve_task(index, &job.doomed, &cancelled);
+            *job.results[index].lock().expect("no poisoned locks") = Some(outcome);
+            job.remaining.fetch_sub(1, Ordering::SeqCst);
+            outstanding.fetch_sub(1, Ordering::SeqCst);
+            let mut completed = progress.lock().expect("no poisoned locks");
+            *completed += 1;
+            drop(completed);
+            progress_cv.notify_all();
+        };
+        if !inline {
+            for _ in 0..workers.get() {
+                scope.spawn(worker);
+            }
+        }
+
+        let dispatch = |job: &Arc<GenJob>, stats: &mut PipelineStats| {
+            let n = job.prepared.num_tasks();
+            stats.generations_prepared += 1;
+            stats.tasks_dispatched += n as u64;
+            if n == 0 || inline {
+                // Inline schedules solve at the merge frontier; nothing is
+                // handed to the (empty) pool.
+                return;
+            }
+            outstanding.fetch_add(n, Ordering::SeqCst);
+            active_gens
+                .lock()
+                .expect("no poisoned locks")
+                .push(Arc::clone(job));
+            let mut w = work.lock().expect("no poisoned locks");
+            for i in 0..n {
+                w.queue.push_back((Arc::clone(job), i));
+            }
+            drop(w);
+            work_cv.notify_all();
+        };
+
+        let mut coordinate = || -> Result<(DetectionReport, PipelineStats), DetectError> {
+            let mut stats = PipelineStats::default();
+            let mut fanout_levels: Vec<Vec<String>> = Vec::new();
+            let mut properties: Vec<PropertyTrace> = Vec::new();
+            let mut spurious_total = 0usize;
+            let mut solver_totals = SolverStats::default();
+            let mut level_jobs: Vec<Arc<GenJob>> = Vec::new();
+
+            let report = |outcome: DetectionOutcome,
+                          fanout_levels: Vec<Vec<String>>,
+                          properties: Vec<PropertyTrace>,
+                          spurious_resolved: usize,
+                          solver_totals: SolverStats| DetectionReport {
+                design: d.name().to_string(),
+                outcome,
+                fanout_levels,
+                properties,
+                spurious_resolved,
+                solver_totals,
+                total_duration: start.elapsed(),
+            };
+
+            // Set when speculative planning hit the iteration limit: the
+            // merge loop surfaces the same error deterministically when it
+            // reaches that level.
+            let mut planning_blocked = false;
+            let mut level_idx = 0usize;
+            while graph.ensure_level(design, level_idx)? {
+                // Prepare (at least) this level; speculative prepares beyond
+                // it happen while waiting below.
+                while level_jobs.len() <= level_idx {
+                    let next = level_jobs.len();
+                    let node = graph.level_node(next);
+                    let (node_id, property) = (
+                        node.id,
+                        node.property.clone().expect("level nodes carry properties"),
+                    );
+                    let job = Arc::new(GenJob::new(
+                        node_id,
+                        miter.prepare_level(design, &property, !inline),
+                    ));
+                    dispatch(&job, &mut stats);
+                    level_jobs.push(job);
+                }
+
+                let node = graph.level_node(level_idx).clone();
+                fanout_levels.push(names(&node.signals));
+                emit(&FlowEvent::LevelStarted {
+                    level: level_idx + 1,
+                    signals: names(&node.signals),
+                    node: node.id,
+                    deps: node.deps.clone(),
+                    dep_signals: names(&node.dep_signals),
+                });
+
+                let mut current_property =
+                    node.property.clone().expect("level nodes carry properties");
+                let proves = names(&current_property.prove_equal);
+                let mut current_job = Arc::clone(&level_jobs[level_idx]);
+                let mut resolved = 0usize;
+
+                let (trace, failed) = loop {
+                    if inline {
+                        // Solve the frontier generation right here: tasks
+                        // fork off the master when the generation skipped
+                        // its snapshot, off the snapshot when an earlier
+                        // force-prepare froze one.
+                        let cancelled_none = Arc::new(AtomicBool::new(false));
+                        for i in 0..current_job.prepared.num_tasks() {
+                            let mut slot =
+                                current_job.results[i].lock().expect("no poisoned locks");
+                            if slot.is_some() {
+                                continue;
+                            }
+                            let outcome = if current_job.prepared.has_snapshot() {
+                                current_job.prepared.solve_task(
+                                    i,
+                                    &current_job.doomed,
+                                    &cancelled_none,
+                                )
+                            } else {
+                                miter.solve_task_inline(
+                                    &current_job.prepared,
+                                    i,
+                                    &current_job.doomed,
+                                    &cancelled_none,
+                                )
+                            };
+                            *slot = Some(outcome);
+                            current_job.remaining.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    // Wait for the generation, preparing further levels
+                    // whenever the pool would otherwise run dry.
+                    loop {
+                        if current_job.merge_ready() {
+                            break;
+                        }
+                        if pipeline
+                            && !planning_blocked
+                            && !graph.levels_complete()
+                            && outstanding.load(Ordering::SeqCst) < workers.get()
+                            // A failing task on the merge frontier means the
+                            // flow is about to stop (or re-enqueue this very
+                            // level): encoding the next level now would only
+                            // delay that verdict.
+                            && current_job.doomed.load(Ordering::SeqCst) == usize::MAX
+                        {
+                            let next = level_jobs.len();
+                            match graph.ensure_level(design, next) {
+                                Ok(true) => {
+                                    // The merge frontier still has unfinished
+                                    // tasks (the loop condition), so this
+                                    // prepare encodes a new level while an
+                                    // earlier one is solving.
+                                    stats.pipelined_prepares += 1;
+                                    let node = graph.level_node(next);
+                                    let (node_id, property) = (
+                                        node.id,
+                                        node.property
+                                            .clone()
+                                            .expect("level nodes carry properties"),
+                                    );
+                                    let job = Arc::new(GenJob::new(
+                                        node_id,
+                                        miter.prepare_level(design, &property, true),
+                                    ));
+                                    dispatch(&job, &mut stats);
+                                    level_jobs.push(job);
+                                    continue;
+                                }
+                                Ok(false) => continue,
+                                Err(_) => {
+                                    planning_blocked = true;
+                                    continue;
+                                }
+                            }
+                        }
+                        let completed = progress.lock().expect("no poisoned locks");
+                        if current_job.merge_ready() {
+                            break;
+                        }
+                        drop(progress_cv.wait(completed).expect("no poisoned locks"));
+                    }
+
+                    let outcomes = current_job.take_outcomes();
+                    let check = miter
+                        .merge_level(design, &current_job.prepared, outcomes)
+                        .map_err(|e| DetectError::Backend {
+                            message: e.to_string(),
+                        })?;
+                    // The generation is decided: free its snapshot clone
+                    // (in-flight stragglers keep their own forks alive) and
+                    // stop scanning it in the workers' overlap check.
+                    current_job.prepared.release_snapshot();
+                    active_gens
+                        .lock()
+                        .expect("no poisoned locks")
+                        .retain(|g| g.node != current_job.node);
+                    solver_totals.accumulate(&check.stats.solver);
+                    match &check.outcome {
+                        CheckOutcome::Holds => {
+                            emit(&FlowEvent::PropertyProved {
+                                property: check.property.clone(),
+                                duration: check.stats.duration,
+                                spurious_resolved: resolved,
+                                solver: check.stats.solver,
+                                node: current_job.node,
+                            });
+                            break (
+                                PropertyTrace {
+                                    name: check.property.clone(),
+                                    proves: proves.clone(),
+                                    report: check,
+                                    spurious_resolved: resolved,
+                                },
+                                None,
+                            );
+                        }
+                        CheckOutcome::Fails(cex) => {
+                            let diag: Diagnosis = diagnose(
+                                design,
+                                cex,
+                                &current_property.assume_equal,
+                                &config.benign_state,
+                            );
+                            let spurious = diag.is_spurious();
+                            emit(&FlowEvent::CounterexampleFound {
+                                property: check.property.clone(),
+                                diffs: cex.diff_names().iter().map(ToString::to_string).collect(),
+                                spurious,
+                                solver: check.stats.solver,
+                                node: current_job.node,
+                            });
+                            if !spurious {
+                                let cex = (**cex).clone();
+                                break (
+                                    PropertyTrace {
+                                        name: check.property.clone(),
+                                        proves: proves.clone(),
+                                        report: check,
+                                        spurious_resolved: resolved,
+                                    },
+                                    Some(cex),
+                                );
+                            }
+                            if resolved >= config.max_resolution_iterations {
+                                return Err(DetectError::ResolutionLimit {
+                                    property: current_property.name.clone(),
+                                    limit: config.max_resolution_iterations,
+                                });
+                            }
+                            resolved += 1;
+                            // Assume the benign fanin of the whole level
+                            // equal, not only the registers this model
+                            // happened to flip (see `check_with_resolution`).
+                            let waived = benign_fanin_of(
+                                design,
+                                &current_property.prove_equal,
+                                &current_property.assume_equal,
+                                &config.benign_state,
+                            );
+                            current_property = current_property.with_extra_assumptions(&waived);
+                            // Determinism: a resolution round must always be
+                            // encoded against the fully prepared master (or
+                            // the deterministic point where planning errors),
+                            // so its encoding cannot depend on how far
+                            // speculation happened to get.
+                            while !planning_blocked {
+                                let next = level_jobs.len();
+                                match graph.ensure_level(design, next) {
+                                    Ok(true) => {
+                                        let node = graph.level_node(next);
+                                        let (node_id, property) = (
+                                            node.id,
+                                            node.property
+                                                .clone()
+                                                .expect("level nodes carry properties"),
+                                        );
+                                        let job = Arc::new(GenJob::new(
+                                            node_id,
+                                            miter.prepare_level(design, &property, true),
+                                        ));
+                                        dispatch(&job, &mut stats);
+                                        level_jobs.push(job);
+                                    }
+                                    Ok(false) => break,
+                                    Err(_) => planning_blocked = true,
+                                }
+                            }
+                            let res_node =
+                                graph.add_resolution(node.id, resolved, current_property.clone());
+                            emit(&FlowEvent::ResolutionRound {
+                                property: current_property.name.clone(),
+                                round: resolved,
+                                waived: names(&waived),
+                                node: res_node,
+                            });
+                            if pipeline && outstanding.load(Ordering::SeqCst) > 0 {
+                                // The force-prepared levels' forks are still
+                                // solving while the master encodes this
+                                // round: cross-node encode/solve overlap.
+                                stats.pipelined_prepares += 1;
+                            }
+                            let job = Arc::new(GenJob::new(
+                                res_node,
+                                miter.prepare_level(design, &current_property, !inline),
+                            ));
+                            dispatch(&job, &mut stats);
+                            current_job = job;
+                        }
+                    }
+                };
+
+                spurious_total += trace.spurious_resolved;
+                properties.push(trace);
+                if let Some(cex) = failed {
+                    // Same end-of-flow hygiene as the secure exit: the
+                    // pending activation literals retire and the master
+                    // compacts, so a reused session starts clean.  The delta
+                    // is deliberately NOT folded into the report: which acts
+                    // are still pending depends on how far speculation got.
+                    let _ = miter.finish_level_flow();
+                    let detected_by = if level_idx == 0 {
+                        DetectedBy::InitProperty
+                    } else {
+                        DetectedBy::FanoutProperty(level_idx)
+                    };
+                    return Ok((
+                        report(
+                            DetectionOutcome::PropertyFailed {
+                                detected_by,
+                                counterexample: Box::new(cex),
+                            },
+                            fanout_levels,
+                            properties,
+                            spurious_total,
+                            solver_totals,
+                        ),
+                        stats,
+                    ));
+                }
+                level_idx += 1;
+            }
+
+            // End-of-flow hygiene: retire the last generation's activation
+            // literals and compact.  The delta stays out of the report —
+            // which acts are still pending depends on how far speculation
+            // got, and reports must be schedule-invariant.
+            let _ = miter.finish_level_flow();
+            let (coverage_node, covered, uncovered) = graph.finish_coverage(design)?;
+            let uncovered = names(&uncovered);
+            emit(&FlowEvent::Coverage {
+                covered,
+                uncovered: uncovered.clone(),
+                node: coverage_node,
+            });
+            let outcome = if uncovered.is_empty() {
+                DetectionOutcome::Secure
+            } else {
+                DetectionOutcome::UncoveredSignals { signals: uncovered }
+            };
+            Ok((
+                report(
+                    outcome,
+                    fanout_levels,
+                    properties,
+                    spurious_total,
+                    solver_totals,
+                ),
+                stats,
+            ))
+        };
+
+        let result = coordinate().map(|(report, mut stats)| {
+            stats.cross_level_solves = cross_level.load(Ordering::Relaxed);
+            (report, stats)
+        });
+        // Wind the pool down: cancel speculative work still in flight and
+        // wake every worker so the scope can join.
+        cancelled.store(true, Ordering::SeqCst);
+        {
+            let mut w = work.lock().expect("no poisoned locks");
+            w.queue.clear();
+            w.shutdown = true;
+        }
+        work_cv.notify_all();
+        result
+    })
 }
 
 #[cfg(test)]
@@ -118,8 +747,11 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_carries_its_worker_count() {
+    fn scheduler_carries_its_worker_count_and_pipelining() {
         let jobs = NonZeroUsize::new(7).unwrap();
-        assert_eq!(PropertyScheduler::new(jobs).jobs(), jobs);
+        let scheduler = PropertyScheduler::new(jobs);
+        assert_eq!(scheduler.jobs(), jobs);
+        assert!(!scheduler.with_level_pipelining(false).pipelines_levels());
+        assert!(scheduler.with_level_pipelining(true).pipelines_levels());
     }
 }

@@ -9,13 +9,38 @@
 //! ([`BackendChoice`]): the bundled CDCL solver or any external
 //! DIMACS-speaking solver binary.
 //!
+//! # The flow-graph model
+//!
+//! Algorithm 1 is *presented* as a sequential loop, but the flow is executed
+//! here as a **dependency graph** ([`FlowGraph`](crate::FlowGraph)): one
+//! node per fanout level (carrying the level's interval property and an
+//! edge to the level it structurally depends on), dynamically appended
+//! resolution-round nodes, and a final coverage node.  Planning the graph
+//! is purely structural, so every engine walks the same nodes:
+//!
+//! * the **sequential engines** (the deprecated fresh-solve
+//!   [`TrojanDetector`](crate::TrojanDetector) and
+//!   [`EngineChoice::Sequential`]) visit nodes in id order through
+//!   [`run_flow`];
+//! * the default **pipelined executor** ([`EngineChoice::Scheduled`], see
+//!   [`PropertyScheduler`]) splits each level node into per-signal
+//!   sub-properties, freezes each level behind a forked solver snapshot, and
+//!   lets one worker pool solve sub-properties of *different* levels
+//!   concurrently while the master encodes ahead.  Results merge in node
+//!   order, so reports are byte-identical for every worker count and with
+//!   pipelining on or off ([`DetectionReport::normalized`]).
+//!
+//! [`DetectionReport::normalized`]: crate::DetectionReport::normalized
+//!
 //! Progress is observable while the flow runs through the streaming
 //! [`FlowEvent`] API: register an observer with
 //! [`DetectionSession::on_event`] (or pass one to
 //! [`DetectionSession::run_with_observer`]) and receive one event per fanout
 //! level, proved property, counterexample, resolution round and coverage
-//! verdict.  The CLI renders these live; the benchmark harness uses them for
-//! per-property timing without instrumenting the flow.
+//! verdict.  Every event names its flow-graph node (and a level's events
+//! carry its dependency provenance), so observers can reconstruct the graph
+//! the run walked.  The CLI renders these live; the benchmark harness uses
+//! them for per-property timing without instrumenting the flow.
 //!
 //! # Event contract
 //!
@@ -35,11 +60,13 @@
 //! 2. If every property holds, one [`FlowEvent::Coverage`] event with the
 //!    uncovered-signal verdict.
 //!
-//! Observers are `FnMut` callbacks; they must not assume any events beyond
-//! this contract (future versions may add variants — match with a wildcard
-//! arm).
+//! The stream is emitted at the deterministic merge frontier, so the
+//! contract holds *unchanged* under the pipelined executor: levels may
+//! solve out of order internally, but observers always see them in flow
+//! order.  Observers are `FnMut` callbacks; they must not assume any events
+//! beyond this contract (future versions may add variants — match with a
+//! wildcard arm).
 
-use std::collections::BTreeSet;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -48,15 +75,15 @@ use std::time::{Duration, Instant};
 use htd_ipc::{
     CheckOutcome, Counterexample, IntervalProperty, MiterSession, PropertyReport, SessionStats,
 };
-use htd_rtl::structural::{get_fanout, uncovered_signals};
 use htd_rtl::{SignalId, ValidatedDesign};
 use htd_sat::{DimacsProcessBackend, SatBackend, Solver, SolverStats};
 
 use crate::diagnosis::{diagnose, Diagnosis};
 use crate::error::DetectError;
 use crate::flow::DetectorConfig;
+use crate::flowgraph::FlowGraph;
 use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
-use crate::scheduler::{PropertyScheduler, SchedulerEngine};
+use crate::scheduler::{run_pipelined, PipelineStats, PropertyScheduler, SchedulerEngine};
 
 /// Which SAT backend a session solves with.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -136,12 +163,15 @@ impl std::fmt::Display for BackendChoice {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineChoice {
     /// The single-miter incremental engine: each level is one disjunctive
-    /// miter solved on the session's master solver.  Kept as the sequential
-    /// reference path for perf-trajectory benchmarks.
+    /// miter solved on the session's master solver, one graph node at a
+    /// time.  Kept as the sequential reference path for perf-trajectory
+    /// benchmarks.
     Sequential,
-    /// The sharded [`PropertyScheduler`] (default): each level is split into
-    /// per-signal sub-properties solved on forked solver shards, with a
-    /// deterministic merge.  Reports are identical for any worker count.
+    /// The pipelined flow-graph executor (default): each level node is split
+    /// into per-signal sub-properties solved on forked solver shards, with
+    /// sub-properties of *different* levels solving concurrently and a
+    /// deterministic node-order merge.  Reports are identical for any worker
+    /// count and with pipelining on or off (see [`PropertyScheduler`]).
     Scheduled(PropertyScheduler),
 }
 
@@ -166,6 +196,13 @@ pub enum FlowEvent {
         level: usize,
         /// Names of the signals in the level.
         signals: Vec<String>,
+        /// The level's [`FlowGraph`](crate::FlowGraph) node id.
+        node: usize,
+        /// Node ids this level depends on (the previous level, if any).
+        deps: Vec<usize>,
+        /// Dependency provenance: names of the previous level's prove
+        /// signals that feed this level's antecedent cone.
+        dep_signals: Vec<String>,
     },
     /// A property was proved (after `spurious_resolved` resolution rounds).
     PropertyProved {
@@ -178,6 +215,9 @@ pub enum FlowEvent {
         /// Solver work of the final (successful) check: conflicts,
         /// propagations, restarts, clause-GC and LBD counters.
         solver: SolverStats,
+        /// The flow-graph node the final (successful) check belongs to: the
+        /// level node, or the last resolution-round node.
+        node: usize,
     },
     /// The checker found a counterexample to a property.
     CounterexampleFound {
@@ -191,9 +231,12 @@ pub enum FlowEvent {
         spurious: bool,
         /// Solver work of the check that produced the counterexample.
         solver: SolverStats,
+        /// The flow-graph node whose check produced the counterexample.
+        node: usize,
     },
     /// A spurious counterexample is being discharged by assuming the waived
-    /// registers equal and re-verifying.
+    /// registers equal and re-verifying: the round is a re-enqueued
+    /// flow-graph node, not an inner loop.
     ResolutionRound {
         /// The property name.
         property: String,
@@ -201,6 +244,8 @@ pub enum FlowEvent {
         round: usize,
         /// Names of the newly assumed (waived) registers.
         waived: Vec<String>,
+        /// The freshly appended resolution node's id.
+        node: usize,
     },
     /// The final signal-coverage check ran (only reached when every property
     /// holds).
@@ -210,6 +255,8 @@ pub enum FlowEvent {
         /// Names of the uncovered signals (empty means the design is
         /// verified secure).
         uncovered: Vec<String>,
+        /// The coverage node's id.
+        node: usize,
     },
 }
 
@@ -221,6 +268,13 @@ pub(crate) trait PropertyEngine {
         design: &ValidatedDesign,
         property: &IntervalProperty,
     ) -> Result<PropertyReport, DetectError>;
+
+    /// End-of-flow hook, called once after every level held: engines with
+    /// deferred clause retirement flush and compact here, returning the
+    /// solver-work delta to fold into the flow totals.
+    fn finish(&mut self) -> SolverStats {
+        SolverStats::default()
+    }
 }
 
 /// Engine over a [`MiterSession`] (the incremental path).
@@ -368,6 +422,7 @@ impl SessionBuilder {
             engine: self.engine,
             miter,
             observers: Vec::new(),
+            pipeline_stats: PipelineStats::default(),
         })
     }
 }
@@ -388,6 +443,7 @@ pub struct DetectionSession {
     engine: EngineChoice,
     miter: MiterSession,
     observers: Vec<EventObserver>,
+    pipeline_stats: PipelineStats,
 }
 
 impl std::fmt::Debug for DetectionSession {
@@ -434,6 +490,26 @@ impl DetectionSession {
         self.miter.stats()
     }
 
+    /// The master backend's cumulative counters (variables, clauses, queries
+    /// and solver work including clause-GC).  Unlike the per-run
+    /// [`DetectionReport`], these may depend on how far the executor
+    /// speculated.
+    #[must_use]
+    pub fn backend_stats(&self) -> htd_sat::BackendStats {
+        self.miter.backend_stats()
+    }
+
+    /// Schedule counters of the most recent [`run`](Self::run) under the
+    /// pipelined executor: generations prepared, tasks dispatched and — the
+    /// cross-level evidence — tasks that solved while a task of a different
+    /// level was in flight.  All zero before the first run and for the
+    /// sequential/non-forkable paths.  Unlike the report, these describe the
+    /// schedule actually taken and may vary between runs.
+    #[must_use]
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline_stats
+    }
+
     /// Registers a streaming observer receiving every [`FlowEvent`] of
     /// subsequent [`run`](Self::run) calls.
     pub fn on_event(&mut self, observer: impl FnMut(&FlowEvent) + 'static) {
@@ -465,6 +541,7 @@ impl DetectionSession {
             engine: engine_choice,
             miter,
             observers,
+            pipeline_stats,
             ..
         } = self;
         let mut emit = |event: &FlowEvent| {
@@ -478,7 +555,14 @@ impl DetectionSession {
                 let mut engine = SessionEngine { miter };
                 run_flow(design, config, &mut engine, &mut emit)
             }
+            EngineChoice::Scheduled(scheduler) if miter.backend_can_fork() => {
+                let (report, stats) = run_pipelined(design, config, miter, scheduler, &mut emit)?;
+                *pipeline_stats = stats;
+                Ok(report)
+            }
             EngineChoice::Scheduled(scheduler) => {
+                // Non-forkable backends cannot pipeline (no frozen
+                // snapshots); fall back to sharded level-at-a-time checking.
                 let mut engine = SchedulerEngine {
                     miter,
                     jobs: scheduler.jobs(),
@@ -489,17 +573,24 @@ impl DetectionSession {
     }
 }
 
-/// Algorithm 1 of the paper, generic over the property-checking engine.
+/// Algorithm 1 of the paper as a walk over the planned [`FlowGraph`], generic
+/// over the property-checking engine.
 ///
-/// Shared by [`DetectionSession`] (incremental engine) and the legacy
+/// Shared by [`EngineChoice::Sequential`] and the legacy
 /// [`TrojanDetector`](crate::TrojanDetector) (fresh-solve engine), so the two
-/// paths cannot drift apart.
+/// paths cannot drift apart; the default pipelined executor
+/// (`scheduler::run_pipelined`) walks the *same* graph with a worker pool.
+/// There is no structural per-level loop here: the levels, their properties
+/// and their dependency edges were all planned up front, and this driver
+/// merely visits the nodes in id order, appending resolution nodes as
+/// spurious counterexamples are diagnosed.
 pub(crate) fn run_flow(
     design: &ValidatedDesign,
     config: &DetectorConfig,
     engine: &mut dyn PropertyEngine,
     emit: &mut dyn FnMut(&FlowEvent),
 ) -> Result<DetectionReport, DetectError> {
+    let mut graph = FlowGraph::plan(design, config)?;
     let start = Instant::now();
     let d = design.design();
     let names = |sigs: &[SignalId]| -> Vec<String> {
@@ -525,73 +616,40 @@ pub(crate) fn run_flow(
         total_duration: start.elapsed(),
     };
 
-    // Step 1: fanouts_CC1 and the init property.
-    let inputs = d.inputs();
-    let fanouts_cc1 = get_fanout(design, &inputs);
-    fanout_levels.push(names(&fanouts_cc1));
-    emit(&FlowEvent::LevelStarted {
-        level: 1,
-        signals: names(&fanouts_cc1),
-    });
-    let init = IntervalProperty::new("init_property", Vec::new(), fanouts_cc1.clone());
-    let (trace, failed) =
-        check_with_resolution(design, config, engine, init, emit, &mut solver_totals)?;
-    spurious_total += trace.spurious_resolved;
-    properties.push(trace);
-    if let Some(cex) = failed {
-        return Ok(report(
-            DetectionOutcome::PropertyFailed {
-                detected_by: DetectedBy::InitProperty,
-                counterexample: Box::new(cex),
-            },
-            fanout_levels,
-            properties,
-            spurious_total,
-            solver_totals,
-        ));
-    }
-
-    // Step 2: iterate fanout properties until no new signal is reached.
-    let mut fanouts_all: BTreeSet<SignalId> = BTreeSet::new();
-    let mut fanouts_cck = fanouts_cc1;
-    let mut k = 1usize;
-    loop {
-        if k > config.max_flow_iterations {
-            return Err(DetectError::IterationLimit {
-                limit: config.max_flow_iterations,
-            });
-        }
-        fanouts_all.extend(fanouts_cck.iter().copied());
-        let fanouts_next = get_fanout(design, &fanouts_cck);
-        // Termination (Alg. 1, line 16): stop when the next level adds no new
-        // signal.
-        let adds_new = fanouts_next.iter().any(|s| !fanouts_all.contains(s));
-        if !adds_new {
-            break;
-        }
-        fanout_levels.push(names(&fanouts_next));
+    let mut level_idx = 0usize;
+    while graph.ensure_level(design, level_idx)? {
+        let node = graph.level_node(level_idx).clone();
+        let property = node.property.clone().expect("level nodes carry properties");
+        fanout_levels.push(names(&node.signals));
         emit(&FlowEvent::LevelStarted {
-            level: k + 1,
-            signals: names(&fanouts_next),
+            level: level_idx + 1,
+            signals: names(&node.signals),
+            node: node.id,
+            deps: node.deps.clone(),
+            dep_signals: names(&node.dep_signals),
         });
-        let mut assume = fanouts_cck.clone();
-        if config.assume_previously_proven {
-            for &s in &fanouts_all {
-                if !assume.contains(&s) {
-                    assume.push(s);
-                }
-            }
-        }
-        let property =
-            IntervalProperty::new(format!("fanout_property_{k}"), assume, fanouts_next.clone());
-        let (trace, failed) =
-            check_with_resolution(design, config, engine, property, emit, &mut solver_totals)?;
+        let (trace, failed) = check_with_resolution(
+            design,
+            config,
+            engine,
+            property,
+            &mut graph,
+            node.id,
+            emit,
+            &mut solver_totals,
+        )?;
         spurious_total += trace.spurious_resolved;
         properties.push(trace);
         if let Some(cex) = failed {
+            let _ = engine.finish();
+            let detected_by = if level_idx == 0 {
+                DetectedBy::InitProperty
+            } else {
+                DetectedBy::FanoutProperty(level_idx)
+            };
             return Ok(report(
                 DetectionOutcome::PropertyFailed {
-                    detected_by: DetectedBy::FanoutProperty(k),
+                    detected_by,
                     counterexample: Box::new(cex),
                 },
                 fanout_levels,
@@ -600,23 +658,22 @@ pub(crate) fn run_flow(
                 solver_totals,
             ));
         }
-        fanouts_cck = fanouts_next;
-        k += 1;
+        level_idx += 1;
     }
 
-    // Step 3: signal-coverage check (case 2 of Sec. IV-D).
-    let covered: Vec<SignalId> = fanouts_all.iter().copied().collect();
-    let uncovered = uncovered_signals(design, &covered);
+    // The coverage node (case 2 of Sec. IV-D).
+    let _ = engine.finish();
+    let (coverage_node, covered, uncovered) = graph.finish_coverage(design)?;
+    let uncovered = names(&uncovered);
     emit(&FlowEvent::Coverage {
-        covered: covered.len(),
-        uncovered: names(&uncovered),
+        covered,
+        uncovered: uncovered.clone(),
+        node: coverage_node,
     });
     let outcome = if uncovered.is_empty() {
         DetectionOutcome::Secure
     } else {
-        DetectionOutcome::UncoveredSignals {
-            signals: names(&uncovered),
-        }
+        DetectionOutcome::UncoveredSignals { signals: uncovered }
     };
     Ok(report(
         outcome,
@@ -627,13 +684,18 @@ pub(crate) fn run_flow(
     ))
 }
 
-/// Checks one property, resolving spurious counterexamples by adding
-/// equality assumptions for waived benign state (Sec. V-B).
+/// Checks one level node's property, resolving spurious counterexamples by
+/// appending resolution-round nodes to the graph (Sec. V-B): each round
+/// re-enqueues the property with equality assumptions for the waived benign
+/// state.
+#[allow(clippy::too_many_arguments)]
 fn check_with_resolution(
     design: &ValidatedDesign,
     config: &DetectorConfig,
     engine: &mut dyn PropertyEngine,
     property: IntervalProperty,
+    graph: &mut FlowGraph,
+    level_node: usize,
     emit: &mut dyn FnMut(&FlowEvent),
     solver_totals: &mut SolverStats,
 ) -> Result<(PropertyTrace, Option<Counterexample>), DetectError> {
@@ -644,6 +706,7 @@ fn check_with_resolution(
         .map(|&s| d.signal_name(s).to_string())
         .collect();
     let mut current = property;
+    let mut current_node = level_node;
     let mut resolved = 0usize;
     loop {
         let report: PropertyReport = engine.check(design, &current)?;
@@ -656,6 +719,7 @@ fn check_with_resolution(
                     duration: report.stats.duration,
                     spurious_resolved: resolved,
                     solver: report.stats.solver,
+                    node: current_node,
                 });
                 return Ok((
                     PropertyTrace {
@@ -676,6 +740,7 @@ fn check_with_resolution(
                     diffs: cex.diff_names().iter().map(ToString::to_string).collect(),
                     spurious,
                     solver: report.stats.solver,
+                    node: current_node,
                 });
                 if spurious {
                     if resolved >= config.max_resolution_iterations {
@@ -696,6 +761,8 @@ fn check_with_resolution(
                         &current.assume_equal,
                         &config.benign_state,
                     );
+                    current = current.with_extra_assumptions(&waived);
+                    current_node = graph.add_resolution(current_node, resolved, current.clone());
                     emit(&FlowEvent::ResolutionRound {
                         property: current.name.clone(),
                         round: resolved,
@@ -703,8 +770,8 @@ fn check_with_resolution(
                             .iter()
                             .map(|&s| d.signal_name(s).to_string())
                             .collect(),
+                        node: current_node,
                     });
-                    current = current.with_extra_assumptions(&waived);
                     continue;
                 }
                 let cex = (**cex).clone();

@@ -32,8 +32,8 @@
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use htd_rtl::{SignalId, SignalKind, ValidatedDesign};
@@ -70,7 +70,9 @@ pub struct SessionStats {
     /// level nodes common to several properties are bit-blasted once per
     /// epoch instead of once per property.
     pub epoch_rebinds: u64,
-    /// Per-signal solve tasks dispatched by [`MiterSession::check_level`].
+    /// Per-signal solve tasks whose generation was merged into a verdict
+    /// (speculatively prepared generations that are discarded after an
+    /// earlier failure do not count).
     pub parallel_tasks: u64,
     /// Tasks skipped because an earlier (lower-id) task had already produced
     /// the level's counterexample.
@@ -132,6 +134,12 @@ pub struct MiterSession {
     /// antecedent merges the same registers reuse these contexts, so shared
     /// word-level cones are lowered once per epoch, not once per property.
     epoch: Option<EpochCtx>,
+    /// Activation literals of the most recently prepared generation, retired
+    /// (as permanent unit clauses) when the *next* generation is prepared.
+    /// Deferring the retirement keeps the master mutation stream a pure
+    /// function of the prepare order, so pipelined and non-pipelined flows
+    /// see byte-identical master states at every snapshot.
+    pending_acts: Vec<Var>,
     stats: SessionStats,
 }
 
@@ -150,21 +158,292 @@ struct LevelTask {
     cone: Vec<Var>,
 }
 
+/// A generation's frozen fork source.
+enum Snapshot {
+    /// No snapshot: taskless generation, non-forkable backend, or an inline
+    /// schedule that forks the unmutated master at solve time.
+    None,
+    /// Single-task generations: the sole task takes the snapshot and solves
+    /// on it directly (no second clone).
+    Exclusive(Mutex<Option<Box<dyn SatBackend>>>),
+    /// Multi-task generations: workers clone an `Arc` handle under a brief
+    /// lock and fork outside it, so snapshot clones do not serialise; the
+    /// coordinator releases the handle once the generation merges, freeing
+    /// the clause database as soon as the last in-flight task drops its
+    /// reference.
+    Shared(Mutex<Option<Arc<dyn SatBackend>>>),
+}
+
+impl Snapshot {
+    fn is_some(&self) -> bool {
+        match self {
+            Snapshot::None => false,
+            Snapshot::Exclusive(slot) => slot.lock().expect("no poisoned locks").is_some(),
+            Snapshot::Shared(slot) => slot.lock().expect("no poisoned locks").is_some(),
+        }
+    }
+
+    fn release(&self) {
+        match self {
+            Snapshot::None => {}
+            Snapshot::Exclusive(slot) => drop(slot.lock().expect("no poisoned locks").take()),
+            Snapshot::Shared(slot) => drop(slot.lock().expect("no poisoned locks").take()),
+        }
+    }
+}
+
 /// What one solve task produced, recorded by whichever worker ran it.
-enum TaskOutcome {
+enum TaskResult {
     /// The sub-property holds; per-task solver work and query count.
     Unsat(SolverStats, u64),
     /// A counterexample was found on a forked shard (the shard is kept alive
     /// so its model can be read during reconstruction).
     Sat(SolverStats, u64, Box<dyn SatBackend>),
-    /// A counterexample was found on the master (non-forkable fallback);
-    /// deltas are zero because the master's own before/after snapshot
-    /// already accounts for the work.
+    /// A counterexample was found on the master (non-forkable fallback); the
+    /// model is read from the master itself during reconstruction.
     MasterSat(SolverStats, u64),
-    /// Cancelled: a lower-id task had already failed.
+    /// Cancelled: a lower-id task had already failed, or the whole flow was
+    /// cancelled behind an earlier generation's verdict.
     Skipped,
     /// The backend infrastructure failed.
     Error(BackendError),
+}
+
+/// The opaque outcome of one sub-property solve: produced by
+/// [`PreparedLevel::solve_task`] (or the session's non-forkable master
+/// fallback) and consumed by [`MiterSession::merge_level`].
+pub struct TaskOutcome(TaskResult);
+
+impl TaskOutcome {
+    /// `true` if this outcome ends its level (a counterexample or an
+    /// infrastructure error): sequential drivers stop dispatching the
+    /// remaining sub-properties of the generation.
+    #[must_use]
+    pub fn ends_level(&self) -> bool {
+        matches!(
+            self.0,
+            TaskResult::Sat(..) | TaskResult::MasterSat(..) | TaskResult::Error(..)
+        )
+    }
+
+    fn skipped() -> Self {
+        TaskOutcome(TaskResult::Skipped)
+    }
+}
+
+impl std::fmt::Debug for TaskOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match &self.0 {
+            TaskResult::Unsat(..) => "TaskOutcome::Unsat",
+            TaskResult::Sat(..) => "TaskOutcome::Sat",
+            TaskResult::MasterSat(..) => "TaskOutcome::MasterSat",
+            TaskResult::Skipped => "TaskOutcome::Skipped",
+            TaskResult::Error(..) => "TaskOutcome::Error",
+        })
+    }
+}
+
+/// One prepared (lowered, Tseitin-encoded and snapshot-frozen) generation of
+/// the flow graph: a fanout level's property — or one of its resolution
+/// rounds — split into per-signal sub-property tasks.
+///
+/// A `PreparedLevel` is created on the master session by
+/// [`MiterSession::prepare_level`], after which the master is free to encode
+/// *later* generations: every task solves against the generation's own
+/// frozen snapshot, so levels encode and solve pipelined.  Results are
+/// position-keyed and merged deterministically by
+/// [`MiterSession::merge_level`].
+pub struct PreparedLevel {
+    property_name: String,
+    tasks: Vec<LevelTask>,
+    /// The frozen master snapshot tasks fork from (`None` when the backend
+    /// cannot fork or the generation has no tasks).  Single-task generations
+    /// hold it exclusively and solve on it directly instead of paying for a
+    /// second clone; multi-task generations share it so workers fork
+    /// *outside* any lock.
+    snapshot: Snapshot,
+    /// This generation's epoch starting-state words, kept for counterexample
+    /// reconstruction at merge time (the session's live epoch may already
+    /// belong to a later generation).
+    regs: [FxHashMap<SignalId, BitVec>; 2],
+    start: Instant,
+    structurally_proved: u64,
+    /// Master-side work bracketed over this generation's prepare: AIG and
+    /// CNF growth plus any clause-GC the master ran before the snapshot.
+    aig_nodes: usize,
+    aig_ands: usize,
+    strash_hits: u64,
+    cnf_vars: usize,
+    cnf_clauses: usize,
+    master_solver: SolverStats,
+}
+
+impl std::fmt::Debug for PreparedLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedLevel")
+            .field("property", &self.property_name)
+            .field("tasks", &self.tasks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedLevel {
+    /// The name of the property this generation checks.
+    #[must_use]
+    pub fn property_name(&self) -> &str {
+        &self.property_name
+    }
+
+    /// Number of per-signal solve tasks (0 when the level discharged
+    /// structurally or vacuously).
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the generation carries a frozen snapshot, i.e. its tasks can
+    /// be solved concurrently (and concurrently with other generations).
+    #[must_use]
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Releases the generation's snapshot once its results are merged: the
+    /// clause-database clone is freed as soon as no in-flight task still
+    /// references it.  Idempotent.
+    pub fn release_snapshot(&self) {
+        self.snapshot.release();
+    }
+
+    /// Solves sub-property `index` on a fork of the generation's snapshot.
+    ///
+    /// `doomed` is the generation's shared lowest-failed-task id (initialise
+    /// to `usize::MAX`): a task behind a lower-id failure is skipped, or
+    /// cancelled mid-solve, because the deterministic merge can never consume
+    /// its result.  `cancelled` aborts speculative work when an *earlier
+    /// generation's* verdict has already ended the flow.
+    ///
+    /// Any worker thread may call this for any index; results are
+    /// deterministic because every task solves from the same frozen snapshot.
+    #[must_use]
+    pub fn solve_task(
+        &self,
+        index: usize,
+        doomed: &Arc<AtomicUsize>,
+        cancelled: &Arc<AtomicBool>,
+    ) -> TaskOutcome {
+        if doomed.load(Ordering::SeqCst) < index || cancelled.load(Ordering::SeqCst) {
+            return TaskOutcome::skipped();
+        }
+        let shard = match &self.snapshot {
+            Snapshot::None => None,
+            // Sole task of the generation: solve on the snapshot itself
+            // instead of paying for a second clone.
+            Snapshot::Exclusive(slot) => slot.lock().expect("no poisoned locks").take(),
+            Snapshot::Shared(slot) => {
+                // Clone the handle under the lock, fork outside it: clause
+                // database clones never serialise the workers.
+                let handle = slot.lock().expect("no poisoned locks").clone();
+                handle.and_then(|master| master.fork())
+            }
+        };
+        self.solve_on(shard, index, doomed, cancelled)
+    }
+
+    /// The shared solving core: masks, focuses and solves one task on an
+    /// already-acquired shard.
+    fn solve_on(
+        &self,
+        shard: Option<Box<dyn SatBackend>>,
+        index: usize,
+        doomed: &Arc<AtomicUsize>,
+        cancelled: &Arc<AtomicBool>,
+    ) -> TaskOutcome {
+        let task = &self.tasks[index];
+        let Some(mut shard) = shard else {
+            doomed.fetch_min(index, Ordering::SeqCst);
+            return TaskOutcome(TaskResult::Error(BackendError {
+                message: "generation snapshot unavailable (backend advertised can_fork but \
+                          fork() returned None)"
+                    .to_string(),
+            }));
+        };
+        shard.mask_all_decisions();
+        for &v in &task.cone {
+            shard.set_decision_var(v, true);
+        }
+        // Cancel mid-solve once a lower-id task has failed (or the flow
+        // moved on): this task's result can no longer be consumed by the
+        // deterministic merge.
+        let doomed_check = Arc::clone(doomed);
+        let cancelled_check = Arc::clone(cancelled);
+        shard.set_interrupt(Arc::new(move || {
+            doomed_check.load(Ordering::SeqCst) < index || cancelled_check.load(Ordering::SeqCst)
+        }));
+        let before = shard.stats();
+        match shard.solve_under(&task.assumptions) {
+            Err(e) => {
+                doomed.fetch_min(index, Ordering::SeqCst);
+                TaskOutcome(TaskResult::Error(e))
+            }
+            Ok(SolveResult::Interrupted) => TaskOutcome::skipped(),
+            Ok(SolveResult::Unsat) => {
+                let after = shard.stats();
+                TaskOutcome(TaskResult::Unsat(
+                    after.solver.delta_since(&before.solver),
+                    after.queries - before.queries,
+                ))
+            }
+            Ok(SolveResult::Sat) => {
+                doomed.fetch_min(index, Ordering::SeqCst);
+                let after = shard.stats();
+                TaskOutcome(TaskResult::Sat(
+                    after.solver.delta_since(&before.solver),
+                    after.queries - before.queries,
+                    shard,
+                ))
+            }
+        }
+    }
+}
+
+/// Solves every task of a prepared generation with up to `jobs` worker
+/// threads pulling from a shared queue, honouring the PR-2 cancellation
+/// semantics (tasks behind a lower-id failure are skipped or interrupted).
+/// The building block of [`MiterSession::check_level`]; the flow-graph
+/// executor in `htd-core` drives [`PreparedLevel::solve_task`] directly so
+/// one worker pool can interleave tasks of *different* generations.
+#[must_use]
+pub fn solve_prepared(prepared: &PreparedLevel, jobs: NonZeroUsize) -> Vec<Option<TaskOutcome>> {
+    let n = prepared.num_tasks();
+    let next = AtomicUsize::new(0);
+    let doomed = Arc::new(AtomicUsize::new(usize::MAX));
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let results: Vec<OnceLock<TaskOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= n {
+            break;
+        }
+        let _ = results[i].set(prepared.solve_task(i, &doomed, &cancelled));
+    };
+    // CPU-bound solver shards gain nothing from oversubscription: cap the
+    // thread count at the machine's parallelism (results are
+    // worker-count-independent either way).
+    let hardware = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = jobs.get().min(n).min(hardware);
+    if workers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(worker);
+            }
+        });
+    }
+    results.into_iter().map(OnceLock::into_inner).collect()
 }
 
 /// The lowering contexts of one binding epoch (one merged-register set).
@@ -204,8 +483,12 @@ impl MiterSession {
     pub fn with_options(
         design: &ValidatedDesign,
         options: CheckerOptions,
-        backend: Box<dyn SatBackend>,
+        mut backend: Box<dyn SatBackend>,
     ) -> Self {
+        backend.set_gc_thresholds(
+            f64::from(options.gc_dead_pct) / 100.0,
+            options.gc_min_clauses,
+        );
         let d = design.design();
         let mut aig = Aig::new();
         let inputs: Vec<FxHashMap<SignalId, BitVec>> = (0..2)
@@ -235,6 +518,7 @@ impl MiterSession {
             active_vars: FxHashSet::default(),
             support_cache: FxHashMap::default(),
             epoch: None,
+            pending_acts: Vec::new(),
             stats: SessionStats {
                 bit_blasts: 1,
                 ..SessionStats::default()
@@ -286,6 +570,9 @@ impl MiterSession {
         let d = design.design();
         assert_eq!(d.name(), self.design_name, "session is bound to one design");
         self.stats.properties_checked += 1;
+        // A session mixing the level API with `check` must not leave stale
+        // activation literals armed.
+        self.flush_retired();
         // Snapshots so the per-property report carries deltas, not
         // session-cumulative totals.
         let aig_nodes_before = self.aig.num_nodes();
@@ -422,48 +709,54 @@ impl MiterSession {
         })
     }
 
-    /// Checks one property by partitioning it into per-signal sub-properties
-    /// ("one pending property per prove signal") solved on sharded solvers.
+    /// Lowers and encodes one generation of the flow graph — a fanout level's
+    /// property (or a resolution round of one) — on the master backend and
+    /// freezes it behind a forked snapshot.
     ///
-    /// The master session lowers and encodes every sub-property's cone once
-    /// (sharing this level's binding epoch), then freezes: each sub-property
-    /// is solved on a [`fork`](SatBackend::fork) of the master backend, so
-    /// workers never contend on one solver and a hard sub-property cannot
-    /// serialise the rest of the level.  Up to `jobs` worker threads pull
-    /// tasks from a shared queue.
+    /// This is the master half of the pipelined level check: the prove
+    /// consequent is partitioned into per-signal sub-properties ("one pending
+    /// property per prove signal"), each guarded by its own activation
+    /// literal, and the whole generation's cones are mirrored into the master
+    /// once (sharing the binding epoch).  The returned [`PreparedLevel`] is
+    /// self-contained: its tasks solve against the generation's frozen
+    /// snapshot on any thread while the master moves on to encode *later*
+    /// generations (epoch-scoped incremental re-lowering).
     ///
-    /// **Determinism**: every fork starts from the *same* frozen snapshot, so
-    /// a task's result does not depend on which worker ran it or on how many
-    /// workers there are.  Results merge in sub-property id order (the prove-
-    /// list order) and the first counterexample wins; tasks after a known
-    /// failure are cancelled, and the merged [`CheckStats`] sum only the
-    /// consumed tasks.  `check_level(p, 1)` and `check_level(p, n)` therefore
-    /// return identical reports (up to wall-clock durations).
+    /// Master hygiene runs at the prepare boundary, in a fixed order that is
+    /// a pure function of the prepare sequence: first the previous
+    /// generation's activation literals are retired (their miter clauses are
+    /// permanently disabled), then the clause database is opportunistically
+    /// compacted *before* the snapshot is taken, so worker shards clone an
+    /// already-GC'd database (see [`CheckerOptions::gc_dead_pct`]).
     ///
-    /// Backends that cannot fork are handled by solving the sub-properties
-    /// in id order on the master (still deterministic, never parallel).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`BackendError`] if the backend infrastructure fails.
+    /// `freeze: false` skips the snapshot clone: the caller promises to
+    /// solve this generation's tasks (via
+    /// [`solve_task_inline`](Self::solve_task_inline)) before the master
+    /// mutates again, which makes a master fork at solve time byte-identical
+    /// to a fork of the omitted snapshot.  Sequential schedules use this to
+    /// avoid paying for a clone nobody shares.
     ///
     /// # Panics
     ///
     /// Panics if `design` is not the session's design.
-    pub fn check_level(
+    pub fn prepare_level(
         &mut self,
         design: &ValidatedDesign,
         property: &IntervalProperty,
-        jobs: NonZeroUsize,
-    ) -> Result<PropertyReport, BackendError> {
+        freeze: bool,
+    ) -> PreparedLevel {
         let start = Instant::now();
         let d = design.design();
         assert_eq!(d.name(), self.design_name, "session is bound to one design");
-        self.stats.properties_checked += 1;
         let aig_nodes_before = self.aig.num_nodes();
         let aig_ands_before = self.aig.num_ands();
         let strash_before = self.aig.strash_hits();
         let backend_before = self.backend.stats();
+
+        // Retire the previous generation's activation literals: deferred to
+        // this point so the master mutation stream is deterministic whether
+        // or not earlier generations have finished solving.
+        let retired = self.flush_retired();
 
         let share = self.options.share_assumed_equal;
         let assume_regs: FxHashSet<SignalId> = property
@@ -475,12 +768,13 @@ impl MiterSession {
         let mut epoch = self.take_epoch(design, &assume_regs);
         let assumption_aig = self.lower_assumptions(design, property, &assume_regs, &mut epoch);
 
-        // Per-signal proof obligations in prove-list order — the property id
-        // order of the deterministic merge.
+        // Per-signal proof obligations in prove-list order — the sub-property
+        // id order of the deterministic merge.
+        let mut structurally_proved = 0u64;
         let mut specs: Vec<(SignalId, BitVec, BitVec, AigLit)> = Vec::new();
         for &sig in &property.prove_equal {
             if share && self.structurally_equal_next(design, sig, &assume_regs) {
-                self.stats.structurally_proved += 1;
+                structurally_proved += 1;
                 continue;
             }
             let Some((b1, b2)) = self.lower_prove_signal(design, &mut epoch, sig) else {
@@ -495,201 +789,201 @@ impl MiterSession {
         }
 
         // A structurally unsatisfiable antecedent makes the whole level hold
-        // vacuously; no signal to check makes it hold trivially.
-        if assumption_aig.contains(&AigLit::FALSE) || specs.is_empty() {
-            self.epoch = Some(epoch);
-            return Ok(self.level_report(
-                property,
-                CheckOutcome::Holds,
-                start,
-                aig_nodes_before,
-                aig_ands_before,
-                strash_before,
-                &backend_before,
-                SolverStats::default(),
-            ));
-        }
-
-        // Mirror every cone this level needs into the master backend, then
-        // guard each sub-property's miter behind its own activation literal.
-        let mut roots: Vec<AigLit> = assumption_aig.clone();
-        roots.extend(specs.iter().map(|s| s.3));
-        let fresh = self
-            .encoder
-            .encode(self.backend.as_mut(), &self.aig, &roots);
-        self.stats.nodes_encoded += fresh as u64;
-
-        let base_assumptions: Vec<Lit> = assumption_aig
-            .iter()
-            .filter(|&&a| a != AigLit::TRUE)
-            .map(|&a| self.encoder.lit(a))
-            .collect();
-        let assumption_roots: Vec<AigLit> = assumption_aig
-            .iter()
-            .copied()
-            .filter(|a| !a.is_const())
-            .collect();
-
-        let mut tasks: Vec<LevelTask> = Vec::with_capacity(specs.len());
-        for (sig, b1, b2, diff) in specs {
-            let mut assumptions = base_assumptions.clone();
-            let mut cone_roots = assumption_roots.clone();
-            let act = if diff == AigLit::TRUE {
-                // The miter holds structurally for every assignment; the
-                // query only needs a model of the antecedent.
-                None
-            } else {
-                cone_roots.push(diff);
-                let act = self.backend.new_var();
-                let miter_lit = self.encoder.lit(diff);
-                self.backend.add_clause(&[Lit::neg(act), miter_lit]);
-                assumptions.push(Lit::pos(act));
-                Some(act)
-            };
-            let mut cone: Vec<Var> = self
+        // vacuously; no signal to check makes it hold trivially.  Either way
+        // the generation carries no tasks.
+        let mut tasks: Vec<LevelTask> = Vec::new();
+        if !assumption_aig.contains(&AigLit::FALSE) && !specs.is_empty() {
+            // Mirror every cone this generation needs into the master, then
+            // guard each sub-property's miter behind its own activation
+            // literal.
+            let mut roots: Vec<AigLit> = assumption_aig.clone();
+            roots.extend(specs.iter().map(|s| s.3));
+            let fresh = self
                 .encoder
-                .cone_vars(&self.aig, &cone_roots)
-                .into_iter()
-                .collect();
-            cone.extend(act);
-            tasks.push(LevelTask {
-                sig,
-                b1,
-                b2,
-                act,
-                assumptions,
-                cone,
-            });
-        }
-        self.stats.parallel_tasks += tasks.len() as u64;
+                .encode(self.backend.as_mut(), &self.aig, &roots);
+            self.stats.nodes_encoded += fresh as u64;
 
-        // Solve phase: the master is frozen from here until the merge.
-        let outcomes: Vec<Option<TaskOutcome>> = if self.backend.can_fork() {
-            let master: &dyn SatBackend = self.backend.as_ref();
-            let next = AtomicUsize::new(0);
-            let min_failed = Arc::new(AtomicUsize::new(usize::MAX));
-            let results: Vec<OnceLock<TaskOutcome>> =
-                (0..tasks.len()).map(|_| OnceLock::new()).collect();
-            let worker = || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    if i > min_failed.load(Ordering::SeqCst) {
-                        // A lower-id task already produced the level's
-                        // counterexample; this task's result cannot be
-                        // consumed by the deterministic merge.
-                        let _ = results[i].set(TaskOutcome::Skipped);
-                        continue;
-                    }
-                    let task = &tasks[i];
-                    let outcome = match master.fork() {
-                        Some(mut shard) => {
-                            shard.mask_all_decisions();
-                            for &v in &task.cone {
-                                shard.set_decision_var(v, true);
-                            }
-                            // Cancel mid-solve once a lower-id task has
-                            // failed: this task's result can no longer be
-                            // consumed by the deterministic merge.
-                            let doomed = Arc::clone(&min_failed);
-                            shard
-                                .set_interrupt(Arc::new(move || doomed.load(Ordering::SeqCst) < i));
-                            let before = shard.stats();
-                            match shard.solve_under(&task.assumptions) {
-                                Err(e) => {
-                                    min_failed.fetch_min(i, Ordering::SeqCst);
-                                    TaskOutcome::Error(e)
-                                }
-                                Ok(SolveResult::Interrupted) => TaskOutcome::Skipped,
-                                Ok(SolveResult::Unsat) => {
-                                    let after = shard.stats();
-                                    TaskOutcome::Unsat(
-                                        after.solver.delta_since(&before.solver),
-                                        after.queries - before.queries,
-                                    )
-                                }
-                                Ok(SolveResult::Sat) => {
-                                    min_failed.fetch_min(i, Ordering::SeqCst);
-                                    let after = shard.stats();
-                                    TaskOutcome::Sat(
-                                        after.solver.delta_since(&before.solver),
-                                        after.queries - before.queries,
-                                        shard,
-                                    )
-                                }
-                            }
-                        }
-                        None => TaskOutcome::Error(BackendError {
-                            message: "backend advertised can_fork but fork() returned None"
-                                .to_string(),
-                        }),
-                    };
-                    let _ = results[i].set(outcome);
-                }
-            };
-            // CPU-bound solver shards gain nothing from oversubscription:
-            // cap the thread count at the machine's parallelism (results are
-            // worker-count-independent either way).
-            let hardware = std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1);
-            let workers = jobs.get().min(tasks.len()).min(hardware);
-            if workers <= 1 {
-                worker();
-            } else {
-                std::thread::scope(|s| {
-                    for _ in 0..workers {
-                        s.spawn(worker);
-                    }
+            let base_assumptions: Vec<Lit> = assumption_aig
+                .iter()
+                .filter(|&&a| a != AigLit::TRUE)
+                .map(|&a| self.encoder.lit(a))
+                .collect();
+            let assumption_roots: Vec<AigLit> = assumption_aig
+                .iter()
+                .copied()
+                .filter(|a| !a.is_const())
+                .collect();
+
+            tasks.reserve(specs.len());
+            for (sig, b1, b2, diff) in specs {
+                let mut assumptions = base_assumptions.clone();
+                let mut cone_roots = assumption_roots.clone();
+                let act = if diff == AigLit::TRUE {
+                    // The miter holds structurally for every assignment; the
+                    // query only needs a model of the antecedent.
+                    None
+                } else {
+                    cone_roots.push(diff);
+                    let act = self.backend.new_var();
+                    let miter_lit = self.encoder.lit(diff);
+                    self.backend.add_clause(&[Lit::neg(act), miter_lit]);
+                    assumptions.push(Lit::pos(act));
+                    Some(act)
+                };
+                let mut cone: Vec<Var> = self
+                    .encoder
+                    .cone_vars(&self.aig, &cone_roots)
+                    .into_iter()
+                    .collect();
+                cone.extend(act);
+                tasks.push(LevelTask {
+                    sig,
+                    b1,
+                    b2,
+                    act,
+                    assumptions,
+                    cone,
                 });
             }
-            results.into_iter().map(OnceLock::into_inner).collect()
-        } else {
-            // Non-forkable backend: solve in id order on the master, stopping
-            // at the first counterexample (identical merge semantics).
-            let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(tasks.len());
-            let mut stop = false;
-            for task in &tasks {
-                if stop {
-                    outcomes.push(Some(TaskOutcome::Skipped));
-                    continue;
-                }
-                self.backend.begin_new_query();
-                let cone: FxHashSet<Var> = task.cone.iter().copied().collect();
-                for &var in self.active_vars.difference(&cone) {
-                    self.backend.set_decision_var(var, false);
-                }
-                for &var in cone.difference(&self.active_vars) {
-                    self.backend.set_decision_var(var, true);
-                }
-                self.active_vars = cone;
-                // Work solved on the master is already covered by the
-                // level's before/after backend delta (and the master's own
-                // query counter), so these outcomes carry zero deltas — the
-                // merge must not count the same work twice.
-                let outcome = match self.backend.solve_under(&task.assumptions) {
-                    Err(e) => {
-                        stop = true;
-                        TaskOutcome::Error(e)
-                    }
-                    Ok(SolveResult::Interrupted) => {
-                        unreachable!("no interrupt check installed on the master")
-                    }
-                    Ok(SolveResult::Unsat) => TaskOutcome::Unsat(SolverStats::default(), 0),
-                    Ok(SolveResult::Sat) => {
-                        stop = true;
-                        TaskOutcome::MasterSat(SolverStats::default(), 0)
-                    }
-                };
-                outcomes.push(Some(outcome));
-            }
-            outcomes
-        };
+        }
 
-        // Deterministic merge: scan in sub-property id order, first
-        // counterexample wins, and only the consumed tasks contribute stats.
+        if retired {
+            // Something died since the last compaction: compact the master
+            // before any freeze, so shards clone an already-GC'd clause
+            // database.
+            let _ = self.backend.collect_garbage();
+        }
+        let snapshot = if tasks.is_empty() || !freeze {
+            // Taskless generation, or the caller promises to solve inline
+            // before the master mutates again (tasks then fork straight off
+            // the master via `solve_task_inline`, saving the snapshot clone).
+            Snapshot::None
+        } else if tasks.len() == 1 {
+            match self.backend.fork() {
+                Some(fork) => Snapshot::Exclusive(Mutex::new(Some(fork))),
+                None => Snapshot::None,
+            }
+        } else {
+            match self.backend.fork() {
+                Some(fork) => Snapshot::Shared(Mutex::new(Some(Arc::from(fork)))),
+                None => Snapshot::None,
+            }
+        };
+        self.pending_acts.extend(tasks.iter().filter_map(|t| t.act));
+
+        let backend_after = self.backend.stats();
+        let prepared = PreparedLevel {
+            property_name: property.name.clone(),
+            tasks,
+            snapshot,
+            regs: epoch.regs.clone(),
+            start,
+            structurally_proved,
+            aig_nodes: self.aig.num_nodes() - aig_nodes_before,
+            aig_ands: self.aig.num_ands() - aig_ands_before,
+            strash_hits: self.aig.strash_hits() - strash_before,
+            cnf_vars: backend_after.vars - backend_before.vars,
+            cnf_clauses: backend_after.clauses.saturating_sub(backend_before.clauses),
+            master_solver: backend_after.solver.delta_since(&backend_before.solver),
+        };
+        self.epoch = Some(epoch);
+        prepared
+    }
+
+    /// Solves sub-property `index` of a prepared generation on the master
+    /// backend — the fallback for backends that cannot fork.  The caller must
+    /// drive tasks in id order and stop after the first outcome for which
+    /// [`TaskOutcome::ends_level`] is true, which preserves the merge
+    /// semantics of the forked path (deterministic, never parallel).
+    #[must_use]
+    pub fn solve_task_on_master(&mut self, prepared: &PreparedLevel, index: usize) -> TaskOutcome {
+        let task = &prepared.tasks[index];
+        self.backend.begin_new_query();
+        let cone: FxHashSet<Var> = task.cone.iter().copied().collect();
+        for &var in self.active_vars.difference(&cone) {
+            self.backend.set_decision_var(var, false);
+        }
+        for &var in cone.difference(&self.active_vars) {
+            self.backend.set_decision_var(var, true);
+        }
+        self.active_vars = cone;
+        // The master's own query counter already counts this solve (the
+        // session reports backend queries plus fork queries), so the outcome
+        // carries a zero query count — but the solver-work deltas must flow
+        // through the outcome, because the generation's master bracket closed
+        // at the end of prepare.
+        let before = self.backend.stats();
+        match self.backend.solve_under(&task.assumptions) {
+            Err(e) => TaskOutcome(TaskResult::Error(e)),
+            Ok(SolveResult::Interrupted) => {
+                unreachable!("no interrupt check installed on the master")
+            }
+            Ok(SolveResult::Unsat) => {
+                let after = self.backend.stats();
+                TaskOutcome(TaskResult::Unsat(
+                    after.solver.delta_since(&before.solver),
+                    0,
+                ))
+            }
+            Ok(SolveResult::Sat) => {
+                let after = self.backend.stats();
+                TaskOutcome(TaskResult::MasterSat(
+                    after.solver.delta_since(&before.solver),
+                    0,
+                ))
+            }
+        }
+    }
+
+    /// Solves sub-property `index` of a generation prepared with
+    /// `freeze: false` on a fork taken straight off the master.  Sound only
+    /// while the master has not mutated since that generation's
+    /// [`prepare_level`](Self::prepare_level) — the fork then has exactly the
+    /// content its frozen snapshot would have had, so results (and reports)
+    /// are byte-identical to the frozen path.
+    #[must_use]
+    pub fn solve_task_inline(
+        &self,
+        prepared: &PreparedLevel,
+        index: usize,
+        doomed: &Arc<AtomicUsize>,
+        cancelled: &Arc<AtomicBool>,
+    ) -> TaskOutcome {
+        if doomed.load(Ordering::SeqCst) < index || cancelled.load(Ordering::SeqCst) {
+            return TaskOutcome::skipped();
+        }
+        prepared.solve_on(self.backend.fork(), index, doomed, cancelled)
+    }
+
+    /// Deterministically merges the outcomes of one prepared generation into
+    /// its [`PropertyReport`]: scan in sub-property id order, first
+    /// counterexample wins, and only the consumed prefix contributes
+    /// statistics — the invariant that keeps flow reports identical for any
+    /// worker count, pipelined or not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if a consumed task reported an infrastructure
+    /// failure (or produced no result at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not the session's design.
+    pub fn merge_level(
+        &mut self,
+        design: &ValidatedDesign,
+        prepared: &PreparedLevel,
+        outcomes: Vec<Option<TaskOutcome>>,
+    ) -> Result<PropertyReport, BackendError> {
+        let d = design.design();
+        assert_eq!(d.name(), self.design_name, "session is bound to one design");
+        self.stats.properties_checked += 1;
+        self.stats.structurally_proved += prepared.structurally_proved;
+        self.stats.parallel_tasks += prepared.tasks.len() as u64;
+        if prepared.tasks.is_empty() {
+            return Ok(self.prepared_report(prepared, CheckOutcome::Holds, SolverStats::default()));
+        }
+
         let mut level_delta = SolverStats::default();
         let mut fork_queries = 0u64;
         let mut winner: Option<(usize, Option<Box<dyn SatBackend>>)> = None;
@@ -700,23 +994,23 @@ impl MiterSession {
                 skipped += 1;
                 continue;
             }
-            match outcome {
-                Some(TaskOutcome::Unsat(delta, queries)) => {
+            match outcome.map(|o| o.0) {
+                Some(TaskResult::Unsat(delta, queries)) => {
                     level_delta.accumulate(&delta);
                     fork_queries += queries;
                 }
-                Some(TaskOutcome::Sat(delta, queries, shard)) => {
+                Some(TaskResult::Sat(delta, queries, shard)) => {
                     level_delta.accumulate(&delta);
                     fork_queries += queries;
                     winner = Some((i, Some(shard)));
                 }
-                Some(TaskOutcome::MasterSat(delta, queries)) => {
+                Some(TaskResult::MasterSat(delta, queries)) => {
                     level_delta.accumulate(&delta);
                     fork_queries += queries;
                     winner = Some((i, None));
                 }
-                Some(TaskOutcome::Error(e)) => first_error = Some(e),
-                Some(TaskOutcome::Skipped) | None => {
+                Some(TaskResult::Error(e)) => first_error = Some(e),
+                Some(TaskResult::Skipped) | None => {
                     // A skipped task before any failure cannot happen (tasks
                     // are only skipped behind a lower-id failure); treat a
                     // lost result as an infrastructure error.
@@ -729,16 +1023,15 @@ impl MiterSession {
         self.stats.tasks_skipped += skipped;
         self.stats.queries += fork_queries;
         if let Some(e) = first_error {
-            self.epoch = Some(epoch);
             return Err(e);
         }
 
         // Reconstruct the counterexample (if any) from the model of the
-        // winning task's solver before the master mutates again.
+        // winning task's solver.
         let outcome = match &winner {
             None => CheckOutcome::Holds,
             Some((i, shard)) => {
-                let task = &tasks[*i];
+                let task = &prepared.tasks[*i];
                 let model_source: &dyn SatBackend = match shard {
                     Some(shard) => shard.as_ref(),
                     None => self.backend.as_ref(),
@@ -747,66 +1040,145 @@ impl MiterSession {
                 CheckOutcome::Fails(Box::new(self.reconstruct_with(
                     model_source,
                     d,
-                    &property.name,
+                    &prepared.property_name,
                     &prove_values,
-                    &epoch.regs,
+                    &prepared.regs,
                 )))
             }
         };
-
-        // Retire every activation literal — including those of skipped tasks
-        // — so the level's miter clauses are permanently disabled, then let
-        // the backend compact the clauses that just died.
-        for task in &tasks {
-            if let Some(act) = task.act {
-                self.backend.add_clause(&[Lit::neg(act)]);
-            }
-        }
-        let _ = self.backend.collect_garbage();
-
-        self.epoch = Some(epoch);
-        Ok(self.level_report(
-            property,
-            outcome,
-            start,
-            aig_nodes_before,
-            aig_ands_before,
-            strash_before,
-            &backend_before,
-            level_delta,
-        ))
+        Ok(self.prepared_report(prepared, outcome, level_delta))
     }
 
-    /// Assembles the [`PropertyReport`] of one level check from the master
-    /// deltas plus the accumulated per-task solver work.
-    #[allow(clippy::too_many_arguments)]
-    fn level_report(
+    /// Assembles the [`PropertyReport`] of one generation from its prepare
+    /// bracket plus the accumulated per-task solver work.
+    fn prepared_report(
         &self,
-        property: &IntervalProperty,
+        prepared: &PreparedLevel,
         outcome: CheckOutcome,
-        start: Instant,
-        aig_nodes_before: usize,
-        aig_ands_before: usize,
-        strash_before: u64,
-        backend_before: &htd_sat::BackendStats,
         task_delta: SolverStats,
     ) -> PropertyReport {
-        let backend_after = self.backend.stats();
-        let mut solver = backend_after.solver.delta_since(&backend_before.solver);
+        let mut solver = prepared.master_solver;
         solver.accumulate(&task_delta);
         PropertyReport {
-            property: property.name.clone(),
+            property: prepared.property_name.clone(),
             outcome,
             stats: CheckStats {
-                aig_nodes: self.aig.num_nodes() - aig_nodes_before,
-                aig_ands: self.aig.num_ands() - aig_ands_before,
-                strash_hits: self.aig.strash_hits() - strash_before,
-                cnf_vars: backend_after.vars - backend_before.vars,
-                cnf_clauses: backend_after.clauses.saturating_sub(backend_before.clauses),
+                aig_nodes: prepared.aig_nodes,
+                aig_ands: prepared.aig_ands,
+                strash_hits: prepared.strash_hits,
+                cnf_vars: prepared.cnf_vars,
+                cnf_clauses: prepared.cnf_clauses,
                 solver,
-                duration: start.elapsed(),
+                duration: prepared.start.elapsed(),
             },
         }
+    }
+
+    /// Retires the pending activation literals of the previously prepared
+    /// generation: permanent unit clauses disable their miter clauses, which
+    /// the next [`collect_garbage`](SatBackend::collect_garbage) can then
+    /// physically drop.
+    /// Returns `true` if any literal was retired (i.e. clauses may have
+    /// died since the last garbage collection).
+    fn flush_retired(&mut self) -> bool {
+        let retired = !self.pending_acts.is_empty();
+        for act in std::mem::take(&mut self.pending_acts) {
+            self.backend.add_clause(&[Lit::neg(act)]);
+        }
+        retired
+    }
+
+    /// `true` if the backend can fork frozen snapshots — the prerequisite for
+    /// the pipelined flow-graph executor.
+    #[must_use]
+    pub fn backend_can_fork(&self) -> bool {
+        self.backend.can_fork()
+    }
+
+    /// The master backend's cumulative counters (variables, clauses, queries
+    /// and solver work including clause-GC).
+    #[must_use]
+    pub fn backend_stats(&self) -> htd_sat::BackendStats {
+        self.backend.stats()
+    }
+
+    /// Ends a level-flow: retires the final generation's activation literals
+    /// and lets the backend compact the clauses that just died, so a reused
+    /// session starts its next run with a clean database.  Returns the
+    /// master's solver-work delta (clause-GC counters); callers must NOT
+    /// fold it into a flow report — which literals are still pending depends
+    /// on how far ahead the executor speculated, and reports are
+    /// schedule-invariant.  Inspect [`backend_stats`](Self::backend_stats)
+    /// for the cumulative picture instead.
+    pub fn finish_level_flow(&mut self) -> SolverStats {
+        let before = self.backend.stats();
+        if self.flush_retired() {
+            let _ = self.backend.collect_garbage();
+        }
+        self.backend.stats().solver.delta_since(&before.solver)
+    }
+
+    /// Checks one property by partitioning it into per-signal sub-properties
+    /// solved on sharded solvers: [`prepare_level`](Self::prepare_level), a
+    /// worker pool over [`PreparedLevel::solve_task`] (or the sequential
+    /// master fallback for non-forkable backends), then the deterministic
+    /// [`merge_level`](Self::merge_level).  The flow-graph executor in
+    /// `htd-core` drives the same three stages with one pool across *all*
+    /// generations, which is what pipelines property checking across levels.
+    ///
+    /// **Determinism**: every fork starts from the same frozen snapshot, so a
+    /// task's result does not depend on which worker ran it or on how many
+    /// workers there are.  Results merge in sub-property id order (the prove-
+    /// list order) and the first counterexample wins; tasks after a known
+    /// failure are cancelled, and the merged [`CheckStats`] sum only the
+    /// consumed tasks.  `check_level(p, 1)` and `check_level(p, n)` therefore
+    /// return identical reports (up to wall-clock durations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the backend infrastructure fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` is not the session's design.
+    pub fn check_level(
+        &mut self,
+        design: &ValidatedDesign,
+        property: &IntervalProperty,
+        jobs: NonZeroUsize,
+    ) -> Result<PropertyReport, BackendError> {
+        let freeze = jobs.get() > 1 && self.backend.can_fork();
+        let prepared = self.prepare_level(design, property, freeze);
+        let outcomes = if prepared.tasks.is_empty() {
+            Vec::new()
+        } else if prepared.has_snapshot() {
+            solve_prepared(&prepared, jobs)
+        } else if self.backend.can_fork() {
+            // Single-worker schedule: fork each task straight off the
+            // unmutated master (identical content to the omitted snapshot).
+            let doomed = Arc::new(AtomicUsize::new(usize::MAX));
+            let cancelled = Arc::new(AtomicBool::new(false));
+            (0..prepared.tasks.len())
+                .map(|i| Some(self.solve_task_inline(&prepared, i, &doomed, &cancelled)))
+                .collect()
+        } else {
+            // Non-forkable backend: solve in id order on the master, stopping
+            // at the first counterexample (identical merge semantics, never
+            // parallel).
+            let mut outcomes: Vec<Option<TaskOutcome>> = Vec::with_capacity(prepared.tasks.len());
+            let mut stop = false;
+            for index in 0..prepared.tasks.len() {
+                if stop {
+                    outcomes.push(Some(TaskOutcome::skipped()));
+                    continue;
+                }
+                let outcome = self.solve_task_on_master(&prepared, index);
+                stop = outcome.ends_level();
+                outcomes.push(Some(outcome));
+            }
+            outcomes
+        };
+        self.merge_level(design, &prepared, outcomes)
     }
 
     /// The registers in the combinational support of `sig`'s driver
@@ -1227,6 +1599,7 @@ mod tests {
         for share in [true, false] {
             let options = CheckerOptions {
                 share_assumed_equal: share,
+                ..CheckerOptions::default()
             };
             let mut session = MiterSession::with_options(&design, options, Box::new(Solver::new()));
             let failing = IntervalProperty::new("init_property", vec![], vec![data]);

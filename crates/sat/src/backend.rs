@@ -155,6 +155,13 @@ pub trait SatBackend: Send + Sync {
         0
     }
 
+    /// Configures the garbage-collection thresholds consulted by
+    /// [`collect_garbage`](Self::collect_garbage): compaction runs once at
+    /// least `dead_fraction` of a database of at least `min_clauses` clauses
+    /// is dead.  Forked snapshots inherit the thresholds.  Backends without
+    /// garbage collection ignore the hint.
+    fn set_gc_thresholds(&mut self, _dead_fraction: f64, _min_clauses: usize) {}
+
     /// Installs a predicate polled during solving; when it returns `true`
     /// the query is abandoned with [`SolveResult::Interrupted`].  Parallel
     /// schedulers cancel speculative queries this way.  Backends that cannot
@@ -214,9 +221,12 @@ impl SatBackend for Solver {
     }
 
     fn collect_garbage(&mut self) -> u64 {
-        // Compact once a quarter of the database is dead; below that the
-        // propagation savings do not pay for the watch rebuild.
-        self.collect_garbage_if(0.25)
+        let (dead_fraction, _) = self.gc_thresholds();
+        self.collect_garbage_if(dead_fraction)
+    }
+
+    fn set_gc_thresholds(&mut self, dead_fraction: f64, min_clauses: usize) {
+        Solver::set_gc_thresholds(self, dead_fraction, min_clauses);
     }
 
     fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
@@ -544,6 +554,61 @@ mod tests {
         let a = DimacsProcessBackend::new("/bin/true");
         let b = DimacsProcessBackend::new("/bin/true");
         assert_ne!(a.instance, b.instance);
+    }
+
+    /// The process backend advertises forkability (each query writes a fresh
+    /// CNF, so a fork is just a clone of the accumulated clause list) — this
+    /// is what lets `--jobs N` shard levels with external solvers instead of
+    /// silently degrading to sequential solving on the master.
+    #[test]
+    fn process_backend_forks_an_independent_snapshot() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        let a = backend.new_var();
+        let b = backend.new_var();
+        backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert!(backend.can_fork());
+
+        let mut fork = backend.fork().expect("process backend forks");
+        assert!(fork.can_fork());
+        assert_eq!(
+            fork.stats().queries,
+            0,
+            "fork starts with fresh query counters"
+        );
+        assert_eq!(fork.stats().vars, 2);
+        assert_eq!(fork.stats().clauses, 1);
+        // Clauses added to the fork do not leak back into the master.
+        let c = fork.new_var();
+        fork.add_clause(&[Lit::pos(c)]);
+        assert_eq!(fork.stats().clauses, 2);
+        assert_eq!(backend.stats().clauses, 1);
+        assert_eq!(backend.stats().vars, 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn forked_process_backends_answer_like_the_master() {
+        use std::os::unix::fs::PermissionsExt;
+
+        let dir = std::env::temp_dir();
+        let script = dir.join(format!("htd-fake-fork-solver-{}.sh", std::process::id()));
+        std::fs::write(
+            &script,
+            "#!/bin/sh\necho 's SATISFIABLE'\necho 'v 1 0'\nexit 10\n",
+        )
+        .unwrap();
+        let mut perms = std::fs::metadata(&script).unwrap().permissions();
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&script, perms).unwrap();
+
+        let mut master = DimacsProcessBackend::new(&script);
+        let a = master.new_var();
+        master.add_clause(&[Lit::pos(a)]);
+        let mut fork = master.fork().expect("forkable");
+        assert_eq!(master.solve_under(&[]).unwrap(), SolveResult::Sat);
+        assert_eq!(fork.solve_under(&[]).unwrap(), SolveResult::Sat);
+        assert_eq!(fork.model_value(a), master.model_value(a));
+        std::fs::remove_file(&script).ok();
     }
 
     #[cfg(unix)]

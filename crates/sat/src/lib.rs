@@ -51,4 +51,6 @@ mod solver;
 pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use literal::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{
+    SolveResult, Solver, SolverStats, DEFAULT_GC_DEAD_FRACTION, DEFAULT_GC_MIN_CLAUSES,
+};

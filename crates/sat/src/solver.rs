@@ -175,6 +175,14 @@ impl std::fmt::Debug for InterruptCheck {
     }
 }
 
+/// Default [`Solver::set_gc_thresholds`] dead fraction: compact once a
+/// quarter of the database is dead; below that the propagation savings do
+/// not pay for the watch rebuild.
+pub const DEFAULT_GC_DEAD_FRACTION: f64 = 0.25;
+
+/// Default [`Solver::set_gc_thresholds`] minimum database size.
+pub const DEFAULT_GC_MIN_CLAUSES: usize = 128;
+
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// The solver is `Clone`: a clone is an independent snapshot sharing no
@@ -204,6 +212,11 @@ pub struct Solver {
     stats: SolverStats,
     max_learnt: f64,
     interrupt: InterruptCheck,
+    /// Fraction of the clause database that must be dead before
+    /// [`collect_garbage_if`](Self::collect_garbage_if) compacts.
+    gc_dead_fraction: f64,
+    /// Minimum database size before garbage collection is considered at all.
+    gc_min_clauses: usize,
 }
 
 impl Solver {
@@ -215,8 +228,30 @@ impl Solver {
             cla_inc: 1.0,
             ok: true,
             max_learnt: 2000.0,
+            gc_dead_fraction: DEFAULT_GC_DEAD_FRACTION,
+            gc_min_clauses: DEFAULT_GC_MIN_CLAUSES,
             ..Default::default()
         }
+    }
+
+    /// Sets the garbage-collection thresholds used by
+    /// [`collect_garbage_if`](Self::collect_garbage_if) (and by the
+    /// [`SatBackend`](crate::SatBackend) `collect_garbage` hook): compaction
+    /// runs once at least `dead_fraction` of a database of at least
+    /// `min_clauses` clauses is dead.  Clones ([`SatBackend::fork`]) inherit
+    /// the thresholds.
+    ///
+    /// [`SatBackend::fork`]: crate::SatBackend::fork
+    pub fn set_gc_thresholds(&mut self, dead_fraction: f64, min_clauses: usize) {
+        self.gc_dead_fraction = dead_fraction.clamp(0.0, 1.0);
+        self.gc_min_clauses = min_clauses;
+    }
+
+    /// The configured `(dead_fraction, min_clauses)` garbage-collection
+    /// thresholds.
+    #[must_use]
+    pub fn gc_thresholds(&self) -> (f64, usize) {
+        (self.gc_dead_fraction, self.gc_min_clauses)
     }
 
     /// Allocates a fresh variable.
@@ -892,7 +927,7 @@ impl Solver {
     /// collected (0 when below the threshold).
     pub fn collect_garbage_if(&mut self, min_fraction: f64) -> u64 {
         let total = self.clauses.len();
-        if total < 128 || !self.ok || self.decision_level() != 0 {
+        if total < self.gc_min_clauses || !self.ok || self.decision_level() != 0 {
             return 0;
         }
         let dead = self

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &design,
                 CheckerOptions {
                     share_assumed_equal: share,
+                    ..CheckerOptions::default()
                 },
             );
             let start = Instant::now();

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrunning the detection flow");
     let mut session = SessionBuilder::new(design.clone()).build()?;
     let report = session.run_with_observer(&mut |event| match event {
-        FlowEvent::LevelStarted { level, signals } => {
+        FlowEvent::LevelStarted { level, signals, .. } => {
             println!("  level {level}: proving {} signal(s) equal", signals.len());
         }
         FlowEvent::CounterexampleFound {

@@ -82,12 +82,12 @@ proptest! {
         let property = init_property(&design);
         let shared = PropertyChecker::with_options(
             &design,
-            CheckerOptions { share_assumed_equal: true },
+            CheckerOptions { share_assumed_equal: true, ..CheckerOptions::default() },
         )
         .check(&property);
         let unshared = PropertyChecker::with_options(
             &design,
-            CheckerOptions { share_assumed_equal: false },
+            CheckerOptions { share_assumed_equal: false, ..CheckerOptions::default() },
         )
         .check(&property);
         prop_assert_eq!(shared.holds(), unshared.holds());

@@ -1,0 +1,23 @@
+//! The `HTD_GC_DEAD_PCT` / `HTD_GC_MIN_CLAUSES` environment overrides, in a
+//! test binary of their own: mutating process-global environment variables
+//! must not race sibling tests that read them through
+//! `CheckerOptions::default()` (cargo runs test *binaries* sequentially, but
+//! tests within one binary in parallel).
+
+use golden_free_htd::ipc::CheckerOptions;
+
+/// The `HTD_GC_DEAD_PCT` / `HTD_GC_MIN_CLAUSES` environment variables
+/// override the `CheckerOptions` defaults.
+#[test]
+fn gc_threshold_env_overrides_are_honoured() {
+    std::env::set_var(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR, "5");
+    std::env::set_var(golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR, "7");
+    let options = CheckerOptions::default();
+    std::env::remove_var(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR);
+    std::env::remove_var(golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR);
+    assert_eq!(options.gc_dead_pct, 5);
+    assert_eq!(options.gc_min_clauses, 7);
+    let defaults = CheckerOptions::default();
+    assert_eq!(defaults.gc_dead_pct, 25);
+    assert_eq!(defaults.gc_min_clauses, 128);
+}
