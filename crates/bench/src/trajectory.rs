@@ -59,6 +59,20 @@ pub struct TrajectoryRecord {
     pub parallel_tasks: u64,
     /// Prove signals discharged structurally (no solver work).
     pub structurally_proved: u64,
+    /// Solver forks consumed by the flow (one per consumed solve task;
+    /// schedule-invariant, from `DetectionReport::solver_totals`).
+    pub fork_count: u64,
+    /// Bytes those forks copied: the arena-backed snapshot cost —
+    /// proportional to the live clause-database size, never to the clause
+    /// count.
+    pub bytes_cloned: u64,
+    /// Arena words reclaimed by clause-GC compaction sweeps.
+    pub arena_words_reclaimed: u64,
+    /// Master-side snapshot clones taken by the scheduler for this run
+    /// (schedule-dependent: 0 on single-worker inline schedules).
+    pub snapshot_forks: u64,
+    /// Bytes those master-side snapshot clones copied.
+    pub snapshot_bytes_cloned: u64,
 }
 
 impl TrajectoryRecord {
@@ -87,10 +101,18 @@ pub fn smoke_set() -> Vec<Benchmark> {
     ]
 }
 
-fn run_once(
-    benchmark: Benchmark,
-    engine: EngineChoice,
-) -> (f64, htd_core::DetectionReport, u64, u64) {
+/// What one flow run yields for the trajectory: the report plus the
+/// session/schedule counters the record columns need.
+struct RunOutcome {
+    secs: f64,
+    report: htd_core::DetectionReport,
+    parallel_tasks: u64,
+    structurally_proved: u64,
+    snapshot_forks: u64,
+    snapshot_bytes_cloned: u64,
+}
+
+fn run_once(benchmark: Benchmark, engine: EngineChoice) -> RunOutcome {
     let design = benchmark.build().expect("bundled benchmarks build");
     let config = DetectorConfig {
         benign_state: benchmark.benign_state(&design),
@@ -105,12 +127,14 @@ fn run_once(
     let report = session.run().expect("detection flow completes");
     let secs = start.elapsed().as_secs_f64();
     let stats = session.session_stats();
-    (
+    RunOutcome {
         secs,
         report,
-        stats.parallel_tasks,
-        stats.structurally_proved,
-    )
+        parallel_tasks: stats.parallel_tasks,
+        structurally_proved: stats.structurally_proved,
+        snapshot_forks: stats.snapshot_forks,
+        snapshot_bytes_cloned: stats.snapshot_bytes_cloned,
+    }
 }
 
 /// Measures one benchmark with both engines (the flow-graph executor at
@@ -124,17 +148,18 @@ pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize, pipeline: bool) -> Traj
     let mut sequential_secs = f64::INFINITY;
     let mut measured = None;
     for _ in 0..MEASURE_RUNS {
-        let (secs, report, tasks, structural) = run_once(benchmark, scheduled);
-        if secs < wall_secs {
-            wall_secs = secs;
+        let outcome = run_once(benchmark, scheduled);
+        if outcome.secs < wall_secs {
+            wall_secs = outcome.secs;
         }
-        measured = Some((report, tasks, structural));
-        let (secs, _, _, _) = run_once(benchmark, EngineChoice::Sequential);
-        if secs < sequential_secs {
-            sequential_secs = secs;
+        measured = Some(outcome);
+        let sequential = run_once(benchmark, EngineChoice::Sequential);
+        if sequential.secs < sequential_secs {
+            sequential_secs = sequential.secs;
         }
     }
-    let (report, parallel_tasks, structurally_proved) = measured.expect("at least one run");
+    let outcome = measured.expect("at least one run");
+    let report = outcome.report;
     let verdict = match report.outcome.detected_by() {
         None => "secure".to_string(),
         Some(mechanism) => mechanism.to_string(),
@@ -155,8 +180,13 @@ pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize, pipeline: bool) -> Traj
         clauses_collected: totals.clauses_collected,
         learnt_lbd_sum: totals.learnt_lbd_sum,
         queries: totals.solves,
-        parallel_tasks,
-        structurally_proved,
+        parallel_tasks: outcome.parallel_tasks,
+        structurally_proved: outcome.structurally_proved,
+        fork_count: totals.fork_count,
+        bytes_cloned: totals.bytes_cloned,
+        arena_words_reclaimed: totals.arena_words_reclaimed,
+        snapshot_forks: outcome.snapshot_forks,
+        snapshot_bytes_cloned: outcome.snapshot_bytes_cloned,
     }
 }
 
@@ -195,7 +225,9 @@ fn json_escape(text: &str) -> String {
 pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize, pipeline: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"htd-bench-trajectory-v2\",\n");
+    // Schema v3 adds the fork cost model of the arena-backed clause store:
+    // per-flow fork counts, snapshot bytes and compaction words.
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v3\",\n");
     out.push_str("  \"engine\": \"flowgraph\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", jobs.get()));
     // Host context: wall-clocks are only comparable between BENCH_*.json
@@ -260,8 +292,22 @@ pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize, pipeline: bool)
             r.parallel_tasks
         ));
         out.push_str(&format!(
-            "      \"structurally_proved\": {}\n",
+            "      \"structurally_proved\": {},\n",
             r.structurally_proved
+        ));
+        out.push_str(&format!("      \"fork_count\": {},\n", r.fork_count));
+        out.push_str(&format!("      \"bytes_cloned\": {},\n", r.bytes_cloned));
+        out.push_str(&format!(
+            "      \"arena_words_reclaimed\": {},\n",
+            r.arena_words_reclaimed
+        ));
+        out.push_str(&format!(
+            "      \"snapshot_forks\": {},\n",
+            r.snapshot_forks
+        ));
+        out.push_str(&format!(
+            "      \"snapshot_bytes_cloned\": {}\n",
+            r.snapshot_bytes_cloned
         ));
         out.push_str(if i + 1 < records.len() {
             "    },\n"
@@ -285,13 +331,17 @@ mod tests {
         assert_eq!(records[0].verdict, "fanout_property_1");
         assert!(records[0].wall_secs > 0.0);
         let json = to_json(&records, jobs, true);
-        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v2\""));
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v3\""));
         assert!(json.contains("\"engine\": \"flowgraph\""));
         assert!(json.contains("\"host_parallelism\""));
         assert!(json.contains("\"level_pipeline\": true"));
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("RS232-T2400"));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"fork_count\""));
+        assert!(json.contains("\"bytes_cloned\""));
+        assert!(json.contains("\"arena_words_reclaimed\""));
+        assert!(json.contains("\"snapshot_forks\""));
     }
 
     #[test]

@@ -282,14 +282,23 @@ fn bench(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<18} {:<20} {:>10} {:>12} {:>8}  {:>9} {:>6} {:>9}",
-        "Benchmark", "Verdict", "wall (s)", "seq (s)", "speedup", "conflicts", "GC", "collected"
+        "{:<18} {:<20} {:>10} {:>12} {:>8}  {:>9} {:>6} {:>9} {:>6} {:>11}",
+        "Benchmark",
+        "Verdict",
+        "wall (s)",
+        "seq (s)",
+        "speedup",
+        "conflicts",
+        "GC",
+        "collected",
+        "forks",
+        "fork bytes"
     );
-    let _ = writeln!(out, "{}", "-".repeat(98));
+    let _ = writeln!(out, "{}", "-".repeat(117));
     for r in &records {
         let _ = writeln!(
             out,
-            "{:<18} {:<20} {:>10.4} {:>12.4} {:>7.2}x  {:>9} {:>6} {:>9}",
+            "{:<18} {:<20} {:>10.4} {:>12.4} {:>7.2}x  {:>9} {:>6} {:>9} {:>6} {:>11}",
             r.name,
             r.verdict,
             r.wall_secs,
@@ -297,7 +306,9 @@ fn bench(
             r.speedup(),
             r.conflicts,
             r.gc_runs,
-            r.clauses_collected
+            r.clauses_collected,
+            r.fork_count,
+            r.bytes_cloned
         );
     }
     let total_wall: f64 = records.iter().map(|r| r.wall_secs).sum();

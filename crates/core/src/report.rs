@@ -101,7 +101,12 @@ pub struct DetectionReport {
     pub spurious_resolved: usize,
     /// Aggregate solver work across every check of the run, including
     /// resolution rounds: conflicts, propagations, restarts, clause-GC runs,
-    /// clauses collected and learnt-LBD totals.
+    /// clauses collected, learnt-LBD totals, and the fork cost model of the
+    /// arena-backed clause store — `fork_count` / `bytes_cloned` count one
+    /// fork per consumed solve task (schedule-invariant: the cloned content
+    /// is byte-identical whether a task forked off a frozen snapshot or
+    /// straight off the unmutated master), and `arena_words_reclaimed`
+    /// totals the compaction sweeps.
     pub solver_totals: SolverStats,
     /// Wall-clock duration of the whole flow.
     pub total_duration: Duration,
@@ -184,6 +189,13 @@ impl fmt::Display for DetectionReport {
             self.solver_totals.restarts,
             self.solver_totals.gc_runs,
             self.solver_totals.clauses_collected
+        )?;
+        writeln!(
+            f,
+            "  snapshots: {} forks copying {} bytes ({} arena words reclaimed by GC)",
+            self.solver_totals.fork_count,
+            self.solver_totals.bytes_cloned,
+            self.solver_totals.arena_words_reclaimed
         )?;
         for trace in &self.properties {
             writeln!(

@@ -197,6 +197,13 @@ pub struct PipelineStats {
     /// was still unfinished — true cross-level solve concurrency (needs
     /// hardware threads, or long-running tasks, to show up).
     pub cross_level_solves: u64,
+    /// Generations frozen behind a master-side snapshot clone (inline
+    /// schedules skip the clone, so this is 0 at one effective worker).
+    pub snapshot_forks: u64,
+    /// Bytes those snapshot clones copied — with the arena-backed clause
+    /// store each clone is a handful of flat-buffer memcpys proportional to
+    /// the master's live database size at the prepare boundary.
+    pub snapshot_bytes_cloned: u64,
 }
 
 /// Engine over a [`MiterSession`] driven level-at-a-time — the fallback for
@@ -367,6 +374,10 @@ pub(crate) fn run_pipelined(
             let n = job.prepared.num_tasks();
             stats.generations_prepared += 1;
             stats.tasks_dispatched += n as u64;
+            if job.prepared.has_snapshot() {
+                stats.snapshot_forks += 1;
+                stats.snapshot_bytes_cloned += job.prepared.snapshot_bytes();
+            }
             if n == 0 || inline {
                 // Inline schedules solve at the merge frontier; nothing is
                 // handed to the (empty) pool.

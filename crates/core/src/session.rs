@@ -484,27 +484,33 @@ impl DetectionSession {
     }
 
     /// Counters of the underlying miter session (bit-blasts performed,
-    /// properties checked, nodes encoded, queries issued).
+    /// properties checked, nodes encoded, queries issued, and the
+    /// master-side snapshot-fork cost: `snapshot_forks` /
+    /// `snapshot_bytes_cloned` measure the per-generation clones of the
+    /// arena-backed clause store).
     #[must_use]
     pub fn session_stats(&self) -> SessionStats {
         self.miter.stats()
     }
 
     /// The master backend's cumulative counters (variables, clauses, queries
-    /// and solver work including clause-GC).  Unlike the per-run
-    /// [`DetectionReport`], these may depend on how far the executor
-    /// speculated.
+    /// and solver work including clause-GC and arena-compaction words
+    /// reclaimed).  Unlike the per-run [`DetectionReport`], these may depend
+    /// on how far the executor speculated.
     #[must_use]
     pub fn backend_stats(&self) -> htd_sat::BackendStats {
         self.miter.backend_stats()
     }
 
     /// Schedule counters of the most recent [`run`](Self::run) under the
-    /// pipelined executor: generations prepared, tasks dispatched and — the
+    /// pipelined executor: generations prepared, tasks dispatched, the
     /// cross-level evidence — tasks that solved while a task of a different
-    /// level was in flight.  All zero before the first run and for the
-    /// sequential/non-forkable paths.  Unlike the report, these describe the
-    /// schedule actually taken and may vary between runs.
+    /// level was in flight — and the per-generation snapshot cost
+    /// (`snapshot_forks` / `snapshot_bytes_cloned`: what freezing each
+    /// generation's clause database actually copied).  All zero before the
+    /// first run and for the sequential/non-forkable paths.  Unlike the
+    /// report, these describe the schedule actually taken and may vary
+    /// between runs.
     #[must_use]
     pub fn pipeline_stats(&self) -> PipelineStats {
         self.pipeline_stats

@@ -77,6 +77,15 @@ pub struct SessionStats {
     /// Tasks skipped because an earlier (lower-id) task had already produced
     /// the level's counterexample.
     pub tasks_skipped: u64,
+    /// Frozen generation snapshots forked off the master by
+    /// [`MiterSession::prepare_level`].  Unlike the per-task fork counters in
+    /// flow reports, this counts the *master-side* clones, which depend on
+    /// the schedule (inline schedules skip them entirely).
+    pub snapshot_forks: u64,
+    /// Bytes copied by those master-side snapshot forks — the arena-backed
+    /// cost model: each clone is proportional to the master's live database
+    /// size at the prepare boundary, not to its clause count.
+    pub snapshot_bytes_cloned: u64,
 }
 
 /// An incremental property-checking session over one design's 2-safety miter.
@@ -268,6 +277,10 @@ pub struct PreparedLevel {
     regs: [FxHashMap<SignalId, BitVec>; 2],
     start: Instant,
     structurally_proved: u64,
+    /// Bytes the generation's frozen snapshot clone copied off the master
+    /// (0 when no snapshot was taken: taskless generations, inline
+    /// schedules, non-forkable backends).
+    snapshot_bytes: u64,
     /// Master-side work bracketed over this generation's prepare: AIG and
     /// CNF growth plus any clause-GC the master ran before the snapshot.
     aig_nodes: usize,
@@ -306,6 +319,14 @@ impl PreparedLevel {
     #[must_use]
     pub fn has_snapshot(&self) -> bool {
         self.snapshot.is_some()
+    }
+
+    /// Bytes the generation's frozen snapshot clone copied off the master —
+    /// the O(bytes) cost of freezing this generation (0 when no snapshot was
+    /// taken).  Schedulers aggregate this into their pipeline counters.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
     }
 
     /// Releases the generation's snapshot once its results are merged: the
@@ -368,6 +389,13 @@ impl PreparedLevel {
                     .to_string(),
             }));
         };
+        // The byte cost of the fork that produced this shard.  It is folded
+        // into the consumed task's work delta below — and it is schedule-
+        // invariant: whether the shard forked off the frozen snapshot or
+        // (on an inline schedule) straight off the unmutated master, the
+        // cloned content is byte-identical, so reports stay identical across
+        // the whole jobs x pipelining matrix.
+        let fork_bytes = shard.snapshot_bytes();
         shard.mask_all_decisions();
         for &v in &task.cone {
             shard.set_decision_var(v, true);
@@ -389,16 +417,19 @@ impl PreparedLevel {
             Ok(SolveResult::Interrupted) => TaskOutcome::skipped(),
             Ok(SolveResult::Unsat) => {
                 let after = shard.stats();
-                TaskOutcome(TaskResult::Unsat(
-                    after.solver.delta_since(&before.solver),
-                    after.queries - before.queries,
-                ))
+                let mut delta = after.solver.delta_since(&before.solver);
+                delta.fork_count += 1;
+                delta.bytes_cloned += fork_bytes;
+                TaskOutcome(TaskResult::Unsat(delta, after.queries - before.queries))
             }
             Ok(SolveResult::Sat) => {
                 doomed.fetch_min(index, Ordering::SeqCst);
                 let after = shard.stats();
+                let mut delta = after.solver.delta_since(&before.solver);
+                delta.fork_count += 1;
+                delta.bytes_cloned += fork_bytes;
                 TaskOutcome(TaskResult::Sat(
-                    after.solver.delta_since(&before.solver),
+                    delta,
                     after.queries - before.queries,
                     shard,
                 ))
@@ -869,6 +900,21 @@ impl MiterSession {
                 None => Snapshot::None,
             }
         };
+        // Master-side fork accounting: with the arena-backed clause store a
+        // snapshot clone costs O(bytes of live database), and these counters
+        // make that visible per generation.  They stay out of the flow
+        // report (which counts the schedule-invariant per-task forks
+        // instead) because inline schedules legitimately skip the clone.
+        // The byte computation itself only runs when a snapshot was taken —
+        // for process backends it scans the clause list.
+        let snapshot_bytes = if snapshot.is_some() {
+            let bytes = self.backend.snapshot_bytes();
+            self.stats.snapshot_forks += 1;
+            self.stats.snapshot_bytes_cloned += bytes;
+            bytes
+        } else {
+            0
+        };
         self.pending_acts.extend(tasks.iter().filter_map(|t| t.act));
 
         let backend_after = self.backend.stats();
@@ -879,6 +925,7 @@ impl MiterSession {
             regs: epoch.regs.clone(),
             start,
             structurally_proved,
+            snapshot_bytes,
             aig_nodes: self.aig.num_nodes() - aig_nodes_before,
             aig_ands: self.aig.num_ands() - aig_ands_before,
             strash_hits: self.aig.strash_hits() - strash_before,

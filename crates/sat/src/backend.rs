@@ -29,6 +29,8 @@
 
 use std::error::Error;
 use std::fmt;
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::Arc;
@@ -141,10 +143,20 @@ pub trait SatBackend: Send + Sync {
     /// clause database, no shared mutable state, ready to solve a different
     /// query concurrently.  Returns `None` if the backend cannot fork (the
     /// parallel scheduler then falls back to sequential solving on the
-    /// master).  Work counters carry over; callers attribute per-fork work by
+    /// master).  Work counters carry over — plus one recorded fork of
+    /// [`snapshot_bytes`](Self::snapshot_bytes) bytes on the child, so the
+    /// O(bytes) cost model is observable; callers attribute per-fork work by
     /// differencing against the snapshot's [`stats`](Self::stats).
     fn fork(&self) -> Option<Box<dyn SatBackend>> {
         None
+    }
+
+    /// The byte cost of one [`fork`](Self::fork): how much a snapshot clone
+    /// copies.  For the bundled solver this is the arena-backed cost model
+    /// ([`Solver::snapshot_bytes`]) — proportional to the live database
+    /// size, never to the clause count.  Backends that cannot fork return 0.
+    fn snapshot_bytes(&self) -> u64 {
+        0
     }
 
     /// Opportunistically compacts the clause database, dropping clauses that
@@ -217,7 +229,17 @@ impl SatBackend for Solver {
     }
 
     fn fork(&self) -> Option<Box<dyn SatBackend>> {
-        Some(Box::new(self.clone()))
+        // With the arena-backed clause store the clone is a handful of
+        // flat-buffer memcpys; the child records the fork so the cost is
+        // visible in its counters.
+        let bytes = self.snapshot_bytes();
+        let mut child = self.clone();
+        child.record_fork(bytes);
+        Some(Box::new(child))
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        Solver::snapshot_bytes(self)
     }
 
     fn collect_garbage(&mut self) -> u64 {
@@ -253,6 +275,15 @@ impl SatBackend for Solver {
 /// silently treated as an all-false model — counterexample reconstruction
 /// needs real model values.
 ///
+/// Rather than re-serialising the whole formula per query, the backend keeps
+/// an **incremental CNF file**: a fixed-width problem line followed by every
+/// clause serialized exactly once.  Each query appends only the clauses
+/// added since the previous query plus the assumption units, rewrites the
+/// (padded, fixed-offset) problem line in place, runs the solver, and
+/// truncates the assumption units away again — so the serialisation work per
+/// query is proportional to what *changed*, which keeps external solvers
+/// usable on big flows.
+///
 /// [`solve_under`]: SatBackend::solve_under
 #[derive(Debug)]
 pub struct DimacsProcessBackend {
@@ -266,6 +297,42 @@ pub struct DimacsProcessBackend {
     model: Vec<Option<bool>>,
     queries: u64,
     known_unsat: bool,
+    /// The incremental CNF file, created lazily on the first query and
+    /// removed when the backend drops.
+    cache: Option<CnfCache>,
+}
+
+/// The on-disk incremental CNF document of a [`DimacsProcessBackend`].
+#[derive(Debug)]
+struct CnfCache {
+    path: PathBuf,
+    file: File,
+    /// Clauses already serialized into the base region (never re-written).
+    clauses_written: usize,
+    /// Byte length of the base region: the problem line plus every
+    /// serialized clause.  Assumption units live past this offset and are
+    /// truncated after each query.
+    base_len: u64,
+}
+
+/// Fixed width of the two counts in the problem line, so the line can be
+/// rewritten in place without moving the clauses behind it.  DIMACS readers
+/// (including [`parse_dimacs`](crate::parse_dimacs), which backs `htd sat`)
+/// skip the `p` line or tolerate padded counts.
+const HEADER_FIELD_WIDTH: usize = 10;
+
+fn render_header(num_vars: u32, num_clauses: usize) -> String {
+    format!("p cnf {num_vars:>HEADER_FIELD_WIDTH$} {num_clauses:>HEADER_FIELD_WIDTH$}\n")
+}
+
+fn render_clause(lits: &[Lit]) -> String {
+    let mut line = String::with_capacity(lits.len() * 4 + 2);
+    for lit in lits {
+        line.push_str(&lit.to_string());
+        line.push(' ');
+    }
+    line.push_str("0\n");
+    line
 }
 
 /// Monotonic id source for [`DimacsProcessBackend::instance`].
@@ -284,6 +351,7 @@ impl DimacsProcessBackend {
             model: Vec::new(),
             queries: 0,
             known_unsat: false,
+            cache: None,
         }
     }
 
@@ -305,33 +373,80 @@ impl DimacsProcessBackend {
         &self.solver_path
     }
 
-    fn write_query(&self, assumptions: &[Lit]) -> Result<PathBuf, BackendError> {
-        let path = std::env::temp_dir().join(format!(
-            "htd-dimacs-{}-{}-{}.cnf",
-            std::process::id(),
-            self.instance,
-            self.queries
-        ));
-        let mut text = String::new();
-        text.push_str(&format!(
-            "p cnf {} {}\n",
-            self.num_vars,
-            self.clauses.len() + assumptions.len()
-        ));
-        for clause in &self.clauses {
-            for lit in clause {
-                text.push_str(&lit.to_string());
-                text.push(' ');
-            }
-            text.push_str("0\n");
+    /// Brings the incremental CNF file up to date for one query: appends the
+    /// clauses added since the last query and the assumption units, then
+    /// rewrites the fixed-width problem line in place.  Returns the file's
+    /// path; the caller truncates the assumptions away after the solver ran
+    /// (see [`truncate_assumptions`](Self::truncate_assumptions)).
+    fn write_query(&mut self, assumptions: &[Lit]) -> Result<PathBuf, BackendError> {
+        let io_err = |path: &Path, e: std::io::Error| {
+            BackendError::new(format!("writing {}: {e}", path.display()))
+        };
+        if self.cache.is_none() {
+            let path = std::env::temp_dir().join(format!(
+                "htd-dimacs-{}-{}.cnf",
+                std::process::id(),
+                self.instance
+            ));
+            let mut file = File::create(&path).map_err(|e| io_err(&path, e))?;
+            let header = render_header(self.num_vars, self.clauses.len());
+            file.write_all(header.as_bytes())
+                .map_err(|e| io_err(&path, e))?;
+            self.cache = Some(CnfCache {
+                path,
+                file,
+                clauses_written: 0,
+                base_len: header.len() as u64,
+            });
         }
+        let cache = self.cache.as_mut().expect("created above");
+        let path = cache.path.clone();
+        let mut appended = String::new();
+        for clause in &self.clauses[cache.clauses_written..] {
+            appended.push_str(&render_clause(clause));
+        }
+        cache
+            .file
+            .seek(SeekFrom::Start(cache.base_len))
+            .map_err(|e| io_err(&path, e))?;
+        cache
+            .file
+            .write_all(appended.as_bytes())
+            .map_err(|e| io_err(&path, e))?;
+        cache.base_len += appended.len() as u64;
+        cache.clauses_written = self.clauses.len();
+        let mut units = String::new();
         for lit in assumptions {
-            text.push_str(&lit.to_string());
-            text.push_str(" 0\n");
+            units.push_str(&lit.to_string());
+            units.push_str(" 0\n");
         }
-        std::fs::write(&path, text)
-            .map_err(|e| BackendError::new(format!("writing {}: {e}", path.display())))?;
+        cache
+            .file
+            .write_all(units.as_bytes())
+            .map_err(|e| io_err(&path, e))?;
+        cache
+            .file
+            .set_len(cache.base_len + units.len() as u64)
+            .map_err(|e| io_err(&path, e))?;
+        cache
+            .file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&path, e))?;
+        let header = render_header(self.num_vars, self.clauses.len() + assumptions.len());
+        cache
+            .file
+            .write_all(header.as_bytes())
+            .map_err(|e| io_err(&path, e))?;
         Ok(path)
+    }
+
+    /// Drops the assumption units appended by the previous
+    /// [`write_query`](Self::write_query), restoring the file to its base
+    /// region so the next query appends from a clean state.
+    fn truncate_assumptions(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            let _ = cache.file.set_len(cache.base_len);
+        }
     }
 
     fn parse_answer(
@@ -443,7 +558,9 @@ impl SatBackend for DimacsProcessBackend {
                 self.solver_path.display()
             ))),
         };
-        let _ = std::fs::remove_file(&path);
+        // Keep the serialized clause prefix for the next query; only the
+        // assumption units are rolled back.
+        self.truncate_assumptions();
         result
     }
 
@@ -474,7 +591,28 @@ impl SatBackend for DimacsProcessBackend {
             model: Vec::new(),
             queries: 0,
             known_unsat: self.known_unsat,
+            // The fork serializes its own CNF file from scratch on its first
+            // query (the parent's file keeps accumulating independently).
+            cache: None,
         }))
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        // The fork copies the in-memory clause lists: one `Vec<Lit>` per
+        // clause (this backend is not arena-backed — external solvers
+        // re-read the whole CNF anyway).
+        self.clauses
+            .iter()
+            .map(|c| (c.len() * std::mem::size_of::<Lit>()) as u64)
+            .sum()
+    }
+}
+
+impl Drop for DimacsProcessBackend {
+    fn drop(&mut self) {
+        if let Some(cache) = &self.cache {
+            let _ = std::fs::remove_file(&cache.path);
+        }
     }
 }
 
@@ -554,6 +692,65 @@ mod tests {
         let a = DimacsProcessBackend::new("/bin/true");
         let b = DimacsProcessBackend::new("/bin/true");
         assert_ne!(a.instance, b.instance);
+    }
+
+    /// The incremental CNF cache serializes every clause exactly once:
+    /// later queries append only the new clauses and the per-query
+    /// assumption units, which are truncated away again afterwards.
+    #[test]
+    fn incremental_cnf_cache_appends_only_new_clauses() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        let a = backend.new_var();
+        let b = backend.new_var();
+        SatBackend::add_clause(&mut backend, &[Lit::pos(a), Lit::pos(b)]);
+        // The spawn fails, but the CNF file is written (and cleaned) first.
+        let _ = backend.solve_under(&[Lit::neg(a)]);
+        let path = backend.cache.as_ref().expect("cache created").path.clone();
+        let after_first = std::fs::read_to_string(&path).unwrap();
+        assert!(after_first.starts_with("p cnf"), "{after_first}");
+        assert!(after_first.contains("1 2 0"));
+        assert!(
+            !after_first.contains("-1 0"),
+            "assumption units truncated away: {after_first}"
+        );
+        let base_len = backend.cache.as_ref().unwrap().base_len;
+        assert_eq!(backend.cache.as_ref().unwrap().clauses_written, 1);
+
+        // A second query appends the new clause behind the cached prefix.
+        SatBackend::add_clause(&mut backend, &[Lit::neg(b), Lit::pos(a)]);
+        let _ = backend.solve_under(&[]);
+        let cache = backend.cache.as_ref().unwrap();
+        assert_eq!(cache.clauses_written, 2);
+        assert!(cache.base_len > base_len);
+        let after_second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            after_second.matches("1 2 0").count(),
+            1,
+            "the prefix is serialized exactly once: {after_second}"
+        );
+        assert!(after_second.contains("-2 1 0"));
+        drop(backend);
+        assert!(!path.exists(), "cache file removed on drop");
+    }
+
+    /// The in-place header rewrite keeps the declared counts in sync with
+    /// the appended clauses and assumptions, and the padded problem line
+    /// stays parseable by the bundled DIMACS reader.
+    #[test]
+    fn incremental_cnf_header_tracks_counts_and_stays_parseable() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        let a = backend.new_var();
+        let b = backend.new_var();
+        SatBackend::add_clause(&mut backend, &[Lit::pos(a), Lit::pos(b)]);
+        let path = backend.write_query(&[Lit::neg(a)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header = text.lines().next().unwrap();
+        let counts: Vec<&str> = header.split_whitespace().collect();
+        assert_eq!(counts, vec!["p", "cnf", "2", "2"]);
+        let mut solver = crate::dimacs::parse_dimacs(&text).unwrap();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.value(b), Some(true), "1 2 & -1 forces 2");
+        backend.truncate_assumptions();
     }
 
     /// The process backend advertises forkability (each query writes a fresh

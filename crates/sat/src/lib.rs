@@ -15,7 +15,12 @@
 //! * activity-based learnt-clause database reduction,
 //! * incremental solving under assumptions (used for the antecedent
 //!   assumptions and per-property activation literals of the incremental
-//!   detection session in `htd-core`).
+//!   detection session in `htd-core`),
+//! * an arena-backed clause store: all clauses live in one flat `u32`
+//!   buffer addressed by [`ClauseRef`] offsets, so cloning the solver — the
+//!   fork primitive of the parallel detection flow — costs O(bytes), not
+//!   one allocation per clause, and garbage collection is a single in-place
+//!   compaction sweep (see the [`Solver`] module docs).
 //!
 //! The crate also defines the [`SatBackend`] trait — the minimal incremental
 //! interface the detection flow drives (allocate variables, add clauses,
@@ -43,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod backend;
 mod dimacs;
 mod literal;
@@ -52,5 +58,5 @@ pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use literal::{Lit, Var};
 pub use solver::{
-    SolveResult, Solver, SolverStats, DEFAULT_GC_DEAD_FRACTION, DEFAULT_GC_MIN_CLAUSES,
+    ClauseRef, SolveResult, Solver, SolverStats, DEFAULT_GC_DEAD_FRACTION, DEFAULT_GC_MIN_CLAUSES,
 };

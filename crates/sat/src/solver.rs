@@ -1,5 +1,43 @@
 //! The CDCL solver core.
+//!
+//! # Solver memory architecture
+//!
+//! The clause database is an **arena**: one flat `Vec<u32>` holding every
+//! clause as a two-word header (size, LBD/glue, learnt and deleted flags,
+//! plus an `f32` activity word) followed by its literal codes inline — see
+//! [`crate::arena`] for the exact layout.  Clauses are addressed by
+//! [`ClauseRef`] word offsets; watcher lists store `(ClauseRef, blocker)`
+//! pairs, and reason references are `Option<ClauseRef>`.
+//!
+//! Three consequences of the layout drive the incremental detection flow:
+//!
+//! * **Forking is O(bytes).**  [`Solver`] is `Clone`, and a clone's clause
+//!   database is a single memcpy of the arena — no per-clause heap
+//!   allocation.  [`snapshot_bytes`](Solver::snapshot_bytes) reports the
+//!   byte cost of one clone (arena + watcher lists + per-variable
+//!   bookkeeping + trail; the derived decision-order heap is excluded), and
+//!   `SatBackend::fork` records `fork_count` / `bytes_cloned` in the child's
+//!   [`SolverStats`] so the cost model is observable all the way up in
+//!   `DetectionReport::solver_totals`.
+//! * **`ClauseRef`s are stable until compaction.**  Allocation appends,
+//!   deletion flips a header bit, and only
+//!   [`collect_garbage`](Solver::collect_garbage) moves clauses: one
+//!   in-place sweep slides live clauses down over dead ones and returns a
+//!   relocation map, which patches the watcher lists in place (watched
+//!   positions 0 and 1 are provably unchanged at decision level 0, so no
+//!   watch re-selection happens) and drops the — level-0, never inspected —
+//!   reason references.  `SolverStats::arena_words_reclaimed` counts the
+//!   freed words.
+//! * **Retirement marks headers dead eagerly.**  When a literal becomes true
+//!   at the top level (e.g. a retired activation literal's negation), every
+//!   clause *watching* it is permanently satisfied; propagation flips those
+//!   headers' deleted bits on the spot.  Dead clauses are therefore counted
+//!   in O(1) — [`collect_garbage_if`](Solver::collect_garbage_if) compares
+//!   two counters instead of scanning the database — and the physical
+//!   reclamation is a single compaction pass.
 
+pub use crate::arena::ClauseRef;
+use crate::arena::{ClauseArena, CompactOutcome, RELOC_DEAD};
 use crate::literal::{Lit, Var};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -63,6 +101,18 @@ pub struct SolverStats {
     /// the number of conflicts for the average glue, a quality measure of the
     /// learnt database.
     pub learnt_lbd_sum: u64,
+    /// Snapshot forks recorded against this solver lineage: bumped on the
+    /// child at every `SatBackend::fork`, and accounted per consumed solve
+    /// task by the incremental session so the counter is schedule-invariant
+    /// in flow reports.
+    pub fork_count: u64,
+    /// Bytes copied by the recorded forks (see
+    /// [`Solver::snapshot_bytes`]): the O(bytes) cost model of the arena
+    /// store — proportional to the live database size, never to the clause
+    /// count.
+    pub bytes_cloned: u64,
+    /// Arena words freed by garbage-collection compaction sweeps.
+    pub arena_words_reclaimed: u64,
 }
 
 impl SolverStats {
@@ -71,16 +121,38 @@ impl SolverStats {
     /// parallel property check).  `learnt_clauses` is a gauge, not a counter;
     /// summed values are only meaningful for per-query deltas.
     pub fn accumulate(&mut self, other: &SolverStats) {
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.conflicts += other.conflicts;
-        self.restarts += other.restarts;
-        self.learnt_clauses += other.learnt_clauses;
-        self.removed_clauses += other.removed_clauses;
-        self.solves += other.solves;
-        self.gc_runs += other.gc_runs;
-        self.clauses_collected += other.clauses_collected;
-        self.learnt_lbd_sum += other.learnt_lbd_sum;
+        // Exhaustive destructuring on purpose: adding a field to
+        // `SolverStats` without deciding how it aggregates must be a compile
+        // error here (and in `delta_since`), not a silently dropped counter
+        // in `DetectionReport::solver_totals`.
+        let SolverStats {
+            decisions,
+            propagations,
+            conflicts,
+            restarts,
+            learnt_clauses,
+            removed_clauses,
+            solves,
+            gc_runs,
+            clauses_collected,
+            learnt_lbd_sum,
+            fork_count,
+            bytes_cloned,
+            arena_words_reclaimed,
+        } = *other;
+        self.decisions += decisions;
+        self.propagations += propagations;
+        self.conflicts += conflicts;
+        self.restarts += restarts;
+        self.learnt_clauses += learnt_clauses;
+        self.removed_clauses += removed_clauses;
+        self.solves += solves;
+        self.gc_runs += gc_runs;
+        self.clauses_collected += clauses_collected;
+        self.learnt_lbd_sum += learnt_lbd_sum;
+        self.fork_count += fork_count;
+        self.bytes_cloned += bytes_cloned;
+        self.arena_words_reclaimed += arena_words_reclaimed;
     }
 
     /// The counter-wise difference `self - earlier` (used to attribute work
@@ -88,35 +160,39 @@ impl SolverStats {
     /// gauge is also differenced, saturating at zero.
     #[must_use]
     pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        // Exhaustive destructuring — see `accumulate`.
+        let SolverStats {
+            decisions,
+            propagations,
+            conflicts,
+            restarts,
+            learnt_clauses,
+            removed_clauses,
+            solves,
+            gc_runs,
+            clauses_collected,
+            learnt_lbd_sum,
+            fork_count,
+            bytes_cloned,
+            arena_words_reclaimed,
+        } = *earlier;
         SolverStats {
-            decisions: self.decisions - earlier.decisions,
-            propagations: self.propagations - earlier.propagations,
-            conflicts: self.conflicts - earlier.conflicts,
-            restarts: self.restarts - earlier.restarts,
-            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
-            removed_clauses: self.removed_clauses - earlier.removed_clauses,
-            solves: self.solves - earlier.solves,
-            gc_runs: self.gc_runs - earlier.gc_runs,
-            clauses_collected: self.clauses_collected - earlier.clauses_collected,
-            learnt_lbd_sum: self.learnt_lbd_sum - earlier.learnt_lbd_sum,
+            decisions: self.decisions - decisions,
+            propagations: self.propagations - propagations,
+            conflicts: self.conflicts - conflicts,
+            restarts: self.restarts - restarts,
+            learnt_clauses: self.learnt_clauses.saturating_sub(learnt_clauses),
+            removed_clauses: self.removed_clauses - removed_clauses,
+            solves: self.solves - solves,
+            gc_runs: self.gc_runs - gc_runs,
+            clauses_collected: self.clauses_collected - clauses_collected,
+            learnt_lbd_sum: self.learnt_lbd_sum - learnt_lbd_sum,
+            fork_count: self.fork_count - fork_count,
+            bytes_cloned: self.bytes_cloned - bytes_cloned,
+            arena_words_reclaimed: self.arena_words_reclaimed - arena_words_reclaimed,
         }
     }
 }
-
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-    /// Literal-block distance ("glue"): the number of distinct decision
-    /// levels in the clause when it was learnt.  Low-LBD clauses connect few
-    /// decision levels and are empirically the most reusable, so database
-    /// reduction keeps them regardless of activity.  Problem clauses carry 0.
-    lbd: u32,
-}
-
-type ClauseRef = usize;
 
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
@@ -153,8 +229,11 @@ impl Ord for HeapEntry {
 }
 
 const VAR_DECAY: f64 = 0.95;
-const CLAUSE_DECAY: f64 = 0.999;
+const CLAUSE_DECAY: f32 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Clause activities are `f32` words in the arena, so they rescale much
+/// earlier than the `f64` variable activities.
+const CLAUSE_RESCALE_LIMIT: f32 = 1e20;
 const RESTART_BASE: u64 = 100;
 /// Learnt clauses with an LBD at or below this are kept by database
 /// reduction regardless of activity ("glue clauses").
@@ -177,7 +256,7 @@ impl std::fmt::Debug for InterruptCheck {
 
 /// Default [`Solver::set_gc_thresholds`] dead fraction: compact once a
 /// quarter of the database is dead; below that the propagation savings do
-/// not pay for the watch rebuild.
+/// not pay for the compaction sweep.
 pub const DEFAULT_GC_DEAD_FRACTION: f64 = 0.25;
 
 /// Default [`Solver::set_gc_thresholds`] minimum database size.
@@ -187,12 +266,21 @@ pub const DEFAULT_GC_MIN_CLAUSES: usize = 128;
 ///
 /// The solver is `Clone`: a clone is an independent snapshot sharing no
 /// state, which incremental clients use to fork per-query solvers off one
-/// master clause database (see `SatBackend::fork` in this crate).
+/// master clause database (see `SatBackend::fork` in this crate).  Because
+/// the clause database is a flat arena, the clone cost is proportional to
+/// its byte size — [`snapshot_bytes`](Self::snapshot_bytes) — not to the
+/// clause count; see the [module docs](self) for the memory architecture.
 ///
 /// See the [crate-level documentation](crate) for an overview and an example.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
+    /// Clauses in the arena that can still participate in a query.
+    live_clauses: usize,
+    /// Clauses in the arena whose deleted header bit is set (flagged by
+    /// database reduction or by eager satisfied-marking at the top level),
+    /// awaiting physical removal by the next compaction.
+    dead_clauses: usize,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<Option<bool>>,
     phase: Vec<bool>,
@@ -200,7 +288,7 @@ pub struct Solver {
     level: Vec<u32>,
     activity: Vec<f64>,
     var_inc: f64,
-    cla_inc: f64,
+    cla_inc: f32,
     order: BinaryHeap<HeapEntry>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
@@ -280,16 +368,58 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of non-deleted clauses (problem and learnt).
+    /// Number of live clauses (problem and learnt): clauses whose header is
+    /// not flagged deleted.  Maintained as a counter — the arena is never
+    /// scanned to answer this.
     #[must_use]
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.live_clauses
+    }
+
+    /// Words currently held by the clause arena (live and dead clauses
+    /// alike): the dominant term of [`snapshot_bytes`](Self::snapshot_bytes)
+    /// is four times this.
+    #[must_use]
+    pub fn arena_words(&self) -> usize {
+        self.arena.words()
+    }
+
+    /// The byte cost of cloning this solver — the fork cost model of the
+    /// arena-backed store.  Counts the clause arena, the watcher lists, the
+    /// per-variable bookkeeping arrays and the trail (all length-derived, so
+    /// two solvers with identical content report identical bytes); the
+    /// derived decision-order heap is excluded.  `SatBackend::fork` records
+    /// this value in the child's [`SolverStats::bytes_cloned`].
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        let arena = self.arena.words() * 4;
+        let watchers: usize = self
+            .watches
+            .iter()
+            .map(|list| list.len() * std::mem::size_of::<Watcher>())
+            .sum();
+        let per_var = self.num_vars()
+            * (std::mem::size_of::<Option<bool>>() * 2 // assigns + model
+                + std::mem::size_of::<bool>() * 3 // phase + seen + decision
+                + std::mem::size_of::<Option<ClauseRef>>()
+                + std::mem::size_of::<u32>() // level
+                + std::mem::size_of::<f64>()); // activity
+        let trail = self.trail.len() * std::mem::size_of::<Lit>();
+        (arena + watchers + per_var + trail) as u64
     }
 
     /// Solver work counters accumulated since construction.
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Records one fork of `bytes` bytes in the stats (called by
+    /// `SatBackend::fork` on the freshly cloned child, and mirrored by
+    /// incremental sessions into per-task work deltas).
+    pub(crate) fn record_fork(&mut self, bytes: u64) {
+        self.stats.fork_count += 1;
+        self.stats.bytes_cloned += bytes;
     }
 
     /// Sets the learnt-clause count above which the solver halves its learnt
@@ -442,7 +572,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false);
+                self.attach_clause(&simplified, false);
                 true
             }
         }
@@ -508,9 +638,10 @@ impl Solver {
         self.var_value(l.var()).map(|b| l.apply(b))
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cr = self.clauses.len();
+        let cr = self.arena.alloc(lits, learnt);
+        self.live_clauses += 1;
         let w0 = Watcher {
             clause: cr,
             blocker: lits[1],
@@ -521,17 +652,23 @@ impl Solver {
         };
         self.watches[(!lits[0]).code() as usize].push(w0);
         self.watches[(!lits[1]).code() as usize].push(w1);
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-            lbd: 0,
-        });
         if learnt {
             self.stats.learnt_clauses += 1;
         }
         cr
+    }
+
+    /// Flags a clause's header deleted and keeps the live/dead counters and
+    /// the learnt gauge consistent.  Physical removal happens at the next
+    /// compaction.
+    fn mark_dead(&mut self, cr: ClauseRef) {
+        debug_assert!(!self.arena.is_deleted(cr));
+        self.arena.set_deleted(cr);
+        self.live_clauses -= 1;
+        self.dead_clauses += 1;
+        if self.arena.is_learnt(cr) {
+            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
@@ -568,17 +705,41 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
+    /// A literal became true at the top level: every clause *watching* it is
+    /// permanently satisfied, so its header is flagged dead right here (the
+    /// retirement path of incremental clients — a retired activation
+    /// literal's guard clauses watch the literal that just went true).  The
+    /// eager flag keeps the dead-clause count an O(1) counter and turns the
+    /// next garbage collection into a pure compaction sweep; clauses
+    /// satisfied only through an unwatched literal are still caught by the
+    /// sweep itself.
+    fn mark_satisfied_at_root(&mut self, p: Lit) {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Clauses watching `p` registered themselves under (!p).code().
+        let list = (!p).code() as usize;
+        for k in 0..self.watches[list].len() {
+            let cr = self.watches[list][k].clause;
+            if !self.arena.is_deleted(cr) {
+                self.mark_dead(cr);
+            }
+        }
+    }
+
     fn propagate(&mut self) -> Option<ClauseRef> {
+        let at_root = self.trail_lim.is_empty();
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            if at_root {
+                self.mark_satisfied_at_root(p);
+            }
             let watchers = std::mem::take(&mut self.watches[p.code() as usize]);
             let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
             let mut conflict: Option<ClauseRef> = None;
             let mut iter = watchers.into_iter();
             while let Some(w) = iter.next() {
-                if self.clauses[w.clause].deleted {
+                if self.arena.is_deleted(w.clause) {
                     continue;
                 }
                 if self.lit_value(w.blocker) == Some(true) {
@@ -587,14 +748,11 @@ impl Solver {
                 }
                 let cr = w.clause;
                 let false_lit = !p;
-                {
-                    let c = &mut self.clauses[cr];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if self.arena.lit(cr, 0) == false_lit {
+                    self.arena.swap_lits(cr, 0, 1);
                 }
-                let first = self.clauses[cr].lits[0];
+                debug_assert_eq!(self.arena.lit(cr, 1), false_lit);
+                let first = self.arena.lit(cr, 0);
                 let new_watcher = Watcher {
                     clause: cr,
                     blocker: first,
@@ -605,11 +763,11 @@ impl Solver {
                 }
                 // Look for a new literal to watch.
                 let mut found = false;
-                for k in 2..self.clauses[cr].lits.len() {
-                    let lk = self.clauses[cr].lits[k];
+                for k in 2..self.arena.len(cr) {
+                    let lk = self.arena.lit(cr, k);
                     if self.lit_value(lk) != Some(false) {
-                        self.clauses[cr].lits.swap(1, k);
-                        let watch_on = !self.clauses[cr].lits[1];
+                        self.arena.swap_lits(cr, 1, k);
+                        let watch_on = !self.arena.lit(cr, 1);
                         debug_assert_ne!(watch_on, p);
                         self.watches[watch_on.code() as usize].push(new_watcher);
                         found = true;
@@ -655,12 +813,11 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cr: ClauseRef) {
-        self.clauses[cr].activity += self.cla_inc;
-        if self.clauses[cr].activity > RESCALE_LIMIT {
-            for c in &mut self.clauses {
-                c.activity *= 1.0 / RESCALE_LIMIT;
-            }
-            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        let activity = self.arena.activity(cr) + self.cla_inc;
+        self.arena.set_activity(cr, activity);
+        if activity > CLAUSE_RESCALE_LIMIT {
+            self.arena.scale_activities(1.0 / CLAUSE_RESCALE_LIMIT);
+            self.cla_inc *= 1.0 / CLAUSE_RESCALE_LIMIT;
         }
     }
 
@@ -680,11 +837,13 @@ impl Solver {
         let mut skip_var: Option<Var> = None;
 
         loop {
-            if self.clauses[confl].learnt {
+            if self.arena.is_learnt(confl) {
                 self.bump_clause(confl);
             }
-            let lits = self.clauses[confl].lits.clone();
-            for q in lits {
+            // Literals are read straight out of the arena by index — no
+            // per-conflict clause copy.
+            for k in 0..self.arena.len(confl) {
+                let q = self.arena.lit(confl, k);
                 if Some(q.var()) == skip_var {
                     continue;
                 }
@@ -764,7 +923,8 @@ impl Solver {
         let Some(cr) = self.reason[vi] else {
             return false;
         };
-        self.clauses[cr].lits.iter().all(|&q| {
+        (0..self.arena.len(cr)).all(|k| {
+            let q = self.arena.lit(cr, k);
             let qv = q.var().index() as usize;
             q.var() == l.var() || self.seen[qv] || self.level[qv] == 0
         })
@@ -787,38 +947,38 @@ impl Solver {
     /// be useful again: glue clauses (LBD ≤ [`GLUE_LBD`]) are always kept,
     /// and the rest are ranked by LBD first and activity second.
     ///
-    /// Removal detaches exactly the watchers of the dropped clauses — work
-    /// proportional to the number of collected clauses — instead of
-    /// rebuilding every watch list and re-propagating the whole trail.
+    /// Removal flags arena headers dead and detaches exactly the watchers of
+    /// the dropped clauses — work proportional to the number of flagged
+    /// clauses; the arena words are reclaimed by the next
+    /// [`collect_garbage`](Self::collect_garbage) compaction sweep.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
         let locked: std::collections::HashSet<ClauseRef> =
             self.reason.iter().filter_map(|r| *r).collect();
         let mut learnt_refs: Vec<ClauseRef> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| {
-                c.learnt
-                    && !c.deleted
-                    && c.lits.len() > 2
-                    && c.lbd > GLUE_LBD
-                    && !locked.contains(i)
+            .arena
+            .refs()
+            .filter(|&cr| {
+                self.arena.is_learnt(cr)
+                    && !self.arena.is_deleted(cr)
+                    && self.arena.len(cr) > 2
+                    && self.arena.lbd(cr) > GLUE_LBD
+                    && !locked.contains(&cr)
             })
-            .map(|(i, _)| i)
             .collect();
         if learnt_refs.len() < 2 {
             return;
         }
-        // Worst first: high LBD, then low activity (ties broken by index so
-        // the order — and therefore the search — is deterministic).
+        // Worst first: high LBD, then low activity (ties broken by arena
+        // offset so the order — and therefore the search — is deterministic).
         learnt_refs.sort_by(|&a, &b| {
-            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
-            cb.lbd
-                .cmp(&ca.lbd)
+            self.arena
+                .lbd(b)
+                .cmp(&self.arena.lbd(a))
                 .then_with(|| {
-                    ca.activity
-                        .partial_cmp(&cb.activity)
+                    self.arena
+                        .activity(a)
+                        .partial_cmp(&self.arena.activity(b))
                         .unwrap_or(Ordering::Equal)
                 })
                 .then_with(|| a.cmp(&b))
@@ -826,83 +986,84 @@ impl Solver {
         let to_remove = learnt_refs.len() / 2;
         let mut removed = 0;
         for &cr in learnt_refs.iter().take(to_remove) {
-            self.clauses[cr].deleted = true;
+            self.mark_dead(cr);
             self.detach_watchers(cr);
             removed += 1;
         }
         self.stats.removed_clauses += removed;
-        self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(removed);
     }
 
     /// Removes the two watcher entries of a clause (watchers live on the
     /// negations of the first two literals — the invariant `propagate`
     /// maintains).
     fn detach_watchers(&mut self, cr: ClauseRef) {
-        let l0 = self.clauses[cr].lits[0];
-        let l1 = self.clauses[cr].lits[1];
+        let l0 = self.arena.lit(cr, 0);
+        let l1 = self.arena.lit(cr, 1);
         self.watches[(!l0).code() as usize].retain(|w| w.clause != cr);
         self.watches[(!l1).code() as usize].retain(|w| w.clause != cr);
     }
 
-    /// Physically removes dead clauses from the arena: clauses marked deleted
-    /// by database reduction and clauses satisfied at the top level — most
-    /// importantly the per-property miter clauses of incremental clients,
-    /// which are disabled forever once their activation literal is retired by
-    /// a top-level unit.  Literals falsified at the top level (e.g. positive
+    /// Physically removes dead clauses from the arena: clauses flagged
+    /// deleted (by database reduction, or eagerly when a top-level unit
+    /// satisfied them — the retired-activation-literal path of incremental
+    /// clients) and clauses satisfied at the top level through an unwatched
+    /// literal.  Literals falsified at the top level (e.g. positive
     /// occurrences of retired activation literals inside learnt clauses) are
     /// stripped from the surviving clauses.
     ///
-    /// Watches are rebuilt from the compacted arena.  Must be called at
-    /// decision level 0 (between queries).  Returns the number of clauses
-    /// collected.
+    /// The sweep is a single in-place compaction pass over the arena
+    /// ([`ClauseArena::compact`]): survivors slide down, and the returned
+    /// relocation map patches the watcher lists in place — watched positions
+    /// are provably stable at decision level 0, so no watch re-selection or
+    /// re-propagation happens.  Must be called at decision level 0 (between
+    /// queries).  Returns the number of clauses collected.
     pub fn collect_garbage(&mut self) -> u64 {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
             return 0;
         }
-        let old = std::mem::take(&mut self.clauses);
-        let mut kept: Vec<Clause> = Vec::with_capacity(old.len());
-        let mut collected = 0u64;
-        let mut learnt_removed = 0u64;
-        let mut units: Vec<Lit> = Vec::new();
-        for mut clause in old {
-            if clause.deleted || clause.lits.iter().any(|&l| self.lit_value(l) == Some(true)) {
-                collected += 1;
-                if clause.learnt && !clause.deleted {
-                    learnt_removed += 1;
-                }
-                continue;
-            }
-            clause.lits.retain(|&l| self.lit_value(l).is_none());
-            match clause.lits.len() {
-                0 => {
-                    // All literals false at the top level: the formula is
-                    // unsatisfiable (cannot normally happen after complete
-                    // propagation, but stay sound).
-                    self.ok = false;
-                    collected += 1;
-                }
-                1 => {
-                    units.push(clause.lits[0]);
-                    collected += 1;
-                    if clause.learnt {
-                        learnt_removed += 1;
-                    }
-                }
-                _ => kept.push(clause),
-            }
+        let assigns = &self.assigns;
+        let CompactOutcome {
+            reloc,
+            collected,
+            learnt_removed,
+            units,
+            found_empty,
+            survivors,
+            words_reclaimed,
+        } = self
+            .arena
+            .compact(|l| assigns[l.var().index() as usize].map(|b| l.apply(b)));
+        if found_empty {
+            // All literals of some clause were false at the top level: the
+            // formula is unsatisfiable (cannot normally happen after complete
+            // propagation, but stay sound).
+            self.ok = false;
         }
-        self.clauses = kept;
+        self.live_clauses = survivors;
+        self.dead_clauses = 0;
+        // Patch the watcher lists through the relocation map: watchers of
+        // collected clauses drop out, survivors keep their (unchanged)
+        // watched positions under their new offsets.
+        for list in &mut self.watches {
+            list.retain_mut(|w| {
+                let new = reloc[w.clause.0 as usize];
+                if new == RELOC_DEAD {
+                    return false;
+                }
+                w.clause = ClauseRef(new);
+                true
+            });
+        }
         // Old clause references are invalid now.  At level 0 no reason is
         // ever inspected (conflict analysis skips level-0 literals), so they
         // are simply dropped.
         for r in &mut self.reason {
             *r = None;
         }
-        self.rebuild_watches();
-        // Surviving clauses contain no assigned literals, so re-propagating
-        // the trail only walks empty watch lists; any units uncovered by
-        // stripping are enqueued and propagated now.
+        // Units uncovered by stripping are enqueued and propagated now; the
+        // surviving watches are already consistent, so propagation only
+        // processes the new units.
         for u in units {
             match self.lit_value(u) {
                 Some(false) => {
@@ -918,24 +1079,21 @@ impl Solver {
         self.stats.gc_runs += 1;
         self.stats.clauses_collected += collected;
         self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(learnt_removed);
+        self.stats.arena_words_reclaimed += words_reclaimed;
         collected
     }
 
     /// Runs [`collect_garbage`](Self::collect_garbage) only when at least
-    /// `min_fraction` of the (non-trivial) clause database is dead — deleted
-    /// or satisfied at the top level.  Returns the number of clauses
-    /// collected (0 when below the threshold).
+    /// `min_fraction` of the clause database is flagged dead.  Thanks to the
+    /// eager satisfied-marking in propagation, the check compares two
+    /// counters — no database scan.  Returns the number of clauses collected
+    /// (0 when below the threshold).
     pub fn collect_garbage_if(&mut self, min_fraction: f64) -> u64 {
-        let total = self.clauses.len();
+        let total = self.live_clauses + self.dead_clauses;
         if total < self.gc_min_clauses || !self.ok || self.decision_level() != 0 {
             return 0;
         }
-        let dead = self
-            .clauses
-            .iter()
-            .filter(|c| c.deleted || c.lits.iter().any(|&l| self.lit_value(l) == Some(true)))
-            .count();
-        if (dead as f64) < min_fraction * total as f64 {
+        if (self.dead_clauses as f64) < min_fraction * total as f64 {
             return 0;
         }
         self.collect_garbage()
@@ -964,30 +1122,6 @@ impl Solver {
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
-    }
-
-    fn rebuild_watches(&mut self) {
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for cr in 0..self.clauses.len() {
-            if self.clauses[cr].deleted || self.clauses[cr].lits.len() < 2 {
-                continue;
-            }
-            let l0 = self.clauses[cr].lits[0];
-            let l1 = self.clauses[cr].lits[1];
-            self.watches[(!l0).code() as usize].push(Watcher {
-                clause: cr,
-                blocker: l1,
-            });
-            self.watches[(!l1).code() as usize].push(Watcher {
-                clause: cr,
-                blocker: l0,
-            });
-        }
-        // Re-run propagation over the whole trail to restore the watcher
-        // invariants with respect to the current (level-0) assignment.
-        self.qhead = 0;
     }
 
     fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
@@ -1020,8 +1154,8 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(asserting, None);
                 } else {
-                    let cr = self.attach_clause(learnt, true);
-                    self.clauses[cr].lbd = lbd;
+                    let cr = self.attach_clause(&learnt, true);
+                    self.arena.set_lbd(cr, lbd);
                     self.bump_clause(cr);
                     self.unchecked_enqueue(asserting, Some(cr));
                 }
@@ -1321,5 +1455,118 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.value(v[n - 1]), Some(true));
+    }
+
+    /// The arena cost model: clone bytes grow with the literal payload, and
+    /// `snapshot_bytes` is derived from lengths only, so two solvers with the
+    /// same content report the same cost.
+    #[test]
+    fn snapshot_bytes_track_the_arena() {
+        let (mut s, v) = make_solver(4);
+        let before = s.snapshot_bytes();
+        s.add_clause([lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        let after = s.snapshot_bytes();
+        // One clause: 2 header words + 3 literal words, plus two watchers.
+        assert_eq!(
+            after - before,
+            (5 * 4 + 2 * std::mem::size_of::<Watcher>()) as u64
+        );
+        assert_eq!(s.arena_words(), 5);
+        let clone = s.clone();
+        assert_eq!(clone.snapshot_bytes(), after);
+    }
+
+    /// Retiring a literal that guard clauses *watch* flags them dead on the
+    /// spot: the dead count is maintained eagerly, so the threshold check in
+    /// `collect_garbage_if` needs no database scan.
+    #[test]
+    fn root_units_mark_watching_clauses_dead_eagerly() {
+        let (mut s, v) = make_solver(3);
+        // Binary guard clauses watch both literals, so retiring !3 (making
+        // it true) marks them satisfied-dead eagerly.
+        s.add_clause([lit(&v, -3), lit(&v, 1)]);
+        s.add_clause([lit(&v, -3), lit(&v, 2)]);
+        assert_eq!(s.num_clauses(), 2);
+        s.add_clause([lit(&v, -3)]);
+        assert_eq!(s.num_clauses(), 0, "watched-satisfied clauses flagged dead");
+        // The physical words are still in the arena until compaction.
+        assert!(s.arena_words() > 0);
+        let collected = s.collect_garbage();
+        assert_eq!(collected, 2);
+        assert_eq!(s.arena_words(), 0);
+        assert!(s.stats().arena_words_reclaimed >= 8);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    /// Compaction relocates surviving clauses and patches the watcher lists
+    /// through the relocation map: propagation keeps working — and keeps
+    /// answering correctly — right after a sweep that moved every survivor.
+    #[test]
+    fn compaction_relocates_watchers_and_preserves_propagation() {
+        let (mut s, v) = make_solver(6);
+        // A guarded block that will die, in front of a live implication
+        // chain whose clauses must all relocate downward.
+        s.add_clause([lit(&v, -5), lit(&v, 1), lit(&v, 2)]);
+        s.add_clause([lit(&v, -5), lit(&v, 3), lit(&v, 4)]);
+        s.add_clause([lit(&v, -1), lit(&v, 2)]);
+        s.add_clause([lit(&v, -2), lit(&v, 3)]);
+        s.add_clause([lit(&v, -3), lit(&v, 4)]);
+        let words_before = s.arena_words();
+        s.add_clause([lit(&v, -5)]); // retire the guard
+        let collected = s.collect_garbage();
+        assert_eq!(collected, 2);
+        assert!(s.arena_words() < words_before);
+        assert_eq!(s.num_clauses(), 3);
+        // The relocated watchers must still drive the implication chain.
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, 1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(s.value(v[2]), Some(true));
+        assert_eq!(s.value(v[3]), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1), lit(&v, -4)]),
+            SolveResult::Unsat
+        );
+    }
+
+    /// Top-level assignments strip falsified tail literals during compaction
+    /// without disturbing the watched positions.
+    #[test]
+    fn compaction_strips_falsified_literals_from_survivors() {
+        let (mut s, v) = make_solver(4);
+        s.add_clause([lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        s.add_clause([lit(&v, -4)]); // unrelated root unit
+        s.add_clause([lit(&v, -3)]); // falsifies the tail literal
+        s.collect_garbage();
+        assert_eq!(s.num_clauses(), 1);
+        // Header (2 words) + the two surviving literals.
+        assert_eq!(s.arena_words(), 4);
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn accumulate_and_delta_cover_every_counter() {
+        let mut a = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            learnt_clauses: 5,
+            removed_clauses: 6,
+            solves: 7,
+            gc_runs: 8,
+            clauses_collected: 9,
+            learnt_lbd_sum: 10,
+            fork_count: 11,
+            bytes_cloned: 12,
+            arena_words_reclaimed: 13,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.fork_count, 22);
+        assert_eq!(a.bytes_cloned, 24);
+        assert_eq!(a.arena_words_reclaimed, 26);
+        let delta = a.delta_since(&b);
+        assert_eq!(delta, b);
     }
 }

@@ -4,7 +4,7 @@
 //! under arbitrary assumption sequences and arbitrary top-level unit
 //! retirements (the activation-literal pattern of the incremental miter).
 
-use htd_sat::{Lit, SolveResult, Solver, Var};
+use htd_sat::{Lit, SatBackend, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A clause is a list of (variable index, negated) pairs.
@@ -79,6 +79,54 @@ proptest! {
         }
     }
 
+    /// Forking mid-script: the parent runs the first half of the script,
+    /// forks, and then parent and child run the remaining steps
+    /// independently — answering identically at every step, because a fork
+    /// is a byte-for-byte snapshot of the arena-backed clause store.  The
+    /// fork counters prove the cost model: the child records exactly one
+    /// fork of exactly `snapshot_bytes()` bytes (a handful of flat-buffer
+    /// memcpys — never a per-clause allocation), and child solves never
+    /// add fork bytes of their own.
+    #[test]
+    fn forking_mid_script_preserves_answers_and_costs_bytes((num_vars, clauses, script) in script_strategy()) {
+        let (mut parent, vars) = build(num_vars, &clauses);
+        let split = script.len() / 2;
+        for (retire, assumptions) in &script[..split] {
+            if let Some((v, negated)) = retire {
+                parent.add_clause([Lit::new(vars[*v as usize], *negated)]);
+            }
+            let _ = parent.solve_with_assumptions(&lits(&vars, assumptions));
+        }
+        parent.collect_garbage();
+
+        let parent_bytes = parent.snapshot_bytes();
+        let parent_forks = parent.stats().fork_count;
+        let mut child = SatBackend::fork(&parent).expect("the bundled solver forks");
+        // One fork, costing exactly the parent's snapshot bytes.
+        prop_assert_eq!(child.stats().solver.fork_count, parent_forks + 1);
+        prop_assert_eq!(
+            child.stats().solver.bytes_cloned - parent.stats().bytes_cloned,
+            parent_bytes
+        );
+        prop_assert_eq!(parent.stats().fork_count, parent_forks, "fork leaves the parent untouched");
+
+        let bytes_after_fork = child.stats().solver.bytes_cloned;
+        for (retire, assumptions) in &script[split..] {
+            if let Some((v, negated)) = retire {
+                let unit = Lit::new(vars[*v as usize], *negated);
+                parent.add_clause([unit]);
+                child.add_clause(&[unit]);
+            }
+            let assumptions = lits(&vars, assumptions);
+            let expected = parent.solve_with_assumptions(&assumptions);
+            let actual = child.solve_under(&assumptions).expect("bundled solver is total");
+            prop_assert_eq!(expected, actual);
+        }
+        // Solving on the child allocates no further snapshots: every byte in
+        // `bytes_cloned` was paid at fork time.
+        prop_assert_eq!(child.stats().solver.bytes_cloned, bytes_after_fork);
+    }
+
     /// Models returned after garbage collection still satisfy the original
     /// formula (compaction must not lose constraints).
     #[test]
@@ -134,6 +182,36 @@ fn gc_counters_and_shrinkage() {
     assert_eq!(stats.gc_runs, 1);
     assert_eq!(stats.clauses_collected, collected);
     assert_eq!(solver.solve(), SolveResult::Sat);
+}
+
+/// Fork cost is proportional to the *live* arena, not the historical clause
+/// count: retiring a cone and compacting shrinks the bytes every subsequent
+/// fork copies, and the counters record exactly `snapshot_bytes()` per fork.
+#[test]
+fn fork_cost_shrinks_with_the_live_arena() {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..64).map(|_| solver.new_var()).collect();
+    let act = solver.new_var();
+    for w in vars.windows(2) {
+        solver.add_clause([Lit::neg(act), Lit::pos(w[0]), Lit::pos(w[1])]);
+    }
+    let fat = solver.snapshot_bytes();
+    let fat_fork = SatBackend::fork(&solver).expect("bundled solver forks");
+    assert_eq!(fat_fork.stats().solver.fork_count, 1);
+    assert_eq!(fat_fork.stats().solver.bytes_cloned, fat);
+
+    // Retire the guarded cone and compact: the arena shrinks, and with it
+    // the cost of the next fork.
+    solver.add_clause([Lit::neg(act)]);
+    solver.collect_garbage();
+    assert!(solver.stats().arena_words_reclaimed > 0);
+    let slim = solver.snapshot_bytes();
+    assert!(
+        slim < fat,
+        "compaction must shrink the fork cost ({slim} < {fat})"
+    );
+    let slim_fork = SatBackend::fork(&solver).expect("bundled solver forks");
+    assert_eq!(slim_fork.stats().solver.bytes_cloned, slim);
 }
 
 /// Database reduction with LBD scoring stays correct when forced on a small,

@@ -155,6 +155,37 @@ fn hard_pipeline_reports_are_schedule_invariant() {
     assert_eq!(baseline, run(2, false));
 }
 
+/// The arena fork cost model surfaces at every level of the stack: the
+/// deterministic report counts one fork per consumed solve task (with its
+/// byte cost), the session counts the master-side snapshot clones, and the
+/// pipeline stats mirror them per generation.
+#[test]
+fn fork_cost_model_reaches_reports_and_pipeline_stats() {
+    let mut session = SessionBuilder::new(mult_pipeline(4))
+        .engine(scheduler(2, true))
+        .build()
+        .unwrap();
+    let report = session.run().unwrap();
+    let totals = report.solver_totals;
+    let session_stats = session.session_stats();
+    // Every level holds on this design, so every dispatched task is
+    // consumed: the schedule-invariant report records exactly one fork per
+    // task, each costing real bytes.
+    assert_eq!(totals.fork_count, session_stats.parallel_tasks);
+    assert!(totals.fork_count > 0);
+    assert!(totals.bytes_cloned > 0);
+    // The master froze at least one multi-task generation behind a snapshot
+    // clone, and the scheduler accounted its bytes.
+    let pipeline = session.pipeline_stats();
+    assert_eq!(pipeline.snapshot_forks, session_stats.snapshot_forks);
+    assert_eq!(
+        pipeline.snapshot_bytes_cloned,
+        session_stats.snapshot_bytes_cloned
+    );
+    assert!(session_stats.snapshot_forks > 0);
+    assert!(session_stats.snapshot_bytes_cloned > 0);
+}
+
 /// Clause-GC thresholds are configurable: with the thresholds floored, the
 /// master compacts before forking snapshots, and the GC counters reach the
 /// report.  AES-T1600 is an infected AES flow: its init property fails, and
