@@ -15,7 +15,7 @@
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-use htd_core::{DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
+use htd_core::{BackendChoice, DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
 
 use htd_trusthub::registry::Benchmark;
 
@@ -112,7 +112,7 @@ struct RunOutcome {
     snapshot_bytes_cloned: u64,
 }
 
-fn run_once(benchmark: Benchmark, engine: EngineChoice) -> RunOutcome {
+fn run_once(benchmark: Benchmark, engine: EngineChoice, backend: &BackendChoice) -> RunOutcome {
     let design = benchmark.build().expect("bundled benchmarks build");
     let config = DetectorConfig {
         benign_state: benchmark.benign_state(&design),
@@ -121,6 +121,7 @@ fn run_once(benchmark: Benchmark, engine: EngineChoice) -> RunOutcome {
     let mut session = SessionBuilder::new(design)
         .config(config)
         .engine(engine)
+        .backend(backend.clone())
         .build()
         .expect("bundled benchmarks are accepted");
     let start = Instant::now();
@@ -139,21 +140,26 @@ fn run_once(benchmark: Benchmark, engine: EngineChoice) -> RunOutcome {
 
 /// Measures one benchmark with both engines (the flow-graph executor at
 /// `jobs` workers with `pipeline` controlling level pipelining, and the
-/// sequential single-miter reference).
+/// sequential single-miter reference), solving on `backend`.
 #[must_use]
-pub fn measure(benchmark: Benchmark, jobs: NonZeroUsize, pipeline: bool) -> TrajectoryRecord {
+pub fn measure(
+    benchmark: Benchmark,
+    jobs: NonZeroUsize,
+    pipeline: bool,
+    backend: &BackendChoice,
+) -> TrajectoryRecord {
     let scheduled =
         EngineChoice::Scheduled(PropertyScheduler::new(jobs).with_level_pipelining(pipeline));
     let mut wall_secs = f64::INFINITY;
     let mut sequential_secs = f64::INFINITY;
     let mut measured = None;
     for _ in 0..MEASURE_RUNS {
-        let outcome = run_once(benchmark, scheduled);
+        let outcome = run_once(benchmark, scheduled, backend);
         if outcome.secs < wall_secs {
             wall_secs = outcome.secs;
         }
         measured = Some(outcome);
-        let sequential = run_once(benchmark, EngineChoice::Sequential);
+        let sequential = run_once(benchmark, EngineChoice::Sequential, backend);
         if sequential.secs < sequential_secs {
             sequential_secs = sequential.secs;
         }
@@ -196,10 +202,11 @@ pub fn run_trajectory(
     benchmarks: &[Benchmark],
     jobs: NonZeroUsize,
     pipeline: bool,
+    backend: &BackendChoice,
 ) -> Vec<TrajectoryRecord> {
     benchmarks
         .iter()
-        .map(|&b| measure(b, jobs, pipeline))
+        .map(|&b| measure(b, jobs, pipeline, backend))
         .collect()
 }
 
@@ -222,13 +229,25 @@ fn json_escape(text: &str) -> String {
 /// The schema is flat on purpose — every field is a number or a string — so
 /// future PRs can diff two `BENCH_*.json` files with standard tooling.
 #[must_use]
-pub fn to_json(records: &[TrajectoryRecord], jobs: NonZeroUsize, pipeline: bool) -> String {
+pub fn to_json(
+    records: &[TrajectoryRecord],
+    jobs: NonZeroUsize,
+    pipeline: bool,
+    backend: &BackendChoice,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // Schema v3 adds the fork cost model of the arena-backed clause store:
-    // per-flow fork counts, snapshot bytes and compaction words.
-    out.push_str("  \"schema\": \"htd-bench-trajectory-v3\",\n");
+    // Schema v4 tags the trajectory with the SAT backend it measured
+    // (builtin / dimacs:… / ipasir:…), so files recorded under different
+    // backends can never be diffed as if they were comparable.  (v3 added
+    // the fork cost model of the arena-backed clause store: per-flow fork
+    // counts, snapshot bytes and compaction words.)
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v4\",\n");
     out.push_str("  \"engine\": \"flowgraph\",\n");
+    out.push_str(&format!(
+        "  \"backend\": \"{}\",\n",
+        json_escape(&backend.to_string())
+    ));
     out.push_str(&format!("  \"jobs\": {},\n", jobs.get()));
     // Host context: wall-clocks are only comparable between BENCH_*.json
     // files recorded on comparable machines, so the header says how many
@@ -326,12 +345,14 @@ mod tests {
     #[test]
     fn smoke_set_measures_and_serialises() {
         let jobs = NonZeroUsize::new(2).unwrap();
-        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs, true);
+        let backend = BackendChoice::Builtin;
+        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs, true, &backend);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].verdict, "fanout_property_1");
         assert!(records[0].wall_secs > 0.0);
-        let json = to_json(&records, jobs, true);
-        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v3\""));
+        let json = to_json(&records, jobs, true, &backend);
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v4\""));
+        assert!(json.contains("\"backend\": \"builtin\""));
         assert!(json.contains("\"engine\": \"flowgraph\""));
         assert!(json.contains("\"host_parallelism\""));
         assert!(json.contains("\"level_pipeline\": true"));

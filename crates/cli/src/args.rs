@@ -21,7 +21,8 @@ pub enum ParseArgsError {
     MissingInput,
     /// A numeric flag value could not be parsed.
     InvalidNumber(String),
-    /// The `--backend` value is not `builtin` or `dimacs:PATH`.
+    /// The `--backend` value is not `builtin`, `dimacs:CMD` or
+    /// `ipasir:LIB`.
     InvalidBackend(String),
 }
 
@@ -60,7 +61,8 @@ pub struct DetectArgs {
     pub vcd_prefix: Option<PathBuf>,
     /// Register names to waive as benign state (Sec. V-B scenario 2).
     pub benign: Vec<String>,
-    /// The SAT backend to solve with (`builtin` or `dimacs:PATH`).
+    /// The SAT backend to solve with (`builtin`, `dimacs:CMD` or
+    /// `ipasir:LIB`).
     pub backend: BackendChoice,
     /// Stream per-property progress to stderr while the flow runs.
     pub progress: bool,
@@ -114,6 +116,10 @@ pub enum Command {
         smoke: bool,
         /// Disable cross-level pipelining in the scheduled engine.
         no_pipeline: bool,
+        /// The SAT backend to measure (rows and the JSON header carry the
+        /// tag, so trajectories of different backends never get compared
+        /// silently).
+        backend: BackendChoice,
     },
     /// Solve a DIMACS CNF file and print the result in SAT-competition
     /// format (`s SATISFIABLE` / `s UNSATISFIABLE` plus `v` model lines).
@@ -221,6 +227,7 @@ impl Command {
                 let mut jobs = None;
                 let mut smoke = false;
                 let mut no_pipeline = false;
+                let mut backend = BackendChoice::Builtin;
                 let mut iter = rest.into_iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -237,6 +244,10 @@ impl Command {
                         }
                         "--smoke" => smoke = true,
                         "--no-pipeline" => no_pipeline = true,
+                        "--backend" => {
+                            let value = required(&mut iter, "--backend")?;
+                            backend = value.parse().map_err(ParseArgsError::InvalidBackend)?;
+                        }
                         other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
                     }
                 }
@@ -245,6 +256,7 @@ impl Command {
                     jobs,
                     smoke,
                     no_pipeline,
+                    backend,
                 })
             }
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -294,12 +306,13 @@ pub fn usage() -> &'static str {
 
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
-                      [--backend builtin|dimacs:PATH] [--progress] [--jobs N]
-                      [--no-pipeline]
+                      [--backend builtin|dimacs:CMD|ipasir:LIB] [--progress]
+                      [--jobs N] [--no-pipeline]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
     htd bench [--json FILE] [--jobs N] [--smoke] [--no-pipeline]
+              [--backend builtin|dimacs:CMD|ipasir:LIB]
     htd sat <file.cnf>
     htd help
 
@@ -317,7 +330,13 @@ SUBCOMMANDS:
 
 DETECT FLAGS:
     --backend builtin        solve with the bundled incremental CDCL solver (default)
-    --backend dimacs:PATH    shell out to a DIMACS-speaking solver binary per query
+    --backend dimacs:CMD     shell out to a DIMACS-speaking solver binary per query
+                             (the solver re-reads the whole CNF every time)
+    --backend ipasir:LIB     load a solver shared library through the IPASIR
+                             incremental C ABI: clauses are transmitted once and
+                             the solver stays live across all queries.  The
+                             bundled reference library is built by
+                             `cargo build -p ipasir-shim` (libipasir_htd.so)
     --progress               stream per-property progress to stderr while running
     --jobs N                 worker shards per fanout level (default: available
                              parallelism; reports are identical for every N)
@@ -329,6 +348,8 @@ BENCH FLAGS:
     --jobs N                 worker shards for the sharded engine
     --smoke                  run only the cheap CI smoke subset
     --no-pipeline            disable cross-level pipelining in the scheduled engine
+    --backend ...            measure an alternative SAT backend (rows and the
+                             JSON header carry the backend tag)
 "
 }
 
@@ -403,6 +424,30 @@ mod tests {
             Command::parse(["detect", "x.v", "--backend", "dimacs:"]).unwrap_err(),
             ParseArgsError::InvalidBackend(_)
         ));
+        assert!(matches!(
+            Command::parse(["detect", "x.v", "--backend", "ipasir:"]).unwrap_err(),
+            ParseArgsError::InvalidBackend(_)
+        ));
+    }
+
+    #[test]
+    fn parses_the_ipasir_backend_for_detect_and_bench() {
+        match Command::parse(["detect", "x.v", "--backend", "ipasir:shim/libipasir_htd.so"])
+            .unwrap()
+        {
+            Command::Detect(args) => {
+                assert_eq!(args.backend, BackendChoice::ipasir("shim/libipasir_htd.so"));
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+        match Command::parse(["bench", "--smoke", "--backend", "ipasir:lib.so"]).unwrap() {
+            Command::Bench { backend, smoke, .. } => {
+                assert_eq!(backend, BackendChoice::ipasir("lib.so"));
+                assert!(smoke);
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        assert!(usage().contains("ipasir:LIB"));
     }
 
     #[test]
@@ -451,11 +496,13 @@ mod tests {
                 jobs,
                 smoke,
                 no_pipeline,
+                backend,
             } => {
                 assert_eq!(json, Some(PathBuf::from("BENCH.json")));
                 assert_eq!(jobs, Some(4));
                 assert!(smoke);
                 assert!(no_pipeline);
+                assert_eq!(backend, BackendChoice::Builtin);
             }
             other => panic!("expected bench, got {other:?}"),
         }
@@ -465,11 +512,13 @@ mod tests {
                 jobs,
                 smoke,
                 no_pipeline,
+                backend,
             } => {
                 assert_eq!(json, None);
                 assert_eq!(jobs, None);
                 assert!(!smoke);
                 assert!(!no_pipeline);
+                assert_eq!(backend, BackendChoice::Builtin);
             }
             other => panic!("expected bench, got {other:?}"),
         }

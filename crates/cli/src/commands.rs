@@ -105,7 +105,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             jobs,
             smoke,
             no_pipeline,
-        } => bench(json.as_deref(), *jobs, *smoke, !*no_pipeline),
+            backend,
+        } => bench(json.as_deref(), *jobs, *smoke, !*no_pipeline, backend),
         Command::Sat { input } => sat(input),
     }
 }
@@ -268,18 +269,23 @@ fn bench(
     jobs: Option<usize>,
     smoke: bool,
     pipeline: bool,
+    backend: &htd_core::BackendChoice,
 ) -> Result<String, CliError> {
     let jobs = jobs
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(PropertyScheduler::available_parallelism);
+    // Reject an unusable backend (e.g. an `ipasir:` typo) with a clean
+    // error before the harness starts measuring.
+    backend.validate().map_err(CliError::Flow)?;
     let benchmarks = if smoke {
         trajectory::smoke_set()
     } else {
         Benchmark::all()
     };
-    let records = trajectory::run_trajectory(&benchmarks, jobs, pipeline);
+    let records = trajectory::run_trajectory(&benchmarks, jobs, pipeline, backend);
 
     let mut out = String::new();
+    let _ = writeln!(out, "backend: {backend}");
     let _ = writeln!(
         out,
         "{:<18} {:<20} {:>10} {:>12} {:>8}  {:>9} {:>6} {:>9} {:>6} {:>11}",
@@ -324,12 +330,12 @@ fn bench(
         }
     );
     if let Some(path) = json {
-        std::fs::write(path, trajectory::to_json(&records, jobs, pipeline)).map_err(|e| {
-            CliError::Io {
+        std::fs::write(path, trajectory::to_json(&records, jobs, pipeline, backend)).map_err(
+            |e| CliError::Io {
                 path: path.to_path_buf(),
                 message: e.to_string(),
-            }
-        })?;
+            },
+        )?;
         let _ = writeln!(out, "trajectory written to {}", path.display());
     }
     Ok(out)

@@ -118,4 +118,43 @@ fn detection_session_runs_on_the_dimacs_process_backend() {
             other => panic!("{label}: expected init-property detection, got {other:?}"),
         }
     }
+
+    // The process backend cannot see a foreign solver's internals, but its
+    // visible cost accounting must reach `DetectionReport::solver_totals`:
+    // queries answered, forks consumed and the bytes their clause-list
+    // clones copied.  (These all read zero before `stats()` stopped
+    // returning `SolverStats::default()`.)
+    let totals = &external_report.solver_totals;
+    assert!(
+        totals.solves > 0,
+        "dimacs queries must be counted: {totals:?}"
+    );
+    assert!(
+        totals.fork_count > 0,
+        "dimacs forks must be counted: {totals:?}"
+    );
+    assert!(
+        totals.bytes_cloned > 0,
+        "dimacs fork clone cost must be counted: {totals:?}"
+    );
+}
+
+/// The fork cost model also surfaces per fork: forking a process backend
+/// records one fork of `snapshot_bytes` on the child and carries the work
+/// counters over, mirroring the bundled solver's contract.
+#[test]
+fn process_backend_fork_records_its_clone_cost() {
+    let mut backend = DimacsProcessBackend::new(htd_binary()).with_args(["sat"]);
+    let a = backend.new_var();
+    let b = backend.new_var();
+    backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
+
+    let fork = backend.fork().expect("process backends fork");
+    let stats = fork.stats();
+    assert_eq!(stats.queries, 1, "query counters carry over");
+    assert_eq!(stats.solver.solves, 1);
+    assert_eq!(stats.solver.fork_count, 1);
+    assert_eq!(stats.solver.bytes_cloned, backend.snapshot_bytes());
+    assert!(backend.snapshot_bytes() > 0);
 }

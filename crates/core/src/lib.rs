@@ -30,8 +30,8 @@
 //! The primary entry point is the **session API**:
 //!
 //! * [`SessionBuilder`] — configures a run: an owned design, a
-//!   [`DetectorConfig`] and a [`BackendChoice`] (bundled CDCL solver or an
-//!   external DIMACS-speaking binary).
+//!   [`DetectorConfig`] and a [`BackendChoice`] (bundled CDCL solver, an
+//!   external DIMACS-speaking binary, or an IPASIR solver shared library).
 //! * [`DetectionSession`] — owns one live, incremental miter encoding
 //!   ([`htd_ipc::MiterSession`]) and runs Algorithm 1 against it: the whole
 //!   init/fanout/coverage sequence performs **one** bit-blast, expresses each

@@ -152,20 +152,69 @@ impl PropertyScheduler {
     }
 
     /// The default worker count for new sessions: the `HTD_JOBS` environment
-    /// variable when set to a positive integer, otherwise 1.
+    /// variable when set, otherwise 1.
+    ///
+    /// # Errors
+    ///
+    /// A set-but-malformed `HTD_JOBS` (not a positive integer) is an error,
+    /// never a silent fallback: a typo like `HTD_JOBS=two` or `HTD_JOBS=0`
+    /// would otherwise quietly serialise a run that was meant to shard.
+    pub fn try_default_jobs() -> Result<NonZeroUsize, String> {
+        let Ok(value) = std::env::var(JOBS_ENV_VAR) else {
+            return Ok(NonZeroUsize::MIN);
+        };
+        value.trim().parse::<NonZeroUsize>().map_err(|_| {
+            format!(
+                "{JOBS_ENV_VAR}={value:?} is not a positive integer worker count \
+                 (e.g. {JOBS_ENV_VAR}=4); unset it for the default of 1"
+            )
+        })
+    }
+
+    /// [`try_default_jobs`](Self::try_default_jobs), panicking on a
+    /// malformed `HTD_JOBS` — misconfigured environments fail loudly, like
+    /// the strict `HTD_GC_*` overrides.
+    ///
+    /// # Panics
+    ///
+    /// If `HTD_JOBS` is set to anything but a positive integer.
     #[must_use]
     pub fn default_jobs() -> NonZeroUsize {
-        std::env::var(JOBS_ENV_VAR)
-            .ok()
-            .and_then(|v| v.parse::<NonZeroUsize>().ok())
-            .unwrap_or(NonZeroUsize::MIN)
+        Self::try_default_jobs().unwrap_or_else(|message| panic!("{message}"))
     }
 
     /// The default level-pipelining mode: on, unless the
-    /// `HTD_LEVEL_PIPELINE` environment variable is set to `0`.
+    /// `HTD_LEVEL_PIPELINE` environment variable disables it.
+    ///
+    /// # Errors
+    ///
+    /// Accepts `1` / `true` / `on` / `yes` (enable) and `0` / `false` /
+    /// `off` / `no` (disable), case-insensitively; anything else is an
+    /// error.  (`HTD_LEVEL_PIPELINE=off` used to *enable* pipelining
+    /// because only the literal `0` was recognised.)
+    pub fn try_default_level_pipelining() -> Result<bool, String> {
+        let Ok(value) = std::env::var(LEVEL_PIPELINE_ENV_VAR) else {
+            return Ok(true);
+        };
+        match value.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => Ok(true),
+            "0" | "false" | "off" | "no" => Ok(false),
+            _ => Err(format!(
+                "{LEVEL_PIPELINE_ENV_VAR}={value:?} is not a recognised switch \
+                 (use 1/true/on/yes or 0/false/off/no); unset it for the default (on)"
+            )),
+        }
+    }
+
+    /// [`try_default_level_pipelining`](Self::try_default_level_pipelining),
+    /// panicking on a malformed `HTD_LEVEL_PIPELINE`.
+    ///
+    /// # Panics
+    ///
+    /// If `HTD_LEVEL_PIPELINE` is set to an unrecognised value.
     #[must_use]
     pub fn default_level_pipelining() -> bool {
-        std::env::var(LEVEL_PIPELINE_ENV_VAR).map_or(true, |v| v != "0")
+        Self::try_default_level_pipelining().unwrap_or_else(|message| panic!("{message}"))
     }
 }
 

@@ -6,8 +6,9 @@
 //! reuses one SAT backend across every property and every spurious-
 //! counterexample re-verification round.  Sessions are built with
 //! [`SessionBuilder`], which also selects the SAT backend
-//! ([`BackendChoice`]): the bundled CDCL solver or any external
-//! DIMACS-speaking solver binary.
+//! ([`BackendChoice`]): the bundled CDCL solver, any external
+//! DIMACS-speaking solver binary, or any solver shared library exporting
+//! the IPASIR incremental C ABI.
 //!
 //! # The flow-graph model
 //!
@@ -76,7 +77,7 @@ use htd_ipc::{
     CheckOutcome, Counterexample, IntervalProperty, MiterSession, PropertyReport, SessionStats,
 };
 use htd_rtl::{SignalId, ValidatedDesign};
-use htd_sat::{DimacsProcessBackend, SatBackend, Solver, SolverStats};
+use htd_sat::{DimacsProcessBackend, IpasirBackend, SatBackend, Solver, SolverStats};
 
 use crate::diagnosis::{diagnose, Diagnosis};
 use crate::error::DetectError;
@@ -94,8 +95,14 @@ pub enum BackendChoice {
     Builtin,
     /// An external DIMACS-speaking solver binary, invoked once per query:
     /// the program plus fixed arguments inserted before the CNF file path
-    /// (e.g. `htd` + `["sat"]`, or a solver's quiet flag).
+    /// (e.g. `htd` + `["sat"]`, or a solver's quiet flag).  Each query makes
+    /// the solver re-read (and re-search) the whole CNF.
     DimacsProcess(PathBuf, Vec<String>),
+    /// An external solver loaded as a shared library through the standard
+    /// IPASIR incremental C ABI: clauses are transmitted once, the solver
+    /// handle stays live across every query of the flow.  The bundled
+    /// reference library is `crates/ipasir-shim` (`libipasir_htd.so`).
+    Ipasir(PathBuf),
 }
 
 impl BackendChoice {
@@ -105,12 +112,63 @@ impl BackendChoice {
         BackendChoice::DimacsProcess(program.into(), Vec::new())
     }
 
-    fn instantiate(&self) -> Box<dyn SatBackend> {
-        match self {
-            BackendChoice::Builtin => Box::new(Solver::new()),
-            BackendChoice::DimacsProcess(path, args) => {
-                Box::new(DimacsProcessBackend::new(path).with_args(args.clone()))
+    /// An external solver library loaded through the IPASIR C ABI.
+    #[must_use]
+    pub fn ipasir(library: impl Into<PathBuf>) -> Self {
+        BackendChoice::Ipasir(library.into())
+    }
+
+    /// Checks the choice can be brought up at all — for `ipasir:` this
+    /// dlopens the library and resolves its symbols (then releases it), for
+    /// `dimacs:` it checks the solver program exists (directly or on
+    /// `PATH`) — so callers that run many sessions (e.g. the bench harness)
+    /// can reject a typo with a clean error instead of failing mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::Backend`] when instantiation (or, for process
+    /// backends, the first solver spawn) would fail.
+    pub fn validate(&self) -> Result<(), DetectError> {
+        if let BackendChoice::DimacsProcess(program, _) = self {
+            // A bare program name goes through the PATH search `Command`
+            // will perform; anything with a separator is a filesystem path.
+            let found = if program.components().count() > 1 {
+                program.is_file()
+            } else {
+                std::env::var_os("PATH").is_some_and(|paths| {
+                    std::env::split_paths(&paths).any(|dir| dir.join(program).is_file())
+                })
+            };
+            if !found {
+                return Err(DetectError::Backend {
+                    message: format!(
+                        "solver binary `{}` not found (checked {})",
+                        program.display(),
+                        if program.components().count() > 1 {
+                            "the given path"
+                        } else {
+                            "PATH"
+                        }
+                    ),
+                });
             }
+        }
+        self.instantiate().map(drop)
+    }
+
+    fn instantiate(&self) -> Result<Box<dyn SatBackend>, DetectError> {
+        match self {
+            BackendChoice::Builtin => Ok(Box::new(Solver::new())),
+            BackendChoice::DimacsProcess(path, args) => Ok(Box::new(
+                DimacsProcessBackend::new(path).with_args(args.clone()),
+            )),
+            // The library is dlopen'ed (and its IPASIR symbols resolved)
+            // right here, so a bad path fails at session build time with a
+            // clear error instead of mid-flow.
+            BackendChoice::Ipasir(path) => match IpasirBackend::load(path) {
+                Ok(backend) => Ok(Box::new(backend)),
+                Err(e) => Err(DetectError::Backend { message: e.message }),
+            },
         }
     }
 }
@@ -118,10 +176,11 @@ impl BackendChoice {
 impl FromStr for BackendChoice {
     type Err = String;
 
-    /// Parses the CLI syntax: `builtin` or `dimacs:CMD`, where `CMD` is a
-    /// whitespace-separated program plus fixed arguments (the CNF file path
-    /// is appended per query), e.g. `dimacs:/usr/bin/kissat` or
-    /// `dimacs:htd sat`.
+    /// Parses the CLI syntax: `builtin`, `dimacs:CMD` or `ipasir:LIB`.
+    /// `CMD` is a whitespace-separated program plus fixed arguments (the
+    /// CNF file path is appended per query), e.g. `dimacs:/usr/bin/kissat`
+    /// or `dimacs:htd sat`; `LIB` is the path of a shared library
+    /// exporting the IPASIR ABI, e.g. `ipasir:target/release/libipasir_htd.so`.
     fn from_str(s: &str) -> Result<Self, String> {
         if s == "builtin" {
             return Ok(BackendChoice::Builtin);
@@ -138,8 +197,17 @@ impl FromStr for BackendChoice {
                 words.map(ToString::to_string).collect(),
             ));
         }
+        if let Some(library) = s.strip_prefix("ipasir:") {
+            let library = library.trim();
+            if library.is_empty() {
+                return Err("`ipasir:` needs a shared-library path, e.g. \
+                            `ipasir:target/release/libipasir_htd.so`"
+                    .into());
+            }
+            return Ok(BackendChoice::Ipasir(PathBuf::from(library)));
+        }
         Err(format!(
-            "unknown backend `{s}` (expected `builtin` or `dimacs:CMD`)"
+            "unknown backend `{s}` (expected `builtin`, `dimacs:CMD` or `ipasir:LIB`)"
         ))
     }
 }
@@ -155,6 +223,7 @@ impl std::fmt::Display for BackendChoice {
                 }
                 Ok(())
             }
+            BackendChoice::Ipasir(path) => write!(f, "ipasir:{}", path.display()),
         }
     }
 }
@@ -405,15 +474,18 @@ impl SessionBuilder {
     /// # Errors
     ///
     /// [`DetectError::NoInputs`] / [`DetectError::NoStateOrOutputs`] if the
-    /// flow's decomposition does not apply to the design, and
-    /// [`DetectError::InvalidConfig`] for zero iteration budgets.
+    /// flow's decomposition does not apply to the design,
+    /// [`DetectError::InvalidConfig`] for zero iteration budgets, and
+    /// [`DetectError::Backend`] if the chosen backend cannot be brought up
+    /// (e.g. an `ipasir:` library that does not load or misses required
+    /// symbols).
     pub fn build(self) -> Result<DetectionSession, DetectError> {
         validate_design(&self.design)?;
         validate_config(&self.config)?;
         let miter = MiterSession::with_options(
             &self.design,
             self.config.checker,
-            self.backend.instantiate(),
+            self.backend.instantiate()?,
         );
         Ok(DetectionSession {
             design: self.design,
@@ -982,6 +1054,44 @@ mod tests {
         assert!(matches!(err, DetectError::Backend { .. }), "got {err:?}");
     }
 
+    /// `validate` rejects unusable backends up front — a missing dimacs
+    /// binary or ipasir library — while the builtin always passes.
+    #[test]
+    fn validate_rejects_missing_external_backends() {
+        assert_eq!(BackendChoice::Builtin.validate(), Ok(()));
+        let err = BackendChoice::dimacs("/nonexistent/solver")
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, DetectError::Backend { .. }), "{err:?}");
+        let err = BackendChoice::DimacsProcess("htd-no-such-binary".into(), Vec::new())
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, DetectError::Backend { .. }), "{err:?}");
+        assert!(BackendChoice::ipasir("/nonexistent/lib.so")
+            .validate()
+            .is_err());
+        // A program that certainly exists on the test host passes.
+        if std::path::Path::new("/bin/sh").is_file() {
+            assert_eq!(BackendChoice::dimacs("/bin/sh").validate(), Ok(()));
+        }
+    }
+
+    /// A bad `ipasir:` library fails at `build()` (the dlopen happens
+    /// eagerly), not mid-flow like a missing process-backend binary.
+    #[test]
+    fn missing_ipasir_library_fails_at_session_build() {
+        let err = SessionBuilder::new(infected_design())
+            .backend(BackendChoice::ipasir("/nonexistent/libhtd-missing.so"))
+            .build()
+            .unwrap_err();
+        match err {
+            DetectError::Backend { message } => {
+                assert!(message.contains("dlopen"), "{message}");
+            }
+            other => panic!("expected a backend error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn backend_choice_parses_the_cli_syntax() {
         assert_eq!(
@@ -996,7 +1106,15 @@ mod tests {
             "dimacs:htd sat".parse::<BackendChoice>().unwrap(),
             BackendChoice::DimacsProcess("htd".into(), vec!["sat".to_string()])
         );
+        assert_eq!(
+            "ipasir:target/release/libipasir_htd.so"
+                .parse::<BackendChoice>()
+                .unwrap(),
+            BackendChoice::ipasir("target/release/libipasir_htd.so")
+        );
+        assert_eq!(BackendChoice::ipasir("lib.so").to_string(), "ipasir:lib.so");
         assert!("dimacs:".parse::<BackendChoice>().is_err());
+        assert!("ipasir:".parse::<BackendChoice>().is_err());
         assert!("z3".parse::<BackendChoice>().is_err());
         assert_eq!(BackendChoice::default().to_string(), "builtin");
         assert_eq!(

@@ -62,11 +62,16 @@ pub const GC_DEAD_PCT_ENV_VAR: &str = "HTD_GC_DEAD_PCT";
 /// Environment variable overriding [`CheckerOptions::gc_min_clauses`].
 pub const GC_MIN_CLAUSES_ENV_VAR: &str = "HTD_GC_MIN_CLAUSES";
 
+/// Reads a numeric environment override strictly: an unset variable yields
+/// the fallback, a set-but-malformed one panics with the variable name — a
+/// typo must never silently run with default thresholds.
 fn env_number<T: std::str::FromStr>(var: &str, fallback: T) -> T {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse::<T>().ok())
-        .unwrap_or(fallback)
+    let Ok(value) = std::env::var(var) else {
+        return fallback;
+    };
+    value.trim().parse::<T>().unwrap_or_else(|_| {
+        panic!("{var}={value:?} is not a valid number; unset it for the default")
+    })
 }
 
 impl Default for CheckerOptions {

@@ -47,7 +47,7 @@ pub struct BackendError {
 }
 
 impl BackendError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         BackendError {
             message: message.into(),
         }
@@ -72,8 +72,12 @@ pub struct BackendStats {
     pub clauses: usize,
     /// Satisfiability queries answered.
     pub queries: u64,
-    /// Detailed work counters (all-zero for process backends, which do not
-    /// report internals).
+    /// Detailed work counters.  External backends cannot observe a foreign
+    /// solver's internals (decisions, conflicts, …stay zero), but they do
+    /// report what the interface makes visible: `solves` mirrors `queries`,
+    /// and `fork_count` / `bytes_cloned` record the snapshot cost of every
+    /// [`fork`](SatBackend::fork) — so flow reports and bench trajectories
+    /// keep honest cost accounting under any backend.
     pub solver: SolverStats,
 }
 
@@ -296,6 +300,11 @@ pub struct DimacsProcessBackend {
     clauses: Vec<Vec<Lit>>,
     model: Vec<Option<bool>>,
     queries: u64,
+    /// The visible fork cost (`fork_count` / `bytes_cloned`); `solves` is
+    /// synthesized from `queries` in [`stats`](SatBackend::stats).
+    /// Counters carry over to forks, exactly like the bundled solver's, so
+    /// delta-based per-task accounting works unchanged.
+    stats: SolverStats,
     known_unsat: bool,
     /// The incremental CNF file, created lazily on the first query and
     /// removed when the backend drops.
@@ -338,6 +347,18 @@ fn render_clause(lits: &[Lit]) -> String {
 /// Monotonic id source for [`DimacsProcessBackend::instance`].
 static NEXT_BACKEND_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// The byte cost of cloning an in-memory clause log — the
+/// [`snapshot_bytes`](SatBackend::snapshot_bytes) model shared by the
+/// external backends ([`DimacsProcessBackend`],
+/// [`IpasirBackend`](crate::IpasirBackend)), whose forks copy or replay one
+/// `Vec<Lit>` per clause.
+pub(crate) fn clause_log_bytes(clauses: &[Vec<Lit>]) -> u64 {
+    clauses
+        .iter()
+        .map(|c| (c.len() * std::mem::size_of::<Lit>()) as u64)
+        .sum()
+}
+
 impl DimacsProcessBackend {
     /// Creates a backend running the given solver binary.
     #[must_use]
@@ -350,6 +371,7 @@ impl DimacsProcessBackend {
             clauses: Vec::new(),
             model: Vec::new(),
             queries: 0,
+            stats: SolverStats::default(),
             known_unsat: false,
             cache: None,
         }
@@ -573,7 +595,12 @@ impl SatBackend for DimacsProcessBackend {
             vars: self.num_vars as usize,
             clauses: self.clauses.len(),
             queries: self.queries,
-            solver: SolverStats::default(),
+            // `solves` is derived, not a second hand-maintained counter, so
+            // it can never drift from `queries`.
+            solver: SolverStats {
+                solves: self.queries,
+                ..self.stats
+            },
         }
     }
 
@@ -582,6 +609,13 @@ impl SatBackend for DimacsProcessBackend {
     }
 
     fn fork(&self) -> Option<Box<dyn SatBackend>> {
+        // Work counters carry over — plus one recorded fork of
+        // `snapshot_bytes` on the child, mirroring the bundled solver's
+        // fork contract, so delta-based task accounting sees the clone
+        // cost of process-backend shards too.
+        let mut stats = self.stats;
+        stats.fork_count += 1;
+        stats.bytes_cloned += self.snapshot_bytes();
         Some(Box::new(DimacsProcessBackend {
             solver_path: self.solver_path.clone(),
             extra_args: self.extra_args.clone(),
@@ -589,7 +623,8 @@ impl SatBackend for DimacsProcessBackend {
             num_vars: self.num_vars,
             clauses: self.clauses.clone(),
             model: Vec::new(),
-            queries: 0,
+            queries: self.queries,
+            stats,
             known_unsat: self.known_unsat,
             // The fork serializes its own CNF file from scratch on its first
             // query (the parent's file keeps accumulating independently).
@@ -598,13 +633,9 @@ impl SatBackend for DimacsProcessBackend {
     }
 
     fn snapshot_bytes(&self) -> u64 {
-        // The fork copies the in-memory clause lists: one `Vec<Lit>` per
-        // clause (this backend is not arena-backed — external solvers
-        // re-read the whole CNF anyway).
-        self.clauses
-            .iter()
-            .map(|c| (c.len() * std::mem::size_of::<Lit>()) as u64)
-            .sum()
+        // The fork copies the in-memory clause lists (this backend is not
+        // arena-backed — external solvers re-read the whole CNF anyway).
+        clause_log_bytes(&self.clauses)
     }
 }
 
@@ -756,7 +787,9 @@ mod tests {
     /// The process backend advertises forkability (each query writes a fresh
     /// CNF, so a fork is just a clone of the accumulated clause list) — this
     /// is what lets `--jobs N` shard levels with external solvers instead of
-    /// silently degrading to sequential solving on the master.
+    /// silently degrading to sequential solving on the master.  Work
+    /// counters carry over and the fork records its clone cost, exactly
+    /// like the bundled solver's fork contract.
     #[test]
     fn process_backend_forks_an_independent_snapshot() {
         let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
@@ -764,22 +797,74 @@ mod tests {
         let b = backend.new_var();
         backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
         assert!(backend.can_fork());
+        // One (failing — the binary does not exist) query on the master, so
+        // carry-over is observable.
+        let _ = backend.solve_under(&[]);
+        assert_eq!(backend.stats().queries, 1);
+        assert_eq!(backend.stats().solver.solves, 1);
 
         let mut fork = backend.fork().expect("process backend forks");
         assert!(fork.can_fork());
+        let forked = fork.stats();
+        assert_eq!(forked.queries, 1, "work counters carry over to the fork");
+        assert_eq!(forked.solver.solves, 1);
+        assert_eq!(forked.solver.fork_count, 1, "the fork records itself");
+        assert!(backend.snapshot_bytes() > 0);
         assert_eq!(
-            fork.stats().queries,
-            0,
-            "fork starts with fresh query counters"
+            forked.solver.bytes_cloned,
+            backend.snapshot_bytes(),
+            "the fork records the clone cost of the clause list"
         );
-        assert_eq!(fork.stats().vars, 2);
-        assert_eq!(fork.stats().clauses, 1);
+        assert_eq!(
+            backend.stats().solver.fork_count,
+            0,
+            "the cost lands on the child, not the master"
+        );
+        assert_eq!(forked.vars, 2);
+        assert_eq!(forked.clauses, 1);
         // Clauses added to the fork do not leak back into the master.
         let c = fork.new_var();
         fork.add_clause(&[Lit::pos(c)]);
         assert_eq!(fork.stats().clauses, 2);
         assert_eq!(backend.stats().clauses, 1);
         assert_eq!(backend.stats().vars, 2);
+    }
+
+    /// `new_var` between queries grows the variable count; the in-place
+    /// fixed-width header rewrite must pick the growth up (and the file
+    /// must stay parseable) even though the clause prefix is never
+    /// re-serialized.
+    #[test]
+    fn incremental_cnf_header_tracks_variable_growth_between_queries() {
+        let mut backend = DimacsProcessBackend::new("/nonexistent/htd-test-solver");
+        let a = backend.new_var();
+        SatBackend::add_clause(&mut backend, &[Lit::pos(a)]);
+        let path = backend.write_query(&[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let counts: Vec<&str> = text.lines().next().unwrap().split_whitespace().collect();
+        assert_eq!(counts, vec!["p", "cnf", "1", "1"]);
+        backend.truncate_assumptions();
+
+        // Grow the variable space and the clause list between queries.
+        let b = backend.new_var();
+        let c = backend.new_var();
+        SatBackend::add_clause(&mut backend, &[Lit::neg(b), Lit::pos(c)]);
+        let path = backend.write_query(&[Lit::pos(b)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let counts: Vec<&str> = text.lines().next().unwrap().split_whitespace().collect();
+        assert_eq!(
+            counts,
+            vec!["p", "cnf", "3", "3"],
+            "header reflects the grown variable space and the assumption unit"
+        );
+        // The first clause is still serialized exactly once, and the file
+        // still parses through the bundled DIMACS reader.
+        assert_eq!(text.matches("1 0").count(), 1, "{text}");
+        let mut solver = crate::dimacs::parse_dimacs(&text).unwrap();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.value(a), Some(true));
+        assert_eq!(solver.value(c), Some(true), "-2 3 & 2 forces 3");
+        backend.truncate_assumptions();
     }
 
     #[cfg(unix)]

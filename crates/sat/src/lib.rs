@@ -24,9 +24,11 @@
 //!
 //! The crate also defines the [`SatBackend`] trait — the minimal incremental
 //! interface the detection flow drives (allocate variables, add clauses,
-//! solve under assumptions, read the model) — implemented by [`Solver`] and
-//! by [`DimacsProcessBackend`], which shells out to any DIMACS-speaking
-//! solver binary so the flow can be benchmarked against reference solvers.
+//! solve under assumptions, read the model) — implemented by [`Solver`], by
+//! [`DimacsProcessBackend`] (shells out to any DIMACS-speaking solver binary
+//! so the flow can be benchmarked against reference solvers) and by
+//! [`IpasirBackend`] (drives any shared library exporting the standard
+//! IPASIR incremental C ABI, keeping external solvers live across queries).
 //!
 //! # Example
 //!
@@ -45,17 +47,22 @@
 //! assert_eq!(solver.value(b), Some(true));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the IPASIR dynamic-library backend (`ipasir.rs`) is
+// the single module allowed to use `unsafe` — it has to speak the C ABI of
+// external solver libraries.  Everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;
 mod backend;
 mod dimacs;
+mod ipasir;
 mod literal;
 mod solver;
 
 pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
+pub use ipasir::IpasirBackend;
 pub use literal::{Lit, Var};
 pub use solver::{
     ClauseRef, SolveResult, Solver, SolverStats, DEFAULT_GC_DEAD_FRACTION, DEFAULT_GC_MIN_CLAUSES,

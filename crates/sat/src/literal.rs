@@ -118,6 +118,21 @@ impl Lit {
     pub const fn apply(self, var_value: bool) -> bool {
         var_value != self.is_negated()
     }
+
+    /// The 1-based signed integer form of the literal — the convention of
+    /// DIMACS files and the IPASIR C ABI (`variable index + 1`, negative
+    /// when negated).  Matches the [`Display`](std::fmt::Display)
+    /// rendering; defined once here so the DIMACS writer and the IPASIR
+    /// backend/shim cannot drift apart.
+    #[must_use]
+    pub const fn to_dimacs(self) -> i32 {
+        let var = self.var().index() as i32 + 1;
+        if self.is_negated() {
+            -var
+        } else {
+            var
+        }
+    }
 }
 
 impl Not for Lit {

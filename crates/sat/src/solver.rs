@@ -1544,6 +1544,68 @@ mod tests {
         assert_eq!(s.value(v[1]), Some(true));
     }
 
+    /// `collect_garbage`'s `found_empty` path: a clause whose every literal
+    /// is false at the top level makes the formula UNSAT.  Complete
+    /// propagation normally turns such a clause into a conflict long before
+    /// GC sees it, so this white-box test plants the assignment directly —
+    /// the path exists purely to stay sound if that invariant ever breaks,
+    /// and this pins its behaviour.
+    #[test]
+    fn collect_garbage_found_empty_makes_the_solver_unsat() {
+        let (mut s, v) = make_solver(2);
+        s.add_clause([lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.num_clauses(), 1);
+        // Falsify both literals behind propagation's back.
+        s.assigns[v[0].index() as usize] = Some(false);
+        s.assigns[v[1].index() as usize] = Some(false);
+        let collected = s.collect_garbage();
+        assert_eq!(collected, 1, "the empty survivor is collected");
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.is_known_unsat());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // GC on an already-unsat solver is a no-op, not a second sweep.
+        assert_eq!(s.collect_garbage(), 0);
+    }
+
+    /// `collect_garbage`'s unit-uncovering path: stripping top-level-false
+    /// literals can leave a single survivor, which must be enqueued and
+    /// propagated (not silently dropped with the clause).  As above, the
+    /// assignment is planted white-box — after complete propagation a
+    /// watched literal pair can never both be false without a conflict.
+    #[test]
+    fn collect_garbage_enqueues_units_uncovered_by_stripping() {
+        let (mut s, v) = make_solver(3);
+        // (x1 | x2 | x3); x2 and x3 become false without trail entries.
+        s.add_clause([lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        s.assigns[v[1].index() as usize] = Some(false);
+        s.assigns[v[2].index() as usize] = Some(false);
+        let collected = s.collect_garbage();
+        assert_eq!(collected, 1, "the unit's clause leaves the arena");
+        assert_eq!(s.num_clauses(), 0);
+        // The uncovered unit x1 was enqueued at the top level...
+        assert_eq!(s.assigns[v[0].index() as usize], Some(true));
+        // ...and the solver stays consistent.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Unsat);
+    }
+
+    /// Two clauses uncovering *contradicting* units: the first enqueues,
+    /// the second finds its literal already false — a contradiction the
+    /// units loop must turn into UNSAT, not an enqueue.
+    #[test]
+    fn collect_garbage_detects_contradicting_uncovered_units() {
+        let (mut s, v) = make_solver(3);
+        s.add_clause([lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        s.add_clause([lit(&v, -1), lit(&v, 2), lit(&v, 3)]);
+        s.assigns[v[1].index() as usize] = Some(false);
+        s.assigns[v[2].index() as usize] = Some(false);
+        let collected = s.collect_garbage();
+        assert_eq!(collected, 2, "both unit-uncovering clauses leave the arena");
+        assert!(s.is_known_unsat());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
     #[test]
     fn accumulate_and_delta_cover_every_counter() {
         let mut a = SolverStats {

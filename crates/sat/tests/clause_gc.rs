@@ -184,6 +184,54 @@ fn gc_counters_and_shrinkage() {
     assert_eq!(solver.solve(), SolveResult::Sat);
 }
 
+/// Literal stripping through the public API: a falsified literal inside a
+/// surviving clause is removed by the sweep (`arena_words_reclaimed` grows
+/// with zero clauses collected), the answers are unchanged, and a second
+/// sweep right after is a no-op — the compaction is idempotent.
+///
+/// The sweep's two degenerate outcomes (a survivor stripping to *zero* or
+/// *one* literal — `found_empty` and the unit-uncovering re-enqueue) are
+/// unreachable through this API: complete top-level propagation always
+/// turns such clauses into conflicts or units first, so they are pinned by
+/// white-box tests next to `Solver::collect_garbage` instead.
+#[test]
+fn stripping_reclaims_words_without_collecting_and_is_idempotent() {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..4).map(|_| solver.new_var()).collect();
+    solver.add_clause([Lit::pos(vars[0]), Lit::pos(vars[1]), Lit::pos(vars[2])]);
+    solver.add_clause([Lit::neg(vars[2])]); // falsifies the tail literal
+    solver.add_clause([Lit::pos(vars[3])]); // unrelated root unit
+    let collected = solver.collect_garbage();
+    assert_eq!(collected, 0, "the stripped clause survives");
+    assert_eq!(solver.num_clauses(), 1);
+    let stats = solver.stats();
+    assert_eq!(stats.gc_runs, 1);
+    assert!(
+        stats.arena_words_reclaimed > 0,
+        "stripping must reclaim the falsified literal's word"
+    );
+
+    // Idempotence: nothing left to strip or collect.
+    let words_after_first = solver.arena_words();
+    assert_eq!(solver.collect_garbage(), 0);
+    assert_eq!(solver.arena_words(), words_after_first);
+    assert_eq!(
+        solver.stats().arena_words_reclaimed,
+        stats.arena_words_reclaimed
+    );
+
+    // Answers are those of the original formula.
+    assert_eq!(
+        solver.solve_with_assumptions(&[Lit::neg(vars[0])]),
+        SolveResult::Sat
+    );
+    assert_eq!(solver.value(vars[1]), Some(true), "x3 false forces x2");
+    assert_eq!(
+        solver.solve_with_assumptions(&[Lit::neg(vars[0]), Lit::neg(vars[1])]),
+        SolveResult::Unsat
+    );
+}
+
 /// Fork cost is proportional to the *live* arena, not the historical clause
 /// count: retiring a cone and compacting shrinks the bytes every subsequent
 /// fork copies, and the counters record exactly `snapshot_bytes()` per fork.

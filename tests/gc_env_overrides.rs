@@ -1,23 +1,192 @@
-//! The `HTD_GC_DEAD_PCT` / `HTD_GC_MIN_CLAUSES` environment overrides, in a
-//! test binary of their own: mutating process-global environment variables
-//! must not race sibling tests that read them through
-//! `CheckerOptions::default()` (cargo runs test *binaries* sequentially, but
-//! tests within one binary in parallel).
+//! The strict environment overrides (`HTD_GC_DEAD_PCT` /
+//! `HTD_GC_MIN_CLAUSES` / `HTD_JOBS` / `HTD_LEVEL_PIPELINE`), in a test
+//! binary of their own: mutating process-global environment variables must
+//! not race sibling tests that read them through `CheckerOptions::default()`
+//! or `PropertyScheduler::default_jobs()` (cargo runs test *binaries*
+//! sequentially, but tests within one binary in parallel — which is why
+//! every test here serialises on [`env_lock`]).
+//!
+//! The overrides are strict on purpose: an unset variable falls back to the
+//! default, but a set-but-malformed one fails loudly.  `parse().ok()` would
+//! let a typo (`HTD_JOBS=two`, `HTD_GC_DEAD_PCT=5%`) silently run a
+//! differently-scheduled flow than the operator asked for.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use golden_free_htd::detect::PropertyScheduler;
 use golden_free_htd::ipc::CheckerOptions;
+
+/// Serialises the tests in this binary: they all mutate the process
+/// environment.  Taken once at the top of every test (the helpers below do
+/// not lock, so they can nest).
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `body` with `var` set to `value`, restoring the previous state.
+/// Caller holds [`env_lock`].
+fn with_env<R>(var: &str, value: &str, body: impl FnOnce() -> R) -> R {
+    let previous = std::env::var(var).ok();
+    std::env::set_var(var, value);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    match previous {
+        Some(old) => std::env::set_var(var, old),
+        None => std::env::remove_var(var),
+    }
+    match result {
+        Ok(result) => result,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
+
+/// Runs `body` with `var` removed from the environment, restoring the
+/// previous state — the CI matrix exports `HTD_JOBS`/`HTD_LEVEL_PIPELINE`
+/// for whole test runs, so "unset" defaults must be asserted under an
+/// explicit unset, not the ambient environment.  Caller holds [`env_lock`].
+fn without_env<R>(var: &str, body: impl FnOnce() -> R) -> R {
+    let previous = std::env::var(var).ok();
+    std::env::remove_var(var);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    if let Some(old) = previous {
+        std::env::set_var(var, old);
+    }
+    match result {
+        Ok(result) => result,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
+
+/// Like [`with_env`], but expects `body` to panic and returns the message.
+fn panic_message_with_env(var: &str, value: &str, body: impl FnOnce()) -> String {
+    with_env(var, value, || {
+        let panic = catch_unwind(AssertUnwindSafe(body)).expect_err("expected a panic");
+        panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_default()
+    })
+}
 
 /// The `HTD_GC_DEAD_PCT` / `HTD_GC_MIN_CLAUSES` environment variables
 /// override the `CheckerOptions` defaults.
 #[test]
 fn gc_threshold_env_overrides_are_honoured() {
-    std::env::set_var(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR, "5");
-    std::env::set_var(golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR, "7");
-    let options = CheckerOptions::default();
-    std::env::remove_var(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR);
-    std::env::remove_var(golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR);
+    let _guard = env_lock();
+    let options = with_env(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR, "5", || {
+        with_env(
+            golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR,
+            "7",
+            CheckerOptions::default,
+        )
+    });
     assert_eq!(options.gc_dead_pct, 5);
     assert_eq!(options.gc_min_clauses, 7);
     let defaults = CheckerOptions::default();
     assert_eq!(defaults.gc_dead_pct, 25);
     assert_eq!(defaults.gc_min_clauses, 128);
+}
+
+/// A malformed GC threshold fails loudly (naming the variable) instead of
+/// silently running with the default.
+#[test]
+fn malformed_gc_thresholds_are_rejected() {
+    let _guard = env_lock();
+    let message = panic_message_with_env(golden_free_htd::ipc::GC_DEAD_PCT_ENV_VAR, "5%", || {
+        let _ = CheckerOptions::default();
+    });
+    assert!(message.contains("HTD_GC_DEAD_PCT"), "{message}");
+    let message =
+        panic_message_with_env(golden_free_htd::ipc::GC_MIN_CLAUSES_ENV_VAR, "many", || {
+            let _ = CheckerOptions::default();
+        });
+    assert!(message.contains("HTD_GC_MIN_CLAUSES"), "{message}");
+}
+
+/// `HTD_JOBS` must be a positive integer; whitespace is tolerated, zero and
+/// garbage are not.
+#[test]
+fn jobs_env_override_is_strict() {
+    let _guard = env_lock();
+    assert_eq!(
+        with_env("HTD_JOBS", "3", PropertyScheduler::default_jobs).get(),
+        3
+    );
+    assert_eq!(
+        with_env("HTD_JOBS", " 2 ", PropertyScheduler::default_jobs).get(),
+        2
+    );
+    for bad in ["0", "two", "-1", "", "4x"] {
+        let message = panic_message_with_env("HTD_JOBS", bad, || {
+            let _ = PropertyScheduler::default_jobs();
+        });
+        assert!(
+            message.contains("HTD_JOBS") && message.contains("positive integer"),
+            "HTD_JOBS={bad}: {message}"
+        );
+        let error = with_env("HTD_JOBS", bad, PropertyScheduler::try_default_jobs)
+            .expect_err("malformed HTD_JOBS is an error");
+        assert!(error.contains("HTD_JOBS"), "{error}");
+    }
+    assert_eq!(
+        without_env("HTD_JOBS", PropertyScheduler::default_jobs).get(),
+        1,
+        "unset default"
+    );
+}
+
+/// `HTD_LEVEL_PIPELINE` understands the usual boolean spellings — in
+/// particular `off` and `false` *disable* pipelining (they used to be
+/// treated as enabled, because only the literal `0` was recognised) — and
+/// rejects anything else.
+#[test]
+fn level_pipeline_env_override_is_strict_and_understands_off() {
+    let _guard = env_lock();
+    for on in ["1", "true", "on", "yes", "TRUE", " On "] {
+        assert!(
+            with_env(
+                "HTD_LEVEL_PIPELINE",
+                on,
+                PropertyScheduler::default_level_pipelining
+            ),
+            "HTD_LEVEL_PIPELINE={on} must enable pipelining"
+        );
+    }
+    for off in ["0", "false", "off", "no", "OFF", "False"] {
+        assert!(
+            !with_env(
+                "HTD_LEVEL_PIPELINE",
+                off,
+                PropertyScheduler::default_level_pipelining
+            ),
+            "HTD_LEVEL_PIPELINE={off} must disable pipelining"
+        );
+    }
+    for bad in ["2", "banana", "enabled", ""] {
+        let message = panic_message_with_env("HTD_LEVEL_PIPELINE", bad, || {
+            let _ = PropertyScheduler::default_level_pipelining();
+        });
+        assert!(
+            message.contains("HTD_LEVEL_PIPELINE"),
+            "HTD_LEVEL_PIPELINE={bad}: {message}"
+        );
+        let error = with_env(
+            "HTD_LEVEL_PIPELINE",
+            bad,
+            PropertyScheduler::try_default_level_pipelining,
+        )
+        .expect_err("malformed HTD_LEVEL_PIPELINE is an error");
+        assert!(error.contains("HTD_LEVEL_PIPELINE"), "{error}");
+    }
+    assert!(
+        without_env(
+            "HTD_LEVEL_PIPELINE",
+            PropertyScheduler::default_level_pipelining
+        ),
+        "unset default is on"
+    );
 }
