@@ -72,6 +72,10 @@ pub struct DetectArgs {
     /// Disable cross-level pipelining (prepare each level only after the
     /// previous one merged).  Reports are identical either way.
     pub no_pipeline: bool,
+    /// Print the [`normalized`](htd_core::DetectionReport::normalized)
+    /// report (wall-clock durations zeroed): runs over the same design are
+    /// then byte-identical, which `htd submit` and the CI smoke rely on.
+    pub normalize: bool,
 }
 
 impl Default for DetectArgs {
@@ -86,8 +90,36 @@ impl Default for DetectArgs {
             progress: false,
             jobs: None,
             no_pipeline: false,
+            normalize: false,
         }
     }
+}
+
+/// Options of the `serve` subcommand.  Every `None` falls back to the
+/// strict `HTD_SERVE_*` environment defaults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address (`--addr`), e.g. `127.0.0.1:7171`.
+    pub addr: Option<String>,
+    /// Admission bound on queued plus running jobs (`--max-jobs`).
+    pub max_jobs: Option<usize>,
+    /// Snapshot-cache byte budget (`--cache-bytes`; 0 disables caching).
+    pub cache_bytes: Option<u64>,
+    /// Shared solve-pool workers (`--jobs`; default available parallelism).
+    pub jobs: Option<usize>,
+}
+
+/// Options of the `submit` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitArgs {
+    /// The RTL input file (Verilog, netlist, or a `trusthub:NAME` scheme).
+    pub input: PathBuf,
+    /// Explicit top module name for Verilog inputs.
+    pub top: Option<String>,
+    /// Daemon address (`--addr`; default: the `HTD_SERVE_ADDR` resolution).
+    pub addr: Option<String>,
+    /// Echo every raw NDJSON frame to stdout instead of the report text.
+    pub ndjson: bool,
 }
 
 /// One parsed `htd` invocation.
@@ -140,6 +172,20 @@ pub enum Command {
         /// Unrolling bound for the bounded-model-checking baseline.
         bound: usize,
     },
+    /// Run the multi-tenant detection daemon.
+    Serve(ServeArgs),
+    /// Submit an RTL file to a running daemon and stream its job.
+    Submit(SubmitArgs),
+    /// Print the canonical netlist text of an RTL input (the exact bytes
+    /// `submit` sends, and the content the snapshot cache is keyed on).
+    Export {
+        /// The RTL input file (Verilog, netlist, or `trusthub:NAME`).
+        input: PathBuf,
+        /// Explicit top module name for Verilog inputs.
+        top: Option<String>,
+        /// Write to this file instead of stdout.
+        output: Option<PathBuf>,
+    },
     /// Print usage information.
     Help,
 }
@@ -188,6 +234,7 @@ impl Command {
                             parsed.jobs = Some(jobs);
                         }
                         "--no-pipeline" => parsed.no_pipeline = true,
+                        "--normalize" => parsed.normalize = true,
                         flag if flag.starts_with("--") => {
                             return Err(ParseArgsError::UnknownFlag(flag.to_string()))
                         }
@@ -196,6 +243,79 @@ impl Command {
                 }
                 parsed.input = input.ok_or(ParseArgsError::MissingInput)?;
                 Ok(Command::Detect(parsed))
+            }
+            "serve" => {
+                let mut parsed = ServeArgs::default();
+                let mut iter = rest.into_iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--addr" => parsed.addr = Some(required(&mut iter, "--addr")?),
+                        "--max-jobs" => {
+                            parsed.max_jobs =
+                                Some(positive_number(&required(&mut iter, "--max-jobs")?)?);
+                        }
+                        "--cache-bytes" => {
+                            let value = required(&mut iter, "--cache-bytes")?;
+                            parsed.cache_bytes = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| ParseArgsError::InvalidNumber(value))?,
+                            );
+                        }
+                        "--jobs" => {
+                            parsed.jobs = Some(positive_number(&required(&mut iter, "--jobs")?)?);
+                        }
+                        other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
+                    }
+                }
+                Ok(Command::Serve(parsed))
+            }
+            "submit" => {
+                let mut input = None;
+                let mut top = None;
+                let mut addr = None;
+                let mut ndjson = false;
+                let mut iter = rest.into_iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--top" => top = Some(required(&mut iter, "--top")?),
+                        "--addr" => addr = Some(required(&mut iter, "--addr")?),
+                        "--ndjson" => ndjson = true,
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseArgsError::UnknownFlag(flag.to_string()))
+                        }
+                        positional => input = Some(PathBuf::from(positional)),
+                    }
+                }
+                Ok(Command::Submit(SubmitArgs {
+                    input: input.ok_or(ParseArgsError::MissingInput)?,
+                    top,
+                    addr,
+                    ndjson,
+                }))
+            }
+            "export" => {
+                let mut input = None;
+                let mut top = None;
+                let mut output = None;
+                let mut iter = rest.into_iter();
+                while let Some(arg) = iter.next() {
+                    match arg.as_str() {
+                        "--top" => top = Some(required(&mut iter, "--top")?),
+                        "-o" | "--output" => {
+                            output = Some(PathBuf::from(required(&mut iter, "--output")?));
+                        }
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseArgsError::UnknownFlag(flag.to_string()))
+                        }
+                        positional => input = Some(PathBuf::from(positional)),
+                    }
+                }
+                Ok(Command::Export {
+                    input: input.ok_or(ParseArgsError::MissingInput)?,
+                    top,
+                    output,
+                })
             }
             "sat" => {
                 let mut input = None;
@@ -270,6 +390,13 @@ fn required(iter: &mut impl Iterator<Item = String>, flag: &str) -> Result<Strin
         .ok_or_else(|| ParseArgsError::MissingValue(flag.to_string()))
 }
 
+fn positive_number(value: &str) -> Result<usize, ParseArgsError> {
+    match value.parse::<usize>() {
+        Ok(parsed) if parsed > 0 => Ok(parsed),
+        _ => Err(ParseArgsError::InvalidNumber(value.to_string())),
+    }
+}
+
 /// Parses `<input> [--top NAME] [--bound N]` argument lists.
 fn positional_with_top(
     rest: Vec<String>,
@@ -307,7 +434,10 @@ pub fn usage() -> &'static str {
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
                       [--backend builtin|dimacs:CMD|ipasir:LIB] [--progress]
-                      [--jobs N] [--no-pipeline]
+                      [--jobs N] [--no-pipeline] [--normalize]
+    htd serve [--addr HOST:PORT] [--max-jobs N] [--cache-bytes N] [--jobs N]
+    htd submit <file> [--top NAME] [--addr HOST:PORT] [--ndjson]
+    htd export <file> [--top NAME] [-o FILE]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
@@ -318,10 +448,14 @@ USAGE:
 
 INPUTS:
     *.v / *.sv      synthesizable-subset Verilog (single clock domain)
+    trusthub:NAME   a bundled Trust-Hub-style benchmark (e.g. trusthub:AES-T1400)
     anything else   the textual netlist format of htd-rtl
 
 SUBCOMMANDS:
     detect      run Algorithm 1 (init/fanout properties + coverage check)
+    serve       run the multi-tenant detection daemon (HTTP + NDJSON streaming)
+    submit      send a design to a running daemon and stream its job
+    export      print the canonical netlist text (the bytes submit sends)
     stats       design statistics and the structural fanout levels
     baselines   bounded model checking, random testing, UCI and FANCI
     table1      regenerate Table I of the paper on the bundled benchmarks
@@ -342,6 +476,22 @@ DETECT FLAGS:
                              parallelism; reports are identical for every N)
     --no-pipeline            solve one level at a time instead of pipelining
                              levels (reports are identical either way)
+    --normalize              print the report with wall-clock durations zeroed;
+                             runs over the same design are then byte-identical
+                             (submit streams exactly this rendering)
+
+SERVE FLAGS (flags override the strict HTD_SERVE_* environment defaults):
+    --addr HOST:PORT         listen address (HTD_SERVE_ADDR; default 127.0.0.1:7171)
+    --max-jobs N             admission bound on queued+running jobs
+                             (HTD_SERVE_MAX_JOBS; default 8)
+    --cache-bytes N          frozen-master snapshot-cache budget, 0 disables
+                             (HTD_SERVE_CACHE_BYTES; default 256 MiB)
+    --jobs N                 shared solve-pool workers (default: available
+                             parallelism)
+
+SUBMIT FLAGS:
+    --addr HOST:PORT         daemon address (default: the HTD_SERVE_ADDR resolution)
+    --ndjson                 print every raw NDJSON frame instead of the report
 
 BENCH FLAGS:
     --json FILE              write the BENCH_*.json perf-trajectory file
@@ -527,6 +677,75 @@ mod tests {
             ParseArgsError::UnknownFlag(_)
         ));
         assert!(usage().contains("htd bench"));
+    }
+
+    #[test]
+    fn parses_serve_submit_and_export() {
+        match Command::parse([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-jobs",
+            "3",
+            "--cache-bytes",
+            "0",
+            "--jobs",
+            "2",
+        ])
+        .unwrap()
+        {
+            Command::Serve(args) => {
+                assert_eq!(args.addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(args.max_jobs, Some(3));
+                assert_eq!(args.cache_bytes, Some(0));
+                assert_eq!(args.jobs, Some(2));
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(["serve"]).unwrap(),
+            Command::Serve(ServeArgs {
+                addr: None,
+                max_jobs: None,
+                cache_bytes: None,
+                jobs: None,
+            })
+        ));
+        assert_eq!(
+            Command::parse(["serve", "--max-jobs", "0"]).unwrap_err(),
+            ParseArgsError::InvalidNumber("0".into())
+        );
+
+        match Command::parse(["submit", "design.v", "--addr", "127.0.0.1:7171", "--ndjson"])
+            .unwrap()
+        {
+            Command::Submit(args) => {
+                assert_eq!(args.input, PathBuf::from("design.v"));
+                assert_eq!(args.addr.as_deref(), Some("127.0.0.1:7171"));
+                assert!(args.ndjson);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert_eq!(
+            Command::parse(["submit"]).unwrap_err(),
+            ParseArgsError::MissingInput
+        );
+
+        match Command::parse(["export", "trusthub:AES-T1400", "-o", "aes.netlist"]).unwrap() {
+            Command::Export { input, output, .. } => {
+                assert_eq!(input, PathBuf::from("trusthub:AES-T1400"));
+                assert_eq!(output, Some(PathBuf::from("aes.netlist")));
+            }
+            other => panic!("expected export, got {other:?}"),
+        }
+
+        match Command::parse(["detect", "x.v", "--normalize"]).unwrap() {
+            Command::Detect(args) => assert!(args.normalize),
+            other => panic!("expected detect, got {other:?}"),
+        }
+        assert!(usage().contains("htd serve"));
+        assert!(usage().contains("htd submit"));
+        assert!(usage().contains("trusthub:NAME"));
     }
 
     #[test]

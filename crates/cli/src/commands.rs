@@ -16,13 +16,16 @@ use htd_core::{
     PropertyScheduler, SessionBuilder,
 };
 use htd_rtl::export::fanout_dot;
+use htd_rtl::netlist;
 use htd_rtl::stats::DesignStats;
 use htd_rtl::structural::fanout_levels;
 use htd_rtl::ValidatedDesign;
 use htd_sat::{parse_dimacs, SolveResult, Var};
+use htd_serve::server::{ServeOptions, Server};
+use htd_serve::{client as serve_client, ClientError};
 use htd_trusthub::registry::Benchmark;
 
-use crate::args::{usage, Command, DetectArgs};
+use crate::args::{usage, Command, DetectArgs, ServeArgs, SubmitArgs};
 use crate::input::load_design;
 
 /// Errors reported by the command runner.
@@ -51,6 +54,17 @@ pub enum CliError {
         /// The underlying message.
         message: String,
     },
+    /// A `serve`/`submit` configuration value (a flag or an `HTD_SERVE_*`
+    /// environment variable) was rejected.
+    Config {
+        /// The underlying message.
+        message: String,
+    },
+    /// Talking to a running `htd serve` daemon failed.
+    Service {
+        /// The underlying message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -62,6 +76,18 @@ impl fmt::Display for CliError {
             CliError::Replay { message } => {
                 write!(f, "counterexample replay failed: {message}")
             }
+            CliError::Config { message } => write!(f, "{message}"),
+            CliError::Service { message } => {
+                write!(f, "service request failed: {message}")
+            }
+        }
+    }
+}
+
+impl From<ClientError> for CliError {
+    fn from(error: ClientError) -> Self {
+        CliError::Service {
+            message: error.to_string(),
         }
     }
 }
@@ -108,6 +134,82 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             backend,
         } => bench(json.as_deref(), *jobs, *smoke, !*no_pipeline, backend),
         Command::Sat { input } => sat(input),
+        Command::Serve(args) => serve(args),
+        Command::Submit(args) => submit(args),
+        Command::Export { input, top, output } => export(input, top.as_deref(), output.as_deref()),
+    }
+}
+
+/// `htd serve`: run the multi-tenant detection daemon until killed.
+/// Resolution order for every knob: flag, `HTD_SERVE_*` environment
+/// variable, built-in default.
+fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let mut options = ServeOptions::from_env().map_err(|message| CliError::Config { message })?;
+    if let Some(addr) = &args.addr {
+        options.addr.clone_from(addr);
+    }
+    if let Some(max_jobs) = args.max_jobs.and_then(NonZeroUsize::new) {
+        options.max_jobs = max_jobs;
+    }
+    if let Some(cache_bytes) = args.cache_bytes {
+        options.cache_bytes = cache_bytes;
+    }
+    if let Some(workers) = args.jobs.and_then(NonZeroUsize::new) {
+        options.workers = workers;
+    }
+    let addr = options.addr.clone();
+    let (workers, max_jobs, cache_bytes) = (options.workers, options.max_jobs, options.cache_bytes);
+    let server = Server::start(options).map_err(|e| CliError::Io {
+        path: PathBuf::from(addr),
+        message: e.to_string(),
+    })?;
+    eprintln!(
+        "htd serve listening on {} ({workers} workers, {max_jobs} job slots, \
+         {cache_bytes} cache bytes)",
+        server.addr()
+    );
+    server.join();
+    Ok(String::new())
+}
+
+/// `htd submit`: send an RTL input to a running daemon and stream the job.
+/// The default output is exactly the served report text — byte-identical to
+/// `htd detect --normalize` on the same input; `--ndjson` echoes every raw
+/// event frame instead.
+fn submit(args: &SubmitArgs) -> Result<String, CliError> {
+    let design = load_design(&args.input, args.top.as_deref())?;
+    let netlist_text = netlist::dump(&design);
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => htd_serve::try_default_addr().map_err(|message| CliError::Config { message })?,
+    };
+    let ndjson = args.ndjson;
+    let submission = serve_client::submit(&addr, &netlist_text, &mut |line| {
+        if ndjson {
+            println!("{line}");
+        }
+    })?;
+    if ndjson {
+        Ok(String::new())
+    } else {
+        Ok(submission.report_text)
+    }
+}
+
+/// `htd export`: print the canonical netlist text of an RTL input — the
+/// exact bytes `submit` sends and the content the snapshot cache is keyed on.
+fn export(input: &Path, top: Option<&str>, output: Option<&Path>) -> Result<String, CliError> {
+    let design = load_design(input, top)?;
+    let text = netlist::dump(&design);
+    match output {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| CliError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })?;
+            Ok(format!("netlist written to {}\n", path.display()))
+        }
+        None => Ok(text),
     }
 }
 
@@ -215,7 +317,11 @@ fn detect(args: &DetectArgs) -> Result<String, CliError> {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "{report}");
+    if args.normalize {
+        let _ = writeln!(out, "{}", report.normalized());
+    } else {
+        let _ = writeln!(out, "{report}");
+    }
     if args.progress {
         let stats = session.session_stats();
         let _ = writeln!(

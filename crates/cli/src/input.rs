@@ -5,6 +5,7 @@ use std::fmt;
 use std::path::Path;
 
 use htd_rtl::{netlist, ValidatedDesign};
+use htd_trusthub::registry::Benchmark;
 use htd_verilog::ElaborateOptions;
 
 use crate::commands::CliError;
@@ -43,13 +44,21 @@ impl fmt::Display for InputFormat {
     }
 }
 
-/// Reads and elaborates an RTL file.
+/// Reads and elaborates an RTL input.
+///
+/// Besides files, the `trusthub:NAME` scheme resolves a bundled Trust-Hub-
+/// style benchmark by its Table-I name (case-insensitive, separators
+/// ignored: `trusthub:AES-T1400` and `trusthub:aes_t1400` both work), so
+/// the service smoke tests and `htd export` need no RTL files on disk.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for I/O problems and for parse or elaboration
 /// errors of the selected front-end.
 pub fn load_design(path: &Path, top: Option<&str>) -> Result<ValidatedDesign, CliError> {
+    if let Some(name) = path.to_str().and_then(|s| s.strip_prefix("trusthub:")) {
+        return build_benchmark(path, name);
+    }
     let source = std::fs::read_to_string(path).map_err(|e| CliError::Io {
         path: path.to_path_buf(),
         message: e.to_string(),
@@ -70,6 +79,36 @@ pub fn load_design(path: &Path, top: Option<&str>) -> Result<ValidatedDesign, Cl
             message: e.to_string(),
         }),
     }
+}
+
+/// Resolves a `trusthub:NAME` reference against the bundled benchmark
+/// registry.  Matching is case-insensitive and ignores `-`/`_`.
+fn build_benchmark(path: &Path, name: &str) -> Result<ValidatedDesign, CliError> {
+    fn canon(s: &str) -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    let wanted = canon(name);
+    let benchmark = Benchmark::all()
+        .into_iter()
+        .find(|b| canon(b.info().name) == wanted)
+        .ok_or_else(|| CliError::Frontend {
+            path: path.to_path_buf(),
+            message: format!(
+                "unknown benchmark `{name}`; known benchmarks: {}",
+                Benchmark::all()
+                    .iter()
+                    .map(|b| b.info().name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        })?;
+    benchmark.build().map_err(|e| CliError::Frontend {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -132,6 +171,24 @@ mod tests {
 
         std::fs::remove_file(v_path).ok();
         std::fs::remove_file(netlist_path).ok();
+    }
+
+    #[test]
+    fn trusthub_scheme_resolves_benchmarks_by_name() {
+        let design = load_design(Path::new("trusthub:rs232_ht_free"), None).unwrap();
+        assert!(design.design().name().starts_with("rs232"));
+
+        let same = load_design(Path::new("trusthub:RS232 (HT-free)"), None).unwrap();
+        assert_eq!(same.design().name(), design.design().name());
+
+        let err = load_design(Path::new("trusthub:no_such_core"), None).unwrap_err();
+        match err {
+            CliError::Frontend { message, .. } => {
+                assert!(message.contains("unknown benchmark"), "{message}");
+                assert!(message.contains("AES-T100"), "{message}");
+            }
+            other => panic!("expected a front-end error, got {other}"),
+        }
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum DetectError {
         /// The underlying backend error.
         message: String,
     },
+    /// The run was cancelled through the session's external cancellation
+    /// flag ([`crate::DetectionSession::cancel_flag`]) before reaching a
+    /// verdict: in-flight solver tasks were interrupted mid-search and their
+    /// partial results discarded.  The service tier raises this when a client
+    /// disconnects or deletes its job.
+    Cancelled,
 }
 
 impl fmt::Display for DetectError {
@@ -63,6 +69,7 @@ impl fmt::Display for DetectError {
                 write!(f, "invalid detector configuration: {reason}")
             }
             DetectError::Backend { message } => write!(f, "SAT backend failed: {message}"),
+            DetectError::Cancelled => write!(f, "detection run cancelled"),
         }
     }
 }

@@ -146,7 +146,7 @@ impl<'a> TrojanDetector<'a> {
     /// exceeded (which indicates a configuration problem, not a Trojan).
     pub fn run(&self) -> Result<DetectionReport, DetectError> {
         let mut engine = LegacyEngine::new(self.config.checker);
-        run_flow(self.design, &self.config, &mut engine, &mut |_| {})
+        run_flow(self.design, &self.config, &mut engine, None, &mut |_| {})
     }
 }
 

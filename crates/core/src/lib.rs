@@ -109,5 +109,7 @@ pub use flow::DetectorConfig;
 pub use flow::TrojanDetector;
 pub use flowgraph::{FlowGraph, FlowNode, FlowNodeKind};
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
-pub use scheduler::{PipelineStats, PropertyScheduler, JOBS_ENV_VAR, LEVEL_PIPELINE_ENV_VAR};
+pub use scheduler::{
+    PipelineStats, PropertyScheduler, SharedSolvePool, JOBS_ENV_VAR, LEVEL_PIPELINE_ENV_VAR,
+};
 pub use session::{BackendChoice, DetectionSession, EngineChoice, FlowEvent, SessionBuilder};

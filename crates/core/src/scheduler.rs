@@ -339,13 +339,251 @@ struct WorkQueue {
     shutdown: bool,
 }
 
+/// Per-flow coordination state, shared between the flow's coordinator thread
+/// and whichever workers solve its tasks — the flow's own scoped threads, or
+/// the global workers of a [`SharedSolvePool`] multiplexing many concurrent
+/// flows.  Arc'd so pool workers can outlive any single flow.
+struct FlowShared {
+    work: Mutex<WorkQueue>,
+    work_cv: Condvar,
+    /// Completed-task counter; workers bump it under the lock before
+    /// notifying, so a coordinator that re-checks `merge_ready` after
+    /// acquiring the lock can never miss a wake-up.
+    progress: Mutex<u64>,
+    progress_cv: Condvar,
+    /// Kill switch checked by every in-flight solve's interrupt hook: set
+    /// externally to cancel the whole flow mid-search
+    /// ([`DetectionSession::cancel_flag`]), and set by the flow itself during
+    /// wind-down to stop speculative stragglers.
+    ///
+    /// [`DetectionSession::cancel_flag`]: crate::DetectionSession::cancel_flag
+    cancelled: Arc<AtomicBool>,
+    /// Tasks dispatched but not yet finished (drives demand-driven
+    /// speculation).
+    outstanding: AtomicUsize,
+    /// Every generation of this flow dispatched so far; workers consult it to
+    /// detect tasks of *other* generations still unfinished when they pick up
+    /// work.
+    active_gens: Mutex<Vec<Arc<GenJob>>>,
+    cross_level: AtomicU64,
+}
+
+impl FlowShared {
+    fn new(cancelled: Arc<AtomicBool>) -> Self {
+        FlowShared {
+            work: Mutex::new(WorkQueue {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            progress: Mutex::new(0),
+            progress_cv: Condvar::new(),
+            cancelled,
+            outstanding: AtomicUsize::new(0),
+            active_gens: Mutex::new(Vec::new()),
+            cross_level: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops one ready task without blocking (pool workers poll flows
+    /// round-robin instead of parking on per-flow condvars).
+    fn try_pop(&self) -> Option<(Arc<GenJob>, usize)> {
+        self.work
+            .lock()
+            .expect("no poisoned locks")
+            .queue
+            .pop_front()
+    }
+
+    /// Executes one task and publishes its result: the single code path
+    /// shared by scoped worker threads and pool workers, so the bookkeeping
+    /// (cross-level evidence, outstanding count, progress wake-up) cannot
+    /// drift between the two execution modes.
+    fn run_task(&self, job: &Arc<GenJob>, index: usize) {
+        {
+            let gens = self.active_gens.lock().expect("no poisoned locks");
+            if gens
+                .iter()
+                .any(|g| g.node != job.node && g.remaining.load(Ordering::SeqCst) > 0)
+            {
+                self.cross_level.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let outcome = job.prepared.solve_task(index, &job.doomed, &self.cancelled);
+        *job.results[index].lock().expect("no poisoned locks") = Some(outcome);
+        job.remaining.fetch_sub(1, Ordering::SeqCst);
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        let mut completed = self.progress.lock().expect("no poisoned locks");
+        *completed += 1;
+        drop(completed);
+        self.progress_cv.notify_all();
+    }
+}
+
+/// Registered flows a [`SharedSolvePool`]'s workers pull from.
+struct PoolState {
+    flows: Vec<Arc<FlowShared>>,
+    /// Round-robin pick cursor: each dequeue starts scanning at the flow
+    /// *after* the last one served, so concurrent flows share the workers
+    /// fairly at task granularity instead of first-come-drains-the-pool.
+    cursor: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    workers: NonZeroUsize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A process-wide solver worker pool multiplexing many concurrent detection
+/// flows over one set of threads.
+///
+/// Each flow run under the pipelined executor normally spawns its own scoped
+/// worker threads; a service running many flows at once would oversubscribe
+/// the machine with `flows x jobs` solver threads.  Attaching a
+/// `SharedSolvePool` to each session
+/// ([`DetectionSession::attach_pool`](crate::DetectionSession::attach_pool))
+/// replaces the per-flow threads with this pool's fixed worker set: flows
+/// register their ready queues, and workers pick one *(generation, task)* at
+/// a time **round-robin across flows** — fair-share scheduling at task
+/// granularity, so a many-task tenant cannot starve a small one (a started
+/// solve is never preempted, though; fairness kicks in at every task
+/// boundary).
+///
+/// Reports are unaffected: the executor's determinism guarantee is
+/// schedule-invariance, and the pool only changes *which thread* solves a
+/// task, never what the task sees.  Cancellation also carries over — each
+/// flow's kill switch is checked by its tasks' interrupt hooks regardless of
+/// which pool worker runs them.
+///
+/// The handle is cheaply cloneable; workers park when no flow has ready
+/// tasks, and [`shutdown`](Self::shutdown) joins them (dropping the last
+/// handle without calling it leaves the workers parked until process exit,
+/// which is fine for daemons but untidy in tests).
+#[derive(Clone)]
+pub struct SharedSolvePool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for SharedSolvePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSolvePool")
+            .field("workers", &self.inner.workers.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedSolvePool {
+    /// Spawns a pool with the given number of worker threads.
+    #[must_use]
+    pub fn new(workers: NonZeroUsize) -> Self {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                flows: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            workers,
+            handles: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers.get())
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || Self::worker_loop(&inner))
+            })
+            .collect();
+        *inner.handles.lock().expect("no poisoned locks") = handles;
+        SharedSolvePool { inner }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> NonZeroUsize {
+        self.inner.workers
+    }
+
+    /// Stops and joins the worker threads.  In-flight tasks finish; queued
+    /// tasks of still-registered flows are abandoned (their flows' interrupt
+    /// flags should already be set).  Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.state.lock().expect("no poisoned locks").shutdown = true;
+        self.inner.cv.notify_all();
+        let handles = std::mem::take(&mut *self.inner.handles.lock().expect("no poisoned locks"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn register(&self, flow: Arc<FlowShared>) {
+        self.inner
+            .state
+            .lock()
+            .expect("no poisoned locks")
+            .flows
+            .push(flow);
+    }
+
+    fn deregister(&self, flow: &Arc<FlowShared>) {
+        let mut state = self.inner.state.lock().expect("no poisoned locks");
+        state.flows.retain(|f| !Arc::ptr_eq(f, flow));
+        state.cursor = 0;
+    }
+
+    /// Wakes workers after a flow enqueued tasks.  Takes the state lock so a
+    /// worker that just scanned empty queues and is about to wait cannot miss
+    /// the notification.
+    fn notify(&self) {
+        drop(self.inner.state.lock().expect("no poisoned locks"));
+        self.inner.cv.notify_all();
+    }
+
+    fn worker_loop(inner: &PoolInner) {
+        loop {
+            let picked = {
+                let mut state = inner.state.lock().expect("no poisoned locks");
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    let n = state.flows.len();
+                    let mut found = None;
+                    for k in 0..n {
+                        let i = (state.cursor + k) % n;
+                        if let Some(item) = state.flows[i].try_pop() {
+                            state.cursor = (i + 1) % n;
+                            found = Some((Arc::clone(&state.flows[i]), item));
+                            break;
+                        }
+                    }
+                    if let Some(found) = found {
+                        break found;
+                    }
+                    state = inner.cv.wait(state).expect("no poisoned locks");
+                }
+            };
+            let (flow, (job, index)) = picked;
+            flow.run_task(&job, index);
+        }
+    }
+}
+
 /// Runs the full flow on the pipelined graph executor.  Requires a backend
 /// that can fork ([`MiterSession::backend_can_fork`]).
+///
+/// `pool` switches task execution from flow-owned scoped threads to the
+/// given shared pool; `cancel` installs an external kill switch (observed by
+/// every in-flight solve's interrupt hook and surfaced as
+/// [`DetectError::Cancelled`]).
 pub(crate) fn run_pipelined(
     design: &ValidatedDesign,
     config: &DetectorConfig,
     miter: &mut MiterSession,
     scheduler: &PropertyScheduler,
+    pool: Option<&SharedSolvePool>,
+    cancel: Option<&Arc<AtomicBool>>,
     emit: &mut dyn FnMut(&FlowEvent),
 ) -> Result<(DetectionReport, PipelineStats), DetectError> {
     let workers = scheduler.effective_workers();
@@ -354,8 +592,10 @@ pub(crate) fn run_pipelined(
     // concurrently, so the coordinator solves everything itself: no worker
     // threads, no condvar hand-offs, and generations at the merge frontier
     // skip their snapshot clone (tasks fork straight off the unmutated
-    // master instead — identical content, identical reports).
-    let inline = workers.get() == 1;
+    // master instead — identical content, identical reports).  A shared pool
+    // disables the inline fast path: its whole point is that *other* threads
+    // solve the tasks, whatever this flow's nominal worker count.
+    let inline = pool.is_none() && workers.get() == 1;
     let mut graph = FlowGraph::plan(design, config)?;
     let start = Instant::now();
     let d = design.design();
@@ -363,59 +603,40 @@ pub(crate) fn run_pipelined(
         sigs.iter().map(|&s| d.signal_name(s).to_string()).collect()
     };
 
-    let work = Mutex::new(WorkQueue {
-        queue: VecDeque::new(),
-        shutdown: false,
-    });
-    let work_cv = Condvar::new();
-    // Completed-task counter; workers bump it under the lock before
-    // notifying, so a coordinator that re-checks `remaining` after acquiring
-    // the lock can never miss a wake-up.
-    let progress = Mutex::new(0u64);
-    let progress_cv = Condvar::new();
-    let cancelled = Arc::new(AtomicBool::new(false));
-    let outstanding = AtomicUsize::new(0);
-    // Every generation dispatched so far; workers consult it to detect tasks
-    // of *other* generations still unfinished when they pick up work.
-    let active_gens: Mutex<Vec<Arc<GenJob>>> = Mutex::new(Vec::new());
-    let cross_level = AtomicU64::new(0);
+    // One kill switch per run: the caller's external flag when given (so a
+    // service can interrupt in-flight solves from another thread), a private
+    // one otherwise.  Wind-down sets it either way, which makes a cancel flag
+    // one-shot — it is consumed by the run it was installed for.
+    let shared = Arc::new(FlowShared::new(
+        cancel.map_or_else(|| Arc::new(AtomicBool::new(false)), Arc::clone),
+    ));
+    if let Some(pool) = pool {
+        pool.register(Arc::clone(&shared));
+    }
 
-    std::thread::scope(|scope| {
-        let worker = || loop {
-            let item = {
-                let mut w = work.lock().expect("no poisoned locks");
-                loop {
-                    if let Some(item) = w.queue.pop_front() {
-                        break Some(item);
-                    }
-                    if w.shutdown {
-                        break None;
-                    }
-                    w = work_cv.wait(w).expect("no poisoned locks");
-                }
-            };
-            let Some((job, index)) = item else { return };
-            {
-                let gens = active_gens.lock().expect("no poisoned locks");
-                if gens
-                    .iter()
-                    .any(|g| g.node != job.node && g.remaining.load(Ordering::SeqCst) > 0)
-                {
-                    cross_level.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            let outcome = job.prepared.solve_task(index, &job.doomed, &cancelled);
-            *job.results[index].lock().expect("no poisoned locks") = Some(outcome);
-            job.remaining.fetch_sub(1, Ordering::SeqCst);
-            outstanding.fetch_sub(1, Ordering::SeqCst);
-            let mut completed = progress.lock().expect("no poisoned locks");
-            *completed += 1;
-            drop(completed);
-            progress_cv.notify_all();
-        };
-        if !inline {
+    let result = std::thread::scope(|scope| {
+        if !inline && pool.is_none() {
+            // Flow-owned workers park on the flow's condvar until tasks (or
+            // shutdown) arrive.  Pool mode skips these: the pool's global
+            // workers poll the registered flows instead.
             for _ in 0..workers.get() {
-                scope.spawn(worker);
+                let shared = &shared;
+                scope.spawn(move || loop {
+                    let item = {
+                        let mut w = shared.work.lock().expect("no poisoned locks");
+                        loop {
+                            if let Some(item) = w.queue.pop_front() {
+                                break Some(item);
+                            }
+                            if w.shutdown {
+                                break None;
+                            }
+                            w = shared.work_cv.wait(w).expect("no poisoned locks");
+                        }
+                    };
+                    let Some((job, index)) = item else { return };
+                    shared.run_task(&job, index);
+                });
             }
         }
 
@@ -432,18 +653,27 @@ pub(crate) fn run_pipelined(
                 // handed to the (empty) pool.
                 return;
             }
-            outstanding.fetch_add(n, Ordering::SeqCst);
-            active_gens
+            shared.outstanding.fetch_add(n, Ordering::SeqCst);
+            shared
+                .active_gens
                 .lock()
                 .expect("no poisoned locks")
                 .push(Arc::clone(job));
-            let mut w = work.lock().expect("no poisoned locks");
+            let mut w = shared.work.lock().expect("no poisoned locks");
             for i in 0..n {
                 w.queue.push_back((Arc::clone(job), i));
             }
             drop(w);
-            work_cv.notify_all();
+            match pool {
+                Some(pool) => pool.notify(),
+                None => shared.work_cv.notify_all(),
+            }
         };
+
+        // External cancellation is only an *error* when the caller installed
+        // a flag — the flow's own wind-down reuses the same switch to stop
+        // speculative stragglers after a verdict.
+        let externally_cancelled = || cancel.is_some() && shared.cancelled.load(Ordering::SeqCst);
 
         let mut coordinate = || -> Result<(DetectionReport, PipelineStats), DetectError> {
             let mut stats = PipelineStats::default();
@@ -473,6 +703,9 @@ pub(crate) fn run_pipelined(
             let mut planning_blocked = false;
             let mut level_idx = 0usize;
             while graph.ensure_level(design, level_idx)? {
+                if externally_cancelled() {
+                    return Err(DetectError::Cancelled);
+                }
                 // Prepare (at least) this level; speculative prepares beyond
                 // it happen while waiting below.
                 while level_jobs.len() <= level_idx {
@@ -511,9 +744,13 @@ pub(crate) fn run_pipelined(
                         // Solve the frontier generation right here: tasks
                         // fork off the master when the generation skipped
                         // its snapshot, off the snapshot when an earlier
-                        // force-prepare froze one.
-                        let cancelled_none = Arc::new(AtomicBool::new(false));
+                        // force-prepare froze one.  The shared flag doubles
+                        // as the interrupt hook, so an external cancel kills
+                        // even a single-worker schedule mid-search.
                         for i in 0..current_job.prepared.num_tasks() {
+                            if externally_cancelled() {
+                                return Err(DetectError::Cancelled);
+                            }
                             let mut slot =
                                 current_job.results[i].lock().expect("no poisoned locks");
                             if slot.is_some() {
@@ -523,14 +760,14 @@ pub(crate) fn run_pipelined(
                                 current_job.prepared.solve_task(
                                     i,
                                     &current_job.doomed,
-                                    &cancelled_none,
+                                    &shared.cancelled,
                                 )
                             } else {
                                 miter.solve_task_inline(
                                     &current_job.prepared,
                                     i,
                                     &current_job.doomed,
-                                    &cancelled_none,
+                                    &shared.cancelled,
                                 )
                             };
                             *slot = Some(outcome);
@@ -540,13 +777,16 @@ pub(crate) fn run_pipelined(
                     // Wait for the generation, preparing further levels
                     // whenever the pool would otherwise run dry.
                     loop {
+                        if externally_cancelled() {
+                            return Err(DetectError::Cancelled);
+                        }
                         if current_job.merge_ready() {
                             break;
                         }
                         if pipeline
                             && !planning_blocked
                             && !graph.levels_complete()
-                            && outstanding.load(Ordering::SeqCst) < workers.get()
+                            && shared.outstanding.load(Ordering::SeqCst) < workers.get()
                             // A failing task on the merge frontier means the
                             // flow is about to stop (or re-enqueue this very
                             // level): encoding the next level now would only
@@ -583,13 +823,24 @@ pub(crate) fn run_pipelined(
                                 }
                             }
                         }
-                        let completed = progress.lock().expect("no poisoned locks");
+                        let completed = shared.progress.lock().expect("no poisoned locks");
                         if current_job.merge_ready() {
                             break;
                         }
-                        drop(progress_cv.wait(completed).expect("no poisoned locks"));
+                        drop(
+                            shared
+                                .progress_cv
+                                .wait(completed)
+                                .expect("no poisoned locks"),
+                        );
                     }
 
+                    if externally_cancelled() {
+                        // Don't merge: the kill switch turns in-flight tasks
+                        // into skips, which the deterministic merge would
+                        // misread as lost results.
+                        return Err(DetectError::Cancelled);
+                    }
                     let outcomes = current_job.take_outcomes();
                     let check = miter
                         .merge_level(design, &current_job.prepared, outcomes)
@@ -600,7 +851,8 @@ pub(crate) fn run_pipelined(
                     // (in-flight stragglers keep their own forks alive) and
                     // stop scanning it in the workers' overlap check.
                     current_job.prepared.release_snapshot();
-                    active_gens
+                    shared
+                        .active_gens
                         .lock()
                         .expect("no poisoned locks")
                         .retain(|g| g.node != current_job.node);
@@ -703,7 +955,7 @@ pub(crate) fn run_pipelined(
                                 waived: names(&waived),
                                 node: res_node,
                             });
-                            if pipeline && outstanding.load(Ordering::SeqCst) > 0 {
+                            if pipeline && shared.outstanding.load(Ordering::SeqCst) > 0 {
                                 // The force-prepared levels' forks are still
                                 // solving while the master encodes this
                                 // round: cross-node encode/solve overlap.
@@ -780,20 +1032,28 @@ pub(crate) fn run_pipelined(
         };
 
         let result = coordinate().map(|(report, mut stats)| {
-            stats.cross_level_solves = cross_level.load(Ordering::Relaxed);
+            stats.cross_level_solves = shared.cross_level.load(Ordering::Relaxed);
             (report, stats)
         });
-        // Wind the pool down: cancel speculative work still in flight and
-        // wake every worker so the scope can join.
-        cancelled.store(true, Ordering::SeqCst);
+        // Wind the flow down: cancel speculative work still in flight and
+        // wake every flow-owned worker so the scope can join (pool workers
+        // simply stop finding this flow's tasks).
+        shared.cancelled.store(true, Ordering::SeqCst);
         {
-            let mut w = work.lock().expect("no poisoned locks");
+            let mut w = shared.work.lock().expect("no poisoned locks");
             w.queue.clear();
             w.shutdown = true;
         }
-        work_cv.notify_all();
+        shared.work_cv.notify_all();
         result
-    })
+    });
+    if let Some(pool) = pool {
+        // In-flight pool tasks of this flow (if any) run to completion on
+        // their own Arcs; deregistering only stops workers from picking up
+        // more.
+        pool.deregister(&shared);
+    }
+    result
 }
 
 #[cfg(test)]

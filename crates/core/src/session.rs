@@ -71,6 +71,8 @@
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use htd_ipc::{
@@ -84,7 +86,9 @@ use crate::error::DetectError;
 use crate::flow::DetectorConfig;
 use crate::flowgraph::FlowGraph;
 use crate::report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
-use crate::scheduler::{run_pipelined, PipelineStats, PropertyScheduler, SchedulerEngine};
+use crate::scheduler::{
+    run_pipelined, PipelineStats, PropertyScheduler, SchedulerEngine, SharedSolvePool,
+};
 
 /// Which SAT backend a session solves with.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -487,7 +491,40 @@ impl SessionBuilder {
             self.config.checker,
             self.backend.instantiate()?,
         );
-        Ok(DetectionSession {
+        Ok(self.assemble(miter))
+    }
+
+    /// Builds the session around an **existing** miter encoding instead of
+    /// bit-blasting a fresh one — the zero-encode path for callers holding a
+    /// cached frozen master: fork it ([`MiterSession::try_fork`], an O(bytes)
+    /// arena copy) and wrap the fork in a session.  The fork must be pristine
+    /// (never run) for the resulting reports to be byte-identical to a
+    /// fresh session's; `backend` is recorded for bookkeeping only — the
+    /// miter keeps whatever backend it was built with.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`build`](Self::build) (the backend is
+    /// not instantiated, so backend bring-up errors cannot occur here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miter` was built for a different design than the builder's
+    /// (by design name — the miter's encoding is meaningless for any other
+    /// netlist).
+    pub fn build_with_miter(self, miter: MiterSession) -> Result<DetectionSession, DetectError> {
+        validate_design(&self.design)?;
+        validate_config(&self.config)?;
+        assert_eq!(
+            miter.design_name(),
+            self.design.design().name(),
+            "miter session is bound to one design"
+        );
+        Ok(self.assemble(miter))
+    }
+
+    fn assemble(self, miter: MiterSession) -> DetectionSession {
+        DetectionSession {
             design: self.design,
             config: self.config,
             backend: self.backend,
@@ -495,7 +532,9 @@ impl SessionBuilder {
             miter,
             observers: Vec::new(),
             pipeline_stats: PipelineStats::default(),
-        })
+            pool: None,
+            cancel: None,
+        }
     }
 }
 
@@ -516,6 +555,8 @@ pub struct DetectionSession {
     miter: MiterSession,
     observers: Vec<EventObserver>,
     pipeline_stats: PipelineStats,
+    pool: Option<SharedSolvePool>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for DetectionSession {
@@ -594,6 +635,36 @@ impl DetectionSession {
         self.observers.push(Box::new(observer));
     }
 
+    /// Runs subsequent [`run`](Self::run) calls on the given shared worker
+    /// pool instead of flow-owned threads: the session registers its ready
+    /// queue with the pool for the duration of each run, and the pool's
+    /// workers serve all registered sessions round-robin (see
+    /// [`SharedSolvePool`]).  Reports are unaffected — the executor is
+    /// schedule-invariant.  Only the pipelined engine uses the pool; the
+    /// sequential engine and non-forkable backends solve on the calling
+    /// thread as before.
+    pub fn attach_pool(&mut self, pool: SharedSolvePool) {
+        self.pool = Some(pool);
+    }
+
+    /// Installs an external cancellation flag for the **next**
+    /// [`run`](Self::run): setting it to `true` from any thread interrupts
+    /// in-flight solver tasks mid-search and makes the run return
+    /// [`DetectError::Cancelled`].  The flag is one-shot — the run's
+    /// wind-down sets it, so install a fresh flag per run.  The sequential
+    /// engine honours it at property granularity (between graph nodes)
+    /// rather than mid-solve.
+    pub fn set_cancel_flag(&mut self, cancel: Arc<AtomicBool>) {
+        self.cancel = Some(cancel);
+    }
+
+    /// The external cancellation flag installed with
+    /// [`set_cancel_flag`](Self::set_cancel_flag), if any.
+    #[must_use]
+    pub fn cancel_flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.cancel.as_ref()
+    }
+
     /// Runs the full detection flow: init property, fanout properties until
     /// the structural fixpoint, then the signal-coverage check.
     ///
@@ -620,6 +691,8 @@ impl DetectionSession {
             miter,
             observers,
             pipeline_stats,
+            pool,
+            cancel,
             ..
         } = self;
         let mut emit = |event: &FlowEvent| {
@@ -631,10 +704,18 @@ impl DetectionSession {
         match engine_choice {
             EngineChoice::Sequential => {
                 let mut engine = SessionEngine { miter };
-                run_flow(design, config, &mut engine, &mut emit)
+                run_flow(design, config, &mut engine, cancel.as_ref(), &mut emit)
             }
             EngineChoice::Scheduled(scheduler) if miter.backend_can_fork() => {
-                let (report, stats) = run_pipelined(design, config, miter, scheduler, &mut emit)?;
+                let (report, stats) = run_pipelined(
+                    design,
+                    config,
+                    miter,
+                    scheduler,
+                    pool.as_ref(),
+                    cancel.as_ref(),
+                    &mut emit,
+                )?;
                 *pipeline_stats = stats;
                 Ok(report)
             }
@@ -645,7 +726,7 @@ impl DetectionSession {
                     miter,
                     jobs: scheduler.jobs(),
                 };
-                run_flow(design, config, &mut engine, &mut emit)
+                run_flow(design, config, &mut engine, cancel.as_ref(), &mut emit)
             }
         }
     }
@@ -662,10 +743,16 @@ impl DetectionSession {
 /// and their dependency edges were all planned up front, and this driver
 /// merely visits the nodes in id order, appending resolution nodes as
 /// spurious counterexamples are diagnosed.
+///
+/// `cancel` is honoured at node granularity: the walk checks the flag before
+/// every level (sequential engines run whole properties on the calling
+/// thread, so there is no mid-solve interrupt point here — the pipelined
+/// executor provides that).
 pub(crate) fn run_flow(
     design: &ValidatedDesign,
     config: &DetectorConfig,
     engine: &mut dyn PropertyEngine,
+    cancel: Option<&Arc<AtomicBool>>,
     emit: &mut dyn FnMut(&FlowEvent),
 ) -> Result<DetectionReport, DetectError> {
     let mut graph = FlowGraph::plan(design, config)?;
@@ -696,6 +783,9 @@ pub(crate) fn run_flow(
 
     let mut level_idx = 0usize;
     while graph.ensure_level(design, level_idx)? {
+        if cancel.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            return Err(DetectError::Cancelled);
+        }
         let node = graph.level_node(level_idx).clone();
         let property = node.property.clone().expect("level nodes carry properties");
         fanout_levels.push(names(&node.signals));
@@ -1000,6 +1090,65 @@ mod tests {
             })
             .unwrap();
         assert!(saw_proved);
+    }
+
+    #[test]
+    fn a_preset_cancel_flag_aborts_both_engines() {
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        session.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert_eq!(session.run().unwrap_err(), DetectError::Cancelled);
+        let mut session = SessionBuilder::new(clean_pipeline())
+            .engine(EngineChoice::Sequential)
+            .build()
+            .unwrap();
+        session.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert_eq!(session.run().unwrap_err(), DetectError::Cancelled);
+    }
+
+    #[test]
+    fn cancelling_mid_run_surfaces_as_cancelled() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        session.set_cancel_flag(Arc::clone(&flag));
+        assert!(session
+            .cancel_flag()
+            .is_some_and(|installed| Arc::ptr_eq(installed, &flag)));
+        // The first event fires before the first solve, so flipping the flag
+        // there exercises the coordinator's between-task checks.
+        let result = session.run_with_observer(&mut |_| flag.store(true, Ordering::SeqCst));
+        assert_eq!(result.unwrap_err(), DetectError::Cancelled);
+    }
+
+    #[test]
+    fn pooled_sessions_match_their_solo_reports() {
+        let mut want_clean = SessionBuilder::new(clean_pipeline()).build().unwrap();
+        let want_clean = want_clean.run().unwrap().normalized();
+        let mut want_infected = SessionBuilder::new(infected_design()).build().unwrap();
+        let want_infected = want_infected.run().unwrap().normalized();
+
+        // Two tenants over one pool, concurrently; a cancelled third job must
+        // not perturb either.
+        let pool = SharedSolvePool::new(NonZeroUsize::new(2).unwrap());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+                session.attach_pool(pool.clone());
+                assert_eq!(session.run().unwrap().normalized(), want_clean);
+            });
+            scope.spawn(|| {
+                let mut session = SessionBuilder::new(infected_design()).build().unwrap();
+                session.attach_pool(pool.clone());
+                assert_eq!(session.run().unwrap().normalized(), want_infected);
+            });
+            scope.spawn(|| {
+                let mut session = SessionBuilder::new(clean_pipeline()).build().unwrap();
+                session.attach_pool(pool.clone());
+                session.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+                assert_eq!(session.run().unwrap_err(), DetectError::Cancelled);
+            });
+        });
+        pool.shutdown();
+        pool.shutdown(); // idempotent
     }
 
     #[test]

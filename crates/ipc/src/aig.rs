@@ -167,6 +167,17 @@ impl Aig {
         self.strash_hits
     }
 
+    /// Estimated resident size of the graph in bytes: the node table plus
+    /// the structural-hash entries.  Used as the eviction cost of encoding
+    /// caches — a session that has not solved anything yet holds its whole
+    /// footprint here, not in the solver.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let nodes = self.nodes.len() * std::mem::size_of::<Node>();
+        let strash = self.strash.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
+        (nodes + strash) as u64
+    }
+
     /// `true` if the node behind `lit` is a primary input.
     #[must_use]
     pub fn is_input(&self, lit: AigLit) -> bool {

@@ -131,7 +131,7 @@ pub fn sat_lit<S: BuildHasher>(node_vars: &HashMap<u32, Var, S>, lit: AigLit) ->
 /// backend.add_clause([encoder.lit(both)]);
 /// assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct IncrementalEncoder {
     node_vars: FxHashMap<u32, Var>,
     /// Per-root memo of [`cone_vars`](Self::cone_vars): AIG nodes are

@@ -478,6 +478,7 @@ pub fn solve_prepared(prepared: &PreparedLevel, jobs: NonZeroUsize) -> Vec<Optio
 }
 
 /// The lowering contexts of one binding epoch (one merged-register set).
+#[derive(Clone)]
 struct EpochCtx {
     /// Sorted merged-register set this epoch was built for.
     key: Vec<SignalId>,
@@ -567,6 +568,66 @@ impl MiterSession {
     #[must_use]
     pub fn backend_name(&self) -> String {
         self.backend.name()
+    }
+
+    /// The name of the design the session is bound to.
+    #[must_use]
+    pub fn design_name(&self) -> &str {
+        &self.design_name
+    }
+
+    /// Bytes a fork of the session's master backend would copy — the
+    /// O(bytes) cost model of the arena-backed clause store, used both for
+    /// the per-generation snapshot accounting and as the eviction cost of a
+    /// design-keyed session cache (0 for backends that cannot fork).
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.backend.snapshot_bytes()
+    }
+
+    /// Estimated resident size of the whole session: the AIG footprint plus
+    /// the backend's forkable snapshot bytes.  This is the honest eviction
+    /// cost of a design-keyed **frozen master** cache: a pristine master has
+    /// issued no queries, so [`snapshot_bytes`](Self::snapshot_bytes) alone
+    /// reads near zero while the bit-blast product (the AIG and its
+    /// structural hash) dominates its footprint.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.aig.resident_bytes() + self.backend.snapshot_bytes()
+    }
+
+    /// Forks the whole session: an O(bytes) clone of the encoding state (AIG,
+    /// encoder maps, epoch contexts) plus a [`SatBackend::fork`] of the
+    /// master solver.  Returns `None` when the backend cannot fork (process
+    /// backends).
+    ///
+    /// The fork is a fully independent session over the same design: checks
+    /// run on it never touch the parent.  The intended use is a **frozen
+    /// master** cache — build a session (one bit-blast), never run it, and
+    /// fork it once per request — so a returning design costs one arena copy
+    /// instead of a re-encode.  Forking a session that has already run
+    /// properties is also sound, but its learnt clauses and retired
+    /// activation literals carry over, so reports from such a fork are not
+    /// byte-identical to a fresh session's; fork pristine masters when
+    /// report-identity matters.
+    #[must_use]
+    pub fn try_fork(&self) -> Option<MiterSession> {
+        let backend = self.backend.fork()?;
+        Some(MiterSession {
+            aig: self.aig.clone(),
+            backend,
+            encoder: self.encoder.clone(),
+            options: self.options,
+            design_name: self.design_name.clone(),
+            inputs: self.inputs.clone(),
+            split_regs: self.split_regs.clone(),
+            shared_regs: self.shared_regs.clone(),
+            active_vars: self.active_vars.clone(),
+            support_cache: self.support_cache.clone(),
+            epoch: self.epoch.clone(),
+            pending_acts: self.pending_acts.clone(),
+            stats: self.stats,
+        })
     }
 
     /// Session-level counters.
@@ -1594,6 +1655,39 @@ mod tests {
             assert!(report.holds(), "{} should hold", property.name);
         }
         assert_eq!(session.stats().bit_blasts, 1);
+    }
+
+    /// A fork of a pristine (never-run) master behaves exactly like a fresh
+    /// session — same verdicts, same solver-work deltas, one inherited
+    /// bit-blast — and runs independently of its parent.
+    #[test]
+    fn a_pristine_fork_checks_like_a_fresh_session() {
+        let design = trojan_design();
+        let d = design.design();
+        let data = d.require("data").unwrap();
+        let property = IntervalProperty::new("init_property", vec![], vec![data]);
+
+        let master = MiterSession::new(&design, Box::new(Solver::new()));
+        let mut forked = master.try_fork().expect("builtin backend forks");
+        let mut fresh = MiterSession::new(&design, Box::new(Solver::new()));
+
+        let mut from_fork = forked.check(&design, &property).unwrap();
+        let mut from_fresh = fresh.check(&design, &property).unwrap();
+        from_fork.stats.duration = std::time::Duration::ZERO;
+        from_fresh.stats.duration = std::time::Duration::ZERO;
+        assert_eq!(from_fork, from_fresh);
+
+        // The fork inherits the master's single bit-blast and never triggers
+        // another; the master itself stayed pristine.
+        assert_eq!(forked.stats().bit_blasts, 1);
+        assert_eq!(master.stats().properties_checked, 0);
+
+        // A second, later fork of the same untouched master is unaffected by
+        // the first fork's run.
+        let mut second = master.try_fork().expect("builtin backend forks");
+        let mut again = second.check(&design, &property).unwrap();
+        again.stats.duration = std::time::Duration::ZERO;
+        assert_eq!(again, from_fresh);
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod design;
 mod error;
 pub mod export;
 mod expr;
+pub mod fxhash;
 pub mod netlist;
 pub mod sim;
 pub mod stats;

@@ -88,6 +88,36 @@ pub fn dump(design: &ValidatedDesign) -> String {
     out
 }
 
+/// A content-addressed key for a design: the [`FxHash`](crate::fxhash) of
+/// its canonical netlist form ([`dump`]).
+///
+/// Two designs hash equal exactly when their canonical dumps are
+/// byte-identical — same signals in the same creation order with the same
+/// drivers — which is the invariant a design-keyed cache needs: everything
+/// the detection flow computes (bit-blast, CNF, reports) is a deterministic
+/// function of that canonical form.  Textual differences that `parse`
+/// normalises away (whitespace, comments, decimal vs hex constants) do not
+/// affect the hash of the *parsed* design; any structural change — one gate,
+/// one constant bit, one renamed signal — changes it.
+///
+/// Not a cryptographic hash: collisions are possible in principle, so
+/// security-sensitive callers must compare the dumps on a hash hit.
+#[must_use]
+pub fn content_hash(design: &ValidatedDesign) -> u64 {
+    use std::hash::Hasher as _;
+    let mut hasher = crate::fxhash::FxHasher::default();
+    hasher.write(dump(design).as_bytes());
+    hasher.finish()
+}
+
+impl ValidatedDesign {
+    /// The design's content hash: see [`content_hash`].
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        content_hash(self)
+    }
+}
+
 /// Renders one expression as an s-expression (used by [`dump`] and by the
 /// counterexample pretty-printer in `htd-core`).
 #[must_use]
@@ -502,6 +532,39 @@ mod tests {
         assert!(text.contains("wire inc 4 ="));
         assert!(text.contains("output value 4 ="));
         assert!(text.contains("next count ="));
+    }
+
+    /// Structurally identical designs hash equal (however they were built or
+    /// textually formatted), and a one-gate mutation changes the hash.
+    #[test]
+    fn content_hash_keys_on_structure() {
+        let a = counter();
+        let b = counter();
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Textual noise the parser normalises away — comments, blank lines,
+        // decimal instead of hex constants — does not perturb the hash of
+        // the parsed design.
+        let noisy = format!("# a comment\n\n{}", dump(&a).replace("0x0", "0"));
+        assert_eq!(parse(&noisy).unwrap().content_hash(), a.content_hash());
+
+        // One mutated gate: increment by 2 instead of 1.
+        let mut d = Design::new("counter");
+        let en = d.add_input("en", 1).unwrap();
+        let count = d.add_register("count", 4, 0).unwrap();
+        let two = d.constant(2, 4).unwrap();
+        let inc = d.add(d.signal(count), two).unwrap();
+        let inc_wire = d.add_wire("inc", inc).unwrap();
+        let next = d
+            .mux(d.signal(en), d.signal(inc_wire), d.signal(count))
+            .unwrap();
+        d.set_register_next(count, next).unwrap();
+        d.add_output("value", d.signal(count)).unwrap();
+        let mutated = d.validated().unwrap();
+        assert_ne!(mutated.content_hash(), a.content_hash());
+
+        // The free function and the method agree.
+        assert_eq!(content_hash(&a), a.content_hash());
     }
 
     #[test]

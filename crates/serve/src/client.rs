@@ -1,0 +1,250 @@
+//! A blocking client for the service protocol, used by `htd submit` /
+//! `htd cancel`-style tooling and the end-to-end tests.
+//!
+//! [`submit`] streams a netlist to a daemon and surfaces every NDJSON frame
+//! through a callback as it arrives, returning the terminal report; [`stats`]
+//! and [`cancel`] wrap the plain JSON endpoints.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::json::Json;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading the socket failed.
+    Io(String),
+    /// The server's answer did not follow the protocol.
+    Protocol(String),
+    /// The server answered with its structured error schema (admission
+    /// rejections, parse errors) or streamed a terminal `error` frame
+    /// (cancellation, flow failures).
+    Server {
+        /// The machine-readable error code (`overloaded`, `cancelled`, ...).
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(message) => write!(f, "connection failed: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The result of a successful [`submit`]: the job's identity and terminal
+/// frames.
+#[derive(Debug)]
+pub struct Submission {
+    /// The server-assigned job id.
+    pub job: u64,
+    /// The report text streamed in the terminal frame — byte-identical to
+    /// `htd detect --normalize` output for the same netlist.
+    pub report_text: String,
+    /// The one-line summary (`<design>: SECURE`, ...).
+    pub summary: String,
+    /// The `stats` frame, when the server sent one (cache disposition,
+    /// wall-clock, solver/session counters).
+    pub stats: Option<Json>,
+}
+
+/// Submits a netlist to the daemon at `addr` and drains the NDJSON stream,
+/// invoking `on_line` with every raw frame line as it arrives.
+///
+/// # Errors
+///
+/// [`ClientError::Server`] when the daemon rejects the submission or the job
+/// ends in a terminal `error` frame; [`ClientError::Protocol`] when the
+/// stream ends without a report; [`ClientError::Io`] on socket failures.
+pub fn submit(
+    addr: &str,
+    netlist: &str,
+    on_line: &mut dyn FnMut(&str),
+) -> Result<Submission, ClientError> {
+    let body = Json::obj([("netlist", Json::str(netlist))]).to_string();
+    let stream = request(addr, "POST", "/jobs", Some(&body))?;
+    let mut reader = BufReader::new(stream);
+    let (status, error_body) = read_status_and_headers(&mut reader)?;
+    if status != 200 {
+        return Err(server_error(status, &error_body, &mut reader));
+    }
+
+    let mut job = None;
+    let mut stats = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(ClientError::Io(e.to_string())),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        on_line(trimmed);
+        let frame = Json::parse(trimmed)
+            .map_err(|e| ClientError::Protocol(format!("bad frame {trimmed:?}: {e}")))?;
+        match frame.get("event").and_then(Json::as_str) {
+            Some("accepted") => job = frame.get("job").and_then(Json::as_u64),
+            Some("stats") => stats = Some(frame),
+            Some("report") => {
+                let text = frame
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("report frame without `text`".to_owned()))?
+                    .to_owned();
+                let summary = frame
+                    .get("summary")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                return Ok(Submission {
+                    job: job.unwrap_or(0),
+                    report_text: text,
+                    summary,
+                    stats,
+                });
+            }
+            Some("error") => {
+                return Err(ClientError::Server {
+                    code: frame
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_owned(),
+                    message: frame
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+    Err(ClientError::Protocol(
+        "stream ended before a report or error frame".to_owned(),
+    ))
+}
+
+/// Fetches the daemon's `GET /stats` document.
+///
+/// # Errors
+///
+/// [`ClientError`] on socket, protocol or server failures.
+pub fn stats(addr: &str) -> Result<Json, ClientError> {
+    plain_json(addr, "GET", "/stats")
+}
+
+/// Cancels a job via `DELETE /jobs/<id>`; returns the server's answer
+/// (`{"job":...,"state":...,"cancelled":...}`).
+///
+/// # Errors
+///
+/// [`ClientError::Server`] with code `not_found` for unknown job ids, plus
+/// the usual socket and protocol failures.
+pub fn cancel(addr: &str, job: u64) -> Result<Json, ClientError> {
+    plain_json(addr, "DELETE", &format!("/jobs/{job}"))
+}
+
+fn plain_json(addr: &str, method: &str, path: &str) -> Result<Json, ClientError> {
+    let stream = request(addr, method, path, None)?;
+    let mut reader = BufReader::new(stream);
+    let (status, reason) = read_status_and_headers(&mut reader)?;
+    if status != 200 {
+        return Err(server_error(status, &reason, &mut reader));
+    }
+    let mut body = String::new();
+    reader
+        .read_to_string(&mut body)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    Json::parse(body.trim()).map_err(|e| ClientError::Protocol(format!("bad response body: {e}")))
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<TcpStream, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: htd\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| ClientError::Io(e.to_string()))?;
+    stream.flush().map_err(|e| ClientError::Io(e.to_string()))?;
+    Ok(stream)
+}
+
+/// Reads the status line and headers; returns the status code and reason.
+fn read_status_and_headers(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(u16, String), ClientError> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let (Some(version), Some(code), reason) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(ClientError::Protocol(format!("bad status line {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Protocol(format!("bad status line {line:?}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad status code {code:?}")))?;
+    let reason = reason.unwrap_or("").to_owned();
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim_end().is_empty() => break,
+            Ok(_) => {}
+            Err(e) => return Err(ClientError::Io(e.to_string())),
+        }
+    }
+    Ok((status, reason))
+}
+
+/// Builds a [`ClientError::Server`] from an error response body (falling
+/// back to the HTTP reason phrase when the body is unusable).
+fn server_error(status: u16, reason: &str, reader: &mut BufReader<TcpStream>) -> ClientError {
+    let mut body = String::new();
+    let _ = reader.read_to_string(&mut body);
+    if let Ok(parsed) = Json::parse(body.trim()) {
+        if let Some(error) = parsed.get("error") {
+            return ClientError::Server {
+                code: error
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                message: error
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            };
+        }
+    }
+    ClientError::Server {
+        code: format!("http_{status}"),
+        message: reason.to_owned(),
+    }
+}

@@ -1,0 +1,265 @@
+//! Just enough HTTP/1.1 to carry the service protocol over a raw
+//! [`std::net::TcpStream`]: request-line + header parsing with a bounded
+//! body, and plain / streaming response writers.
+//!
+//! Every response closes the connection (`Connection: close`), which is what
+//! makes the NDJSON stream EOF-terminated — no chunked transfer encoding,
+//! no keep-alive state machine.
+
+use std::io::{self, BufRead, Write};
+
+use crate::json::Json;
+
+/// Maximum allowed size of a single header line (request line included).
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/jobs` or `/jobs/3`.
+    pub path: String,
+    /// The decoded body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket failed or the peer closed before a full request arrived.
+    Io(io::Error),
+    /// The request was syntactically malformed (maps to `400`).
+    Malformed(String),
+    /// The declared body exceeds the server's cap (maps to `413`).
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+}
+
+impl From<io::Error> for RequestError {
+    fn from(err: io::Error) -> Self {
+        RequestError::Io(err)
+    }
+}
+
+/// Reads one request from `reader`, capping the body at `max_body` bytes.
+///
+/// # Errors
+///
+/// [`RequestError::Malformed`] on syntax errors, [`RequestError::TooLarge`]
+/// when `Content-Length` exceeds the cap, [`RequestError::Io`] when the
+/// underlying stream fails.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, RequestError> {
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed(format!(
+            "bad request line: {line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let method = method.to_owned();
+    let path = path.to_owned();
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!("bad header: {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                RequestError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
+            })?;
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Malformed("body is not valid UTF-8".to_owned()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut raw = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if raw.is_empty() {
+                    return Err(RequestError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full request",
+                    )));
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+                if raw.len() > MAX_LINE_BYTES {
+                    return Err(RequestError::Malformed("header line too long".to_owned()));
+                }
+            }
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("header line is not valid UTF-8".to_owned()))
+}
+
+/// Writes a complete JSON response with `Content-Length` framing.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_json(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &Json,
+) -> io::Result<()> {
+    let mut payload = body.to_string();
+    payload.push('\n');
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    writer.flush()
+}
+
+/// Writes the structured error schema: `{"error":{"code":...,"message":...}}`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_error(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    code: &str,
+    message: &str,
+) -> io::Result<()> {
+    let body = Json::obj([(
+        "error",
+        Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
+    )]);
+    write_json(writer, status, reason, &body)
+}
+
+/// Starts an EOF-terminated NDJSON stream: status line and headers only; the
+/// caller then writes one JSON document per line and closes the socket.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_stream_header(writer: &mut impl Write) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_bare_lf_requests() {
+        let req = parse("GET /stats HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let err = parse("POST /jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        match err {
+            RequestError::TooLarge { declared, limit } => {
+                assert_eq!(declared, 4096);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /stats SPDY/3\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_responses_use_the_structured_schema() {
+        let mut out = Vec::new();
+        write_error(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "overloaded",
+            "queue full",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap().trim();
+        let parsed = Json::parse(body).unwrap();
+        assert_eq!(
+            parsed
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+}

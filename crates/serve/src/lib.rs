@@ -1,0 +1,212 @@
+//! # htd-serve
+//!
+//! A multi-tenant detection service for the golden-free Trojan-detection
+//! flow: a long-lived daemon that accepts netlists over HTTP/1.1, runs each
+//! through the full Algorithm-1 flow, and streams progress back as
+//! newline-delimited JSON.  Many concurrent jobs multiplex over **one**
+//! shared [`SharedSolvePool`](htd_core::SharedSolvePool), and returning
+//! designs skip the bit-blast entirely through a content-hash-keyed cache of
+//! frozen master encodings (see [`cache`]).
+//!
+//! Everything is dependency-free: the HTTP layer is hand-rolled over
+//! [`std::net::TcpListener`] ([`http`]), the JSON layer over a small value
+//! type ([`json`]).
+//!
+//! # Wire protocol
+//!
+//! All endpoints speak HTTP/1.1 with `Connection: close`; there is no
+//! keep-alive and no chunked encoding.  Non-streaming responses carry a
+//! `Content-Length`-framed JSON body; failures use one structured schema:
+//!
+//! ```text
+//! {"error":{"code":"<machine-readable>","message":"<human-readable>"}}
+//! ```
+//!
+//! with codes `bad_request` (400), `oversized` (413), `not_found` (404),
+//! `method_not_allowed` (405) and `overloaded` (503).
+//!
+//! ## `POST /jobs` — submit a detection job
+//!
+//! Request body: `{"netlist":"<canonical netlist text>"}` (the textual
+//! format of [`htd_rtl::netlist`]; produce it with `htd export`).  The
+//! design is parsed and validated during admission, so parse errors answer
+//! with `400` before a job id is allocated; when `queued + running` jobs
+//! would exceed the admission bound the answer is `503 overloaded`.
+//!
+//! Accepted submissions answer `200` with `Content-Type:
+//! application/x-ndjson` and an EOF-terminated stream of one JSON frame per
+//! line, every frame tagged with `"event"` and `"job"`:
+//!
+//! | frame | meaning |
+//! |---|---|
+//! | `accepted` | job id, design name, queue depth at admission |
+//! | `level_started` | a fanout level began (signals, flow-graph node, deps) |
+//! | `property_proved` | per-property verdict with solver counters |
+//! | `counterexample` | a (possibly spurious) divergence with diff signals |
+//! | `resolution_round` | a spurious counterexample being discharged |
+//! | `coverage` | the final signal-coverage check |
+//! | `stats` | terminal: cache disposition (`"hit"`/`"miss"`/`"off"`), wall seconds, aggregate solver/session counters |
+//! | `report` | terminal: one-line `summary` plus the full report `text` |
+//! | `error` | terminal: the job failed or was cancelled (`code`, `message`) |
+//!
+//! The `report.text` field is the [`DetectionReport::normalized`]
+//! [`Display`](std::fmt::Display) rendering plus a trailing newline —
+//! **byte-identical** to `htd detect --normalize` run locally on the same
+//! netlist.  Reports are deterministic up to wall-clock time for any worker
+//! count and any interleaving of concurrent jobs, so the diff holds whether
+//! the job hit the snapshot cache, missed it, or ran with caching disabled.
+//!
+//! Disconnecting the submitting client cancels its job: the server watches
+//! the connection and flips the job's cancel flag, which the flow honours
+//! between solve tasks ([`DetectError::Cancelled`](htd_core::DetectError)).
+//!
+//! ## `DELETE /jobs/<id>` — cancel a job
+//!
+//! Answers `{"job":<id>,"state":"<state>","cancelled":<bool>}`; `cancelled`
+//! is `true` when the job was still queued or running.  Unknown ids answer
+//! `404 not_found`.
+//!
+//! ## `GET /stats` — service observability
+//!
+//! One JSON document: the admission bound and pool width, current queue
+//! depth and running count, completed/cancelled/failed totals, snapshot
+//! cache counters (`entries`, `bytes`, `capacity_bytes`, `hits`, `misses`,
+//! `evicted_entries`, `evicted_bytes`), aggregate `solver_totals` /
+//! `session_totals` under their schema-v4 benchmark field names, and a
+//! bounded ring of recent per-job records (id, design, state, wall seconds,
+//! cache disposition).
+//!
+//! # Environment
+//!
+//! Mirroring the strict `HTD_JOBS` / `HTD_GC_*` style, a malformed value is
+//! a loud error, never a silent default:
+//!
+//! * [`HTD_SERVE_ADDR`](ADDR_ENV_VAR) — listen address
+//!   (default `127.0.0.1:7171`); must parse as a socket address.
+//! * [`HTD_SERVE_MAX_JOBS`](MAX_JOBS_ENV_VAR) — admission bound
+//!   (default 8); must be a positive integer.
+//! * [`HTD_SERVE_CACHE_BYTES`](CACHE_BYTES_ENV_VAR) — snapshot-cache byte
+//!   budget (default 256 MiB); a non-negative integer, `0` disables caching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+use std::net::SocketAddr;
+use std::num::NonZeroUsize;
+
+pub use cache::{CacheStats, FrozenMaster, SnapshotCache};
+pub use client::{ClientError, Submission};
+pub use json::Json;
+pub use server::{ServeOptions, Server};
+
+/// Environment variable naming the daemon's listen address.
+pub const ADDR_ENV_VAR: &str = "HTD_SERVE_ADDR";
+
+/// Environment variable bounding admitted (queued plus running) jobs.
+pub const MAX_JOBS_ENV_VAR: &str = "HTD_SERVE_MAX_JOBS";
+
+/// Environment variable budgeting the snapshot cache, in bytes.
+pub const CACHE_BYTES_ENV_VAR: &str = "HTD_SERVE_CACHE_BYTES";
+
+/// The listen address used when [`ADDR_ENV_VAR`] is unset.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// The admission bound used when [`MAX_JOBS_ENV_VAR`] is unset.
+pub const DEFAULT_MAX_JOBS: usize = 8;
+
+/// The cache budget used when [`CACHE_BYTES_ENV_VAR`] is unset (256 MiB).
+pub const DEFAULT_CACHE_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The default listen address: [`ADDR_ENV_VAR`] or [`DEFAULT_ADDR`].
+///
+/// # Errors
+///
+/// When the variable is set but does not parse as a socket address — never
+/// a silent fallback, matching the strict `HTD_JOBS` / `HTD_GC_*` style.
+pub fn try_default_addr() -> Result<String, String> {
+    let Ok(value) = std::env::var(ADDR_ENV_VAR) else {
+        return Ok(DEFAULT_ADDR.to_owned());
+    };
+    let trimmed = value.trim();
+    trimmed.parse::<SocketAddr>().map_err(|_| {
+        format!(
+            "{ADDR_ENV_VAR}={value:?} is not a socket address \
+             (e.g. {ADDR_ENV_VAR}=127.0.0.1:7171); unset it for the default of {DEFAULT_ADDR}"
+        )
+    })?;
+    Ok(trimmed.to_owned())
+}
+
+/// [`try_default_addr`], panicking on a malformed [`ADDR_ENV_VAR`].
+///
+/// # Panics
+///
+/// If the variable is set to anything but a socket address.
+#[must_use]
+pub fn default_addr() -> String {
+    try_default_addr().unwrap_or_else(|message| panic!("{message}"))
+}
+
+/// The default admission bound: [`MAX_JOBS_ENV_VAR`] or
+/// [`DEFAULT_MAX_JOBS`].
+///
+/// # Errors
+///
+/// When the variable is set but is not a positive integer.
+pub fn try_default_max_jobs() -> Result<NonZeroUsize, String> {
+    let Ok(value) = std::env::var(MAX_JOBS_ENV_VAR) else {
+        return Ok(NonZeroUsize::new(DEFAULT_MAX_JOBS).expect("default bound is positive"));
+    };
+    value.trim().parse::<NonZeroUsize>().map_err(|_| {
+        format!(
+            "{MAX_JOBS_ENV_VAR}={value:?} is not a positive integer job bound \
+             (e.g. {MAX_JOBS_ENV_VAR}=8); unset it for the default of {DEFAULT_MAX_JOBS}"
+        )
+    })
+}
+
+/// [`try_default_max_jobs`], panicking on a malformed [`MAX_JOBS_ENV_VAR`].
+///
+/// # Panics
+///
+/// If the variable is set to anything but a positive integer.
+#[must_use]
+pub fn default_max_jobs() -> NonZeroUsize {
+    try_default_max_jobs().unwrap_or_else(|message| panic!("{message}"))
+}
+
+/// The default cache budget: [`CACHE_BYTES_ENV_VAR`] or
+/// [`DEFAULT_CACHE_BYTES`].  Zero disables caching.
+///
+/// # Errors
+///
+/// When the variable is set but is not a non-negative integer.
+pub fn try_default_cache_bytes() -> Result<u64, String> {
+    let Ok(value) = std::env::var(CACHE_BYTES_ENV_VAR) else {
+        return Ok(DEFAULT_CACHE_BYTES);
+    };
+    value.trim().parse::<u64>().map_err(|_| {
+        format!(
+            "{CACHE_BYTES_ENV_VAR}={value:?} is not a byte count \
+             (e.g. {CACHE_BYTES_ENV_VAR}=268435456, or 0 to disable caching); \
+             unset it for the default of {DEFAULT_CACHE_BYTES}"
+        )
+    })
+}
+
+/// [`try_default_cache_bytes`], panicking on a malformed
+/// [`CACHE_BYTES_ENV_VAR`].
+///
+/// # Panics
+///
+/// If the variable is set to anything but a non-negative integer.
+#[must_use]
+pub fn default_cache_bytes() -> u64 {
+    try_default_cache_bytes().unwrap_or_else(|message| panic!("{message}"))
+}

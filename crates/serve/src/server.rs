@@ -1,0 +1,916 @@
+//! The detection daemon: a bounded job queue in front of a shared
+//! [`SharedSolvePool`], a netlist-keyed [`SnapshotCache`] of frozen master
+//! encodings, and one NDJSON event stream per submitted job.
+//!
+//! See the [crate docs](crate) for the wire protocol.  Concurrency layout:
+//!
+//! * one **accept** thread takes connections and hands each to a detached
+//!   connection thread;
+//! * a connection thread parses the request; for `POST /jobs` it performs
+//!   admission control, writes the `accepted` frame, enqueues the job and
+//!   then lingers as a **disconnect watcher** — a client hangup flips the
+//!   job's cancel flag, which the flow coordinator honours between tasks;
+//! * `max(2, workers)` **runner** threads drain the queue.  Each runner
+//!   resolves the snapshot cache, builds a [`DetectionSession`] on a fork of
+//!   the frozen master, attaches the shared pool and streams the flow's
+//!   events back over the socket.  Two runners minimum means two jobs
+//!   multiplex over the pool even on a single-core host.
+//!
+//! Every job runs on an O(bytes) fork of a *pristine* master — never the
+//! master itself — so a cache hit, a cache miss and a cache-disabled run all
+//! execute byte-identical solver work and produce byte-identical
+//! [`DetectionReport::normalized`] renderings.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use htd_core::{
+    DetectError, DetectionReport, DetectorConfig, EngineChoice, FlowEvent, PropertyScheduler,
+    SessionBuilder, SharedSolvePool,
+};
+use htd_ipc::{MiterSession, SessionStats};
+use htd_rtl::{netlist, ValidatedDesign};
+use htd_sat::{Solver, SolverStats};
+
+use crate::cache::{FrozenMaster, SnapshotCache};
+use crate::http::{self, Request, RequestError};
+use crate::json::Json;
+
+/// Upper bound on a submitted request body (the JSON-wrapped netlist).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// How often a disconnect watcher wakes to poll its job's completion flag.
+const WATCH_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Finished jobs retained for `GET /stats` (a bounded ring; older records
+/// are dropped first).
+const FINISHED_RING: usize = 64;
+
+/// Daemon configuration, resolved from the environment by
+/// [`from_env`](Self::from_env) and overridable per flag by the CLI.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The listen address, e.g. `127.0.0.1:7171` (port 0 picks a free one).
+    pub addr: String,
+    /// Admission bound: queued plus running jobs may not exceed this.
+    pub max_jobs: NonZeroUsize,
+    /// Snapshot-cache byte budget; 0 disables caching.
+    pub cache_bytes: u64,
+    /// Worker threads of the shared solve pool (and, capped below at 2, the
+    /// number of job runner threads).
+    pub workers: NonZeroUsize,
+    /// The detection configuration applied to every served job.
+    pub config: DetectorConfig,
+}
+
+impl ServeOptions {
+    /// Resolves the daemon configuration from `HTD_SERVE_*` (strict: a
+    /// malformed value is an error, never a silent default), with the pool
+    /// sized to the host's available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed environment variable.
+    pub fn from_env() -> Result<ServeOptions, String> {
+        Ok(ServeOptions {
+            addr: crate::try_default_addr()?,
+            max_jobs: crate::try_default_max_jobs()?,
+            cache_bytes: crate::try_default_cache_bytes()?,
+            workers: PropertyScheduler::available_parallelism(),
+            config: DetectorConfig::default(),
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Completed,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn is_active(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    id: u64,
+    design: String,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    wall_secs: Option<f64>,
+    cache: Option<&'static str>,
+}
+
+#[derive(Debug, Default)]
+struct JobTable {
+    next_id: u64,
+    records: Vec<JobRecord>,
+}
+
+struct QueuedJob {
+    id: u64,
+    design: ValidatedDesign,
+    key: u64,
+    stream: TcpStream,
+    cancel: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    solver: SolverStats,
+    session: SessionStats,
+}
+
+struct ServerState {
+    options: ServeOptions,
+    pool: SharedSolvePool,
+    cache: Mutex<SnapshotCache>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    jobs: Mutex<JobTable>,
+    totals: Mutex<Totals>,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon: an accept thread, the runner threads and the shared
+/// solve pool.  Dropping (or [`stop`](Self::stop)-ping) it shuts all of
+/// them down; [`join`](Self::join) blocks for the daemon's lifetime.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listen address and starts the accept and runner threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the address.
+    pub fn start(options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&*options.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = SharedSolvePool::new(options.workers);
+        let runner_count = options.workers.get().max(2);
+        let cache_bytes = options.cache_bytes;
+        let state = Arc::new(ServerState {
+            options,
+            pool,
+            cache: Mutex::new(SnapshotCache::new(cache_bytes)),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(JobTable::default()),
+            totals: Mutex::new(Totals::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let runners = (0..runner_count)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || runner_loop(&state))
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let state = Arc::clone(&accept_state);
+                // Detached: a connection thread either answers and exits or
+                // lingers as a disconnect watcher until its job finishes.
+                std::thread::spawn(move || handle_connection(&state, stream));
+            }
+        });
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            runners,
+        })
+    }
+
+    /// The bound listen address (with the real port when `:0` was asked).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the daemon: cancels active jobs, wakes and joins every thread,
+    /// and shuts the shared pool down.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    /// Blocks until the accept loop exits (in practice: forever, until the
+    /// process is killed or another thread stops the listener).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        {
+            let jobs = self.state.jobs.lock().expect("no poisoned locks");
+            for record in &jobs.records {
+                if record.state.is_active() {
+                    record.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.state.queue_cv.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
+        }
+        self.state.pool.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let request = match http::read_request(&mut reader, MAX_BODY_BYTES) {
+        Ok(request) => request,
+        Err(RequestError::TooLarge { declared, limit }) => {
+            let _ = http::write_error(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "oversized",
+                &format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+            );
+            return;
+        }
+        Err(RequestError::Malformed(message)) => {
+            let _ = http::write_error(&mut stream, 400, "Bad Request", "bad_request", &message);
+            return;
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => handle_submit(state, stream, &request),
+        ("GET", "/stats") => {
+            let body = stats_json(state);
+            let _ = http::write_json(&mut stream, 200, "OK", &body);
+        }
+        ("DELETE", path) if path.starts_with("/jobs/") => {
+            handle_cancel(state, &mut stream, &path["/jobs/".len()..]);
+        }
+        ("POST" | "GET" | "DELETE", _) => {
+            let _ = http::write_error(
+                &mut stream,
+                404,
+                "Not Found",
+                "not_found",
+                &format!("no such resource: {}", request.path),
+            );
+        }
+        (method, _) => {
+            let _ = http::write_error(
+                &mut stream,
+                405,
+                "Method Not Allowed",
+                "method_not_allowed",
+                &format!("unsupported method: {method}"),
+            );
+        }
+    }
+}
+
+fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Request) {
+    let design = match parse_submission(&request.body) {
+        Ok(design) => design,
+        Err(message) => {
+            let _ = http::write_error(&mut stream, 400, "Bad Request", "bad_request", &message);
+            return;
+        }
+    };
+    let key = design.content_hash();
+
+    // Admission control: allocate an id only when the bounded queue has room.
+    let (id, cancel, queue_depth) = {
+        let mut jobs = state.jobs.lock().expect("no poisoned locks");
+        let active = jobs.records.iter().filter(|r| r.state.is_active()).count();
+        if active >= state.options.max_jobs.get() {
+            drop(jobs);
+            let _ = http::write_error(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "overloaded",
+                &format!(
+                    "{active} jobs active, admission bound is {}; retry later",
+                    state.options.max_jobs
+                ),
+            );
+            return;
+        }
+        jobs.next_id += 1;
+        let id = jobs.next_id;
+        let cancel = Arc::new(AtomicBool::new(false));
+        jobs.records.push(JobRecord {
+            id,
+            design: design.design().name().to_string(),
+            state: JobState::Queued,
+            cancel: Arc::clone(&cancel),
+            wall_secs: None,
+            cache: None,
+        });
+        let depth = state.queue.lock().expect("no poisoned locks").len();
+        (id, cancel, depth)
+    };
+
+    if http::write_stream_header(&mut stream).is_err() {
+        finish_job(state, id, JobState::Cancelled, None, None);
+        return;
+    }
+    let accepted = Json::obj([
+        ("event", Json::str("accepted")),
+        ("job", Json::UInt(id)),
+        ("design", Json::str(design.design().name())),
+        ("queue_depth", Json::UInt(queue_depth as u64)),
+    ]);
+    if writeln!(stream, "{accepted}").is_err() || stream.flush().is_err() {
+        finish_job(state, id, JobState::Cancelled, None, None);
+        return;
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let runner_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            finish_job(state, id, JobState::Cancelled, None, None);
+            return;
+        }
+    };
+    {
+        let mut queue = state.queue.lock().expect("no poisoned locks");
+        queue.push_back(QueuedJob {
+            id,
+            design,
+            key,
+            stream: runner_stream,
+            cancel: Arc::clone(&cancel),
+            done: Arc::clone(&done),
+        });
+    }
+    state.queue_cv.notify_all();
+
+    watch_for_disconnect(&stream, &cancel, &done);
+}
+
+/// Lingers on the submitting connection until the job finishes; a read of 0
+/// bytes (client hangup) or a socket error flips the cancel flag, which the
+/// flow coordinator observes between solve tasks.
+fn watch_for_disconnect(stream: &TcpStream, cancel: &AtomicBool, done: &AtomicBool) {
+    if stream.set_read_timeout(Some(WATCH_INTERVAL)).is_err() {
+        return;
+    }
+    let mut scratch = [0u8; 64];
+    let mut stream = stream;
+    loop {
+        if done.load(Ordering::SeqCst) {
+            return;
+        }
+        match io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) => {
+                cancel.store(true, Ordering::SeqCst);
+                return;
+            }
+            // Bytes after the request are not part of the protocol; drain
+            // and ignore them.
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                cancel.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+fn parse_submission(body: &str) -> Result<ValidatedDesign, String> {
+    let document = Json::parse(body).map_err(|e| format!("request body is not valid JSON: {e}"))?;
+    let netlist = document
+        .get("netlist")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request body must be an object with a string `netlist` field".to_owned())?;
+    netlist::parse(netlist).map_err(|e| format!("netlist rejected: {e}"))
+}
+
+fn runner_loop(state: &Arc<ServerState>) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("no poisoned locks");
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state.queue_cv.wait(queue).expect("no poisoned locks");
+            }
+        };
+        run_job(state, job);
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, job: QueuedJob) {
+    let QueuedJob {
+        id,
+        design,
+        key,
+        mut stream,
+        cancel,
+        done,
+    } = job;
+    set_job_state(state, id, JobState::Running);
+    let started = Instant::now();
+
+    let outcome = if cancel.load(Ordering::SeqCst) {
+        let _ = writeln!(
+            stream,
+            "{}",
+            error_frame(id, "cancelled", "job cancelled before it started")
+        );
+        (JobState::Cancelled, None)
+    } else {
+        serve_detection(state, id, &design, key, &mut stream, &cancel)
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    let (final_state, cache_tag) = outcome;
+    finish_job(state, id, final_state, Some(wall), cache_tag);
+    {
+        let mut totals = state.totals.lock().expect("no poisoned locks");
+        match final_state {
+            JobState::Completed => totals.completed += 1,
+            JobState::Cancelled => totals.cancelled += 1,
+            _ => totals.failed += 1,
+        }
+    }
+    done.store(true, Ordering::SeqCst);
+    let _ = stream.flush();
+    // Half-close so the client sees EOF immediately; the watcher's clone
+    // shares the socket and exits on the done flag.
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Resolves the cache, runs the detection flow on a fork of the frozen
+/// master, and streams the event/stats/report frames.  Returns the job's
+/// final state and its cache disposition.
+fn serve_detection(
+    state: &Arc<ServerState>,
+    id: u64,
+    design: &ValidatedDesign,
+    key: u64,
+    stream: &mut TcpStream,
+    cancel: &Arc<AtomicBool>,
+) -> (JobState, Option<&'static str>) {
+    let config = state.options.config.clone();
+    let (design, run_miter, cache_tag) = if state.options.cache_bytes == 0 {
+        // Caching disabled: build and fork anyway, so all three cache
+        // dispositions execute the identical fork-of-pristine-master path.
+        let master = MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
+        let fork = master.try_fork().expect("the builtin backend forks");
+        (design.clone(), fork, "off")
+    } else {
+        let cached = state.cache.lock().expect("no poisoned locks").fetch(key);
+        match cached {
+            Some((design, fork)) => (design, fork, "hit"),
+            None => {
+                // Build outside the cache lock: an expensive bit-blast must
+                // not stall unrelated jobs' cache lookups.  A concurrent
+                // same-key build loses the insert race and is simply dropped.
+                let master =
+                    MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
+                let fork = master.try_fork().expect("the builtin backend forks");
+                state.cache.lock().expect("no poisoned locks").insert(
+                    key,
+                    FrozenMaster {
+                        design: design.clone(),
+                        miter: master,
+                    },
+                );
+                (design.clone(), fork, "miss")
+            }
+        }
+    };
+
+    let scheduler = PropertyScheduler::new(state.options.workers).with_level_pipelining(true);
+    let mut session = match SessionBuilder::new(design)
+        .config(config)
+        .engine(EngineChoice::Scheduled(scheduler))
+        .build_with_miter(run_miter)
+    {
+        Ok(session) => session,
+        Err(e) => {
+            let _ = writeln!(stream, "{}", error_frame(id, "rejected", &e.to_string()));
+            return (JobState::Failed, Some(cache_tag));
+        }
+    };
+    session.attach_pool(state.pool.clone());
+    session.set_cancel_flag(Arc::clone(cancel));
+
+    let result = {
+        let mut sink = stream.try_clone();
+        session.run_with_observer(&mut |event| {
+            let frame = event_json(id, event);
+            let write_ok = match &mut sink {
+                Ok(sink) => writeln!(sink, "{frame}").is_ok(),
+                Err(_) => false,
+            };
+            if !write_ok {
+                // The client is gone; turn the dead stream into a
+                // cancellation so the flow stops burning pool time.
+                cancel.store(true, Ordering::SeqCst);
+            }
+        })
+    };
+
+    match result {
+        Ok(report) => {
+            let session_stats = session.session_stats();
+            {
+                let mut totals = state.totals.lock().expect("no poisoned locks");
+                accumulate_solver(&mut totals.solver, &report.solver_totals);
+                accumulate_session(&mut totals.session, &session_stats);
+            }
+            let depth = state.queue.lock().expect("no poisoned locks").len();
+            let stats = Json::obj([
+                ("event", Json::str("stats")),
+                ("job", Json::UInt(id)),
+                ("cache", Json::str(cache_tag)),
+                ("wall_secs", Json::Num(report.total_duration.as_secs_f64())),
+                ("queue_depth", Json::UInt(depth as u64)),
+                ("solver", solver_json(&report.solver_totals)),
+                ("session", session_json(&session_stats)),
+            ]);
+            let _ = writeln!(stream, "{stats}");
+            let _ = writeln!(stream, "{}", report_frame(id, &report));
+            (JobState::Completed, Some(cache_tag))
+        }
+        Err(DetectError::Cancelled) => {
+            let _ = writeln!(
+                stream,
+                "{}",
+                error_frame(id, "cancelled", "detection run cancelled")
+            );
+            (JobState::Cancelled, Some(cache_tag))
+        }
+        Err(e) => {
+            let _ = writeln!(stream, "{}", error_frame(id, "flow_error", &e.to_string()));
+            (JobState::Failed, Some(cache_tag))
+        }
+    }
+}
+
+/// The terminal frame: the normalized report rendered exactly like
+/// `htd detect --normalize` prints it (the [`std::fmt::Display`] text plus
+/// the CLI's trailing newline), so clients can byte-diff served and local
+/// runs.
+fn report_frame(id: u64, report: &DetectionReport) -> Json {
+    use std::fmt::Write as _;
+    let normalized = report.normalized();
+    let mut text = String::new();
+    let _ = writeln!(text, "{normalized}");
+    Json::obj([
+        ("event", Json::str("report")),
+        ("job", Json::UInt(id)),
+        ("summary", Json::str(report.summary())),
+        ("text", Json::Str(text)),
+    ])
+}
+
+fn error_frame(id: u64, code: &str, message: &str) -> Json {
+    Json::obj([
+        ("event", Json::str("error")),
+        ("job", Json::UInt(id)),
+        ("code", Json::str(code)),
+        ("message", Json::str(message)),
+    ])
+}
+
+fn event_json(id: u64, event: &FlowEvent) -> Json {
+    let (kind, mut fields) = match event {
+        FlowEvent::LevelStarted {
+            level,
+            signals,
+            node,
+            deps,
+            dep_signals,
+        } => (
+            "level_started",
+            vec![
+                ("level", Json::UInt(*level as u64)),
+                ("node", Json::UInt(*node as u64)),
+                (
+                    "deps",
+                    Json::Arr(deps.iter().map(|&d| Json::UInt(d as u64)).collect()),
+                ),
+                ("signals", Json::strings(signals.iter().cloned())),
+                ("dep_signals", Json::strings(dep_signals.iter().cloned())),
+            ],
+        ),
+        FlowEvent::PropertyProved {
+            property,
+            duration,
+            spurious_resolved,
+            solver,
+            node,
+        } => (
+            "property_proved",
+            vec![
+                ("property", Json::str(property.clone())),
+                ("node", Json::UInt(*node as u64)),
+                ("secs", Json::Num(duration.as_secs_f64())),
+                ("spurious_resolved", Json::UInt(*spurious_resolved as u64)),
+                ("solver", solver_json(solver)),
+            ],
+        ),
+        FlowEvent::CounterexampleFound {
+            property,
+            diffs,
+            spurious,
+            solver,
+            node,
+        } => (
+            "counterexample",
+            vec![
+                ("property", Json::str(property.clone())),
+                ("node", Json::UInt(*node as u64)),
+                ("spurious", Json::Bool(*spurious)),
+                ("diffs", Json::strings(diffs.iter().cloned())),
+                ("solver", solver_json(solver)),
+            ],
+        ),
+        FlowEvent::ResolutionRound {
+            property,
+            round,
+            waived,
+            node,
+        } => (
+            "resolution_round",
+            vec![
+                ("property", Json::str(property.clone())),
+                ("node", Json::UInt(*node as u64)),
+                ("round", Json::UInt(*round as u64)),
+                ("waived", Json::strings(waived.iter().cloned())),
+            ],
+        ),
+        FlowEvent::Coverage {
+            covered,
+            uncovered,
+            node,
+        } => (
+            "coverage",
+            vec![
+                ("node", Json::UInt(*node as u64)),
+                ("covered", Json::UInt(*covered as u64)),
+                ("uncovered", Json::strings(uncovered.iter().cloned())),
+            ],
+        ),
+        // FlowEvent is non-exhaustive; unknown variants become opaque frames
+        // rather than silent gaps in the stream.
+        other => ("unknown", vec![("debug", Json::str(format!("{other:?}")))]),
+    };
+    let mut frame = vec![("event", Json::str(kind)), ("job", Json::UInt(id))];
+    frame.append(&mut fields);
+    Json::obj(frame)
+}
+
+/// Solver counters under their schema-v4 benchmark field names.
+fn solver_json(stats: &SolverStats) -> Json {
+    Json::obj([
+        ("conflicts", Json::UInt(stats.conflicts)),
+        ("propagations", Json::UInt(stats.propagations)),
+        ("restarts", Json::UInt(stats.restarts)),
+        ("decisions", Json::UInt(stats.decisions)),
+        ("gc_runs", Json::UInt(stats.gc_runs)),
+        ("clauses_collected", Json::UInt(stats.clauses_collected)),
+        ("learnt_lbd_sum", Json::UInt(stats.learnt_lbd_sum)),
+        ("fork_count", Json::UInt(stats.fork_count)),
+        ("bytes_cloned", Json::UInt(stats.bytes_cloned)),
+        (
+            "arena_words_reclaimed",
+            Json::UInt(stats.arena_words_reclaimed),
+        ),
+    ])
+}
+
+/// Session counters under their schema-v4 benchmark field names.
+fn session_json(stats: &SessionStats) -> Json {
+    Json::obj([
+        ("bit_blasts", Json::UInt(stats.bit_blasts)),
+        ("properties_checked", Json::UInt(stats.properties_checked)),
+        ("nodes_encoded", Json::UInt(stats.nodes_encoded)),
+        ("queries", Json::UInt(stats.queries)),
+        ("structurally_proved", Json::UInt(stats.structurally_proved)),
+        ("epoch_rebinds", Json::UInt(stats.epoch_rebinds)),
+        ("parallel_tasks", Json::UInt(stats.parallel_tasks)),
+        ("tasks_skipped", Json::UInt(stats.tasks_skipped)),
+        ("snapshot_forks", Json::UInt(stats.snapshot_forks)),
+        (
+            "snapshot_bytes_cloned",
+            Json::UInt(stats.snapshot_bytes_cloned),
+        ),
+    ])
+}
+
+fn accumulate_solver(into: &mut SolverStats, add: &SolverStats) {
+    into.decisions += add.decisions;
+    into.propagations += add.propagations;
+    into.conflicts += add.conflicts;
+    into.restarts += add.restarts;
+    into.learnt_clauses += add.learnt_clauses;
+    into.removed_clauses += add.removed_clauses;
+    into.solves += add.solves;
+    into.gc_runs += add.gc_runs;
+    into.clauses_collected += add.clauses_collected;
+    into.learnt_lbd_sum += add.learnt_lbd_sum;
+    into.fork_count += add.fork_count;
+    into.bytes_cloned += add.bytes_cloned;
+    into.arena_words_reclaimed += add.arena_words_reclaimed;
+}
+
+fn accumulate_session(into: &mut SessionStats, add: &SessionStats) {
+    into.bit_blasts += add.bit_blasts;
+    into.properties_checked += add.properties_checked;
+    into.nodes_encoded += add.nodes_encoded;
+    into.queries += add.queries;
+    into.structurally_proved += add.structurally_proved;
+    into.epoch_rebinds += add.epoch_rebinds;
+    into.parallel_tasks += add.parallel_tasks;
+    into.tasks_skipped += add.tasks_skipped;
+    into.snapshot_forks += add.snapshot_forks;
+    into.snapshot_bytes_cloned += add.snapshot_bytes_cloned;
+}
+
+fn set_job_state(state: &Arc<ServerState>, id: u64, new: JobState) {
+    let mut jobs = state.jobs.lock().expect("no poisoned locks");
+    if let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) {
+        record.state = new;
+    }
+}
+
+fn finish_job(
+    state: &Arc<ServerState>,
+    id: u64,
+    final_state: JobState,
+    wall_secs: Option<f64>,
+    cache: Option<&'static str>,
+) {
+    let mut jobs = state.jobs.lock().expect("no poisoned locks");
+    if let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) {
+        record.state = final_state;
+        record.wall_secs = wall_secs;
+        record.cache = cache;
+    }
+    // Bound the finished ring: drop the oldest finished records first.
+    let finished = jobs.records.iter().filter(|r| !r.state.is_active()).count();
+    if finished > FINISHED_RING {
+        let mut to_drop = finished - FINISHED_RING;
+        jobs.records.retain(|r| {
+            if to_drop > 0 && !r.state.is_active() {
+                to_drop -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+fn stats_json(state: &Arc<ServerState>) -> Json {
+    let queue_depth = state.queue.lock().expect("no poisoned locks").len();
+    let jobs = state.jobs.lock().expect("no poisoned locks");
+    let running = jobs
+        .records
+        .iter()
+        .filter(|r| r.state == JobState::Running)
+        .count();
+    let job_records: Vec<Json> = jobs
+        .records
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("job", Json::UInt(r.id)),
+                ("design", Json::str(r.design.clone())),
+                ("state", Json::str(r.state.as_str())),
+                ("wall_secs", r.wall_secs.map_or(Json::Null, Json::Num)),
+                ("cache", r.cache.map_or(Json::Null, Json::str)),
+            ])
+        })
+        .collect();
+    drop(jobs);
+    let cache = state.cache.lock().expect("no poisoned locks").stats();
+    let totals = state.totals.lock().expect("no poisoned locks");
+    Json::obj([
+        ("max_jobs", Json::UInt(state.options.max_jobs.get() as u64)),
+        ("workers", Json::UInt(state.options.workers.get() as u64)),
+        ("queue_depth", Json::UInt(queue_depth as u64)),
+        ("running", Json::UInt(running as u64)),
+        ("completed", Json::UInt(totals.completed)),
+        ("cancelled", Json::UInt(totals.cancelled)),
+        ("failed", Json::UInt(totals.failed)),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::UInt(cache.entries as u64)),
+                ("bytes", Json::UInt(cache.bytes)),
+                ("capacity_bytes", Json::UInt(cache.capacity_bytes)),
+                ("hits", Json::UInt(cache.hits)),
+                ("misses", Json::UInt(cache.misses)),
+                ("evicted_entries", Json::UInt(cache.evicted_entries)),
+                ("evicted_bytes", Json::UInt(cache.evicted_bytes)),
+            ]),
+        ),
+        ("solver_totals", solver_json(&totals.solver)),
+        ("session_totals", session_json(&totals.session)),
+        ("jobs", Json::Arr(job_records)),
+    ])
+}
+
+fn handle_cancel(state: &Arc<ServerState>, stream: &mut TcpStream, raw_id: &str) {
+    let Ok(id) = raw_id.parse::<u64>() else {
+        let _ = http::write_error(
+            stream,
+            400,
+            "Bad Request",
+            "bad_request",
+            &format!("job id must be an integer, got {raw_id:?}"),
+        );
+        return;
+    };
+    let jobs = state.jobs.lock().expect("no poisoned locks");
+    let Some(record) = jobs.records.iter().find(|r| r.id == id) else {
+        drop(jobs);
+        let _ = http::write_error(
+            stream,
+            404,
+            "Not Found",
+            "not_found",
+            &format!("no such job: {id}"),
+        );
+        return;
+    };
+    let was_active = record.state.is_active();
+    if was_active {
+        record.cancel.store(true, Ordering::SeqCst);
+    }
+    let body = Json::obj([
+        ("job", Json::UInt(id)),
+        ("state", Json::str(record.state.as_str())),
+        ("cancelled", Json::Bool(was_active)),
+    ]);
+    drop(jobs);
+    let _ = http::write_json(stream, 200, "OK", &body);
+}

@@ -1,0 +1,244 @@
+//! End-to-end service tests over a loopback daemon: concurrent multi-tenant
+//! determinism, snapshot-cache hits, cancellation isolation and the error
+//! schema.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+use htd_core::{DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
+use htd_rtl::{netlist, Design};
+use htd_serve::client;
+use htd_serve::json::Json;
+use htd_serve::server::{ServeOptions, Server};
+use htd_serve::ClientError;
+
+/// An 8-bit pass-through accelerator; `infected` adds a sequential Trojan
+/// (a magic-value-armed trigger FSM flipping the result's low bit).
+fn accelerator(infected: bool) -> String {
+    let name = if infected {
+        "acc_infected"
+    } else {
+        "acc_clean"
+    };
+    let mut d = Design::new(name);
+    let data_in = d.add_input("data_in", 8).unwrap();
+    let result = d.add_register("result", 8, 0).unwrap();
+    let next = if infected {
+        let trigger = d.add_register("trigger", 1, 0).unwrap();
+        let seen = d.eq_const(d.signal(data_in), 0xAB).unwrap();
+        let armed = d.or(d.signal(trigger), seen).unwrap();
+        d.set_register_next(trigger, armed).unwrap();
+        let flip = d.zero_ext(d.signal(trigger), 8).unwrap();
+        d.xor(d.signal(data_in), flip).unwrap()
+    } else {
+        d.signal(data_in)
+    };
+    d.set_register_next(result, next).unwrap();
+    d.add_output("data_out", d.signal(result)).unwrap();
+    netlist::dump(&d.validated().unwrap())
+}
+
+/// What `htd detect --normalize` prints for this netlist: the normalized
+/// report's `Display` rendering plus the CLI's trailing newline.
+fn solo_normalized_report(netlist_text: &str) -> String {
+    let design = netlist::parse(netlist_text).unwrap();
+    let scheduler =
+        PropertyScheduler::new(NonZeroUsize::new(2).unwrap()).with_level_pipelining(true);
+    let mut session = SessionBuilder::new(design)
+        .config(DetectorConfig::default())
+        .engine(EngineChoice::Scheduled(scheduler))
+        .build()
+        .unwrap();
+    let report = session.run().unwrap().normalized();
+    let mut text = String::new();
+    let _ = writeln!(text, "{report}");
+    text
+}
+
+fn test_server() -> Server {
+    Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        max_jobs: NonZeroUsize::new(4).unwrap(),
+        cache_bytes: 64 * 1024 * 1024,
+        workers: NonZeroUsize::new(2).unwrap(),
+        config: DetectorConfig::default(),
+    })
+    .expect("loopback server starts")
+}
+
+#[test]
+fn concurrent_tenants_match_solo_runs_and_resubmits_hit_the_cache() {
+    let clean = accelerator(false);
+    let infected = accelerator(true);
+    let want_clean = solo_normalized_report(&clean);
+    let want_infected = solo_normalized_report(&infected);
+    assert_ne!(want_clean, want_infected);
+    assert!(
+        want_infected.contains("TROJAN SUSPECTED"),
+        "{want_infected}"
+    );
+    assert!(want_clean.contains("SECURE"), "{want_clean}");
+
+    let server = test_server();
+    let addr = server.addr().to_string();
+
+    // Two tenants in flight at once, multiplexed over one shared pool.
+    let (got_clean, got_infected) = std::thread::scope(|scope| {
+        let clean_job = scope.spawn(|| client::submit(&addr, &clean, &mut |_| {}).unwrap());
+        let infected_job = scope.spawn(|| client::submit(&addr, &infected, &mut |_| {}).unwrap());
+        (clean_job.join().unwrap(), infected_job.join().unwrap())
+    });
+    assert_eq!(got_clean.report_text, want_clean);
+    assert_eq!(got_infected.report_text, want_infected);
+    let first_cache = |s: &client::Submission| {
+        s.stats
+            .as_ref()
+            .and_then(|f| f.get("cache"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    assert_eq!(first_cache(&got_clean).as_deref(), Some("miss"));
+    assert_eq!(first_cache(&got_infected).as_deref(), Some("miss"));
+
+    // Resubmitting the same netlist forks the frozen master: a cache hit,
+    // still one bit-blast, and a byte-identical report.
+    let mut frames = Vec::new();
+    let again = client::submit(&addr, &infected, &mut |line| frames.push(line.to_owned()))
+        .expect("resubmission succeeds");
+    assert_eq!(again.report_text, want_infected);
+    let stats = again.stats.expect("a stats frame is streamed");
+    assert_eq!(
+        stats.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "frames: {frames:?}"
+    );
+    assert_eq!(
+        stats
+            .get("session")
+            .and_then(|s| s.get("bit_blasts"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "a cache hit must not re-bit-blast"
+    );
+    assert!(
+        frames.iter().any(|f| f.contains("\"event\":\"accepted\"")),
+        "frames: {frames:?}"
+    );
+
+    // Served aggregate stats see the three completions and the cache hit.
+    let served = client::stats(&addr).expect("stats endpoint answers");
+    assert_eq!(served.get("completed").and_then(Json::as_u64), Some(3));
+    let cache = served.get("cache").expect("cache counters present");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(2));
+    let solver = served.get("solver_totals").expect("solver totals present");
+    assert!(solver.get("propagations").and_then(Json::as_u64).unwrap() > 0);
+
+    server.stop();
+}
+
+#[test]
+fn a_dropped_client_never_perturbs_a_live_tenant() {
+    let clean = accelerator(false);
+    let infected = accelerator(true);
+    let want_clean = solo_normalized_report(&clean);
+
+    let server = test_server();
+    let addr = server.addr().to_string();
+
+    // Submit the infected design by hand and vanish right after admission:
+    // the disconnect watcher flips the job's cancel flag.
+    {
+        let body = Json::obj([("netlist", Json::str(infected.as_str()))]).to_string();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        write!(
+            raw,
+            "POST /jobs HTTP/1.1\r\nHost: htd\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if line.contains("\"event\":\"accepted\"") {
+                break;
+            }
+            line.clear();
+        }
+        assert!(line.contains("\"event\":\"accepted\""), "got {line:?}");
+        // Dropping both handles closes the socket: the client is gone.
+    }
+
+    // A live tenant submitted while the orphaned job winds down still gets
+    // its exact solo report.
+    let live = client::submit(&addr, &clean, &mut |_| {}).expect("live tenant completes");
+    assert_eq!(live.report_text, want_clean);
+
+    // The orphaned job reaches a terminal state (cancelled when the watcher
+    // won the race, completed when the tiny flow finished first) and the
+    // queue drains either way.
+    let mut settled = false;
+    for _ in 0..100 {
+        let served = client::stats(&addr).unwrap();
+        let active = served.get("queue_depth").and_then(Json::as_u64).unwrap()
+            + served.get("running").and_then(Json::as_u64).unwrap();
+        if active == 0 {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(settled, "orphaned job never reached a terminal state");
+
+    server.stop();
+}
+
+#[test]
+fn rejections_use_the_structured_error_schema() {
+    let server = test_server();
+    let addr = server.addr().to_string();
+
+    // Not JSON at all.
+    let err = client::submit(&addr, "", &mut |_| {}); // valid JSON, valid shape, empty netlist
+    match err {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "bad_request");
+            assert!(message.contains("netlist rejected"), "{message}");
+        }
+        other => panic!("expected a bad_request rejection, got {other:?}"),
+    }
+
+    // A syntactically broken request body, sent by hand.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        write!(
+            raw,
+            "POST /jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot JSON!"
+        )
+        .unwrap();
+        let mut answer = String::new();
+        BufReader::new(raw).read_line(&mut answer).unwrap();
+        assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    }
+
+    // Cancelling a job that never existed.
+    match client::cancel(&addr, 999) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "not_found"),
+        other => panic!("expected not_found, got {other:?}"),
+    }
+
+    // Cancelling a finished job acknowledges without flipping anything.
+    let done = client::submit(&addr, &accelerator(false), &mut |_| {}).unwrap();
+    let answer = client::cancel(&addr, done.job).unwrap();
+    assert_eq!(answer.get("cancelled"), Some(&Json::Bool(false)));
+    assert_eq!(
+        answer.get("state").and_then(Json::as_str),
+        Some("completed")
+    );
+
+    server.stop();
+}

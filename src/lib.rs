@@ -24,6 +24,9 @@
 //! * [`baselines`] — the baseline detection techniques (bounded model
 //!   checking, random testing, UCI, FANCI) the paper's related work argues
 //!   against ([`htd_baselines`]).
+//! * [`serve`] — the multi-tenant detection service behind `htd serve`: a
+//!   job queue, a shared solve pool, a netlist-keyed snapshot cache and
+//!   NDJSON event streaming ([`htd_serve`]).
 //!
 //! # Quickstart
 //!
@@ -101,5 +104,6 @@ pub use htd_core as detect;
 pub use htd_ipc as ipc;
 pub use htd_rtl as rtl;
 pub use htd_sat as sat;
+pub use htd_serve as serve;
 pub use htd_trusthub as trusthub;
 pub use htd_verilog as verilog;

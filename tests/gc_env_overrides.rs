@@ -1,5 +1,6 @@
 //! The strict environment overrides (`HTD_GC_DEAD_PCT` /
-//! `HTD_GC_MIN_CLAUSES` / `HTD_JOBS` / `HTD_LEVEL_PIPELINE`), in a test
+//! `HTD_GC_MIN_CLAUSES` / `HTD_JOBS` / `HTD_LEVEL_PIPELINE` /
+//! `HTD_SERVE_*`), in a test
 //! binary of their own: mutating process-global environment variables must
 //! not race sibling tests that read them through `CheckerOptions::default()`
 //! or `PropertyScheduler::default_jobs()` (cargo runs test *binaries*
@@ -16,6 +17,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use golden_free_htd::detect::PropertyScheduler;
 use golden_free_htd::ipc::CheckerOptions;
+use golden_free_htd::serve;
 
 /// Serialises the tests in this binary: they all mutate the process
 /// environment.  Taken once at the top of every test (the helpers below do
@@ -188,5 +190,110 @@ fn level_pipeline_env_override_is_strict_and_understands_off() {
             PropertyScheduler::default_level_pipelining
         ),
         "unset default is on"
+    );
+}
+
+/// `HTD_SERVE_ADDR` must be a socket address; whitespace is trimmed, and a
+/// malformed value fails loudly instead of binding a surprise interface.
+#[test]
+fn serve_addr_env_override_is_strict() {
+    let _guard = env_lock();
+    assert_eq!(
+        with_env(serve::ADDR_ENV_VAR, "0.0.0.0:9000", serve::default_addr),
+        "0.0.0.0:9000"
+    );
+    assert_eq!(
+        with_env(serve::ADDR_ENV_VAR, " [::1]:7171 ", serve::default_addr),
+        "[::1]:7171"
+    );
+    for bad in ["localhost:7171", "7171", "127.0.0.1", "", "not an addr"] {
+        let message = panic_message_with_env(serve::ADDR_ENV_VAR, bad, || {
+            let _ = serve::default_addr();
+        });
+        assert!(
+            message.contains("HTD_SERVE_ADDR") && message.contains("socket address"),
+            "HTD_SERVE_ADDR={bad}: {message}"
+        );
+        let error = with_env(serve::ADDR_ENV_VAR, bad, serve::try_default_addr)
+            .expect_err("malformed HTD_SERVE_ADDR is an error");
+        assert!(error.contains("HTD_SERVE_ADDR"), "{error}");
+    }
+    assert_eq!(
+        without_env(serve::ADDR_ENV_VAR, serve::default_addr),
+        serve::DEFAULT_ADDR,
+        "unset default"
+    );
+}
+
+/// `HTD_SERVE_MAX_JOBS` must be a positive integer (the admission bound can
+/// never be zero — the daemon would reject everything).
+#[test]
+fn serve_max_jobs_env_override_is_strict() {
+    let _guard = env_lock();
+    assert_eq!(
+        with_env(serve::MAX_JOBS_ENV_VAR, "3", serve::default_max_jobs).get(),
+        3
+    );
+    assert_eq!(
+        with_env(serve::MAX_JOBS_ENV_VAR, " 12 ", serve::default_max_jobs).get(),
+        12
+    );
+    for bad in ["0", "eight", "-1", "", "4x"] {
+        let message = panic_message_with_env(serve::MAX_JOBS_ENV_VAR, bad, || {
+            let _ = serve::default_max_jobs();
+        });
+        assert!(
+            message.contains("HTD_SERVE_MAX_JOBS") && message.contains("positive integer"),
+            "HTD_SERVE_MAX_JOBS={bad}: {message}"
+        );
+        let error = with_env(serve::MAX_JOBS_ENV_VAR, bad, serve::try_default_max_jobs)
+            .expect_err("malformed HTD_SERVE_MAX_JOBS is an error");
+        assert!(error.contains("HTD_SERVE_MAX_JOBS"), "{error}");
+    }
+    assert_eq!(
+        without_env(serve::MAX_JOBS_ENV_VAR, serve::default_max_jobs).get(),
+        serve::DEFAULT_MAX_JOBS,
+        "unset default"
+    );
+}
+
+/// `HTD_SERVE_CACHE_BYTES` must be a non-negative integer; `0` is a valid
+/// setting (it disables the snapshot cache), garbage is not.
+#[test]
+fn serve_cache_bytes_env_override_is_strict() {
+    let _guard = env_lock();
+    assert_eq!(
+        with_env(serve::CACHE_BYTES_ENV_VAR, "0", serve::default_cache_bytes),
+        0,
+        "zero disables caching, it is not an error"
+    );
+    assert_eq!(
+        with_env(
+            serve::CACHE_BYTES_ENV_VAR,
+            " 1048576 ",
+            serve::default_cache_bytes
+        ),
+        1_048_576
+    );
+    for bad in ["-1", "1MiB", "lots", "", "0.5"] {
+        let message = panic_message_with_env(serve::CACHE_BYTES_ENV_VAR, bad, || {
+            let _ = serve::default_cache_bytes();
+        });
+        assert!(
+            message.contains("HTD_SERVE_CACHE_BYTES") && message.contains("byte count"),
+            "HTD_SERVE_CACHE_BYTES={bad}: {message}"
+        );
+        let error = with_env(
+            serve::CACHE_BYTES_ENV_VAR,
+            bad,
+            serve::try_default_cache_bytes,
+        )
+        .expect_err("malformed HTD_SERVE_CACHE_BYTES is an error");
+        assert!(error.contains("HTD_SERVE_CACHE_BYTES"), "{error}");
+    }
+    assert_eq!(
+        without_env(serve::CACHE_BYTES_ENV_VAR, serve::default_cache_bytes),
+        serve::DEFAULT_CACHE_BYTES,
+        "unset default"
     );
 }
