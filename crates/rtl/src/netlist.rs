@@ -104,9 +104,18 @@ pub fn dump(design: &ValidatedDesign) -> String {
 /// security-sensitive callers must compare the dumps on a hash hit.
 #[must_use]
 pub fn content_hash(design: &ValidatedDesign) -> u64 {
+    hash_of_dump(&dump(design))
+}
+
+/// The [`content_hash`] of an already-serialised canonical netlist:
+/// `hash_of_dump(&dump(d)) == content_hash(d)` for every design.  Callers
+/// that need both the key and the dump text — e.g. a cache that must compare
+/// dumps on a hash hit — pay for one [`dump`] walk instead of two.
+#[must_use]
+pub fn hash_of_dump(dump: &str) -> u64 {
     use std::hash::Hasher as _;
     let mut hasher = crate::fxhash::FxHasher::default();
-    hasher.write(dump(design).as_bytes());
+    hasher.write(dump.as_bytes());
     hasher.finish()
 }
 
@@ -563,8 +572,9 @@ mod tests {
         let mutated = d.validated().unwrap();
         assert_ne!(mutated.content_hash(), a.content_hash());
 
-        // The free function and the method agree.
+        // The free function, the method and the dump-text form agree.
         assert_eq!(content_hash(&a), a.content_hash());
+        assert_eq!(hash_of_dump(&dump(&a)), a.content_hash());
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub fn submit(
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_owned();
+                // Drain to EOF before returning: the server half-closes the
+                // stream only after the job record reaches its terminal
+                // state, so a caller's follow-up (an immediate `cancel` or
+                // `stats`) observes a settled job, not a closing race.
+                let mut rest = String::new();
+                let _ = reader.read_to_string(&mut rest);
                 return Ok(Submission {
                     job: job.unwrap_or(0),
                     report_text: text,
@@ -117,6 +123,10 @@ pub fn submit(
                 });
             }
             Some("error") => {
+                // Settle the job record before surfacing the failure, as on
+                // the report path above.
+                let mut rest = String::new();
+                let _ = reader.read_to_string(&mut rest);
                 return Err(ClientError::Server {
                     code: frame
                         .get("code")

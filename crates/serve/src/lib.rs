@@ -6,7 +6,8 @@
 //! newline-delimited JSON.  Many concurrent jobs multiplex over **one**
 //! shared [`SharedSolvePool`](htd_core::SharedSolvePool), and returning
 //! designs skip the bit-blast entirely through a content-hash-keyed cache of
-//! frozen master encodings (see [`cache`]).
+//! frozen master encodings, collision-checked against the canonical netlist
+//! dump so one tenant can never be served another's design (see [`cache`]).
 //!
 //! Everything is dependency-free: the HTTP layer is hand-rolled over
 //! [`std::net::TcpListener`] ([`http`]), the JSON layer over a small value
@@ -49,7 +50,8 @@
 //! | `report` | terminal: one-line `summary` plus the full report `text` |
 //! | `error` | terminal: the job failed or was cancelled (`code`, `message`) |
 //!
-//! The `report.text` field is the [`DetectionReport::normalized`]
+//! The `report.text` field is the
+//! [`DetectionReport::normalized`](htd_core::DetectionReport::normalized)
 //! [`Display`](std::fmt::Display) rendering plus a trailing newline —
 //! **byte-identical** to `htd detect --normalize` run locally on the same
 //! netlist.  Reports are deterministic up to wall-clock time for any worker

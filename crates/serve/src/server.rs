@@ -11,7 +11,8 @@
 //!   then lingers as a **disconnect watcher** — a client hangup flips the
 //!   job's cancel flag, which the flow coordinator honours between tasks;
 //! * `max(2, workers)` **runner** threads drain the queue.  Each runner
-//!   resolves the snapshot cache, builds a [`DetectionSession`] on a fork of
+//!   resolves the snapshot cache, builds a
+//!   [`DetectionSession`](htd_core::DetectionSession) on a fork of
 //!   the frozen master, attaches the shared pool and streams the flow's
 //!   events back over the socket.  Two runners minimum means two jobs
 //!   multiplex over the pool even on a single-core host.
@@ -47,6 +48,14 @@ const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// How often a disconnect watcher wakes to poll its job's completion flag.
 const WATCH_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Upper bound on any single blocking write of a response frame.  A client
+/// that stays connected but stops reading fills the TCP send buffer; without
+/// a timeout the runner would block in `writeln!` forever (the disconnect
+/// watcher never fires — the peer is still there — and the cancel flag
+/// cannot interrupt a blocked write), wedging the runner pool.  A timed-out
+/// write is treated exactly like a hangup: cancel the job, stop streaming.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Finished jobs retained for `GET /stats` (a bounded ring; older records
 /// are dropped first).
@@ -132,6 +141,9 @@ struct JobTable {
 struct QueuedJob {
     id: u64,
     design: ValidatedDesign,
+    /// The canonical netlist dump `key` was hashed from; the cache compares
+    /// it on a hash hit so a collision cannot serve another tenant's design.
+    dump: String,
     key: u64,
     stream: TcpStream,
     cancel: Arc<AtomicBool>,
@@ -328,7 +340,10 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
             return;
         }
     };
-    let key = design.content_hash();
+    // One dump walk yields both the cache key and the canonical text the
+    // cache verifies against on a hash hit.
+    let dump = netlist::dump(&design);
+    let key = netlist::hash_of_dump(&dump);
 
     // Admission control: allocate an id only when the bounded queue has room.
     let (id, cancel, queue_depth) = {
@@ -364,7 +379,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
     };
 
     if http::write_stream_header(&mut stream).is_err() {
-        finish_job(state, id, JobState::Cancelled, None, None);
+        cancel_before_run(state, id);
         return;
     }
     let accepted = Json::obj([
@@ -374,7 +389,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
         ("queue_depth", Json::UInt(queue_depth as u64)),
     ]);
     if writeln!(stream, "{accepted}").is_err() || stream.flush().is_err() {
-        finish_job(state, id, JobState::Cancelled, None, None);
+        cancel_before_run(state, id);
         return;
     }
 
@@ -382,7 +397,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
     let runner_stream = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => {
-            finish_job(state, id, JobState::Cancelled, None, None);
+            cancel_before_run(state, id);
             return;
         }
     };
@@ -391,6 +406,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
         queue.push_back(QueuedJob {
             id,
             design,
+            dump,
             key,
             stream: runner_stream,
             cancel: Arc::clone(&cancel),
@@ -467,12 +483,16 @@ fn run_job(state: &Arc<ServerState>, job: QueuedJob) {
     let QueuedJob {
         id,
         design,
+        dump,
         key,
         mut stream,
         cancel,
         done,
     } = job;
     set_job_state(state, id, JobState::Running);
+    // Bound every frame write so a connected-but-not-reading client cannot
+    // wedge this runner once the TCP send buffer fills (see WRITE_TIMEOUT).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let started = Instant::now();
 
     let outcome = if cancel.load(Ordering::SeqCst) {
@@ -483,7 +503,7 @@ fn run_job(state: &Arc<ServerState>, job: QueuedJob) {
         );
         (JobState::Cancelled, None)
     } else {
-        serve_detection(state, id, &design, key, &mut stream, &cancel)
+        serve_detection(state, id, &design, &dump, key, &mut stream, &cancel)
     };
     let wall = started.elapsed().as_secs_f64();
 
@@ -511,6 +531,7 @@ fn serve_detection(
     state: &Arc<ServerState>,
     id: u64,
     design: &ValidatedDesign,
+    dump: &str,
     key: u64,
     stream: &mut TcpStream,
     cancel: &Arc<AtomicBool>,
@@ -519,11 +540,18 @@ fn serve_detection(
     let (design, run_miter, cache_tag) = if state.options.cache_bytes == 0 {
         // Caching disabled: build and fork anyway, so all three cache
         // dispositions execute the identical fork-of-pristine-master path.
+        // The lookup still goes through the (always-empty) cache so the
+        // miss counter reflects every lookup, as CacheStats documents.
+        let _ = state.cache.lock().expect("no poisoned locks").fetch(key, dump);
         let master = MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
         let fork = master.try_fork().expect("the builtin backend forks");
         (design.clone(), fork, "off")
     } else {
-        let cached = state.cache.lock().expect("no poisoned locks").fetch(key);
+        let cached = state
+            .cache
+            .lock()
+            .expect("no poisoned locks")
+            .fetch(key, dump);
         match cached {
             Some((design, fork)) => (design, fork, "hit"),
             None => {
@@ -535,6 +563,7 @@ fn serve_detection(
                 let fork = master.try_fork().expect("the builtin backend forks");
                 state.cache.lock().expect("no poisoned locks").insert(
                     key,
+                    dump.to_owned(),
                     FrozenMaster {
                         design: design.clone(),
                         miter: master,
@@ -561,17 +590,22 @@ fn serve_detection(
     session.set_cancel_flag(Arc::clone(cancel));
 
     let result = {
-        let mut sink = stream.try_clone();
+        let mut sink = stream.try_clone().ok();
+        if sink.is_none() {
+            // No stream to report on: stop the flow rather than solve into
+            // the void.
+            cancel.store(true, Ordering::SeqCst);
+        }
         session.run_with_observer(&mut |event| {
+            let Some(out) = sink.as_mut() else { return };
             let frame = event_json(id, event);
-            let write_ok = match &mut sink {
-                Ok(sink) => writeln!(sink, "{frame}").is_ok(),
-                Err(_) => false,
-            };
-            if !write_ok {
-                // The client is gone; turn the dead stream into a
-                // cancellation so the flow stops burning pool time.
+            if writeln!(out, "{frame}").is_err() {
+                // The client hung up or stopped reading (WRITE_TIMEOUT
+                // elapsed on a full send buffer); turn the dead stream into
+                // a cancellation so the flow stops burning pool time, and
+                // drop the sink so later events don't block on it again.
                 cancel.store(true, Ordering::SeqCst);
+                sink = None;
             }
         })
     };
@@ -799,6 +833,16 @@ fn set_job_state(state: &Arc<ServerState>, id: u64, new: JobState) {
     if let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) {
         record.state = new;
     }
+}
+
+/// Marks a job that died before reaching a runner (failed header/accepted
+/// write or stream clone) as cancelled.  `run_job` owns the `Totals`
+/// counters for jobs that did run; this path must bump them itself or
+/// `GET /stats` totals understate cancellations relative to the per-job
+/// records.
+fn cancel_before_run(state: &Arc<ServerState>, id: u64) {
+    finish_job(state, id, JobState::Cancelled, None, None);
+    state.totals.lock().expect("no poisoned locks").cancelled += 1;
 }
 
 fn finish_job(
