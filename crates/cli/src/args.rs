@@ -107,6 +107,12 @@ pub struct ServeArgs {
     pub cache_bytes: Option<u64>,
     /// Shared solve-pool workers (`--jobs`; default available parallelism).
     pub jobs: Option<usize>,
+    /// Per-job wall-clock ceiling in milliseconds (`--budget-deadline-ms`).
+    pub budget_deadline_ms: Option<u64>,
+    /// Per-job solver-conflict ceiling (`--budget-conflicts`).
+    pub budget_conflicts: Option<u64>,
+    /// Grace period for running jobs during drain (`--drain-deadline-ms`).
+    pub drain_deadline_ms: Option<u64>,
 }
 
 /// Options of the `submit` subcommand.
@@ -120,6 +126,17 @@ pub struct SubmitArgs {
     pub addr: Option<String>,
     /// Echo every raw NDJSON frame to stdout instead of the report text.
     pub ndjson: bool,
+    /// Tenant label sent as the `X-HTD-Tenant` header (`--tenant`).
+    pub tenant: Option<String>,
+    /// Request a wall-clock budget for this job (`--budget-deadline-ms`).
+    pub budget_deadline_ms: Option<u64>,
+    /// Request a conflict budget for this job (`--budget-conflicts`).
+    pub budget_conflicts: Option<u64>,
+    /// Retry rejected/unreachable submissions up to N times (`--retries`;
+    /// default 0: fail fast).  Only pre-acceptance failures are retried.
+    pub retries: Option<u32>,
+    /// Base backoff delay in milliseconds for `--retries` (`--retry-base-ms`).
+    pub retry_base_ms: Option<u64>,
 }
 
 /// One parsed `htd` invocation.
@@ -265,6 +282,18 @@ impl Command {
                         "--jobs" => {
                             parsed.jobs = Some(positive_number(&required(&mut iter, "--jobs")?)?);
                         }
+                        "--budget-deadline-ms" => {
+                            parsed.budget_deadline_ms =
+                                Some(positive_u64(&required(&mut iter, "--budget-deadline-ms")?)?);
+                        }
+                        "--budget-conflicts" => {
+                            parsed.budget_conflicts =
+                                Some(positive_u64(&required(&mut iter, "--budget-conflicts")?)?);
+                        }
+                        "--drain-deadline-ms" => {
+                            parsed.drain_deadline_ms =
+                                Some(positive_u64(&required(&mut iter, "--drain-deadline-ms")?)?);
+                        }
                         other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
                     }
                 }
@@ -275,12 +304,38 @@ impl Command {
                 let mut top = None;
                 let mut addr = None;
                 let mut ndjson = false;
+                let mut tenant = None;
+                let mut budget_deadline_ms = None;
+                let mut budget_conflicts = None;
+                let mut retries = None;
+                let mut retry_base_ms = None;
                 let mut iter = rest.into_iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
                         "--top" => top = Some(required(&mut iter, "--top")?),
                         "--addr" => addr = Some(required(&mut iter, "--addr")?),
                         "--ndjson" => ndjson = true,
+                        "--tenant" => tenant = Some(required(&mut iter, "--tenant")?),
+                        "--budget-deadline-ms" => {
+                            budget_deadline_ms =
+                                Some(positive_u64(&required(&mut iter, "--budget-deadline-ms")?)?);
+                        }
+                        "--budget-conflicts" => {
+                            budget_conflicts =
+                                Some(positive_u64(&required(&mut iter, "--budget-conflicts")?)?);
+                        }
+                        "--retries" => {
+                            let value = required(&mut iter, "--retries")?;
+                            retries = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| ParseArgsError::InvalidNumber(value))?,
+                            );
+                        }
+                        "--retry-base-ms" => {
+                            retry_base_ms =
+                                Some(positive_u64(&required(&mut iter, "--retry-base-ms")?)?);
+                        }
                         flag if flag.starts_with("--") => {
                             return Err(ParseArgsError::UnknownFlag(flag.to_string()))
                         }
@@ -292,6 +347,11 @@ impl Command {
                     top,
                     addr,
                     ndjson,
+                    tenant,
+                    budget_deadline_ms,
+                    budget_conflicts,
+                    retries,
+                    retry_base_ms,
                 }))
             }
             "export" => {
@@ -397,6 +457,13 @@ fn positive_number(value: &str) -> Result<usize, ParseArgsError> {
     }
 }
 
+fn positive_u64(value: &str) -> Result<u64, ParseArgsError> {
+    match value.parse::<u64>() {
+        Ok(parsed) if parsed > 0 => Ok(parsed),
+        _ => Err(ParseArgsError::InvalidNumber(value.to_string())),
+    }
+}
+
 /// Parses `<input> [--top NAME] [--bound N]` argument lists.
 fn positional_with_top(
     rest: Vec<String>,
@@ -436,7 +503,11 @@ USAGE:
                       [--backend builtin|dimacs:CMD|ipasir:LIB] [--progress]
                       [--jobs N] [--no-pipeline] [--normalize]
     htd serve [--addr HOST:PORT] [--max-jobs N] [--cache-bytes N] [--jobs N]
-    htd submit <file> [--top NAME] [--addr HOST:PORT] [--ndjson]
+              [--budget-deadline-ms N] [--budget-conflicts N]
+              [--drain-deadline-ms N]
+    htd submit <file> [--top NAME] [--addr HOST:PORT] [--ndjson] [--tenant NAME]
+               [--budget-deadline-ms N] [--budget-conflicts N]
+               [--retries N] [--retry-base-ms N]
     htd export <file> [--top NAME] [-o FILE]
     htd stats <file> [--top NAME]
     htd baselines <file> [--top NAME] [--bound N]
@@ -488,10 +559,27 @@ SERVE FLAGS (flags override the strict HTD_SERVE_* environment defaults):
                              (HTD_SERVE_CACHE_BYTES; default 256 MiB)
     --jobs N                 shared solve-pool workers (default: available
                              parallelism)
+    --budget-deadline-ms N   per-job wall-clock ceiling; exhausted jobs stream a
+                             budget_exhausted frame (HTD_SERVE_BUDGET_DEADLINE_MS;
+                             default: unlimited)
+    --budget-conflicts N     per-job solver-conflict ceiling, builtin backend
+                             (HTD_SERVE_BUDGET_CONFLICTS; default: unlimited)
+    --drain-deadline-ms N    grace period for running jobs after SIGTERM or
+                             POST /admin/drain before they are cancelled
+                             (HTD_SERVE_DRAIN_DEADLINE_MS; default 30000)
 
 SUBMIT FLAGS:
     --addr HOST:PORT         daemon address (default: the HTD_SERVE_ADDR resolution)
     --ndjson                 print every raw NDJSON frame instead of the report
+    --tenant NAME            fair-share tenant label (X-HTD-Tenant header;
+                             default: the daemon buckets by peer address)
+    --budget-deadline-ms N   request a wall-clock budget for this job (the daemon
+                             clamps it to its own ceiling)
+    --budget-conflicts N     request a solver-conflict budget for this job
+    --retries N              retry overloaded/draining/unreachable submissions up
+                             to N times with exponential backoff (default 0:
+                             fail fast; accepted jobs are never re-submitted)
+    --retry-base-ms N        base backoff delay for --retries (default 100)
 
 BENCH FLAGS:
     --json FILE              write the BENCH_*.json perf-trajectory file
@@ -691,6 +779,12 @@ mod tests {
             "0",
             "--jobs",
             "2",
+            "--budget-deadline-ms",
+            "5000",
+            "--budget-conflicts",
+            "100000",
+            "--drain-deadline-ms",
+            "2000",
         ])
         .unwrap()
         {
@@ -699,30 +793,61 @@ mod tests {
                 assert_eq!(args.max_jobs, Some(3));
                 assert_eq!(args.cache_bytes, Some(0));
                 assert_eq!(args.jobs, Some(2));
+                assert_eq!(args.budget_deadline_ms, Some(5000));
+                assert_eq!(args.budget_conflicts, Some(100_000));
+                assert_eq!(args.drain_deadline_ms, Some(2000));
             }
             other => panic!("expected serve, got {other:?}"),
         }
-        assert!(matches!(
+        assert_eq!(
             Command::parse(["serve"]).unwrap(),
-            Command::Serve(ServeArgs {
-                addr: None,
-                max_jobs: None,
-                cache_bytes: None,
-                jobs: None,
-            })
-        ));
+            Command::Serve(ServeArgs::default())
+        );
         assert_eq!(
             Command::parse(["serve", "--max-jobs", "0"]).unwrap_err(),
             ParseArgsError::InvalidNumber("0".into())
         );
+        assert_eq!(
+            Command::parse(["serve", "--budget-deadline-ms", "0"]).unwrap_err(),
+            ParseArgsError::InvalidNumber("0".into())
+        );
 
-        match Command::parse(["submit", "design.v", "--addr", "127.0.0.1:7171", "--ndjson"])
-            .unwrap()
+        match Command::parse([
+            "submit",
+            "design.v",
+            "--addr",
+            "127.0.0.1:7171",
+            "--ndjson",
+            "--tenant",
+            "team-a",
+            "--budget-deadline-ms",
+            "1500",
+            "--budget-conflicts",
+            "9",
+            "--retries",
+            "4",
+            "--retry-base-ms",
+            "50",
+        ])
+        .unwrap()
         {
             Command::Submit(args) => {
                 assert_eq!(args.input, PathBuf::from("design.v"));
                 assert_eq!(args.addr.as_deref(), Some("127.0.0.1:7171"));
                 assert!(args.ndjson);
+                assert_eq!(args.tenant.as_deref(), Some("team-a"));
+                assert_eq!(args.budget_deadline_ms, Some(1500));
+                assert_eq!(args.budget_conflicts, Some(9));
+                assert_eq!(args.retries, Some(4));
+                assert_eq!(args.retry_base_ms, Some(50));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        match Command::parse(["submit", "design.v", "--retries", "0"]).unwrap() {
+            Command::Submit(args) => {
+                assert_eq!(args.retries, Some(0), "--retries 0 means fail fast");
+                assert_eq!(args.tenant, None);
+                assert_eq!(args.budget_deadline_ms, None);
             }
             other => panic!("expected submit, got {other:?}"),
         }

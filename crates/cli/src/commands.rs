@@ -5,6 +5,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use htd_baselines::bmc::{bounded_trojan_search, BmcOptions};
 use htd_baselines::fanci::{control_value_analysis, FanciOptions};
@@ -27,6 +28,7 @@ use htd_trusthub::registry::Benchmark;
 
 use crate::args::{usage, Command, DetectArgs, ServeArgs, SubmitArgs};
 use crate::input::load_design;
+use crate::signal;
 
 /// Errors reported by the command runner.
 #[derive(Clone, Debug)]
@@ -140,9 +142,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
     }
 }
 
-/// `htd serve`: run the multi-tenant detection daemon until killed.
-/// Resolution order for every knob: flag, `HTD_SERVE_*` environment
-/// variable, built-in default.
+/// `htd serve`: run the multi-tenant detection daemon until killed or
+/// drained.  Resolution order for every knob: flag, `HTD_SERVE_*`
+/// environment variable, built-in default.  SIGTERM triggers a graceful
+/// drain: admission stops, running jobs get the drain deadline to finish.
 fn serve(args: &ServeArgs) -> Result<String, CliError> {
     let mut options = ServeOptions::from_env().map_err(|message| CliError::Config { message })?;
     if let Some(addr) = &args.addr {
@@ -157,6 +160,15 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
     if let Some(workers) = args.jobs.and_then(NonZeroUsize::new) {
         options.workers = workers;
     }
+    if let Some(ms) = args.budget_deadline_ms {
+        options.budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(ceiling) = args.budget_conflicts {
+        options.budget.conflict_ceiling = Some(ceiling);
+    }
+    if let Some(ms) = args.drain_deadline_ms {
+        options.drain_deadline = Duration::from_millis(ms);
+    }
     let addr = options.addr.clone();
     let (workers, max_jobs, cache_bytes) = (options.workers, options.max_jobs, options.cache_bytes);
     let server = Server::start(options).map_err(|e| CliError::Io {
@@ -168,6 +180,16 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
          {cache_bytes} cache bytes)",
         server.addr()
     );
+    signal::install_sigterm_handler();
+    let drain = server.drain_handle();
+    std::thread::spawn(move || loop {
+        if signal::sigterm_seen() {
+            eprintln!("htd serve: SIGTERM received, draining");
+            drain.drain();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
     server.join();
     Ok(String::new())
 }
@@ -184,11 +206,26 @@ fn submit(args: &SubmitArgs) -> Result<String, CliError> {
         None => htd_serve::try_default_addr().map_err(|message| CliError::Config { message })?,
     };
     let ndjson = args.ndjson;
-    let submission = serve_client::submit(&addr, &netlist_text, &mut |line| {
-        if ndjson {
-            println!("{line}");
-        }
-    })?;
+    let options = serve_client::SubmitOptions {
+        tenant: args.tenant.clone(),
+        deadline_ms: args.budget_deadline_ms,
+        conflict_ceiling: args.budget_conflicts,
+        retry: args.retries.filter(|&retries| retries > 0).map(|retries| {
+            serve_client::RetryPolicy {
+                retries,
+                base: Duration::from_millis(args.retry_base_ms.unwrap_or(100)),
+                // Concurrent clients desynchronise by pid; one client's
+                // schedule stays reproducible across its own retries.
+                seed: u64::from(std::process::id()),
+            }
+        }),
+    };
+    let submission =
+        serve_client::submit_with_options(&addr, &netlist_text, &options, &mut |line| {
+            if ndjson {
+                println!("{line}");
+            }
+        })?;
     if ndjson {
         Ok(String::new())
     } else {

@@ -1,0 +1,54 @@
+//! SIGTERM notification for `htd serve` graceful drain.
+//!
+//! The toolkit has no signal-handling dependency, so this module talks to
+//! libc's ancient `signal(2)` registration directly — the handler does the
+//! only thing an async-signal-safe handler may do here: store a relaxed
+//! atomic flag that [`crate::commands`] polls from a monitor thread.
+//!
+//! On non-Unix targets [`install_sigterm_handler`] is a no-op and
+//! [`sigterm_seen`] never flips; `htd serve` then simply runs until killed,
+//! as before.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched to `true` by the handler the first time SIGTERM arrives.
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, SIGTERM_SEEN};
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Only an atomic store: anything more is not async-signal-safe.
+        SIGTERM_SEEN.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` registers a handler that performs a single
+        // relaxed atomic store, which is async-signal-safe.  The function
+        // pointer outlives the process and the cast matches the C ABI
+        // `void (*)(int)` that `signal(2)` expects.
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Registers the SIGTERM handler.  Idempotent; a no-op off Unix.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+/// Whether SIGTERM has been delivered since the handler was installed.
+#[must_use]
+pub fn sigterm_seen() -> bool {
+    SIGTERM_SEEN.load(Ordering::Relaxed)
+}

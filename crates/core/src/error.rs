@@ -49,6 +49,17 @@ pub enum DetectError {
     /// partial results discarded.  The service tier raises this when a client
     /// disconnects or deletes its job.
     Cancelled,
+    /// The run's [`SolveBudget`](crate::SolveBudget) was exhausted before a
+    /// verdict: the solver abandoned its in-flight queries and the flow wound
+    /// down.  Partial progress (events already emitted) is valid; the verdict
+    /// is simply unknown.
+    BudgetExhausted {
+        /// Which limit tripped: `"deadline"` or `"conflicts"`.
+        reason: String,
+        /// Conflicts charged to the budget before exhaustion (across every
+        /// parallel shard of the job).
+        conflicts: u64,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -70,6 +81,10 @@ impl fmt::Display for DetectError {
             }
             DetectError::Backend { message } => write!(f, "SAT backend failed: {message}"),
             DetectError::Cancelled => write!(f, "detection run cancelled"),
+            DetectError::BudgetExhausted { reason, conflicts } => write!(
+                f,
+                "solve budget exhausted ({reason}) after {conflicts} conflicts"
+            ),
         }
     }
 }
@@ -92,6 +107,12 @@ mod tests {
         }
         .to_string()
         .contains("fanout_property_2"));
+        let exhausted = DetectError::BudgetExhausted {
+            reason: "deadline".into(),
+            conflicts: 42,
+        };
+        assert!(exhausted.to_string().contains("deadline"));
+        assert!(exhausted.to_string().contains("42"));
     }
 
     #[test]

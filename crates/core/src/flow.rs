@@ -42,6 +42,12 @@ pub struct DetectorConfig {
     /// by the structural depth of the design; this limit only guards against
     /// configuration errors).  Must be at least 1.
     pub max_flow_iterations: usize,
+    /// Per-run resource budget (wall-clock deadline, solver-conflict
+    /// ceiling), enforced *inside* the solver via the interrupt seam.  The
+    /// default is unlimited — budgets are strictly opt-in, so existing flows
+    /// and their reports are unchanged.  An exhausted budget surfaces as
+    /// [`DetectError::BudgetExhausted`].
+    pub budget: htd_sat::SolveBudget,
 }
 
 impl Default for DetectorConfig {
@@ -52,6 +58,7 @@ impl Default for DetectorConfig {
             benign_state: Vec::new(),
             max_resolution_iterations: 16,
             max_flow_iterations: 4096,
+            budget: htd_sat::SolveBudget::default(),
         }
     }
 }

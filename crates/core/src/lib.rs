@@ -105,9 +105,12 @@ mod session;
 
 pub use error::DetectError;
 pub use flow::DetectorConfig;
+// Re-exported so budget consumers (the serve tier, CLI flags) need no
+// direct `htd-sat` dependency to configure a run.
 #[allow(deprecated)]
 pub use flow::TrojanDetector;
 pub use flowgraph::{FlowGraph, FlowNode, FlowNodeKind};
+pub use htd_sat::{BudgetTracker, SolveBudget};
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
 pub use scheduler::{
     PipelineStats, PropertyScheduler, SharedSolvePool, JOBS_ENV_VAR, LEVEL_PIPELINE_ENV_VAR,

@@ -409,7 +409,23 @@ impl FlowShared {
                 self.cross_level.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let outcome = job.prepared.solve_task(index, &job.doomed, &self.cancelled);
+        // Panic isolation: a panicking solve (a backend bug, an injected
+        // fault) must not strand the coordinator waiting on a result slot
+        // that will never be filled.  Convert the panic into a structured
+        // backend error for this task and doom the level so later tasks
+        // skip.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.prepared.solve_task(index, &job.doomed, &self.cancelled)
+        }))
+        .unwrap_or_else(|payload| {
+            job.doomed.fetch_min(index, Ordering::SeqCst);
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_owned());
+            TaskOutcome::internal_error(format!("solve task panicked: {message}"))
+        });
         *job.results[index].lock().expect("no poisoned locks") = Some(outcome);
         job.remaining.fetch_sub(1, Ordering::SeqCst);
         self.outstanding.fetch_sub(1, Ordering::SeqCst);

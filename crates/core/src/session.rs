@@ -79,7 +79,9 @@ use htd_ipc::{
     CheckOutcome, Counterexample, IntervalProperty, MiterSession, PropertyReport, SessionStats,
 };
 use htd_rtl::{SignalId, ValidatedDesign};
-use htd_sat::{DimacsProcessBackend, IpasirBackend, SatBackend, Solver, SolverStats};
+use htd_sat::{
+    BudgetTracker, DimacsProcessBackend, IpasirBackend, SatBackend, Solver, SolverStats,
+};
 
 use crate::diagnosis::{diagnose, Diagnosis};
 use crate::error::DetectError;
@@ -701,24 +703,38 @@ impl DetectionSession {
             }
             observer(event);
         };
-        match engine_choice {
+        // Arm the run's solve budget, if any: the tracker rides this
+        // session's miter (a run fork, never a cached pristine master — the
+        // serve tier installs budgets per run) and is inherited by every
+        // per-task shard forked during the run.  The tracker trips the
+        // cancel flag on exhaustion, so a flag is materialized even when the
+        // caller installed none.
+        let tracker = if config.budget.is_unlimited() {
+            None
+        } else {
+            let flag = cancel.get_or_insert_with(|| Arc::new(AtomicBool::new(false)));
+            let tracker = Arc::new(BudgetTracker::start(config.budget, Arc::clone(flag)));
+            miter.set_budget(Some(Arc::clone(&tracker)));
+            Some(tracker)
+        };
+        let result = match engine_choice {
             EngineChoice::Sequential => {
                 let mut engine = SessionEngine { miter };
                 run_flow(design, config, &mut engine, cancel.as_ref(), &mut emit)
             }
-            EngineChoice::Scheduled(scheduler) if miter.backend_can_fork() => {
-                let (report, stats) = run_pipelined(
-                    design,
-                    config,
-                    miter,
-                    scheduler,
-                    pool.as_ref(),
-                    cancel.as_ref(),
-                    &mut emit,
-                )?;
+            EngineChoice::Scheduled(scheduler) if miter.backend_can_fork() => run_pipelined(
+                design,
+                config,
+                miter,
+                scheduler,
+                pool.as_ref(),
+                cancel.as_ref(),
+                &mut emit,
+            )
+            .map(|(report, stats)| {
                 *pipeline_stats = stats;
-                Ok(report)
-            }
+                report
+            }),
             EngineChoice::Scheduled(scheduler) => {
                 // Non-forkable backends cannot pipeline (no frozen
                 // snapshots); fall back to sharded level-at-a-time checking.
@@ -728,6 +744,22 @@ impl DetectionSession {
                 };
                 run_flow(design, config, &mut engine, cancel.as_ref(), &mut emit)
             }
+        };
+        let Some(tracker) = tracker else {
+            return result;
+        };
+        miter.set_budget(None);
+        match tracker.exhausted() {
+            // Exhaustion surfaces engine-dependently (the kill switch makes
+            // the pipelined executor report `Cancelled`, an interrupted
+            // master query reports `Backend`); fold every post-exhaustion
+            // failure into the one structured cause.  A run that reached its
+            // verdict before the trip keeps it.
+            Some(reason) if result.is_err() => Err(DetectError::BudgetExhausted {
+                reason: reason.to_owned(),
+                conflicts: tracker.conflicts(),
+            }),
+            _ => result,
         }
     }
 }

@@ -238,6 +238,18 @@ impl TaskOutcome {
     fn skipped() -> Self {
         TaskOutcome(TaskResult::Skipped)
     }
+
+    /// An infrastructure-failure outcome carrying `message`.  Exposed so
+    /// executors outside this crate (the parallel scheduler's panic
+    /// isolation) can settle a task slot whose solve never returned — the
+    /// merge then surfaces the message as a [`BackendError`] instead of
+    /// deadlocking on a forever-missing result.
+    #[must_use]
+    pub fn internal_error(message: impl Into<String>) -> Self {
+        TaskOutcome(TaskResult::Error(BackendError {
+            message: message.into(),
+        }))
+    }
 }
 
 impl std::fmt::Debug for TaskOutcome {
@@ -765,7 +777,15 @@ impl MiterSession {
         };
 
         let outcome = match result {
-            SolveResult::Interrupted => unreachable!("no interrupt check installed"),
+            SolveResult::Interrupted => {
+                // Only a tripped budget (or a cancel flag folded into the
+                // backend's interrupt seam) abandons a master query; surface
+                // it as a structured error so the session layer can map it
+                // to the job-level cause.
+                return Err(BackendError {
+                    message: "master query interrupted (budget exhausted or cancelled)".to_owned(),
+                });
+            }
             SolveResult::Unsat => CheckOutcome::Holds,
             SolveResult::Sat => CheckOutcome::Fails(Box::new(self.reconstruct_with(
                 self.backend.as_ref(),
@@ -1023,9 +1043,11 @@ impl MiterSession {
         let before = self.backend.stats();
         match self.backend.solve_under(&task.assumptions) {
             Err(e) => TaskOutcome(TaskResult::Error(e)),
-            Ok(SolveResult::Interrupted) => {
-                unreachable!("no interrupt check installed on the master")
-            }
+            Ok(SolveResult::Interrupted) => TaskOutcome(TaskResult::Error(BackendError {
+                // A tripped budget (or cancel) on the sequential fallback
+                // path; the session layer maps it to the job-level cause.
+                message: "master query interrupted (budget exhausted or cancelled)".to_owned(),
+            })),
             Ok(SolveResult::Unsat) => {
                 let after = self.backend.stats();
                 TaskOutcome(TaskResult::Unsat(
@@ -1208,6 +1230,15 @@ impl MiterSession {
     #[must_use]
     pub fn backend_stats(&self) -> htd_sat::BackendStats {
         self.backend.stats()
+    }
+
+    /// Attaches (or detaches, with `None`) a shared resource budget on the
+    /// master backend.  Forks taken afterwards — the per-task shards of the
+    /// pipelined executor — inherit the tracker, so the whole job charges
+    /// one budget.  Install it on a run fork, never on a cached pristine
+    /// master.
+    pub fn set_budget(&mut self, budget: Option<std::sync::Arc<htd_sat::BudgetTracker>>) {
+        self.backend.set_budget(budget);
     }
 
     /// Ends a level-flow: retires the final generation's activation literals

@@ -32,9 +32,11 @@ use std::fmt;
 use std::fs::File;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Command, Stdio};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::budget::BudgetTracker;
 use crate::literal::{Lit, Var};
 use crate::solver::{SolveResult, Solver, SolverStats};
 
@@ -181,9 +183,18 @@ pub trait SatBackend: Send + Sync {
     /// Installs a predicate polled during solving; when it returns `true`
     /// the query is abandoned with [`SolveResult::Interrupted`].  Parallel
     /// schedulers cancel speculative queries this way.  Backends that cannot
-    /// interrupt (e.g. process backends) ignore it, which only costs wasted
-    /// work, never wrong answers.
+    /// interrupt ignore it, which only costs wasted work, never wrong
+    /// answers.
     fn set_interrupt(&mut self, _check: Arc<dyn Fn() -> bool + Send + Sync>) {}
+
+    /// Attaches (or detaches, with `None`) a shared resource budget
+    /// ([`BudgetTracker`]).  Budgeted backends abandon queries with
+    /// [`SolveResult::Interrupted`] once the tracker reports exhaustion and,
+    /// where their interface exposes a conflict stream, charge conflicts to
+    /// it.  [`fork`](Self::fork) snapshots share the parent's tracker.
+    /// Backends without budget support ignore it (the flow-level deadline is
+    /// then only enforced between solver queries).
+    fn set_budget(&mut self, _budget: Option<Arc<BudgetTracker>>) {}
 }
 
 impl SatBackend for Solver {
@@ -258,6 +269,10 @@ impl SatBackend for Solver {
     fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
         Solver::set_interrupt(self, check);
     }
+
+    fn set_budget(&mut self, budget: Option<Arc<BudgetTracker>>) {
+        Solver::set_budget(self, budget);
+    }
 }
 
 /// A backend that shells out to an external DIMACS-speaking solver binary for
@@ -309,7 +324,35 @@ pub struct DimacsProcessBackend {
     /// The incremental CNF file, created lazily on the first query and
     /// removed when the backend drops.
     cache: Option<CnfCache>,
+    /// Interrupt predicate polled while the child process runs.
+    interrupt: ProcessInterrupt,
+    /// Shared resource budget, polled alongside the interrupt predicate.
+    /// The external solver's conflicts are invisible from outside, so only
+    /// the deadline is enforced mid-solve; the ceiling is still honoured at
+    /// query boundaries (other shards of the same job charge it).
+    budget: Option<Arc<BudgetTracker>>,
 }
+
+/// Debug-opaque holder for the process backend's interrupt predicate
+/// (mirrors the solver's private `InterruptCheck`).
+#[derive(Clone, Default)]
+struct ProcessInterrupt(Option<Arc<dyn Fn() -> bool + Send + Sync>>);
+
+impl fmt::Debug for ProcessInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ProcessInterrupt(set)"
+        } else {
+            "ProcessInterrupt(unset)"
+        })
+    }
+}
+
+/// How often the process backend polls the child (and the interrupt/budget
+/// seam) while a query runs.  Coarse enough to stay invisible next to a SAT
+/// query, fine enough that budget deadlines land within ~a hundredth of a
+/// second.
+const PROCESS_POLL_INTERVAL: Duration = Duration::from_millis(10);
 
 /// The on-disk incremental CNF document of a [`DimacsProcessBackend`].
 #[derive(Debug)]
@@ -374,7 +417,72 @@ impl DimacsProcessBackend {
             stats: SolverStats::default(),
             known_unsat: false,
             cache: None,
+            interrupt: ProcessInterrupt::default(),
+            budget: None,
         }
+    }
+
+    /// `true` when the budget or the installed interrupt predicate says the
+    /// current query should be abandoned.
+    fn should_abandon(&self) -> bool {
+        self.budget.as_ref().is_some_and(|budget| budget.check())
+            || self.interrupt.0.as_ref().is_some_and(|check| check())
+    }
+
+    /// Runs the external solver on `path`, polling the interrupt/budget seam
+    /// while the child executes; a tripped check kills the child and answers
+    /// [`SolveResult::Interrupted`].  Stdout goes to a sibling file rather
+    /// than a pipe so a large `v`-line model can never deadlock against a
+    /// poll loop that is not draining it.
+    fn run_solver(&mut self, path: &Path) -> Result<SolveResult, BackendError> {
+        let out_path = path.with_extension("out");
+        let spawn_err = |e: std::io::Error| {
+            BackendError::new(format!(
+                "spawning solver `{}`: {e}",
+                self.solver_path.display()
+            ))
+        };
+        let stdout_file = File::create(&out_path).map_err(spawn_err)?;
+        let child = Command::new(&self.solver_path)
+            .args(&self.extra_args)
+            .arg(path)
+            .stdout(Stdio::from(stdout_file))
+            .stderr(Stdio::null())
+            .spawn();
+        let mut child = match child {
+            Ok(child) => child,
+            Err(e) => {
+                let _ = std::fs::remove_file(&out_path);
+                return Err(spawn_err(e));
+            }
+        };
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = std::fs::remove_file(&out_path);
+                    return Err(spawn_err(e));
+                }
+            }
+            if self.should_abandon() {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = std::fs::remove_file(&out_path);
+                return Ok(SolveResult::Interrupted);
+            }
+            std::thread::sleep(PROCESS_POLL_INTERVAL);
+        };
+        let stdout = std::fs::read_to_string(&out_path).map_err(|e| {
+            BackendError::new(format!(
+                "reading solver output `{}`: {e}",
+                out_path.display()
+            ))
+        })?;
+        let _ = std::fs::remove_file(&out_path);
+        self.parse_answer(&stdout, status.code())
     }
 
     /// Adds fixed arguments passed before the CNF file path (e.g. a solver's
@@ -565,21 +673,13 @@ impl SatBackend for DimacsProcessBackend {
         if self.known_unsat {
             return Ok(SolveResult::Unsat);
         }
+        // Checked before spawning: a budget exhausted by a sibling shard (or
+        // an already-tripped cancel) must not launch another process.
+        if self.should_abandon() {
+            return Ok(SolveResult::Interrupted);
+        }
         let path = self.write_query(assumptions)?;
-        let output = Command::new(&self.solver_path)
-            .args(&self.extra_args)
-            .arg(&path)
-            .output();
-        let result = match output {
-            Ok(output) => {
-                let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
-                self.parse_answer(&stdout, output.status.code())
-            }
-            Err(e) => Err(BackendError::new(format!(
-                "spawning solver `{}`: {e}",
-                self.solver_path.display()
-            ))),
-        };
+        let result = self.run_solver(&path);
         // Keep the serialized clause prefix for the next query; only the
         // assumption units are rolled back.
         self.truncate_assumptions();
@@ -629,6 +729,10 @@ impl SatBackend for DimacsProcessBackend {
             // The fork serializes its own CNF file from scratch on its first
             // query (the parent's file keeps accumulating independently).
             cache: None,
+            interrupt: self.interrupt.clone(),
+            // Budgets are per job, not per shard: the fork charges the same
+            // tracker as its parent.
+            budget: self.budget.clone(),
         }))
     }
 
@@ -636,6 +740,14 @@ impl SatBackend for DimacsProcessBackend {
         // The fork copies the in-memory clause lists (this backend is not
         // arena-backed — external solvers re-read the whole CNF anyway).
         clause_log_bytes(&self.clauses)
+    }
+
+    fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
+        self.interrupt = ProcessInterrupt(Some(check));
+    }
+
+    fn set_budget(&mut self, budget: Option<Arc<BudgetTracker>>) {
+        self.budget = budget;
     }
 }
 

@@ -76,6 +76,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::backend::{BackendError, BackendStats, SatBackend};
+use crate::budget::BudgetTracker;
 use crate::literal::{Lit, Var};
 use crate::solver::{SolveResult, SolverStats};
 
@@ -333,7 +334,17 @@ pub struct IpasirBackend {
     known_unsat: bool,
     /// Keeps the predicate behind `ipasir_set_terminate`'s data pointer
     /// alive (and at a stable address) for as long as it is installed.
+    /// This is the *combined* predicate (budget ∨ user interrupt); the two
+    /// ingredients live in `user_interrupt` and `budget` below so either
+    /// can be replaced without losing the other.
     interrupt: Option<Box<InterruptState>>,
+    /// The caller-supplied interrupt predicate (scheduler cancellation).
+    user_interrupt: Option<InterruptState>,
+    /// Shared resource budget, folded into the terminate predicate and
+    /// checked at query entry.  The external solver's conflicts are not
+    /// observable, so the ceiling is charged by sibling builtin shards and
+    /// enforced here at poll granularity.
+    budget: Option<Arc<BudgetTracker>>,
 }
 
 // SAFETY: the handle is driven only through `&mut self` (and `fork`, which
@@ -395,6 +406,8 @@ impl IpasirBackend {
             stats: SolverStats::default(),
             known_unsat: false,
             interrupt: None,
+            user_interrupt: None,
+            budget: None,
         })
     }
 
@@ -436,6 +449,44 @@ impl IpasirBackend {
         unsafe { (self.library.add)(self.solver, 0) };
         self.clauses_transmitted += 1;
     }
+
+    /// (Re-)installs the terminate callback from the current budget and
+    /// user interrupt, or detaches it when neither is set.  Libraries
+    /// without `ipasir_set_terminate` skip the mid-solve polls; budget
+    /// exhaustion is still honoured at query entry.
+    fn install_terminate(&mut self) {
+        let Some(set_terminate) = self.library.set_terminate else {
+            return;
+        };
+        if self.budget.is_none() && self.user_interrupt.is_none() {
+            if self.interrupt.take().is_some() {
+                // SAFETY: live handle; detaching with a null callback is the
+                // documented way to uninstall.
+                unsafe { set_terminate(self.solver, std::ptr::null_mut(), None) };
+            }
+            return;
+        }
+        let budget = self.budget.clone();
+        let user = self.user_interrupt.clone();
+        let combined: InterruptState = Arc::new(move || {
+            budget.as_ref().is_some_and(|budget| budget.check())
+                || user.as_ref().is_some_and(|check| check())
+        });
+        let state: Box<InterruptState> = Box::new(combined);
+        let data = std::ptr::addr_of!(*state) as *mut c_void;
+        // SAFETY: live handle; `data` points at the boxed predicate, which
+        // `self.interrupt` keeps alive (and address-stable) until the
+        // callback is replaced or the backend drops.
+        unsafe { set_terminate(self.solver, data, Some(terminate_trampoline)) };
+        self.interrupt = Some(state);
+    }
+
+    /// `true` when the budget or the user interrupt says the next query
+    /// should not start at all.
+    fn should_abandon(&self) -> bool {
+        self.budget.as_ref().is_some_and(|budget| budget.check())
+            || self.user_interrupt.as_ref().is_some_and(|check| check())
+    }
 }
 
 impl SatBackend for IpasirBackend {
@@ -474,6 +525,13 @@ impl SatBackend for IpasirBackend {
         self.queries += 1;
         if self.known_unsat {
             return Ok(SolveResult::Unsat);
+        }
+        // An already-exhausted budget (or tripped cancel) must not enter the
+        // library at all — terminate callbacks are polled at the library's
+        // leisure, and some libraries do not support them.
+        if self.should_abandon() {
+            self.model.clear();
+            return Ok(SolveResult::Interrupted);
         }
         for &lit in assumptions {
             self.transmitted_vars = self.transmitted_vars.max(lit.var().index() + 1);
@@ -592,10 +650,14 @@ impl SatBackend for IpasirBackend {
             stats: self.stats,
             known_unsat: self.known_unsat,
             interrupt: None,
+            user_interrupt: None,
+            // Budgets are per job: the fork charges the parent's tracker.
+            budget: self.budget.clone(),
         };
         for clause in self.clauses.iter() {
             child.transmit(clause);
         }
+        child.install_terminate();
         child.stats.fork_count += 1;
         child.stats.bytes_cloned += self.snapshot_bytes();
         Some(Box::new(child))
@@ -608,18 +670,13 @@ impl SatBackend for IpasirBackend {
     }
 
     fn set_interrupt(&mut self, check: Arc<dyn Fn() -> bool + Send + Sync>) {
-        let Some(set_terminate) = self.library.set_terminate else {
-            // No `ipasir_set_terminate`: interrupts are ignored, which only
-            // costs wasted speculative work, never wrong answers.
-            return;
-        };
-        let state: Box<InterruptState> = Box::new(check);
-        let data = std::ptr::addr_of!(*state) as *mut c_void;
-        // SAFETY: live handle; `data` points at the boxed predicate, which
-        // `self.interrupt` keeps alive (and address-stable) until the
-        // callback is replaced or the backend drops.
-        unsafe { set_terminate(self.solver, data, Some(terminate_trampoline)) };
-        self.interrupt = Some(state);
+        self.user_interrupt = Some(check);
+        self.install_terminate();
+    }
+
+    fn set_budget(&mut self, budget: Option<Arc<BudgetTracker>>) {
+        self.budget = budget;
+        self.install_terminate();
     }
 }
 

@@ -55,12 +55,14 @@
 
 mod arena;
 mod backend;
+mod budget;
 mod dimacs;
 mod ipasir;
 mod literal;
 mod solver;
 
 pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
+pub use budget::{BudgetTracker, SolveBudget};
 pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
 pub use ipasir::IpasirBackend;
 pub use literal::{Lit, Var};

@@ -38,6 +38,7 @@
 
 pub use crate::arena::ClauseRef;
 use crate::arena::{ClauseArena, CompactOutcome, RELOC_DEAD};
+use crate::budget::BudgetTracker;
 use crate::literal::{Lit, Var};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -300,6 +301,9 @@ pub struct Solver {
     stats: SolverStats,
     max_learnt: f64,
     interrupt: InterruptCheck,
+    /// Shared resource budget: clones (parallel shards forked off one
+    /// master) charge the same tracker through the `Arc`.
+    budget: Option<Arc<BudgetTracker>>,
     /// Fraction of the clause database that must be dead before
     /// [`collect_garbage_if`](Self::collect_garbage_if) compacts.
     gc_dead_fraction: f64,
@@ -448,9 +452,19 @@ impl Solver {
         self.interrupt = InterruptCheck(None);
     }
 
-    /// `true` if the installed interrupt check (if any) fires.
+    /// Attaches (or detaches, with `None`) a shared resource budget.  The
+    /// solver charges one unit per conflict and abandons the query with
+    /// [`SolveResult::Interrupted`] once the tracker reports exhaustion; the
+    /// formula stays valid, exactly as with [`set_interrupt`].
+    pub fn set_budget(&mut self, budget: Option<Arc<BudgetTracker>>) {
+        self.budget = budget;
+    }
+
+    /// `true` if the budget is exhausted or the installed interrupt check
+    /// (if any) fires.
     fn interrupted(&self) -> bool {
-        self.interrupt.0.as_ref().is_some_and(|check| check())
+        self.budget.as_ref().is_some_and(|budget| budget.check())
+            || self.interrupt.0.as_ref().is_some_and(|check| check())
     }
 
     /// Marks a variable as eligible (`true`, the default) or ineligible
@@ -1136,6 +1150,9 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                if let Some(budget) = &self.budget {
+                    budget.charge_conflict();
+                }
                 if self.interrupted() {
                     self.cancel_until(0);
                     return SolveResult::Interrupted;

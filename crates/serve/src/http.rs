@@ -20,6 +20,9 @@ pub struct Request {
     pub method: String,
     /// The request target, e.g. `/jobs` or `/jobs/3`.
     pub path: String,
+    /// The `X-HTD-Tenant` header, when the client sent one.  The server
+    /// keys fair-share scheduling by it, falling back to the peer address.
+    pub tenant: Option<String>,
     /// The decoded body (empty when no `Content-Length` was sent).
     pub body: String,
 }
@@ -71,6 +74,7 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
     let path = path.to_owned();
 
     let mut content_length = 0usize;
+    let mut tenant = None;
     loop {
         let line = read_line(reader)?;
         if line.is_empty() {
@@ -83,6 +87,11 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
             content_length = value.trim().parse().map_err(|_| {
                 RequestError::Malformed(format!("bad Content-Length: {:?}", value.trim()))
             })?;
+        } else if name.trim().eq_ignore_ascii_case("x-htd-tenant") {
+            let value = value.trim();
+            if !value.is_empty() {
+                tenant = Some(value.to_owned());
+            }
         }
     }
     if content_length > max_body {
@@ -95,7 +104,12 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| RequestError::Malformed("body is not valid UTF-8".to_owned()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        tenant,
+        body,
+    })
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
@@ -201,6 +215,19 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
         assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn extracts_the_tenant_header_case_insensitively() {
+        let req =
+            parse("POST /jobs HTTP/1.1\r\nx-htd-tenant:  alice \r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.tenant.as_deref(), Some("alice"));
+        let req = parse("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.tenant, None);
+        // An empty tenant value is treated as absent, not as a tenant named "".
+        let req = parse("GET /stats HTTP/1.1\r\nX-HTD-Tenant:\r\n\r\n").unwrap();
+        assert_eq!(req.tenant, None);
     }
 
     #[test]

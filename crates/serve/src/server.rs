@@ -1,65 +1,91 @@
-//! The detection daemon: a bounded job queue in front of a shared
+//! The detection daemon: a fair-share job queue in front of a shared
 //! [`SharedSolvePool`], a netlist-keyed [`SnapshotCache`] of frozen master
-//! encodings, and one NDJSON event stream per submitted job.
+//! encodings, and one NDJSON event stream per subscribed client.
 //!
 //! See the [crate docs](crate) for the wire protocol.  Concurrency layout:
 //!
 //! * one **accept** thread takes connections and hands each to a detached
 //!   connection thread;
-//! * a connection thread parses the request; for `POST /jobs` it performs
-//!   admission control, writes the `accepted` frame, enqueues the job and
-//!   then lingers as a **disconnect watcher** — a client hangup flips the
-//!   job's cancel flag, which the flow coordinator honours between tasks;
-//! * `max(2, workers)` **runner** threads drain the queue.  Each runner
-//!   resolves the snapshot cache, builds a
-//!   [`DetectionSession`](htd_core::DetectionSession) on a fork of
-//!   the frozen master, attaches the shared pool and streams the flow's
-//!   events back over the socket.  Two runners minimum means two jobs
-//!   multiplex over the pool even on a single-core host.
+//! * a connection thread parses the request under a header read timeout (the
+//!   slow-loris guard); for `POST /jobs` it performs admission control,
+//!   writes the `accepted` frame and then lingers as a **subscriber
+//!   watcher** — a client hangup or `DELETE` detaches that subscriber, and
+//!   the underlying run is cancelled once no subscribers remain;
+//! * `max(2, workers)` **runner** threads drain a per-tenant
+//!   deficit-round-robin queue ([`FairQueue`]).  Each runner resolves the
+//!   snapshot cache, builds a
+//!   [`DetectionSession`](htd_core::DetectionSession) on a fork of the
+//!   frozen master under the job's [`SolveBudget`], and fans the flow's
+//!   events out to every subscriber.  Job execution is wrapped in
+//!   [`catch_unwind`](std::panic::catch_unwind): a panicking flow fails
+//!   *that job* with an `internal` error frame and the runner keeps
+//!   serving.
+//!
+//! **Coalescing.**  Submissions are keyed by the netlist content hash
+//! (byte-verified against the canonical dump, exactly like the snapshot
+//! cache): a submission identical to an in-flight job attaches to it as a
+//! follower instead of running the flow again, and every subscriber
+//! receives the byte-identical frame stream.
 //!
 //! Every job runs on an O(bytes) fork of a *pristine* master — never the
 //! master itself — so a cache hit, a cache miss and a cache-disabled run all
 //! execute byte-identical solver work and produce byte-identical
 //! [`DetectionReport::normalized`] renderings.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use htd_core::{
     DetectError, DetectionReport, DetectorConfig, EngineChoice, FlowEvent, PropertyScheduler,
-    SessionBuilder, SharedSolvePool,
+    SessionBuilder, SharedSolvePool, SolveBudget,
 };
 use htd_ipc::{MiterSession, SessionStats};
 use htd_rtl::{netlist, ValidatedDesign};
 use htd_sat::{Solver, SolverStats};
 
 use crate::cache::{FrozenMaster, SnapshotCache};
+use crate::fault::FaultSpec;
 use crate::http::{self, Request, RequestError};
 use crate::json::Json;
+use crate::queue::FairQueue;
 
 /// Upper bound on a submitted request body (the JSON-wrapped netlist).
 const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
-/// How often a disconnect watcher wakes to poll its job's completion flag.
+/// How often a subscriber watcher wakes to poll its job's completion flag.
 const WATCH_INTERVAL: Duration = Duration::from_millis(200);
 
 /// Upper bound on any single blocking write of a response frame.  A client
 /// that stays connected but stops reading fills the TCP send buffer; without
-/// a timeout the runner would block in `writeln!` forever (the disconnect
+/// a timeout the runner would block in a frame write forever (the subscriber
 /// watcher never fires — the peer is still there — and the cancel flag
 /// cannot interrupt a blocked write), wedging the runner pool.  A timed-out
-/// write is treated exactly like a hangup: cancel the job, stop streaming.
+/// write is treated exactly like a hangup: detach the subscriber, stop
+/// streaming to it.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Finished jobs retained for `GET /stats` (a bounded ring; older records
 /// are dropped first).
 const FINISHED_RING: usize = 64;
+
+/// Deficit granted per tenant per round of the fair queue, in netlist-dump
+/// bytes: small designs interleave tightly, a huge design waits a few
+/// rounds.
+const FAIR_QUANTUM: u64 = 64 * 1024;
+
+/// How often the drain supervisor re-checks for active jobs.
+const DRAIN_POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Extra time a drain grants cancelled stragglers to settle before the
+/// daemon shuts down regardless.
+const DRAIN_HARD_GRACE: Duration = Duration::from_secs(5);
 
 /// Daemon configuration, resolved from the environment by
 /// [`from_env`](Self::from_env) and overridable per flag by the CLI.
@@ -76,6 +102,32 @@ pub struct ServeOptions {
     pub workers: NonZeroUsize,
     /// The detection configuration applied to every served job.
     pub config: DetectorConfig,
+    /// Server-wide cap on per-job solve budgets: a request's own budget is
+    /// clamped to the tighter of the two.  Unlimited by default.
+    pub budget: SolveBudget,
+    /// How long a drain waits for in-flight jobs before cancelling them.
+    pub drain_deadline: Duration,
+    /// Per-read timeout while parsing request headers (slow-loris guard).
+    pub header_timeout: Duration,
+    /// Injected fault for robustness tests; `None` in production.
+    pub fault: Option<FaultSpec>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: crate::DEFAULT_ADDR.to_owned(),
+            max_jobs: NonZeroUsize::new(crate::DEFAULT_MAX_JOBS)
+                .expect("default bound is positive"),
+            cache_bytes: crate::DEFAULT_CACHE_BYTES,
+            workers: PropertyScheduler::available_parallelism(),
+            config: DetectorConfig::default(),
+            budget: SolveBudget::default(),
+            drain_deadline: crate::DEFAULT_DRAIN_DEADLINE,
+            header_timeout: crate::DEFAULT_HEADER_TIMEOUT,
+            fault: None,
+        }
+    }
 }
 
 impl ServeOptions {
@@ -91,8 +143,11 @@ impl ServeOptions {
             addr: crate::try_default_addr()?,
             max_jobs: crate::try_default_max_jobs()?,
             cache_bytes: crate::try_default_cache_bytes()?,
-            workers: PropertyScheduler::available_parallelism(),
-            config: DetectorConfig::default(),
+            budget: crate::try_default_budget()?,
+            drain_deadline: crate::try_default_drain_deadline()?,
+            header_timeout: crate::try_default_header_timeout()?,
+            fault: crate::fault::try_default_fault()?,
+            ..ServeOptions::default()
         })
     }
 }
@@ -104,6 +159,7 @@ enum JobState {
     Completed,
     Cancelled,
     Failed,
+    Exhausted,
 }
 
 impl JobState {
@@ -114,6 +170,7 @@ impl JobState {
             JobState::Completed => "completed",
             JobState::Cancelled => "cancelled",
             JobState::Failed => "failed",
+            JobState::Exhausted => "budget_exhausted",
         }
     }
 
@@ -127,6 +184,10 @@ struct JobRecord {
     id: u64,
     design: String,
     state: JobState,
+    /// For an active record this is the subscriber's *detach* flag: set by
+    /// `DELETE /jobs/<id>`, a client hangup, or shutdown.  The underlying
+    /// run's cancel flag lives on [`Subscribers`] and flips once every
+    /// subscriber has detached.
     cancel: Arc<AtomicBool>,
     wall_secs: Option<f64>,
     cache: Option<&'static str>,
@@ -138,15 +199,45 @@ struct JobTable {
     records: Vec<JobRecord>,
 }
 
+/// One client attached to a job's frame stream.
+struct Sink {
+    /// The subscriber's own job id (a follower's differs from the leader's).
+    job: u64,
+    stream: TcpStream,
+    detach: Arc<AtomicBool>,
+    /// Whether this subscriber attached to an already-submitted run.
+    coalesced: bool,
+}
+
+/// The fan-out state shared by a job's runner, its subscriber watchers and
+/// late-attaching followers.
+struct Subscribers {
+    /// Cancels the underlying detection run; latched once no subscribers
+    /// remain (or on drain-deadline / shutdown).
+    cancel: Arc<AtomicBool>,
+    sinks: Mutex<Vec<Sink>>,
+    /// Streamed frame counter, for the `stream-disconnect:<n>` fault.
+    frames: AtomicU64,
+}
+
+/// An in-flight (queued or running) job, keyed by netlist content hash so
+/// identical submissions coalesce onto it.
+struct InflightEntry {
+    /// The canonical dump the key was hashed from; compared on a hash hit
+    /// so a collision can never attach one tenant to another's design.
+    dump: String,
+    leader: u64,
+    subs: Arc<Subscribers>,
+    done: Arc<AtomicBool>,
+}
+
 struct QueuedJob {
-    id: u64,
+    leader: u64,
     design: ValidatedDesign,
-    /// The canonical netlist dump `key` was hashed from; the cache compares
-    /// it on a hash hit so a collision cannot serve another tenant's design.
     dump: String,
     key: u64,
-    stream: TcpStream,
-    cancel: Arc<AtomicBool>,
+    budget: SolveBudget,
+    subs: Arc<Subscribers>,
     done: Arc<AtomicBool>,
 }
 
@@ -155,19 +246,28 @@ struct Totals {
     completed: u64,
     cancelled: u64,
     failed: u64,
+    budget_exhausted: u64,
+    coalesced: u64,
     solver: SolverStats,
     session: SessionStats,
 }
 
 struct ServerState {
     options: ServeOptions,
+    addr: SocketAddr,
     pool: SharedSolvePool,
     cache: Mutex<SnapshotCache>,
-    queue: Mutex<VecDeque<QueuedJob>>,
+    queue: Mutex<FairQueue<QueuedJob>>,
     queue_cv: Condvar,
     jobs: Mutex<JobTable>,
+    /// Lock-order note: `inflight` is always taken *before* `jobs`,
+    /// `queue` or a job's sink list, never after.
+    inflight: Mutex<HashMap<u64, InflightEntry>>,
     totals: Mutex<Totals>,
+    draining: AtomicBool,
     shutdown: AtomicBool,
+    /// One-shot faults (`runner-panic`, `stream-disconnect`) fire once.
+    fault_armed: AtomicBool,
 }
 
 /// A running daemon: an accept thread, the runner threads and the shared
@@ -178,6 +278,22 @@ pub struct Server {
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
     runners: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable handle that starts a graceful drain from outside the server
+/// — the CLI's `SIGTERM` monitor holds one.
+#[derive(Clone)]
+pub struct DrainHandle {
+    state: Arc<ServerState>,
+}
+
+impl DrainHandle {
+    /// Starts the drain (idempotent): admission stops, in-flight jobs get
+    /// the drain deadline to finish, stragglers are cancelled, and the
+    /// daemon then exits its accept loop so [`Server::join`] returns.
+    pub fn drain(&self) {
+        begin_drain(&self.state);
+    }
 }
 
 impl Server {
@@ -194,13 +310,17 @@ impl Server {
         let cache_bytes = options.cache_bytes;
         let state = Arc::new(ServerState {
             options,
+            addr,
             pool,
             cache: Mutex::new(SnapshotCache::new(cache_bytes)),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairQueue::new(FAIR_QUANTUM)),
             queue_cv: Condvar::new(),
             jobs: Mutex::new(JobTable::default()),
+            inflight: Mutex::new(HashMap::new()),
             totals: Mutex::new(Totals::default()),
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            fault_armed: AtomicBool::new(true),
         });
         let runners = (0..runner_count)
             .map(|_| {
@@ -217,7 +337,7 @@ impl Server {
                 let Ok(stream) = stream else { continue };
                 let state = Arc::clone(&accept_state);
                 // Detached: a connection thread either answers and exits or
-                // lingers as a disconnect watcher until its job finishes.
+                // lingers as a subscriber watcher until its job finishes.
                 std::thread::spawn(move || handle_connection(&state, stream));
             }
         });
@@ -235,14 +355,23 @@ impl Server {
         self.addr
     }
 
+    /// A handle that can start a graceful drain from another thread (e.g.
+    /// a signal monitor).
+    #[must_use]
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
     /// Stops the daemon: cancels active jobs, wakes and joins every thread,
     /// and shuts the shared pool down.
     pub fn stop(mut self) {
         self.halt();
     }
 
-    /// Blocks until the accept loop exits (in practice: forever, until the
-    /// process is killed or another thread stops the listener).
+    /// Blocks until the accept loop exits — on a drain, or when the process
+    /// is killed or another thread stops the listener.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -258,6 +387,14 @@ impl Server {
                 if record.state.is_active() {
                     record.cancel.store(true, Ordering::SeqCst);
                 }
+            }
+        }
+        {
+            // Cancel the runs directly too: the watchers that would relay a
+            // detach flag may already be gone.
+            let inflight = self.state.inflight.lock().expect("no poisoned locks");
+            for entry in inflight.values() {
+                entry.subs.cancel.store(true, Ordering::SeqCst);
             }
         }
         // Wake the accept loop with a throwaway connection.
@@ -279,7 +416,63 @@ impl Drop for Server {
     }
 }
 
+/// Starts the drain supervisor (idempotent): waits out active jobs until
+/// the drain deadline, cancels stragglers, then stops the daemon.
+fn begin_drain(state: &Arc<ServerState>) {
+    if state.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + state.options.drain_deadline;
+        let mut cancelled = false;
+        loop {
+            let active = count_active(&state);
+            if active == 0 {
+                break;
+            }
+            if !cancelled && Instant::now() >= deadline {
+                cancelled = true;
+                let jobs = state.jobs.lock().expect("no poisoned locks");
+                for record in &jobs.records {
+                    if record.state.is_active() {
+                        record.cancel.store(true, Ordering::SeqCst);
+                    }
+                }
+                drop(jobs);
+                let inflight = state.inflight.lock().expect("no poisoned locks");
+                for entry in inflight.values() {
+                    entry.subs.cancel.store(true, Ordering::SeqCst);
+                }
+            }
+            if cancelled && Instant::now() >= deadline + DRAIN_HARD_GRACE {
+                break;
+            }
+            std::thread::sleep(DRAIN_POLL_INTERVAL);
+        }
+        state.shutdown.store(true, Ordering::SeqCst);
+        state.queue_cv.notify_all();
+        // Wake the accept loop so `Server::join` returns.
+        let _ = TcpStream::connect(state.addr);
+    });
+}
+
+fn count_active(state: &Arc<ServerState>) -> usize {
+    state
+        .jobs
+        .lock()
+        .expect("no poisoned locks")
+        .records
+        .iter()
+        .filter(|r| r.state.is_active())
+        .count()
+}
+
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    // Slow-loris guard: a client may not dribble its request headers out
+    // forever.  The timeout applies per read while parsing; it is lifted
+    // again before any long-lived streaming below.
+    let _ = stream.set_read_timeout(Some(state.options.header_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -300,10 +493,38 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
             let _ = http::write_error(&mut stream, 400, "Bad Request", "bad_request", &message);
             return;
         }
+        Err(RequestError::Io(e))
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            let _ = http::write_error(
+                &mut stream,
+                408,
+                "Request Timeout",
+                "timeout",
+                &format!(
+                    "request not received within the {}ms header timeout",
+                    state.options.header_timeout.as_millis()
+                ),
+            );
+            return;
+        }
         Err(RequestError::Io(_)) => return,
     };
+    let _ = stream.set_read_timeout(None);
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/jobs") => handle_submit(state, stream, &request),
+        ("POST", "/admin/drain") => {
+            let active = count_active(state);
+            begin_drain(state);
+            let body = Json::obj([
+                ("draining", Json::Bool(true)),
+                ("active", Json::UInt(active as u64)),
+            ]);
+            let _ = http::write_json(&mut stream, 200, "OK", &body);
+        }
         ("GET", "/stats") => {
             let body = stats_json(state);
             let _ = http::write_json(&mut stream, 200, "OK", &body);
@@ -333,24 +554,124 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
 }
 
 fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Request) {
-    let design = match parse_submission(&request.body) {
-        Ok(design) => design,
+    if state.draining.load(Ordering::SeqCst) {
+        let _ = http::write_error(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            "draining",
+            "the daemon is draining and admits no new jobs",
+        );
+        return;
+    }
+    let (design, request_budget) = match parse_submission(&request.body) {
+        Ok(parsed) => parsed,
         Err(message) => {
             let _ = http::write_error(&mut stream, 400, "Bad Request", "bad_request", &message);
             return;
         }
     };
-    // One dump walk yields both the cache key and the canonical text the
-    // cache verifies against on a hash hit.
+    // A request may only tighten the operator's cap, never exceed it.
+    let budget = request_budget.min(state.options.budget);
+    // One dump walk yields both the coalescing/cache key and the canonical
+    // text verified against on a hash hit.
     let dump = netlist::dump(&design);
     let key = netlist::hash_of_dump(&dump);
+    let tenant = request.tenant.clone().unwrap_or_else(|| {
+        stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".to_owned(), |peer| peer.ip().to_string())
+    });
+    // Bound every frame write so a connected-but-not-reading client cannot
+    // wedge anything once the TCP send buffer fills (see WRITE_TIMEOUT).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
 
-    // Admission control: allocate an id only when the bounded queue has room.
-    let (id, cancel, queue_depth) = {
+    // Coalesce-or-lead under the inflight lock, so two identical
+    // submissions racing cannot both become leaders for one key.  The lock
+    // is held across the accepted-frame write, which is bounded by
+    // WRITE_TIMEOUT.
+    let mut inflight = state.inflight.lock().expect("no poisoned locks");
+    let attachable = inflight
+        .get(&key)
+        // A run all of whose subscribers already detached is winding down;
+        // don't attach to it — lead a fresh run instead (the stale entry is
+        // replaced below and retired by its runner leader-checked).
+        .filter(|entry| entry.dump == dump && !entry.subs.cancel.load(Ordering::SeqCst))
+        .map(|entry| {
+            (
+                entry.leader,
+                Arc::clone(&entry.subs),
+                Arc::clone(&entry.done),
+            )
+        });
+
+    if let Some((leader, subs, done)) = attachable {
+        let (id, detach) = {
+            let mut jobs = state.jobs.lock().expect("no poisoned locks");
+            jobs.next_id += 1;
+            let id = jobs.next_id;
+            let detach = Arc::new(AtomicBool::new(false));
+            // Mirror the leader's live state so /stats shows this record
+            // running when the underlying flow already started.
+            let running = jobs
+                .records
+                .iter()
+                .any(|r| r.id == leader && r.state == JobState::Running);
+            jobs.records.push(JobRecord {
+                id,
+                design: design.design().name().to_string(),
+                state: if running {
+                    JobState::Running
+                } else {
+                    JobState::Queued
+                },
+                cancel: Arc::clone(&detach),
+                wall_secs: None,
+                cache: None,
+            });
+            (id, detach)
+        };
+        let accepted = Json::obj([
+            ("event", Json::str("accepted")),
+            ("job", Json::UInt(id)),
+            ("design", Json::str(design.design().name())),
+            ("coalesced_into", Json::UInt(leader)),
+        ]);
+        if http::write_stream_header(&mut stream).is_err()
+            || writeln!(stream, "{accepted}").is_err()
+            || stream.flush().is_err()
+        {
+            drop(inflight);
+            settle_subscriber(state, id, JobState::Cancelled, None, None);
+            return;
+        }
+        let sink_stream = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                drop(inflight);
+                settle_subscriber(state, id, JobState::Cancelled, None, None);
+                return;
+            }
+        };
+        subs.sinks.lock().expect("no poisoned locks").push(Sink {
+            job: id,
+            stream: sink_stream,
+            detach: Arc::clone(&detach),
+            coalesced: true,
+        });
+        state.totals.lock().expect("no poisoned locks").coalesced += 1;
+        drop(inflight);
+        watch_subscriber(state, &stream, id, &subs, &detach, &done);
+        return;
+    }
+
+    // Leader path: admission control, then queue a fresh run.
+    let (id, detach, queue_depth) = {
         let mut jobs = state.jobs.lock().expect("no poisoned locks");
         let active = jobs.records.iter().filter(|r| r.state.is_active()).count();
         if active >= state.options.max_jobs.get() {
             drop(jobs);
+            drop(inflight);
             let _ = http::write_error(
                 &mut stream,
                 503,
@@ -365,63 +686,92 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
         }
         jobs.next_id += 1;
         let id = jobs.next_id;
-        let cancel = Arc::new(AtomicBool::new(false));
+        let detach = Arc::new(AtomicBool::new(false));
         jobs.records.push(JobRecord {
             id,
             design: design.design().name().to_string(),
             state: JobState::Queued,
-            cancel: Arc::clone(&cancel),
+            cancel: Arc::clone(&detach),
             wall_secs: None,
             cache: None,
         });
         let depth = state.queue.lock().expect("no poisoned locks").len();
-        (id, cancel, depth)
+        (id, detach, depth)
     };
 
-    if http::write_stream_header(&mut stream).is_err() {
-        cancel_before_run(state, id);
-        return;
-    }
     let accepted = Json::obj([
         ("event", Json::str("accepted")),
         ("job", Json::UInt(id)),
         ("design", Json::str(design.design().name())),
         ("queue_depth", Json::UInt(queue_depth as u64)),
     ]);
-    if writeln!(stream, "{accepted}").is_err() || stream.flush().is_err() {
-        cancel_before_run(state, id);
+    if http::write_stream_header(&mut stream).is_err()
+        || writeln!(stream, "{accepted}").is_err()
+        || stream.flush().is_err()
+    {
+        drop(inflight);
+        settle_subscriber(state, id, JobState::Cancelled, None, None);
         return;
     }
-
-    let done = Arc::new(AtomicBool::new(false));
     let runner_stream = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => {
-            cancel_before_run(state, id);
+            drop(inflight);
+            settle_subscriber(state, id, JobState::Cancelled, None, None);
             return;
         }
     };
-    {
-        let mut queue = state.queue.lock().expect("no poisoned locks");
-        queue.push_back(QueuedJob {
-            id,
+    let done = Arc::new(AtomicBool::new(false));
+    let subs = Arc::new(Subscribers {
+        cancel: Arc::new(AtomicBool::new(false)),
+        sinks: Mutex::new(vec![Sink {
+            job: id,
+            stream: runner_stream,
+            detach: Arc::clone(&detach),
+            coalesced: false,
+        }]),
+        frames: AtomicU64::new(0),
+    });
+    inflight.insert(
+        key,
+        InflightEntry {
+            dump: dump.clone(),
+            leader: id,
+            subs: Arc::clone(&subs),
+            done: Arc::clone(&done),
+        },
+    );
+    let cost = dump.len() as u64;
+    state.queue.lock().expect("no poisoned locks").push(
+        &tenant,
+        cost,
+        QueuedJob {
+            leader: id,
             design,
             dump,
             key,
-            stream: runner_stream,
-            cancel: Arc::clone(&cancel),
+            budget,
+            subs: Arc::clone(&subs),
             done: Arc::clone(&done),
-        });
-    }
+        },
+    );
+    drop(inflight);
     state.queue_cv.notify_all();
 
-    watch_for_disconnect(&stream, &cancel, &done);
+    watch_subscriber(state, &stream, id, &subs, &detach, &done);
 }
 
 /// Lingers on the submitting connection until the job finishes; a read of 0
-/// bytes (client hangup) or a socket error flips the cancel flag, which the
-/// flow coordinator observes between solve tasks.
-fn watch_for_disconnect(stream: &TcpStream, cancel: &AtomicBool, done: &AtomicBool) {
+/// bytes (client hangup), a socket error, or the subscriber's detach flag
+/// (set by `DELETE` or shutdown) detaches this subscriber from the fan-out.
+fn watch_subscriber(
+    state: &Arc<ServerState>,
+    stream: &TcpStream,
+    id: u64,
+    subs: &Subscribers,
+    detach: &AtomicBool,
+    done: &AtomicBool,
+) {
     if stream.set_read_timeout(Some(WATCH_INTERVAL)).is_err() {
         return;
     }
@@ -431,9 +781,14 @@ fn watch_for_disconnect(stream: &TcpStream, cancel: &AtomicBool, done: &AtomicBo
         if done.load(Ordering::SeqCst) {
             return;
         }
+        if detach.load(Ordering::SeqCst) {
+            detach_subscriber(state, id, subs);
+            return;
+        }
         match io::Read::read(&mut stream, &mut scratch) {
             Ok(0) => {
-                cancel.store(true, Ordering::SeqCst);
+                detach.store(true, Ordering::SeqCst);
+                detach_subscriber(state, id, subs);
                 return;
             }
             // Bytes after the request are not part of the protocol; drain
@@ -445,20 +800,60 @@ fn watch_for_disconnect(stream: &TcpStream, cancel: &AtomicBool, done: &AtomicBo
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) => {}
             Err(_) => {
-                cancel.store(true, Ordering::SeqCst);
+                detach.store(true, Ordering::SeqCst);
+                detach_subscriber(state, id, subs);
                 return;
             }
         }
     }
 }
 
-fn parse_submission(body: &str) -> Result<ValidatedDesign, String> {
+/// Removes subscriber `id` from the fan-out and settles its record; the
+/// underlying run is cancelled once no subscribers remain.
+fn detach_subscriber(state: &Arc<ServerState>, id: u64, subs: &Subscribers) {
+    let mut sinks = subs.sinks.lock().expect("no poisoned locks");
+    sinks.retain(|sink| sink.job != id);
+    let abandoned = sinks.is_empty();
+    drop(sinks);
+    if abandoned {
+        subs.cancel.store(true, Ordering::SeqCst);
+    }
+    settle_subscriber(state, id, JobState::Cancelled, None, None);
+}
+
+fn parse_submission(body: &str) -> Result<(ValidatedDesign, SolveBudget), String> {
     let document = Json::parse(body).map_err(|e| format!("request body is not valid JSON: {e}"))?;
     let netlist = document
         .get("netlist")
         .and_then(Json::as_str)
         .ok_or_else(|| "request body must be an object with a string `netlist` field".to_owned())?;
-    netlist::parse(netlist).map_err(|e| format!("netlist rejected: {e}"))
+    let design = netlist::parse(netlist).map_err(|e| format!("netlist rejected: {e}"))?;
+    let budget = match document.get("budget") {
+        None => SolveBudget::default(),
+        Some(spec) => parse_budget(spec)?,
+    };
+    Ok((design, budget))
+}
+
+fn parse_budget(spec: &Json) -> Result<SolveBudget, String> {
+    if !matches!(spec, Json::Obj(_)) {
+        return Err("`budget` must be an object".to_owned());
+    }
+    let mut budget = SolveBudget::default();
+    if let Some(ms) = spec.get("deadline_ms") {
+        let ms = ms
+            .as_u64()
+            .ok_or("`budget.deadline_ms` must be a non-negative integer")?;
+        budget.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(ceiling) = spec.get("conflict_ceiling") {
+        budget.conflict_ceiling = Some(
+            ceiling
+                .as_u64()
+                .ok_or("`budget.conflict_ceiling` must be a non-negative integer")?,
+        );
+    }
+    Ok(budget)
 }
 
 fn runner_loop(state: &Arc<ServerState>) {
@@ -469,7 +864,7 @@ fn runner_loop(state: &Arc<ServerState>) {
                 if state.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 queue = state.queue_cv.wait(queue).expect("no poisoned locks");
@@ -481,68 +876,185 @@ fn runner_loop(state: &Arc<ServerState>) {
 
 fn run_job(state: &Arc<ServerState>, job: QueuedJob) {
     let QueuedJob {
-        id,
+        leader,
         design,
         dump,
         key,
-        mut stream,
-        cancel,
+        budget,
+        subs,
         done,
     } = job;
-    set_job_state(state, id, JobState::Running);
-    // Bound every frame write so a connected-but-not-reading client cannot
-    // wedge this runner once the TCP send buffer fills (see WRITE_TIMEOUT).
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    set_running(state, &subs);
     let started = Instant::now();
+    let fault = state.options.fault;
 
-    let outcome = if cancel.load(Ordering::SeqCst) {
-        let _ = writeln!(
-            stream,
-            "{}",
-            error_frame(id, "cancelled", "job cancelled before it started")
-        );
-        (JobState::Cancelled, None)
-    } else {
-        serve_detection(state, id, &design, &dump, key, &mut stream, &cancel)
-    };
+    // Panic isolation: whatever happens inside the flow, this job settles
+    // with a structured terminal frame and the runner survives to serve the
+    // next one.  (Injected fault points hold no locks when they fire.)
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if matches!(fault, Some(FaultSpec::RunnerPanic))
+            && state.fault_armed.swap(false, Ordering::SeqCst)
+        {
+            panic!("injected runner panic (HTD_SERVE_FAULT=runner-panic)");
+        }
+        if let Some(FaultSpec::SolveStall(stall)) = fault {
+            let stall_until = Instant::now() + stall;
+            while Instant::now() < stall_until && !subs.cancel.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        if subs.cancel.load(Ordering::SeqCst) {
+            (
+                JobState::Cancelled,
+                None,
+                vec![error_frame(
+                    leader,
+                    "cancelled",
+                    "job cancelled before it started",
+                )],
+            )
+        } else {
+            serve_detection(state, leader, &design, &dump, key, budget, &subs)
+        }
+    }));
+    let (final_state, cache_tag, terminal) = outcome.unwrap_or_else(|payload| {
+        (
+            JobState::Failed,
+            None,
+            vec![error_frame(
+                leader,
+                "internal",
+                &format!("job runner panicked: {}", panic_message(&payload)),
+            )],
+        )
+    });
     let wall = started.elapsed().as_secs_f64();
 
-    let (final_state, cache_tag) = outcome;
-    finish_job(state, id, final_state, Some(wall), cache_tag);
+    // Retire the inflight entry *before* the terminal frames go out: a new
+    // identical submission must lead a fresh run, not attach to a finishing
+    // one.  Leader-checked, because a stale abandoned entry may have been
+    // replaced by a newer leader for the same key.
     {
-        let mut totals = state.totals.lock().expect("no poisoned locks");
-        match final_state {
-            JobState::Completed => totals.completed += 1,
-            JobState::Cancelled => totals.cancelled += 1,
-            _ => totals.failed += 1,
+        let mut inflight = state.inflight.lock().expect("no poisoned locks");
+        if inflight.get(&key).is_some_and(|e| e.leader == leader) {
+            inflight.remove(&key);
         }
     }
+
+    let sinks: Vec<Sink> = std::mem::take(&mut *subs.sinks.lock().expect("no poisoned locks"));
+    for mut sink in sinks {
+        if !sink.detach.load(Ordering::SeqCst) {
+            for frame in &terminal {
+                if writeln!(sink.stream, "{frame}").is_err() {
+                    break;
+                }
+            }
+        }
+        let tag = if sink.coalesced {
+            Some("coalesced")
+        } else {
+            cache_tag
+        };
+        settle_subscriber(state, sink.job, final_state, Some(wall), tag);
+        let _ = sink.stream.flush();
+        // Half-close so the client sees EOF immediately; the watcher's
+        // clone shares the socket and exits on the done flag.
+        let _ = sink.stream.shutdown(Shutdown::Write);
+    }
     done.store(true, Ordering::SeqCst);
-    let _ = stream.flush();
-    // Half-close so the client sees EOF immediately; the watcher's clone
-    // shares the socket and exits on the done flag.
-    let _ = stream.shutdown(Shutdown::Write);
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_owned())
+}
+
+/// Marks every current subscriber's record as running.
+fn set_running(state: &Arc<ServerState>, subs: &Subscribers) {
+    let ids: Vec<u64> = subs
+        .sinks
+        .lock()
+        .expect("no poisoned locks")
+        .iter()
+        .map(|sink| sink.job)
+        .collect();
+    let mut jobs = state.jobs.lock().expect("no poisoned locks");
+    for record in &mut jobs.records {
+        if ids.contains(&record.id) && record.state == JobState::Queued {
+            record.state = JobState::Running;
+        }
+    }
+}
+
+/// Writes one frame to every live subscriber, detaching the dead ones; the
+/// run is cancelled once no subscribers remain.
+fn fan_out(state: &Arc<ServerState>, subs: &Subscribers, frame: &Json) {
+    let fault = state.options.fault;
+    if let Some(FaultSpec::SlowWrites(delay)) = fault {
+        std::thread::sleep(delay);
+    }
+    let line = format!("{frame}\n");
+    let mut sinks = subs.sinks.lock().expect("no poisoned locks");
+    let frame_index = subs.frames.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(FaultSpec::StreamDisconnect(after)) = fault {
+        if frame_index == after && state.fault_armed.swap(false, Ordering::SeqCst) {
+            if let Some(first) = sinks.first() {
+                let _ = first.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+    let mut dead = Vec::new();
+    sinks.retain_mut(|sink| {
+        if sink.detach.load(Ordering::SeqCst) || sink.stream.write_all(line.as_bytes()).is_err() {
+            // The client hung up, was cancelled, or stopped reading
+            // (WRITE_TIMEOUT elapsed on a full send buffer): detach it so
+            // later frames don't block on it again.
+            sink.detach.store(true, Ordering::SeqCst);
+            dead.push(sink.job);
+            false
+        } else {
+            true
+        }
+    });
+    let abandoned = sinks.is_empty();
+    drop(sinks);
+    for id in dead {
+        settle_subscriber(state, id, JobState::Cancelled, None, None);
+    }
+    if abandoned {
+        subs.cancel.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Resolves the cache, runs the detection flow on a fork of the frozen
-/// master, and streams the event/stats/report frames.  Returns the job's
-/// final state and its cache disposition.
+/// master under the job's budget, and fans the event frames out to every
+/// subscriber.  Returns the job's final state, its cache disposition, and
+/// the terminal frames for [`run_job`] to deliver after the inflight entry
+/// is retired.
 fn serve_detection(
     state: &Arc<ServerState>,
     id: u64,
     design: &ValidatedDesign,
     dump: &str,
     key: u64,
-    stream: &mut TcpStream,
-    cancel: &Arc<AtomicBool>,
-) -> (JobState, Option<&'static str>) {
-    let config = state.options.config.clone();
+    budget: SolveBudget,
+    subs: &Subscribers,
+) -> (JobState, Option<&'static str>, Vec<Json>) {
+    let mut config = state.options.config.clone();
+    config.budget = budget;
     let (design, run_miter, cache_tag) = if state.options.cache_bytes == 0 {
         // Caching disabled: build and fork anyway, so all three cache
         // dispositions execute the identical fork-of-pristine-master path.
         // The lookup still goes through the (always-empty) cache so the
         // miss counter reflects every lookup, as CacheStats documents.
-        let _ = state.cache.lock().expect("no poisoned locks").fetch(key, dump);
+        let _ = state
+            .cache
+            .lock()
+            .expect("no poisoned locks")
+            .fetch(key, dump);
         let master = MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
         let fork = master.try_fork().expect("the builtin backend forks");
         (design.clone(), fork, "off")
@@ -582,33 +1094,19 @@ fn serve_detection(
     {
         Ok(session) => session,
         Err(e) => {
-            let _ = writeln!(stream, "{}", error_frame(id, "rejected", &e.to_string()));
-            return (JobState::Failed, Some(cache_tag));
+            return (
+                JobState::Failed,
+                Some(cache_tag),
+                vec![error_frame(id, "rejected", &e.to_string())],
+            );
         }
     };
     session.attach_pool(state.pool.clone());
-    session.set_cancel_flag(Arc::clone(cancel));
+    session.set_cancel_flag(Arc::clone(&subs.cancel));
 
-    let result = {
-        let mut sink = stream.try_clone().ok();
-        if sink.is_none() {
-            // No stream to report on: stop the flow rather than solve into
-            // the void.
-            cancel.store(true, Ordering::SeqCst);
-        }
-        session.run_with_observer(&mut |event| {
-            let Some(out) = sink.as_mut() else { return };
-            let frame = event_json(id, event);
-            if writeln!(out, "{frame}").is_err() {
-                // The client hung up or stopped reading (WRITE_TIMEOUT
-                // elapsed on a full send buffer); turn the dead stream into
-                // a cancellation so the flow stops burning pool time, and
-                // drop the sink so later events don't block on it again.
-                cancel.store(true, Ordering::SeqCst);
-                sink = None;
-            }
-        })
-    };
+    let result = session.run_with_observer(&mut |event| {
+        fan_out(state, subs, &event_json(id, event));
+    });
 
     match result {
         Ok(report) => {
@@ -628,22 +1126,35 @@ fn serve_detection(
                 ("solver", solver_json(&report.solver_totals)),
                 ("session", session_json(&session_stats)),
             ]);
-            let _ = writeln!(stream, "{stats}");
-            let _ = writeln!(stream, "{}", report_frame(id, &report));
-            (JobState::Completed, Some(cache_tag))
+            let report = report_frame(id, &report);
+            (JobState::Completed, Some(cache_tag), vec![stats, report])
         }
-        Err(DetectError::Cancelled) => {
-            let _ = writeln!(
-                stream,
-                "{}",
-                error_frame(id, "cancelled", "detection run cancelled")
-            );
-            (JobState::Cancelled, Some(cache_tag))
+        Err(DetectError::Cancelled) => (
+            JobState::Cancelled,
+            Some(cache_tag),
+            vec![error_frame(id, "cancelled", "detection run cancelled")],
+        ),
+        Err(DetectError::BudgetExhausted { reason, conflicts }) => {
+            let frame = Json::obj([
+                ("event", Json::str("budget_exhausted")),
+                ("job", Json::UInt(id)),
+                ("reason", Json::str(reason.clone())),
+                ("conflicts", Json::UInt(conflicts)),
+                (
+                    "message",
+                    Json::str(format!(
+                        "solve budget exhausted ({reason}) after {conflicts} conflicts; \
+                         events streamed so far are valid partial progress"
+                    )),
+                ),
+            ]);
+            (JobState::Exhausted, Some(cache_tag), vec![frame])
         }
-        Err(e) => {
-            let _ = writeln!(stream, "{}", error_frame(id, "flow_error", &e.to_string()));
-            (JobState::Failed, Some(cache_tag))
-        }
+        Err(e) => (
+            JobState::Failed,
+            Some(cache_tag),
+            vec![error_frame(id, "flow_error", &e.to_string())],
+        ),
     }
 }
 
@@ -815,6 +1326,51 @@ fn accumulate_solver(into: &mut SolverStats, add: &SolverStats) {
     into.arena_words_reclaimed += add.arena_words_reclaimed;
 }
 
+/// Settles subscriber `id`'s record exactly once: a record that already
+/// reached a terminal state (settled by a watcher on detach, or by the
+/// runner at job end — whichever got there first) is left untouched, so the
+/// totals are bumped once per record.
+fn settle_subscriber(
+    state: &Arc<ServerState>,
+    id: u64,
+    final_state: JobState,
+    wall_secs: Option<f64>,
+    cache: Option<&'static str>,
+) {
+    {
+        let mut jobs = state.jobs.lock().expect("no poisoned locks");
+        let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) else {
+            return;
+        };
+        if !record.state.is_active() {
+            return;
+        }
+        record.state = final_state;
+        record.wall_secs = wall_secs;
+        record.cache = cache;
+        // Bound the finished ring: drop the oldest finished records first.
+        let finished = jobs.records.iter().filter(|r| !r.state.is_active()).count();
+        if finished > FINISHED_RING {
+            let mut to_drop = finished - FINISHED_RING;
+            jobs.records.retain(|r| {
+                if to_drop > 0 && !r.state.is_active() {
+                    to_drop -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+    let mut totals = state.totals.lock().expect("no poisoned locks");
+    match final_state {
+        JobState::Completed => totals.completed += 1,
+        JobState::Cancelled => totals.cancelled += 1,
+        JobState::Exhausted => totals.budget_exhausted += 1,
+        _ => totals.failed += 1,
+    }
+}
+
 fn accumulate_session(into: &mut SessionStats, add: &SessionStats) {
     into.bit_blasts += add.bit_blasts;
     into.properties_checked += add.properties_checked;
@@ -826,51 +1382,6 @@ fn accumulate_session(into: &mut SessionStats, add: &SessionStats) {
     into.tasks_skipped += add.tasks_skipped;
     into.snapshot_forks += add.snapshot_forks;
     into.snapshot_bytes_cloned += add.snapshot_bytes_cloned;
-}
-
-fn set_job_state(state: &Arc<ServerState>, id: u64, new: JobState) {
-    let mut jobs = state.jobs.lock().expect("no poisoned locks");
-    if let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) {
-        record.state = new;
-    }
-}
-
-/// Marks a job that died before reaching a runner (failed header/accepted
-/// write or stream clone) as cancelled.  `run_job` owns the `Totals`
-/// counters for jobs that did run; this path must bump them itself or
-/// `GET /stats` totals understate cancellations relative to the per-job
-/// records.
-fn cancel_before_run(state: &Arc<ServerState>, id: u64) {
-    finish_job(state, id, JobState::Cancelled, None, None);
-    state.totals.lock().expect("no poisoned locks").cancelled += 1;
-}
-
-fn finish_job(
-    state: &Arc<ServerState>,
-    id: u64,
-    final_state: JobState,
-    wall_secs: Option<f64>,
-    cache: Option<&'static str>,
-) {
-    let mut jobs = state.jobs.lock().expect("no poisoned locks");
-    if let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) {
-        record.state = final_state;
-        record.wall_secs = wall_secs;
-        record.cache = cache;
-    }
-    // Bound the finished ring: drop the oldest finished records first.
-    let finished = jobs.records.iter().filter(|r| !r.state.is_active()).count();
-    if finished > FINISHED_RING {
-        let mut to_drop = finished - FINISHED_RING;
-        jobs.records.retain(|r| {
-            if to_drop > 0 && !r.state.is_active() {
-                to_drop -= 1;
-                false
-            } else {
-                true
-            }
-        });
-    }
 }
 
 fn stats_json(state: &Arc<ServerState>) -> Json {
@@ -902,9 +1413,15 @@ fn stats_json(state: &Arc<ServerState>) -> Json {
         ("workers", Json::UInt(state.options.workers.get() as u64)),
         ("queue_depth", Json::UInt(queue_depth as u64)),
         ("running", Json::UInt(running as u64)),
+        (
+            "draining",
+            Json::Bool(state.draining.load(Ordering::SeqCst)),
+        ),
         ("completed", Json::UInt(totals.completed)),
         ("cancelled", Json::UInt(totals.cancelled)),
         ("failed", Json::UInt(totals.failed)),
+        ("budget_exhausted", Json::UInt(totals.budget_exhausted)),
+        ("coalesced", Json::UInt(totals.coalesced)),
         (
             "cache",
             Json::obj([

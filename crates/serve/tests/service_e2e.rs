@@ -3,17 +3,17 @@
 //! schema.
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::TcpStream;
 use std::num::NonZeroUsize;
 use std::time::Duration;
 
 use htd_core::{DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder};
 use htd_rtl::{netlist, Design};
-use htd_serve::client;
+use htd_serve::client::{self, SubmitOptions};
 use htd_serve::json::Json;
 use htd_serve::server::{ServeOptions, Server};
-use htd_serve::ClientError;
+use htd_serve::{ClientError, FaultSpec};
 
 /// An 8-bit pass-through accelerator; `infected` adds a sequential Trojan
 /// (a magic-value-armed trigger FSM flipping the result's low bit).
@@ -58,15 +58,19 @@ fn solo_normalized_report(netlist_text: &str) -> String {
     text
 }
 
-fn test_server() -> Server {
-    Server::start(ServeOptions {
+fn test_options() -> ServeOptions {
+    ServeOptions {
         addr: "127.0.0.1:0".to_owned(),
         max_jobs: NonZeroUsize::new(4).unwrap(),
         cache_bytes: 64 * 1024 * 1024,
         workers: NonZeroUsize::new(2).unwrap(),
         config: DetectorConfig::default(),
-    })
-    .expect("loopback server starts")
+        ..ServeOptions::default()
+    }
+}
+
+fn test_server() -> Server {
+    Server::start(test_options()).expect("loopback server starts")
 }
 
 #[test]
@@ -241,4 +245,151 @@ fn rejections_use_the_structured_error_schema() {
     );
 
     server.stop();
+}
+
+#[test]
+fn an_exhausted_budget_streams_a_structured_frame_and_frees_the_runner() {
+    let server = test_server();
+    let addr = server.addr().to_string();
+    let infected = accelerator(true);
+
+    // A zero deadline trips at the first solver query: the job settles with
+    // a terminal `budget_exhausted` frame instead of a report.
+    let options = SubmitOptions {
+        deadline_ms: Some(0),
+        ..SubmitOptions::default()
+    };
+    let mut frames = Vec::new();
+    let err = client::submit_with_options(&addr, &infected, &options, &mut |line| {
+        frames.push(line.to_owned());
+    });
+    match err {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, "budget_exhausted");
+            assert!(message.contains("deadline"), "{message}");
+        }
+        other => panic!("expected budget_exhausted, got {other:?}"),
+    }
+    assert!(
+        frames
+            .iter()
+            .any(|f| f.contains("\"event\":\"budget_exhausted\"") && f.contains("\"conflicts\"")),
+        "frames: {frames:?}"
+    );
+
+    // The runner that hit the budget serves the next job normally.
+    let clean = accelerator(false);
+    let ok = client::submit(&addr, &clean, &mut |_| {}).expect("pool survives an exhausted job");
+    assert_eq!(ok.report_text, solo_normalized_report(&clean));
+
+    let served = client::stats(&addr).expect("stats endpoint answers");
+    assert_eq!(
+        served.get("budget_exhausted").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(served.get("completed").and_then(Json::as_u64), Some(1));
+
+    server.stop();
+}
+
+#[test]
+fn identical_concurrent_submissions_coalesce_into_one_run() {
+    let infected = accelerator(true);
+    let want = solo_normalized_report(&infected);
+
+    // Stall the runner before the flow starts so the second submission
+    // reliably arrives while the first is still in flight.
+    let server = Server::start(ServeOptions {
+        fault: Some(FaultSpec::SolveStall(Duration::from_millis(1500))),
+        ..test_options()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr().to_string();
+
+    let (leader, follower) = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| client::submit(&addr, &infected, &mut |_| {}).unwrap());
+        // The leader is admitted within the stall window; 300ms is two
+        // orders of magnitude below the 1500ms stall.
+        std::thread::sleep(Duration::from_millis(300));
+        let follower = scope.spawn(|| client::submit(&addr, &infected, &mut |_| {}).unwrap());
+        (leader.join().unwrap(), follower.join().unwrap())
+    });
+
+    // Both subscribers stream the *same* run: byte-identical reports and
+    // byte-identical stats frames (the leader's job id, one bit-blast).
+    assert_eq!(leader.report_text, want);
+    assert_eq!(follower.report_text, want);
+    let stats_of = |s: &client::Submission| s.stats.clone().expect("stats frame streamed");
+    assert_eq!(stats_of(&leader), stats_of(&follower));
+    assert_eq!(
+        stats_of(&leader)
+            .get("session")
+            .and_then(|s| s.get("bit_blasts"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "a coalesced pair must bit-blast exactly once"
+    );
+    assert_eq!(
+        stats_of(&leader).get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "one miss, no second lookup: the follower never reached the cache"
+    );
+
+    // Aggregates: two completions, one coalesced attach, a single run.
+    let served = client::stats(&addr).expect("stats endpoint answers");
+    assert_eq!(served.get("completed").and_then(Json::as_u64), Some(2));
+    assert_eq!(served.get("coalesced").and_then(Json::as_u64), Some(1));
+    let cache = served.get("cache").expect("cache counters present");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+
+    server.stop();
+}
+
+#[test]
+fn drain_stops_admission_and_lets_running_jobs_finish() {
+    let infected = accelerator(true);
+    let want = solo_normalized_report(&infected);
+
+    let server = Server::start(ServeOptions {
+        fault: Some(FaultSpec::SolveStall(Duration::from_millis(800))),
+        drain_deadline: Duration::from_secs(30),
+        ..test_options()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|scope| {
+        let running = scope.spawn(|| client::submit(&addr, &infected, &mut |_| {}).unwrap());
+        std::thread::sleep(Duration::from_millis(250));
+
+        // POST /admin/drain acknowledges with the live-job count.
+        {
+            let body = "{}";
+            let mut raw = TcpStream::connect(&addr).unwrap();
+            write!(
+                raw,
+                "POST /admin/drain HTTP/1.1\r\nHost: htd\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap();
+            let mut answer = String::new();
+            BufReader::new(raw).read_to_string(&mut answer).unwrap();
+            assert!(answer.contains("\"draining\":true"), "{answer}");
+        }
+
+        // Admission is closed with the structured `draining` rejection...
+        match client::submit(&addr, &accelerator(false), &mut |_| {}) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, "draining"),
+            other => panic!("expected draining rejection, got {other:?}"),
+        }
+        let served = client::stats(&addr).expect("stats answers while draining");
+        assert_eq!(served.get("draining"), Some(&Json::Bool(true)));
+
+        // ...but the in-flight job still completes with its full report.
+        assert_eq!(running.join().unwrap().report_text, want);
+    });
+
+    // Drain shuts the daemon down once the last job settled: join returns.
+    server.join();
 }

@@ -297,3 +297,141 @@ fn serve_cache_bytes_env_override_is_strict() {
         "unset default"
     );
 }
+
+/// `HTD_SERVE_BUDGET_DEADLINE_MS` / `HTD_SERVE_BUDGET_CONFLICTS` set the
+/// server-wide per-job budget cap.  Both must be positive integers — a zero
+/// deadline would exhaust every job on arrival, so "no limit" is spelled by
+/// unsetting the variable, not by `0`.
+#[test]
+fn serve_budget_env_overrides_are_strict() {
+    let _guard = env_lock();
+    let budget = with_env(serve::BUDGET_DEADLINE_ENV_VAR, "250", || {
+        with_env(serve::BUDGET_CONFLICTS_ENV_VAR, " 1000 ", || {
+            serve::try_default_budget().expect("well-formed budget")
+        })
+    });
+    assert_eq!(budget.deadline, Some(std::time::Duration::from_millis(250)));
+    assert_eq!(budget.conflict_ceiling, Some(1000));
+    for bad in ["0", "-1", "soon", "", "1.5"] {
+        let error = with_env(
+            serve::BUDGET_DEADLINE_ENV_VAR,
+            bad,
+            serve::try_default_budget,
+        )
+        .expect_err("malformed deadline is an error");
+        assert!(
+            error.contains("HTD_SERVE_BUDGET_DEADLINE_MS"),
+            "HTD_SERVE_BUDGET_DEADLINE_MS={bad}: {error}"
+        );
+        let error = with_env(
+            serve::BUDGET_CONFLICTS_ENV_VAR,
+            bad,
+            serve::try_default_budget,
+        )
+        .expect_err("malformed conflict ceiling is an error");
+        assert!(
+            error.contains("HTD_SERVE_BUDGET_CONFLICTS"),
+            "HTD_SERVE_BUDGET_CONFLICTS={bad}: {error}"
+        );
+    }
+    let unset = without_env(serve::BUDGET_DEADLINE_ENV_VAR, || {
+        without_env(serve::BUDGET_CONFLICTS_ENV_VAR, serve::try_default_budget)
+    })
+    .expect("unset budget is the default");
+    assert!(unset.is_unlimited(), "budgets are strictly opt-in");
+}
+
+/// `HTD_SERVE_DRAIN_DEADLINE_MS` / `HTD_SERVE_HEADER_TIMEOUT_MS` are
+/// positive millisecond counts with built-in defaults.
+#[test]
+fn serve_drain_and_header_timeout_env_overrides_are_strict() {
+    let _guard = env_lock();
+    assert_eq!(
+        with_env(
+            serve::DRAIN_DEADLINE_ENV_VAR,
+            "1500",
+            serve::try_default_drain_deadline
+        ),
+        Ok(std::time::Duration::from_millis(1500))
+    );
+    assert_eq!(
+        with_env(
+            serve::HEADER_TIMEOUT_ENV_VAR,
+            " 750 ",
+            serve::try_default_header_timeout
+        ),
+        Ok(std::time::Duration::from_millis(750))
+    );
+    for bad in ["0", "forever", ""] {
+        let error = with_env(
+            serve::DRAIN_DEADLINE_ENV_VAR,
+            bad,
+            serve::try_default_drain_deadline,
+        )
+        .expect_err("malformed drain deadline is an error");
+        assert!(
+            error.contains("HTD_SERVE_DRAIN_DEADLINE_MS"),
+            "HTD_SERVE_DRAIN_DEADLINE_MS={bad}: {error}"
+        );
+        let error = with_env(
+            serve::HEADER_TIMEOUT_ENV_VAR,
+            bad,
+            serve::try_default_header_timeout,
+        )
+        .expect_err("malformed header timeout is an error");
+        assert!(
+            error.contains("HTD_SERVE_HEADER_TIMEOUT_MS"),
+            "HTD_SERVE_HEADER_TIMEOUT_MS={bad}: {error}"
+        );
+    }
+    assert_eq!(
+        without_env(
+            serve::DRAIN_DEADLINE_ENV_VAR,
+            serve::try_default_drain_deadline
+        ),
+        Ok(serve::DEFAULT_DRAIN_DEADLINE)
+    );
+    assert_eq!(
+        without_env(
+            serve::HEADER_TIMEOUT_ENV_VAR,
+            serve::try_default_header_timeout
+        ),
+        Ok(serve::DEFAULT_HEADER_TIMEOUT)
+    );
+}
+
+/// `HTD_SERVE_FAULT` acceptance is compiled in only for test builds of the
+/// `htd-serve` crate itself and builds with its `fault-injection` feature.
+/// This test binary links the *regular* library build, so any set value —
+/// even a well-formed one — must be refused loudly, never silently ignored:
+/// an operator who sets a fault knob a build cannot honour is told so.
+#[test]
+fn serve_fault_env_is_refused_by_builds_without_the_hooks() {
+    let _guard = env_lock();
+    for value in ["runner-panic", "solve-stall:100", "coffee-spill"] {
+        let error = with_env(serve::FAULT_ENV_VAR, value, serve::fault::try_default_fault)
+            .expect_err("a non-fault build refuses every HTD_SERVE_FAULT value");
+        assert!(
+            error.contains("HTD_SERVE_FAULT") && error.contains("fault-injection"),
+            "HTD_SERVE_FAULT={value}: {error}"
+        );
+        let error = with_env(serve::FAULT_ENV_VAR, value, serve::ServeOptions::from_env)
+            .expect_err("from_env propagates the refusal");
+        assert!(error.contains("HTD_SERVE_FAULT"), "{error}");
+    }
+    assert_eq!(
+        without_env(serve::FAULT_ENV_VAR, serve::fault::try_default_fault),
+        Ok(None),
+        "unset means no fault, in every build"
+    );
+
+    // The *parser* is always compiled (tests construct faults directly), and
+    // it is strict in the usual way.
+    use golden_free_htd::serve::FaultSpec;
+    assert_eq!(
+        "solve-stall:250".parse(),
+        Ok(FaultSpec::SolveStall(std::time::Duration::from_millis(250)))
+    );
+    assert!("solve-stall:soon".parse::<FaultSpec>().is_err());
+    assert!("coffee-spill".parse::<FaultSpec>().is_err());
+}
