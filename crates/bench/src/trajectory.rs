@@ -66,6 +66,9 @@ pub struct TrajectoryRecord {
     /// proportional to the live clause-database size, never to the clause
     /// count.
     pub bytes_cloned: u64,
+    /// Slice of `bytes_cloned` spent copying the flat watcher arena (zero
+    /// for backends without an observable watcher store).
+    pub watcher_bytes_cloned: u64,
     /// Arena words reclaimed by clause-GC compaction sweeps.
     pub arena_words_reclaimed: u64,
     /// Master-side snapshot clones taken by the scheduler for this run
@@ -190,6 +193,7 @@ pub fn measure(
         structurally_proved: outcome.structurally_proved,
         fork_count: totals.fork_count,
         bytes_cloned: totals.bytes_cloned,
+        watcher_bytes_cloned: totals.watcher_bytes_cloned,
         arena_words_reclaimed: totals.arena_words_reclaimed,
         snapshot_forks: outcome.snapshot_forks,
         snapshot_bytes_cloned: outcome.snapshot_bytes_cloned,
@@ -237,12 +241,13 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // Schema v4 tags the trajectory with the SAT backend it measured
-    // (builtin / dimacs:… / ipasir:…), so files recorded under different
-    // backends can never be diffed as if they were comparable.  (v3 added
+    // Schema v5 splits the fork cost model: `watcher_bytes_cloned` is the
+    // slice of `bytes_cloned` spent copying the flat watcher arena, so the
+    // trajectory can tell clause-database growth from watcher-list growth.
+    // (v4 tagged the trajectory with the SAT backend it measured; v3 added
     // the fork cost model of the arena-backed clause store: per-flow fork
     // counts, snapshot bytes and compaction words.)
-    out.push_str("  \"schema\": \"htd-bench-trajectory-v4\",\n");
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v5\",\n");
     out.push_str("  \"engine\": \"flowgraph\",\n");
     out.push_str(&format!(
         "  \"backend\": \"{}\",\n",
@@ -317,6 +322,10 @@ pub fn to_json(
         out.push_str(&format!("      \"fork_count\": {},\n", r.fork_count));
         out.push_str(&format!("      \"bytes_cloned\": {},\n", r.bytes_cloned));
         out.push_str(&format!(
+            "      \"watcher_bytes_cloned\": {},\n",
+            r.watcher_bytes_cloned
+        ));
+        out.push_str(&format!(
             "      \"arena_words_reclaimed\": {},\n",
             r.arena_words_reclaimed
         ));
@@ -351,7 +360,7 @@ mod tests {
         assert_eq!(records[0].verdict, "fanout_property_1");
         assert!(records[0].wall_secs > 0.0);
         let json = to_json(&records, jobs, true, &backend);
-        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v4\""));
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v5\""));
         assert!(json.contains("\"backend\": \"builtin\""));
         assert!(json.contains("\"engine\": \"flowgraph\""));
         assert!(json.contains("\"host_parallelism\""));
@@ -361,6 +370,7 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"fork_count\""));
         assert!(json.contains("\"bytes_cloned\""));
+        assert!(json.contains("\"watcher_bytes_cloned\""));
         assert!(json.contains("\"arena_words_reclaimed\""));
         assert!(json.contains("\"snapshot_forks\""));
     }

@@ -102,11 +102,13 @@ pub struct DetectionReport {
     /// Aggregate solver work across every check of the run, including
     /// resolution rounds: conflicts, propagations, restarts, clause-GC runs,
     /// clauses collected, learnt-LBD totals, and the fork cost model of the
-    /// arena-backed clause store — `fork_count` / `bytes_cloned` count one
+    /// arena-backed solver stores — `fork_count` / `bytes_cloned` count one
     /// fork per consumed solve task (schedule-invariant: the cloned content
     /// is byte-identical whether a task forked off a frozen snapshot or
-    /// straight off the unmutated master), and `arena_words_reclaimed`
-    /// totals the compaction sweeps.
+    /// straight off the unmutated master), `watcher_bytes_cloned` is the
+    /// slice of those bytes spent on the flat watcher arena (zero for
+    /// backends without an observable watcher store), and
+    /// `arena_words_reclaimed` totals the compaction sweeps.
     pub solver_totals: SolverStats,
     /// Wall-clock duration of the whole flow.
     pub total_duration: Duration,

@@ -408,6 +408,7 @@ impl PreparedLevel {
         // cloned content is byte-identical, so reports stay identical across
         // the whole jobs x pipelining matrix.
         let fork_bytes = shard.snapshot_bytes();
+        let fork_watcher_bytes = shard.watcher_bytes();
         shard.mask_all_decisions();
         for &v in &task.cone {
             shard.set_decision_var(v, true);
@@ -432,6 +433,7 @@ impl PreparedLevel {
                 let mut delta = after.solver.delta_since(&before.solver);
                 delta.fork_count += 1;
                 delta.bytes_cloned += fork_bytes;
+                delta.watcher_bytes_cloned += fork_watcher_bytes;
                 TaskOutcome(TaskResult::Unsat(delta, after.queries - before.queries))
             }
             Ok(SolveResult::Sat) => {
@@ -440,6 +442,7 @@ impl PreparedLevel {
                 let mut delta = after.solver.delta_since(&before.solver);
                 delta.fork_count += 1;
                 delta.bytes_cloned += fork_bytes;
+                delta.watcher_bytes_cloned += fork_watcher_bytes;
                 TaskOutcome(TaskResult::Sat(
                     delta,
                     after.queries - before.queries,

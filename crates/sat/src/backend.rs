@@ -165,6 +165,15 @@ pub trait SatBackend: Send + Sync {
         0
     }
 
+    /// The slice of [`snapshot_bytes`](Self::snapshot_bytes) spent copying
+    /// the watcher store.  Only meaningful for backends whose watcher lists
+    /// are observable — the bundled solver's flat watcher arena
+    /// ([`Solver::watcher_bytes`]); external libraries and subprocess
+    /// backends return 0.
+    fn watcher_bytes(&self) -> u64 {
+        0
+    }
+
     /// Opportunistically compacts the clause database, dropping clauses that
     /// can no longer participate in any future query (e.g. miter clauses
     /// behind retired activation literals).  Returns the number of clauses
@@ -244,17 +253,23 @@ impl SatBackend for Solver {
     }
 
     fn fork(&self) -> Option<Box<dyn SatBackend>> {
-        // With the arena-backed clause store the clone is a handful of
-        // flat-buffer memcpys; the child records the fork so the cost is
+        // With both stores arena-backed the clone is a fixed number of
+        // flat-buffer memcpys — no allocation scales with the clause or
+        // variable count; the child records the fork so the cost is
         // visible in its counters.
         let bytes = self.snapshot_bytes();
+        let watcher_bytes = self.watcher_bytes();
         let mut child = self.clone();
-        child.record_fork(bytes);
+        child.record_fork(bytes, watcher_bytes);
         Some(Box::new(child))
     }
 
     fn snapshot_bytes(&self) -> u64 {
         Solver::snapshot_bytes(self)
+    }
+
+    fn watcher_bytes(&self) -> u64 {
+        Solver::watcher_bytes(self)
     }
 
     fn collect_garbage(&mut self) -> u64 {

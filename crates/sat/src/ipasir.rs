@@ -28,13 +28,18 @@
 //!   library during search; a firing check surfaces as
 //!   [`SolveResult::Interrupted`] (IPASIR return value 0), so the parallel
 //!   scheduler can cancel doomed speculative queries mid-solve.
-//! * **Fork falls back to replaying the clause log.**  The IPASIR ABI has no
-//!   clone operation, so [`fork`](SatBackend::fork) opens a fresh handle and
-//!   replays the clause log into it — O(clauses) instead of the builtin
-//!   solver's O(bytes) arena memcpy, recorded honestly in the child's
-//!   [`SolverStats`] (`fork_count` + `bytes_cloned` of
-//!   [`snapshot_bytes`](SatBackend::snapshot_bytes)).  Work counters carry
-//!   over exactly like the builtin backend's fork.
+//! * **Fork clones in O(bytes) when the library can, replays when it
+//!   can't.**  The standard IPASIR ABI has no clone operation.  When the
+//!   library exports the optional `ipasir_htd_clone` extension (the bundled
+//!   shim does), [`fork`](SatBackend::fork) clones the underlying solver
+//!   behind the ABI — the builtin solver's fixed-memcpy arena clone — and
+//!   **zero** clauses cross the ABI: `clauses_transmitted` carries over
+//!   flat.  Without the extension, fork opens a fresh handle and replays
+//!   the clause log into it — O(clauses) per fork.  Both paths record one
+//!   fork of [`snapshot_bytes`](SatBackend::snapshot_bytes) (the clause-log
+//!   cost model, kept identical across paths so reports do not depend on
+//!   which library is loaded), and work counters carry over exactly like
+//!   the builtin backend's fork.
 //!
 //! # The `ipasir_htd_*` extension subset
 //!
@@ -50,6 +55,13 @@
 //! | `ipasir_htd_mask_all_decisions(S)` | [`SatBackend::mask_all_decisions`] |
 //! | `ipasir_htd_set_decision(S, var, eligible)` | [`SatBackend::set_decision_var`] |
 //! | `ipasir_htd_begin_new_query(S)` | [`SatBackend::begin_new_query`] |
+//! | `ipasir_htd_clone(S) -> S'` | [`SatBackend::fork`] (O(bytes) snapshot; see above) |
+//!
+//! `ipasir_htd_clone` returns an independent handle holding the same
+//! formula, learnt clauses and heuristic state as `S`; the caller owns it
+//! and releases it through `ipasir_release` like any other handle.  It is
+//! resolved separately from the decision-masking trio — a library may
+//! export either subset without the other.
 //!
 //! With the extensions resolved, a forked shim handle receives exactly the
 //! operation sequence a builtin solver shard receives, which is what makes
@@ -108,6 +120,7 @@ type IpasirSetTerminate = unsafe extern "C" fn(*mut c_void, *mut c_void, Option<
 type HtdMaskAll = unsafe extern "C" fn(*mut c_void);
 type HtdSetDecision = unsafe extern "C" fn(*mut c_void, c_int, c_int);
 type HtdBeginNewQuery = unsafe extern "C" fn(*mut c_void);
+type HtdClone = unsafe extern "C" fn(*mut c_void) -> *mut c_void;
 
 /// A loaded IPASIR shared library: the `dlopen` handle plus every resolved
 /// entry point.  Shared (via `Arc`) between a backend and all its forks so
@@ -136,6 +149,7 @@ struct IpasirLibrary {
     htd_mask_all: Option<HtdMaskAll>,
     htd_set_decision: Option<HtdSetDecision>,
     htd_begin_new_query: Option<HtdBeginNewQuery>,
+    htd_clone: Option<HtdClone>,
 }
 
 // SAFETY: the dlopen handle and the resolved code pointers are immutable
@@ -264,6 +278,8 @@ impl IpasirLibrary {
                     .map(|p| std::mem::transmute::<*mut c_void, HtdSetDecision>(p)),
                 htd_begin_new_query: optional("ipasir_htd_begin_new_query")
                     .map(|p| std::mem::transmute::<*mut c_void, HtdBeginNewQuery>(p)),
+                htd_clone: optional("ipasir_htd_clone")
+                    .map(|p| std::mem::transmute::<*mut c_void, HtdClone>(p)),
             }
         };
         Ok(library)
@@ -425,6 +441,62 @@ impl IpasirBackend {
         self.library.htd_set_decision.is_some()
             && self.library.htd_mask_all.is_some()
             && self.library.htd_begin_new_query.is_some()
+    }
+
+    /// `true` if the library exports the optional `ipasir_htd_clone`
+    /// extension, letting [`fork`](SatBackend::fork) snapshot the handle in
+    /// O(bytes) instead of replaying the clause log (see the
+    /// [module docs](self)).
+    #[must_use]
+    pub fn has_clone_extension(&self) -> bool {
+        self.library.htd_clone.is_some()
+    }
+
+    /// Forks this backend through the `ipasir_htd_clone` extension: the
+    /// library snapshots the underlying solver in O(bytes) and **no clause
+    /// re-crosses the ABI** — `clauses_transmitted` carries over flat.
+    /// Returns `None` when the library does not export the extension (or
+    /// its clone failed); [`fork`](SatBackend::fork) then falls back to
+    /// opening a fresh handle and replaying the clause log.  Public so the
+    /// equivalence suite can exercise the fast path explicitly.
+    #[must_use]
+    pub fn fork_native(&self) -> Option<IpasirBackend> {
+        let clone = self.library.htd_clone?;
+        // SAFETY: live handle; the extension contract returns an
+        // independent handle owned by the caller (released through this
+        // library's `ipasir_release`, like any handle), or null on failure.
+        let solver = unsafe { clone(self.solver) };
+        if solver.is_null() {
+            return None;
+        }
+        let mut child = IpasirBackend {
+            library: Arc::clone(&self.library),
+            solver,
+            num_vars: self.num_vars,
+            // O(1): the log is copy-on-write shared.
+            clauses: Arc::clone(&self.clauses),
+            // The cloned handle already holds every clause — zero
+            // re-transmissions; the counter carries over so the
+            // one-transmission-per-clause invariant stays observable.
+            clauses_transmitted: self.clauses_transmitted,
+            transmitted_vars: self.transmitted_vars,
+            model: Vec::new(),
+            queries: self.queries,
+            stats: self.stats,
+            known_unsat: self.known_unsat,
+            // The cloned library-side handle must not poll the parent's
+            // predicate: the child re-installs its own below.
+            interrupt: None,
+            user_interrupt: None,
+            // Budgets are per job: the fork charges the parent's tracker.
+            budget: self.budget.clone(),
+        };
+        child.install_terminate();
+        child.stats.fork_count += 1;
+        // Same snapshot cost model as the replay path, so reports do not
+        // depend on which fork path the loaded library supports.
+        child.stats.bytes_cloned += self.snapshot_bytes();
+        Some(child)
     }
 
     /// How many clauses this instance has streamed into its library handle.
@@ -624,11 +696,17 @@ impl SatBackend for IpasirBackend {
     }
 
     fn fork(&self) -> Option<Box<dyn SatBackend>> {
-        // The IPASIR ABI cannot clone a handle, so a fork opens a fresh one
-        // and replays the clause log — each clause still crosses the ABI
-        // exactly once *per instance*.  Work counters carry over like the
-        // builtin backend's fork, plus one recorded fork of
-        // `snapshot_bytes` so the (heavier) replay cost model is visible.
+        // Fast path: the `ipasir_htd_clone` extension snapshots the solver
+        // behind the ABI in O(bytes) with zero clause re-transmissions.
+        if let Some(child) = self.fork_native() {
+            return Some(Box::new(child));
+        }
+        // Portable fallback: the standard IPASIR ABI cannot clone a handle,
+        // so a fork opens a fresh one and replays the clause log — each
+        // clause still crosses the ABI exactly once *per instance*.  Work
+        // counters carry over like the builtin backend's fork, plus one
+        // recorded fork of `snapshot_bytes` so the (heavier) replay cost
+        // model is visible.
         // SAFETY: `init` resolved from the live shared library.
         let solver = unsafe { (self.library.init)() };
         if solver.is_null() {
@@ -664,8 +742,11 @@ impl SatBackend for IpasirBackend {
     }
 
     fn snapshot_bytes(&self) -> u64 {
-        // A fork replays the in-memory clause log — the same snapshot cost
-        // model as the DIMACS backend's clause-list clone.
+        // The in-memory clause log — the same snapshot cost model as the
+        // DIMACS backend's clause-list clone, and deliberately identical
+        // for the `ipasir_htd_clone` fast path and the replay fallback:
+        // the external library's internal buffers are not observable, and
+        // reports must not change with the loaded library's capabilities.
         crate::backend::clause_log_bytes(&self.clauses)
     }
 

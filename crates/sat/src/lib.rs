@@ -60,6 +60,7 @@ mod dimacs;
 mod ipasir;
 mod literal;
 mod solver;
+mod watch;
 
 pub use backend::{BackendError, BackendStats, DimacsProcessBackend, SatBackend};
 pub use budget::{BudgetTracker, SolveBudget};

@@ -2,32 +2,46 @@
 //!
 //! # Solver memory architecture
 //!
-//! The clause database is an **arena**: one flat `Vec<u32>` holding every
-//! clause as a two-word header (size, LBD/glue, learnt and deleted flags,
-//! plus an `f32` activity word) followed by its literal codes inline — see
-//! [`crate::arena`] for the exact layout.  Clauses are addressed by
-//! [`ClauseRef`] word offsets; watcher lists store `(ClauseRef, blocker)`
-//! pairs, and reason references are `Option<ClauseRef>`.
+//! Everything whose size scales with the formula lives in a fixed number of
+//! flat buffers — the solver holds **no** per-clause or per-literal heap
+//! allocations:
+//!
+//! * The clause database is an **arena**: one flat `Vec<u32>` holding every
+//!   clause as a two-word header (size, LBD/glue, learnt and deleted flags,
+//!   plus an `f32` activity word) followed by its literal codes inline — see
+//!   [`crate::arena`] for the exact layout.  Clauses are addressed by
+//!   [`ClauseRef`] word offsets, and reason references are
+//!   `Option<ClauseRef>`.
+//! * The watcher lists are a second arena ([`crate::watch`]): one flat
+//!   `Vec` of `(ClauseRef, blocker)` pairs plus a per-literal
+//!   `(start, len, cap)` range table.  A literal's list is a contiguous
+//!   block; insertion grows a full block by amortised doubling (relocating
+//!   it to the end of the buffer), and the holes that leaves behind are
+//!   reclaimed by the same compaction sweep that collects dead clauses.
+//! * Per-variable bookkeeping (assignments, phases, reasons, levels,
+//!   activities, …) and the trail are plain flat vectors.
 //!
 //! Three consequences of the layout drive the incremental detection flow:
 //!
-//! * **Forking is O(bytes).**  [`Solver`] is `Clone`, and a clone's clause
-//!   database is a single memcpy of the arena — no per-clause heap
-//!   allocation.  [`snapshot_bytes`](Solver::snapshot_bytes) reports the
-//!   byte cost of one clone (arena + watcher lists + per-variable
-//!   bookkeeping + trail; the derived decision-order heap is excluded), and
-//!   `SatBackend::fork` records `fork_count` / `bytes_cloned` in the child's
-//!   [`SolverStats`] so the cost model is observable all the way up in
+//! * **Forking is O(bytes), with a fixed allocation count.**  [`Solver`] is
+//!   `Clone`, and a clone is a constant number of flat-buffer memcpys — no
+//!   allocation scales with the clause or variable count.
+//!   [`snapshot_bytes`](Solver::snapshot_bytes) reports the byte cost of one
+//!   clone in O(1) length arithmetic (clause arena + watcher arena +
+//!   per-variable bookkeeping + trail; the derived decision-order heap is
+//!   excluded), and `SatBackend::fork` records `fork_count` /
+//!   `bytes_cloned` / `watcher_bytes_cloned` in the child's [`SolverStats`]
+//!   so the cost model is observable all the way up in
 //!   `DetectionReport::solver_totals`.
 //! * **`ClauseRef`s are stable until compaction.**  Allocation appends,
 //!   deletion flips a header bit, and only
 //!   [`collect_garbage`](Solver::collect_garbage) moves clauses: one
 //!   in-place sweep slides live clauses down over dead ones and returns a
-//!   relocation map, which patches the watcher lists in place (watched
+//!   relocation map, which patches the watcher arena in place (watched
 //!   positions 0 and 1 are provably unchanged at decision level 0, so no
-//!   watch re-selection happens) and drops the — level-0, never inspected —
-//!   reason references.  `SolverStats::arena_words_reclaimed` counts the
-//!   freed words.
+//!   watch re-selection happens), packs its surviving blocks back-to-back,
+//!   and drops the — level-0, never inspected — reason references.
+//!   `SolverStats::arena_words_reclaimed` counts the freed words.
 //! * **Retirement marks headers dead eagerly.**  When a literal becomes true
 //!   at the top level (e.g. a retired activation literal's negation), every
 //!   clause *watching* it is permanently satisfied; propagation flips those
@@ -40,6 +54,7 @@ pub use crate::arena::ClauseRef;
 use crate::arena::{ClauseArena, CompactOutcome, RELOC_DEAD};
 use crate::budget::BudgetTracker;
 use crate::literal::{Lit, Var};
+use crate::watch::{Watcher, WatcherArena};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -112,6 +127,11 @@ pub struct SolverStats {
     /// store — proportional to the live database size, never to the clause
     /// count.
     pub bytes_cloned: u64,
+    /// The slice of [`bytes_cloned`](Self::bytes_cloned) spent copying the
+    /// flat watcher arena (see [`Solver::watcher_bytes`]).  Zero for
+    /// backends without an observable watcher store (external IPASIR
+    /// libraries, subprocess backends).
+    pub watcher_bytes_cloned: u64,
     /// Arena words freed by garbage-collection compaction sweeps.
     pub arena_words_reclaimed: u64,
 }
@@ -139,6 +159,7 @@ impl SolverStats {
             learnt_lbd_sum,
             fork_count,
             bytes_cloned,
+            watcher_bytes_cloned,
             arena_words_reclaimed,
         } = *other;
         self.decisions += decisions;
@@ -153,6 +174,7 @@ impl SolverStats {
         self.learnt_lbd_sum += learnt_lbd_sum;
         self.fork_count += fork_count;
         self.bytes_cloned += bytes_cloned;
+        self.watcher_bytes_cloned += watcher_bytes_cloned;
         self.arena_words_reclaimed += arena_words_reclaimed;
     }
 
@@ -175,6 +197,7 @@ impl SolverStats {
             learnt_lbd_sum,
             fork_count,
             bytes_cloned,
+            watcher_bytes_cloned,
             arena_words_reclaimed,
         } = *earlier;
         SolverStats {
@@ -190,15 +213,10 @@ impl SolverStats {
             learnt_lbd_sum: self.learnt_lbd_sum - learnt_lbd_sum,
             fork_count: self.fork_count - fork_count,
             bytes_cloned: self.bytes_cloned - bytes_cloned,
+            watcher_bytes_cloned: self.watcher_bytes_cloned - watcher_bytes_cloned,
             arena_words_reclaimed: self.arena_words_reclaimed - arena_words_reclaimed,
         }
     }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Watcher {
-    clause: ClauseRef,
-    blocker: Lit,
 }
 
 /// Max-heap entry ordering variables by activity.
@@ -282,7 +300,7 @@ pub struct Solver {
     /// database reduction or by eager satisfied-marking at the top level),
     /// awaiting physical removal by the next compaction.
     dead_clauses: usize,
-    watches: Vec<Vec<Watcher>>,
+    watches: WatcherArena,
     assigns: Vec<Option<bool>>,
     phase: Vec<bool>,
     reason: Vec<Option<ClauseRef>>,
@@ -357,8 +375,8 @@ impl Solver {
         self.seen.push(false);
         self.model.push(None);
         self.decision.push(true);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.add_literal();
+        self.watches.add_literal();
         self.order.push(HeapEntry {
             activity: 0.0,
             var: v,
@@ -389,19 +407,16 @@ impl Solver {
     }
 
     /// The byte cost of cloning this solver — the fork cost model of the
-    /// arena-backed store.  Counts the clause arena, the watcher lists, the
+    /// arena-backed store, computed in O(1) from buffer lengths (no list is
+    /// ever walked).  Counts the clause arena, the watcher arena, the
     /// per-variable bookkeeping arrays and the trail (all length-derived, so
-    /// two solvers with identical content report identical bytes); the
-    /// derived decision-order heap is excluded.  `SatBackend::fork` records
-    /// this value in the child's [`SolverStats::bytes_cloned`].
+    /// two solvers that executed the same operations report identical
+    /// bytes); the derived decision-order heap is excluded.
+    /// `SatBackend::fork` records this value in the child's
+    /// [`SolverStats::bytes_cloned`].
     #[must_use]
     pub fn snapshot_bytes(&self) -> u64 {
         let arena = self.arena.words() * 4;
-        let watchers: usize = self
-            .watches
-            .iter()
-            .map(|list| list.len() * std::mem::size_of::<Watcher>())
-            .sum();
         let per_var = self.num_vars()
             * (std::mem::size_of::<Option<bool>>() * 2 // assigns + model
                 + std::mem::size_of::<bool>() * 3 // phase + seen + decision
@@ -409,7 +424,17 @@ impl Solver {
                 + std::mem::size_of::<u32>() // level
                 + std::mem::size_of::<f64>()); // activity
         let trail = self.trail.len() * std::mem::size_of::<Lit>();
-        (arena + watchers + per_var + trail) as u64
+        (arena + per_var + trail) as u64 + self.watches.bytes()
+    }
+
+    /// The watcher-arena slice of [`snapshot_bytes`](Self::snapshot_bytes):
+    /// the flat watcher buffer (live entries, doubling slack and holes
+    /// pending compaction) plus the per-literal range table.  O(1), and a
+    /// pure function of the operation sequence.  `SatBackend::fork` records
+    /// this in the child's [`SolverStats::watcher_bytes_cloned`].
+    #[must_use]
+    pub fn watcher_bytes(&self) -> u64 {
+        self.watches.bytes()
     }
 
     /// Solver work counters accumulated since construction.
@@ -418,12 +443,14 @@ impl Solver {
         self.stats
     }
 
-    /// Records one fork of `bytes` bytes in the stats (called by
-    /// `SatBackend::fork` on the freshly cloned child, and mirrored by
-    /// incremental sessions into per-task work deltas).
-    pub(crate) fn record_fork(&mut self, bytes: u64) {
+    /// Records one fork of `bytes` bytes (of which `watcher_bytes` copied
+    /// the watcher arena) in the stats (called by `SatBackend::fork` on the
+    /// freshly cloned child, and mirrored by incremental sessions into
+    /// per-task work deltas).
+    pub(crate) fn record_fork(&mut self, bytes: u64, watcher_bytes: u64) {
         self.stats.fork_count += 1;
         self.stats.bytes_cloned += bytes;
+        self.stats.watcher_bytes_cloned += watcher_bytes;
     }
 
     /// Sets the learnt-clause count above which the solver halves its learnt
@@ -664,8 +691,8 @@ impl Solver {
             clause: cr,
             blocker: lits[0],
         };
-        self.watches[(!lits[0]).code() as usize].push(w0);
-        self.watches[(!lits[1]).code() as usize].push(w1);
+        self.watches.push((!lits[0]).code(), w0);
+        self.watches.push((!lits[1]).code(), w1);
         if learnt {
             self.stats.learnt_clauses += 1;
         }
@@ -730,9 +757,9 @@ impl Solver {
     fn mark_satisfied_at_root(&mut self, p: Lit) {
         debug_assert_eq!(self.decision_level(), 0);
         // Clauses watching `p` registered themselves under (!p).code().
-        let list = (!p).code() as usize;
-        for k in 0..self.watches[list].len() {
-            let cr = self.watches[list][k].clause;
+        let code = (!p).code();
+        for k in 0..self.watches.len(code) {
+            let cr = self.watches.get(code, k).clause;
             if !self.arena.is_deleted(cr) {
                 self.mark_dead(cr);
             }
@@ -748,16 +775,24 @@ impl Solver {
             if at_root {
                 self.mark_satisfied_at_root(p);
             }
-            let watchers = std::mem::take(&mut self.watches[p.code() as usize]);
-            let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
+            // Two-cursor compaction within p's range: `read` scans the
+            // watchers, `keep` writes the survivors back over the prefix.
+            // Pushes during the scan only ever target *other* literals'
+            // ranges (asserted below), and a push relocates only the pushed
+            // literal's block, so p's range stays put throughout.
+            let code = p.code();
+            let mut read = 0usize;
+            let mut keep = 0usize;
             let mut conflict: Option<ClauseRef> = None;
-            let mut iter = watchers.into_iter();
-            while let Some(w) = iter.next() {
+            while read < self.watches.len(code) {
+                let w = self.watches.get(code, read);
+                read += 1;
                 if self.arena.is_deleted(w.clause) {
                     continue;
                 }
                 if self.lit_value(w.blocker) == Some(true) {
-                    kept.push(w);
+                    self.watches.set(code, keep, w);
+                    keep += 1;
                     continue;
                 }
                 let cr = w.clause;
@@ -772,7 +807,8 @@ impl Solver {
                     blocker: first,
                 };
                 if first != w.blocker && self.lit_value(first) == Some(true) {
-                    kept.push(new_watcher);
+                    self.watches.set(code, keep, new_watcher);
+                    keep += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
@@ -783,7 +819,7 @@ impl Solver {
                         self.arena.swap_lits(cr, 1, k);
                         let watch_on = !self.arena.lit(cr, 1);
                         debug_assert_ne!(watch_on, p);
-                        self.watches[watch_on.code() as usize].push(new_watcher);
+                        self.watches.push(watch_on.code(), new_watcher);
                         found = true;
                         break;
                     }
@@ -792,16 +828,23 @@ impl Solver {
                     continue;
                 }
                 // Clause is unit under the current assignment, or conflicting.
-                kept.push(new_watcher);
+                self.watches.set(code, keep, new_watcher);
+                keep += 1;
                 if self.lit_value(first) == Some(false) {
                     conflict = Some(cr);
                     self.qhead = self.trail.len();
-                    kept.extend(iter);
+                    // Slide the unexamined tail down over the gap.
+                    while read < self.watches.len(code) {
+                        let w = self.watches.get(code, read);
+                        self.watches.set(code, keep, w);
+                        keep += 1;
+                        read += 1;
+                    }
                     break;
                 }
                 self.unchecked_enqueue(first, Some(cr));
             }
-            self.watches[p.code() as usize] = kept;
+            self.watches.truncate(code, keep);
             if conflict.is_some() {
                 return conflict;
             }
@@ -1009,12 +1052,14 @@ impl Solver {
 
     /// Removes the two watcher entries of a clause (watchers live on the
     /// negations of the first two literals — the invariant `propagate`
-    /// maintains).
+    /// maintains).  Each removal is a swap-remove within the literal's
+    /// range: O(list length) to find the entry but O(1) to drop it, instead
+    /// of the two full `retain` rebuilds the nested-`Vec` layout needed.
     fn detach_watchers(&mut self, cr: ClauseRef) {
         let l0 = self.arena.lit(cr, 0);
         let l1 = self.arena.lit(cr, 1);
-        self.watches[(!l0).code() as usize].retain(|w| w.clause != cr);
-        self.watches[(!l1).code() as usize].retain(|w| w.clause != cr);
+        self.watches.detach((!l0).code(), cr);
+        self.watches.detach((!l1).code(), cr);
     }
 
     /// Physically removes dead clauses from the arena: clauses flagged
@@ -1056,19 +1101,19 @@ impl Solver {
         }
         self.live_clauses = survivors;
         self.dead_clauses = 0;
-        // Patch the watcher lists through the relocation map: watchers of
+        // Patch the watcher arena through the relocation map: watchers of
         // collected clauses drop out, survivors keep their (unchanged)
-        // watched positions under their new offsets.
-        for list in &mut self.watches {
-            list.retain_mut(|w| {
-                let new = reloc[w.clause.0 as usize];
-                if new == RELOC_DEAD {
-                    return false;
-                }
-                w.clause = ClauseRef(new);
-                true
-            });
-        }
+        // watched positions under their new offsets.  The same sweep packs
+        // the watcher buffer — holes and doubling slack left by block
+        // growth are reclaimed here, on the clause-GC cadence.
+        self.watches.sweep(|w| {
+            let new = reloc[w.clause.0 as usize];
+            if new == RELOC_DEAD {
+                return false;
+            }
+            w.clause = ClauseRef(new);
+            true
+        });
         // Old clause references are invalid now.  At level 0 no reason is
         // ever inspected (conflict analysis skips level-0 literals), so they
         // are simply dropped.
@@ -1481,16 +1526,43 @@ mod tests {
     fn snapshot_bytes_track_the_arena() {
         let (mut s, v) = make_solver(4);
         let before = s.snapshot_bytes();
+        let watchers_before = s.watcher_bytes();
         s.add_clause([lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
         let after = s.snapshot_bytes();
-        // One clause: 2 header words + 3 literal words, plus two watchers.
+        // One clause: 2 header words + 3 literal words, plus two fresh
+        // watcher blocks of the minimum capacity (4 slots each).
+        let watcher_delta = s.watcher_bytes() - watchers_before;
         assert_eq!(
-            after - before,
-            (5 * 4 + 2 * std::mem::size_of::<Watcher>()) as u64
+            watcher_delta,
+            (2 * 4 * std::mem::size_of::<Watcher>()) as u64
         );
+        assert_eq!(after - before, 5 * 4 + watcher_delta);
         assert_eq!(s.arena_words(), 5);
         let clone = s.clone();
         assert_eq!(clone.snapshot_bytes(), after);
+        assert_eq!(clone.watcher_bytes(), s.watcher_bytes());
+    }
+
+    /// `snapshot_bytes` is pure length arithmetic: two solvers that executed
+    /// the same operation sequence — including the watcher-block growth and
+    /// swap-removes it implies — report byte-identical clone costs.
+    #[test]
+    fn identical_length_state_reports_identical_bytes() {
+        let build = || {
+            let (mut s, v) = make_solver(6);
+            for i in 1..=4 {
+                s.add_clause([lit(&v, -i), lit(&v, i + 1), lit(&v, 6)]);
+            }
+            s.add_clause([lit(&v, 1), lit(&v, 2)]);
+            assert_eq!(s.solve_with_assumptions(&[lit(&v, -6)]), SolveResult::Sat);
+            s
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.snapshot_bytes(), b.snapshot_bytes());
+        assert_eq!(a.watcher_bytes(), b.watcher_bytes());
+        assert!(a.watcher_bytes() > 0);
+        // The watcher arena is part of — never exceeds — the clone cost.
+        assert!(a.watcher_bytes() < a.snapshot_bytes());
     }
 
     /// Retiring a literal that guard clauses *watch* flags them dead on the
@@ -1638,13 +1710,15 @@ mod tests {
             learnt_lbd_sum: 10,
             fork_count: 11,
             bytes_cloned: 12,
-            arena_words_reclaimed: 13,
+            watcher_bytes_cloned: 13,
+            arena_words_reclaimed: 14,
         };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.fork_count, 22);
         assert_eq!(a.bytes_cloned, 24);
-        assert_eq!(a.arena_words_reclaimed, 26);
+        assert_eq!(a.watcher_bytes_cloned, 26);
+        assert_eq!(a.arena_words_reclaimed, 28);
         let delta = a.delta_since(&b);
         assert_eq!(delta, b);
     }

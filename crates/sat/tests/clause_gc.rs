@@ -127,6 +127,58 @@ proptest! {
         prop_assert_eq!(child.stats().solver.bytes_cloned, bytes_after_fork);
     }
 
+    /// Interleaving the three operations that rewrite the flat watcher
+    /// arena — forking, garbage collection (block compaction), and learnt-
+    /// clause detaching (swap-remove, forced by a tiny learnt limit) —
+    /// under arbitrary scripts.  At every step the freshly forked child
+    /// answers exactly as the parent does, and the fork counters pin the
+    /// cost model: each fork records exactly `snapshot_bytes()` bytes, of
+    /// which exactly `watcher_bytes()` were spent on the watcher arena.
+    #[test]
+    fn fork_gc_detach_interleaving_preserves_answers_and_watcher_costs(
+        (num_vars, clauses, script) in script_strategy()
+    ) {
+        let (mut parent, vars) = build(num_vars, &clauses);
+        // Force learnt-database reduction at the first restart so queries
+        // exercise the swap-remove detach path on the watcher arena.
+        parent.set_learnt_limit(1.0);
+        for (step, (retire, assumptions)) in script.iter().enumerate() {
+            if let Some((v, negated)) = retire {
+                parent.add_clause([Lit::new(vars[*v as usize], *negated)]);
+            }
+            if step % 2 == 0 {
+                parent.collect_garbage();
+            }
+            let forks_before = parent.stats().fork_count;
+            let snapshot = parent.snapshot_bytes();
+            let watcher = parent.watcher_bytes();
+            let mut child = SatBackend::fork(&parent).expect("the bundled solver forks");
+            prop_assert_eq!(child.stats().solver.fork_count, forks_before + 1);
+            prop_assert_eq!(
+                child.stats().solver.bytes_cloned - parent.stats().bytes_cloned,
+                snapshot
+            );
+            prop_assert_eq!(
+                child.stats().solver.watcher_bytes_cloned
+                    - parent.stats().watcher_bytes_cloned,
+                watcher
+            );
+            prop_assert!(watcher <= snapshot, "watcher bytes are a slice of the snapshot");
+
+            let assumptions = lits(&vars, assumptions);
+            let expected = parent.solve_with_assumptions(&assumptions);
+            let actual = child.solve_under(&assumptions).expect("bundled solver is total");
+            prop_assert_eq!(expected, actual);
+            // Compacting after the query must not change what the parent
+            // answers (the child is dropped untouched — forks are
+            // independent snapshots).
+            if step % 2 == 1 {
+                parent.collect_garbage();
+                prop_assert_eq!(parent.solve_with_assumptions(&assumptions), expected);
+            }
+        }
+    }
+
     /// Models returned after garbage collection still satisfy the original
     /// formula (compaction must not lose constraints).
     #[test]

@@ -211,6 +211,60 @@ fn clauses_are_transmitted_exactly_once_per_backend_instance() {
     assert_eq!(backend.stats().clauses as u64, parent_transmitted);
 }
 
+/// The `ipasir_htd_clone` extension: `fork_native` snapshots the library
+/// solver in O(bytes), the child inherits the parent's transmission ledger
+/// (no clause crosses the ABI again), and the recorded clone cost is the
+/// same `snapshot_bytes()` the replay path charges — so reports cannot
+/// depend on which fork path a library supports.  The full-matrix test
+/// above exercises this path end to end on every benchmark, because
+/// `IpasirBackend::fork` prefers the native clone when the export exists.
+#[test]
+fn the_clone_extension_forks_without_retransmitting_clauses() {
+    let mut backend = IpasirBackend::load(shim_library()).expect("shim loads");
+    assert!(
+        backend.has_clone_extension(),
+        "the shim exports ipasir_htd_clone"
+    );
+
+    let vars: Vec<_> = (0..6).map(|_| backend.new_var()).collect();
+    for window in vars.windows(2) {
+        backend.add_clause(&[Lit::neg(window[0]), Lit::pos(window[1])]);
+    }
+    assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
+
+    let transmitted = backend.clauses_transmitted();
+    let parent_stats = backend.stats().solver;
+    let mut child = backend.fork_native().expect("clone extension is present");
+
+    // A native clone moves bytes, not clauses: both handles keep the
+    // parent's transmission count, with zero additional transmissions.
+    assert_eq!(child.clauses_transmitted(), transmitted);
+    assert_eq!(backend.clauses_transmitted(), transmitted);
+    let child_stats = child.stats().solver;
+    assert_eq!(child_stats.fork_count, parent_stats.fork_count + 1);
+    assert_eq!(
+        child_stats.bytes_cloned,
+        parent_stats.bytes_cloned + backend.snapshot_bytes()
+    );
+
+    // Identical answers, independent futures.
+    assert_eq!(
+        child
+            .solve_under(&[Lit::pos(vars[0]), Lit::neg(vars[5])])
+            .unwrap(),
+        SolveResult::Unsat,
+        "the cloned chain still forces v5 from v0"
+    );
+    child.add_clause(&[Lit::neg(vars[0])]);
+    assert_eq!(child.clauses_transmitted(), transmitted + 1);
+    assert_eq!(backend.clauses_transmitted(), transmitted);
+    assert_eq!(
+        backend.solve_under(&[Lit::pos(vars[0])]).unwrap(),
+        SolveResult::Sat,
+        "the parent never sees the child's clause"
+    );
+}
+
 /// The interrupt predicate reaches the library through
 /// `ipasir_set_terminate` and surfaces as `SolveResult::Interrupted`.
 #[test]
