@@ -76,6 +76,19 @@ pub struct TrajectoryRecord {
     pub snapshot_forks: u64,
     /// Bytes those master-side snapshot clones copied.
     pub snapshot_bytes_cloned: u64,
+    /// Solve tasks answered by a portfolio race (0 for single backends).
+    pub race_solves: u64,
+    /// Races decided by a racer member rather than the primary; primary
+    /// wins are `race_solves - race_wins`.
+    pub race_wins: u64,
+    /// Member solves cancelled because another member answered first.
+    pub race_cancels: u64,
+    /// Conflicts spent by members whose solve was cancelled.
+    pub race_wasted_conflicts: u64,
+    /// Total microseconds between a cancel request and the cancelled
+    /// member returning (divide by `race_cancels` for the average
+    /// cancellation latency).
+    pub race_cancel_latency_us: u64,
 }
 
 impl TrajectoryRecord {
@@ -197,6 +210,11 @@ pub fn measure(
         arena_words_reclaimed: totals.arena_words_reclaimed,
         snapshot_forks: outcome.snapshot_forks,
         snapshot_bytes_cloned: outcome.snapshot_bytes_cloned,
+        race_solves: totals.race_solves,
+        race_wins: totals.race_wins,
+        race_cancels: totals.race_cancels,
+        race_wasted_conflicts: totals.race_wasted_conflicts,
+        race_cancel_latency_us: totals.race_cancel_latency_us,
     }
 }
 
@@ -241,13 +259,16 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // Schema v5 splits the fork cost model: `watcher_bytes_cloned` is the
-    // slice of `bytes_cloned` spent copying the flat watcher arena, so the
-    // trajectory can tell clause-database growth from watcher-list growth.
-    // (v4 tagged the trajectory with the SAT backend it measured; v3 added
-    // the fork cost model of the arena-backed clause store: per-flow fork
-    // counts, snapshot bytes and compaction words.)
-    out.push_str("  \"schema\": \"htd-bench-trajectory-v5\",\n");
+    // Schema v6 adds the portfolio-race cost model: per-design race counts,
+    // racer wins (primary wins are race_solves - race_wins), cancelled
+    // member solves, the conflicts those cancelled solves wasted, and the
+    // cancel-to-return latency total.  All five are 0 for single backends,
+    // so single-backend trajectories stay diffable against v5 rows
+    // column-for-column.  (v5 split the fork cost model with
+    // `watcher_bytes_cloned`; v4 tagged the trajectory with the SAT backend
+    // it measured; v3 added the fork cost model of the arena-backed clause
+    // store: per-flow fork counts, snapshot bytes and compaction words.)
+    out.push_str("  \"schema\": \"htd-bench-trajectory-v6\",\n");
     out.push_str("  \"engine\": \"flowgraph\",\n");
     out.push_str(&format!(
         "  \"backend\": \"{}\",\n",
@@ -334,8 +355,19 @@ pub fn to_json(
             r.snapshot_forks
         ));
         out.push_str(&format!(
-            "      \"snapshot_bytes_cloned\": {}\n",
+            "      \"snapshot_bytes_cloned\": {},\n",
             r.snapshot_bytes_cloned
+        ));
+        out.push_str(&format!("      \"race_solves\": {},\n", r.race_solves));
+        out.push_str(&format!("      \"race_wins\": {},\n", r.race_wins));
+        out.push_str(&format!("      \"race_cancels\": {},\n", r.race_cancels));
+        out.push_str(&format!(
+            "      \"race_wasted_conflicts\": {},\n",
+            r.race_wasted_conflicts
+        ));
+        out.push_str(&format!(
+            "      \"race_cancel_latency_us\": {}\n",
+            r.race_cancel_latency_us
         ));
         out.push_str(if i + 1 < records.len() {
             "    },\n"
@@ -360,7 +392,7 @@ mod tests {
         assert_eq!(records[0].verdict, "fanout_property_1");
         assert!(records[0].wall_secs > 0.0);
         let json = to_json(&records, jobs, true, &backend);
-        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v5\""));
+        assert!(json.contains("\"schema\": \"htd-bench-trajectory-v6\""));
         assert!(json.contains("\"backend\": \"builtin\""));
         assert!(json.contains("\"engine\": \"flowgraph\""));
         assert!(json.contains("\"host_parallelism\""));
@@ -373,6 +405,30 @@ mod tests {
         assert!(json.contains("\"watcher_bytes_cloned\""));
         assert!(json.contains("\"arena_words_reclaimed\""));
         assert!(json.contains("\"snapshot_forks\""));
+        // The race columns are present on every row, zero for a single
+        // backend, so portfolio and single-backend trajectories share one
+        // schema.
+        assert!(json.contains("\"race_solves\": 0"));
+        assert!(json.contains("\"race_wins\": 0"));
+        assert!(json.contains("\"race_cancels\": 0"));
+        assert!(json.contains("\"race_wasted_conflicts\": 0"));
+        assert!(json.contains("\"race_cancel_latency_us\": 0"));
+    }
+
+    #[test]
+    fn a_portfolio_trajectory_records_its_races() {
+        let jobs = NonZeroUsize::new(2).unwrap();
+        let backend = BackendChoice::portfolio(
+            vec![BackendChoice::Builtin, BackendChoice::Builtin],
+            htd_core::RacePolicy::DeterministicCex,
+        );
+        let records = run_trajectory(&[Benchmark::Rs232T2400], jobs, true, &backend);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].verdict, "fanout_property_1");
+        assert!(records[0].race_solves > 0, "every solve task raced");
+        let json = to_json(&records, jobs, true, &backend);
+        assert!(json.contains("\"backend\": \"portfolio:builtin,builtin\""));
+        assert!(!json.contains("\"race_solves\": 0"));
     }
 
     #[test]

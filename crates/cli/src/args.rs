@@ -21,8 +21,9 @@ pub enum ParseArgsError {
     MissingInput,
     /// A numeric flag value could not be parsed.
     InvalidNumber(String),
-    /// The `--backend` value is not `builtin`, `dimacs:CMD` or
-    /// `ipasir:LIB`.
+    /// The `--backend` value (or the `HTD_PORTFOLIO` environment default)
+    /// is not `builtin`, `dimacs:CMD`, `ipasir:LIB` or
+    /// `portfolio:B1,B2,…`.
     InvalidBackend(String),
 }
 
@@ -61,8 +62,9 @@ pub struct DetectArgs {
     pub vcd_prefix: Option<PathBuf>,
     /// Register names to waive as benign state (Sec. V-B scenario 2).
     pub benign: Vec<String>,
-    /// The SAT backend to solve with (`builtin`, `dimacs:CMD` or
-    /// `ipasir:LIB`).
+    /// The SAT backend to solve with (`builtin`, `dimacs:CMD`,
+    /// `ipasir:LIB` or `portfolio:B1,B2,…`).  When `--backend` is absent
+    /// the strict `HTD_PORTFOLIO` environment default applies.
     pub backend: BackendChoice,
     /// Stream per-property progress to stderr while the flow runs.
     pub progress: bool,
@@ -225,6 +227,7 @@ impl Command {
             "detect" => {
                 let mut parsed = DetectArgs::default();
                 let mut input = None;
+                let mut backend_explicit = false;
                 let mut iter = rest.into_iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -238,6 +241,7 @@ impl Command {
                             let value = required(&mut iter, "--backend")?;
                             parsed.backend =
                                 value.parse().map_err(ParseArgsError::InvalidBackend)?;
+                            backend_explicit = true;
                         }
                         "--progress" => parsed.progress = true,
                         "--jobs" => {
@@ -259,6 +263,13 @@ impl Command {
                     }
                 }
                 parsed.input = input.ok_or(ParseArgsError::MissingInput)?;
+                if !backend_explicit {
+                    // An explicit flag beats the environment; without one the
+                    // strict HTD_PORTFOLIO default applies (a malformed value
+                    // is a parse error, never a silent builtin fallback).
+                    parsed.backend = BackendChoice::try_default_from_env()
+                        .map_err(ParseArgsError::InvalidBackend)?;
+                }
                 Ok(Command::Detect(parsed))
             }
             "serve" => {
@@ -407,7 +418,7 @@ impl Command {
                 let mut jobs = None;
                 let mut smoke = false;
                 let mut no_pipeline = false;
-                let mut backend = BackendChoice::Builtin;
+                let mut backend = None;
                 let mut iter = rest.into_iter();
                 while let Some(arg) = iter.next() {
                     match arg.as_str() {
@@ -426,11 +437,18 @@ impl Command {
                         "--no-pipeline" => no_pipeline = true,
                         "--backend" => {
                             let value = required(&mut iter, "--backend")?;
-                            backend = value.parse().map_err(ParseArgsError::InvalidBackend)?;
+                            backend = Some(value.parse().map_err(ParseArgsError::InvalidBackend)?);
                         }
                         other => return Err(ParseArgsError::UnknownFlag(other.to_string())),
                     }
                 }
+                let backend = match backend {
+                    Some(backend) => backend,
+                    // Same environment fallback as `detect`: benchmark runs
+                    // honour HTD_PORTFOLIO unless --backend overrides it.
+                    None => BackendChoice::try_default_from_env()
+                        .map_err(ParseArgsError::InvalidBackend)?,
+                };
                 Ok(Command::Bench {
                     json,
                     jobs,
@@ -500,8 +518,8 @@ pub fn usage() -> &'static str {
 
 USAGE:
     htd detect <file> [--top NAME] [--benign REG]... [--dot FILE] [--vcd PREFIX]
-                      [--backend builtin|dimacs:CMD|ipasir:LIB] [--progress]
-                      [--jobs N] [--no-pipeline] [--normalize]
+                      [--backend builtin|dimacs:CMD|ipasir:LIB|portfolio:B1,B2,…]
+                      [--progress] [--jobs N] [--no-pipeline] [--normalize]
     htd serve [--addr HOST:PORT] [--max-jobs N] [--cache-bytes N] [--jobs N]
               [--budget-deadline-ms N] [--budget-conflicts N]
               [--drain-deadline-ms N]
@@ -513,7 +531,7 @@ USAGE:
     htd baselines <file> [--top NAME] [--bound N]
     htd table1
     htd bench [--json FILE] [--jobs N] [--smoke] [--no-pipeline]
-              [--backend builtin|dimacs:CMD|ipasir:LIB]
+              [--backend builtin|dimacs:CMD|ipasir:LIB|portfolio:B1,B2,…]
     htd sat <file.cnf>
     htd help
 
@@ -542,6 +560,18 @@ DETECT FLAGS:
                              the solver stays live across all queries.  The
                              bundled reference library is built by
                              `cargo build -p ipasir-shim` (libipasir_htd.so)
+    --backend portfolio:B1,B2,…
+                             race every solve task across N member backends
+                             (e.g. portfolio:builtin,ipasir:libipasir_htd.so);
+                             first definitive answer wins, losers are cancelled.
+                             An optional policy token picks the counterexample
+                             rule: deterministic-cex (default — SAT models come
+                             only from the first member, so reports are
+                             byte-identical to running it alone and racers can
+                             only accelerate UNSAT answers) or fastest-cex
+                             (take the winner's model, fastest wall-clock).
+                             Without --backend, the HTD_PORTFOLIO environment
+                             variable supplies the same member list
     --progress               stream per-property progress to stderr while running
     --jobs N                 worker shards per fanout level (default: available
                              parallelism; reports are identical for every N)
@@ -587,7 +617,9 @@ BENCH FLAGS:
     --smoke                  run only the cheap CI smoke subset
     --no-pipeline            disable cross-level pipelining in the scheduled engine
     --backend ...            measure an alternative SAT backend (rows and the
-                             JSON header carry the backend tag)
+                             JSON header carry the backend tag); portfolio:B1,B2,…
+                             races the members per solve task and the table
+                             reports per-design race wins
 "
 }
 
@@ -686,6 +718,51 @@ mod tests {
             other => panic!("expected bench, got {other:?}"),
         }
         assert!(usage().contains("ipasir:LIB"));
+    }
+
+    #[test]
+    fn parses_the_portfolio_backend_for_detect_and_bench() {
+        use htd_core::RacePolicy;
+
+        let spec = "portfolio:builtin,ipasir:lib.so";
+        match Command::parse(["detect", "x.v", "--backend", spec]).unwrap() {
+            Command::Detect(args) => {
+                assert_eq!(args.backend, spec.parse::<BackendChoice>().unwrap());
+                assert_eq!(args.backend.to_string(), spec);
+            }
+            other => panic!("expected detect, got {other:?}"),
+        }
+        match Command::parse([
+            "bench",
+            "--smoke",
+            "--backend",
+            "portfolio:builtin,builtin,fastest-cex",
+        ])
+        .unwrap()
+        {
+            Command::Bench { backend, .. } => {
+                assert_eq!(
+                    backend,
+                    BackendChoice::portfolio(
+                        vec![BackendChoice::Builtin, BackendChoice::Builtin],
+                        RacePolicy::FastestCex,
+                    )
+                );
+            }
+            other => panic!("expected bench, got {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(["detect", "x.v", "--backend", "portfolio:"]).unwrap_err(),
+            ParseArgsError::InvalidBackend(_)
+        ));
+        assert!(matches!(
+            Command::parse(["bench", "--backend", "portfolio:builtin,z3"]).unwrap_err(),
+            ParseArgsError::InvalidBackend(_)
+        ));
+        assert!(usage().contains("portfolio:B1,B2"));
+        assert!(usage().contains("deterministic-cex"));
+        assert!(usage().contains("fastest-cex"));
+        assert!(usage().contains("HTD_PORTFOLIO"));
     }
 
     #[test]

@@ -472,6 +472,43 @@ fn bench(
             1.0
         }
     );
+    // Per-design winner tally for portfolio backends: who actually won the
+    // races, and what the losing members burnt.  Absent for single
+    // backends, whose race counters are always zero.
+    if records.iter().any(|r| r.race_solves > 0) {
+        let _ = writeln!(
+            out,
+            "portfolio race tally (winner = first definitive answer):"
+        );
+        for r in &records {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>5} racer wins / {:>5} races ({} primary), {} cancels wasting {} conflicts",
+                r.name,
+                r.race_wins,
+                r.race_solves,
+                r.race_solves - r.race_wins,
+                r.race_cancels,
+                r.race_wasted_conflicts
+            );
+        }
+        let races: u64 = records.iter().map(|r| r.race_solves).sum();
+        let wins: u64 = records.iter().map(|r| r.race_wins).sum();
+        let cancels: u64 = records.iter().map(|r| r.race_cancels).sum();
+        let wasted: u64 = records.iter().map(|r| r.race_wasted_conflicts).sum();
+        let latency: u64 = records.iter().map(|r| r.race_cancel_latency_us).sum();
+        let _ = writeln!(
+            out,
+            "  total: {wins} racer wins / {races} races ({} primary), {cancels} cancels wasting \
+             {wasted} conflicts, mean cancel latency {:.1}us",
+            races - wins,
+            if cancels > 0 {
+                latency as f64 / cancels as f64
+            } else {
+                0.0
+            }
+        );
+    }
     if let Some(path) = json {
         std::fs::write(path, trajectory::to_json(&records, jobs, pipeline, backend)).map_err(
             |e| CliError::Io {

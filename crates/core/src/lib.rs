@@ -110,9 +110,11 @@ pub use flow::DetectorConfig;
 #[allow(deprecated)]
 pub use flow::TrojanDetector;
 pub use flowgraph::{FlowGraph, FlowNode, FlowNodeKind};
-pub use htd_sat::{BudgetTracker, SolveBudget};
+pub use htd_sat::{BudgetTracker, RacePolicy, SolveBudget};
 pub use report::{DetectedBy, DetectionOutcome, DetectionReport, PropertyTrace};
 pub use scheduler::{
     PipelineStats, PropertyScheduler, SharedSolvePool, JOBS_ENV_VAR, LEVEL_PIPELINE_ENV_VAR,
 };
-pub use session::{BackendChoice, DetectionSession, EngineChoice, FlowEvent, SessionBuilder};
+pub use session::{
+    BackendChoice, DetectionSession, EngineChoice, FlowEvent, SessionBuilder, PORTFOLIO_ENV_VAR,
+};

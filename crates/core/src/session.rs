@@ -80,7 +80,8 @@ use htd_ipc::{
 };
 use htd_rtl::{SignalId, ValidatedDesign};
 use htd_sat::{
-    BudgetTracker, DimacsProcessBackend, IpasirBackend, SatBackend, Solver, SolverStats,
+    BudgetTracker, DimacsProcessBackend, IpasirBackend, PortfolioBackend, RacePolicy, SatBackend,
+    Solver, SolverStats,
 };
 
 use crate::diagnosis::{diagnose, Diagnosis};
@@ -109,6 +110,61 @@ pub enum BackendChoice {
     /// handle stays live across every query of the flow.  The bundled
     /// reference library is `crates/ipasir-shim` (`libipasir_htd.so`).
     Ipasir(PathBuf),
+    /// A first-answer-wins portfolio racing every solve task across the
+    /// member backends concurrently, losers cancelled through the interrupt
+    /// / `set_terminate` seam (`portfolio:builtin,ipasir:LIB.so`).  Member 0
+    /// is the *primary*: under the default
+    /// [`RacePolicy::DeterministicCex`] it is the only source of SAT
+    /// models, so reports stay byte-identical to running the primary alone;
+    /// `fastest-cex` takes the winner's model instead.  Members cannot
+    /// themselves be portfolios.
+    Portfolio(Vec<BackendChoice>, RacePolicy),
+}
+
+/// Environment variable supplying a default portfolio member list (see
+/// [`BackendChoice::try_default_from_env`]): a comma-separated backend list
+/// with an optional race-policy token, with or without the `portfolio:`
+/// prefix — e.g. `HTD_PORTFOLIO=builtin,ipasir:target/release/libipasir_htd.so`.
+pub const PORTFOLIO_ENV_VAR: &str = "HTD_PORTFOLIO";
+
+/// Parses the member list of a `portfolio:` backend spec: comma-separated
+/// member backends, with an optional race-policy token
+/// (`deterministic-cex` / `fastest-cex`) anywhere in the list.
+fn parse_portfolio(spec: &str) -> Result<BackendChoice, String> {
+    let mut members = Vec::new();
+    let mut policy: Option<RacePolicy> = None;
+    for piece in spec.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            return Err(
+                "`portfolio:` has an empty member entry (expected a comma-separated \
+                        backend list, e.g. `portfolio:builtin,ipasir:LIB.so`)"
+                    .into(),
+            );
+        }
+        if let Ok(parsed) = piece.parse::<RacePolicy>() {
+            if policy.replace(parsed).is_some() {
+                return Err("`portfolio:` lists more than one race policy".into());
+            }
+            continue;
+        }
+        if piece.starts_with("portfolio:") {
+            return Err("`portfolio:` members cannot be portfolios themselves".into());
+        }
+        let member: BackendChoice = piece
+            .parse()
+            .map_err(|e| format!("in `portfolio:` member `{piece}`: {e}"))?;
+        members.push(member);
+    }
+    if members.is_empty() {
+        return Err("`portfolio:` needs at least one member backend, e.g. \
+                    `portfolio:builtin,ipasir:target/release/libipasir_htd.so`"
+            .into());
+    }
+    Ok(BackendChoice::Portfolio(
+        members,
+        policy.unwrap_or_default(),
+    ))
 }
 
 impl BackendChoice {
@@ -124,6 +180,48 @@ impl BackendChoice {
         BackendChoice::Ipasir(library.into())
     }
 
+    /// A first-answer-wins portfolio over `members` (member 0 is the
+    /// primary — the SAT-model source under
+    /// [`RacePolicy::DeterministicCex`]).
+    #[must_use]
+    pub fn portfolio(members: Vec<BackendChoice>, policy: RacePolicy) -> Self {
+        BackendChoice::Portfolio(members, policy)
+    }
+
+    /// The default backend for sessions that do not choose one explicitly:
+    /// [`Builtin`](Self::Builtin), unless the `HTD_PORTFOLIO` environment
+    /// variable supplies a portfolio member list (comma-separated member
+    /// backends plus an optional race-policy token, with or without the
+    /// `portfolio:` prefix).
+    ///
+    /// # Errors
+    ///
+    /// A set-but-malformed `HTD_PORTFOLIO` is an error, never a silent
+    /// fallback — a typo would otherwise quietly solve without the racers
+    /// it was meant to add (same strictness as `HTD_JOBS`).
+    pub fn try_default_from_env() -> Result<BackendChoice, String> {
+        let Ok(value) = std::env::var(PORTFOLIO_ENV_VAR) else {
+            return Ok(BackendChoice::Builtin);
+        };
+        let spec = value.trim();
+        let spec = spec.strip_prefix("portfolio:").unwrap_or(spec);
+        parse_portfolio(spec).map_err(|message| {
+            format!("{PORTFOLIO_ENV_VAR}={value:?} is not a valid portfolio spec: {message}")
+        })
+    }
+
+    /// [`try_default_from_env`](Self::try_default_from_env), panicking on a
+    /// malformed `HTD_PORTFOLIO` — misconfigured environments fail loudly,
+    /// like the strict `HTD_JOBS` / `HTD_GC_*` overrides.
+    ///
+    /// # Panics
+    ///
+    /// If `HTD_PORTFOLIO` is set to anything but a valid portfolio spec.
+    #[must_use]
+    pub fn default_from_env() -> BackendChoice {
+        Self::try_default_from_env().unwrap_or_else(|message| panic!("{message}"))
+    }
+
     /// Checks the choice can be brought up at all — for `ipasir:` this
     /// dlopens the library and resolves its symbols (then releases it), for
     /// `dimacs:` it checks the solver program exists (directly or on
@@ -135,6 +233,11 @@ impl BackendChoice {
     /// [`DetectError::Backend`] when instantiation (or, for process
     /// backends, the first solver spawn) would fail.
     pub fn validate(&self) -> Result<(), DetectError> {
+        if let BackendChoice::Portfolio(members, _) = self {
+            for member in members {
+                member.validate()?;
+            }
+        }
         if let BackendChoice::DimacsProcess(program, _) = self {
             // A bare program name goes through the PATH search `Command`
             // will perform; anything with a separator is a filesystem path.
@@ -162,7 +265,18 @@ impl BackendChoice {
         self.instantiate().map(drop)
     }
 
-    fn instantiate(&self) -> Result<Box<dyn SatBackend>, DetectError> {
+    /// Brings up one backend instance of this choice: the bundled solver,
+    /// an external process/library wrapper, or a [`PortfolioBackend`] over
+    /// freshly instantiated members.  Callers that manage their own miter
+    /// encodings (e.g. the serve tier's frozen-master snapshot cache) use
+    /// this to solve on the configured backend instead of hardcoding the
+    /// builtin solver.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::Backend`] when bring-up fails (missing library,
+    /// empty portfolio, …).
+    pub fn instantiate(&self) -> Result<Box<dyn SatBackend>, DetectError> {
         match self {
             BackendChoice::Builtin => Ok(Box::new(Solver::new())),
             BackendChoice::DimacsProcess(path, args) => Ok(Box::new(
@@ -175,6 +289,16 @@ impl BackendChoice {
                 Ok(backend) => Ok(Box::new(backend)),
                 Err(e) => Err(DetectError::Backend { message: e.message }),
             },
+            BackendChoice::Portfolio(members, policy) => {
+                let mut instances = Vec::with_capacity(members.len());
+                for member in members {
+                    instances.push(member.instantiate()?);
+                }
+                match PortfolioBackend::new(instances, *policy) {
+                    Ok(backend) => Ok(Box::new(backend)),
+                    Err(e) => Err(DetectError::Backend { message: e.message }),
+                }
+            }
         }
     }
 }
@@ -212,8 +336,12 @@ impl FromStr for BackendChoice {
             }
             return Ok(BackendChoice::Ipasir(PathBuf::from(library)));
         }
+        if let Some(spec) = s.strip_prefix("portfolio:") {
+            return parse_portfolio(spec);
+        }
         Err(format!(
-            "unknown backend `{s}` (expected `builtin`, `dimacs:CMD` or `ipasir:LIB`)"
+            "unknown backend `{s}` (expected `builtin`, `dimacs:CMD`, `ipasir:LIB` or \
+             `portfolio:B1,B2,…[,deterministic-cex|fastest-cex]`)"
         ))
     }
 }
@@ -230,6 +358,21 @@ impl std::fmt::Display for BackendChoice {
                 Ok(())
             }
             BackendChoice::Ipasir(path) => write!(f, "ipasir:{}", path.display()),
+            BackendChoice::Portfolio(members, policy) => {
+                write!(f, "portfolio:")?;
+                for (i, member) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{member}")?;
+                }
+                // The default policy is implied; only the opt-in renders,
+                // so the output round-trips through `FromStr` unchanged.
+                if *policy == RacePolicy::FastestCex {
+                    write!(f, ",{policy}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -440,7 +583,9 @@ impl SessionBuilder {
         SessionBuilder {
             design,
             config: DetectorConfig::default(),
-            backend: BackendChoice::Builtin,
+            // Builtin unless HTD_PORTFOLIO supplies a racing portfolio
+            // (panics on a malformed value — strict, like HTD_JOBS).
+            backend: BackendChoice::default_from_env(),
             engine: EngineChoice::default(),
         }
     }
@@ -1302,5 +1447,95 @@ mod tests {
             BackendChoice::DimacsProcess("htd".into(), vec!["sat".into()]).to_string(),
             "dimacs:htd sat"
         );
+    }
+
+    #[test]
+    fn backend_choice_parses_the_portfolio_syntax() {
+        assert_eq!(
+            "portfolio:builtin,ipasir:lib.so"
+                .parse::<BackendChoice>()
+                .unwrap(),
+            BackendChoice::portfolio(
+                vec![BackendChoice::Builtin, BackendChoice::ipasir("lib.so")],
+                RacePolicy::DeterministicCex,
+            )
+        );
+        // The policy token is recognised anywhere in the member list.
+        assert_eq!(
+            "portfolio:fastest-cex,builtin,builtin"
+                .parse::<BackendChoice>()
+                .unwrap(),
+            BackendChoice::portfolio(
+                vec![BackendChoice::Builtin, BackendChoice::Builtin],
+                RacePolicy::FastestCex,
+            )
+        );
+        // Round-trips through Display: the policy suffix only appears when
+        // it differs from the default.
+        for spec in [
+            "portfolio:builtin,ipasir:lib.so",
+            "portfolio:builtin,builtin,fastest-cex",
+            "portfolio:builtin,dimacs:htd sat",
+        ] {
+            let choice = spec.parse::<BackendChoice>().unwrap();
+            assert_eq!(choice.to_string(), spec);
+            assert_eq!(choice.to_string().parse::<BackendChoice>().unwrap(), choice);
+        }
+
+        let empty = "portfolio:".parse::<BackendChoice>().unwrap_err();
+        assert!(empty.contains("empty member entry"), "{empty}");
+        let only_policy = "portfolio:deterministic-cex"
+            .parse::<BackendChoice>()
+            .unwrap_err();
+        assert!(only_policy.contains("at least one member"), "{only_policy}");
+        let nested = "portfolio:builtin,portfolio:builtin"
+            .parse::<BackendChoice>()
+            .unwrap_err();
+        assert!(nested.contains("cannot be portfolios"), "{nested}");
+        let dup = "portfolio:builtin,fastest-cex,deterministic-cex"
+            .parse::<BackendChoice>()
+            .unwrap_err();
+        assert!(dup.contains("more than one race policy"), "{dup}");
+        let bad_member = "portfolio:builtin,z3".parse::<BackendChoice>().unwrap_err();
+        assert!(bad_member.contains("member `z3`"), "{bad_member}");
+    }
+
+    #[test]
+    fn portfolio_validation_recurses_into_members() {
+        let good = BackendChoice::portfolio(
+            vec![BackendChoice::Builtin, BackendChoice::Builtin],
+            RacePolicy::DeterministicCex,
+        );
+        assert_eq!(good.validate(), Ok(()));
+        let bad = BackendChoice::portfolio(
+            vec![
+                BackendChoice::Builtin,
+                BackendChoice::ipasir("/nonexistent/libhtd-missing.so"),
+            ],
+            RacePolicy::DeterministicCex,
+        );
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("libhtd-missing.so"));
+    }
+
+    #[test]
+    fn a_portfolio_of_builtins_runs_the_flow() {
+        let report = SessionBuilder::new(infected_design())
+            .backend(BackendChoice::portfolio(
+                vec![BackendChoice::Builtin, BackendChoice::Builtin],
+                RacePolicy::DeterministicCex,
+            ))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            DetectionOutcome::PropertyFailed { .. }
+        ));
+        assert!(report.solver_totals.race_solves > 0);
     }
 }

@@ -485,9 +485,13 @@ impl IpasirBackend {
             stats: self.stats,
             known_unsat: self.known_unsat,
             // The cloned library-side handle must not poll the parent's
-            // predicate: the child re-installs its own below.
+            // *boxed* closure (it captures the parent's terminate-hook
+            // pointer): the child re-installs its own below — but the
+            // user-level predicate and the budget both carry over, so a
+            // child forked after `set_interrupt` honours the inherited
+            // cancel/ceiling hooks without a fresh `set_interrupt`.
             interrupt: None,
-            user_interrupt: None,
+            user_interrupt: self.user_interrupt.clone(),
             // Budgets are per job: the fork charges the parent's tracker.
             budget: self.budget.clone(),
         };
@@ -727,8 +731,10 @@ impl SatBackend for IpasirBackend {
             queries: self.queries,
             stats: self.stats,
             known_unsat: self.known_unsat,
+            // As in `fork_native`: drop the boxed closure, carry the
+            // user-level predicate and the budget, re-arm below.
             interrupt: None,
-            user_interrupt: None,
+            user_interrupt: self.user_interrupt.clone(),
             // Budgets are per job: the fork charges the parent's tracker.
             budget: self.budget.clone(),
         };

@@ -134,6 +134,28 @@ pub struct SolverStats {
     pub watcher_bytes_cloned: u64,
     /// Arena words freed by garbage-collection compaction sweeps.
     pub arena_words_reclaimed: u64,
+    /// Solve tasks answered by a portfolio race (one per
+    /// `PortfolioBackend::solve_under` that reached a verdict).  Zero for
+    /// every non-portfolio backend.
+    pub race_solves: u64,
+    /// Portfolio races decided by a *racer* member rather than the primary
+    /// (under `deterministic-cex` this means a racer proved UNSAT first and
+    /// cancelled the primary; primary wins are `race_solves - race_wins`).
+    pub race_wins: u64,
+    /// Member solves cancelled mid-search because another member answered
+    /// first (each cancelled member counts once per race).
+    pub race_cancels: u64,
+    /// Conflicts spent by members whose answer was discarded — the
+    /// duplicated work a portfolio pays for its latency wins.  Only counts
+    /// members that report conflict counters (the builtin solver; external
+    /// IPASIR libraries are black boxes and contribute zero).
+    pub race_wasted_conflicts: u64,
+    /// Total observed cancel→return latency in microseconds: the time from
+    /// raising a member's cancel flag to its `solve_under` returning, summed
+    /// over all cancelled members.  Divide by
+    /// [`race_cancels`](Self::race_cancels) for the mean latency the
+    /// interrupt seams actually deliver.
+    pub race_cancel_latency_us: u64,
 }
 
 impl SolverStats {
@@ -161,6 +183,11 @@ impl SolverStats {
             bytes_cloned,
             watcher_bytes_cloned,
             arena_words_reclaimed,
+            race_solves,
+            race_wins,
+            race_cancels,
+            race_wasted_conflicts,
+            race_cancel_latency_us,
         } = *other;
         self.decisions += decisions;
         self.propagations += propagations;
@@ -176,6 +203,11 @@ impl SolverStats {
         self.bytes_cloned += bytes_cloned;
         self.watcher_bytes_cloned += watcher_bytes_cloned;
         self.arena_words_reclaimed += arena_words_reclaimed;
+        self.race_solves += race_solves;
+        self.race_wins += race_wins;
+        self.race_cancels += race_cancels;
+        self.race_wasted_conflicts += race_wasted_conflicts;
+        self.race_cancel_latency_us += race_cancel_latency_us;
     }
 
     /// The counter-wise difference `self - earlier` (used to attribute work
@@ -199,6 +231,11 @@ impl SolverStats {
             bytes_cloned,
             watcher_bytes_cloned,
             arena_words_reclaimed,
+            race_solves,
+            race_wins,
+            race_cancels,
+            race_wasted_conflicts,
+            race_cancel_latency_us,
         } = *earlier;
         SolverStats {
             decisions: self.decisions - decisions,
@@ -215,6 +252,11 @@ impl SolverStats {
             bytes_cloned: self.bytes_cloned - bytes_cloned,
             watcher_bytes_cloned: self.watcher_bytes_cloned - watcher_bytes_cloned,
             arena_words_reclaimed: self.arena_words_reclaimed - arena_words_reclaimed,
+            race_solves: self.race_solves - race_solves,
+            race_wins: self.race_wins - race_wins,
+            race_cancels: self.race_cancels - race_cancels,
+            race_wasted_conflicts: self.race_wasted_conflicts - race_wasted_conflicts,
+            race_cancel_latency_us: self.race_cancel_latency_us - race_cancel_latency_us,
         }
     }
 }
@@ -461,8 +503,9 @@ impl Solver {
         self.max_learnt = limit;
     }
 
-    /// Installs an interrupt check polled during search (every conflict and
-    /// every 1024 decisions).  When it returns `true` the current query is
+    /// Installs an interrupt check polled during search (at search entry,
+    /// after every conflict, every 1024 decisions, and at every restart
+    /// boundary).  When it returns `true` the current query is
     /// abandoned with [`SolveResult::Interrupted`]; the formula and all
     /// learnt clauses remain valid and the solver can be queried again.
     ///
@@ -1225,6 +1268,15 @@ impl Solver {
             } else {
                 // No conflict.
                 if conflicts_since_restart >= restart_limit {
+                    // Restart boundaries are the cheapest place to honour a
+                    // cancellation promptly — the trail is about to be torn
+                    // down anyway — so portfolio races and doomed-task
+                    // cancels are never stretched across a whole restart
+                    // interval.
+                    if self.interrupted() {
+                        self.cancel_until(0);
+                        return SolveResult::Interrupted;
+                    }
                     restart_count += 1;
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
@@ -1377,6 +1429,39 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn the_interrupt_check_is_polled_at_restart_boundaries() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // PHP(7,6): pigeon i (0..7) sits in hole j (0..6) — unsatisfiable,
+        // and hard enough to force several Luby restarts.
+        let (mut s, v) = make_solver(42);
+        let p = |i: usize, j: usize| lit(&v, (i * 6 + j + 1) as i32);
+        for i in 0..7 {
+            s.add_clause((0..6).map(|j| p(i, j)));
+        }
+        for j in 0..6 {
+            for i1 in 0..7 {
+                for i2 in (i1 + 1)..7 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        let polls = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&polls);
+        s.set_interrupt(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+            false
+        }));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.restarts >= 1, "PHP(7,6) must restart: {stats:?}");
+        // Poll sites: one at search entry, one after every conflict, one per
+        // 1024 decisions, and one at every restart boundary.  Dropping the
+        // restart-boundary poll makes this undercount by exactly `restarts`.
+        let expected = 1 + stats.conflicts + stats.decisions / 1024 + stats.restarts;
+        assert_eq!(polls.load(Ordering::Relaxed), expected);
     }
 
     #[test]
@@ -1712,6 +1797,11 @@ mod tests {
             bytes_cloned: 12,
             watcher_bytes_cloned: 13,
             arena_words_reclaimed: 14,
+            race_solves: 15,
+            race_wins: 16,
+            race_cancels: 17,
+            race_wasted_conflicts: 18,
+            race_cancel_latency_us: 19,
         };
         let b = a;
         a.accumulate(&b);
@@ -1719,6 +1809,11 @@ mod tests {
         assert_eq!(a.bytes_cloned, 24);
         assert_eq!(a.watcher_bytes_cloned, 26);
         assert_eq!(a.arena_words_reclaimed, 28);
+        assert_eq!(a.race_solves, 30);
+        assert_eq!(a.race_wins, 32);
+        assert_eq!(a.race_cancels, 34);
+        assert_eq!(a.race_wasted_conflicts, 36);
+        assert_eq!(a.race_cancel_latency_us, 38);
         let delta = a.delta_since(&b);
         assert_eq!(delta, b);
     }

@@ -43,12 +43,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use htd_core::{
-    DetectError, DetectionReport, DetectorConfig, EngineChoice, FlowEvent, PropertyScheduler,
-    SessionBuilder, SharedSolvePool, SolveBudget,
+    BackendChoice, DetectError, DetectionReport, DetectorConfig, EngineChoice, FlowEvent,
+    PropertyScheduler, SessionBuilder, SharedSolvePool, SolveBudget,
 };
 use htd_ipc::{MiterSession, SessionStats};
 use htd_rtl::{netlist, ValidatedDesign};
-use htd_sat::{Solver, SolverStats};
+use htd_sat::SolverStats;
 
 use crate::cache::{FrozenMaster, SnapshotCache};
 use crate::fault::FaultSpec;
@@ -102,6 +102,12 @@ pub struct ServeOptions {
     pub workers: NonZeroUsize,
     /// The detection configuration applied to every served job.
     pub config: DetectorConfig,
+    /// The SAT backend every frozen master (and so every served job) solves
+    /// on.  Must support snapshot-forking — [`Server::start`] refuses
+    /// non-forkable choices.  Defaults to the builtin solver;
+    /// [`from_env`](Self::from_env) resolves the strict `HTD_PORTFOLIO`
+    /// default so the daemon races portfolios like any other session.
+    pub backend: BackendChoice,
     /// Server-wide cap on per-job solve budgets: a request's own budget is
     /// clamped to the tighter of the two.  Unlimited by default.
     pub budget: SolveBudget,
@@ -122,6 +128,7 @@ impl Default for ServeOptions {
             cache_bytes: crate::DEFAULT_CACHE_BYTES,
             workers: PropertyScheduler::available_parallelism(),
             config: DetectorConfig::default(),
+            backend: BackendChoice::Builtin,
             budget: SolveBudget::default(),
             drain_deadline: crate::DEFAULT_DRAIN_DEADLINE,
             header_timeout: crate::DEFAULT_HEADER_TIMEOUT,
@@ -147,6 +154,7 @@ impl ServeOptions {
             drain_deadline: crate::try_default_drain_deadline()?,
             header_timeout: crate::try_default_header_timeout()?,
             fault: crate::fault::try_default_fault()?,
+            backend: BackendChoice::try_default_from_env()?,
             ..ServeOptions::default()
         })
     }
@@ -301,8 +309,26 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding the address.
+    /// Propagates socket errors from binding the address, and rejects a
+    /// backend choice that cannot be brought up or cannot snapshot-fork
+    /// (every served job runs on a fork of a frozen master, so a
+    /// non-forkable backend could never serve a single job).
     pub fn start(options: ServeOptions) -> io::Result<Server> {
+        let probe = options
+            .backend
+            .instantiate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if !probe.can_fork() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "backend `{}` cannot snapshot-fork; the serve tier requires a forkable \
+                     backend (builtin, ipasir:LIB, or a portfolio of those)",
+                    options.backend
+                ),
+            ));
+        }
+        drop(probe);
         let listener = TcpListener::bind(&*options.addr)?;
         let addr = listener.local_addr()?;
         let pool = SharedSolvePool::new(options.workers);
@@ -1045,6 +1071,17 @@ fn serve_detection(
 ) -> (JobState, Option<&'static str>, Vec<Json>) {
     let mut config = state.options.config.clone();
     config.budget = budget;
+    // Frozen masters solve on the configured backend (builtin unless
+    // HTD_PORTFOLIO races a portfolio).  Bring-up was validated at
+    // Server::start, so a failure here (e.g. a solver library deleted at
+    // runtime) fails only this job, with a clean frame.
+    let build_master = || -> Result<MiterSession, DetectError> {
+        Ok(MiterSession::with_options(
+            design,
+            config.checker,
+            state.options.backend.instantiate()?,
+        ))
+    };
     let (design, run_miter, cache_tag) = if state.options.cache_bytes == 0 {
         // Caching disabled: build and fork anyway, so all three cache
         // dispositions execute the identical fork-of-pristine-master path.
@@ -1055,8 +1092,17 @@ fn serve_detection(
             .lock()
             .expect("no poisoned locks")
             .fetch(key, dump);
-        let master = MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
-        let fork = master.try_fork().expect("the builtin backend forks");
+        let master = match build_master() {
+            Ok(master) => master,
+            Err(e) => {
+                return (
+                    JobState::Failed,
+                    Some("off"),
+                    vec![error_frame(id, "rejected", &e.to_string())],
+                );
+            }
+        };
+        let fork = master.try_fork().expect("startup-validated backends fork");
         (design.clone(), fork, "off")
     } else {
         let cached = state
@@ -1070,9 +1116,17 @@ fn serve_detection(
                 // Build outside the cache lock: an expensive bit-blast must
                 // not stall unrelated jobs' cache lookups.  A concurrent
                 // same-key build loses the insert race and is simply dropped.
-                let master =
-                    MiterSession::with_options(design, config.checker, Box::new(Solver::new()));
-                let fork = master.try_fork().expect("the builtin backend forks");
+                let master = match build_master() {
+                    Ok(master) => master,
+                    Err(e) => {
+                        return (
+                            JobState::Failed,
+                            Some("miss"),
+                            vec![error_frame(id, "rejected", &e.to_string())],
+                        );
+                    }
+                };
+                let fork = master.try_fork().expect("startup-validated backends fork");
                 state.cache.lock().expect("no poisoned locks").insert(
                     key,
                     dump.to_owned(),
@@ -1288,6 +1342,19 @@ fn solver_json(stats: &SolverStats) -> Json {
             "arena_words_reclaimed",
             Json::UInt(stats.arena_words_reclaimed),
         ),
+        // Portfolio-race counters: all zero unless HTD_PORTFOLIO races
+        // the daemon's solves across multiple backends.
+        ("race_solves", Json::UInt(stats.race_solves)),
+        ("race_wins", Json::UInt(stats.race_wins)),
+        ("race_cancels", Json::UInt(stats.race_cancels)),
+        (
+            "race_wasted_conflicts",
+            Json::UInt(stats.race_wasted_conflicts),
+        ),
+        (
+            "race_cancel_latency_us",
+            Json::UInt(stats.race_cancel_latency_us),
+        ),
     ])
 }
 
@@ -1311,19 +1378,10 @@ fn session_json(stats: &SessionStats) -> Json {
 }
 
 fn accumulate_solver(into: &mut SolverStats, add: &SolverStats) {
-    into.decisions += add.decisions;
-    into.propagations += add.propagations;
-    into.conflicts += add.conflicts;
-    into.restarts += add.restarts;
-    into.learnt_clauses += add.learnt_clauses;
-    into.removed_clauses += add.removed_clauses;
-    into.solves += add.solves;
-    into.gc_runs += add.gc_runs;
-    into.clauses_collected += add.clauses_collected;
-    into.learnt_lbd_sum += add.learnt_lbd_sum;
-    into.fork_count += add.fork_count;
-    into.bytes_cloned += add.bytes_cloned;
-    into.arena_words_reclaimed += add.arena_words_reclaimed;
+    // Exhaustive by construction: `SolverStats::accumulate` destructures
+    // every counter, so new solver counters (e.g. the portfolio race
+    // telemetry) can never silently go missing from the daemon totals.
+    into.accumulate(add);
 }
 
 /// Settles subscriber `id`'s record exactly once: a record that already

@@ -393,3 +393,174 @@ fn drain_stops_admission_and_lets_running_jobs_finish() {
     // Drain shuts the daemon down once the last job settled: join returns.
     server.join();
 }
+
+/// How many `budget_exhausted` frames a raw NDJSON stream carried.
+fn exhausted_frames(frames: &[String]) -> usize {
+    frames
+        .iter()
+        .filter(|f| f.contains("\"event\":\"budget_exhausted\""))
+        .count()
+}
+
+#[test]
+fn request_budgets_clamp_to_the_server_cap() {
+    use htd_core::SolveBudget;
+
+    // The operator caps every job at a zero wall-clock allowance; requests
+    // can only tighten that, never widen it.
+    let server = Server::start(ServeOptions {
+        budget: SolveBudget {
+            deadline: Some(Duration::ZERO),
+            conflict_ceiling: None,
+        },
+        ..test_options()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr().to_string();
+    let infected = accelerator(true);
+
+    let expect_exhausted = |options: &SubmitOptions, label: &str| {
+        let mut frames = Vec::new();
+        match client::submit_with_options(&addr, &infected, options, &mut |line| {
+            frames.push(line.to_owned());
+        }) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, "budget_exhausted", "{label}")
+            }
+            other => panic!("{label}: expected budget_exhausted, got {other:?}"),
+        }
+        assert_eq!(
+            exhausted_frames(&frames),
+            1,
+            "{label}: exactly one terminal frame, got {frames:?}"
+        );
+    };
+
+    // Absent request budget: the server cap alone applies.
+    expect_exhausted(&SubmitOptions::default(), "absent request budget");
+    // A zero request budget is within the cap (it can't get any tighter).
+    expect_exhausted(
+        &SubmitOptions {
+            deadline_ms: Some(0),
+            ..SubmitOptions::default()
+        },
+        "zero request budget",
+    );
+    // A request far above the cap is clamped down to it, not honoured.
+    expect_exhausted(
+        &SubmitOptions {
+            deadline_ms: Some(3_600_000),
+            conflict_ceiling: Some(u64::MAX),
+            ..SubmitOptions::default()
+        },
+        "over-cap request budget",
+    );
+
+    let served = client::stats(&addr).expect("stats endpoint answers");
+    assert_eq!(
+        served.get("budget_exhausted").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert_eq!(served.get("completed").and_then(Json::as_u64), Some(0));
+    server.stop();
+
+    // Control: with an unlimited server cap, an absent request budget means
+    // no budget at all — the same design completes normally.
+    let unlimited = test_server();
+    let addr = unlimited.addr().to_string();
+    let ok = client::submit(&addr, &infected, &mut |_| {}).expect("uncapped job completes");
+    assert_eq!(ok.report_text, solo_normalized_report(&infected));
+    unlimited.stop();
+}
+
+#[test]
+fn a_portfolio_backend_serves_identical_reports_and_counts_its_races() {
+    use htd_core::{BackendChoice, RacePolicy};
+
+    let server = Server::start(ServeOptions {
+        backend: BackendChoice::portfolio(
+            vec![BackendChoice::Builtin, BackendChoice::Builtin],
+            RacePolicy::DeterministicCex,
+        ),
+        ..test_options()
+    })
+    .expect("a portfolio of builtins forks, so the server starts");
+    let addr = server.addr().to_string();
+    let infected = accelerator(true);
+
+    // Deterministic-cex: the served verdict, property table and — most
+    // importantly — the counterexample bytes match a solo run on the
+    // builtin backend alone.  Only the work-counter lines may differ
+    // (forking N members copies N× the bytes, and the portfolio prints its
+    // race tally), so those are filtered before comparing.
+    let counters_scrubbed = |text: &str| -> String {
+        text.lines()
+            .filter(|line| {
+                !line.starts_with("  solver:")
+                    && !line.starts_with("  snapshots:")
+                    && !line.starts_with("  portfolio:")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let got = client::submit(&addr, &infected, &mut |_| {}).expect("portfolio job completes");
+    assert_eq!(
+        counters_scrubbed(&got.report_text),
+        counters_scrubbed(&solo_normalized_report(&infected))
+    );
+    assert!(
+        got.report_text.contains("  portfolio: "),
+        "{}",
+        got.report_text
+    );
+
+    // The race telemetry reaches /stats through solver_totals.
+    let served = client::stats(&addr).expect("stats endpoint answers");
+    let solver = served.get("solver_totals").expect("solver totals present");
+    let races = solver.get("race_solves").and_then(Json::as_u64).unwrap();
+    assert!(races > 0, "every solve task raced: {solver:?}");
+    let wins = solver.get("race_wins").and_then(Json::as_u64).unwrap();
+    assert!(wins <= races);
+    assert!(solver.get("race_cancels").is_some());
+    assert!(solver.get("race_wasted_conflicts").is_some());
+    assert!(solver.get("race_cancel_latency_us").is_some());
+
+    // An exhausted budget stops every racing member: the job settles with
+    // exactly one budget_exhausted frame and the pool stays healthy.
+    let options = SubmitOptions {
+        deadline_ms: Some(0),
+        ..SubmitOptions::default()
+    };
+    let mut frames = Vec::new();
+    match client::submit_with_options(&addr, &infected, &options, &mut |line| {
+        frames.push(line.to_owned());
+    }) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "budget_exhausted"),
+        other => panic!("expected budget_exhausted, got {other:?}"),
+    }
+    assert_eq!(
+        exhausted_frames(&frames),
+        1,
+        "one terminal frame even with racing members: {frames:?}"
+    );
+    let ok = client::submit(&addr, &infected, &mut |_| {}).expect("pool survives");
+    assert_eq!(
+        counters_scrubbed(&ok.report_text),
+        counters_scrubbed(&solo_normalized_report(&infected))
+    );
+
+    server.stop();
+}
+
+#[test]
+fn an_unusable_backend_is_refused_at_startup() {
+    use htd_core::BackendChoice;
+
+    let Err(err) = Server::start(ServeOptions {
+        backend: BackendChoice::ipasir("/nonexistent/libhtd-missing.so"),
+        ..test_options()
+    }) else {
+        panic!("a missing library must fail bring-up")
+    };
+    assert!(err.to_string().contains("libhtd-missing.so"), "{err}");
+}

@@ -27,7 +27,9 @@ use std::path::PathBuf;
 use golden_free_htd::detect::{
     BackendChoice, DetectionReport, DetectorConfig, EngineChoice, PropertyScheduler, SessionBuilder,
 };
-use golden_free_htd::sat::{IpasirBackend, Lit, SatBackend, SolveResult, SolverStats};
+use golden_free_htd::sat::{
+    BudgetTracker, IpasirBackend, Lit, SatBackend, SolveBudget, SolveResult, SolverStats,
+};
 use golden_free_htd::trusthub::registry::Benchmark;
 
 /// Locates the shim cdylib built by cargo (`HTD_IPASIR_LIB` overrides, for
@@ -277,6 +279,90 @@ fn interrupts_reach_the_library_through_set_terminate() {
     assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Interrupted);
     backend.set_interrupt(std::sync::Arc::new(|| false));
     assert_eq!(backend.solve_under(&[]).unwrap(), SolveResult::Sat);
+}
+
+/// Regression for the fork/interrupt seam the portfolio backend cancels
+/// losers through: a child forked *after* the parent armed a conflict
+/// ceiling must honour it without a fresh `set_budget` — `fork_native`
+/// used to drop the inherited terminate state on the floor, so a racing
+/// fork would grind on after its budget was spent.
+#[test]
+fn a_forked_child_honours_a_pre_armed_conflict_ceiling() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let mut backend = IpasirBackend::load(shim_library()).expect("shim loads");
+    let vars: Vec<_> = (0..6).map(|_| backend.new_var()).collect();
+    for window in vars.windows(2) {
+        backend.add_clause(&[Lit::neg(window[0]), Lit::pos(window[1])]);
+    }
+
+    // Arm a conflict ceiling on the *parent* and spend it (the external
+    // solver's conflicts are charged by sibling shards, so charge the
+    // tracker directly — this is exactly the shared-tracker state a racing
+    // fork inherits).
+    let tracker = Arc::new(BudgetTracker::start(
+        SolveBudget {
+            deadline: None,
+            conflict_ceiling: Some(2),
+        },
+        Arc::new(AtomicBool::new(false)),
+    ));
+    backend.set_budget(Some(Arc::clone(&tracker)));
+    for _ in 0..3 {
+        tracker.charge_conflict();
+    }
+    assert!(tracker.check(), "the ceiling is spent");
+
+    // Both fork paths must carry the armed budget across.
+    let mut native = backend.fork_native().expect("clone extension is present");
+    assert_eq!(
+        native.solve_under(&[]).unwrap(),
+        SolveResult::Interrupted,
+        "a native clone honours the pre-armed ceiling without set_budget"
+    );
+    let mut replayed = backend.fork().expect("ipasir backends fork");
+    assert_eq!(
+        replayed.solve_under(&[]).unwrap(),
+        SolveResult::Interrupted,
+        "a replay fork honours the pre-armed ceiling without set_budget"
+    );
+
+    // Releasing the ceiling on the child restores normal solving — the
+    // inherited state is a starting point, not a permanent verdict.
+    native.set_budget(None);
+    assert_eq!(native.solve_under(&[]).unwrap(), SolveResult::Sat);
+}
+
+/// The user-level interrupt predicate also survives a fork: a cancel flag
+/// armed before forking stops the child the moment it trips, with no
+/// fresh `set_interrupt` on the child handle.
+#[test]
+fn a_forked_child_inherits_the_parent_interrupt_predicate() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut backend = IpasirBackend::load(shim_library()).expect("shim loads");
+    let a = backend.new_var();
+    let b = backend.new_var();
+    backend.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&cancel);
+    backend.set_interrupt(Arc::new(move || flag.load(Ordering::Relaxed)));
+
+    let mut child = backend.fork_native().expect("clone extension is present");
+    assert_eq!(
+        child.solve_under(&[]).unwrap(),
+        SolveResult::Sat,
+        "an untripped flag does not block the child"
+    );
+    cancel.store(true, Ordering::Relaxed);
+    assert_eq!(
+        child.solve_under(&[]).unwrap(),
+        SolveResult::Interrupted,
+        "the inherited predicate cancels the forked child"
+    );
 }
 
 /// `detect --backend ipasir:` wiring end to end: dimacs-style detection
