@@ -1,0 +1,454 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! This is not a full Rust lexer — it is the minimal faithful token stream the
+//! lint rules need: identifiers, lifetimes, literals (including raw strings,
+//! byte strings and nested block comments, which is where naive regex-style
+//! scanners silently mis-fire), comments with their line spans, and single
+//! character punctuation.  Everything the rules match (`unsafe`,
+//! `Instant::now`, `env::var("HTD_…")`, `..` inside a struct pattern,
+//! `.unwrap()`) is a short token sequence over this stream, so a keyword
+//! inside a string literal or a commented-out call can never produce a
+//! finding.
+
+/// The coarse classification of a scanned token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `SolverStats`, …).  Raw
+    /// identifiers keep their `r#` prefix so `r#unsafe` never matches the
+    /// `unsafe` keyword.
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A literal: number, char, byte, string (the text keeps its quotes and
+    /// prefix, so a string literal always starts with `"`, `r`, `b` or `c`).
+    Literal,
+    /// A `// …` comment (doc comments included).
+    LineComment,
+    /// A `/* … */` comment (possibly nested, possibly spanning lines).
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One scanned token with its source line span (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// The line the token starts on.
+    pub line: u32,
+    /// The line the token ends on (differs from `line` only for block
+    /// comments and multi-line string literals).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether the token is a comment of either flavour.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier/keyword `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans `source` into a token stream.  The scanner never fails: anything it
+/// does not recognise becomes single-character punctuation, which is safe for
+/// every rule (rules only ever match known sequences).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.lifetime_or_char(),
+                b'r' | b'b' | b'c' => {
+                    if !self.prefixed_literal_or_raw_ident() {
+                        self.ident();
+                    }
+                }
+                _ if is_ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, start_line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let mut depth = 1usize;
+        self.pos += 2;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, self.pos, start_line);
+    }
+
+    /// A `"…"` string with escapes, starting the token at `token_start`
+    /// (which may be earlier than the quote when the string has a `b`/`c`
+    /// prefix).  `self.pos` must point at the opening quote.
+    fn string(&mut self, token_start: usize) {
+        let start_line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(
+            TokenKind::Literal,
+            token_start,
+            self.pos.min(self.bytes.len()),
+            start_line,
+        );
+    }
+
+    /// A raw string body `"…"#…` with `hashes` trailing hashes; `self.pos`
+    /// must point at the opening quote.
+    fn raw_string(&mut self, token_start: usize, hashes: usize) {
+        let start_line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    let tail = &self.bytes[self.pos + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(
+            TokenKind::Literal,
+            token_start,
+            self.pos.min(self.bytes.len()),
+            start_line,
+        );
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`,
+    /// `c"…"`, `cr#"…"#`.  Returns false when the `r`/`b`/`c` is just the
+    /// start of a plain identifier.
+    fn prefixed_literal_or_raw_ident(&mut self) -> bool {
+        let start = self.pos;
+        let first = self.bytes[self.pos];
+        let mut j = self.pos + 1;
+        let mut raw = first == b'r';
+        // A two-letter prefix: `br` / `cr`.
+        if (first == b'b' || first == b'c') && self.bytes.get(j) == Some(&b'r') {
+            raw = true;
+            j += 1;
+        }
+        // Byte char literal `b'…'`.
+        if first == b'b' && self.bytes.get(j) == Some(&b'\'') {
+            self.pos = j + 1;
+            self.char_literal_body(start);
+            return true;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.bytes.get(j + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.bytes.get(j + hashes) == Some(&b'"') {
+                self.pos = j + hashes;
+                self.raw_string(start, hashes);
+                return true;
+            }
+            // `r#ident` — a raw identifier (exactly `r` + one `#`).
+            if first == b'r'
+                && hashes == 1
+                && self.bytes.get(j + 1).is_some_and(|&b| is_ident_start(b))
+            {
+                self.pos = j + 1;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Ident, start, self.pos, self.line);
+                return true;
+            }
+            return false;
+        }
+        // Plain `b"…"` / `c"…"`.
+        if self.bytes.get(j) == Some(&b'"') {
+            self.pos = j;
+            self.string(start);
+            return true;
+        }
+        false
+    }
+
+    /// The body of a char/byte-char literal; `self.pos` points past the
+    /// opening quote and `token_start` at the token's first byte.
+    fn char_literal_body(&mut self, token_start: usize) {
+        let start_line = self.line;
+        if self.bytes.get(self.pos) == Some(&b'\\') {
+            self.pos += 2;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.bytes.len());
+        } else {
+            // One (possibly multi-byte) character, then the closing quote.
+            if let Some(ch) = self.src[self.pos..].chars().next() {
+                self.pos += ch.len_utf8();
+            }
+            if self.bytes.get(self.pos) == Some(&b'\'') {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Literal, token_start, self.pos, start_line);
+    }
+
+    fn lifetime_or_char(&mut self) {
+        let start = self.pos;
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 1;
+            self.char_literal_body(start);
+            return;
+        }
+        // `'x'` (one character, ASCII or not, then a quote) is a char
+        // literal; everything else (`'a`, `'static`, `'_`) is a lifetime.
+        if let Some(ch) = self.src[start + 1..].chars().next() {
+            if self.bytes.get(start + 1 + ch.len_utf8()) == Some(&b'\'') {
+                self.pos += 1;
+                self.char_literal_body(start);
+                return;
+            }
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Lifetime, start, self.pos, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.pos, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        // A fractional part — but never eat `..` (a range) or `.method()`.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|&b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Literal, start, self.pos, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_and_comments_are_not_idents() {
+        let toks = kinds(r#"let x = "unsafe { }"; // unsafe fn"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unsafe fn")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"an "unsafe" quote"#; let t = 1;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("unsafe")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Literal && t.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still */ fn after() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("let r = 0..stats.len(); let f = 1.5e3;");
+        let dots = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+            .count();
+        // `0..stats` contributes two dot puncts, `stats.len` one.
+        assert_eq!(dots, 3);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "1.5e3"));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        let toks = kinds("let r#unsafe = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#unsafe"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn block_comment_line_spans_cover_every_line() {
+        let toks = lex("/* a\n b\n c */\nfn x() {}");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line, 3);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let toks = kinds(r##"let a = b"SAFETY"; let b = b'\n'; let c = br#"x"#;"##);
+        let lits = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 3);
+    }
+}

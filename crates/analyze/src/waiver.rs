@@ -1,0 +1,169 @@
+//! Inline waiver pragmas.
+//!
+//! A finding can be waived — never silenced — with a comment of the form
+//!
+//! ```text
+//! // htd-lint: allow(<rule>): <justification>
+//! ```
+//!
+//! either trailing on the offending line or on its own line directly above
+//! it.  The justification is mandatory: a waiver without one is itself a
+//! finding (rule `waiver-hygiene`), and so is a waiver naming an unknown
+//! rule or one that never matches a finding (a stale waiver must be deleted,
+//! not carried along).
+//!
+//! Only plain `//` and `/* … */` comments carry waivers: doc comments
+//! (`///`, `//!`, `/**`, `/*!`) are rendered documentation, where the pragma
+//! text may legitimately appear as an *example* (this very file does).
+
+use crate::lexer::Token;
+use crate::{Finding, Rule};
+
+/// The marker every waiver comment carries.
+pub const MARKER: &str = "htd-lint:";
+
+/// One parsed waiver pragma.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule this waiver applies to.
+    pub rule: Rule,
+    /// The line the waiver comment sits on.
+    pub comment_line: u32,
+    /// The source line whose findings this waiver covers.
+    pub target_line: u32,
+    /// The mandatory justification text (may be empty — which is itself
+    /// reported as a `waiver-hygiene` finding, but the waiver still marks
+    /// its target as waived so one mistake yields one finding, not two).
+    pub justification: String,
+    /// Whether any finding actually matched this waiver.
+    pub used: bool,
+}
+
+/// Scans the token stream for waiver pragmas.  Returns the parsed waivers
+/// plus the `waiver-hygiene` findings for malformed ones.
+pub fn collect(rel_path: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, token) in tokens.iter().enumerate() {
+        if !token.is_comment() || is_doc_comment(&token.text) {
+            continue;
+        }
+        let Some(marker_at) = token.text.find(MARKER) else {
+            continue;
+        };
+        let rest = token.text[marker_at + MARKER.len()..]
+            .trim()
+            .trim_end_matches("*/")
+            .trim();
+        match parse_body(rest) {
+            Ok((rule_name, justification)) => {
+                let Some(rule) = Rule::from_name(rule_name) else {
+                    findings.push(Finding::hygiene(
+                        rel_path,
+                        token.line,
+                        format!("waiver names unknown rule `{rule_name}`"),
+                    ));
+                    continue;
+                };
+                if rule == Rule::WaiverHygiene {
+                    findings.push(Finding::hygiene(
+                        rel_path,
+                        token.line,
+                        "`waiver-hygiene` findings cannot be waived".to_string(),
+                    ));
+                    continue;
+                }
+                if justification.is_empty() {
+                    findings.push(Finding::hygiene(
+                        rel_path,
+                        token.line,
+                        format!("waiver for `{}` has no justification", rule.name()),
+                    ));
+                }
+                waivers.push(Waiver {
+                    rule,
+                    comment_line: token.line,
+                    target_line: target_line(tokens, idx),
+                    justification: justification.to_string(),
+                    used: false,
+                });
+            }
+            Err(message) => findings.push(Finding::hygiene(rel_path, token.line, message)),
+        }
+    }
+    (waivers, findings)
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    // `//!`, `/*!` and `///`, `/**` — but not the bare delimiters `//`
+    // and `/**/`-style plain comments themselves.
+    text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("///") && !text.starts_with("////"))
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+}
+
+/// Parses `allow(<rule>): <justification>`; the justification may be absent
+/// (reported by the caller).
+fn parse_body(rest: &str) -> Result<(&str, &str), String> {
+    let Some(open) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed waiver: expected `{MARKER} allow(<rule>): <justification>`"
+        ));
+    };
+    let Some(close) = open.find(')') else {
+        return Err("malformed waiver: unclosed `allow(`".to_string());
+    };
+    let rule_name = open[..close].trim();
+    let tail = open[close + 1..].trim();
+    let justification = tail.strip_prefix(':').map_or("", str::trim);
+    Ok((rule_name, justification))
+}
+
+/// The line a waiver at token index `idx` covers: its own line when code
+/// shares it (a trailing waiver), otherwise the next line below that carries
+/// a non-comment token.
+fn target_line(tokens: &[Token], idx: usize) -> u32 {
+    let comment_line = tokens[idx].line;
+    let trailing = tokens[..idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.end_line >= comment_line)
+        .any(|t| !t.is_comment() && t.line <= comment_line && t.end_line >= comment_line);
+    if trailing {
+        return comment_line;
+    }
+    tokens[idx + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map_or(comment_line, |t| t.line)
+}
+
+/// Marks findings covered by a waiver as waived, then reports every waiver
+/// that covered nothing as a stale-waiver finding.
+pub fn apply(rel_path: &str, mut waivers: Vec<Waiver>, findings: &mut Vec<Finding>) {
+    for finding in findings.iter_mut() {
+        if finding.rule == Rule::WaiverHygiene {
+            continue;
+        }
+        if let Some(waiver) = waivers
+            .iter_mut()
+            .find(|w| w.rule == finding.rule && w.target_line == finding.line)
+        {
+            waiver.used = true;
+            finding.waived = true;
+            finding.justification = Some(waiver.justification.clone());
+        }
+    }
+    for waiver in waivers.iter().filter(|w| !w.used) {
+        findings.push(Finding::hygiene(
+            rel_path,
+            waiver.comment_line,
+            format!(
+                "stale waiver: no `{}` finding on line {}",
+                waiver.rule.name(),
+                waiver.target_line
+            ),
+        ));
+    }
+}

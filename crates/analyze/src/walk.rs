@@ -1,0 +1,55 @@
+//! Workspace file discovery.
+//!
+//! A hand-rolled recursive walk (no `walkdir`, matching the repo's
+//! dependency-free ethos) that collects every `.rs` file under the
+//! workspace root in a deterministic (sorted) order, skipping build output
+//! (`target/`), VCS metadata (`.git/`) and lint-fixture trees (any directory
+//! named `fixtures` — those files *deliberately* violate the rules).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walk never descends into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Collects every `.rs` file under `root`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates the first I/O error hit while reading a directory.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    visit(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn visit(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let file_type = entry.file_type()?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, files)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative form of `path` with `/` separators (the form every
+/// allowlist entry and finding uses).
+#[must_use]
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying the required unsafe-code lint attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

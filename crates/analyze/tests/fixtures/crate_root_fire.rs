@@ -1,0 +1,6 @@
+//! Fixture: a crate root (the test presents it as `src/lib.rs`) that never
+//! declares `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,11 @@
+//! Fixture: a wall-clock read in production code outside the timing
+//! allowlist.  The string literal below must NOT fire — only real tokens do.
+
+use std::time::Instant;
+
+pub const DECOY: &str = "Instant::now() inside a string is not a call";
+
+pub fn measure() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,31 @@
+//! Fixture: exhaustive stats aggregation — every field named, plus a `..`
+//! in an *unrelated* fn (ranges and other types are not the rule's target).
+
+pub struct SolverStats {
+    pub propagations: u64,
+    pub conflicts: u64,
+}
+
+pub struct Other {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl SolverStats {
+    pub fn accumulate(&mut self, other: &SolverStats) {
+        let SolverStats {
+            propagations,
+            conflicts,
+        } = *other;
+        self.propagations += propagations;
+        self.conflicts += conflicts;
+    }
+}
+
+pub fn unrelated(o: &Other) -> u64 {
+    // A rest pattern outside accumulate/delta_since/normalized, and on a
+    // type that is not a stats struct: not the rule's business.
+    let Other { a, .. } = *o;
+    let range_sum: u64 = (0..a).sum();
+    range_sum
+}

@@ -1,0 +1,14 @@
+//! Fixture: a `..` rest pattern inside a stats-aggregation fn — a new
+//! counter would be silently dropped instead of breaking the build.
+
+pub struct SolverStats {
+    pub propagations: u64,
+    pub conflicts: u64,
+}
+
+impl SolverStats {
+    pub fn accumulate(&mut self, other: &SolverStats) {
+        let SolverStats { propagations, .. } = *other;
+        self.propagations += propagations;
+    }
+}

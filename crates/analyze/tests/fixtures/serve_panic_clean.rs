@@ -1,0 +1,14 @@
+//! Fixture: request-path code that settles errors structurally, with the
+//! only `unwrap` confined to a `#[cfg(test)]` module (test code is exempt).
+
+pub fn parse(input: &str) -> Result<u64, String> {
+    input.parse().map_err(|_| format!("not a number: {input}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

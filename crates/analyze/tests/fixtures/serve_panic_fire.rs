@@ -1,0 +1,7 @@
+//! Fixture: `unwrap`/`expect` in request-path code (the test presents this
+//! file as `crates/serve/src/server.rs`).
+
+pub fn parse(input: &str) -> u64 {
+    let n: u64 = input.parse().unwrap();
+    n.checked_mul(2).expect("no overflow")
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same `HTD_*` read, legal because the test presents this
+//! file as one of the designated strict-parsing modules.
+
+pub fn addr() -> Option<String> {
+    std::env::var("HTD_SERVE_ADDR").ok()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a raw `HTD_*` environment read outside the strict-parsing
+//! modules.  The `PATH` read must NOT fire — only the `HTD_` prefix does.
+
+pub fn addr() -> Option<String> {
+    let _ = std::env::var("PATH");
+    std::env::var("HTD_SERVE_ADDR").ok()
+}

@@ -1,0 +1,18 @@
+//! Fixture: audited `unsafe` — lives under an allowlisted path (the test
+//! presents this file as part of the IPASIR shim) and every use carries an
+//! adjacent SAFETY comment.
+
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must point to a live byte.
+pub unsafe fn peek_contract(p: *const u8) -> u8 {
+    // SAFETY: this fn's own contract above.
+    unsafe { *p }
+}

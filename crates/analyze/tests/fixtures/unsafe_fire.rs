@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block outside the audited modules, with no
+//! adjacent SAFETY comment.  Fires `unsafe-audit` twice on the same line.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

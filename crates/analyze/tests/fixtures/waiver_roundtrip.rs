@@ -1,0 +1,15 @@
+//! Fixture: both waiver placements — a pragma on its own line directly
+//! above the finding, and a trailing pragma on the finding's line.
+
+use std::time::Instant;
+
+pub fn above() -> std::time::Duration {
+    // htd-lint: allow(determinism): fixture — the duration is discarded
+    let start = Instant::now();
+    start.elapsed()
+}
+
+pub fn trailing() -> std::time::Duration {
+    let start = Instant::now(); // htd-lint: allow(determinism): fixture — trailing placement
+    start.elapsed()
+}

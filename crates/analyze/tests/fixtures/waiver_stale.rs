@@ -1,0 +1,12 @@
+//! Fixture: waivers that cover nothing — one stale (no finding on the
+//! target line) and one naming a rule that does not exist.
+
+// htd-lint: allow(determinism): nothing below ever reads a clock
+pub fn quiet() -> u32 {
+    7
+}
+
+// htd-lint: allow(no-such-rule): the rule name is wrong
+pub fn also_quiet() -> u32 {
+    8
+}

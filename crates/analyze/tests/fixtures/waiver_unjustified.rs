@@ -1,0 +1,10 @@
+//! Fixture: a waiver with no justification — the finding is waived, but
+//! the naked waiver is itself a `waiver-hygiene` finding.
+
+use std::time::Instant;
+
+pub fn measure() -> std::time::Duration {
+    // htd-lint: allow(determinism)
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -205,6 +205,15 @@ pub enum Command {
         /// Write to this file instead of stdout.
         output: Option<PathBuf>,
     },
+    /// Run the workspace invariant checker (`htd-analyze`) over the source
+    /// tree and report findings.
+    Lint {
+        /// Emit the machine-readable JSON report instead of text.
+        json: bool,
+        /// Workspace root to lint (default: walk up from the current
+        /// directory to the first `[workspace]` manifest).
+        root: Option<PathBuf>,
+    },
     /// Print usage information.
     Help,
 }
@@ -457,6 +466,20 @@ impl Command {
                     backend,
                 })
             }
+            "lint" => {
+                let mut json = false;
+                let mut root = None;
+                for arg in rest {
+                    match arg.as_str() {
+                        "--json" => json = true,
+                        flag if flag.starts_with("--") => {
+                            return Err(ParseArgsError::UnknownFlag(flag.to_string()))
+                        }
+                        positional => root = Some(PathBuf::from(positional)),
+                    }
+                }
+                Ok(Command::Lint { json, root })
+            }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(ParseArgsError::UnknownCommand(other.to_string())),
         }
@@ -533,6 +556,7 @@ USAGE:
     htd bench [--json FILE] [--jobs N] [--smoke] [--no-pipeline]
               [--backend builtin|dimacs:CMD|ipasir:LIB|portfolio:B1,B2,…]
     htd sat <file.cnf>
+    htd lint [ROOT] [--json]
     htd help
 
 INPUTS:
@@ -550,6 +574,9 @@ SUBCOMMANDS:
     table1      regenerate Table I of the paper on the bundled benchmarks
     bench       perf-trajectory harness (sequential vs sharded engine timings)
     sat         solve a DIMACS CNF file (SAT-competition output format)
+    lint        check the workspace sources against the repo invariants
+                (unsafe-audit, determinism, strict-env, exhaustive-stats,
+                serve-panic-hygiene); exits non-zero on unwaived findings
 
 DETECT FLAGS:
     --backend builtin        solve with the bundled incremental CDCL solver (default)
@@ -620,6 +647,15 @@ BENCH FLAGS:
                              JSON header carry the backend tag); portfolio:B1,B2,…
                              races the members per solve task and the table
                              reports per-design race wins
+
+LINT FLAGS:
+    ROOT                     workspace root to lint (default: walk up from the
+                             current directory to the first [workspace]
+                             manifest)
+    --json                   emit the machine-readable JSON report (every
+                             finding incl. waived ones, with justifications)
+                             instead of text.  Waive a finding in-source with
+                             `htd-lint: allow(<rule>): <justification>`
 "
 }
 

@@ -67,6 +67,14 @@ pub enum CliError {
         /// The underlying message.
         message: String,
     },
+    /// `htd lint` found unwaived findings.  The rendered report (text or
+    /// JSON, per `--json`) is carried whole: it is the command's *output*,
+    /// not an error banner, so `main` prints it on stdout and only the exit
+    /// code signals failure.
+    Lint {
+        /// The rendered lint report.
+        report: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -82,6 +90,7 @@ impl fmt::Display for CliError {
             CliError::Service { message } => {
                 write!(f, "service request failed: {message}")
             }
+            CliError::Lint { report } => write!(f, "{report}"),
         }
     }
 }
@@ -139,6 +148,48 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         Command::Serve(args) => serve(args),
         Command::Submit(args) => submit(args),
         Command::Export { input, top, output } => export(input, top.as_deref(), output.as_deref()),
+        Command::Lint { json, root } => lint(*json, root.as_deref()),
+    }
+}
+
+/// `htd lint`: run the workspace invariant checker (`htd-analyze`) and
+/// render the report.  A clean tree returns the report as normal output; an
+/// unwaived finding returns it through [`CliError::Lint`], which `main`
+/// still prints on stdout but exits non-zero for — the contract the
+/// `static-analysis` CI leg relies on.
+fn lint(json: bool, root: Option<&Path>) -> Result<String, CliError> {
+    let root = match root {
+        Some(explicit) => explicit.to_path_buf(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| CliError::Io {
+                path: PathBuf::from("."),
+                message: e.to_string(),
+            })?;
+            htd_analyze::find_workspace_root(&cwd).ok_or_else(|| CliError::Config {
+                message: format!(
+                    "no `[workspace]` Cargo.toml above {} — pass the workspace root explicitly: \
+                     htd lint ROOT",
+                    cwd.display()
+                ),
+            })?
+        }
+    };
+    let report =
+        htd_analyze::lint_workspace(&root, &htd_analyze::LintConfig::default()).map_err(|e| {
+            CliError::Io {
+                path: root.clone(),
+                message: e.to_string(),
+            }
+        })?;
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint { report: rendered })
     }
 }
 
@@ -188,6 +239,7 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
             drain.drain();
             return;
         }
+        // htd-lint: allow(determinism): SIGTERM poll cadence for the drain watcher; jobs and reports never observe it
         std::thread::sleep(Duration::from_millis(100));
     });
     server.join();

@@ -1,9 +1,13 @@
 //! The `htd` binary: golden-free hardware-Trojan detection from the command
 //! line.  See `htd help` or the crate documentation of `htd-cli`.
 
+// The binary shim itself is safe code; the audited SIGTERM FFI lives behind
+// `htd_cli::signal`.
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
-use htd_cli::{run, Command};
+use htd_cli::{run, CliError, Command};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +22,13 @@ fn main() -> ExitCode {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
+        }
+        // A failed lint is a report, not an error banner: the findings go to
+        // stdout (where CI and humans expect them) and only the exit code
+        // carries the verdict.
+        Err(CliError::Lint { report }) => {
+            print!("{report}");
+            ExitCode::FAILURE
         }
         Err(error) => {
             eprintln!("error: {error}");

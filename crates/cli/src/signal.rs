@@ -27,6 +27,7 @@ mod imp {
 
     extern "C" fn on_sigterm(_signum: i32) {
         // Only an atomic store: anything more is not async-signal-safe.
+        // htd-lint: allow(determinism): single-bit signal flag; no ordering with other memory is needed
         SIGTERM_SEEN.store(true, Ordering::Relaxed);
     }
 
@@ -50,5 +51,6 @@ pub fn install_sigterm_handler() {
 /// Whether SIGTERM has been delivered since the handler was installed.
 #[must_use]
 pub fn sigterm_seen() -> bool {
+    // htd-lint: allow(determinism): single-bit signal flag; no ordering with other memory is needed
     SIGTERM_SEEN.load(Ordering::Relaxed)
 }

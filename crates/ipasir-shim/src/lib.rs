@@ -117,6 +117,7 @@ struct TerminateHook {
 // SAFETY: see `TerminateHook` — validity and thread-compatibility of the
 // pointer are the IPASIR client's obligations, mirrored verbatim here.
 unsafe impl Send for TerminateHook {}
+// SAFETY: same IPASIR-contract argument as `Send` above.
 unsafe impl Sync for TerminateHook {}
 
 impl TerminateHook {
@@ -153,10 +154,18 @@ pub extern "C" fn ipasir_init() -> *mut c_void {
 /// `solver` must be a handle from [`ipasir_init`] not yet released.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_release(solver: *mut c_void) {
+    // SAFETY: per this fn's contract, `solver` is the unreleased box that
+    // `ipasir_init` leaked; reclaiming it here drops it exactly once.
     drop(unsafe { Box::from_raw(solver.cast::<ShimSolver>()) });
 }
 
+/// Reborrows an IPASIR handle as the shim solver it points to.
+// SAFETY: callers must pass a live `ipasir_init` handle (every caller is an
+// exported entry point whose `# Safety` section demands exactly that) and
+// must not hold two shim borrows at once — the C ABI is single-threaded per
+// handle by the IPASIR spec.
 unsafe fn shim<'a>(solver: *mut c_void) -> &'a mut ShimSolver {
+    // SAFETY: guaranteed by this fn's own contract above.
     unsafe { &mut *solver.cast::<ShimSolver>() }
 }
 
@@ -167,6 +176,7 @@ unsafe fn shim<'a>(solver: *mut c_void) -> &'a mut ShimSolver {
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_add(solver: *mut c_void, lit_or_zero: c_int) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     if lit_or_zero == 0 {
         let clause = std::mem::take(&mut shim.clause);
@@ -186,6 +196,7 @@ pub unsafe extern "C" fn ipasir_add(solver: *mut c_void, lit_or_zero: c_int) {
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_assume(solver: *mut c_void, lit: c_int) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     let lit = shim.import(lit);
     shim.assumptions.push(lit);
@@ -199,6 +210,7 @@ pub unsafe extern "C" fn ipasir_assume(solver: *mut c_void, lit: c_int) {
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_solve(solver: *mut c_void) -> c_int {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     let assumptions = std::mem::take(&mut shim.assumptions);
     let result = shim.solver.solve_with_assumptions(&assumptions);
@@ -225,6 +237,7 @@ pub unsafe extern "C" fn ipasir_solve(solver: *mut c_void) -> c_int {
 /// `solver` must be a live [`ipasir_init`] handle in the SAT state.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_val(solver: *mut c_void, lit: c_int) -> c_int {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     let index = lit.unsigned_abs() - 1;
     match shim.solver.value(Var::from_index(index)) {
@@ -250,6 +263,7 @@ pub unsafe extern "C" fn ipasir_val(solver: *mut c_void, lit: c_int) -> c_int {
 /// `solver` must be a live [`ipasir_init`] handle in the UNSAT state.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_failed(solver: *mut c_void, lit: c_int) -> c_int {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     c_int::from(shim.failed.contains(&lit))
 }
@@ -268,6 +282,7 @@ pub unsafe extern "C" fn ipasir_set_terminate(
     data: *mut c_void,
     terminate: Option<unsafe extern "C" fn(*mut c_void) -> c_int>,
 ) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     match terminate {
         None => shim.solver.clear_interrupt(),
@@ -291,6 +306,7 @@ pub unsafe extern "C" fn ipasir_set_learn(
     _max_length: c_int,
     _learn: Option<unsafe extern "C" fn(*mut c_void, *mut c_int)>,
 ) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let _ = unsafe { shim(solver) };
 }
 
@@ -302,6 +318,7 @@ pub unsafe extern "C" fn ipasir_set_learn(
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_htd_mask_all_decisions(solver: *mut c_void) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     shim.solver.mask_all_decisions();
 }
@@ -314,6 +331,7 @@ pub unsafe extern "C" fn ipasir_htd_mask_all_decisions(solver: *mut c_void) {
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_htd_set_decision(solver: *mut c_void, var: c_int, eligible: c_int) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     let index = var.unsigned_abs() - 1;
     while shim.solver.num_vars() <= index as usize {
@@ -331,6 +349,7 @@ pub unsafe extern "C" fn ipasir_htd_set_decision(solver: *mut c_void, var: c_int
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_htd_begin_new_query(solver: *mut c_void) {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     shim.solver.reset_decision_heuristics();
 }
@@ -350,6 +369,7 @@ pub unsafe extern "C" fn ipasir_htd_begin_new_query(solver: *mut c_void) {
 /// `solver` must be a live [`ipasir_init`] handle.
 #[no_mangle]
 pub unsafe extern "C" fn ipasir_htd_clone(solver: *mut c_void) -> *mut c_void {
+    // SAFETY: this entry point's contract — `solver` is a live handle.
     let shim = unsafe { shim(solver) };
     let mut solver = shim.solver.clone();
     // The cloned interrupt closure would poll the parent's TerminateHook
@@ -375,6 +395,7 @@ mod tests {
     #[test]
     fn abi_roundtrip_sat_unsat_and_model() {
         let s = ipasir_init();
+        // SAFETY: `s` stays live for the whole block and is released once.
         unsafe {
             // (1 | 2) & (-1 | 2)
             for lit in [1, 2, 0, -1, 2, 0] {
@@ -398,6 +419,7 @@ mod tests {
     #[test]
     fn empty_clause_makes_every_query_unsat() {
         let s = ipasir_init();
+        // SAFETY: `s` stays live for the whole block and is released once.
         unsafe {
             ipasir_add(s, 0);
             assert_eq!(ipasir_solve(s), IPASIR_UNSAT);
@@ -407,10 +429,13 @@ mod tests {
 
     #[test]
     fn terminate_callback_interrupts_a_query() {
+        // SAFETY: ignores its `data` pointer entirely.
         unsafe extern "C" fn always(_data: *mut c_void) -> c_int {
             1
         }
         let s = ipasir_init();
+        // SAFETY: `s` stays live for the whole block and is released once;
+        // the terminate callback never dereferences its null `data`.
         unsafe {
             ipasir_add(s, 1);
             ipasir_add(s, 2);
@@ -426,6 +451,7 @@ mod tests {
 
     #[test]
     fn signature_is_a_nul_terminated_c_string() {
+        // SAFETY: `ipasir_signature` returns a 'static nul-terminated string.
         let sig = unsafe { CStr::from_ptr(ipasir_signature()) };
         assert!(sig.to_str().unwrap().contains("htd-cdcl"));
     }
@@ -434,10 +460,13 @@ mod tests {
     /// formula but none of its per-query state or terminate callback.
     #[test]
     fn htd_clone_snapshots_the_formula_without_query_state() {
+        // SAFETY: ignores its `data` pointer entirely.
         unsafe extern "C" fn always(_data: *mut c_void) -> c_int {
             1
         }
         let parent = ipasir_init();
+        // SAFETY: `parent` and the cloned `child` are distinct live handles,
+        // each released exactly once.
         unsafe {
             // (1 | 2) & (-1 | 2), plus a *pending* assumption and a
             // terminate callback on the parent only.
@@ -473,6 +502,7 @@ mod tests {
     fn independent_handles_do_not_share_state() {
         let a = ipasir_init();
         let b = ipasir_init();
+        // SAFETY: `a` and `b` stay live for the block, each released once.
         unsafe {
             ipasir_add(a, 1);
             ipasir_add(a, 0);

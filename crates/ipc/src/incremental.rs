@@ -673,6 +673,7 @@ impl MiterSession {
         design: &ValidatedDesign,
         property: &IntervalProperty,
     ) -> Result<PropertyReport, BackendError> {
+        // htd-lint: allow(determinism): feeds PropertyReport.duration only, zeroed by the normalized rendering
         let start = Instant::now();
         let d = design.design();
         assert_eq!(d.name(), self.design_name, "session is bound to one design");
@@ -860,6 +861,7 @@ impl MiterSession {
         property: &IntervalProperty,
         freeze: bool,
     ) -> PreparedLevel {
+        // htd-lint: allow(determinism): feeds PropertyReport.duration only, zeroed by the normalized rendering
         let start = Instant::now();
         let d = design.design();
         assert_eq!(d.name(), self.design_name, "session is bound to one design");

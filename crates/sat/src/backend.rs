@@ -424,6 +424,7 @@ impl DimacsProcessBackend {
         DimacsProcessBackend {
             solver_path: solver_path.into(),
             extra_args: Vec::new(),
+            // htd-lint: allow(determinism): unique temp-file tag; only uniqueness matters, not order
             instance: NEXT_BACKEND_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             num_vars: 0,
             clauses: Vec::new(),
@@ -488,6 +489,7 @@ impl DimacsProcessBackend {
                 let _ = std::fs::remove_file(&out_path);
                 return Ok(SolveResult::Interrupted);
             }
+            // htd-lint: allow(determinism): poll cadence while waiting on the child solver; the answer bytes are unaffected
             std::thread::sleep(PROCESS_POLL_INTERVAL);
         };
         let stdout = std::fs::read_to_string(&out_path).map_err(|e| {
@@ -734,6 +736,7 @@ impl SatBackend for DimacsProcessBackend {
         Some(Box::new(DimacsProcessBackend {
             solver_path: self.solver_path.clone(),
             extra_args: self.extra_args.clone(),
+            // htd-lint: allow(determinism): unique temp-file tag; only uniqueness matters, not order
             instance: NEXT_BACKEND_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             num_vars: self.num_vars,
             clauses: self.clauses.clone(),

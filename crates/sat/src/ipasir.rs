@@ -156,6 +156,8 @@ struct IpasirLibrary {
 // after construction and the library is required (by the IPASIR spec) to
 // support multiple concurrently live solver instances.
 unsafe impl Send for IpasirLibrary {}
+// SAFETY: same argument as `Send` above — the handle and code pointers are
+// read-only after construction.
 unsafe impl Sync for IpasirLibrary {}
 
 impl Drop for IpasirLibrary {
@@ -301,6 +303,9 @@ type InterruptState = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// The C-side trampoline the library polls: forwards to the installed Rust
 /// predicate.  IPASIR: non-zero means "terminate the search".
+// SAFETY: callers (the IPASIR library) must pass the `data` pointer that was
+// registered alongside this trampoline; `set_interrupt` guarantees it is a
+// live `Box<InterruptState>`.
 unsafe extern "C" fn terminate_trampoline(data: *mut c_void) -> c_int {
     // SAFETY: `data` is the address of the live `Box<InterruptState>` owned
     // by the backend that installed this callback; the box outlives every
@@ -369,6 +374,8 @@ pub struct IpasirBackend {
 // sharing `&self` (which never calls into the library except `fork`) is
 // sound.
 unsafe impl Send for IpasirBackend {}
+// SAFETY: same argument as `Send` above — `&self` never calls into the
+// library, so shared references cannot race the solver handle.
 unsafe impl Sync for IpasirBackend {}
 
 impl std::fmt::Debug for IpasirBackend {

@@ -19,18 +19,26 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator plus an atomic
+// counter bump — every `GlobalAlloc` obligation is `System`'s own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout contract to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as this fn — delegated verbatim.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's layout contract to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as this fn — delegated verbatim.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's layout contract to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as this fn — delegated verbatim.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

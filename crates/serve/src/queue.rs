@@ -77,13 +77,22 @@ impl<T> FairQueue<T> {
                 self.cursor = 0;
             }
             let tenant = &mut self.tenants[self.cursor];
-            let head_cost = tenant
-                .items
-                .front()
-                .map(|(cost, _)| *cost)
-                .expect("tenant sub-queues are never left empty");
+            // Tenant sub-queues are never left empty (an emptied tenant is
+            // removed below); should that invariant ever break, dropping the
+            // empty tenant and continuing degrades fairness for one round
+            // instead of panicking a request worker.
+            let Some(head_cost) = tenant.items.front().map(|(cost, _)| *cost) else {
+                self.tenants.remove(self.cursor);
+                if self.tenants.is_empty() {
+                    return None;
+                }
+                continue;
+            };
             if tenant.deficit >= head_cost {
-                let (_, item) = tenant.items.pop_front().expect("head exists");
+                let Some((_, item)) = tenant.items.pop_front() else {
+                    // Unreachable: `head_cost` above proved a front exists.
+                    continue;
+                };
                 tenant.deficit -= head_cost;
                 self.len -= 1;
                 if tenant.items.is_empty() {

@@ -87,6 +87,20 @@ const DRAIN_POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// daemon shuts down regardless.
 const DRAIN_HARD_GRACE: Duration = Duration::from_secs(5);
 
+/// Locks a mutex, recovering the guarded data if the mutex is poisoned.
+///
+/// Job execution is already wrapped in `catch_unwind`, so a poisoned lock
+/// can only come from a panic inside one of the short state-update critical
+/// sections below — none of which leave the shared maps half-written in a
+/// way later requests could misread.  Recovering keeps the daemon serving
+/// its other tenants instead of cascading one panic into every request
+/// thread that touches the same lock.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Daemon configuration, resolved from the environment by
 /// [`from_env`](Self::from_env) and overridable per flag by the CLI.
 #[derive(Clone, Debug)]
@@ -123,8 +137,8 @@ impl Default for ServeOptions {
     fn default() -> ServeOptions {
         ServeOptions {
             addr: crate::DEFAULT_ADDR.to_owned(),
-            max_jobs: NonZeroUsize::new(crate::DEFAULT_MAX_JOBS)
-                .expect("default bound is positive"),
+            // htd-lint: allow(serve-panic-hygiene): evaluates a positive compile-time constant, before any request exists
+            max_jobs: NonZeroUsize::new(crate::DEFAULT_MAX_JOBS).expect("positive default"),
             cache_bytes: crate::DEFAULT_CACHE_BYTES,
             workers: PropertyScheduler::available_parallelism(),
             config: DetectorConfig::default(),
@@ -408,7 +422,7 @@ impl Server {
     fn halt(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         {
-            let jobs = self.state.jobs.lock().expect("no poisoned locks");
+            let jobs = lock_unpoisoned(&self.state.jobs);
             for record in &jobs.records {
                 if record.state.is_active() {
                     record.cancel.store(true, Ordering::SeqCst);
@@ -418,7 +432,7 @@ impl Server {
         {
             // Cancel the runs directly too: the watchers that would relay a
             // detach flag may already be gone.
-            let inflight = self.state.inflight.lock().expect("no poisoned locks");
+            let inflight = lock_unpoisoned(&self.state.inflight);
             for entry in inflight.values() {
                 entry.subs.cancel.store(true, Ordering::SeqCst);
             }
@@ -459,14 +473,14 @@ fn begin_drain(state: &Arc<ServerState>) {
             }
             if !cancelled && Instant::now() >= deadline {
                 cancelled = true;
-                let jobs = state.jobs.lock().expect("no poisoned locks");
+                let jobs = lock_unpoisoned(&state.jobs);
                 for record in &jobs.records {
                     if record.state.is_active() {
                         record.cancel.store(true, Ordering::SeqCst);
                     }
                 }
                 drop(jobs);
-                let inflight = state.inflight.lock().expect("no poisoned locks");
+                let inflight = lock_unpoisoned(&state.inflight);
                 for entry in inflight.values() {
                     entry.subs.cancel.store(true, Ordering::SeqCst);
                 }
@@ -484,10 +498,7 @@ fn begin_drain(state: &Arc<ServerState>) {
 }
 
 fn count_active(state: &Arc<ServerState>) -> usize {
-    state
-        .jobs
-        .lock()
-        .expect("no poisoned locks")
+    lock_unpoisoned(&state.jobs)
         .records
         .iter()
         .filter(|r| r.state.is_active())
@@ -616,7 +627,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
     // submissions racing cannot both become leaders for one key.  The lock
     // is held across the accepted-frame write, which is bounded by
     // WRITE_TIMEOUT.
-    let mut inflight = state.inflight.lock().expect("no poisoned locks");
+    let mut inflight = lock_unpoisoned(&state.inflight);
     let attachable = inflight
         .get(&key)
         // A run all of whose subscribers already detached is winding down;
@@ -633,7 +644,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
 
     if let Some((leader, subs, done)) = attachable {
         let (id, detach) = {
-            let mut jobs = state.jobs.lock().expect("no poisoned locks");
+            let mut jobs = lock_unpoisoned(&state.jobs);
             jobs.next_id += 1;
             let id = jobs.next_id;
             let detach = Arc::new(AtomicBool::new(false));
@@ -679,13 +690,13 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
                 return;
             }
         };
-        subs.sinks.lock().expect("no poisoned locks").push(Sink {
+        lock_unpoisoned(&subs.sinks).push(Sink {
             job: id,
             stream: sink_stream,
             detach: Arc::clone(&detach),
             coalesced: true,
         });
-        state.totals.lock().expect("no poisoned locks").coalesced += 1;
+        lock_unpoisoned(&state.totals).coalesced += 1;
         drop(inflight);
         watch_subscriber(state, &stream, id, &subs, &detach, &done);
         return;
@@ -693,7 +704,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
 
     // Leader path: admission control, then queue a fresh run.
     let (id, detach, queue_depth) = {
-        let mut jobs = state.jobs.lock().expect("no poisoned locks");
+        let mut jobs = lock_unpoisoned(&state.jobs);
         let active = jobs.records.iter().filter(|r| r.state.is_active()).count();
         if active >= state.options.max_jobs.get() {
             drop(jobs);
@@ -721,7 +732,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
             wall_secs: None,
             cache: None,
         });
-        let depth = state.queue.lock().expect("no poisoned locks").len();
+        let depth = lock_unpoisoned(&state.queue).len();
         (id, detach, depth)
     };
 
@@ -768,7 +779,7 @@ fn handle_submit(state: &Arc<ServerState>, mut stream: TcpStream, request: &Requ
         },
     );
     let cost = dump.len() as u64;
-    state.queue.lock().expect("no poisoned locks").push(
+    lock_unpoisoned(&state.queue).push(
         &tenant,
         cost,
         QueuedJob {
@@ -837,7 +848,7 @@ fn watch_subscriber(
 /// Removes subscriber `id` from the fan-out and settles its record; the
 /// underlying run is cancelled once no subscribers remain.
 fn detach_subscriber(state: &Arc<ServerState>, id: u64, subs: &Subscribers) {
-    let mut sinks = subs.sinks.lock().expect("no poisoned locks");
+    let mut sinks = lock_unpoisoned(&subs.sinks);
     sinks.retain(|sink| sink.job != id);
     let abandoned = sinks.is_empty();
     drop(sinks);
@@ -885,7 +896,7 @@ fn parse_budget(spec: &Json) -> Result<SolveBudget, String> {
 fn runner_loop(state: &Arc<ServerState>) {
     loop {
         let job = {
-            let mut queue = state.queue.lock().expect("no poisoned locks");
+            let mut queue = lock_unpoisoned(&state.queue);
             loop {
                 if state.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -893,7 +904,10 @@ fn runner_loop(state: &Arc<ServerState>) {
                 if let Some(job) = queue.pop() {
                     break job;
                 }
-                queue = state.queue_cv.wait(queue).expect("no poisoned locks");
+                queue = state
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         run_job(state, job);
@@ -961,13 +975,13 @@ fn run_job(state: &Arc<ServerState>, job: QueuedJob) {
     // one.  Leader-checked, because a stale abandoned entry may have been
     // replaced by a newer leader for the same key.
     {
-        let mut inflight = state.inflight.lock().expect("no poisoned locks");
+        let mut inflight = lock_unpoisoned(&state.inflight);
         if inflight.get(&key).is_some_and(|e| e.leader == leader) {
             inflight.remove(&key);
         }
     }
 
-    let sinks: Vec<Sink> = std::mem::take(&mut *subs.sinks.lock().expect("no poisoned locks"));
+    let sinks: Vec<Sink> = std::mem::take(&mut *lock_unpoisoned(&subs.sinks));
     for mut sink in sinks {
         if !sink.detach.load(Ordering::SeqCst) {
             for frame in &terminal {
@@ -1000,14 +1014,11 @@ fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 
 /// Marks every current subscriber's record as running.
 fn set_running(state: &Arc<ServerState>, subs: &Subscribers) {
-    let ids: Vec<u64> = subs
-        .sinks
-        .lock()
-        .expect("no poisoned locks")
+    let ids: Vec<u64> = lock_unpoisoned(&subs.sinks)
         .iter()
         .map(|sink| sink.job)
         .collect();
-    let mut jobs = state.jobs.lock().expect("no poisoned locks");
+    let mut jobs = lock_unpoisoned(&state.jobs);
     for record in &mut jobs.records {
         if ids.contains(&record.id) && record.state == JobState::Queued {
             record.state = JobState::Running;
@@ -1023,7 +1034,7 @@ fn fan_out(state: &Arc<ServerState>, subs: &Subscribers, frame: &Json) {
         std::thread::sleep(delay);
     }
     let line = format!("{frame}\n");
-    let mut sinks = subs.sinks.lock().expect("no poisoned locks");
+    let mut sinks = lock_unpoisoned(&subs.sinks);
     let frame_index = subs.frames.fetch_add(1, Ordering::SeqCst) + 1;
     if let Some(FaultSpec::StreamDisconnect(after)) = fault {
         if frame_index == after && state.fault_armed.swap(false, Ordering::SeqCst) {
@@ -1087,11 +1098,7 @@ fn serve_detection(
         // dispositions execute the identical fork-of-pristine-master path.
         // The lookup still goes through the (always-empty) cache so the
         // miss counter reflects every lookup, as CacheStats documents.
-        let _ = state
-            .cache
-            .lock()
-            .expect("no poisoned locks")
-            .fetch(key, dump);
+        let _ = lock_unpoisoned(&state.cache).fetch(key, dump);
         let master = match build_master() {
             Ok(master) => master,
             Err(e) => {
@@ -1102,14 +1109,11 @@ fn serve_detection(
                 );
             }
         };
+        // htd-lint: allow(serve-panic-hygiene): Server::start refused non-forkable backends; a panic here is caught by the runner's catch_unwind and fails only this job
         let fork = master.try_fork().expect("startup-validated backends fork");
         (design.clone(), fork, "off")
     } else {
-        let cached = state
-            .cache
-            .lock()
-            .expect("no poisoned locks")
-            .fetch(key, dump);
+        let cached = lock_unpoisoned(&state.cache).fetch(key, dump);
         match cached {
             Some((design, fork)) => (design, fork, "hit"),
             None => {
@@ -1126,8 +1130,9 @@ fn serve_detection(
                         );
                     }
                 };
+                // htd-lint: allow(serve-panic-hygiene): Server::start refused non-forkable backends; a panic here is caught by the runner's catch_unwind and fails only this job
                 let fork = master.try_fork().expect("startup-validated backends fork");
-                state.cache.lock().expect("no poisoned locks").insert(
+                lock_unpoisoned(&state.cache).insert(
                     key,
                     dump.to_owned(),
                     FrozenMaster {
@@ -1166,11 +1171,11 @@ fn serve_detection(
         Ok(report) => {
             let session_stats = session.session_stats();
             {
-                let mut totals = state.totals.lock().expect("no poisoned locks");
+                let mut totals = lock_unpoisoned(&state.totals);
                 accumulate_solver(&mut totals.solver, &report.solver_totals);
                 accumulate_session(&mut totals.session, &session_stats);
             }
-            let depth = state.queue.lock().expect("no poisoned locks").len();
+            let depth = lock_unpoisoned(&state.queue).len();
             let stats = Json::obj([
                 ("event", Json::str("stats")),
                 ("job", Json::UInt(id)),
@@ -1396,7 +1401,7 @@ fn settle_subscriber(
     cache: Option<&'static str>,
 ) {
     {
-        let mut jobs = state.jobs.lock().expect("no poisoned locks");
+        let mut jobs = lock_unpoisoned(&state.jobs);
         let Some(record) = jobs.records.iter_mut().find(|r| r.id == id) else {
             return;
         };
@@ -1420,7 +1425,7 @@ fn settle_subscriber(
             });
         }
     }
-    let mut totals = state.totals.lock().expect("no poisoned locks");
+    let mut totals = lock_unpoisoned(&state.totals);
     match final_state {
         JobState::Completed => totals.completed += 1,
         JobState::Cancelled => totals.cancelled += 1,
@@ -1430,21 +1435,36 @@ fn settle_subscriber(
 }
 
 fn accumulate_session(into: &mut SessionStats, add: &SessionStats) {
-    into.bit_blasts += add.bit_blasts;
-    into.properties_checked += add.properties_checked;
-    into.nodes_encoded += add.nodes_encoded;
-    into.queries += add.queries;
-    into.structurally_proved += add.structurally_proved;
-    into.epoch_rebinds += add.epoch_rebinds;
-    into.parallel_tasks += add.parallel_tasks;
-    into.tasks_skipped += add.tasks_skipped;
-    into.snapshot_forks += add.snapshot_forks;
-    into.snapshot_bytes_cloned += add.snapshot_bytes_cloned;
+    // Exhaustive destructuring (no `..`): a counter added to SessionStats
+    // that is not accumulated here must be a compile error, not a totals
+    // row that silently stays zero.
+    let SessionStats {
+        bit_blasts,
+        properties_checked,
+        nodes_encoded,
+        queries,
+        structurally_proved,
+        epoch_rebinds,
+        parallel_tasks,
+        tasks_skipped,
+        snapshot_forks,
+        snapshot_bytes_cloned,
+    } = *add;
+    into.bit_blasts += bit_blasts;
+    into.properties_checked += properties_checked;
+    into.nodes_encoded += nodes_encoded;
+    into.queries += queries;
+    into.structurally_proved += structurally_proved;
+    into.epoch_rebinds += epoch_rebinds;
+    into.parallel_tasks += parallel_tasks;
+    into.tasks_skipped += tasks_skipped;
+    into.snapshot_forks += snapshot_forks;
+    into.snapshot_bytes_cloned += snapshot_bytes_cloned;
 }
 
 fn stats_json(state: &Arc<ServerState>) -> Json {
-    let queue_depth = state.queue.lock().expect("no poisoned locks").len();
-    let jobs = state.jobs.lock().expect("no poisoned locks");
+    let queue_depth = lock_unpoisoned(&state.queue).len();
+    let jobs = lock_unpoisoned(&state.jobs);
     let running = jobs
         .records
         .iter()
@@ -1464,8 +1484,8 @@ fn stats_json(state: &Arc<ServerState>) -> Json {
         })
         .collect();
     drop(jobs);
-    let cache = state.cache.lock().expect("no poisoned locks").stats();
-    let totals = state.totals.lock().expect("no poisoned locks");
+    let cache = lock_unpoisoned(&state.cache).stats();
+    let totals = lock_unpoisoned(&state.totals);
     Json::obj([
         ("max_jobs", Json::UInt(state.options.max_jobs.get() as u64)),
         ("workers", Json::UInt(state.options.workers.get() as u64)),
@@ -1509,7 +1529,7 @@ fn handle_cancel(state: &Arc<ServerState>, stream: &mut TcpStream, raw_id: &str)
         );
         return;
     };
-    let jobs = state.jobs.lock().expect("no poisoned locks");
+    let jobs = lock_unpoisoned(&state.jobs);
     let Some(record) = jobs.records.iter().find(|r| r.id == id) else {
         drop(jobs);
         let _ = http::write_error(

@@ -27,6 +27,9 @@
 //! * [`serve`] — the multi-tenant detection service behind `htd serve`: a
 //!   job queue, a shared solve pool, a netlist-keyed snapshot cache and
 //!   NDJSON event streaming ([`htd_serve`]).
+//! * [`analyze`] — the workspace invariant checker behind `htd lint`: a
+//!   dependency-free Rust token scanner enforcing the repo's determinism,
+//!   unsafe-audit and panic-hygiene conventions ([`htd_analyze`]).
 //!
 //! # Quickstart
 //!
@@ -99,6 +102,9 @@
 //! htd detect design.v --progress --backend dimacs:/usr/bin/kissat
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use htd_analyze as analyze;
 pub use htd_baselines as baselines;
 pub use htd_core as detect;
 pub use htd_ipc as ipc;

@@ -35,6 +35,7 @@ use golden_free_htd::trusthub::registry::Benchmark;
 /// dev-dependency on `ipasir-shim`, so any `cargo test` invocation that
 /// compiled this suite has also produced the shared object.
 fn shim_library() -> PathBuf {
+    // htd-lint: allow(strict-env): an opaque filesystem path consumed verbatim; there is nothing to parse strictly
     if let Ok(path) = std::env::var("HTD_IPASIR_LIB") {
         return PathBuf::from(path);
     }

@@ -81,6 +81,7 @@ fn run_budgeted(
 /// dev-dependency on `ipasir-shim`, so any `cargo test` run has built it);
 /// `HTD_IPASIR_LIB` overrides for release-build CI legs.
 fn shim_library() -> PathBuf {
+    // htd-lint: allow(strict-env): an opaque filesystem path consumed verbatim; there is nothing to parse strictly
     if let Ok(path) = std::env::var("HTD_IPASIR_LIB") {
         return PathBuf::from(path);
     }
